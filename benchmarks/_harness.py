@@ -1,0 +1,42 @@
+"""Output helpers for the benchmark harness.
+
+pytest captures stdout, so each benchmark *emits* its reproduction
+tables through :func:`emit`: the text goes to the real stdout (visible
+under plain ``pytest benchmarks/ --benchmark-only``) and is appended to
+``benchmarks/out/<experiment>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+_fresh_this_session: set[str] = set()
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduction table and persist it under ``benchmarks/out``.
+
+    The first emit of an experiment in a session truncates its output
+    file, so re-running the harness replaces stale results instead of
+    appending to them.
+
+    Args:
+        experiment: Experiment id (e.g. ``"fig5"``); names the output file.
+        text: The rendered table/series.
+    """
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    OUT_DIR.mkdir(exist_ok=True)
+    mode = "a" if experiment in _fresh_this_session else "w"
+    _fresh_this_session.add(experiment)
+    with (OUT_DIR / f"{experiment}.txt").open(mode) as handle:
+        handle.write(banner)
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a heavy function exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

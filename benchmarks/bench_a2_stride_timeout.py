@@ -1,0 +1,83 @@
+"""Ablation A2 — StrideTimeout's control over dependency type.
+
+Section 3.2: "Setting StrideTimeout to a very small value restricts the
+definition of document dependency to embedding dependencies, whereas
+setting it to a larger value loosens the definition to include
+traversal dependencies as well."  This ablation estimates P under
+several StrideTimeout values and shows the pair population and the
+embedding share move exactly that way.
+"""
+
+from _harness import emit
+from repro.config import SECONDS_PER_DAY
+from repro.core import format_table
+from repro.speculation import DependencyModel
+
+TIMEOUTS = [0.5, 5.0, 30.0, 120.0]
+
+
+def _pair_stats(model: DependencyModel) -> tuple[int, int]:
+    """(total pairs, near-certain pairs with p >= 0.9)."""
+    total = 0
+    certain = 0
+    occurrences = model.occurrence_counts
+    for source, row in model.pair_counts.items():
+        base = occurrences.get(source, 0.0)
+        if base <= 0:
+            continue
+        for count in row.values():
+            total += 1
+            if count / base >= 0.9:
+                certain += 1
+    return total, certain
+
+
+def test_a2_stride_timeout(benchmark, paper_trace):
+    month = paper_trace.window(
+        paper_trace.start_time, paper_trace.start_time + 30 * SECONDS_PER_DAY
+    )
+    models = {}
+
+    def estimate_all():
+        for timeout in TIMEOUTS:
+            models[timeout] = DependencyModel.estimate(
+                month, window=timeout, stride_timeout=timeout
+            )
+        return models
+
+    benchmark.pedantic(estimate_all, rounds=1, iterations=1)
+
+    rows = []
+    stats = {}
+    for timeout in TIMEOUTS:
+        total, certain = _pair_stats(models[timeout])
+        stats[timeout] = (total, certain)
+        rows.append(
+            [
+                f"{timeout:g}s",
+                total,
+                certain,
+                f"{certain / total:.1%}" if total else "-",
+            ]
+        )
+    emit(
+        "a2",
+        format_table(
+            ["StrideTimeout", "pairs", "near-certain pairs (p>=0.9)", "certain share"],
+            rows,
+            title=(
+                "A2: StrideTimeout restricts (small) or loosens (large) "
+                "the dependency definition"
+            ),
+        ),
+    )
+
+    totals = [stats[t][0] for t in TIMEOUTS]
+    # More time -> more (traversal) pairs, monotonically.
+    assert all(b >= a for a, b in zip(totals, totals[1:]))
+    # The tightest window is dominated by embeddings (inline objects
+    # arrive within fractions of a second)...
+    tight_share = stats[TIMEOUTS[0]][1] / max(stats[TIMEOUTS[0]][0], 1)
+    loose_share = stats[TIMEOUTS[-1]][1] / max(stats[TIMEOUTS[-1]][0], 1)
+    # ...so its certain share exceeds the loose window's.
+    assert tight_share > loose_share

@@ -1,0 +1,102 @@
+"""Ablation A3 — aging vs sliding-window re-estimation.
+
+Section 3.4 envisions "an aging mechanism to phase out dependencies
+exhibited in older traces, in favor of dependencies exhibited in more
+recent traces".  This ablation compares, on the drifting workload, a
+model kept fresh three ways:
+
+* **all-history** — every pair ever seen, no forgetting;
+* **sliding window** — the paper's D′-day window (30 days);
+* **aging** — exponential decay of old counts (no hard cutoff).
+"""
+
+import pytest
+
+from _harness import emit
+from repro.config import BASELINE, SECONDS_PER_DAY
+from repro.core import format_table
+from repro.speculation import (
+    AgingDependencyCounter,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+    compare,
+)
+
+POLICY = ThresholdPolicy(threshold=0.25)
+REPLAY_DAYS = 20.0
+
+
+def _mean_reduction(ratios):
+    return (
+        ratios.server_load_reduction
+        + ratios.service_time_reduction
+        + ratios.miss_rate_reduction
+    ) / 3.0
+
+
+def _aged_model(history, decay_per_day):
+    counter = AgingDependencyCounter(
+        decay_per_day=decay_per_day, window=BASELINE.stride_timeout
+    )
+    day = history.start_time
+    while day < history.end_time:
+        counter.observe(history.window(day, day + SECONDS_PER_DAY))
+        day += SECONDS_PER_DAY
+    return counter.snapshot()
+
+
+def test_a3_aging_vs_window(benchmark, medium_trace):
+    boundary = medium_trace.end_time - REPLAY_DAYS * SECONDS_PER_DAY
+    history = medium_trace.window(medium_trace.start_time, boundary)
+    replay = medium_trace.window(boundary, medium_trace.end_time + 1.0)
+
+    from repro.speculation import DependencyModel
+
+    results = {}
+
+    def run_all():
+        models = {
+            "all-history": DependencyModel.estimate(
+                history, window=BASELINE.stride_timeout
+            ),
+            "window (30d)": DependencyModel.estimate(
+                history.window(boundary - 30 * SECONDS_PER_DAY, boundary),
+                window=BASELINE.stride_timeout,
+            ),
+            "aging (0.9/day)": _aged_model(history, 0.9),
+        }
+        for label, model in models.items():
+            simulator = SpeculativeServiceSimulator(replay, BASELINE, model=model)
+            baseline = simulator.run(None)
+            speculation = simulator.run(POLICY)
+            results[label] = compare(speculation.metrics, baseline.metrics)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            f"{ratios.traffic_increase:+.1%}",
+            f"{_mean_reduction(ratios):.1%}",
+        ]
+        for label, ratios in results.items()
+    ]
+    emit(
+        "a3",
+        format_table(
+            ["freshness mechanism", "traffic", "mean reduction"],
+            rows,
+            title="A3: aging vs sliding window vs all-history (drifting workload)",
+        ),
+    )
+
+    all_history = _mean_reduction(results["all-history"])
+    window = _mean_reduction(results["window (30d)"])
+    aging = _mean_reduction(results["aging (0.9/day)"])
+    # Forgetting mechanisms must not lose to never forgetting under drift.
+    assert window >= all_history - 0.02
+    assert aging >= all_history - 0.02
+    # And everything still beats no speculation.
+    for ratios in results.values():
+        assert _mean_reduction(ratios) > 0.0

@@ -1,0 +1,121 @@
+"""Ablation A4 — exponential closed form vs model-free greedy allocation.
+
+The paper's optimal split (eqs. 4-5) assumes exponential coverage
+curves.  Real curves are step functions over documents, so fitting λ
+and using the closed form loses a little to the model-free greedy
+allocator that packs actual documents by marginal value.  This ablation
+measures the gap on empirical profiles at several budgets.
+"""
+
+import pytest
+
+from _harness import emit
+from repro.core import format_table
+from repro.dissemination import (
+    ServerModel,
+    exponential_allocation,
+    greedy_document_allocation,
+)
+from repro.popularity import PopularityProfile, fit_lambda
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+BUDGET_FRACTIONS = [0.02, 0.05, 0.15]
+
+
+def _empirical_alpha(profiles, allocations) -> float:
+    """Intercepted request fraction when each server packs its own
+    most popular documents into its granted bytes."""
+    hits = 0
+    total = 0
+    for name, profile in profiles.items():
+        granted = allocations.get(name, 0.0)
+        used = 0.0
+        for stat in profile.ranked(remote_only=True):
+            if stat.remote_requests <= 0:
+                break
+            total += stat.remote_requests
+            if used + stat.size <= granted:
+                used += stat.size
+                hits += stat.remote_requests
+        # Count remaining uncovered requests toward the total.
+    grand_total = sum(
+        p.total_requests(remote_only=True) for p in profiles.values()
+    )
+    return hits / grand_total if grand_total else 0.0
+
+
+@pytest.fixture(scope="module")
+def cluster_profiles():
+    profiles = {}
+    for index, (pages, sessions, alpha) in enumerate(
+        [(120, 2500, 1.6), (150, 1200, 1.0), (200, 600, 0.7)]
+    ):
+        generator = SyntheticTraceGenerator(
+            GeneratorConfig(
+                seed=30 + index,
+                n_pages=pages,
+                n_clients=150,
+                n_sessions=sessions,
+                duration_days=30,
+                popularity_alpha=alpha,
+            )
+        )
+        profiles[f"s{index}"] = PopularityProfile.from_trace(
+            generator.generate().remote_only()
+        )
+    return profiles
+
+
+def test_a4_allocation_methods(benchmark, cluster_profiles):
+    total_bytes = sum(
+        sum(s.size for s in p.all_stats()) for p in cluster_profiles.values()
+    )
+    results = {}
+
+    def run_all():
+        models = []
+        for name, profile in cluster_profiles.items():
+            curve_bytes, coverage = profile.coverage_curve()
+            models.append(
+                ServerModel(
+                    name=name,
+                    rate=profile.total_bytes_served(remote_only=True),
+                    lam=fit_lambda(curve_bytes, coverage),
+                )
+            )
+        for fraction in BUDGET_FRACTIONS:
+            budget = fraction * total_bytes
+            closed = exponential_allocation(models, budget)
+            greedy = greedy_document_allocation(cluster_profiles, budget)
+            results[fraction] = (
+                _empirical_alpha(cluster_profiles, closed.allocations),
+                greedy.alpha,
+            )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{fraction:.0%}",
+            f"{closed_alpha:.1%}",
+            f"{greedy_alpha:.1%}",
+            f"{greedy_alpha - closed_alpha:+.1%}",
+        ]
+        for fraction, (closed_alpha, greedy_alpha) in results.items()
+    ]
+    emit(
+        "a4",
+        format_table(
+            ["budget (of site)", "closed form (eq 4-5)", "greedy (model-free)", "gap"],
+            rows,
+            title="A4: achieved empirical alpha, closed form vs greedy packing",
+        ),
+    )
+
+    for fraction, (closed_alpha, greedy_alpha) in results.items():
+        # Greedy packs real documents: it can only do better (or tie).
+        assert greedy_alpha >= closed_alpha - 1e-9
+        # But the exponential model is a decent fit: the gap stays moderate.
+        assert greedy_alpha - closed_alpha < 0.35
+        assert 0.0 <= closed_alpha <= 1.0

@@ -1,0 +1,77 @@
+"""E10 (extension) — self-tuning speculation under a bandwidth budget.
+
+The paper expresses every result as "X% extra bandwidth buys Y" but
+leaves finding the threshold for a budget to offline sweeps.  The
+:class:`~repro.speculation.adaptive.AdaptiveBudgetPolicy` closes that
+loop online, steering its threshold on the expected-waste signal
+``(1 − p*)·size``.  This bench checks the controller against the
+fixed-threshold oracle (the interpolated Figure-5 sweep): achieved
+traffic must track the budget monotonically and the gains must stay
+near what the oracle buys at the same achieved traffic.
+"""
+
+from _harness import emit
+from repro.core import format_table, interpolate_at_traffic
+from repro.speculation import AdaptiveBudgetPolicy
+
+BUDGETS = [0.03, 0.10, 0.30]
+
+
+def test_e10_adaptive_budget(benchmark, paper_experiment, fig5_sweep):
+    results = {}
+
+    def run_all():
+        for budget in BUDGETS:
+            policy = AdaptiveBudgetPolicy(
+                target_traffic_increase=budget,
+                warmup_bytes=50_000,
+                window_bytes=500_000,
+                adjust_rate=0.05,
+            )
+            ratios, __ = paper_experiment.evaluate(policy)
+            results[budget] = (ratios, policy.threshold)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for budget, (ratios, final_threshold) in results.items():
+        oracle = interpolate_at_traffic(fig5_sweep, ratios.traffic_increase)
+        rows.append(
+            [
+                f"{budget:.0%}",
+                f"{ratios.traffic_increase:+.1%}",
+                f"{ratios.server_load_reduction:.1%}",
+                f"{oracle.server_load_reduction:.1%}",
+                f"{final_threshold:.2f}",
+            ]
+        )
+    emit(
+        "e10",
+        format_table(
+            [
+                "budget",
+                "achieved traffic",
+                "load red. (adaptive)",
+                "load red. (oracle @ same traffic)",
+                "final T_p",
+            ],
+            rows,
+            title="E10: self-tuning speculation vs the fixed-threshold oracle",
+        ),
+    )
+
+    achieved = [results[b][0].traffic_increase for b in BUDGETS]
+    # Achieved traffic tracks the budget monotonically.
+    assert achieved == sorted(achieved)
+    # Small budgets stay small (no runaway).
+    assert achieved[0] < 0.10
+    # The controller's gains stay within a few points of the oracle's
+    # at the same achieved traffic level.
+    for budget, (ratios, __) in results.items():
+        oracle = interpolate_at_traffic(fig5_sweep, ratios.traffic_increase)
+        assert (
+            ratios.server_load_reduction
+            >= oracle.server_load_reduction - 0.08
+        )
+        assert ratios.server_load_reduction > 0.15

@@ -1,0 +1,103 @@
+"""E12 (conclusion) — the two protocols are complementary.
+
+The paper's conclusion: dissemination "was shown to be most effective in
+reducing network traffic ... and in balancing the load amongst
+servers", while speculative service "was shown to be quite effective in
+reducing service time ... and server load".  This bench runs both
+halves — separately and together — through the combined replay and
+shows the division of labour: dissemination owns the bytes×hops win,
+speculation owns the origin-load/service-time win, and together they
+get both (dissemination also neutralizes speculation's wide-area
+traffic cost, since proxy-served requests never trigger origin pushes).
+"""
+
+import pytest
+
+from _harness import emit
+from repro.config import BASELINE
+from repro.core import CombinedProtocolSimulator, format_table
+from repro.dissemination import select_popular_bytes
+from repro.popularity import PopularityProfile
+from repro.speculation import DependencyModel, ThresholdPolicy
+from repro.topology import build_clientele_tree, greedy_tree_placement
+
+N_PROXIES = 8
+DATA_FRACTION = 0.10
+POLICY = ThresholdPolicy(threshold=0.25)
+
+
+def test_e12_combined_protocols(benchmark, paper_trace, paper_generator):
+    split = paper_trace.start_time + 60 * 86_400.0
+    model = DependencyModel.estimate(
+        paper_trace.window(paper_trace.start_time, split),
+        window=BASELINE.stride_timeout,
+    )
+    test = paper_trace.window(split, paper_trace.end_time + 1.0)
+    tree = build_clientele_tree(test, backbone_hops=2)
+    demand: dict[str, float] = {}
+    for request in test.remote_only():
+        demand[request.client] = demand.get(request.client, 0.0) + request.size
+    proxies = greedy_tree_placement(tree, demand, N_PROXIES)
+    documents = select_popular_bytes(
+        PopularityProfile.from_trace(test.remote_only()),
+        DATA_FRACTION * paper_generator.site.total_bytes(),
+    )
+    simulator = CombinedProtocolSimulator(test, tree, BASELINE, model=model)
+
+    results = {}
+
+    def run_all():
+        results["baseline"] = simulator.run()
+        results["dissemination only"] = simulator.run(
+            proxies=proxies, disseminated=documents
+        )
+        results["speculation only"] = simulator.run(policy=POLICY)
+        results["combined"] = simulator.run(
+            proxies=proxies, disseminated=documents, policy=POLICY
+        )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = results["baseline"]
+    rows = []
+    for name, outcome in results.items():
+        rows.append(
+            [
+                name,
+                f"{1 - outcome.origin_requests / base.origin_requests:+.1%}",
+                f"{1 - outcome.bytes_hops / base.bytes_hops:+.1%}",
+                f"{1 - outcome.service_time / base.service_time:+.1%}",
+            ]
+        )
+    emit(
+        "e12",
+        format_table(
+            ["configuration", "origin load saved", "bytes*hops saved", "time saved"],
+            rows,
+            title=(
+                "E12: the conclusion's division of labour — "
+                "dissemination vs speculation vs both"
+            ),
+        ),
+    )
+
+    dissemination = results["dissemination only"]
+    speculation = results["speculation only"]
+    combined = results["combined"]
+
+    # The paper's division of labour:
+    # dissemination wins on network traffic (speculation *adds* traffic)...
+    assert dissemination.bytes_hops < speculation.bytes_hops
+    assert dissemination.bytes_hops < base.bytes_hops
+    assert speculation.bytes_hops > combined.bytes_hops
+    # ...speculation wins on client-visible service time...
+    assert speculation.service_time < dissemination.service_time
+    assert speculation.service_time < base.service_time
+    # ...and the combination dominates each alone on origin load while
+    # keeping the traffic near the dissemination-only level.
+    assert combined.origin_requests <= speculation.origin_requests
+    assert combined.origin_requests <= dissemination.origin_requests
+    assert combined.bytes_hops <= speculation.bytes_hops
+    assert combined.bytes_hops <= base.bytes_hops
+    assert combined.service_time <= dissemination.service_time

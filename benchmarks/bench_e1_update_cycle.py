@@ -1,0 +1,104 @@
+"""E1 (section 3.4) — stability of the P and P* relations.
+
+The paper re-estimates P/P* every D days from the previous D' days and
+measures the degradation relative to a daily update: D = 60 costs ~7
+points, D = 7 costs ~3 points (absolute, averaged over metrics), and
+D' = 30 slightly beats D' = 60.  This bench replays the last 20 days of
+a reduced-scale trace under rolling models with D in {1, 7, 60} and
+D' in {30, 60}.
+"""
+
+import pytest
+
+from _harness import emit
+from repro.config import BASELINE, SECONDS_PER_DAY
+from repro.core import format_table
+from repro.speculation import (
+    RollingEstimator,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+    compare,
+)
+
+POLICY = ThresholdPolicy(threshold=0.25)
+REPLAY_DAYS = 20.0
+
+
+def _mean_reduction(ratios):
+    return (
+        ratios.server_load_reduction
+        + ratios.service_time_reduction
+        + ratios.miss_rate_reduction
+    ) / 3.0
+
+
+@pytest.fixture(scope="module")
+def replay(medium_trace):
+    boundary = medium_trace.end_time - REPLAY_DAYS * SECONDS_PER_DAY
+    return medium_trace.window(boundary, medium_trace.end_time + 1.0)
+
+
+def _evaluate(medium_trace, replay, update_days, history_days):
+    rolling = RollingEstimator(
+        medium_trace,
+        history_length_days=history_days,
+        update_cycle_days=update_days,
+        window=BASELINE.stride_timeout,
+    )
+    simulator = SpeculativeServiceSimulator(replay, BASELINE, rolling=rolling)
+    baseline = simulator.run(None)
+    speculation = simulator.run(POLICY)
+    return compare(speculation.metrics, baseline.metrics)
+
+
+def test_e1_update_cycle(benchmark, medium_trace, replay):
+    results = {}
+
+    def sweep():
+        for update_days in (1.0, 7.0, 60.0):
+            results[("D", update_days)] = _evaluate(
+                medium_trace, replay, update_days, 60.0
+            )
+        results[("Dprime", 30.0)] = _evaluate(medium_trace, replay, 1.0, 30.0)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    daily = results[("D", 1.0)]
+    for (kind, value), ratios in results.items():
+        label = f"D={value:g}, D'=60" if kind == "D" else f"D=1, D'={value:g}"
+        rows.append(
+            [
+                label,
+                f"{ratios.traffic_increase:+.1%}",
+                f"{_mean_reduction(ratios):.1%}",
+                f"{(_mean_reduction(daily) - _mean_reduction(ratios)):+.1%}",
+            ]
+        )
+    emit(
+        "e1",
+        format_table(
+            ["schedule", "traffic", "mean reduction", "degradation vs D=1"],
+            rows,
+            title=(
+                "E1: update-cycle stability "
+                "(paper: D=60 ~7pt worse, D=7 ~3pt worse than D=1)"
+            ),
+        ),
+    )
+
+    # Less frequent updates never help.
+    assert _mean_reduction(results[("D", 1.0)]) >= _mean_reduction(
+        results[("D", 7.0)]
+    ) - 0.01
+    assert _mean_reduction(results[("D", 7.0)]) >= _mean_reduction(
+        results[("D", 60.0)]
+    ) - 0.01
+    # The D=60 schedule is measurably worse than daily updates.
+    assert _mean_reduction(results[("D", 1.0)]) > _mean_reduction(
+        results[("D", 60.0)]
+    )
+    # All schedules still beat no speculation.
+    for ratios in results.values():
+        assert _mean_reduction(ratios) > 0.0

@@ -1,0 +1,84 @@
+"""E2 (section 3.4) — the effect of MaxSize.
+
+Documents larger than MaxSize are never speculated.  The paper finds an
+*optimal finite* MaxSize per extra-bandwidth budget: ~15 KB when only 3%
+extra traffic is tolerable, ~29 KB at 10%.  This bench sweeps
+(MaxSize × T_p), interpolates each MaxSize's gain curve at fixed traffic
+budgets, and reports the best MaxSize per budget.
+"""
+
+import math
+
+from _harness import emit
+from conftest import THRESHOLD_GRID
+from repro.core import format_table, interpolate_at_traffic, sweep_thresholds
+from repro.speculation import ThresholdPolicy
+
+MAX_SIZES = [4_000.0, 15_000.0, 30_000.0, 60_000.0, math.inf]
+TRAFFIC_BUDGETS = [0.03, 0.10]
+
+
+def test_e2_maxsize(benchmark, paper_experiment):
+    curves = {}
+
+    def sweep():
+        for max_size in MAX_SIZES:
+            curves[max_size] = sweep_thresholds(
+                paper_experiment,
+                THRESHOLD_GRID,
+                policy_factory=lambda tp, ms=max_size: ThresholdPolicy(
+                    threshold=tp, max_size=ms
+                ),
+            )
+        return curves
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    best = {}
+    for budget in TRAFFIC_BUDGETS:
+        for max_size in MAX_SIZES:
+            ratios = interpolate_at_traffic(curves[max_size], budget)
+            label = "inf" if math.isinf(max_size) else f"{max_size / 1000:.0f} KB"
+            rows.append(
+                [
+                    f"{budget:.0%}",
+                    label,
+                    f"{ratios.server_load_reduction:.1%}",
+                    f"{ratios.service_time_reduction:.1%}",
+                ]
+            )
+            key = (budget, max_size)
+            best.setdefault(budget, (max_size, ratios.server_load_reduction))
+            if ratios.server_load_reduction > best[budget][1]:
+                best[budget] = (max_size, ratios.server_load_reduction)
+    emit(
+        "e2",
+        format_table(
+            ["traffic budget", "MaxSize", "load reduction", "time reduction"],
+            rows,
+            title="E2: MaxSize sweep (paper: 15KB optimal at 3%, 29KB at 10%)",
+        ),
+    )
+    winners = [
+        [
+            f"{budget:.0%}",
+            "inf" if math.isinf(best[budget][0]) else f"{best[budget][0] / 1000:.0f} KB",
+            f"{best[budget][1]:.1%}",
+        ]
+        for budget in TRAFFIC_BUDGETS
+    ]
+    emit("e2", format_table(["traffic budget", "best MaxSize", "load reduction"], winners))
+
+    # Capping speculation size helps under a tight bandwidth budget:
+    # some finite MaxSize does at least as well as no limit at 3%.
+    tight = {
+        ms: interpolate_at_traffic(curves[ms], 0.03).server_load_reduction
+        for ms in MAX_SIZES
+    }
+    finite_best = max(v for ms, v in tight.items() if not math.isinf(ms))
+    assert finite_best >= tight[math.inf] - 1e-9
+    # A tiny cap cripples speculation relative to the best choice.
+    assert tight[4_000.0] <= finite_best + 1e-9
+    # Larger budgets admit larger optimal caps (weak monotonicity).
+    assert best[0.10][0] >= best[0.03][0] or math.isinf(best[0.03][0])

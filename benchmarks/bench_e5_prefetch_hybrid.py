@@ -1,0 +1,84 @@
+"""E5 (section 3.4) — server-assisted prefetching and the hybrid protocol.
+
+Three ways to use the same dependency knowledge:
+
+* **speculation** — the server pushes likely documents (no extra server
+  requests; bandwidth risk on the server's side),
+* **server-assisted prefetch** — the server only attaches hints; the
+  client pulls what it wants (each prefetch is a server request),
+* **hybrid** — push near-certain embeddings, hint the rest.
+
+The paper argues prefetching complements speculation and suggests the
+hybrid split.  The structural difference to check: prefetching pays for
+its hits with server requests, speculation does not.
+"""
+
+from _harness import emit
+from repro.core import format_table
+from repro.speculation import ClientPrefetcher, HybridProtocol, ThresholdPolicy
+
+LEVEL = 0.25  # shared aggressiveness for all three protocols
+
+
+def test_e5_prefetch_and_hybrid(benchmark, paper_experiment):
+    results = {}
+
+    def sweep():
+        speculation, spec_run = paper_experiment.evaluate(
+            ThresholdPolicy(threshold=LEVEL)
+        )
+        results["speculation"] = (speculation, spec_run)
+
+        prefetch_ratios, prefetch_run = paper_experiment.evaluate(
+            None, prefetcher=ClientPrefetcher(threshold=LEVEL)
+        )
+        results["prefetch"] = (prefetch_ratios, prefetch_run)
+
+        hybrid = HybridProtocol.with_thresholds(prefetch_threshold=LEVEL)
+        hybrid_ratios, hybrid_run = paper_experiment.evaluate(
+            hybrid.policy, prefetcher=hybrid.prefetcher
+        )
+        results["hybrid"] = (hybrid_ratios, hybrid_run)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{ratios.traffic_increase:+.1%}",
+            f"{ratios.server_load_reduction:+.1%}",
+            f"{ratios.service_time_reduction:.1%}",
+            f"{ratios.miss_rate_reduction:.1%}",
+            run.prefetch_requests,
+        ]
+        for name, (ratios, run) in results.items()
+    ]
+    emit(
+        "e5",
+        format_table(
+            ["protocol", "traffic", "load red.", "time red.", "miss red.", "prefetches"],
+            rows,
+            title="E5: speculation vs server-assisted prefetch vs hybrid",
+        ),
+    )
+
+    speculation, spec_run = results["speculation"]
+    prefetch, prefetch_run = results["prefetch"]
+    hybrid, hybrid_run = results["hybrid"]
+
+    # Prefetching pays with server requests; speculation does not.
+    assert prefetch_run.prefetch_requests > 0
+    assert spec_run.prefetch_requests == 0
+    assert (
+        prefetch.server_load_ratio > speculation.server_load_ratio
+    ), "prefetch must cost more server load than speculation"
+
+    # All three improve service time and miss rate over the baseline.
+    for ratios, __ in results.values():
+        assert ratios.service_time_reduction > 0.0
+        assert ratios.miss_rate_reduction > 0.0
+
+    # The hybrid's server load sits at or below the pure-prefetch level
+    # (its embedding pushes replace some prefetch round trips).
+    assert hybrid.server_load_ratio <= prefetch.server_load_ratio + 0.02

@@ -1,0 +1,70 @@
+"""E6 (section 2.3) — the symmetric-cluster sizing claims.
+
+Equation 10 with the measured λ = 6.247×10⁻⁷ yields the paper's two
+storage estimates:
+
+* shielding 10 servers by 90% needs ~36 MB of proxy storage;
+* a 500 MB proxy shields 100 servers from ~96% of remote bandwidth.
+
+This bench recomputes both, cross-checks the closed form against the
+general eq. 4-5 allocator, and prints a sizing table.
+"""
+
+from _harness import emit, once
+from repro.core import format_table
+from repro.dissemination import (
+    ServerModel,
+    exponential_allocation,
+    symmetric_alpha,
+    symmetric_storage_for_reduction,
+)
+from repro.popularity.expmodel import PAPER_LAMBDA
+
+
+def test_e6_symmetric_sizing(benchmark):
+    storage_10 = once(
+        benchmark, symmetric_storage_for_reduction, 10, PAPER_LAMBDA, 0.90
+    )
+    alpha_100 = symmetric_alpha(100, PAPER_LAMBDA, 500e6)
+
+    rows = [
+        ["10 servers shielded by 90%", "36 MB", f"{storage_10 / 1e6:.1f} MB"],
+        ["500 MB proxy, 100 servers", "96%", f"{alpha_100:.1%}"],
+    ]
+    emit(
+        "e6",
+        format_table(
+            ["claim", "paper", "measured"],
+            rows,
+            title="E6: symmetric-cluster sizing (eq. 10, lambda = 6.247e-7)",
+        ),
+    )
+
+    sizing = []
+    for n_servers in (1, 10, 100):
+        for reduction in (0.5, 0.9, 0.99):
+            budget = symmetric_storage_for_reduction(
+                n_servers, PAPER_LAMBDA, reduction
+            )
+            sizing.append(
+                [n_servers, f"{reduction:.0%}", f"{budget / 1e6:.1f} MB"]
+            )
+    emit(
+        "e6",
+        format_table(
+            ["servers", "target reduction", "proxy storage"],
+            sizing,
+            title="proxy sizing table (eq. 10)",
+        ),
+    )
+
+    # The paper's two numeric claims.
+    assert 34e6 < storage_10 < 38e6
+    assert 0.95 < alpha_100 < 0.97
+
+    # Closed form agrees with the general allocator on symmetric input.
+    servers = [ServerModel(f"s{i}", 100.0, PAPER_LAMBDA) for i in range(10)]
+    general = exponential_allocation(servers, storage_10)
+    assert abs(general.alpha - 0.90) < 1e-9
+    for share in general.allocations.values():
+        assert abs(share - storage_10 / 10) < 1e-3

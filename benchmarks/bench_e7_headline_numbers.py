@@ -1,0 +1,79 @@
+"""E7 (section 3.3) — the paper's headline speculation numbers.
+
+"Using only 5% extra bandwidth results in a whopping 30% reduction in
+server load, a 23% reduction in service time, and an 18% reduction in
+client miss-rate.  Using 10% extra bandwidth results in a reduction of
+35%, 27%, and 23% ..." — with strongly diminishing returns beyond +50%.
+
+This bench interpolates the Figure-5 sweep at the paper's quoted traffic
+levels and prints paper-vs-measured side by side.  Absolute numbers are
+workload-dependent; the assertions check the *shape*: real double-digit
+gains at +5-10%, ordering load > time > miss preserved directionally,
+and tiny marginal value from +50% to +100%.
+"""
+
+from _harness import emit, once
+from repro.core import format_table, interpolate_at_traffic
+
+PAPER_NUMBERS = {
+    0.05: (0.30, 0.23, 0.18),
+    0.10: (0.35, 0.27, 0.23),
+    0.50: (0.45, 0.40, 0.35),
+    1.00: (0.52, 0.46, 0.37),
+}
+
+
+def test_e7_headline_numbers(benchmark, fig5_sweep):
+    measured = once(
+        benchmark,
+        lambda: {
+            level: interpolate_at_traffic(fig5_sweep, level)
+            for level in PAPER_NUMBERS
+        },
+    )
+
+    rows = []
+    for level, (paper_load, paper_time, paper_miss) in PAPER_NUMBERS.items():
+        ratios = measured[level]
+        rows.append(
+            [
+                f"+{level:.0%}",
+                f"{paper_load:.0%} / {ratios.server_load_reduction:.1%}",
+                f"{paper_time:.0%} / {ratios.service_time_reduction:.1%}",
+                f"{paper_miss:.0%} / {ratios.miss_rate_reduction:.1%}",
+            ]
+        )
+    emit(
+        "e7",
+        format_table(
+            [
+                "extra traffic",
+                "load red. (paper/ours)",
+                "time red. (paper/ours)",
+                "miss red. (paper/ours)",
+            ],
+            rows,
+            title="E7: headline numbers, paper vs measured",
+        ),
+    )
+
+    # Double-digit gains from small bandwidth budgets.
+    assert measured[0.05].server_load_reduction > 0.10
+    assert measured[0.10].server_load_reduction > 0.15
+
+    # Diminishing returns: the step from +50% to +100% adds far less
+    # than the first +10% bought (paper: +7/6/2 points only).
+    first = measured[0.10].server_load_reduction
+    marginal = (
+        measured[1.00].server_load_reduction
+        - measured[0.50].server_load_reduction
+    )
+    assert marginal < first
+
+    # Gains monotone in traffic spent.
+    levels = sorted(PAPER_NUMBERS)
+    for a, b in zip(levels, levels[1:]):
+        assert (
+            measured[b].server_load_reduction
+            >= measured[a].server_load_reduction - 1e-9
+        )

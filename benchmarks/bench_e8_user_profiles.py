@@ -1,0 +1,128 @@
+"""E8 (section 3.4, reference [5]) — client-initiated prefetching.
+
+The paper's preliminary finding about per-user profiles:
+
+    "client-initiated prefetching is extremely effective for access
+    patterns that involve frequently-traversed documents, but not
+    effective at all for access patterns that involve newly-traversed
+    documents.  For such access patterns, only speculative service
+    could improve performance."
+
+This bench replays two workloads — a *returning-visitor* workload (few
+clients, many sessions each, so users re-traverse their own paths) and
+a *first-visit* workload (many clients, ~one session each) — under
+pure client-side prefetching from user profiles vs server speculation.
+"""
+
+import dataclasses
+
+import pytest
+
+from _harness import emit
+from repro.config import BASELINE
+from repro.core import format_table
+from repro.speculation import (
+    DependencyModel,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+    UserProfilePrefetcher,
+    compare,
+    make_cache_factory,
+)
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+def _workload(preset_name, seed):
+    from repro.workload import preset
+
+    return SyntheticTraceGenerator(preset(preset_name, seed)).generate()
+
+
+def _evaluate(trace):
+    """(speculation ratios, user-prefetch ratios, prefetch count)."""
+    split = trace.start_time + 20 * 86_400.0
+    model = DependencyModel.estimate(
+        trace.window(trace.start_time, split), window=5.0
+    )
+    test = trace.window(split, trace.end_time + 1.0)
+    # A 60-minute session cache isolates per-visit behaviour, so the
+    # profile prefetcher (not the infinite cache) must do the work on
+    # repeat visits.
+    config = BASELINE.with_updates(session_timeout=3600.0)
+    simulator = SpeculativeServiceSimulator(test, config, model=model)
+    factory = make_cache_factory(3600.0)
+    baseline = simulator.run(None, cache_factory=factory)
+
+    speculation = simulator.run(
+        ThresholdPolicy(threshold=0.25), cache_factory=factory
+    )
+    prefetcher = UserProfilePrefetcher(threshold=0.4, min_support=2)
+    # Let the prefetcher learn the training period first.
+    for request in trace.window(trace.start_time, split):
+        prefetcher.observe(request.client, request.doc_id, request.timestamp)
+    profile_run = simulator.run(
+        None, cache_factory=factory, prefetcher=prefetcher
+    )
+    return (
+        compare(speculation.metrics, baseline.metrics),
+        compare(profile_run.metrics, baseline.metrics),
+        profile_run.prefetch_requests,
+    )
+
+
+def test_e8_user_profile_prefetching(benchmark):
+    results = {}
+
+    def run_all():
+        # Returning visitors: 40 clients, ~45 sessions each.
+        results["frequently-traversed"] = _evaluate(
+            _workload("returning-visitors", 41)
+        )
+        # First visits: 1800 clients, ~1 session each.
+        results["newly-traversed"] = _evaluate(_workload("first-visits", 42))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for pattern, (speculation, profile, prefetches) in results.items():
+        rows.append(
+            [
+                pattern,
+                "server speculation",
+                f"{speculation.miss_rate_reduction:.1%}",
+                f"{speculation.service_time_reduction:.1%}",
+                "-",
+            ]
+        )
+        rows.append(
+            [
+                pattern,
+                "user-profile prefetch",
+                f"{profile.miss_rate_reduction:.1%}",
+                f"{profile.service_time_reduction:.1%}",
+                prefetches,
+            ]
+        )
+    emit(
+        "e8",
+        format_table(
+            ["access pattern", "protocol", "miss red.", "time red.", "prefetches"],
+            rows,
+            title=(
+                "E8: client-initiated prefetching from user profiles "
+                "(paper: great on repeat traversals, useless on new ones)"
+            ),
+        ),
+    )
+
+    spec_freq, prof_freq, prefetches_freq = results["frequently-traversed"]
+    spec_new, prof_new, prefetches_new = results["newly-traversed"]
+
+    # Repeat traversals: the user profile meaningfully cuts misses.
+    assert prof_freq.miss_rate_reduction > 0.05
+    assert prefetches_freq > 100
+    # Newly-traversed patterns: the profile prefetcher is powerless...
+    assert prof_new.miss_rate_reduction < prof_freq.miss_rate_reduction / 2
+    # ...while server speculation still works there.
+    assert spec_new.miss_rate_reduction > 0.10

@@ -1,0 +1,72 @@
+"""Figure 2 — optimal storage allocation for equally popular servers.
+
+Equation 7's closed form: with all rates equal, how much proxy storage
+should server ``j`` get as a function of its popularity skew ``λ_j``,
+when the other n−1 servers share a common ``λ_i``?  The paper plots two
+budgets: tight (``B_0 = 1/λ_i``) and lax (``B_0 = 10/λ_i``).  Shape:
+under a lax budget more-uniform servers (small λ_j) get more storage;
+under a tight budget intermediate λ_j is favoured (a hump).
+"""
+
+import numpy as np
+
+from _harness import emit, once
+from repro.core import format_series
+from repro.dissemination import equal_popularity_allocation
+
+LAM_OTHERS = 1e-6
+#: One peer server: the smallest cluster where the trade-off is visible
+#: without the unconstrained closed form diving far negative.
+N_OTHERS = 1
+#: λ_j / λ_i ratios swept (log-spaced, as in the paper's figure).
+RATIOS = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
+
+
+def _allocation_curve(budget: float) -> list[float]:
+    shares = []
+    for ratio in RATIOS:
+        lam_j = LAM_OTHERS * ratio
+        allocations = equal_popularity_allocation(
+            [lam_j] + [LAM_OTHERS] * N_OTHERS, budget
+        )
+        shares.append(allocations[0])
+    return shares
+
+
+def test_fig2_storage_allocation(benchmark):
+    tight_budget = 1.0 / LAM_OTHERS
+    lax_budget = 10.0 / LAM_OTHERS
+
+    tight = once(benchmark, _allocation_curve, tight_budget)
+    lax = _allocation_curve(lax_budget)
+
+    emit(
+        "fig2",
+        format_series(
+            "Figure 2 (tight budget B0 = 1/lambda): storage for server j",
+            RATIOS,
+            [s / tight_budget for s in tight],
+            x_label="lambda_j / lambda_i",
+            y_label="B_j / B0",
+        ),
+    )
+    emit(
+        "fig2",
+        format_series(
+            "Figure 2 (lax budget B0 = 10/lambda): storage for server j",
+            RATIOS,
+            [s / lax_budget for s in lax],
+            x_label="lambda_j / lambda_i",
+            y_label="B_j / B0",
+        ),
+    )
+
+    # Tight budget: interior hump (extremes get less than the middle).
+    peak = int(np.argmax(tight))
+    assert 0 < peak < len(RATIOS) - 1
+    # Lax budget: smaller lambda_j (more uniform popularity) gets more.
+    assert lax[0] > lax[-1]
+    # At lambda_j = lambda_i both curves give the even split B0/n.
+    even_index = RATIOS.index(1.0)
+    assert tight[even_index] == np.float64(tight_budget) / (N_OTHERS + 1)
+    assert abs(lax[even_index] - lax_budget / (N_OTHERS + 1)) < 1e-6

@@ -1,0 +1,56 @@
+"""Figure 4 — histogram of document pairs by dependency probability.
+
+The paper computes P over one month of trace with T_w = 5 s and plots
+the number of (D_i, D_j) pairs per probability range.  Shape: peaks
+near 1/k for small integers k (uniform anchor choice among a page's k
+links), with the rightmost peak (p ≈ 1) contributed by embedding
+dependencies.
+"""
+
+from _harness import emit, once
+from repro.config import SECONDS_PER_DAY
+from repro.core import format_series
+from repro.speculation import DependencyModel
+
+N_BINS = 20
+
+
+def test_fig4_dependency_histogram(benchmark, paper_trace):
+    month = paper_trace.window(
+        paper_trace.start_time, paper_trace.start_time + 30 * SECONDS_PER_DAY
+    )
+    model = once(benchmark, DependencyModel.estimate, month, window=5.0)
+    histogram = model.pair_histogram(N_BINS)
+
+    centers = [
+        (histogram.bin_edges[i] + histogram.bin_edges[i + 1]) / 2
+        for i in range(N_BINS)
+    ]
+    emit(
+        "fig4",
+        format_series(
+            f"Figure 4: # of (Di,Dj) pairs per p[i,j] range "
+            f"({histogram.total_pairs} pairs, Tw=5s, 30-day trace)",
+            centers,
+            list(histogram.counts),
+            x_label="p[i,j]",
+            y_label="pairs",
+            y_format="{:.0f}",
+        ),
+    )
+
+    counts = histogram.counts
+    assert histogram.total_pairs > 100
+
+    # Rightmost bin (embedding dependencies, p ~ 1) is a local peak.
+    assert counts[-1] > counts[-2]
+
+    # A peak exists near 1/2 and/or 1/3 (traversal anchors): the bin
+    # containing 1/k exceeds its upper neighbour for some k in 2..4.
+    def bin_of(p):
+        return min(int(p * N_BINS), N_BINS - 1)
+
+    traversal_peak = any(
+        counts[bin_of(1.0 / k)] > counts[bin_of(1.0 / k) + 1] for k in (2, 3, 4)
+    )
+    assert traversal_peak, f"no 1/k peak: {counts}"

@@ -1,0 +1,64 @@
+"""Figure 5 — baseline simulation results across speculation levels.
+
+The paper sweeps the threshold T_p of the baseline policy
+(``p*[i,j] >= T_p``) and plots the reduction in server load, service
+time and client miss rate, together with the traffic increase.  Shape:
+gains rise as T_p falls, traffic explodes below a knee, and near
+T_p ≈ 1 (embedding dependencies only) the traffic increase is ~0.
+"""
+
+from _harness import emit
+from conftest import THRESHOLD_GRID
+from repro.core import format_table
+
+
+def test_fig5_baseline_sweep(benchmark, fig5_sweep, paper_experiment):
+    # The sweep itself is the session fixture; time one extra point.
+    from repro.speculation import ThresholdPolicy
+
+    benchmark.pedantic(
+        paper_experiment.evaluate,
+        args=(ThresholdPolicy(threshold=0.3),),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in fig5_sweep:
+        ratios = point.ratios
+        rows.append(
+            [
+                f"{point.parameter:.2f}",
+                f"{ratios.traffic_increase:+.1%}",
+                f"{ratios.server_load_reduction:.1%}",
+                f"{ratios.service_time_reduction:.1%}",
+                f"{ratios.miss_rate_reduction:.1%}",
+            ]
+        )
+    emit(
+        "fig5",
+        format_table(
+            ["T_p", "traffic increase", "load reduction", "time reduction", "miss reduction"],
+            rows,
+            title="Figure 5: baseline simulation results vs speculation level",
+        ),
+    )
+
+    by_threshold = {p.parameter: p.ratios for p in fig5_sweep}
+
+    # Embedding-dependency regime (T_p ~ 1): almost no extra traffic.
+    assert by_threshold[0.95].traffic_increase < 0.02
+
+    # Lowering the threshold never decreases traffic; gains never shrink.
+    ordered = [by_threshold[t] for t in sorted(by_threshold, reverse=True)]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later.traffic_increase >= earlier.traffic_increase - 1e-9
+        assert later.server_load_reduction >= earlier.server_load_reduction - 0.01
+
+    # Meaningful gains exist at moderate speculation.
+    assert by_threshold[0.25].server_load_reduction > 0.15
+    # All reductions stay in [0, 1).
+    for ratios in by_threshold.values():
+        assert 0.0 <= ratios.server_load_reduction < 1.0
+        assert 0.0 <= ratios.service_time_reduction < 1.0
+        assert 0.0 <= ratios.miss_rate_reduction < 1.0

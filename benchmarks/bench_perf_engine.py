@@ -1,0 +1,78 @@
+"""Engine performance benchmarks (not paper figures).
+
+Timed with multiple rounds so pytest-benchmark's statistics are
+meaningful: trace generation throughput, dependency-model estimation,
+and the simulator's replay rate.  These guard against performance
+regressions in the core loops; the figure/table benches above them are
+single-shot reproductions.
+"""
+
+import pytest
+
+from repro.config import BASELINE
+from repro.speculation import (
+    DependencyModel,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+)
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+CONFIG = GeneratorConfig(
+    seed=77, n_pages=120, n_clients=150, n_sessions=1500, duration_days=30
+)
+
+
+@pytest.fixture(scope="module")
+def perf_trace():
+    return SyntheticTraceGenerator(CONFIG).generate()
+
+
+@pytest.fixture(scope="module")
+def perf_model(perf_trace):
+    return DependencyModel.estimate(perf_trace, window=5.0)
+
+
+def test_perf_trace_generation(benchmark):
+    def generate():
+        return SyntheticTraceGenerator(CONFIG).generate()
+
+    trace = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(trace) > 5_000
+
+
+def test_perf_dependency_estimation(benchmark, perf_trace):
+    model = benchmark.pedantic(
+        DependencyModel.estimate,
+        args=(perf_trace,),
+        kwargs={"window": 5.0},
+        rounds=3,
+        iterations=1,
+    )
+    assert model.documents()
+
+
+def test_perf_baseline_replay(benchmark, perf_trace, perf_model):
+    simulator = SpeculativeServiceSimulator(perf_trace, BASELINE, model=perf_model)
+    run = benchmark.pedantic(simulator.run, args=(None,), rounds=3, iterations=1)
+    assert run.accesses == len(perf_trace)
+
+
+def test_perf_speculative_replay(benchmark, perf_trace, perf_model):
+    simulator = SpeculativeServiceSimulator(perf_trace, BASELINE, model=perf_model)
+    policy = ThresholdPolicy(threshold=0.25)
+    run = benchmark.pedantic(simulator.run, args=(policy,), rounds=3, iterations=1)
+    assert run.metrics.speculated_documents > 0
+
+
+def test_perf_closure_queries(benchmark, perf_model):
+    documents = sorted(perf_model.occurrence_counts)[:200]
+
+    def closure_pass():
+        # Fresh model so memoization does not trivialize the timing.
+        fresh = DependencyModel.from_counts(
+            perf_model.pair_counts, perf_model.occurrence_counts
+        )
+        return sum(len(fresh.closure_row(doc)) for doc in documents)
+
+    total = benchmark.pedantic(closure_pass, rounds=3, iterations=1)
+    assert total >= 0

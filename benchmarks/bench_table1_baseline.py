@@ -1,0 +1,52 @@
+"""Table 1 — the baseline parameter settings, and a baseline run.
+
+Prints the paper's baseline parameter table verbatim from
+:class:`repro.config.BaselineConfig` and validates that a baseline
+(no-speculation) replay under those parameters behaves sanely.
+"""
+
+import math
+
+from _harness import emit, once
+from repro.config import BASELINE
+from repro.core import format_table
+
+
+def test_table1_baseline_parameters(benchmark, paper_experiment):
+    emit(
+        "table1",
+        format_table(
+            ["Parameter", "Base Value"],
+            BASELINE.as_table_rows(),
+            title="Table 1: baseline model parameters",
+        ),
+    )
+
+    run = once(benchmark, paper_experiment.baseline)
+    emit(
+        "table1",
+        format_table(
+            ["baseline quantity", "value"],
+            [
+                ["client accesses", f"{run.accesses:,}"],
+                ["server requests", f"{run.metrics.server_requests:,}"],
+                ["client cache hit rate", f"{run.hit_rate:.1%}"],
+                ["bytes sent", f"{run.metrics.bytes_sent / 1e6:.1f} MB"],
+                ["byte miss rate", f"{run.metrics.miss_rate:.2f}"],
+            ],
+        ),
+    )
+
+    # Paper's exact baseline values.
+    assert BASELINE.comm_cost == 1.0
+    assert BASELINE.serv_cost == 10_000.0
+    assert BASELINE.stride_timeout == 5.0
+    assert math.isinf(BASELINE.session_timeout)
+    assert math.isinf(BASELINE.max_size)
+    assert BASELINE.history_length_days == 60.0
+    assert BASELINE.update_cycle_days == 1.0
+
+    # Baseline sanity: no speculation happened, caching works.
+    assert run.metrics.speculated_documents == 0
+    assert run.metrics.server_requests + run.cache_hits == run.accesses
+    assert 0.0 < run.hit_rate < 1.0

@@ -1,0 +1,60 @@
+"""How robust are the paper's conclusions to the workload?
+
+The reproduction's numbers come from one calibrated workload; a careful
+reader asks how they move when the workload's character changes.  This
+example sweeps three generator knobs — traversal predictability
+(``jump_probability``), popularity skew (``popularity_alpha``) and page
+richness (``mean_embedded``) — and reports the speculation trade-off at
+each setting.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.core import format_table, workload_sensitivity
+from repro.speculation import ThresholdPolicy
+from repro.workload import GeneratorConfig
+
+BASE = GeneratorConfig(
+    seed=3, n_pages=120, n_clients=120, n_sessions=1200, duration_days=20,
+    mean_links=3.0,
+)
+POLICY = ThresholdPolicy(threshold=0.25)
+
+SWEEPS = {
+    "jump_probability": [0.0, 0.3, 0.7],
+    "popularity_alpha": [0.6, 1.2, 1.8],
+    "mean_embedded": [0.0, 0.5, 2.0],
+}
+
+
+def main() -> None:
+    for parameter, values in SWEEPS.items():
+        points = workload_sensitivity(
+            parameter, values, base_config=BASE, policy=POLICY
+        )
+        rows = [
+            [
+                f"{point.value:g}",
+                f"{point.n_requests:,}",
+                f"{point.ratios.traffic_increase:+.1%}",
+                f"{point.ratios.server_load_reduction:.1%}",
+                f"{point.ratios.service_time_reduction:.1%}",
+            ]
+            for point in points
+        ]
+        print(
+            format_table(
+                [parameter, "requests", "traffic", "load red.", "time red."],
+                rows,
+                title=f"\nsensitivity to {parameter} (T_p = 0.25)",
+            )
+        )
+    print(
+        "\nreading: gains track how predictable the workload is — more "
+        "random jumps erode them,\nstronger popularity skew and richer "
+        "pages (more embedded objects) amplify them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""A speculative web server in operation.
+
+Shows the :class:`repro.core.SpeculativeServer` facade the way a
+deployment would drive it:
+
+* train from the access log (with aging, so stale link structure fades),
+* answer requests — each response bundles the demand document, the
+  speculative push set, and a prefetch hint list,
+* serve a cooperative client that piggybacks its cache digest, and
+* compare the hint lists before and after the site's link structure
+  changes.
+
+Run:  python examples/speculative_web_server.py
+"""
+
+from repro.config import BaselineConfig
+from repro.core import SpeculativeServer, format_table
+from repro.trace import Trace
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+def main() -> None:
+    generator = SyntheticTraceGenerator(
+        GeneratorConfig(
+            seed=7, n_pages=120, n_clients=150, n_sessions=1200, duration_days=30
+        )
+    )
+    log = generator.generate()
+    catalog = log.documents
+    config = BaselineConfig(threshold=0.3)
+
+    server = SpeculativeServer(catalog, config, decay_per_day=0.9)
+    server.fit(log)
+    print(f"trained on {len(log):,} logged accesses, {len(catalog):,} documents\n")
+
+    # Pick a popular page to inspect.
+    popular_page = generator.site.pages[0].doc_id
+    response = server.respond(popular_page)
+
+    print(f"GET {popular_page}")
+    print(f"  speculatively pushed: {list(response.speculated) or '(nothing)'}")
+    rows = [
+        [hint.doc_id, f"{hint.probability:.2f}", catalog[hint.doc_id].size]
+        for hint in response.hints[:8]
+        if hint.doc_id in catalog
+    ]
+    print(format_table(["hinted document", "p*", "bytes"], rows, title="\nprefetch hints"))
+
+    # A cooperative client that already caches some of the push set.
+    digest = frozenset(response.speculated[:1])
+    cooperative = server.respond(popular_page, cache_digest=digest)
+    print(
+        f"\ncooperative client (caches {len(digest)} of them) now receives: "
+        f"{list(cooperative.speculated) or '(nothing new)'}"
+    )
+
+    # Site behaviour changes: keep observing and the model follows.
+    followup = generator.generate()  # fresh traffic, same site
+    server.observe(
+        Trace(list(followup), catalog.values(), sort=True)
+    )
+    refreshed = server.respond(popular_page)
+    print(
+        f"\nafter observing {len(followup):,} more accesses the push set is "
+        f"{list(refreshed.speculated) or '(nothing)'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""``python -m repro`` entry point.
+
+Dispatches to the command-line interface; see ``repro --help``.
+"""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,18 @@
+"""Command-line interface.
+
+``repro`` (or ``python -m repro``) exposes the library's pipelines as
+subcommands:
+
+* ``repro generate`` — write a calibrated synthetic trace as a Common
+  Log Format file.
+* ``repro analyze``  — the section-2 measurement pipeline over a log
+  (cleaning, classification, block analysis, λ fit).
+* ``repro simulate`` — the section-3 speculative-service experiment
+  (train/test split, threshold sweep, the four ratios).
+* ``repro plan``     — dissemination storage planning for one or more
+  server logs.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,336 @@
+"""Implementations of the ``repro`` subcommands."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from ..config import BASELINE
+from ..core import DisseminationPlanner, Experiment, format_table
+from ..errors import ReproError
+from ..popularity import (
+    PopularityProfile,
+    analyze_blocks,
+    classify_documents,
+    count_classes,
+    fit_lambda,
+)
+from ..speculation import ThresholdPolicy
+from ..trace import Trace, TraceCleaner, read_clf, write_clf
+from ..workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+class CommandError(Exception):
+    """A user-facing CLI failure (bad input, unusable data)."""
+
+
+def _load_trace(path: str, local_domains: list[str]) -> Trace:
+    log_path = Path(path)
+    if not log_path.exists():
+        raise CommandError(f"log file not found: {path}")
+    with log_path.open() as handle:
+        trace = read_clf(handle, local_domains=local_domains)
+    if len(trace) == 0:
+        raise CommandError(f"no parsable CLF lines in {path}")
+    return trace
+
+
+def cmd_generate(args) -> None:
+    """``repro generate`` — write a synthetic trace as a CLF log."""
+    try:
+        if args.paper_scale:
+            config = GeneratorConfig.paper_scale(seed=args.seed)
+        else:
+            config = GeneratorConfig(
+                seed=args.seed,
+                n_pages=args.pages,
+                n_clients=args.clients,
+                n_sessions=args.sessions,
+                duration_days=args.days,
+            )
+        trace = SyntheticTraceGenerator(config).generate()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    output = Path(args.output)
+    with output.open("w") as handle:
+        for line in write_clf(trace):
+            handle.write(line + "\n")
+    print(
+        f"wrote {len(trace):,} accesses ({len(trace.documents):,} documents, "
+        f"{trace.duration / 86400:.1f} days) to {output}"
+    )
+
+
+def cmd_analyze(args) -> None:
+    """``repro analyze`` — the section-2 measurement pipeline."""
+    trace = _load_trace(args.log, args.local_domain)
+    if getattr(args, "sample", None) is not None:
+        from ..trace import sample_clients
+
+        try:
+            trace = sample_clients(trace, args.sample)
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        print(
+            f"sampled {args.sample:.0%} of clients: "
+            f"{len(trace):,} requests remain"
+        )
+    if not args.no_clean:
+        trace, report = TraceCleaner().clean(trace)
+        print(
+            f"cleaned: kept {report.kept:,}, dropped {report.dropped:,}, "
+            f"renamed {report.aliases_renamed:,}"
+        )
+        if len(trace) == 0:
+            raise CommandError("cleaning removed every request")
+
+    profile = PopularityProfile.from_trace(trace)
+    counts = count_classes(classify_documents(profile))
+    print(
+        format_table(
+            ["remotely popular", "globally popular", "locally popular"],
+            [[counts.remote, counts.global_, counts.local]],
+            title="\ndocument classes (remote-ratio >85% / between / <15%)",
+        )
+    )
+
+    analysis = analyze_blocks(profile, block_bytes=args.block_kb * 1024)
+    if analysis.blocks:
+        print(
+            format_table(
+                ["blocks", "top-block share", "top-10% share"],
+                [
+                    [
+                        len(analysis.blocks),
+                        f"{analysis.top_block_request_share:.1%}",
+                        f"{analysis.share_of_top_fraction(0.10):.1%}",
+                    ]
+                ],
+                title=f"\n{args.block_kb} KB block analysis (Figure 1)",
+            )
+        )
+    curve_bytes, coverage = profile.coverage_curve()
+    if curve_bytes.size:
+        lam = fit_lambda(curve_bytes, coverage)
+        print(f"\nexponential popularity fit: lambda = {lam:.4g} /byte")
+    else:
+        print("\nno remote accesses: lambda not fitted")
+
+
+def cmd_simulate(args) -> None:
+    """``repro simulate`` — the section-3 experiment over a log."""
+    trace = _load_trace(args.log, args.local_domain)
+    train_days = args.train_days
+    if train_days is None:
+        train_days = max(trace.duration / 86_400.0 / 2.0, 1e-6)
+
+    config = BASELINE
+    if args.max_size_kb is not None:
+        config = config.with_updates(max_size=args.max_size_kb * 1024)
+
+    try:
+        experiment = Experiment(trace, config, train_days=train_days)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    if args.digest_fp is not None and not args.cooperative:
+        raise CommandError("--digest-fp requires --cooperative")
+    evaluate_kwargs = dict(
+        cooperative=args.cooperative, digest_fp_rate=args.digest_fp
+    )
+
+    rows = []
+    if args.adaptive_budget is not None:
+        from ..speculation import AdaptiveBudgetPolicy
+
+        if args.adaptive_budget < 0:
+            raise CommandError("--adaptive-budget must be non-negative")
+        policy = AdaptiveBudgetPolicy(
+            target_traffic_increase=args.adaptive_budget,
+            max_size=config.max_size,
+        )
+        ratios, __ = experiment.evaluate(policy, **evaluate_kwargs)
+        rows.append(
+            [
+                f"adaptive@{args.adaptive_budget:.0%}",
+                f"{ratios.traffic_increase:+.1%}",
+                f"{ratios.server_load_reduction:.1%}",
+                f"{ratios.service_time_reduction:.1%}",
+                f"{ratios.miss_rate_reduction:.1%}",
+            ]
+        )
+    else:
+        thresholds = args.threshold or [0.9, 0.5, 0.25, 0.1]
+        for threshold in thresholds:
+            if not 0.0 < threshold <= 1.0:
+                raise CommandError(f"threshold {threshold} outside (0, 1]")
+            policy = ThresholdPolicy(
+                threshold=threshold, max_size=config.max_size
+            )
+            ratios, __ = experiment.evaluate(policy, **evaluate_kwargs)
+            rows.append(
+                [
+                    f"{threshold:.2f}",
+                    f"{ratios.traffic_increase:+.1%}",
+                    f"{ratios.server_load_reduction:.1%}",
+                    f"{ratios.service_time_reduction:.1%}",
+                    f"{ratios.miss_rate_reduction:.1%}",
+                ]
+            )
+    mode = "cooperative" if args.cooperative else "non-cooperative"
+    print(
+        format_table(
+            ["policy", "traffic", "load red.", "time red.", "miss red."],
+            rows,
+            title=(
+                f"speculative service ({mode} clients, "
+                f"{train_days:.1f} training days)"
+            ),
+        )
+    )
+
+
+def cmd_fit(args) -> None:
+    """``repro fit`` — estimate a workload configuration from a log."""
+    import dataclasses
+
+    from ..workload import SyntheticTraceGenerator, fit_generator_config
+
+    trace = _load_trace(args.log, args.local_domain)
+    try:
+        fitted = fit_generator_config(trace, seed=args.seed)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    rows = []
+    for field in dataclasses.fields(fitted.config):
+        value = getattr(fitted.config, field.name)
+        provenance = fitted.measured.get(field.name)
+        if provenance is None:
+            provenance = (
+                "(assumed default)" if field.name in fitted.assumed else ""
+            )
+        rows.append([field.name, f"{value:g}" if isinstance(value, float) else value, provenance])
+    print(
+        format_table(
+            ["parameter", "value", "fitted from"],
+            rows,
+            title=f"workload configuration fitted from {args.log}",
+        )
+    )
+
+    if args.regenerate:
+        twin = SyntheticTraceGenerator(fitted.config).generate()
+        output = Path(args.regenerate)
+        with output.open("w") as handle:
+            for line in write_clf(twin):
+                handle.write(line + "\n")
+        print(
+            f"\nwrote a {len(twin):,}-access synthetic twin to {output} "
+            f"(source had {len(trace):,})"
+        )
+
+
+def cmd_report(args) -> None:
+    """``repro report`` — the headline evaluation as one markdown file."""
+    from ..core.report import generate_report
+
+    try:
+        markdown = generate_report(args.preset, args.seed)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    output = Path(args.out)
+    output.write_text(markdown)
+    print(f"wrote evaluation report to {output}")
+
+
+def cmd_sweep(args) -> None:
+    """``repro sweep`` — the Figure-5 threshold sweep over a log."""
+    from ..core import sweep_thresholds
+
+    trace = _load_trace(args.log, args.local_domain)
+    train_days = args.train_days
+    if train_days is None:
+        train_days = max(trace.duration / 86_400.0 / 2.0, 1e-6)
+    try:
+        thresholds = [float(part) for part in args.thresholds.split(",") if part]
+    except ValueError as error:
+        raise CommandError(f"bad threshold list: {error}") from error
+    if not thresholds:
+        raise CommandError("empty threshold list")
+    for threshold in thresholds:
+        if not 0.0 < threshold <= 1.0:
+            raise CommandError(f"threshold {threshold} outside (0, 1]")
+
+    try:
+        experiment = Experiment(trace, BASELINE, train_days=train_days)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    points = sweep_thresholds(experiment, thresholds)
+
+    header = [
+        "threshold",
+        "traffic_increase",
+        "load_reduction",
+        "time_reduction",
+        "miss_reduction",
+    ]
+    csv_rows = [
+        [
+            f"{point.parameter:g}",
+            f"{point.ratios.traffic_increase:.6f}",
+            f"{point.ratios.server_load_reduction:.6f}",
+            f"{point.ratios.service_time_reduction:.6f}",
+            f"{point.ratios.miss_rate_reduction:.6f}",
+        ]
+        for point in points
+    ]
+    if args.csv:
+        with Path(args.csv).open("w") as handle:
+            handle.write(",".join(header) + "\n")
+            for row in csv_rows:
+                handle.write(",".join(row) + "\n")
+        print(f"wrote {len(csv_rows)} sweep points to {args.csv}")
+    else:
+        print(format_table(header, csv_rows, title="threshold sweep (Figure 5)"))
+
+
+def cmd_plan(args) -> None:
+    """``repro plan`` — dissemination storage planning."""
+    if args.budget_mb <= 0:
+        raise CommandError("--budget-mb must be positive")
+    planner = DisseminationPlanner()
+    for spec in args.logs:
+        if "=" in spec:
+            name, __, path = spec.partition("=")
+        else:
+            name, path = Path(spec).stem, spec
+        try:
+            planner.add_server(name, _load_trace(path, args.local_domain))
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+
+    try:
+        plan = planner.plan(args.budget_mb * 1e6)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    rows = [
+        [
+            name,
+            f"{plan.allocations[name] / 1e6:.2f} MB",
+            len(plan.documents[name]),
+        ]
+        for name in planner.servers
+    ]
+    print(
+        format_table(
+            ["server", "granted storage", "documents"],
+            rows,
+            title=(
+                f"plan for {args.budget_mb:g} MB: intercepts "
+                f"{plan.expected_alpha:.1%} of remote requests "
+                f"(empirical {plan.empirical_alpha:.1%})"
+            ),
+        )
+    )

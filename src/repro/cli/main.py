@@ -1,0 +1,197 @@
+"""Argument parsing and dispatch for the ``repro`` command."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .. import __version__
+from . import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Speculative data dissemination and service "
+            "(reproduction of Bestavros, ICDE 1996)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write a calibrated synthetic trace as a CLF log"
+    )
+    generate.add_argument("output", help="path of the log file to write")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--pages", type=int, default=300)
+    generate.add_argument("--clients", type=int, default=200)
+    generate.add_argument("--sessions", type=int, default=2000)
+    generate.add_argument("--days", type=float, default=30.0)
+    generate.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the configuration calibrated to the paper's trace",
+    )
+    generate.set_defaults(handler=commands.cmd_generate)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="popularity analysis of a CLF log (paper section 2)"
+    )
+    analyze.add_argument("log", help="CLF log file")
+    analyze.add_argument(
+        "--local-domain",
+        action="append",
+        default=[],
+        help="domain suffix counted as local (repeatable)",
+    )
+    analyze.add_argument(
+        "--block-kb", type=int, default=256, help="block size for Figure 1"
+    )
+    analyze.add_argument(
+        "--no-clean", action="store_true", help="skip footnote-6 cleaning"
+    )
+    analyze.add_argument(
+        "--sample",
+        type=float,
+        default=None,
+        help="keep only this fraction of clients (whole streams) "
+        "before analyzing — for very large logs",
+    )
+    analyze.set_defaults(handler=commands.cmd_analyze)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="speculative-service experiment over a CLF log (section 3)",
+    )
+    simulate.add_argument("log", help="CLF log file")
+    simulate.add_argument(
+        "--local-domain", action="append", default=[], help="local domain suffix"
+    )
+    simulate.add_argument(
+        "--threshold",
+        type=float,
+        action="append",
+        default=[],
+        help="T_p value to evaluate (repeatable; default a small sweep)",
+    )
+    simulate.add_argument(
+        "--train-days",
+        type=float,
+        default=None,
+        help="history used to estimate P/P* (default: half the trace)",
+    )
+    simulate.add_argument(
+        "--cooperative", action="store_true", help="clients piggyback digests"
+    )
+    simulate.add_argument(
+        "--digest-fp",
+        type=float,
+        default=None,
+        help="encode cooperative digests as Bloom filters at this "
+        "false-positive rate",
+    )
+    simulate.add_argument(
+        "--adaptive-budget",
+        type=float,
+        default=None,
+        help="replace the threshold sweep with the self-tuning policy "
+        "targeting this traffic increase (e.g. 0.05)",
+    )
+    simulate.add_argument(
+        "--max-size-kb", type=float, default=None, help="MaxSize cap in KB"
+    )
+    simulate.set_defaults(handler=commands.cmd_simulate)
+
+    fit = subparsers.add_parser(
+        "fit",
+        help="estimate a synthetic-workload configuration from a CLF log",
+    )
+    fit.add_argument("log", help="CLF log file")
+    fit.add_argument(
+        "--local-domain", action="append", default=[], help="local domain suffix"
+    )
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument(
+        "--regenerate",
+        default=None,
+        help="also write a synthetic twin trace (CLF) to this path",
+    )
+    fit.set_defaults(handler=commands.cmd_fit)
+
+    report = subparsers.add_parser(
+        "report",
+        help="run the headline paper evaluation on a preset and write markdown",
+    )
+    report.add_argument(
+        "--preset",
+        default="paper",
+        help="workload preset (see repro.workload.preset_names)",
+    )
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--out", default="report.md", help="markdown output path"
+    )
+    report.set_defaults(handler=commands.cmd_report)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="Figure-5 style threshold sweep over a CLF log, CSV output",
+    )
+    sweep.add_argument("log", help="CLF log file")
+    sweep.add_argument(
+        "--local-domain", action="append", default=[], help="local domain suffix"
+    )
+    sweep.add_argument(
+        "--train-days", type=float, default=None, help="history for P/P*"
+    )
+    sweep.add_argument(
+        "--thresholds",
+        default="0.95,0.75,0.5,0.35,0.25,0.15,0.1,0.05",
+        help="comma-separated T_p grid",
+    )
+    sweep.add_argument(
+        "--csv", default=None, help="write the sweep as CSV to this path"
+    )
+    sweep.set_defaults(handler=commands.cmd_sweep)
+
+    plan = subparsers.add_parser(
+        "plan", help="dissemination storage planning for server logs"
+    )
+    plan.add_argument(
+        "logs", nargs="+", help="one CLF log per home server (name=path or path)"
+    )
+    plan.add_argument(
+        "--budget-mb", type=float, required=True, help="proxy storage budget"
+    )
+    plan.add_argument(
+        "--local-domain", action="append", default=[], help="local domain suffix"
+    )
+    plan.set_defaults(handler=commands.cmd_plan)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Returns:
+        Process exit code (0 on success, 2 on a usage/data error).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.handler(args)
+    except commands.CommandError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

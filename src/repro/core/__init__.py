@@ -1,0 +1,42 @@
+"""High-level API: facades, experiment sweeps, and report rendering.
+
+* :mod:`repro.core.server` — :class:`SpeculativeServer`, the
+  deployable-shaped facade of the speculative-service protocol.
+* :mod:`repro.core.planner` — :class:`DisseminationPlanner`, the
+  equivalent facade for the dissemination protocol.
+* :mod:`repro.core.experiment` — train/test preparation, threshold
+  sweeps, and traffic-level interpolation used by the benchmarks.
+* :mod:`repro.core.reporting` — plain-text tables and series for the
+  benchmark harness output.
+"""
+
+from .server import SpeculativeResponse, SpeculativeServer
+from .planner import DisseminationPlan, DisseminationPlanner
+from .experiment import (
+    Experiment,
+    SweepPoint,
+    interpolate_at_traffic,
+    sweep_thresholds,
+    train_test_split,
+)
+from .reporting import format_series, format_table
+from .sensitivity import SensitivityPoint, workload_sensitivity
+from .combined import CombinedProtocolSimulator, CombinedResult
+
+__all__ = [
+    "SpeculativeServer",
+    "SpeculativeResponse",
+    "DisseminationPlanner",
+    "DisseminationPlan",
+    "Experiment",
+    "SweepPoint",
+    "train_test_split",
+    "sweep_thresholds",
+    "interpolate_at_traffic",
+    "format_table",
+    "format_series",
+    "SensitivityPoint",
+    "workload_sensitivity",
+    "CombinedProtocolSimulator",
+    "CombinedResult",
+]

@@ -1,0 +1,134 @@
+"""The dissemination planner facade.
+
+:class:`DisseminationPlanner` packages the section-2 protocol: feed it
+each member server's trace, then ask for a plan — how the proxy's
+storage splits across servers (eqs. 4–5), which concrete documents each
+server should push, and the intercepted-request fraction to expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..dissemination.allocation import (
+    AllocationResult,
+    ServerModel,
+    exponential_allocation,
+    greedy_document_allocation,
+)
+from ..popularity.expmodel import fit_lambda
+from ..popularity.profile import PopularityProfile
+from ..trace.records import Trace
+
+
+@dataclass(frozen=True)
+class DisseminationPlan:
+    """A concrete dissemination plan for one proxy.
+
+    Attributes:
+        budget: The proxy storage that was divided.
+        allocations: Bytes granted per server.
+        documents: Concrete documents each server pushes (most popular
+            first, filling its allocation).
+        expected_alpha: Model-predicted intercepted request fraction.
+        empirical_alpha: Intercepted fraction measured against the
+            training traces (greedy document packing).
+    """
+
+    budget: float
+    allocations: dict[str, float]
+    documents: dict[str, tuple[str, ...]]
+    expected_alpha: float
+    empirical_alpha: float
+
+    def storage_used(self) -> float:
+        """Total bytes the plan actually grants across servers."""
+        return sum(self.allocations.values())
+
+
+class DisseminationPlanner:
+    """Plans proxy storage allocation from member servers' logs.
+
+    Usage::
+
+        planner = DisseminationPlanner()
+        planner.add_server("cs-www", trace)
+        plan = planner.plan(budget_bytes=500e6)
+    """
+
+    def __init__(self, *, remote_only: bool = True):
+        self._remote_only = remote_only
+        self._profiles: dict[str, PopularityProfile] = {}
+        self._durations: dict[str, float] = {}
+
+    def add_server(self, name: str, trace: Trace) -> None:
+        """Register one member server's access trace.
+
+        Raises:
+            AllocationError: On a duplicate name or an empty trace.
+        """
+        if name in self._profiles:
+            raise AllocationError(f"server {name!r} already registered")
+        if len(trace) == 0:
+            raise AllocationError(f"server {name!r} has an empty trace")
+        self._profiles[name] = PopularityProfile.from_trace(trace)
+        self._durations[name] = max(trace.duration, 1.0)
+
+    @property
+    def servers(self) -> list[str]:
+        return sorted(self._profiles)
+
+    def server_model(self, name: str) -> ServerModel:
+        """The (R, λ) parameters estimated from a server's log."""
+        try:
+            profile = self._profiles[name]
+        except KeyError:
+            raise AllocationError(f"unknown server {name!r}") from None
+        rate = profile.total_bytes_served(remote_only=self._remote_only)
+        rate /= self._durations[name] / 86_400.0  # bytes per day
+        curve_bytes, coverage = profile.coverage_curve(remote_only=self._remote_only)
+        if curve_bytes.size == 0:
+            raise AllocationError(f"server {name!r} has no countable accesses")
+        lam = fit_lambda(curve_bytes, coverage)
+        return ServerModel(name=name, rate=rate, lam=lam)
+
+    def plan(self, budget_bytes: float) -> DisseminationPlan:
+        """Produce the dissemination plan for a storage budget.
+
+        The byte split follows the exponential closed form; the
+        concrete document lists pack each server's most popular
+        documents into its granted bytes.
+
+        Raises:
+            AllocationError: If no servers are registered.
+        """
+        if not self._profiles:
+            raise AllocationError("no servers registered")
+        models = [self.server_model(name) for name in self.servers]
+        allocation = exponential_allocation(models, budget_bytes)
+
+        documents: dict[str, tuple[str, ...]] = {}
+        for name in self.servers:
+            granted = allocation.allocations[name]
+            chosen: list[str] = []
+            used = 0.0
+            for stat in self._profiles[name].ranked(remote_only=self._remote_only):
+                hits = stat.remote_requests if self._remote_only else stat.requests
+                if hits <= 0:
+                    break
+                if used + stat.size <= granted:
+                    used += stat.size
+                    chosen.append(stat.doc_id)
+            documents[name] = tuple(chosen)
+
+        empirical = greedy_document_allocation(
+            self._profiles, budget_bytes, remote_only=self._remote_only
+        )
+        return DisseminationPlan(
+            budget=budget_bytes,
+            allocations=dict(allocation.allocations),
+            documents=documents,
+            expected_alpha=allocation.alpha,
+            empirical_alpha=empirical.alpha,
+        )

@@ -1,0 +1,80 @@
+"""Plain-text rendering for the benchmark harness.
+
+Every benchmark prints the same rows/series the paper's table or figure
+reports, using these helpers so the output is consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column headers.
+        rows: Cell values (stringified with ``str``).
+        title: Optional title line above the table.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return "  ".join(padded).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    title: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_format: str = "{:.3f}",
+    bar_width: int = 40,
+) -> str:
+    """Render a series as labelled rows with an ASCII bar per point.
+
+    Bars are scaled to the maximum |y|, making figure shapes readable
+    in terminal output.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    peak = max((abs(y) for y in ys), default=0.0)
+    rows = []
+    for x, y in zip(xs, ys):
+        bar = ""
+        if peak > 0:
+            bar = "#" * max(0, round(abs(y) / peak * bar_width))
+        rows.append((f"{x:g}", y_format.format(y), bar))
+    return format_table(
+        [x_label, y_label, ""],
+        rows,
+        title=title,
+    )

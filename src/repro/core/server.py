@@ -1,0 +1,136 @@
+"""The speculative server facade.
+
+:class:`SpeculativeServer` packages the section-3 protocol the way a
+deployment would use it: feed it access logs (:meth:`fit` /
+:meth:`observe`), then ask it how to respond to a request
+(:meth:`respond`).  The response carries the demand document, the
+documents to speculatively push, and the prefetch hint list for
+server-assisted prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import BASELINE, BaselineConfig
+from ..errors import SimulationError
+from ..trace.records import Document, Trace
+from ..speculation.aging import AgingDependencyCounter
+from ..speculation.dependency import DependencyModel
+from ..speculation.policies import Candidate, SpeculationPolicy, ThresholdPolicy
+from ..speculation.prefetch import PrefetchHints
+
+
+@dataclass(frozen=True)
+class SpeculativeResponse:
+    """What the server sends for one request.
+
+    Attributes:
+        requested: The demand document id.
+        speculated: Documents pushed along with the response, best
+            first (already filtered by MaxSize and, when a cache digest
+            was supplied, by the client's cache).
+        hints: Prefetch hints (candidates with probabilities) for
+            cooperative clients that prefer pulling to being pushed.
+    """
+
+    requested: str
+    speculated: tuple[str, ...]
+    hints: tuple[Candidate, ...]
+
+    @property
+    def total_documents(self) -> int:
+        return 1 + len(self.speculated)
+
+
+class SpeculativeServer:
+    """A server that speculates on future requests from its own logs.
+
+    Args:
+        catalog: The documents this server can serve.
+        config: Baseline parameters (costs, MaxSize, timeouts).
+        policy: Speculation policy; defaults to the paper's threshold
+            policy at the config's ``threshold``.
+        hints: Hint generator for server-assisted prefetching.
+        decay_per_day: Aging factor for the dependency counts
+            (1.0 disables aging; see section 3.4's aging remark).
+    """
+
+    def __init__(
+        self,
+        catalog: dict[str, Document],
+        config: BaselineConfig = BASELINE,
+        *,
+        policy: SpeculationPolicy | None = None,
+        hints: PrefetchHints | None = None,
+        decay_per_day: float = 1.0,
+    ):
+        if not catalog:
+            raise SimulationError("server needs a non-empty catalog")
+        self._catalog = dict(catalog)
+        self._config = config
+        self._policy = policy or ThresholdPolicy(
+            threshold=config.threshold, max_size=config.max_size
+        )
+        self._hints = hints or PrefetchHints()
+        self._counter = AgingDependencyCounter(
+            decay_per_day=decay_per_day,
+            window=config.stride_timeout,
+        )
+        self._model: DependencyModel | None = None
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, trace: Trace) -> None:
+        """(Re)train from scratch on a trace."""
+        self._counter = AgingDependencyCounter(
+            decay_per_day=self._counter.decay_per_day,
+            window=self._config.stride_timeout,
+        )
+        self.observe(trace)
+
+    def observe(self, batch: Trace) -> None:
+        """Fold a new batch of log into the (aged) dependency counts."""
+        self._counter.observe(batch)
+        self._model = None  # invalidate snapshot
+
+    @property
+    def model(self) -> DependencyModel:
+        """The dependency model currently in force."""
+        if self._model is None:
+            self._model = self._counter.snapshot()
+        return self._model
+
+    # -- serving --------------------------------------------------------------------
+
+    def respond(
+        self,
+        doc_id: str,
+        *,
+        cache_digest: frozenset[str] | None = None,
+    ) -> SpeculativeResponse:
+        """Decide the full response to a request for ``doc_id``.
+
+        Args:
+            doc_id: The requested document.
+            cache_digest: For cooperative clients: document ids the
+                client already caches; those are never pushed.
+
+        Raises:
+            SimulationError: If the document is not in the catalog.
+        """
+        if doc_id not in self._catalog:
+            raise SimulationError(f"unknown document {doc_id!r}")
+        model = self.model
+        pushed: list[str] = []
+        for candidate in self._policy.select(doc_id, model, self._catalog):
+            document = self._catalog.get(candidate.doc_id)
+            if document is None or document.size > self._config.max_size:
+                continue
+            if cache_digest is not None and candidate.doc_id in cache_digest:
+                continue
+            pushed.append(candidate.doc_id)
+        hints = tuple(self._hints.hints(doc_id, model, self._catalog))
+        return SpeculativeResponse(
+            requested=doc_id, speculated=tuple(pushed), hints=hints
+        )

@@ -1,0 +1,209 @@
+"""Optimal proxy storage allocation (paper equations 1–5).
+
+A cluster has a proxy ``S_0`` with ``B_0`` bytes of storage, fronting
+servers ``S_1..S_n``.  Server ``i`` serves ``R_i`` bytes/unit-time to
+clients outside the cluster, and duplicating its most popular ``b``
+bytes at the proxy intercepts a fraction ``H_i(b)`` of its requests.
+The proxy maximizes the intercepted fraction
+
+    α_C = Σ R_i · H_i(B_i)  /  Σ R_i            (eq. 1)
+
+subject to ``Σ B_i = B_0``.  At the optimum all marginal values are
+equal (eq. 2): ``h_j(B_j) · R_j = k · Σ R_i``.
+
+Two allocators are provided:
+
+* :func:`exponential_allocation` — the paper's closed form under
+  ``H_i(b) = 1 − exp(−λ_i b)`` (eqs. 4–5), extended with an active-set
+  loop so allocations are never negative (the raw closed form can ask
+  for negative storage on very unpopular servers; the KKT optimum pins
+  those at zero and re-solves).
+* :func:`greedy_document_allocation` — model-free: allocates storage
+  document by document across servers in decreasing marginal value
+  density ``R_i · Δhits / Δbytes``.  Because each ``H_i`` is concave in
+  the greedy packing order, this matches the water-filling optimum up
+  to document granularity and works for arbitrary empirical curves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..popularity.profile import PopularityProfile
+
+
+@dataclass(frozen=True, slots=True)
+class ServerModel:
+    """One server's log-derived parameters.
+
+    Attributes:
+        name: Server identifier.
+        rate: ``R_i`` — bytes served per unit time to outside clients.
+        lam: ``λ_i`` of the exponential popularity model (per byte).
+    """
+
+    name: str
+    rate: float
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise AllocationError(f"server {self.name!r}: rate must be >= 0")
+        if not self.lam > 0:
+            raise AllocationError(f"server {self.name!r}: lambda must be > 0")
+
+    def coverage(self, allocated_bytes: float) -> float:
+        """``H_i(b)`` under the exponential model."""
+        return 1.0 - math.exp(-self.lam * allocated_bytes)
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a storage allocation.
+
+    Attributes:
+        allocations: Bytes granted to each server, by name.
+        alpha: The achieved intercepted fraction ``α_C`` (eq. 1).
+        budget: The proxy storage ``B_0`` that was divided.
+    """
+
+    allocations: dict[str, float]
+    alpha: float
+    budget: float
+
+    @property
+    def used(self) -> float:
+        return sum(self.allocations.values())
+
+
+def alpha_for_allocation(
+    servers: list[ServerModel], allocations: dict[str, float]
+) -> float:
+    """Evaluate eq. 1 for a given allocation under the exponential model."""
+    total_rate = sum(s.rate for s in servers)
+    if total_rate <= 0:
+        return 0.0
+    covered = sum(s.rate * s.coverage(allocations.get(s.name, 0.0)) for s in servers)
+    return covered / total_rate
+
+
+def exponential_allocation(
+    servers: list[ServerModel], budget: float
+) -> AllocationResult:
+    """The paper's optimal allocation (eqs. 4–5) with non-negativity.
+
+    Under ``H_i(b) = 1 − exp(−λ_i b)`` the stationarity condition gives
+
+        B_j = (1/λ_j) · ln(λ_j R_j / c),   c = k · Σ R_i
+
+    and the budget constraint fixes
+
+        ln c = ( Σ_i (1/λ_i) ln(λ_i R_i) − B_0 ) / Σ_i (1/λ_i).
+
+    When a server's closed-form share is negative, the optimum pins it
+    at zero (its marginal value is below the water level even with no
+    storage); the loop removes such servers and re-solves until all
+    shares are non-negative.
+
+    Raises:
+        AllocationError: On empty input, negative budget, or if no
+            server has positive rate.
+    """
+    if not servers:
+        raise AllocationError("no servers to allocate to")
+    if len({s.name for s in servers}) != len(servers):
+        raise AllocationError("duplicate server names")
+    if budget < 0:
+        raise AllocationError("budget must be non-negative")
+
+    allocations = {s.name: 0.0 for s in servers}
+    active = [s for s in servers if s.rate > 0]
+    if not active:
+        raise AllocationError("all servers have zero rate")
+    if budget == 0:
+        return AllocationResult(allocations, alpha_for_allocation(servers, allocations), 0.0)
+
+    while active:
+        inv_lambda_sum = sum(1.0 / s.lam for s in active)
+        weighted_logs = sum(math.log(s.lam * s.rate) / s.lam for s in active)
+        log_c = (weighted_logs - budget) / inv_lambda_sum
+
+        shares = {
+            s.name: (math.log(s.lam * s.rate) - log_c) / s.lam for s in active
+        }
+        negative = [s for s in active if shares[s.name] < 0]
+        if not negative:
+            for name, share in shares.items():
+                allocations[name] = share
+            break
+        # Pin the most-negative servers at zero and re-solve the rest.
+        drop = {s.name for s in negative}
+        active = [s for s in active if s.name not in drop]
+
+    return AllocationResult(
+        allocations=allocations,
+        alpha=alpha_for_allocation(servers, allocations),
+        budget=budget,
+    )
+
+
+def greedy_document_allocation(
+    profiles: dict[str, PopularityProfile],
+    budget: float,
+    *,
+    remote_only: bool = True,
+) -> AllocationResult:
+    """Model-free allocation over empirical popularity curves.
+
+    Documents of all servers compete for the proxy's storage in
+    decreasing marginal value density ``requests / bytes`` (requests
+    weighted implicitly by each server's rate, since counts come from
+    the same time window).  A document that no longer fits is skipped,
+    later smaller documents may still fit.
+
+    Args:
+        profiles: Per-server popularity profiles.
+        budget: Proxy storage ``B_0`` in bytes.
+        remote_only: Count remote accesses only (the cluster intercepts
+            outside requests).
+
+    Returns:
+        An :class:`AllocationResult`; ``alpha`` here is the *empirical*
+        intercepted request fraction.
+    """
+    if not profiles:
+        raise AllocationError("no server profiles given")
+    if budget < 0:
+        raise AllocationError("budget must be non-negative")
+
+    heap: list[tuple[float, str, str, int, int]] = []
+    total_requests = 0
+    for server, profile in profiles.items():
+        for stat in profile.all_stats():
+            hits = stat.remote_requests if remote_only else stat.requests
+            total_requests += hits
+            if hits > 0 and stat.size > 0:
+                density = hits / stat.size
+                heapq.heappush(
+                    heap, (-density, server, stat.doc_id, stat.size, hits)
+                )
+            elif hits > 0 and stat.size == 0:
+                # Zero-byte documents are free wins.
+                heapq.heappush(heap, (-math.inf, server, stat.doc_id, 0, hits))
+
+    allocations = {server: 0.0 for server in profiles}
+    used = 0.0
+    intercepted = 0
+    while heap:
+        __, server, _doc, size, hits = heapq.heappop(heap)
+        if used + size > budget:
+            continue
+        used += size
+        allocations[server] += size
+        intercepted += hits
+
+    alpha = intercepted / total_requests if total_requests else 0.0
+    return AllocationResult(allocations=allocations, alpha=alpha, budget=budget)

@@ -1,0 +1,155 @@
+"""Renting service proxies: the paper's bidding model (§2.1).
+
+The paper envisions service proxies as information "outlets ...
+whose bandwidth could be (say) rented", with a server *bidding* for a
+subset of the proxies offered to it.  This module implements that
+selection: given offers (a proxy location with storage capacity and a
+price) and the server's demand per subtree, choose the offers that
+maximize bytes×hops savings within a monetary budget.
+
+Selection is greedy by marginal-savings-per-cost over the clientele
+tree — the same submodular-coverage structure as proxy placement, so
+greedy carries the usual (1 − 1/e) guarantee against the optimal
+subset for the same budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from ..topology.tree import RoutingTree
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyOffer:
+    """One rentable proxy.
+
+    Attributes:
+        name: Offer identifier.
+        node: The tree node the proxy sits at (must be internal).
+        capacity_bytes: Storage the offer includes.
+        price: Cost of accepting the offer (arbitrary money units).
+    """
+
+    name: str
+    node: str
+    capacity_bytes: float
+    price: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("offer name must be non-empty")
+        if self.capacity_bytes <= 0:
+            raise TopologyError(f"offer {self.name!r}: capacity must be positive")
+        if self.price < 0:
+            raise TopologyError(f"offer {self.name!r}: price must be non-negative")
+
+
+@dataclass(frozen=True)
+class BiddingOutcome:
+    """Result of an auction round.
+
+    Attributes:
+        accepted: Offers taken, in acceptance order.
+        total_price: Money spent.
+        expected_savings: Demand-weighted hop savings of the selection
+            (same objective as proxy placement).
+    """
+
+    accepted: tuple[ProxyOffer, ...]
+    total_price: float
+    expected_savings: float
+
+
+def _selection_savings(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float],
+    nodes: set[str],
+) -> float:
+    total = 0.0
+    for client, demand in demand_by_client.items():
+        best = 0
+        for node in tree.path_from_root(client):
+            if node in nodes:
+                best = max(best, tree.depth(node))
+        total += demand * best
+    return total
+
+
+def select_offers(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float],
+    offers: list[ProxyOffer],
+    budget: float,
+) -> BiddingOutcome:
+    """Choose proxy offers maximizing savings within a budget.
+
+    Args:
+        tree: The server's clientele tree.
+        demand_by_client: Bytes requested per client leaf.
+        offers: The offers on the table.
+        budget: Money available.
+
+    Returns:
+        The greedy selection (by marginal savings per unit price; free
+        offers are always worth taking when they add savings).
+
+    Raises:
+        TopologyError: On a negative budget, an offer at a non-internal
+            node, or demand at a non-leaf.
+    """
+    if budget < 0:
+        raise TopologyError("budget must be non-negative")
+    unknown_demand = set(demand_by_client) - tree.leaves
+    if unknown_demand:
+        raise TopologyError(
+            f"demand for non-leaf nodes: {sorted(unknown_demand)[:3]}"
+        )
+    for offer in offers:
+        if tree.node_kind(offer.node) != "internal":
+            raise TopologyError(
+                f"offer {offer.name!r} is not at an internal tree node"
+            )
+
+    accepted: list[ProxyOffer] = []
+    accepted_nodes: set[str] = set()
+    remaining_budget = budget
+    remaining_offers = list(offers)
+    current_savings = 0.0
+
+    while remaining_offers:
+        best_offer = None
+        best_gain = 0.0
+        best_score = 0.0
+        for offer in remaining_offers:
+            if offer.price > remaining_budget:
+                continue
+            gain = (
+                _selection_savings(
+                    tree, demand_by_client, accepted_nodes | {offer.node}
+                )
+                - current_savings
+            )
+            if gain <= 0:
+                continue
+            score = gain / offer.price if offer.price > 0 else float("inf")
+            if score > best_score or (
+                score == best_score
+                and best_offer is not None
+                and offer.name < best_offer.name
+            ):
+                best_offer, best_gain, best_score = offer, gain, score
+        if best_offer is None:
+            break
+        accepted.append(best_offer)
+        accepted_nodes.add(best_offer.node)
+        remaining_budget -= best_offer.price
+        current_savings += best_gain
+        remaining_offers.remove(best_offer)
+
+    return BiddingOutcome(
+        accepted=tuple(accepted),
+        total_price=budget - remaining_budget,
+        expected_savings=current_savings,
+    )

@@ -1,0 +1,175 @@
+"""Freshness of disseminated copies under document updates.
+
+Section 2 classifies documents into mutable and immutable precisely so
+servers can "decide which documents to disseminate": a disseminated
+copy of a frequently-updated document goes stale at its proxies.  This
+module quantifies that decision.  Given a trace, a set of disseminated
+documents and the home server's update events, it replays the requests
+and measures
+
+* **coverage** — the fraction of requests the proxy serves, and
+* **staleness** — the fraction of proxy-served requests answered from
+  a copy older than the server's current version,
+
+under several maintenance policies:
+
+* ``"ignore"`` — copies are pushed once and never refreshed;
+* ``"exclude-mutable"`` — mutable documents are simply not disseminated
+  (the paper's §2 recommendation);
+* ``"push-updates"`` — the server pushes a fresh copy on every update
+  (never stale, but each update costs the document's bytes);
+* ``"periodic-refresh"`` — proxies re-pull every ``refresh_cycle_days``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from ..config import SECONDS_PER_DAY
+from ..errors import SimulationError
+from ..trace.records import Trace
+from ..workload.updates import UpdateEvent
+
+#: Maintenance policies understood by :class:`FreshnessSimulator`.
+POLICIES = ("ignore", "exclude-mutable", "push-updates", "periodic-refresh")
+
+
+@dataclass(frozen=True)
+class FreshnessResult:
+    """Outcome of one freshness simulation.
+
+    Attributes:
+        policy: The maintenance policy simulated.
+        requests: Requests replayed.
+        proxy_hits: Requests served by the proxy.
+        stale_hits: Proxy-served requests answered from a stale copy.
+        refresh_bytes: Bytes spent keeping copies fresh (pushes on
+            update, or periodic re-pulls).
+    """
+
+    policy: str
+    requests: int
+    proxy_hits: int
+    stale_hits: int
+    refresh_bytes: float
+
+    @property
+    def coverage(self) -> float:
+        return self.proxy_hits / self.requests if self.requests else 0.0
+
+    @property
+    def stale_fraction(self) -> float:
+        """Stale deliveries among proxy-served requests."""
+        return self.stale_hits / self.proxy_hits if self.proxy_hits else 0.0
+
+
+class FreshnessSimulator:
+    """Replays a trace against a proxy holding disseminated copies.
+
+    Args:
+        trace: The access trace (requests the proxy intercepts).
+        updates: The home server's update events (day granularity, as
+            produced by :class:`repro.workload.updates.UpdateProcess`).
+        remote_only: Only remote requests reach the proxy.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        updates: list[UpdateEvent],
+        *,
+        remote_only: bool = True,
+    ):
+        self._trace = trace.remote_only() if remote_only else trace
+        self._update_days: dict[str, list[int]] = {}
+        for event in updates:
+            self._update_days.setdefault(event.doc_id, []).append(event.day)
+        for days in self._update_days.values():
+            days.sort()
+
+    def _version_at(self, doc_id: str, day: float) -> int:
+        """Number of updates to a document up to (and including) a day."""
+        days = self._update_days.get(doc_id)
+        if not days:
+            return 0
+        return bisect.bisect_right(days, day)
+
+    def simulate(
+        self,
+        disseminated: set[str],
+        *,
+        policy: str = "ignore",
+        mutable_docs: set[str] | None = None,
+        refresh_cycle_days: float = 7.0,
+    ) -> FreshnessResult:
+        """Replay the trace under one maintenance policy.
+
+        Args:
+            disseminated: Documents pushed to the proxy at day 0.
+            policy: One of :data:`POLICIES`.
+            mutable_docs: The mutable subset (required by
+                ``"exclude-mutable"``).
+            refresh_cycle_days: Re-pull period for
+                ``"periodic-refresh"``.
+
+        Raises:
+            SimulationError: On an unknown policy or missing inputs.
+        """
+        if policy not in POLICIES:
+            raise SimulationError(f"unknown policy {policy!r}")
+        if policy == "exclude-mutable" and mutable_docs is None:
+            raise SimulationError("exclude-mutable needs mutable_docs")
+        if policy == "periodic-refresh" and refresh_cycle_days <= 0:
+            raise SimulationError("refresh_cycle_days must be positive")
+
+        held = set(disseminated)
+        if policy == "exclude-mutable":
+            held -= mutable_docs or set()
+
+        origin = self._trace.start_time
+        sizes = self._trace.documents
+
+        proxy_hits = 0
+        stale_hits = 0
+        for request in self._trace:
+            if request.doc_id not in held:
+                continue
+            proxy_hits += 1
+            day = (request.timestamp - origin) / SECONDS_PER_DAY
+            server_version = self._version_at(request.doc_id, day)
+            if policy == "push-updates":
+                proxy_version = server_version
+            elif policy == "periodic-refresh":
+                last_refresh = math.floor(day / refresh_cycle_days) * refresh_cycle_days
+                proxy_version = self._version_at(request.doc_id, last_refresh)
+            else:  # ignore / exclude-mutable: day-0 copies only
+                proxy_version = self._version_at(request.doc_id, 0.0)
+            if server_version > proxy_version:
+                stale_hits += 1
+
+        refresh_bytes = 0.0
+        trace_days = self._trace.duration / SECONDS_PER_DAY
+        if policy == "push-updates":
+            for doc_id in held:
+                document = sizes.get(doc_id)
+                if document is None:
+                    continue
+                updates_in_window = self._version_at(doc_id, trace_days)
+                updates_in_window -= self._version_at(doc_id, 0.0)
+                refresh_bytes += document.size * updates_in_window
+        elif policy == "periodic-refresh":
+            n_refreshes = math.floor(trace_days / refresh_cycle_days)
+            for doc_id in held:
+                document = sizes.get(doc_id)
+                if document is not None:
+                    refresh_bytes += document.size * n_refreshes
+
+        return FreshnessResult(
+            policy=policy,
+            requests=len(self._trace),
+            proxy_hits=proxy_hits,
+            stale_hits=stale_hits,
+            refresh_bytes=refresh_bytes,
+        )

@@ -1,0 +1,138 @@
+"""Hierarchical (multi-level) dissemination.
+
+Section 2.3 ends with the proxy-bottleneck question: if one proxy
+absorbs 90-96% of its servers' remote traffic, doesn't it become the
+bottleneck?  "The answer is yes, unless the process of disseminating
+popular information continues for another level, and so on."
+
+:class:`HierarchicalShielding` quantifies that argument for symmetric
+clusters under the exponential model: requests flow from clients down
+through proxy levels toward the home servers; each level intercepts a
+fraction of what reaches it (eq. 9), and what remains continues down.
+The per-node load at every level falls out directly, showing how an
+extra level divides the absorbed traffic across more machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from .special_cases import symmetric_alpha
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyLevel:
+    """One level of the dissemination hierarchy.
+
+    Attributes:
+        n_nodes: Proxies at this level (level 0 is closest to clients).
+        storage_per_node: Dissemination storage ``B_0`` per proxy.
+        servers_fronted: How many (symmetric) home servers' document
+            sets each proxy at this level fronts — the ``n`` of eq. 9.
+    """
+
+    n_nodes: int
+    storage_per_node: float
+    servers_fronted: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise TopologyError("level needs at least one node")
+        if self.storage_per_node < 0:
+            raise TopologyError("storage must be non-negative")
+        if self.servers_fronted <= 0:
+            raise TopologyError("each proxy must front at least one server")
+
+
+@dataclass(frozen=True, slots=True)
+class LevelLoad:
+    """Load outcome at one level (or at the home servers).
+
+    Attributes:
+        label: ``"level-k"`` or ``"home-servers"``.
+        n_nodes: Machines sharing the level's absorbed load.
+        absorbed_fraction: Fraction of *total offered* requests this
+            level absorbs.
+        load_per_node: Absorbed requests divided by nodes.
+    """
+
+    label: str
+    n_nodes: int
+    absorbed_fraction: float
+    load_per_node: float
+
+
+class HierarchicalShielding:
+    """Load distribution across a multi-level dissemination hierarchy.
+
+    Args:
+        levels: Proxy levels ordered from the clients inward (element 0
+            receives requests first).
+        lam: The shared exponential popularity constant λ.
+        n_home_servers: Home servers at the bottom of the hierarchy.
+
+    Requests hit the outermost level first; each level intercepts the
+    eq.-9 fraction of the traffic reaching it (its storage divided over
+    the servers it fronts), and the residual flows inward, ending at
+    the home servers.
+    """
+
+    def __init__(
+        self, levels: list[ProxyLevel], lam: float, n_home_servers: int
+    ):
+        if not levels:
+            raise TopologyError("need at least one proxy level")
+        if not lam > 0:
+            raise TopologyError("lambda must be positive")
+        if n_home_servers <= 0:
+            raise TopologyError("need at least one home server")
+        self._levels = list(levels)
+        self._lam = lam
+        self._n_home = n_home_servers
+
+    def distribute(self, offered_requests: float) -> list[LevelLoad]:
+        """Propagate an offered load through the hierarchy.
+
+        Args:
+            offered_requests: Total client requests per unit time.
+
+        Returns:
+            One :class:`LevelLoad` per proxy level (outermost first)
+            plus a final entry for the home servers.  Absorbed
+            fractions sum to 1.
+        """
+        if offered_requests < 0:
+            raise TopologyError("offered load must be non-negative")
+        outcomes: list[LevelLoad] = []
+        remaining = 1.0
+        for index, level in enumerate(self._levels):
+            alpha = symmetric_alpha(
+                level.servers_fronted, self._lam, level.storage_per_node
+            )
+            absorbed = remaining * alpha
+            outcomes.append(
+                LevelLoad(
+                    label=f"level-{index}",
+                    n_nodes=level.n_nodes,
+                    absorbed_fraction=absorbed,
+                    load_per_node=absorbed * offered_requests / level.n_nodes,
+                )
+            )
+            remaining -= absorbed
+        outcomes.append(
+            LevelLoad(
+                label="home-servers",
+                n_nodes=self._n_home,
+                absorbed_fraction=remaining,
+                load_per_node=remaining * offered_requests / self._n_home,
+            )
+        )
+        return outcomes
+
+    def peak_node_load(self, offered_requests: float) -> float:
+        """The busiest machine's load — the bottleneck measure."""
+        return max(
+            outcome.load_per_node
+            for outcome in self.distribute(offered_requests)
+        )

@@ -1,0 +1,116 @@
+"""Dynamic shielding: a proxy sheds load by shrinking its budget.
+
+Section 2.3 closes with the observation that a proxy absorbing 90%+ of
+its servers' remote traffic can itself become a bottleneck; the proposed
+remedy is to *dynamically* adjust the level of shielding — when the
+proxy is overloaded, reduce ``B_0``, pushing requests back to the home
+servers.
+
+:class:`DynamicShield` implements that control loop over fixed
+observation periods (e.g. days): after each period, if the proxy served
+more than ``capacity`` requests it multiplies the budget by
+``shrink_factor``; if it has headroom it grows the budget back toward
+the configured maximum.  The per-period intercepted fraction follows the
+symmetric-cluster model (eq. 9), so the loop's behaviour is exact under
+the paper's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .special_cases import symmetric_alpha
+
+
+@dataclass(frozen=True, slots=True)
+class ShieldSnapshot:
+    """State of the shield after one observation period.
+
+    Attributes:
+        period: Period index (0-based).
+        budget: ``B_0`` in effect during the period.
+        offered_requests: Remote requests offered by clients.
+        proxy_load: Requests the proxy absorbed.
+        server_load: Requests pushed back to the home servers.
+    """
+
+    period: int
+    budget: float
+    offered_requests: float
+    proxy_load: float
+    server_load: float
+
+    @property
+    def alpha(self) -> float:
+        return self.proxy_load / self.offered_requests if self.offered_requests else 0.0
+
+
+class DynamicShield:
+    """Budget control loop for an overloadable proxy.
+
+    Args:
+        n_servers: Servers in the (symmetric) cluster.
+        lam: Shared popularity constant λ.
+        max_budget: The storage actually available at the proxy.
+        capacity: Requests per period the proxy can absorb.
+        shrink_factor: Multiplier applied to the budget on overload.
+        grow_factor: Multiplier applied when load is under capacity.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        lam: float,
+        max_budget: float,
+        capacity: float,
+        *,
+        shrink_factor: float = 0.5,
+        grow_factor: float = 1.25,
+    ):
+        if n_servers <= 0 or not lam > 0:
+            raise SimulationError("need positive n_servers and lambda")
+        if max_budget <= 0 or capacity <= 0:
+            raise SimulationError("max_budget and capacity must be positive")
+        if not 0.0 < shrink_factor < 1.0:
+            raise SimulationError("shrink_factor must be in (0, 1)")
+        if grow_factor <= 1.0:
+            raise SimulationError("grow_factor must exceed 1")
+        self._n = n_servers
+        self._lam = lam
+        self._max_budget = max_budget
+        self._capacity = capacity
+        self._shrink = shrink_factor
+        self._grow = grow_factor
+
+    def run(self, offered_per_period: list[float]) -> list[ShieldSnapshot]:
+        """Run the control loop over a sequence of offered loads.
+
+        Args:
+            offered_per_period: Remote requests offered in each period.
+
+        Returns:
+            One snapshot per period; the budget used in period ``t``
+            reflects the overload decisions of periods ``< t``.
+        """
+        snapshots: list[ShieldSnapshot] = []
+        budget = self._max_budget
+        for period, offered in enumerate(offered_per_period):
+            if offered < 0:
+                raise SimulationError("offered load must be non-negative")
+            alpha = symmetric_alpha(self._n, self._lam, budget)
+            proxy_load = alpha * offered
+            snapshots.append(
+                ShieldSnapshot(
+                    period=period,
+                    budget=budget,
+                    offered_requests=offered,
+                    proxy_load=proxy_load,
+                    server_load=offered - proxy_load,
+                )
+            )
+            if proxy_load > self._capacity:
+                budget *= self._shrink
+            else:
+                budget = min(self._max_budget, budget * self._grow)
+        return snapshots

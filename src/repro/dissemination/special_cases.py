@@ -1,0 +1,118 @@
+"""Closed-form special cases of the allocation (paper section 2.3).
+
+Three symmetric settings admit closed forms that illuminate the general
+solution:
+
+* **Equally effective duplication** (eq. 6): all servers share λ; a
+  server's share is the even split plus a popularity correction against
+  the geometric mean of all rates.
+* **Equally popular servers** (eq. 7): all servers share R; servers
+  whose popularity is more uniform (smaller λ) get more storage under a
+  lax budget, while a tight budget favours intermediate λ — the
+  hump-shaped curves of Figure 2.
+* **Symmetric clusters** (eqs. 8–10): identical servers split ``B_0``
+  evenly; eq. 10 sizes the proxy for a target bandwidth reduction —
+  the paper's "36 MB shields 10 servers by 90%" estimate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import AllocationError
+
+
+def _validate_common(n_servers: int, budget: float) -> None:
+    if n_servers <= 0:
+        raise AllocationError("need at least one server")
+    if budget < 0:
+        raise AllocationError("budget must be non-negative")
+
+
+def equal_effectiveness_allocation(
+    rates: list[float], lam: float, budget: float
+) -> list[float]:
+    """Equation 6: shared λ, arbitrary rates.
+
+        B_j = B_0/n + (1/λ) · ln( R_j / geometric_mean(R) )
+
+    Note the result can be negative for very unpopular servers when the
+    budget is tight; the paper presents the unconstrained form, and this
+    function reproduces it verbatim (use
+    :func:`repro.dissemination.allocation.exponential_allocation` for
+    the non-negative optimum).
+
+    Raises:
+        AllocationError: On invalid λ, empty or non-positive rates.
+    """
+    _validate_common(len(rates), budget)
+    if not lam > 0:
+        raise AllocationError("lambda must be positive")
+    if any(r <= 0 for r in rates):
+        raise AllocationError("rates must be positive for the closed form")
+    n = len(rates)
+    log_geo_mean = sum(math.log(r) for r in rates) / n
+    return [budget / n + (math.log(r) - log_geo_mean) / lam for r in rates]
+
+
+def equal_popularity_allocation(lams: list[float], budget: float) -> list[float]:
+    """Equation 7: shared R, arbitrary λ.
+
+        B_j = ( B_0 + Σ_i (1/λ_i) ln(λ_j/λ_i) ) / ( Σ_i λ_j/λ_i )
+
+    Reproduces the paper's unconstrained closed form (may go negative
+    under a tight budget for extreme λ_j).
+
+    Raises:
+        AllocationError: On empty input or non-positive λ.
+    """
+    _validate_common(len(lams), budget)
+    if any(not lam > 0 for lam in lams):
+        raise AllocationError("all lambdas must be positive")
+    allocations = []
+    for lam_j in lams:
+        denom = sum(lam_j / lam_i for lam_i in lams)
+        correction = sum(math.log(lam_j / lam_i) / lam_i for lam_i in lams)
+        allocations.append((budget + correction) / denom)
+    return allocations
+
+
+def symmetric_allocation(n_servers: int, budget: float) -> float:
+    """Equation 8: identical servers split the budget evenly."""
+    _validate_common(n_servers, budget)
+    return budget / n_servers
+
+
+def symmetric_alpha(n_servers: int, lam: float, budget: float) -> float:
+    """Equation 9: intercepted fraction of a symmetric cluster.
+
+        α_C = 1 − exp(−λ · B_0 / n)
+    """
+    _validate_common(n_servers, budget)
+    if not lam > 0:
+        raise AllocationError("lambda must be positive")
+    return 1.0 - math.exp(-lam * budget / n_servers)
+
+
+def symmetric_storage_for_reduction(
+    n_servers: int, lam: float, reduction: float
+) -> float:
+    """Equation 10: proxy storage for a target bandwidth reduction.
+
+        B_0 = (n/λ) · ln( 1 / (1 − reduction) )
+
+    ``reduction`` is the fraction of remote bandwidth to shield (the
+    paper words eq. 10 with α as the *residual* fraction; expressed in
+    the shielded fraction the two forms coincide).  With the paper's
+    λ = 6.247×10⁻⁷ and n = 10, a 90% reduction needs ≈ 36.9 MB.
+
+    Raises:
+        AllocationError: If reduction is outside [0, 1) or λ <= 0.
+    """
+    if n_servers <= 0:
+        raise AllocationError("need at least one server")
+    if not lam > 0:
+        raise AllocationError("lambda must be positive")
+    if not 0.0 <= reduction < 1.0:
+        raise AllocationError("reduction must be in [0, 1)")
+    return (n_servers / lam) * math.log(1.0 / (1.0 - reduction))

@@ -1,0 +1,86 @@
+"""Communication-cost-aware allocation (paper section 2.1's extension).
+
+The base protocol deliberately uses only log-derivable quantities, but
+the paper notes: "if information about the communication cost between
+servers, proxies, and clients is available, then our protocol could be
+easily adapted to weigh such knowledge into our resource allocation
+methodology."
+
+This module is that adaptation.  With ``w_i`` the per-byte cost *saved*
+when the proxy intercepts a request for server ``i`` (e.g. the hop
+count between server ``i`` and the proxy), the objective becomes
+
+    maximize  Σ w_i · R_i · H_i(B_i)
+
+which is the original problem with rates rescaled to ``w_i · R_i`` —
+so the optimal split falls out of the same closed form.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+from .allocation import AllocationResult, ServerModel, exponential_allocation
+
+
+def weighted_exponential_allocation(
+    servers: list[ServerModel],
+    weights: dict[str, float],
+    budget: float,
+) -> AllocationResult:
+    """Optimal allocation with per-server interception value weights.
+
+    Args:
+        servers: The cluster's servers (log-derived R and λ).
+        weights: ``w_i`` per server name — the value of intercepting
+            one byte of that server's traffic (e.g. saved hops).  Every
+            server must have a weight; weights must be non-negative.
+        budget: Proxy storage ``B_0``.
+
+    Returns:
+        The allocation that maximizes cost-weighted interception.  The
+        reported ``alpha`` is the weighted objective normalised by the
+        total weighted rate.
+
+    Raises:
+        AllocationError: On a missing or negative weight.
+    """
+    missing = {s.name for s in servers} - set(weights)
+    if missing:
+        raise AllocationError(f"missing weights for servers {sorted(missing)}")
+    for name, weight in weights.items():
+        if weight < 0:
+            raise AllocationError(f"weight for {name!r} must be non-negative")
+
+    scaled = [
+        ServerModel(name=s.name, rate=s.rate * weights[s.name], lam=s.lam)
+        for s in servers
+    ]
+    return exponential_allocation(scaled, budget)
+
+
+def hop_weights_from_tree(
+    tree, proxy: str, server_nodes: dict[str, str]
+) -> dict[str, float]:
+    """Derive interception weights from a routing tree.
+
+    The value of intercepting a byte of server ``i``'s traffic at the
+    proxy equals the hops between that server's node and the proxy node
+    (the wide-area distance the byte no longer travels).
+
+    Args:
+        tree: A :class:`repro.topology.tree.RoutingTree`.
+        proxy: The proxy's node id (must be on each server's root path
+            or vice versa; in the usual cluster layout the proxy is an
+            ancestor of its servers, so the hop count is the depth
+            difference).
+        server_nodes: Server name → tree node id.
+
+    Returns:
+        Server name → hop-count weight (minimum 1.0: intercepting at
+        the server itself still saves the request handling).
+    """
+    weights = {}
+    proxy_depth = tree.depth(proxy)
+    for name, node in server_nodes.items():
+        weights[name] = float(max(1, abs(tree.depth(node) - proxy_depth)))
+    return weights

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TraceFormatError(ReproError):
+    """A trace line or record could not be parsed or is internally invalid."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class CalibrationError(ReproError):
+    """A synthetic workload failed to meet a calibration target."""
+
+
+class TopologyError(ReproError):
+    """A routing tree or cluster definition is malformed."""
+
+
+class AllocationError(ReproError):
+    """Storage allocation inputs are infeasible or inconsistent."""
+
+
+class DependencyModelError(ReproError):
+    """The P / P* dependency model was queried or built incorrectly."""
+
+
+class SimulationError(ReproError):
+    """A trace-driven simulation was configured or driven incorrectly."""
+
+
+class PolicyError(ReproError):
+    """A speculation policy received invalid parameters."""

@@ -1,0 +1,37 @@
+"""Document popularity analysis (paper section 2).
+
+* :mod:`repro.popularity.profile` — per-document access statistics and
+  the empirical byte-coverage curve ``H(b)``.
+* :mod:`repro.popularity.blocks` — the 256 KB block analysis behind
+  Figure 1 (block popularity and cumulative bandwidth saved).
+* :mod:`repro.popularity.expmodel` — the exponential popularity model
+  ``H(b) = 1 − exp(−λ·b)`` and λ estimation from a trace.
+* :mod:`repro.popularity.classify` — remotely/locally/globally popular
+  classification and mutable-document detection.
+"""
+
+from .profile import DocumentStats, PopularityProfile
+from .blocks import BlockAnalysis, BlockStats, analyze_blocks
+from .expmodel import ExponentialPopularityModel, fit_lambda
+from .classify import (
+    ClassCounts,
+    PopularityClass,
+    classify_documents,
+    count_classes,
+    find_mutable_documents,
+)
+
+__all__ = [
+    "DocumentStats",
+    "PopularityProfile",
+    "BlockAnalysis",
+    "BlockStats",
+    "analyze_blocks",
+    "ExponentialPopularityModel",
+    "fit_lambda",
+    "PopularityClass",
+    "ClassCounts",
+    "classify_documents",
+    "count_classes",
+    "find_mutable_documents",
+]

@@ -1,0 +1,127 @@
+"""Document classification (paper section 2).
+
+Two classifications steer dissemination decisions:
+
+* By **where** a document is popular — the remote-to-total access ratio
+  splits documents into *remotely popular* (ratio > 85%), *locally
+  popular* (ratio < 15%) and *globally popular* (in between).  Only
+  remotely/globally popular documents are worth disseminating.
+* By **update behaviour** — the small, frequently-updated *mutable*
+  subset should not be disseminated (stale copies would proliferate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ReproError
+from ..workload.updates import UpdateEvent
+from .profile import PopularityProfile
+
+#: The paper's class boundaries on the remote-to-total access ratio.
+REMOTE_THRESHOLD = 0.85
+LOCAL_THRESHOLD = 0.15
+
+
+class PopularityClass(str, Enum):
+    """Where a document's audience lives."""
+
+    REMOTE = "remote"
+    GLOBAL = "global"
+    LOCAL = "local"
+
+
+def classify_documents(
+    profile: PopularityProfile,
+    *,
+    remote_threshold: float = REMOTE_THRESHOLD,
+    local_threshold: float = LOCAL_THRESHOLD,
+    include_unaccessed: bool = False,
+) -> dict[str, PopularityClass]:
+    """Classify accessed documents by remote-to-total access ratio.
+
+    Args:
+        profile: Popularity statistics of the trace.
+        remote_threshold: Ratio above which a document is remotely
+            popular (paper: 0.85).
+        local_threshold: Ratio below which it is locally popular
+            (paper: 0.15).
+        include_unaccessed: Also classify never-accessed documents
+            (they get ``LOCAL`` — nothing argues for disseminating
+            them); by default they are omitted, matching the paper's
+            "974 documents accessed during the analysis period".
+
+    Returns:
+        Mapping of document id to :class:`PopularityClass`.
+    """
+    if not 0.0 <= local_threshold <= remote_threshold <= 1.0:
+        raise ReproError("need 0 <= local_threshold <= remote_threshold <= 1")
+    classes: dict[str, PopularityClass] = {}
+    for stat in profile.all_stats():
+        if stat.requests == 0:
+            if include_unaccessed:
+                classes[stat.doc_id] = PopularityClass.LOCAL
+            continue
+        ratio = stat.remote_ratio
+        if ratio > remote_threshold:
+            classes[stat.doc_id] = PopularityClass.REMOTE
+        elif ratio < local_threshold:
+            classes[stat.doc_id] = PopularityClass.LOCAL
+        else:
+            classes[stat.doc_id] = PopularityClass.GLOBAL
+    return classes
+
+
+@dataclass(frozen=True)
+class ClassCounts:
+    """Sizes of the three popularity classes (paper: 99/365/510)."""
+
+    remote: int
+    global_: int
+    local: int
+
+    @property
+    def total(self) -> int:
+        return self.remote + self.global_ + self.local
+
+
+def count_classes(classes: dict[str, PopularityClass]) -> ClassCounts:
+    """Tally a classification into :class:`ClassCounts`."""
+    remote = sum(1 for c in classes.values() if c is PopularityClass.REMOTE)
+    global_ = sum(1 for c in classes.values() if c is PopularityClass.GLOBAL)
+    local = sum(1 for c in classes.values() if c is PopularityClass.LOCAL)
+    return ClassCounts(remote=remote, global_=global_, local=local)
+
+
+def find_mutable_documents(
+    events: list[UpdateEvent],
+    observation_days: float,
+    *,
+    rate_threshold: float = 0.05,
+) -> set[str]:
+    """Identify the frequently-updated ("mutable") documents.
+
+    The paper observed that frequent updates are confined to a very
+    small subset; a server can detect that subset from modification
+    dates.  A document is mutable when its observed update rate exceeds
+    ``rate_threshold`` updates per day.
+
+    Args:
+        events: Update events over the observation window.
+        observation_days: Length of the window in days (paper: 186).
+        rate_threshold: Updates/day above which a document is mutable.
+
+    Raises:
+        ReproError: If the observation window is not positive.
+    """
+    if observation_days <= 0:
+        raise ReproError("observation_days must be positive")
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.doc_id] = counts.get(event.doc_id, 0) + 1
+    return {
+        doc_id
+        for doc_id, count in counts.items()
+        if count / observation_days > rate_threshold
+    }

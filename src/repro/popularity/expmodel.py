@@ -1,0 +1,115 @@
+"""The exponential popularity model of section 2.2.
+
+The paper approximates the coverage function of server ``i`` as
+
+    H_i(b) = 1 − exp(−λ_i · b)
+
+with density ``h_i(b) = λ_i · exp(−λ_i · b)``.  λ is estimated from the
+server's log: for ``cs-www.bu.edu`` the paper reports
+λ = 6.247 × 10⁻⁷ per byte.
+
+:func:`fit_lambda` recovers λ from an empirical coverage curve by
+regressing ``−ln(1 − H(b))`` on ``b`` through the origin (the exact
+linearization of the model), weighting points equally and discarding
+the near-saturated tail where ``1 − H`` underflows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: λ the paper estimated from the cs-www.bu.edu logs (per byte).
+PAPER_LAMBDA = 6.247e-7
+
+
+@dataclass(frozen=True)
+class ExponentialPopularityModel:
+    """The fitted model ``H(b) = 1 − exp(−λ b)``.
+
+    Attributes:
+        lam: The rate constant λ (per byte), > 0.
+    """
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if not self.lam > 0:
+            raise ReproError("lambda must be positive")
+
+    def coverage(self, budget_bytes: float) -> float:
+        """``H(b)``: request-hit probability with ``b`` bytes duplicated."""
+        if budget_bytes < 0:
+            raise ReproError("budget must be non-negative")
+        return 1.0 - math.exp(-self.lam * budget_bytes)
+
+    def density(self, budget_bytes: float) -> float:
+        """``h(b) = λ exp(−λ b)``, the marginal value of one more byte."""
+        if budget_bytes < 0:
+            raise ReproError("budget must be non-negative")
+        return self.lam * math.exp(-self.lam * budget_bytes)
+
+    def bytes_for_coverage(self, coverage: float) -> float:
+        """Invert the model: bytes needed to reach a coverage level.
+
+        This is equation 10's building block:
+        ``b = (1/λ) · ln(1 / (1 − coverage))``.
+        """
+        if not 0.0 <= coverage < 1.0:
+            raise ReproError("coverage must be in [0, 1)")
+        return math.log(1.0 / (1.0 - coverage)) / self.lam
+
+    @property
+    def effectiveness(self) -> float:
+        """``1/λ`` — the paper's "measure of duplication effectiveness"."""
+        return 1.0 / self.lam
+
+
+def fit_lambda(
+    cumulative_bytes: np.ndarray,
+    coverage: np.ndarray,
+    *,
+    saturation: float = 0.995,
+) -> float:
+    """Fit λ of ``H(b) = 1 − exp(−λ b)`` to an empirical curve.
+
+    Args:
+        cumulative_bytes: Increasing byte budgets ``b``.
+        coverage: Empirical ``H(b)`` at those budgets, in [0, 1].
+        saturation: Points with coverage above this are discarded — near
+            saturation ``−ln(1−H)`` explodes and would dominate the fit.
+
+    Returns:
+        The least-squares λ of the origin-constrained regression
+        ``−ln(1 − H) = λ·b``.
+
+    Raises:
+        ReproError: On empty/mismatched inputs or no usable points.
+    """
+    b = np.asarray(cumulative_bytes, dtype=np.float64)
+    h = np.asarray(coverage, dtype=np.float64)
+    if b.shape != h.shape or b.size == 0:
+        raise ReproError("curves must be same-shaped and non-empty")
+    if np.any(b < 0) or np.any((h < 0) | (h > 1)):
+        raise ReproError("bytes must be >= 0 and coverage in [0, 1]")
+
+    keep = (h < saturation) & (b > 0)
+    if not np.any(keep):
+        # Everything saturated: estimate from the first point alone.
+        keep = b > 0
+        if not np.any(keep):
+            raise ReproError("no usable points to fit lambda")
+        first = int(np.argmax(keep))
+        h_first = min(h[first], saturation)
+        return float(-np.log(1.0 - h_first) / b[first])
+
+    x = b[keep]
+    y = -np.log1p(-np.clip(h[keep], 0.0, saturation))
+    lam = float(np.dot(x, y) / np.dot(x, x))
+    if lam <= 0:
+        raise ReproError("fitted lambda is non-positive; curve is degenerate")
+    return lam

@@ -1,0 +1,147 @@
+"""Keeping the dependency model fresh.
+
+Section 3.4 studies two mechanisms:
+
+* **Sliding-window re-estimation** — every ``UpdateCycle`` days, rebuild
+  ``P``/``P*`` from the previous ``HistoryLength`` days of trace
+  (the paper's D / D′ experiments).  :class:`RollingEstimator`.
+* **Aging** — the paper "envisions the use of an aging mechanism to
+  phase out dependencies exhibited in older traces".
+  :class:`AgingDependencyCounter` implements it: counts decay by a
+  per-day factor before each new batch is folded in, so old behaviour
+  fades smoothly instead of falling off a cliff at the window edge.
+"""
+
+from __future__ import annotations
+
+from ..config import SECONDS_PER_DAY
+from ..errors import DependencyModelError
+from ..trace.records import Trace
+from .dependency import DependencyModel
+
+
+class AgingDependencyCounter:
+    """Exponentially aged dependency counts.
+
+    Args:
+        decay_per_day: Multiplier applied to all counts per elapsed day
+            (1.0 disables aging; 0.9 halves influence in ~6.6 days).
+        window: ``T_w`` for pair counting.
+        stride_timeout: Stride gap; defaults to ``window``.
+    """
+
+    def __init__(
+        self,
+        *,
+        decay_per_day: float = 0.95,
+        window: float = 5.0,
+        stride_timeout: float | None = None,
+    ):
+        if not 0.0 < decay_per_day <= 1.0:
+            raise DependencyModelError("decay_per_day must be in (0, 1]")
+        self._decay = decay_per_day
+        self._window = window
+        self._stride_timeout = stride_timeout
+        self._pairs: dict[str, dict[str, float]] = {}
+        self._occurrences: dict[str, float] = {}
+        self._last_time: float | None = None
+
+    @property
+    def decay_per_day(self) -> float:
+        """The configured per-day decay factor."""
+        return self._decay
+
+    def observe(self, batch: Trace) -> None:
+        """Fold a new batch of trace into the aged counts.
+
+        Counts accumulated earlier decay by ``decay_per_day`` raised to
+        the days elapsed between batch start times.
+        """
+        if len(batch) == 0:
+            return
+        if self._last_time is not None:
+            elapsed_days = max(0.0, batch.start_time - self._last_time) / SECONDS_PER_DAY
+            factor = self._decay**elapsed_days
+            if factor < 1.0:
+                for row in self._pairs.values():
+                    for target in row:
+                        row[target] *= factor
+                for doc in self._occurrences:
+                    self._occurrences[doc] *= factor
+        self._last_time = batch.start_time
+
+        fresh = DependencyModel.estimate(
+            batch, window=self._window, stride_timeout=self._stride_timeout
+        )
+        for source, row in fresh.pair_counts.items():
+            mine = self._pairs.setdefault(source, {})
+            for target, count in row.items():
+                mine[target] = mine.get(target, 0.0) + count
+        for doc, count in fresh.occurrence_counts.items():
+            self._occurrences[doc] = self._occurrences.get(doc, 0.0) + count
+
+    def snapshot(self) -> DependencyModel:
+        """Freeze the current aged counts into a model."""
+        return DependencyModel.from_counts(
+            {s: dict(r) for s, r in self._pairs.items()}, dict(self._occurrences)
+        )
+
+
+class RollingEstimator:
+    """Sliding-window re-estimation on the paper's schedule.
+
+    Every ``update_cycle_days`` the model is rebuilt from the previous
+    ``history_length_days`` of trace.  :meth:`model_at` returns the
+    model in force at a given time — i.e. the one built at the last
+    update boundary, trained only on data strictly before that boundary
+    (no peeking at the future).
+
+    Args:
+        trace: The full trace (training source).
+        history_length_days: D′ — how much history each estimate sees.
+        update_cycle_days: D — how often the estimate refreshes.
+        window: ``T_w`` for pair counting.
+        stride_timeout: Stride gap; defaults to ``window``.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        history_length_days: float = 60.0,
+        update_cycle_days: float = 1.0,
+        window: float = 5.0,
+        stride_timeout: float | None = None,
+    ):
+        if history_length_days <= 0 or update_cycle_days <= 0:
+            raise DependencyModelError("history and cycle must be positive")
+        self._trace = trace
+        self._history = history_length_days * SECONDS_PER_DAY
+        self._cycle = update_cycle_days * SECONDS_PER_DAY
+        self._window = window
+        self._stride_timeout = stride_timeout
+        self._origin = trace.start_time
+        self._cache: dict[int, DependencyModel] = {}
+
+    def _boundary_index(self, now: float) -> int:
+        if now <= self._origin:
+            return 0
+        return int((now - self._origin) // self._cycle)
+
+    def model_at(self, now: float) -> DependencyModel:
+        """The dependency model in force at time ``now``."""
+        index = self._boundary_index(now)
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        boundary = self._origin + index * self._cycle
+        training = self._trace.window(boundary - self._history, boundary)
+        model = DependencyModel.estimate(
+            training, window=self._window, stride_timeout=self._stride_timeout
+        )
+        self._cache[index] = model
+        return model
+
+    def n_updates(self, until: float) -> int:
+        """How many re-estimations happen up to a time."""
+        return self._boundary_index(until) + 1

@@ -1,0 +1,197 @@
+"""Client cache models (paper section 3.2).
+
+The paper emulates client caching policies through ``SessionTimeout``:
+
+* ``SessionTimeout = 0`` — a client with **no cache**.
+* ``SessionTimeout = 60 min`` — an infinite-size **single-session** cache
+  (purged when the client goes idle for a session gap).
+* ``SessionTimeout = ∞`` — an infinite-size **multi-session** cache (the
+  LAN cache of the paper's reference [4]); the baseline setting.
+
+A finite **LRU** cache is also provided (the paper's "presence of such a
+cache (even if modest)" remark), and every cache can produce the digest
+of its contents for the cooperative-clients variant.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Callable, Protocol
+
+from ..errors import SimulationError
+
+
+class ClientCache(Protocol):
+    """Protocol implemented by all client cache models."""
+
+    def access(self, now: float) -> None:
+        """Notify the cache of client activity at time ``now``.
+
+        Session-scoped caches purge here when the idle gap since the
+        previous activity reaches the session timeout.
+        """
+        ...
+
+    def contains(self, doc_id: str) -> bool:
+        """Is the document currently cached?"""
+        ...
+
+    def insert(self, doc_id: str, size: int) -> None:
+        """Store a document (demand-fetched or speculatively pushed)."""
+        ...
+
+    def digest(self) -> frozenset[str]:
+        """Document ids currently cached (for cooperative piggybacking)."""
+        ...
+
+
+class NoCache:
+    """``SessionTimeout = 0``: nothing is ever cached."""
+
+    def access(self, now: float) -> None:
+        """No session state to advance."""
+
+    def contains(self, doc_id: str) -> bool:
+        """Always a miss."""
+        return False
+
+    def insert(self, doc_id: str, size: int) -> None:
+        """Dropped on the floor."""
+
+    def digest(self) -> frozenset[str]:
+        """Always empty."""
+        return frozenset()
+
+
+class SessionCache:
+    """Infinite cache purged after a session gap.
+
+    Args:
+        session_timeout: Idle seconds after which the cache is purged.
+            ``inf`` never purges (multi-session cache); 0 behaves like
+            :class:`NoCache`.
+    """
+
+    def __init__(self, session_timeout: float):
+        if session_timeout < 0:
+            raise SimulationError("session_timeout must be non-negative")
+        self._timeout = session_timeout
+        self._contents: set[str] = set()
+        self._last_access: float | None = None
+
+    def access(self, now: float) -> None:
+        """Advance session state; purge when the idle gap hits timeout."""
+        if self._last_access is not None:
+            gap = now - self._last_access
+            if gap < 0:
+                raise SimulationError("cache accessed backwards in time")
+            if gap >= self._timeout:
+                self._contents.clear()
+        elif self._timeout == 0:
+            self._contents.clear()
+        self._last_access = now
+
+    def contains(self, doc_id: str) -> bool:
+        """Is the document cached this session?"""
+        return doc_id in self._contents
+
+    def insert(self, doc_id: str, size: int) -> None:
+        """Store the document (no-op at a zero session timeout)."""
+        if self._timeout == 0:
+            return
+        self._contents.add(doc_id)
+
+    def digest(self) -> frozenset[str]:
+        """Currently cached document ids."""
+        return frozenset(self._contents)
+
+
+class InfiniteCache(SessionCache):
+    """``SessionTimeout = ∞``: the infinite multi-session cache."""
+
+    def __init__(self):
+        super().__init__(math.inf)
+
+
+class LRUCache:
+    """Finite client cache with least-recently-used eviction.
+
+    Args:
+        capacity_bytes: Storage budget; documents exceeding it alone
+            are simply not cached.
+        session_timeout: Optional session purge on top of LRU (``inf``
+            disables it).
+    """
+
+    def __init__(self, capacity_bytes: float, session_timeout: float = math.inf):
+        if capacity_bytes <= 0:
+            raise SimulationError("capacity_bytes must be positive")
+        if session_timeout < 0:
+            raise SimulationError("session_timeout must be non-negative")
+        self._capacity = capacity_bytes
+        self._timeout = session_timeout
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._used = 0
+        self._last_access: float | None = None
+
+    def access(self, now: float) -> None:
+        """Advance session state; purge after a session gap."""
+        if self._last_access is not None and now - self._last_access >= self._timeout:
+            self._entries.clear()
+            self._used = 0
+        self._last_access = now
+
+    def contains(self, doc_id: str) -> bool:
+        """Is the document cached? (refreshes its recency)"""
+        if doc_id in self._entries:
+            self._entries.move_to_end(doc_id)
+            return True
+        return False
+
+    def insert(self, doc_id: str, size: int) -> None:
+        """Store the document, evicting least-recently-used entries."""
+        if size > self._capacity:
+            return
+        if doc_id in self._entries:
+            self._used -= self._entries.pop(doc_id)
+        while self._used + size > self._capacity and self._entries:
+            __, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+        self._entries[doc_id] = size
+        self._used += size
+
+    def digest(self) -> frozenset[str]:
+        """Currently cached document ids."""
+        return frozenset(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+
+def make_cache_factory(
+    session_timeout: float,
+    *,
+    capacity_bytes: float = math.inf,
+) -> Callable[[], ClientCache]:
+    """Cache factory matching the paper's SessionTimeout semantics.
+
+    Args:
+        session_timeout: 0 → no cache; finite → single-session infinite
+            cache; ``inf`` → multi-session infinite cache.
+        capacity_bytes: Finite values switch to an LRU cache with the
+            given budget (still honouring the session timeout).
+
+    Returns:
+        A zero-argument callable producing a fresh cache per client.
+    """
+    if session_timeout < 0:
+        raise SimulationError("session_timeout must be non-negative")
+    if capacity_bytes <= 0:
+        raise SimulationError("capacity_bytes must be positive")
+    if math.isinf(capacity_bytes):
+        if session_timeout == 0:
+            return NoCache
+        return lambda: SessionCache(session_timeout)
+    return lambda: LRUCache(capacity_bytes, session_timeout)

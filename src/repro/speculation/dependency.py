@@ -1,0 +1,266 @@
+"""Document access interdependencies: the ``P`` matrix and closure ``P*``.
+
+Section 3.1 defines ``p[i, j]`` as the conditional probability that
+document ``D_j`` is requested within a window ``T_w`` of a request for
+``D_i``.  Estimation follows the paper's stride rule: two requests from
+the same client within ``StrideTimeout`` seconds are *dependent*, so
+counting is confined to traversal strides.
+
+The closure is written ``P* = P^N`` in the paper — the probability of a
+*sequence* of requests leading from ``D_i`` to ``D_j`` with every gap at
+most ``T_w``.  ``P`` is not a stochastic matrix (rows need not sum
+to 1), so a literal matrix power has no probabilistic reading and is
+O(N⁴) besides.  This implementation realizes the stated semantics as the
+**best-path product**: ``p*[i, j]`` is the maximum over request chains
+``i → … → j`` of the product of the per-hop conditional probabilities,
+computed per source with a pruned Dijkstra search in −log space (and
+``p*[i, j] >= p[i, j]`` always, with equality on direct links).  The
+substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import DependencyModelError
+from ..trace.records import Trace
+from ..trace.sessions import split_strides
+
+
+@dataclass(frozen=True)
+class PairHistogram:
+    """Histogram of ``(D_i, D_j)`` pair counts by probability range.
+
+    This is the paper's Figure 4: the number of document pairs whose
+    ``p[i, j]`` falls in each bin.  With link anchors followed uniformly
+    the mass piles up near ``1/k`` for small integers ``k``, and the
+    rightmost bin collects the embedding dependencies (``p ≈ 1``).
+    """
+
+    bin_edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.bin_edges) - 1:
+            raise DependencyModelError("counts must have one entry per bin")
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(self.counts)
+
+    def fraction_in_bin(self, index: int) -> float:
+        """Share of all pairs falling in one probability bin."""
+        return self.counts[index] / self.total_pairs if self.total_pairs else 0.0
+
+
+class DependencyModel:
+    """The estimated ``P`` matrix with on-demand ``P*`` closure rows.
+
+    Build with :meth:`estimate` (from a trace) or :meth:`from_counts`
+    (from raw pair/occurrence counts, as the aging machinery does).
+    """
+
+    def __init__(
+        self,
+        pair_counts: dict[str, dict[str, float]],
+        occurrences: dict[str, float],
+    ):
+        for source, row in pair_counts.items():
+            base = occurrences.get(source, 0.0)
+            if base <= 0 and row:
+                raise DependencyModelError(
+                    f"pairs recorded for {source!r} with no occurrences"
+                )
+            for target, count in row.items():
+                if count < 0:
+                    raise DependencyModelError("negative pair count")
+                if count > base * (1 + 1e-9):
+                    raise DependencyModelError(
+                        f"pair count for ({source!r}, {target!r}) exceeds "
+                        "source occurrences"
+                    )
+        self._pairs = {s: dict(row) for s, row in pair_counts.items()}
+        self._occurrences = dict(occurrences)
+        self._closure_cache: dict[tuple[str, float, int], dict[str, float]] = {}
+
+    # -- estimation --------------------------------------------------------------
+
+    @classmethod
+    def estimate(
+        cls,
+        trace: Trace,
+        *,
+        window: float = 5.0,
+        stride_timeout: float | None = None,
+    ) -> "DependencyModel":
+        """Estimate ``P`` from a trace.
+
+        For every request for ``D_i`` at time ``t``, each *distinct*
+        later document requested by the same client in ``(t, t + window]``
+        and in the same traversal stride counts one ``(i, j)`` pair
+        (repeats of ``D_j`` inside one window count once, mirroring the
+        conditional-probability definition).
+
+        Args:
+            trace: The (training) trace.
+            window: ``T_w`` in seconds (paper: 5 s).
+            stride_timeout: ``StrideTimeout``; defaults to ``window``,
+                the paper's baseline coupling.
+        """
+        if window <= 0:
+            raise DependencyModelError("window must be positive")
+        stride_timeout = window if stride_timeout is None else stride_timeout
+
+        pair_counts: dict[str, dict[str, float]] = {}
+        occurrences: Counter[str] = Counter()
+        for stride in split_strides(trace, stride_timeout):
+            requests = stride.requests
+            for index, source in enumerate(requests):
+                occurrences[source.doc_id] += 1
+                seen: set[str] = set()
+                for follower in requests[index + 1 :]:
+                    if follower.timestamp - source.timestamp > window:
+                        break
+                    if follower.doc_id == source.doc_id:
+                        continue
+                    if follower.doc_id in seen:
+                        continue
+                    seen.add(follower.doc_id)
+                    row = pair_counts.setdefault(source.doc_id, {})
+                    row[follower.doc_id] = row.get(follower.doc_id, 0.0) + 1.0
+        return cls(pair_counts, dict(occurrences))
+
+    @classmethod
+    def from_counts(
+        cls,
+        pair_counts: dict[str, dict[str, float]],
+        occurrences: dict[str, float],
+    ) -> "DependencyModel":
+        """Wrap precomputed counts (used by aging / merging)."""
+        return cls(pair_counts, occurrences)
+
+    # -- raw access --------------------------------------------------------------
+
+    @property
+    def pair_counts(self) -> dict[str, dict[str, float]]:
+        """Raw pair counts (copies; safe to mutate)."""
+        return {s: dict(row) for s, row in self._pairs.items()}
+
+    @property
+    def occurrence_counts(self) -> dict[str, float]:
+        return dict(self._occurrences)
+
+    def documents(self) -> set[str]:
+        """All documents seen as a source or target."""
+        docs = set(self._occurrences)
+        for row in self._pairs.values():
+            docs.update(row)
+        return docs
+
+    # -- probabilities ------------------------------------------------------------
+
+    def p(self, source: str, target: str) -> float:
+        """Direct conditional probability ``p[i, j]``."""
+        base = self._occurrences.get(source, 0.0)
+        if base <= 0:
+            return 0.0
+        return self._pairs.get(source, {}).get(target, 0.0) / base
+
+    def successors(self, source: str) -> dict[str, float]:
+        """The non-zero entries of row ``i`` of ``P``."""
+        base = self._occurrences.get(source, 0.0)
+        if base <= 0:
+            return {}
+        return {
+            target: count / base
+            for target, count in self._pairs.get(source, {}).items()
+            if count > 0
+        }
+
+    def closure_row(
+        self,
+        source: str,
+        *,
+        min_probability: float = 0.01,
+        max_hops: int = 8,
+    ) -> dict[str, float]:
+        """Row ``i`` of ``P*``: best-chain probability to every target.
+
+        Computed by Dijkstra in −log space, pruning chains whose product
+        falls below ``min_probability`` or longer than ``max_hops``
+        hops.  Results are memoized per (source, pruning) triple.
+
+        Args:
+            source: The requested document ``D_i``.
+            min_probability: Chains below this probability are pruned.
+            max_hops: Maximum chain length.
+
+        Returns:
+            Mapping target → ``p*[i, target]`` (source excluded).
+        """
+        if not 0.0 < min_probability <= 1.0:
+            raise DependencyModelError("min_probability must be in (0, 1]")
+        if max_hops < 1:
+            raise DependencyModelError("max_hops must be >= 1")
+        key = (source, min_probability, max_hops)
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+
+        best: dict[str, float] = {source: 1.0}
+        hops: dict[str, int] = {source: 0}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        while heap:
+            neg_log, node = heapq.heappop(heap)
+            probability = math.exp(-neg_log)
+            if probability < best.get(node, 0.0) - 1e-15:
+                continue  # stale heap entry
+            if hops[node] >= max_hops:
+                continue
+            for target, edge in self.successors(node).items():
+                chained = probability * edge
+                if chained < min_probability:
+                    continue
+                if chained > best.get(target, 0.0) + 1e-15:
+                    best[target] = chained
+                    hops[target] = hops[node] + 1
+                    heapq.heappush(heap, (-math.log(chained), target))
+        best.pop(source, None)
+        self._closure_cache[key] = dict(best)
+        return best
+
+    def p_star(
+        self,
+        source: str,
+        target: str,
+        *,
+        min_probability: float = 0.01,
+        max_hops: int = 8,
+    ) -> float:
+        """``p*[i, j]`` under the same pruning as :meth:`closure_row`."""
+        return self.closure_row(
+            source, min_probability=min_probability, max_hops=max_hops
+        ).get(target, 0.0)
+
+    # -- analyses -----------------------------------------------------------------
+
+    def pair_histogram(self, n_bins: int = 20) -> PairHistogram:
+        """Figure 4: histogram of pair counts over ``p[i, j]`` ranges."""
+        if n_bins < 1:
+            raise DependencyModelError("need at least one bin")
+        edges = [k / n_bins for k in range(n_bins + 1)]
+        counts = [0] * n_bins
+        for source, row in self._pairs.items():
+            base = self._occurrences.get(source, 0.0)
+            if base <= 0:
+                continue
+            for count in row.values():
+                probability = count / base
+                if probability <= 0:
+                    continue
+                index = min(int(probability * n_bins), n_bins - 1)
+                counts[index] += 1
+        return PairHistogram(bin_edges=tuple(edges), counts=tuple(counts))

@@ -1,0 +1,138 @@
+"""Compact cache digests for cooperative clients.
+
+Section 3.4's cooperative clients piggyback "a list of document IDs
+that it already has in its cache" on every request.  Literal ID lists
+grow with the cache; the practical encoding (later popularized by
+Summary Cache) is a **Bloom filter**: a few bits per document, with a
+tunable false-positive rate.
+
+A false positive makes the server believe the client caches a document
+it does not, so the server skips a push that would have been useful —
+cooperative gains degrade gracefully with the digest's compression.
+:class:`BloomFilter` implements the filter;
+:func:`digest_size_bytes` sizes the per-request overhead so the
+trade-off (digest bytes vs wasted speculative bytes) can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PolicyError
+
+
+class BloomFilter:
+    """A classic Bloom filter over string items.
+
+    Args:
+        capacity: Number of items the filter is sized for.
+        fp_rate: Target false-positive probability at capacity.
+        seed: Salt for the hash family (determinism across runs).
+
+    Sizing uses the standard optima: ``m = −n·ln(p) / ln(2)²`` bits and
+    ``k = (m/n)·ln(2)`` hash functions.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float, *, seed: int = 0):
+        if capacity < 1:
+            raise PolicyError("capacity must be >= 1")
+        if not 0.0 < fp_rate < 1.0:
+            raise PolicyError("fp_rate must be in (0, 1)")
+        self._n_bits = max(
+            8, int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        )
+        self._n_hashes = max(
+            1, int(round(self._n_bits / capacity * math.log(2)))
+        )
+        self._seed = seed
+        self._capacity = capacity
+        self._bits = 0  # arbitrary-size int as the bit array
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        """The item count the filter was sized for."""
+        return self._capacity
+
+    @property
+    def n_bits(self) -> int:
+        return self._n_bits
+
+    @property
+    def n_hashes(self) -> int:
+        return self._n_hashes
+
+    @property
+    def count(self) -> int:
+        """Items added so far."""
+        return self._count
+
+    def _positions(self, item: str):
+        # Double hashing over two independent 64-bit halves of a keyed
+        # blake2b digest — deterministic across runs and well mixed.
+        import hashlib
+
+        digest = hashlib.blake2b(
+            item.encode(), digest_size=16, salt=self._seed.to_bytes(8, "little")
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        for index in range(self._n_hashes):
+            yield (h1 + index * h2) % self._n_bits
+
+    def add(self, item: str) -> None:
+        """Insert an item."""
+        for position in self._positions(item):
+            self._bits |= 1 << position
+        self._count += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all((self._bits >> p) & 1 for p in self._positions(item))
+
+    def clear(self) -> None:
+        """Empty the filter (client cache purge)."""
+        self._bits = 0
+        self._count = 0
+
+    @classmethod
+    def from_items(
+        cls, items, fp_rate: float = 0.01, *, seed: int = 0, capacity: int | None = None
+    ) -> "BloomFilter":
+        """Build a filter holding ``items``.
+
+        Args:
+            items: The items to insert.
+            fp_rate: Target false-positive rate.
+            seed: Hash salt.
+            capacity: Size the filter for this many items (default: the
+                number of items given, minimum 16 so tiny caches don't
+                produce degenerate filters).
+        """
+        materialized = list(items)
+        bloom = cls(
+            capacity or max(16, len(materialized)), fp_rate, seed=seed
+        )
+        for item in materialized:
+            bloom.add(item)
+        return bloom
+
+
+def digest_size_bytes(n_documents: int, *, fp_rate: float | None = None) -> float:
+    """Per-request digest overhead in bytes.
+
+    Args:
+        n_documents: Documents in the client's cache.
+        fp_rate: ``None`` sizes the *exact* digest (an ID list at ~24
+            bytes per URL, the mid-90s average path length); otherwise
+            the Bloom filter at that false-positive rate.
+    """
+    if n_documents < 0:
+        raise PolicyError("n_documents must be non-negative")
+    if n_documents == 0:
+        return 0.0
+    if fp_rate is None:
+        return 24.0 * n_documents
+    if not 0.0 < fp_rate < 1.0:
+        raise PolicyError("fp_rate must be in (0, 1)")
+    bits = -n_documents * math.log(fp_rate) / (math.log(2) ** 2)
+    return max(1.0, bits / 8.0)

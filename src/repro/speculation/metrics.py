@@ -1,0 +1,119 @@
+"""The paper's four evaluation metrics (section 3.2).
+
+All four are ratios of a speculation run against a no-speculation run
+over the same trace and cache model:
+
+* **Bandwidth ratio** — bytes communicated with / without speculation
+  (> 1: speculation buys its gains with extra traffic).
+* **Server load ratio** — requests hitting the server with / without.
+* **Service time ratio** — total retrieval latency with / without.
+* **Miss rate ratio** — client byte miss rate with / without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SpeculationMetrics:
+    """Raw totals from one simulation run.
+
+    Attributes:
+        bytes_sent: Total bytes communicated server → clients, demand
+            and speculative together.
+        server_requests: Requests that reached the server.
+        service_time: Total retrieval latency in cost units
+            (ServCost per server round trip + CommCost per demand byte).
+        miss_bytes: Bytes the client had to fetch (not in its cache).
+        accessed_bytes: Bytes of all client accesses (hit or miss).
+        speculated_documents: Documents pushed speculatively.
+        speculated_bytes: Bytes pushed speculatively.
+        wasted_bytes: Speculated bytes never used before being purged.
+    """
+
+    bytes_sent: float
+    server_requests: int
+    service_time: float
+    miss_bytes: float
+    accessed_bytes: float
+    speculated_documents: int = 0
+    speculated_bytes: float = 0.0
+    wasted_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        numbers = (
+            self.bytes_sent,
+            self.server_requests,
+            self.service_time,
+            self.miss_bytes,
+            self.accessed_bytes,
+            self.speculated_documents,
+            self.speculated_bytes,
+            self.wasted_bytes,
+        )
+        if any(value < 0 for value in numbers):
+            raise SimulationError("metrics must be non-negative")
+
+    @property
+    def miss_rate(self) -> float:
+        """Byte miss rate: bytes not found in cache over bytes accessed."""
+        return self.miss_bytes / self.accessed_bytes if self.accessed_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class SpeculationRatios:
+    """The four ratios (speculation / baseline), plus conveniences."""
+
+    bandwidth_ratio: float
+    server_load_ratio: float
+    service_time_ratio: float
+    miss_rate_ratio: float
+
+    @property
+    def traffic_increase(self) -> float:
+        """Extra traffic bought: ``bandwidth_ratio − 1`` (≥ 0 usually)."""
+        return self.bandwidth_ratio - 1.0
+
+    @property
+    def server_load_reduction(self) -> float:
+        return 1.0 - self.server_load_ratio
+
+    @property
+    def service_time_reduction(self) -> float:
+        return 1.0 - self.service_time_ratio
+
+    @property
+    def miss_rate_reduction(self) -> float:
+        return 1.0 - self.miss_rate_ratio
+
+    def format(self) -> str:
+        """One-line human-readable rendering of the four ratios."""
+        return (
+            f"traffic {self.traffic_increase:+.1%}  "
+            f"load -{self.server_load_reduction:.1%}  "
+            f"time -{self.service_time_reduction:.1%}  "
+            f"miss -{self.miss_rate_reduction:.1%}"
+        )
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return 1.0 if numerator == 0 else float("inf")
+    return numerator / denominator
+
+
+def compare(
+    speculation: SpeculationMetrics, baseline: SpeculationMetrics
+) -> SpeculationRatios:
+    """Compute the four ratios of a speculation run over its baseline."""
+    return SpeculationRatios(
+        bandwidth_ratio=_ratio(speculation.bytes_sent, baseline.bytes_sent),
+        server_load_ratio=_ratio(
+            speculation.server_requests, baseline.server_requests
+        ),
+        service_time_ratio=_ratio(speculation.service_time, baseline.service_time),
+        miss_rate_ratio=_ratio(speculation.miss_rate, baseline.miss_rate),
+    )

@@ -1,0 +1,142 @@
+"""Server-assisted prefetching and the hybrid protocol (section 3.4).
+
+Instead of pushing documents outright, the server can *assist* clients:
+it attaches to each response a list of document URLs highly likely to be
+requested soon, and clients decide what to prefetch.  Prefetching moves
+the bandwidth decision to the client but — unlike speculative service —
+each prefetched document costs the server a request.
+
+The **hybrid** protocol combines both: server-initiated speculation is
+restricted to near-certain documents (embeddings), while less probable
+future accesses are left to client-initiated prefetching from the hint
+list.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import PolicyError
+from ..trace.records import Document
+from .dependency import DependencyModel
+from .policies import Candidate, EmbeddingOnlyPolicy
+
+
+@dataclass(frozen=True)
+class PrefetchHints:
+    """Server-side hint generator.
+
+    Attributes:
+        max_hints: Hints attached per response.
+        min_probability: Follow-ups below this are never hinted.
+        use_closure: Rank hints by ``P*`` (default) or direct ``P``.
+        max_hops: Chain-length cap for closure computation.
+    """
+
+    max_hints: int = 10
+    min_probability: float = 0.05
+    use_closure: bool = True
+    max_hops: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_hints < 1:
+            raise PolicyError("max_hints must be >= 1")
+        if not 0.0 < self.min_probability <= 1.0:
+            raise PolicyError("min_probability must be in (0, 1]")
+
+    def hints(
+        self,
+        requested: str,
+        model: DependencyModel,
+        catalog: dict[str, Document],
+    ) -> list[Candidate]:
+        """The hint list the server attaches to a response."""
+        if self.use_closure:
+            row = model.closure_row(
+                requested,
+                min_probability=self.min_probability,
+                max_hops=self.max_hops,
+            )
+        else:
+            row = model.successors(requested)
+        hints = [
+            Candidate(doc_id=target, probability=probability)
+            for target, probability in row.items()
+            if probability >= self.min_probability and target in catalog
+        ]
+        hints.sort(key=lambda c: (-c.probability, c.doc_id))
+        return hints[: self.max_hints]
+
+
+@dataclass(frozen=True)
+class ClientPrefetcher:
+    """Client-side prefetch decision from server hints.
+
+    Attributes:
+        hints: The server's hint generator.
+        threshold: The client prefetches hinted documents with
+            probability at least this value.
+        max_size: The client skips hinted documents larger than this.
+    """
+
+    hints: PrefetchHints = PrefetchHints()
+    threshold: float = 0.25
+    max_size: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise PolicyError("threshold must be in (0, 1]")
+        if self.max_size <= 0:
+            raise PolicyError("max_size must be positive")
+
+    def choose(
+        self,
+        requested: str,
+        model: DependencyModel,
+        catalog: dict[str, Document],
+    ) -> list[str]:
+        """Documents the client decides to prefetch, best first."""
+        chosen = []
+        for candidate in self.hints.hints(requested, model, catalog):
+            if candidate.probability < self.threshold:
+                break  # hints are sorted; nothing later qualifies
+            document = catalog.get(candidate.doc_id)
+            if document is not None and document.size <= self.max_size:
+                chosen.append(candidate.doc_id)
+        return chosen
+
+
+@dataclass(frozen=True)
+class HybridProtocol:
+    """Speculation for embeddings + client prefetch for traversals.
+
+    Server-initiated speculative service handles documents that are
+    near-certainly needed (embedding dependencies — no wasted
+    bandwidth); the remaining probable accesses are hinted and left to
+    client-initiated prefetching.
+
+    Pass :attr:`policy` and :attr:`prefetcher` to
+    :meth:`repro.speculation.simulator.SpeculativeServiceSimulator.run`.
+    """
+
+    policy: EmbeddingOnlyPolicy = EmbeddingOnlyPolicy()
+    prefetcher: ClientPrefetcher = ClientPrefetcher()
+
+    @classmethod
+    def with_thresholds(
+        cls,
+        *,
+        embedding_tolerance: float = 0.05,
+        prefetch_threshold: float = 0.25,
+        max_size: float = math.inf,
+    ) -> "HybridProtocol":
+        """Build a hybrid protocol from the two decision thresholds."""
+        return cls(
+            policy=EmbeddingOnlyPolicy(
+                tolerance=embedding_tolerance, max_size=max_size
+            ),
+            prefetcher=ClientPrefetcher(
+                threshold=prefetch_threshold, max_size=max_size
+            ),
+        )

@@ -1,0 +1,130 @@
+"""Queueing view of server load: why load reduction buys latency.
+
+The paper's cost model prices a request at a flat ``ServCost``.  In a
+real server, response time *grows with utilization*: the requests that
+speculation removes are worth more than their flat cost when the server
+runs hot.  This module provides the standard M/M/1 lens:
+
+    utilization  ρ = λ / μ
+    response time W = 1 / (μ − λ)        (ρ < 1)
+
+With it, a speculation run's server-request reduction translates into a
+response-time improvement *curve* over offered load — steepest exactly
+where servers hurt.  This is an extension beyond the paper's flat-cost
+model and is flagged as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .metrics import SpeculationRatios
+
+
+@dataclass(frozen=True)
+class MM1Server:
+    """An M/M/1 server with a fixed service capacity.
+
+    Attributes:
+        capacity: Requests per second the server can sustain (μ).
+    """
+
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError("capacity must be positive")
+
+    def utilization(self, arrival_rate: float) -> float:
+        """ρ = λ/μ for an offered request rate."""
+        if arrival_rate < 0:
+            raise SimulationError("arrival rate must be non-negative")
+        return arrival_rate / self.capacity
+
+    def response_time(self, arrival_rate: float) -> float:
+        """Mean response time ``W = 1/(μ − λ)``.
+
+        Returns:
+            Seconds; ``inf`` when the server is saturated (ρ ≥ 1).
+        """
+        if arrival_rate < 0:
+            raise SimulationError("arrival rate must be non-negative")
+        if arrival_rate >= self.capacity:
+            return math.inf
+        return 1.0 / (self.capacity - arrival_rate)
+
+    def saturation_rate(self) -> float:
+        """The arrival rate at which the server saturates (= μ)."""
+        return self.capacity
+
+
+@dataclass(frozen=True)
+class LatencyImpact:
+    """Response-time impact of a speculation run at one offered load.
+
+    Attributes:
+        arrival_rate: Offered demand-request rate without speculation.
+        baseline_response: Mean response time without speculation.
+        speculative_response: Mean response time with the run's
+            server-load ratio applied to the arrival rate.
+    """
+
+    arrival_rate: float
+    baseline_response: float
+    speculative_response: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline over speculative response time (≥ 1 when it helps).
+
+        ``inf`` when speculation rescues a saturated server; 1.0 when
+        both are saturated or both idle-equal.
+        """
+        if math.isinf(self.baseline_response):
+            return math.inf if not math.isinf(self.speculative_response) else 1.0
+        if self.speculative_response == 0:
+            return math.inf
+        return self.baseline_response / self.speculative_response
+
+
+def latency_impact(
+    server: MM1Server,
+    ratios: SpeculationRatios,
+    arrival_rate: float,
+) -> LatencyImpact:
+    """Translate a server-load ratio into response times at one load.
+
+    Args:
+        server: The queueing model of the origin server.
+        ratios: A speculation run's four ratios; only
+            ``server_load_ratio`` is used.
+        arrival_rate: Demand requests/second without speculation.
+    """
+    reduced_rate = arrival_rate * ratios.server_load_ratio
+    return LatencyImpact(
+        arrival_rate=arrival_rate,
+        baseline_response=server.response_time(arrival_rate),
+        speculative_response=server.response_time(reduced_rate),
+    )
+
+
+def capacity_headroom(
+    server: MM1Server, ratios: SpeculationRatios, arrival_rate: float
+) -> float:
+    """How much more offered load the server can take with speculation.
+
+    Returns the multiplicative headroom: the factor by which the
+    offered rate could grow before the *speculative* load saturates the
+    server.  With a load ratio ``r`` this is ``μ / (λ·r)``.
+
+    Raises:
+        SimulationError: If the arrival rate is not positive.
+    """
+    if arrival_rate <= 0:
+        raise SimulationError("arrival rate must be positive")
+    effective = arrival_rate * ratios.server_load_ratio
+    if effective <= 0:
+        return math.inf
+    return server.capacity / effective

@@ -1,0 +1,133 @@
+"""Prediction-quality diagnostics for speculation policies.
+
+Beyond the paper's four cost ratios, a deployment wants to know *how
+good the predictions themselves are*: of the documents a policy would
+push, how many are actually requested soon (precision), and how much of
+the soon-requested traffic the policy covers (recall)?
+
+:func:`evaluate_policy_predictions` replays a trace and scores each
+miss's speculation set against the same client's actual accesses within
+a horizon.  This is the natural tool for comparing policies and tuning
+thresholds before committing to a full cost simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..trace.records import Trace
+from .dependency import DependencyModel
+from .policies import SpeculationPolicy
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Aggregate precision/recall of a policy over a trace.
+
+    Attributes:
+        predictions: Documents speculated across all scored requests.
+        used_predictions: Speculated documents actually requested by
+            the same client within the horizon.
+        opportunities: Distinct (request, future document) pairs within
+            the horizon that speculation could have covered.
+        covered_opportunities: Opportunities the policy did cover.
+        scored_requests: Requests at which the policy was invoked.
+    """
+
+    predictions: int
+    used_predictions: int
+    opportunities: int
+    covered_opportunities: int
+    scored_requests: int
+
+    @property
+    def precision(self) -> float:
+        """Used predictions over all predictions (1.0 when no predictions)."""
+        return (
+            self.used_predictions / self.predictions if self.predictions else 1.0
+        )
+
+    @property
+    def recall(self) -> float:
+        """Covered opportunities over all opportunities (0.0 when none)."""
+        return (
+            self.covered_opportunities / self.opportunities
+            if self.opportunities
+            else 0.0
+        )
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_policy_predictions(
+    trace: Trace,
+    model: DependencyModel,
+    policy: SpeculationPolicy,
+    *,
+    horizon: float = 5.0,
+    max_requests: int | None = None,
+) -> PredictionQuality:
+    """Score a policy's speculation sets against actual future accesses.
+
+    For each request ``r`` (by client ``c`` at time ``t``), the policy's
+    speculation set is compared against the *distinct* documents ``c``
+    actually requests in ``(t, t + horizon]``.
+
+    Args:
+        trace: The trace to score on (typically held-out data the
+            ``model`` was not trained on).
+        model: The dependency model driving the policy.
+        policy: The speculation policy to evaluate.
+        horizon: Seconds of future considered "requested soon".
+        max_requests: Score at most this many requests (None = all).
+
+    Raises:
+        SimulationError: If the horizon is not positive.
+    """
+    if horizon <= 0:
+        raise SimulationError("horizon must be positive")
+    catalog = trace.documents
+
+    predictions = 0
+    used = 0
+    opportunities = 0
+    covered = 0
+    scored = 0
+
+    for client, requests in trace.by_client().items():
+        for index, request in enumerate(requests):
+            if max_requests is not None and scored >= max_requests:
+                break
+            scored += 1
+
+            actual: set[str] = set()
+            for follower in requests[index + 1 :]:
+                if follower.timestamp - request.timestamp > horizon:
+                    break
+                if follower.doc_id != request.doc_id:
+                    actual.add(follower.doc_id)
+
+            speculated = {
+                candidate.doc_id
+                for candidate in policy.select(request.doc_id, model, catalog)
+            }
+            predictions += len(speculated)
+            used += len(speculated & actual)
+            opportunities += len(actual)
+            covered += len(actual & speculated)
+        if max_requests is not None and scored >= max_requests:
+            break
+
+    return PredictionQuality(
+        predictions=predictions,
+        used_predictions=used,
+        opportunities=opportunities,
+        covered_opportunities=covered,
+        scored_requests=scored,
+    )

@@ -1,0 +1,99 @@
+"""Clusters and cluster hierarchies.
+
+A *cluster* (paper section 2.1) is a service proxy ``S_0`` together with
+the home servers ``S_1 .. S_n`` it represents.  The mapping between
+servers and proxies is many-to-many — one server may be fronted by
+several proxies along different routes — and proxies may themselves use
+higher-level proxies, forming a hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A service proxy and the home servers it fronts.
+
+    Attributes:
+        proxy: Identifier of the service proxy (``S_0``).
+        servers: Identifiers of the member home servers (``S_1..S_n``).
+        capacity_bytes: Total dissemination storage ``B_0`` at the proxy.
+    """
+
+    proxy: str
+    servers: tuple[str, ...]
+    capacity_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.proxy:
+            raise TopologyError("cluster proxy id must be non-empty")
+        if not self.servers:
+            raise TopologyError("cluster needs at least one server")
+        if len(set(self.servers)) != len(self.servers):
+            raise TopologyError("duplicate server in cluster")
+        if self.proxy in self.servers:
+            raise TopologyError("proxy cannot be its own member server")
+        if self.capacity_bytes < 0:
+            raise TopologyError("capacity must be non-negative")
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+
+class ClusterHierarchy:
+    """A multi-level hierarchy of clusters.
+
+    Level 0 clusters front home servers directly; a level ``k+1``
+    cluster's "servers" are the proxies of level ``k`` clusters,
+    modelling the paper's "disseminating popular information continues
+    for another level, and so on".
+
+    The same server may appear in several clusters of one level
+    (many-to-many mapping), but a proxy id may head only one cluster.
+    """
+
+    def __init__(self, levels: list[list[Cluster]]):
+        if not levels or not any(levels):
+            raise TopologyError("hierarchy needs at least one cluster")
+        seen_proxies: set[str] = set()
+        for level in levels:
+            for cluster in level:
+                if cluster.proxy in seen_proxies:
+                    raise TopologyError(
+                        f"proxy {cluster.proxy!r} heads more than one cluster"
+                    )
+                seen_proxies.add(cluster.proxy)
+        for lower, upper in zip(levels, levels[1:]):
+            lower_proxies = {c.proxy for c in lower}
+            for cluster in upper:
+                missing = set(cluster.servers) - lower_proxies
+                if missing:
+                    raise TopologyError(
+                        f"level-up cluster {cluster.proxy!r} fronts unknown "
+                        f"proxies {sorted(missing)}"
+                    )
+        self._levels = [list(level) for level in levels]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    def level(self, index: int) -> list[Cluster]:
+        """Clusters at one level (0 = closest to home servers)."""
+        try:
+            return list(self._levels[index])
+        except IndexError:
+            raise TopologyError(f"no level {index}") from None
+
+    def clusters_of_server(self, server: str) -> list[Cluster]:
+        """All level-0 clusters that front a given home server."""
+        return [c for c in self._levels[0] if server in c.servers]
+
+    def all_proxies(self) -> set[str]:
+        """Every proxy id in the hierarchy."""
+        return {c.proxy for level in self._levels for c in level}

@@ -1,0 +1,115 @@
+"""Choosing service-proxy locations on the clientele tree.
+
+Two strategies from the paper:
+
+* :func:`greedy_tree_placement` — the log-driven approach of section
+  2.1: choose internal tree nodes that maximize demand-weighted hop
+  savings (each client is shielded by its deepest selected ancestor).
+  Greedy selection gives the classic (1 − 1/e) approximation to this
+  submodular coverage objective.
+* :func:`geographic_placement` — the Gwertzman–Seltzer alternative:
+  place proxies in the geographic regions generating the most demand,
+  ignoring finer tree structure.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .tree import RoutingTree
+
+
+def _savings_per_node(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float],
+    chosen: set[str],
+) -> dict[str, float]:
+    """Marginal bytes×hops saving of adding each unchosen internal node."""
+    best_shield: dict[str, int] = {}
+    for client in demand_by_client:
+        depth = 0
+        for node in tree.path_from_root(client):
+            if node in chosen:
+                depth = max(depth, tree.depth(node))
+        best_shield[client] = depth
+
+    gains: dict[str, float] = {}
+    for node in tree.internal_nodes() - chosen:
+        node_depth = tree.depth(node)
+        gain = 0.0
+        for client in tree.subtree_leaves(node):
+            demand = demand_by_client.get(client, 0.0)
+            if demand <= 0:
+                continue
+            gain += demand * max(0, node_depth - best_shield.get(client, 0))
+        gains[node] = gain
+    return gains
+
+
+def greedy_tree_placement(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float],
+    n_proxies: int,
+) -> list[str]:
+    """Pick up to ``n_proxies`` internal nodes by greedy hop-savings.
+
+    Args:
+        tree: The clientele tree.
+        demand_by_client: Bytes requested per client (leaf id).
+        n_proxies: Number of proxies to place.
+
+    Returns:
+        Selected node ids in selection order (may be shorter than
+        ``n_proxies`` when no node adds savings or the tree runs out of
+        internal nodes).
+
+    Raises:
+        TopologyError: If ``n_proxies`` is negative or a demand key is
+            not a leaf of the tree.
+    """
+    if n_proxies < 0:
+        raise TopologyError("n_proxies must be non-negative")
+    unknown = set(demand_by_client) - tree.leaves
+    if unknown:
+        raise TopologyError(f"demand for non-leaf nodes: {sorted(unknown)[:3]}")
+
+    chosen: list[str] = []
+    chosen_set: set[str] = set()
+    for _ in range(n_proxies):
+        gains = _savings_per_node(tree, demand_by_client, chosen_set)
+        if not gains:
+            break
+        node, gain = max(gains.items(), key=lambda item: (item[1], item[0]))
+        if gain <= 0:
+            break
+        chosen.append(node)
+        chosen_set.add(node)
+    return chosen
+
+
+def geographic_placement(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float],
+    n_proxies: int,
+    *,
+    region_prefix: str = "region-",
+) -> list[str]:
+    """Place proxies at the highest-demand geographic regions.
+
+    Regions are the internal nodes named ``region-*`` by the builder
+    (they sit below any backbone chain).  This mirrors Gwertzman &
+    Seltzer's geographical push-caching: location choice by geography
+    alone, without the per-subtree optimization of the log-driven
+    placement.
+    """
+    if n_proxies < 0:
+        raise TopologyError("n_proxies must be non-negative")
+    region_demand: dict[str, float] = {}
+    for node in tree.internal_nodes():
+        if not node.startswith(region_prefix):
+            continue
+        total = sum(
+            demand_by_client.get(leaf, 0.0) for leaf in tree.subtree_leaves(node)
+        )
+        region_demand[node] = total
+    ranked = sorted(region_demand.items(), key=lambda item: (-item[1], item[0]))
+    return [node for node, demand in ranked[:n_proxies] if demand > 0]

@@ -1,0 +1,105 @@
+"""Descriptive statistics of clientele trees.
+
+Proxy placement and the bytes×hops accounting both hinge on the tree's
+shape: how deep the clients sit, how demand concentrates across
+subtrees.  :func:`tree_statistics` summarizes a tree (optionally
+demand-weighted) the way the paper characterizes its 34,000-node
+record-route tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from .tree import RoutingTree
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Shape summary of a clientele tree.
+
+    Attributes:
+        n_nodes: All nodes including the root.
+        n_leaves: Client leaves.
+        n_internal: Candidate proxy locations.
+        max_depth: Deepest leaf's hop count.
+        mean_leaf_depth: Average client hop count (unweighted).
+        demand_weighted_depth: Average hops per requested byte — the
+            baseline bytes×hops cost per byte.  0 when no demand given.
+        top_subtree_demand_share: Fraction of demand under the busiest
+            depth-1 subtree (how lopsided the clientele is).
+    """
+
+    n_nodes: int
+    n_leaves: int
+    n_internal: int
+    max_depth: int
+    mean_leaf_depth: float
+    demand_weighted_depth: float
+    top_subtree_demand_share: float
+
+    def format(self) -> str:
+        """Aligned multi-line rendering of the summary."""
+        return "\n".join(
+            [
+                f"nodes                 {self.n_nodes:>10,}",
+                f"leaves (clients)      {self.n_leaves:>10,}",
+                f"internal (proxies)    {self.n_internal:>10,}",
+                f"max depth             {self.max_depth:>10}",
+                f"mean leaf depth       {self.mean_leaf_depth:>10.2f}",
+                f"demand-weighted depth {self.demand_weighted_depth:>10.2f}",
+                f"busiest subtree share {self.top_subtree_demand_share:>10.1%}",
+            ]
+        )
+
+
+def tree_statistics(
+    tree: RoutingTree,
+    demand_by_client: dict[str, float] | None = None,
+) -> TreeStatistics:
+    """Summarize a clientele tree's shape.
+
+    Args:
+        tree: The tree to summarize.
+        demand_by_client: Optional bytes per leaf; enables the
+            demand-weighted fields.
+
+    Raises:
+        TopologyError: If demand references a non-leaf node.
+    """
+    leaves = tree.leaves
+    demand = demand_by_client or {}
+    unknown = set(demand) - leaves
+    if unknown:
+        raise TopologyError(f"demand for non-leaf nodes: {sorted(unknown)[:3]}")
+
+    leaf_depths = [tree.depth(leaf) for leaf in sorted(leaves)]
+    total_demand = sum(demand.values())
+
+    weighted_depth = 0.0
+    if total_demand > 0:
+        weighted_depth = (
+            sum(demand.get(leaf, 0.0) * tree.depth(leaf) for leaf in leaves)
+            / total_demand
+        )
+
+    top_share = 0.0
+    if total_demand > 0:
+        for child in tree.children(tree.root):
+            subtree_demand = sum(
+                demand.get(leaf, 0.0) for leaf in tree.subtree_leaves(child)
+            )
+            top_share = max(top_share, subtree_demand / total_demand)
+
+    return TreeStatistics(
+        n_nodes=len(tree),
+        n_leaves=len(leaves),
+        n_internal=len(tree.internal_nodes()),
+        max_depth=max(leaf_depths, default=0),
+        mean_leaf_depth=(
+            sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+        ),
+        demand_weighted_depth=weighted_depth,
+        top_subtree_demand_share=top_share,
+    )

@@ -1,0 +1,191 @@
+"""Rooted routing trees with hop accounting.
+
+The dissemination experiments measure traffic in **bytes × hops**: a
+byte served from the home server to a client costs one unit per edge on
+the root→leaf path, and a byte served from a proxy at an internal node
+only pays for the edges below that node.  :class:`RoutingTree` stores
+the tree, validates it, and answers the path/depth queries those
+experiments need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True, slots=True)
+class TreeNode:
+    """One node of the routing tree.
+
+    Attributes:
+        node_id: Unique identifier within the tree.
+        kind: ``"root"`` (the home server), ``"internal"`` (a potential
+            proxy location), or ``"leaf"`` (a client).
+    """
+
+    node_id: str
+    kind: str
+
+
+class RoutingTree:
+    """A tree rooted at the home server.
+
+    Construct with the root id and a ``child → parent`` mapping; every
+    node other than the root must appear exactly once as a key and reach
+    the root.  Leaves (nodes with no children) are the clients.
+
+    Args:
+        root: Identifier of the root (home server).
+        parents: Mapping from each non-root node to its parent.
+    """
+
+    def __init__(self, root: str, parents: dict[str, str]):
+        if root in parents:
+            raise TopologyError("root must not have a parent")
+        self._root = root
+        self._parents = dict(parents)
+
+        children: dict[str, list[str]] = {root: []}
+        for child, parent in self._parents.items():
+            children.setdefault(parent, [])
+            children.setdefault(child, [])
+            children[parent].append(child)
+        self._children = children
+
+        # Validate connectivity and acyclicity while computing depths.
+        self._depths: dict[str, int] = {root: 0}
+        for node in self._parents:
+            self._resolve_depth(node)
+
+        known = set(self._children)
+        for parent in set(self._parents.values()):
+            if parent != root and parent not in self._parents:
+                raise TopologyError(f"parent {parent!r} is not connected to the root")
+        self._leaves = frozenset(
+            node for node, kids in children.items() if not kids and node != root
+        )
+        __ = known  # all nodes validated via depth resolution
+
+    def _resolve_depth(self, node: str) -> int:
+        depth = self._depths.get(node)
+        if depth is not None:
+            return depth
+        chain: list[str] = []
+        current = node
+        while current not in self._depths:
+            if current in chain:
+                raise TopologyError(f"cycle detected at node {current!r}")
+            chain.append(current)
+            parent = self._parents.get(current)
+            if parent is None:
+                raise TopologyError(f"node {current!r} does not reach the root")
+            current = parent
+        base = self._depths[current]
+        for offset, member in enumerate(reversed(chain), start=1):
+            self._depths[member] = base + offset
+        return self._depths[node]
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        """The root (home server) node id."""
+        return self._root
+
+    @property
+    def leaves(self) -> frozenset[str]:
+        """All leaf (client) node ids."""
+        return self._leaves
+
+    def nodes(self) -> set[str]:
+        """All node ids, including the root."""
+        return set(self._children)
+
+    def internal_nodes(self) -> set[str]:
+        """Candidate proxy locations: non-root, non-leaf nodes."""
+        return self.nodes() - self._leaves - {self._root}
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def parent(self, node_id: str) -> str | None:
+        """Parent of a node; None for the root."""
+        if node_id == self._root:
+            return None
+        try:
+            return self._parents[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def children(self, node_id: str) -> list[str]:
+        """Children of a node."""
+        try:
+            return list(self._children[node_id])
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def depth(self, node_id: str) -> int:
+        """Edges between the root and a node (root has depth 0)."""
+        try:
+            return self._depths[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def path_from_root(self, node_id: str) -> list[str]:
+        """Node ids on the root→node path, inclusive of both ends."""
+        if node_id not in self._children:
+            raise TopologyError(f"unknown node {node_id!r}")
+        path = [node_id]
+        while path[-1] != self._root:
+            path.append(self._parents[path[-1]])
+        path.reverse()
+        return path
+
+    def hops(self, node_id: str) -> int:
+        """Hop count from the root to a node — the per-byte cost of
+        serving that node from the home server."""
+        return self.depth(node_id)
+
+    def hops_from(self, ancestor: str, node_id: str) -> int:
+        """Hop count from an ancestor node down to ``node_id``.
+
+        Raises:
+            TopologyError: If ``ancestor`` is not on the root path of
+                ``node_id`` — a proxy only shields clients below it.
+        """
+        path = self.path_from_root(node_id)
+        if ancestor not in path:
+            raise TopologyError(
+                f"{ancestor!r} is not an ancestor of {node_id!r}"
+            )
+        return self.depth(node_id) - self.depth(ancestor)
+
+    def subtree_leaves(self, node_id: str) -> set[str]:
+        """All leaves at or below a node."""
+        if node_id not in self._children:
+            raise TopologyError(f"unknown node {node_id!r}")
+        found: set[str] = set()
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            kids = self._children[current]
+            if not kids and current != self._root:
+                found.add(current)
+            stack.extend(kids)
+        return found
+
+    def node_kind(self, node_id: str) -> str:
+        """Classify a node as root / internal / leaf."""
+        if node_id == self._root:
+            return "root"
+        if node_id in self._leaves:
+            return "leaf"
+        if node_id in self._children:
+            return "internal"
+        raise TopologyError(f"unknown node {node_id!r}")

@@ -1,0 +1,108 @@
+"""Trace anonymization for sharing server logs.
+
+Both protocols need only the *structure* of a trace — who requested
+what, when — not real hostnames or URL text.  :func:`anonymize_trace`
+replaces client and document identifiers with opaque, deterministic
+pseudonyms (keyed HMAC-style hashing) while preserving everything the
+analyses depend on:
+
+* timestamps, sizes, status codes and the remote/local flag;
+* the client↔request and document↔request relationships;
+* region markers in synthetic client ids (so topology building still
+  works), unless ``keep_regions=False``.
+
+The same ``key`` maps the same identifier to the same pseudonym, so
+multiple log files of one server anonymize consistently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from ..errors import TraceFormatError
+from .records import Document, Request, Trace
+
+
+def _pseudonym(key: bytes, kind: str, value: str, length: int = 12) -> str:
+    digest = hmac.new(key, f"{kind}:{value}".encode(), hashlib.sha256)
+    return digest.hexdigest()[:length]
+
+
+def _region_suffix(client_id: str) -> str | None:
+    """Extract a synthetic region marker (``.region-NN`` / local)."""
+    if ".region-" in client_id:
+        return client_id[client_id.rindex(".region-") :]
+    if client_id.startswith("local-") or client_id.endswith(".campus"):
+        return ".campus"
+    return None
+
+
+def anonymize_trace(
+    trace: Trace,
+    key: str | bytes,
+    *,
+    keep_regions: bool = True,
+) -> Trace:
+    """Return a structurally identical trace with opaque identifiers.
+
+    Args:
+        trace: The trace to anonymize.
+        key: Secret key; the mapping is deterministic per key.
+        keep_regions: Preserve synthetic region/campus markers so the
+            topology builder still groups clients geographically.
+
+    Raises:
+        TraceFormatError: If the key is empty.
+    """
+    if isinstance(key, str):
+        key = key.encode()
+    if not key:
+        raise TraceFormatError("anonymization key must be non-empty")
+
+    client_map: dict[str, str] = {}
+    doc_map: dict[str, str] = {}
+
+    def map_client(client_id: str) -> str:
+        mapped = client_map.get(client_id)
+        if mapped is None:
+            mapped = "h" + _pseudonym(key, "client", client_id)
+            if keep_regions:
+                suffix = _region_suffix(client_id)
+                if suffix == ".campus":
+                    mapped = "local-" + mapped + ".campus"
+                elif suffix is not None:
+                    mapped = mapped + suffix
+            client_map[client_id] = mapped
+        return mapped
+
+    def map_doc(doc_id: str) -> str:
+        mapped = doc_map.get(doc_id)
+        if mapped is None:
+            mapped = "/doc/" + _pseudonym(key, "doc", doc_id)
+            doc_map[doc_id] = mapped
+        return mapped
+
+    requests = [
+        Request(
+            timestamp=r.timestamp,
+            client=map_client(r.client),
+            doc_id=map_doc(r.doc_id),
+            size=r.size,
+            status=r.status,
+            method=r.method,
+            remote=r.remote,
+        )
+        for r in trace
+    ]
+    documents = [
+        Document(
+            doc_id=map_doc(d.doc_id),
+            size=d.size,
+            kind=d.kind,
+            home_server=d.home_server,
+            mutable=d.mutable,
+        )
+        for d in trace.documents.values()
+    ]
+    return Trace(requests, documents)

@@ -1,0 +1,115 @@
+"""Session and traversal-stride segmentation.
+
+Section 3.2 of the paper defines two time-gap segmentations of each
+client's request stream:
+
+* A **traversal stride** is a maximal run of requests where successive
+  requests are separated by less than ``StrideTimeout`` seconds.  Strides
+  define which request pairs count toward the dependency matrix P.
+* A **session** is a maximal run where successive requests are separated
+  by less than ``SessionTimeout`` seconds.  Sessions define the lifetime
+  of the client's cache (a document fetched during a session stays cached
+  until the session ends).
+
+Both are produced by the same gap-splitting core; the two public
+functions differ only in naming and the record type they return.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import TraceFormatError
+from .records import Request, Trace
+
+
+@dataclass(frozen=True, slots=True)
+class Stride:
+    """A traversal stride: dependency-significant run of requests."""
+
+    client: str
+    requests: tuple[Request, ...]
+
+    @property
+    def start_time(self) -> float:
+        return self.requests[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        return self.requests[-1].timestamp
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass(frozen=True, slots=True)
+class Session:
+    """A cache session: run of requests sharing one client cache."""
+
+    client: str
+    requests: tuple[Request, ...]
+
+    @property
+    def start_time(self) -> float:
+        return self.requests[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        return self.requests[-1].timestamp
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def _split_by_gap(
+    requests: Sequence[Request], timeout: float
+) -> list[tuple[Request, ...]]:
+    """Split a single client's time-ordered requests at gaps >= timeout.
+
+    A timeout of 0 puts every request in its own run (no dependency /
+    no cache); an infinite timeout yields one run per client.
+    """
+    if not requests:
+        return []
+    if math.isinf(timeout):
+        return [tuple(requests)]
+    if timeout <= 0:
+        return [(request,) for request in requests]
+
+    runs: list[tuple[Request, ...]] = []
+    current: list[Request] = [requests[0]]
+    for request in requests[1:]:
+        gap = request.timestamp - current[-1].timestamp
+        if gap < 0:
+            raise TraceFormatError("client requests out of order")
+        if gap < timeout:
+            current.append(request)
+        else:
+            runs.append(tuple(current))
+            current = [request]
+    runs.append(tuple(current))
+    return runs
+
+
+def split_strides(trace: Trace, stride_timeout: float) -> list[Stride]:
+    """Segment a trace into traversal strides (one list, all clients).
+
+    Strides are returned ordered by (client, start time); each stride
+    contains requests of a single client.
+    """
+    strides: list[Stride] = []
+    for client, requests in sorted(trace.by_client().items()):
+        for run in _split_by_gap(requests, stride_timeout):
+            strides.append(Stride(client=client, requests=run))
+    return strides
+
+
+def split_sessions(trace: Trace, session_timeout: float) -> list[Session]:
+    """Segment a trace into cache sessions (one list, all clients)."""
+    sessions: list[Session] = []
+    for client, requests in sorted(trace.by_client().items()):
+        for run in _split_by_gap(requests, session_timeout):
+            sessions.append(Session(client=client, requests=run))
+    return sessions

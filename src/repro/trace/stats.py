@@ -1,0 +1,136 @@
+"""Summary statistics of a trace.
+
+:func:`summarize` computes the aggregate numbers the paper reports about
+its own traces (number of accesses, distinct clients, sessions, bytes,
+remote share, concentration of popularity), so a synthetic trace can be
+compared side by side with the published figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from .records import Trace
+from .sessions import split_sessions
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate statistics of one trace."""
+
+    num_requests: int
+    num_clients: int
+    num_documents: int
+    num_sessions: int
+    total_bytes: int
+    duration_seconds: float
+    remote_fraction: float
+    #: Fraction of requests landing on the most popular 0.5% of documents.
+    top_half_percent_share: float
+    #: Fraction of requests landing on the most popular 10% of documents.
+    top_ten_percent_share: float
+    #: Mean requests per session.
+    mean_session_length: float
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = [
+            f"requests            {self.num_requests:>12,}",
+            f"clients             {self.num_clients:>12,}",
+            f"documents           {self.num_documents:>12,}",
+            f"sessions            {self.num_sessions:>12,}",
+            f"total bytes         {self.total_bytes:>12,}",
+            f"duration (days)     {self.duration_seconds / 86400:>12.1f}",
+            f"remote fraction     {self.remote_fraction:>12.3f}",
+            f"top 0.5% doc share  {self.top_half_percent_share:>12.3f}",
+            f"top 10% doc share   {self.top_ten_percent_share:>12.3f}",
+            f"mean session len    {self.mean_session_length:>12.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def popularity_share(trace: Trace, top_fraction: float) -> float:
+    """Fraction of requests that land on the most popular documents.
+
+    Args:
+        trace: The trace to analyse.
+        top_fraction: Fraction of the *document population* considered,
+            e.g. ``0.005`` for the paper's "most popular 0.5%".
+
+    Returns:
+        Requests to the top documents divided by all requests; 0.0 for
+        an empty trace.
+    """
+    if not len(trace):
+        return 0.0
+    counts = Counter(r.doc_id for r in trace)
+    ranked = [count for _, count in counts.most_common()]
+    top_n = max(1, math.ceil(len(ranked) * top_fraction))
+    return sum(ranked[:top_n]) / len(trace)
+
+
+def requests_per_period(trace: Trace, period_seconds: float) -> list[int]:
+    """Request counts in consecutive fixed-length periods.
+
+    The natural input for :class:`repro.dissemination.DynamicShield`:
+    ``requests_per_period(trace, 86_400)`` is the daily offered load.
+
+    Args:
+        trace: The trace to bucket.
+        period_seconds: Period length (e.g. 86,400 for days).
+
+    Returns:
+        One count per period from the first request to the last
+        (empty list for an empty trace).
+    """
+    if period_seconds <= 0:
+        raise ValueError("period_seconds must be positive")
+    if not len(trace):
+        return []
+    origin = trace.start_time
+    n_periods = int((trace.end_time - origin) // period_seconds) + 1
+    counts = [0] * n_periods
+    for request in trace:
+        counts[int((request.timestamp - origin) // period_seconds)] += 1
+    return counts
+
+
+def bytes_per_period(trace: Trace, period_seconds: float) -> list[int]:
+    """Bytes delivered in consecutive fixed-length periods."""
+    if period_seconds <= 0:
+        raise ValueError("period_seconds must be positive")
+    if not len(trace):
+        return []
+    origin = trace.start_time
+    n_periods = int((trace.end_time - origin) // period_seconds) + 1
+    totals = [0] * n_periods
+    for request in trace:
+        totals[int((request.timestamp - origin) // period_seconds)] += request.size
+    return totals
+
+
+def summarize(trace: Trace, *, session_timeout: float = 1800.0) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace.
+
+    Args:
+        trace: The trace to summarise.
+        session_timeout: Gap (seconds) that separates sessions when
+            counting them; 30 minutes is the conventional web value.
+    """
+    sessions = split_sessions(trace, session_timeout) if len(trace) else []
+    num_requests = len(trace)
+    remote = sum(1 for r in trace if r.remote)
+    return TraceStatistics(
+        num_requests=num_requests,
+        num_clients=len(trace.clients()),
+        num_documents=len(trace.documents),
+        num_sessions=len(sessions),
+        total_bytes=trace.total_bytes(),
+        duration_seconds=trace.duration,
+        remote_fraction=remote / num_requests if num_requests else 0.0,
+        top_half_percent_share=popularity_share(trace, 0.005),
+        top_ten_percent_share=popularity_share(trace, 0.10),
+        mean_session_length=(num_requests / len(sessions)) if sessions else 0.0,
+    )

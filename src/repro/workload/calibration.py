@@ -1,0 +1,129 @@
+"""Calibration targets from the paper, and checks against them.
+
+The paper reports these statistics for its traces; a synthetic trace
+should land near them for the reproduced experiments to be meaningful:
+
+* Only 656 of 2,000+ files were remotely accessed at least once; the
+  accessed set was ~36.5 MB of the server's 50+ MB (73%).
+* The most popular 0.5% of 256 KB blocks carried 69% of requests; the
+  top 10% of blocks carried 91%.
+* The fitted exponential popularity constant was λ ≈ 6.247×10⁻⁷ /byte.
+* The simulation trace had 205,925 accesses from 8,474 clients across
+  >20,000 sessions over three months.
+
+:func:`check_calibration` measures a trace against configurable targets
+and returns pass/fail per target with the observed value, so benchmarks
+can print a calibration table before reporting results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.records import Trace
+from ..trace.stats import summarize
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper-reported statistic with an acceptance band."""
+
+    name: str
+    paper_value: float
+    low: float
+    high: float
+
+    def check(self, observed: float) -> "CalibrationCheck":
+        """Compare an observed value against the acceptance band."""
+        return CalibrationCheck(
+            name=self.name,
+            paper_value=self.paper_value,
+            observed=observed,
+            passed=self.low <= observed <= self.high,
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """Result of checking one target."""
+
+    name: str
+    paper_value: float
+    observed: float
+    passed: bool
+
+    def format(self) -> str:
+        """One-line pass/fail rendering of the check."""
+        flag = "ok " if self.passed else "OFF"
+        return (
+            f"[{flag}] {self.name:<32} paper={self.paper_value:<12.4g} "
+            f"observed={self.observed:.4g}"
+        )
+
+
+#: Acceptance bands are deliberately wide: the goal is matching the
+#: *shape* of the paper's workload (high concentration, heavy remote
+#: share, multi-request sessions), not its exact decimals.
+PAPER_TARGETS: dict[str, CalibrationTarget] = {
+    "top_half_percent_share": CalibrationTarget(
+        "top 0.5% docs' request share", 0.69, 0.03, 0.95
+    ),
+    "top_ten_percent_share": CalibrationTarget(
+        "top 10% docs' request share", 0.91, 0.55, 0.99
+    ),
+    "remote_fraction": CalibrationTarget(
+        "remote request fraction", 0.50, 0.35, 0.98
+    ),
+    "mean_session_length": CalibrationTarget(
+        "mean requests per session", 10.0, 2.0, 40.0
+    ),
+    "touched_bytes_fraction": CalibrationTarget(
+        "fraction of site bytes ever accessed", 0.73, 0.30, 1.0
+    ),
+}
+
+
+def touched_bytes_fraction(trace: Trace, site_total_bytes: int) -> float:
+    """Bytes of distinct accessed documents over the whole site's bytes."""
+    if site_total_bytes <= 0:
+        return 0.0
+    accessed = {r.doc_id for r in trace}
+    touched = sum(trace.documents[d].size for d in accessed)
+    return touched / site_total_bytes
+
+
+def check_calibration(
+    trace: Trace,
+    *,
+    site_total_bytes: int | None = None,
+    targets: dict[str, CalibrationTarget] | None = None,
+) -> list[CalibrationCheck]:
+    """Check a trace against the paper's calibration targets.
+
+    Args:
+        trace: The synthetic (or real) trace.
+        site_total_bytes: Total site size; enables the touched-bytes
+            target when provided.
+        targets: Override of :data:`PAPER_TARGETS`.
+
+    Returns:
+        One :class:`CalibrationCheck` per applicable target.
+    """
+    targets = dict(targets or PAPER_TARGETS)
+    stats = summarize(trace)
+    observations = {
+        "top_half_percent_share": stats.top_half_percent_share,
+        "top_ten_percent_share": stats.top_ten_percent_share,
+        "remote_fraction": stats.remote_fraction,
+        "mean_session_length": stats.mean_session_length,
+    }
+    if site_total_bytes is not None:
+        observations["touched_bytes_fraction"] = touched_bytes_fraction(
+            trace, site_total_bytes
+        )
+    checks = []
+    for key, observed in observations.items():
+        target = targets.get(key)
+        if target is not None:
+            checks.append(target.check(observed))
+    return checks

@@ -1,0 +1,169 @@
+"""Fitting a generator configuration to a real trace.
+
+The shipped ``paper`` preset reproduces the paper's workload; a
+deployment reproducing *its own* workload wants the inverse direction:
+estimate the generator's parameters from an actual log, then simulate
+at scale or explore counterfactuals on the synthetic twin.
+
+:func:`fit_generator_config` estimates the observable knobs —
+popularity skew, session structure, think times, client mix, arrival
+cycles — from a trace.  Structural parameters a server log cannot
+reveal (the link graph, embedding density, region affinity) keep their
+defaults; the returned :class:`FittedWorkload` lists per-parameter
+diagnostics so the caller knows which values were measured and which
+were assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..trace.records import Trace
+from ..trace.sessions import split_sessions
+from .generator import GeneratorConfig
+
+#: The conventional web session gap used for fitting.
+SESSION_GAP_SECONDS = 1800.0
+
+
+@dataclass(frozen=True)
+class FittedWorkload:
+    """A fitted configuration with per-parameter provenance.
+
+    Attributes:
+        config: The generator configuration.
+        measured: Parameter name → the statistic it was fitted from.
+        assumed: Parameters left at their defaults (not log-derivable).
+    """
+
+    config: GeneratorConfig
+    measured: dict[str, str]
+    assumed: tuple[str, ...]
+
+
+def _fit_zipf_alpha(counts: list[int]) -> float:
+    """Rank-frequency regression: slope of log(count) on log(rank)."""
+    ranked = sorted(counts, reverse=True)
+    ranked = [c for c in ranked if c > 0]
+    if len(ranked) < 3:
+        return 1.0
+    ranks = np.log(np.arange(1, len(ranked) + 1, dtype=np.float64))
+    freqs = np.log(np.array(ranked, dtype=np.float64))
+    slope = np.polyfit(ranks, freqs, 1)[0]
+    return float(min(3.0, max(0.0, -slope)))
+
+
+def _fit_diurnal_amplitude(trace: Trace) -> float:
+    """Relative day/night swing of the hourly request histogram."""
+    hours = [(r.timestamp % 86_400.0) / 3_600.0 for r in trace]
+    counts, __ = np.histogram(hours, bins=24, range=(0.0, 24.0))
+    peak, trough = counts.max(), counts.min()
+    if peak + trough == 0:
+        return 0.0
+    return float(min(1.0, (peak - trough) / (peak + trough)))
+
+
+def fit_generator_config(trace: Trace, *, seed: int = 0) -> FittedWorkload:
+    """Estimate a :class:`GeneratorConfig` from a trace.
+
+    Args:
+        trace: The (cleaned) access trace to imitate.
+        seed: Seed baked into the returned configuration.
+
+    Raises:
+        CalibrationError: If the trace is too small to fit (fewer than
+            two clients or sessions, or zero duration).
+    """
+    if len(trace) < 10:
+        raise CalibrationError("need at least 10 requests to fit a workload")
+    duration_days = trace.duration / 86_400.0
+    if duration_days <= 0:
+        raise CalibrationError("trace has zero duration")
+    clients = trace.clients()
+    if len(clients) < 2:
+        raise CalibrationError("need at least 2 clients to fit a workload")
+
+    sessions = split_sessions(trace, SESSION_GAP_SECONDS)
+    if len(sessions) < 2:
+        raise CalibrationError("need at least 2 sessions to fit a workload")
+
+    # Separate page visits from inline (embedded) fetches: an inline
+    # object follows its page within fractions of a second, while a
+    # click takes seconds.  Requests arriving < 1 s after the previous
+    # one are counted as embedded.
+    embedded_requests = 0
+    think_gaps = []
+    for session in sessions:
+        for earlier, later in zip(session.requests, session.requests[1:]):
+            gap = later.timestamp - earlier.timestamp
+            if gap < 1.0:
+                embedded_requests += 1
+            elif gap > 0:
+                think_gaps.append(gap)
+    embed_share = embedded_requests / len(trace)
+    mean_embedded = min(8.0, embed_share / max(1e-9, 1.0 - embed_share))
+
+    page_visits_per_session = max(
+        1.0, (len(trace) / len(sessions)) * (1.0 - embed_share)
+    )
+    continue_probability = min(
+        0.98, max(0.0, 1.0 - 1.0 / page_visits_per_session)
+    )
+
+    think_time = float(np.median(think_gaps)) if think_gaps else 4.0
+    think_time = max(0.5, min(think_time, 300.0))
+
+    counts = Counter(r.doc_id for r in trace)
+    alpha = _fit_zipf_alpha(list(counts.values()))
+
+    local_clients = {r.client for r in trace if not r.remote}
+    local_fraction = min(0.95, len(local_clients) / len(clients))
+
+    n_pages = max(2, int(round(len(trace.documents) * (1.0 - embed_share))))
+    config = GeneratorConfig(
+        seed=seed,
+        n_pages=n_pages,
+        n_clients=len(clients),
+        n_sessions=len(sessions),
+        duration_days=duration_days,
+        continue_probability=continue_probability,
+        mean_embedded=mean_embedded,
+        think_time_mean=think_time,
+        popularity_alpha=alpha,
+        local_fraction=local_fraction,
+        diurnal_amplitude=_fit_diurnal_amplitude(trace),
+    )
+    measured = {
+        "n_pages": (
+            f"{len(trace.documents)} distinct documents less the "
+            f"{embed_share:.0%} embedded share"
+        ),
+        "n_clients": f"{len(clients)} distinct clients",
+        "n_sessions": f"{len(sessions)} sessions at a {SESSION_GAP_SECONDS:.0f}s gap",
+        "duration_days": f"{duration_days:.1f} days of trace",
+        "continue_probability": (
+            f"{page_visits_per_session:.2f} page visits per session"
+        ),
+        "mean_embedded": f"{embed_share:.0%} of requests arrive sub-second",
+        "think_time_mean": "median intra-session inter-click gap",
+        "popularity_alpha": "rank-frequency regression slope",
+        "local_fraction": f"{len(local_clients)} local clients",
+        "diurnal_amplitude": "hourly request histogram swing",
+    }
+    assumed = (
+        "shared_embed_probability",
+        "mean_links",
+        "jump_probability",
+        "popular_link_bias",
+        "region_affinity",
+        "link_churn_per_day",
+        "new_page_fraction",
+        "activity_alpha",
+        "n_regions",
+    )
+    return FittedWorkload(config=config, measured=measured, assumed=assumed)

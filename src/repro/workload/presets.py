@@ -1,0 +1,116 @@
+"""Named workload presets.
+
+The experiments need workloads with specific properties switched on —
+drift for the update-cycle study, regional interests for geographic
+dissemination, returning visitors for user-profile prefetching.  Each
+preset is a documented, reproducible configuration; get one with
+:func:`preset`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from ..errors import CalibrationError
+from .generator import GeneratorConfig
+
+
+def _small(seed: int) -> GeneratorConfig:
+    """A quick trace for tests and examples (~10k accesses)."""
+    return GeneratorConfig(
+        seed=seed, n_pages=120, n_clients=150, n_sessions=1200, duration_days=30
+    )
+
+
+def _paper(seed: int) -> GeneratorConfig:
+    """The configuration calibrated to the paper's trace statistics."""
+    return GeneratorConfig.paper_scale(seed=seed)
+
+
+def _drifting(seed: int) -> GeneratorConfig:
+    """Paper-like workload with site evolution (for HistoryLength /
+    UpdateCycle experiments): 4 %/day link churn, 35 % new pages."""
+    return dataclasses.replace(
+        GeneratorConfig.paper_scale(seed=seed),
+        n_sessions=9_000,
+        n_clients=3_000,
+        duration_days=80.0,
+        link_churn_per_day=0.04,
+        new_page_fraction=0.35,
+    )
+
+
+def _geographic(seed: int) -> GeneratorConfig:
+    """Strong geographic locality of reference (regions have their own
+    interests) — what footnote-5 per-proxy dissemination exploits."""
+    return dataclasses.replace(
+        _small(seed),
+        n_pages=300,
+        n_clients=600,
+        n_sessions=4_000,
+        region_affinity=0.6,
+        n_regions=8,
+    )
+
+
+def _returning_visitors(seed: int) -> GeneratorConfig:
+    """Few clients with many sessions each: users re-traverse their own
+    paths (where user-profile prefetching shines)."""
+    return dataclasses.replace(
+        _small(seed),
+        n_pages=150,
+        n_clients=40,
+        n_sessions=1_800,
+        duration_days=40,
+        jump_probability=0.2,
+        mean_links=3.0,
+    )
+
+
+def _first_visits(seed: int) -> GeneratorConfig:
+    """Many clients with ~one session each: every traversal is new
+    (where only server speculation helps)."""
+    return dataclasses.replace(
+        _returning_visitors(seed),
+        n_clients=1_800,
+    )
+
+
+def _diurnal(seed: int) -> GeneratorConfig:
+    """Small workload with a strong day/night arrival cycle."""
+    return dataclasses.replace(_small(seed), diurnal_amplitude=0.9)
+
+
+_PRESETS: dict[str, Callable[[int], GeneratorConfig]] = {
+    "small": _small,
+    "paper": _paper,
+    "drifting": _drifting,
+    "geographic": _geographic,
+    "returning-visitors": _returning_visitors,
+    "first-visits": _first_visits,
+    "diurnal": _diurnal,
+}
+
+
+def preset_names() -> list[str]:
+    """All available preset names."""
+    return sorted(_PRESETS)
+
+
+def preset(name: str, seed: int = 0) -> GeneratorConfig:
+    """Look up a named workload preset.
+
+    Args:
+        name: One of :func:`preset_names`.
+        seed: RNG seed baked into the returned configuration.
+
+    Raises:
+        CalibrationError: On an unknown preset name.
+    """
+    builder = _PRESETS.get(name)
+    if builder is None:
+        raise CalibrationError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        )
+    return builder(seed)

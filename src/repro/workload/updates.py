@@ -1,0 +1,120 @@
+"""Document update (mutation) processes.
+
+Section 2 of the paper monitored document modification dates for 186
+days and found:
+
+* remotely- and globally-popular documents update very rarely
+  (< 0.5% probability per document per day);
+* locally-popular documents update more often (about 2% per day);
+* frequent updates concentrate in a very small "mutable" subset.
+
+:class:`UpdateProcess` reproduces this: each document gets a per-day
+update probability from its popularity class, a small fraction is marked
+*mutable* with a much higher rate, and :meth:`events` samples the
+Bernoulli-per-day update timeline the paper measured (multiple updates
+within one day count once, as in the paper's footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+
+#: Paper-reported per-day update probabilities by popularity class.
+CLASS_UPDATE_RATES = {
+    "remote": 0.005,
+    "global": 0.005,
+    "local": 0.02,
+}
+
+#: Per-day update probability of the small "mutable" subset.
+MUTABLE_UPDATE_RATE = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateEvent:
+    """One document update: (day index, document id)."""
+
+    day: int
+    doc_id: str
+
+
+class UpdateProcess:
+    """Samples per-day document update events.
+
+    Args:
+        doc_classes: Mapping of document id to popularity class
+            (``"remote"``, ``"global"`` or ``"local"``).
+        rng: Randomness source.
+        mutable_fraction: Fraction of documents promoted to the
+            fast-updating mutable subset.
+        rates: Override of :data:`CLASS_UPDATE_RATES`.
+    """
+
+    def __init__(
+        self,
+        doc_classes: dict[str, str],
+        rng: np.random.Generator,
+        *,
+        mutable_fraction: float = 0.02,
+        rates: dict[str, float] | None = None,
+    ):
+        if not 0.0 <= mutable_fraction <= 1.0:
+            raise CalibrationError("mutable_fraction must be in [0, 1]")
+        rates = dict(rates or CLASS_UPDATE_RATES)
+        unknown = set(doc_classes.values()) - set(rates)
+        if unknown:
+            raise CalibrationError(f"no update rate for classes {sorted(unknown)}")
+
+        self._rng = rng
+        doc_ids = sorted(doc_classes)
+        n_mutable = int(round(len(doc_ids) * mutable_fraction))
+        mutable = set(
+            rng.choice(len(doc_ids), size=n_mutable, replace=False).tolist()
+            if n_mutable
+            else []
+        )
+        self._daily_rate: dict[str, float] = {}
+        self.mutable_docs: set[str] = set()
+        for index, doc_id in enumerate(doc_ids):
+            if index in mutable:
+                self._daily_rate[doc_id] = MUTABLE_UPDATE_RATE
+                self.mutable_docs.add(doc_id)
+            else:
+                self._daily_rate[doc_id] = rates[doc_classes[doc_id]]
+
+    def daily_rate(self, doc_id: str) -> float:
+        """Per-day update probability of one document."""
+        try:
+            return self._daily_rate[doc_id]
+        except KeyError:
+            raise CalibrationError(f"unknown document {doc_id!r}") from None
+
+    def events(self, n_days: int) -> list[UpdateEvent]:
+        """Sample update events for ``n_days`` consecutive days.
+
+        At most one event per document per day (paper footnote 3).
+        Events are ordered by (day, doc_id).
+        """
+        if n_days < 0:
+            raise CalibrationError("n_days must be non-negative")
+        events: list[UpdateEvent] = []
+        doc_ids = sorted(self._daily_rate)
+        rates = np.array([self._daily_rate[d] for d in doc_ids])
+        for day in range(n_days):
+            hits = self._rng.random(len(doc_ids)) < rates
+            for index in np.nonzero(hits)[0]:
+                events.append(UpdateEvent(day=day, doc_id=doc_ids[int(index)]))
+        return events
+
+    def observed_rates(self, events: list[UpdateEvent], n_days: int) -> dict[str, float]:
+        """Empirical per-day update rate of each document from events."""
+        if n_days <= 0:
+            raise CalibrationError("n_days must be positive")
+        counts: dict[str, int] = {doc_id: 0 for doc_id in self._daily_rate}
+        for event in events:
+            counts[event.doc_id] += 1
+        return {doc_id: count / n_days for doc_id, count in counts.items()}

@@ -1,0 +1,283 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def log_file(tmp_path):
+    path = tmp_path / "access.log"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--seed",
+            "3",
+            "--pages",
+            "60",
+            "--clients",
+            "50",
+            "--sessions",
+            "250",
+            "--days",
+            "8",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_clf(self, log_file):
+        lines = log_file.read_text().splitlines()
+        assert len(lines) > 250
+        assert '"GET /' in lines[0]
+
+    def test_stdout_summary(self, tmp_path, capsys):
+        path = tmp_path / "x.log"
+        main(["generate", str(path), "--sessions", "100", "--days", "5",
+              "--pages", "40", "--clients", "30"])
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "accesses" in out
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.log", tmp_path / "b.log"
+        args = ["--seed", "9", "--pages", "40", "--clients", "30",
+                "--sessions", "100", "--days", "5"]
+        main(["generate", str(a)] + args)
+        main(["generate", str(b)] + args)
+        assert a.read_text() == b.read_text()
+
+    def test_bad_config_errors(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "x.log"), "--sessions", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_full_pipeline(self, log_file, capsys):
+        code = main(["analyze", str(log_file), "--local-domain", "campus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "document classes" in out
+        assert "block analysis" in out
+        assert "lambda" in out
+
+    def test_no_clean_flag(self, log_file, capsys):
+        main(["analyze", str(log_file), "--no-clean"])
+        out = capsys.readouterr().out
+        assert "cleaned:" not in out
+
+    def test_missing_file(self, capsys):
+        code = main(["analyze", "/nonexistent.log"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_custom_block_size(self, log_file, capsys):
+        main(["analyze", str(log_file), "--block-kb", "64"])
+        assert "64 KB block" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_default_sweep(self, log_file, capsys):
+        code = main(["simulate", str(log_file), "--local-domain", "campus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy" in out
+        assert "0.25" in out
+
+    def test_adaptive_budget(self, log_file, capsys):
+        code = main(
+            ["simulate", str(log_file), "--adaptive-budget", "0.05"]
+        )
+        assert code == 0
+        assert "adaptive@5%" in capsys.readouterr().out
+
+    def test_negative_adaptive_budget(self, log_file):
+        assert main(["simulate", str(log_file), "--adaptive-budget", "-1"]) == 2
+
+    def test_digest_fp_requires_cooperative(self, log_file, capsys):
+        code = main(["simulate", str(log_file), "--digest-fp", "0.01"])
+        assert code == 2
+        assert "requires --cooperative" in capsys.readouterr().err
+
+    def test_bloom_cooperative(self, log_file, capsys):
+        code = main(
+            [
+                "simulate",
+                str(log_file),
+                "--cooperative",
+                "--digest-fp",
+                "0.01",
+                "--threshold",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        assert "cooperative clients" in capsys.readouterr().out
+
+    def test_explicit_thresholds(self, log_file, capsys):
+        main(
+            [
+                "simulate",
+                str(log_file),
+                "--threshold",
+                "0.5",
+                "--train-days",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "0.50" in out
+        assert "4.0 training days" in out
+
+    def test_cooperative_flag(self, log_file, capsys):
+        main(["simulate", str(log_file), "--cooperative", "--threshold", "0.5"])
+        assert "cooperative clients" in capsys.readouterr().out
+
+    def test_max_size(self, log_file, capsys):
+        code = main(
+            ["simulate", str(log_file), "--max-size-kb", "8", "--threshold", "0.5"]
+        )
+        assert code == 0
+
+    def test_invalid_threshold(self, log_file, capsys):
+        code = main(["simulate", str(log_file), "--threshold", "1.5"])
+        assert code == 2
+
+    def test_bad_train_days(self, log_file, capsys):
+        code = main(["simulate", str(log_file), "--train-days", "100000"])
+        assert code == 2
+
+
+class TestPlan:
+    def test_single_server(self, log_file, capsys):
+        code = main(["plan", f"www={log_file}", "--budget-mb", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "www" in out
+        assert "intercepts" in out
+
+    def test_name_defaults_to_stem(self, log_file, capsys):
+        main(["plan", str(log_file), "--budget-mb", "2"])
+        assert "access" in capsys.readouterr().out
+
+    def test_multiple_servers(self, log_file, tmp_path, capsys):
+        other = tmp_path / "other.log"
+        main(["generate", str(other), "--seed", "5", "--pages", "40",
+              "--clients", "30", "--sessions", "120", "--days", "6"])
+        code = main(
+            ["plan", f"a={log_file}", f"b={other}", "--budget-mb", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+
+    def test_bad_budget(self, log_file, capsys):
+        code = main(["plan", str(log_file), "--budget-mb", "-1"])
+        assert code == 2
+
+    def test_missing_log(self, capsys):
+        code = main(["plan", "x=/missing.log", "--budget-mb", "1"])
+        assert code == 2
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_no_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSweep:
+    def test_table_output(self, log_file, capsys):
+        code = main(
+            ["sweep", str(log_file), "--thresholds", "0.5,0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold sweep" in out
+        assert "0.25" in out
+
+    def test_csv_output(self, log_file, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            ["sweep", str(log_file), "--thresholds", "0.5", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("threshold,")
+        assert len(lines) == 2
+
+    def test_bad_threshold_list(self, log_file):
+        assert main(["sweep", str(log_file), "--thresholds", "abc"]) == 2
+
+    def test_out_of_range_threshold(self, log_file):
+        assert main(["sweep", str(log_file), "--thresholds", "1.5"]) == 2
+
+    def test_empty_threshold_list(self, log_file):
+        assert main(["sweep", str(log_file), "--thresholds", ""]) == 2
+
+
+class TestEdgeCases:
+    def test_analyze_log_emptied_by_cleaning(self, tmp_path, capsys):
+        path = tmp_path / "scripts.log"
+        path.write_text(
+            'h - - [15/Jan/1995:12:00:00 +0000] "GET /cgi-bin/x HTTP/1.0" 200 10\n'
+        )
+        code = main(["analyze", str(path)])
+        assert code == 2
+        assert "removed every request" in capsys.readouterr().err
+
+    def test_analyze_unparsable_log(self, tmp_path, capsys):
+        path = tmp_path / "garbage.log"
+        path.write_text("not a log\nnope\n")
+        code = main(["analyze", str(path)])
+        assert code == 2
+        assert "no parsable" in capsys.readouterr().err
+
+    def test_plan_name_with_equals_in_path(self, log_file, capsys):
+        code = main(["plan", f"srv={log_file}", "--budget-mb", "1"])
+        assert code == 0
+        assert "srv" in capsys.readouterr().out
+
+    def test_analyze_with_sampling(self, log_file, capsys):
+        code = main(["analyze", str(log_file), "--sample", "0.5"])
+        assert code == 0
+        assert "sampled 50% of clients" in capsys.readouterr().out
+
+    def test_analyze_bad_sample_fraction(self, log_file, capsys):
+        code = main(["analyze", str(log_file), "--sample", "2.0"])
+        assert code == 2
+
+
+class TestFit:
+    def test_prints_configuration(self, log_file, capsys):
+        code = main(["fit", str(log_file), "--local-domain", "campus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fitted from" in out
+        assert "popularity_alpha" in out
+        assert "(assumed default)" in out
+
+    def test_regenerate_twin(self, log_file, tmp_path, capsys):
+        twin = tmp_path / "twin.log"
+        code = main(["fit", str(log_file), "--regenerate", str(twin)])
+        assert code == 0
+        assert twin.exists()
+        assert "synthetic twin" in capsys.readouterr().out
+        assert len(twin.read_text().splitlines()) > 50
+
+    def test_too_small_log(self, tmp_path, capsys):
+        path = tmp_path / "tiny.log"
+        path.write_text(
+            'h - - [15/Jan/1995:12:00:00 +0000] "GET /a HTTP/1.0" 200 10\n'
+        )
+        code = main(["fit", str(path)])
+        assert code == 2

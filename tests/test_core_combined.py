@@ -1,0 +1,157 @@
+"""Tests for the combined dissemination + speculation simulator."""
+
+import pytest
+
+from repro.config import BaselineConfig
+from repro.errors import SimulationError
+from repro.core import CombinedProtocolSimulator
+from repro.speculation import DependencyModel, ThresholdPolicy
+from repro.topology import RoutingTree
+from repro.trace import Document, Request, Trace
+
+CONFIG = BaselineConfig(comm_cost=1.0, serv_cost=100.0)
+
+SIZES = {"/page": 1000, "/inline": 200, "/hot": 500}
+DOCS = [Document(doc_id=d, size=s) for d, s in SIZES.items()]
+
+
+def req(t, doc, client="c1"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=SIZES[doc])
+
+
+@pytest.fixture
+def tree():
+    return RoutingTree(
+        "root", {"mid": "root", "edge": "mid", "c1": "edge", "c2": "edge"}
+    )
+
+
+@pytest.fixture
+def model():
+    return DependencyModel.from_counts(
+        {"/page": {"/inline": 10.0}}, {"/page": 10.0, "/inline": 10.0}
+    )
+
+
+class TestRouting:
+    def test_baseline_costs(self, tree, model):
+        trace = Trace([req(0, "/page")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run()
+        assert result.origin_requests == 1
+        assert result.bytes_hops == 1000 * 3  # depth 3
+        assert result.service_time == 100 + 1000
+
+    def test_proxy_serves_disseminated(self, tree, model):
+        trace = Trace([req(0, "/hot")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run(proxies=["edge"], disseminated={"/hot"})
+        assert result.proxy_requests == 1
+        assert result.origin_requests == 0
+        assert result.bytes_hops == 500 * 1  # one hop below edge
+        # Latency's comm part scales with the path fraction travelled.
+        assert result.service_time == pytest.approx(100 + 500 * (1 / 3))
+
+    def test_cache_hit_costs_nothing(self, tree, model):
+        trace = Trace([req(0, "/page"), req(1, "/page")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run()
+        assert result.cache_hits == 1
+        assert result.origin_requests == 1
+
+    def test_speculation_travels_full_path(self, tree, model):
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run(policy=ThresholdPolicy(threshold=0.9))
+        assert result.speculated_documents == 1
+        assert result.cache_hits == 1
+        assert result.bytes_hops == (1000 + 200) * 3
+
+    def test_proxy_hit_suppresses_origin_speculation(self, tree, model):
+        """Requests answered at a proxy never reach the origin, so the
+        origin cannot speculate on them — the structural interaction."""
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run(
+            proxies=["edge"],
+            disseminated={"/page"},
+            policy=ThresholdPolicy(threshold=0.9),
+        )
+        assert result.proxy_requests == 1
+        assert result.speculated_documents == 0
+        assert result.origin_requests == 1  # /inline itself
+
+    def test_per_proxy_holdings(self, tree, model):
+        trace = Trace([req(0, "/hot", "c1"), req(1, "/hot", "c2")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run(
+            proxies=["mid", "edge"],
+            disseminated={"mid": {"/hot"}, "edge": set()},
+        )
+        assert result.proxy_requests == 2
+        assert result.bytes_hops == 500 * 2 * 2  # served from depth 1
+
+
+class TestValidation:
+    def test_missing_client_rejected(self, model):
+        small = RoutingTree("root", {"x": "root"})
+        trace = Trace([req(0, "/page")], DOCS)
+        with pytest.raises(SimulationError):
+            CombinedProtocolSimulator(trace, small, CONFIG, model=model)
+
+    def test_leaf_proxy_rejected(self, tree, model):
+        trace = Trace([req(0, "/page")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        with pytest.raises(SimulationError):
+            sim.run(proxies=["c1"], disseminated={"/page"})
+
+    def test_policy_without_model_rejected(self, tree):
+        trace = Trace([req(0, "/page")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG)
+        with pytest.raises(SimulationError):
+            sim.run(policy=ThresholdPolicy(threshold=0.5))
+
+    def test_origin_load_fraction(self, tree, model):
+        trace = Trace([req(0, "/page"), req(1, "/page")], DOCS)
+        sim = CombinedProtocolSimulator(trace, tree, CONFIG, model=model)
+        result = sim.run()
+        assert result.origin_load_fraction == 0.5
+
+
+class TestComplementarity:
+    def test_combined_minimizes_origin_load(self):
+        """Combined <= each protocol alone on origin requests, on a
+        realistic workload."""
+        from repro.dissemination import select_popular_bytes
+        from repro.popularity import PopularityProfile
+        from repro.topology import build_clientele_tree, greedy_tree_placement
+        from repro.workload import SyntheticTraceGenerator, preset
+
+        generator = SyntheticTraceGenerator(preset("small", 9))
+        trace = generator.generate()
+        split = trace.start_time + 15 * 86_400
+        model = DependencyModel.estimate(
+            trace.window(trace.start_time, split), window=5.0
+        )
+        test = trace.window(split, trace.end_time + 1)
+        tree = build_clientele_tree(test, backbone_hops=2)
+        demand = {}
+        for request in test.remote_only():
+            demand[request.client] = demand.get(request.client, 0.0) + request.size
+        proxies = greedy_tree_placement(tree, demand, 4)
+        documents = select_popular_bytes(
+            PopularityProfile.from_trace(test.remote_only()),
+            0.1 * generator.site.total_bytes(),
+        )
+        sim = CombinedProtocolSimulator(test, tree, CONFIG, model=model)
+        policy = ThresholdPolicy(threshold=0.25)
+
+        dissemination = sim.run(proxies=proxies, disseminated=documents)
+        speculation = sim.run(policy=policy)
+        combined = sim.run(
+            proxies=proxies, disseminated=documents, policy=policy
+        )
+        assert combined.origin_requests <= dissemination.origin_requests
+        assert combined.origin_requests <= speculation.origin_requests
+        # Dissemination keeps speculation's bytes*hops in check.
+        assert combined.bytes_hops <= speculation.bytes_hops

@@ -1,0 +1,201 @@
+"""Tests for the SpeculativeServer and DisseminationPlanner facades."""
+
+import pytest
+
+from repro.config import BaselineConfig
+from repro.errors import AllocationError, SimulationError
+from repro.core import DisseminationPlanner, SpeculativeServer
+from repro.trace import Document, Request, Trace
+
+SIZES = {"/page": 1000, "/inline": 200, "/next": 500}
+DOCS = {d: Document(doc_id=d, size=s) for d, s in SIZES.items()}
+
+
+def req(t, doc, client="c", remote=True):
+    return Request(
+        timestamp=t, client=client, doc_id=doc, size=SIZES[doc], remote=remote
+    )
+
+
+def training_trace():
+    """Ten visits: /page then /inline always, /next half the time."""
+    requests = []
+    t = 0.0
+    for visit in range(10):
+        client = f"c{visit}"
+        requests.append(req(t, "/page", client))
+        requests.append(req(t + 0.2, "/inline", client))
+        if visit % 2 == 0:
+            requests.append(req(t + 2.0, "/next", client))
+        t += 1000.0
+    return Trace(requests, DOCS.values())
+
+
+class TestSpeculativeServer:
+    def test_respond_includes_strong_dependencies(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.9))
+        server.fit(training_trace())
+        response = server.respond("/page")
+        assert response.speculated == ("/inline",)
+        assert response.total_documents == 2
+
+    def test_lower_threshold_pushes_more(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.4))
+        server.fit(training_trace())
+        response = server.respond("/page")
+        assert set(response.speculated) == {"/inline", "/next"}
+
+    def test_hints_carry_probabilities(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.9))
+        server.fit(training_trace())
+        hints = {h.doc_id: h.probability for h in server.respond("/page").hints}
+        assert hints["/inline"] == pytest.approx(1.0)
+        assert hints["/next"] == pytest.approx(0.5)
+
+    def test_cache_digest_filters(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.9))
+        server.fit(training_trace())
+        response = server.respond("/page", cache_digest=frozenset({"/inline"}))
+        assert response.speculated == ()
+
+    def test_max_size_respected(self):
+        config = BaselineConfig(threshold=0.9, max_size=100)
+        server = SpeculativeServer(DOCS, config)
+        server.fit(training_trace())
+        assert server.respond("/page").speculated == ()
+
+    def test_unknown_document_rejected(self):
+        server = SpeculativeServer(DOCS)
+        with pytest.raises(SimulationError):
+            server.respond("/ghost")
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(SimulationError):
+            SpeculativeServer({})
+
+    def test_observe_incremental(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.9))
+        trace = training_trace()
+        half = len(trace) // 2
+        server.observe(Trace(list(trace)[:half], DOCS.values()))
+        server.observe(Trace(list(trace)[half:], DOCS.values()))
+        assert server.respond("/page").speculated == ("/inline",)
+
+    def test_refit_discards_old_counts(self):
+        server = SpeculativeServer(DOCS, BaselineConfig(threshold=0.9))
+        server.fit(training_trace())
+        # New behaviour: /page followed by /next always.
+        fresh = Trace(
+            [req(0, "/page", "z"), req(1, "/next", "z")], DOCS.values()
+        )
+        server.fit(fresh)
+        assert server.respond("/page").speculated == ("/next",)
+
+    def test_aging_server(self):
+        server = SpeculativeServer(
+            DOCS, BaselineConfig(threshold=0.6), decay_per_day=0.5
+        )
+        server.observe(training_trace())
+        # Fresh conflicting behaviour three days later.
+        later = 3 * 86_400.0
+        fresh = Trace(
+            [req(later + i * 100, "/page", f"n{i}") for i in range(6)]
+            + [req(later + i * 100 + 1, "/next", f"n{i}") for i in range(6)],
+            DOCS.values(),
+            sort=True,
+        )
+        server.observe(fresh)
+        response = server.respond("/page")
+        assert "/next" in response.speculated
+
+
+class TestDisseminationPlanner:
+    def _trace(self, seed_docs, n=20):
+        requests = []
+        t = 0.0
+        for i in range(n):
+            for doc, size in seed_docs:
+                requests.append(
+                    Request(timestamp=t, client=f"c{i}", doc_id=doc, size=size)
+                )
+                t += 10.0
+        return Trace(requests)
+
+    def test_plan_respects_budget(self):
+        planner = DisseminationPlanner()
+        planner.add_server("s1", self._trace([("/a", 1000), ("/b", 2000)]))
+        planner.add_server("s2", self._trace([("/x", 1500)]))
+        plan = planner.plan(3000.0)
+        assert plan.storage_used() <= 3000.0 * 1.001
+        assert set(plan.allocations) == {"s1", "s2"}
+
+    def test_documents_fit_allocations(self):
+        planner = DisseminationPlanner()
+        trace = self._trace([("/a", 1000), ("/b", 2000), ("/c", 500)])
+        planner.add_server("s1", trace)
+        plan = planner.plan(1600.0)
+        chosen_bytes = sum(
+            trace.documents[d].size for d in plan.documents["s1"]
+        )
+        assert chosen_bytes <= plan.allocations["s1"]
+
+    def test_alphas_reported(self):
+        planner = DisseminationPlanner()
+        planner.add_server("s1", self._trace([("/a", 1000)]))
+        plan = planner.plan(10_000.0)
+        assert 0.0 <= plan.expected_alpha <= 1.0
+        assert plan.empirical_alpha == pytest.approx(1.0)
+
+    def test_server_model_estimation(self):
+        planner = DisseminationPlanner()
+        planner.add_server("s1", self._trace([("/a", 1000), ("/b", 500)]))
+        model = planner.server_model("s1")
+        assert model.rate > 0
+        assert model.lam > 0
+
+    def test_duplicate_server_rejected(self):
+        planner = DisseminationPlanner()
+        planner.add_server("s1", self._trace([("/a", 10)]))
+        with pytest.raises(AllocationError):
+            planner.add_server("s1", self._trace([("/b", 10)]))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AllocationError):
+            DisseminationPlanner().add_server("s1", Trace([]))
+
+    def test_plan_without_servers_rejected(self):
+        with pytest.raises(AllocationError):
+            DisseminationPlanner().plan(100.0)
+
+    def test_unknown_server_model(self):
+        with pytest.raises(AllocationError):
+            DisseminationPlanner().server_model("ghost")
+
+    def test_local_only_server_rejected_in_remote_mode(self):
+        planner = DisseminationPlanner()
+        local_trace = Trace(
+            [Request(timestamp=0.0, client="c", doc_id="/a", size=10, remote=False)]
+        )
+        planner.add_server("s1", local_trace)
+        with pytest.raises(AllocationError):
+            planner.server_model("s1")
+
+    def test_popular_server_gets_more_storage(self):
+        """Rates are per unit time, so both traces must span the same
+        window; the busy server packs 10x the accesses into it."""
+        def trace_over_one_day(doc, n_accesses):
+            step = 86_400.0 / n_accesses
+            return Trace(
+                [
+                    Request(
+                        timestamp=i * step, client=f"c{i}", doc_id=doc, size=1000
+                    )
+                    for i in range(n_accesses)
+                ]
+            )
+
+        planner = DisseminationPlanner()
+        planner.add_server("busy", trace_over_one_day("/a", 100))
+        planner.add_server("idle", trace_over_one_day("/b", 10))
+        plan = planner.plan(1500.0)
+        assert plan.allocations["busy"] >= plan.allocations["idle"]

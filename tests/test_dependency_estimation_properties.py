@@ -1,0 +1,90 @@
+"""Property-based tests of dependency estimation on random traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.speculation import DependencyModel
+from repro.trace import Request, Trace
+
+DOC_IDS = ["/p1", "/p2", "/p3", "/img"]
+
+
+@st.composite
+def random_traces(draw):
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=2000, allow_nan=False),
+                st.sampled_from(["a", "b"]),
+                st.sampled_from(DOC_IDS),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    requests = [
+        Request(timestamp=t, client=c, doc_id=d, size=10) for t, c, d in entries
+    ]
+    return Trace(requests, sort=True)
+
+
+@given(random_traces(), st.floats(min_value=0.5, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_estimated_probabilities_valid(trace, window):
+    model = DependencyModel.estimate(trace, window=window)
+    occurrences = model.occurrence_counts
+    for source, row in model.pair_counts.items():
+        assert occurrences[source] > 0
+        for target, count in row.items():
+            assert target != source
+            assert 0 < count <= occurrences[source]
+            assert 0.0 < model.p(source, target) <= 1.0
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_occurrences_match_request_counts(trace):
+    """Every request occurrence is counted exactly once."""
+    model = DependencyModel.estimate(trace, window=5.0)
+    from collections import Counter
+
+    expected = Counter(r.doc_id for r in trace)
+    observed = model.occurrence_counts
+    for doc_id, count in expected.items():
+        assert observed[doc_id] == count
+
+
+@given(random_traces(), st.floats(min_value=1.0, max_value=50.0))
+@settings(max_examples=40, deadline=None)
+def test_wider_window_never_loses_pairs(trace, window):
+    """Widening T_w (with matching stride gap) only adds pair mass."""
+    narrow = DependencyModel.estimate(
+        trace, window=window, stride_timeout=window
+    )
+    wide = DependencyModel.estimate(
+        trace, window=window * 2, stride_timeout=window * 2
+    )
+    for source, row in narrow.pair_counts.items():
+        for target, count in row.items():
+            assert wide.pair_counts.get(source, {}).get(target, 0.0) >= count
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_closure_consistent_with_direct(trace):
+    model = DependencyModel.estimate(trace, window=5.0)
+    for source in list(model.occurrence_counts)[:4]:
+        row = model.closure_row(source, min_probability=0.01, max_hops=5)
+        direct = model.successors(source)
+        for target, probability in direct.items():
+            assert row.get(target, 0.0) >= probability - 1e-12
+        for target, probability in row.items():
+            assert 0.0 < probability <= 1.0 + 1e-12
+
+
+@given(random_traces())
+@settings(max_examples=30, deadline=None)
+def test_histogram_counts_all_pairs(trace):
+    model = DependencyModel.estimate(trace, window=5.0)
+    histogram = model.pair_histogram(10)
+    n_pairs = sum(len(row) for row in model.pair_counts.values())
+    assert histogram.total_pairs == n_pairs

@@ -1,0 +1,202 @@
+"""Tests for proxy storage allocation (paper eqs. 1-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.dissemination import (
+    ServerModel,
+    alpha_for_allocation,
+    exponential_allocation,
+    greedy_document_allocation,
+)
+from repro.popularity import PopularityProfile
+from repro.trace import Request, Trace
+
+
+class TestServerModel:
+    def test_coverage(self):
+        s = ServerModel("s", rate=100, lam=1e-6)
+        assert s.coverage(0) == 0.0
+        assert s.coverage(1e6) == pytest.approx(1 - math.exp(-1))
+
+    def test_invalid_rate(self):
+        with pytest.raises(AllocationError):
+            ServerModel("s", rate=-1, lam=1e-6)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(AllocationError):
+            ServerModel("s", rate=1, lam=0)
+
+
+class TestExponentialAllocation:
+    def test_budget_exhausted(self):
+        servers = [
+            ServerModel("a", 100, 1e-6),
+            ServerModel("b", 200, 2e-6),
+            ServerModel("c", 50, 5e-7),
+        ]
+        result = exponential_allocation(servers, 3e6)
+        assert result.used == pytest.approx(3e6)
+
+    def test_non_negative(self):
+        servers = [ServerModel("a", 1000, 1e-6), ServerModel("b", 1, 1e-6)]
+        result = exponential_allocation(servers, 1000.0)  # tight budget
+        assert all(v >= 0 for v in result.allocations.values())
+
+    def test_unpopular_server_pinned_to_zero(self):
+        servers = [ServerModel("a", 1000, 1e-6), ServerModel("b", 1, 1e-6)]
+        result = exponential_allocation(servers, 1000.0)
+        assert result.allocations["b"] == 0.0
+        assert result.allocations["a"] == pytest.approx(1000.0)
+
+    def test_symmetric_cluster_even_split(self):
+        """Equation 8: identical servers each get B0/n."""
+        servers = [ServerModel(f"s{i}", 100, 1e-6) for i in range(5)]
+        result = exponential_allocation(servers, 10e6)
+        for value in result.allocations.values():
+            assert value == pytest.approx(2e6)
+
+    def test_popular_server_gets_more(self):
+        servers = [ServerModel("pop", 1000, 1e-6), ServerModel("nop", 10, 1e-6)]
+        result = exponential_allocation(servers, 20e6)
+        assert result.allocations["pop"] > result.allocations["nop"]
+
+    def test_zero_budget(self):
+        servers = [ServerModel("a", 10, 1e-6)]
+        result = exponential_allocation(servers, 0.0)
+        assert result.alpha == 0.0
+        assert result.used == 0.0
+
+    def test_alpha_matches_formula(self):
+        servers = [ServerModel("a", 100, 1e-6), ServerModel("b", 300, 3e-6)]
+        result = exponential_allocation(servers, 5e6)
+        assert result.alpha == pytest.approx(
+            alpha_for_allocation(servers, result.allocations)
+        )
+
+    def test_zero_rate_server_gets_nothing(self):
+        servers = [ServerModel("a", 100, 1e-6), ServerModel("dead", 0, 1e-6)]
+        result = exponential_allocation(servers, 1e6)
+        assert result.allocations["dead"] == 0.0
+        assert result.allocations["a"] == pytest.approx(1e6)
+
+    def test_all_zero_rate_rejected(self):
+        with pytest.raises(AllocationError):
+            exponential_allocation([ServerModel("a", 0, 1e-6)], 1e6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            exponential_allocation([], 1e6)
+
+    def test_duplicate_names_rejected(self):
+        servers = [ServerModel("a", 1, 1e-6), ServerModel("a", 2, 1e-6)]
+        with pytest.raises(AllocationError):
+            exponential_allocation(servers, 1e6)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            exponential_allocation([ServerModel("a", 1, 1e-6)], -1.0)
+
+    def test_optimality_against_perturbations(self):
+        """Moving bytes between any two servers never increases alpha."""
+        servers = [
+            ServerModel("a", 120, 8e-7),
+            ServerModel("b", 340, 2.5e-6),
+            ServerModel("c", 60, 1.2e-6),
+        ]
+        result = exponential_allocation(servers, 4e6)
+        best = result.alpha
+        for i, donor in enumerate(servers):
+            for j, receiver in enumerate(servers):
+                if i == j:
+                    continue
+                delta = min(100_000.0, result.allocations[donor.name])
+                perturbed = dict(result.allocations)
+                perturbed[donor.name] -= delta
+                perturbed[receiver.name] += delta
+                assert alpha_for_allocation(servers, perturbed) <= best + 1e-12
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=1e4),
+                st.floats(min_value=1e-8, max_value=1e-5),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0, max_value=1e8),
+    )
+    def test_invariants_property(self, params, budget):
+        servers = [
+            ServerModel(f"s{i}", rate, lam) for i, (rate, lam) in enumerate(params)
+        ]
+        result = exponential_allocation(servers, budget)
+        assert all(v >= 0 for v in result.allocations.values())
+        assert result.used <= budget * (1 + 1e-9) + 1e-6
+        assert 0.0 <= result.alpha <= 1.0
+
+
+class TestGreedyDocumentAllocation:
+    def _profiles(self):
+        t1 = Trace(
+            [
+                Request(timestamp=float(i), client="c", doc_id="/hot", size=100)
+                for i in range(10)
+            ]
+            + [Request(timestamp=20.0, client="c", doc_id="/cold", size=100)]
+        )
+        t2 = Trace(
+            [
+                Request(timestamp=float(i), client="c", doc_id="/warm", size=100)
+                for i in range(5)
+            ]
+        )
+        return {
+            "s1": PopularityProfile.from_trace(t1),
+            "s2": PopularityProfile.from_trace(t2),
+        }
+
+    def test_highest_density_first(self):
+        result = greedy_document_allocation(self._profiles(), budget=100)
+        assert result.allocations == {"s1": 100.0, "s2": 0.0}
+        assert result.alpha == pytest.approx(10 / 16)
+
+    def test_two_documents(self):
+        result = greedy_document_allocation(self._profiles(), budget=200)
+        assert result.allocations == {"s1": 100.0, "s2": 100.0}
+        assert result.alpha == pytest.approx(15 / 16)
+
+    def test_full_budget_covers_everything(self):
+        result = greedy_document_allocation(self._profiles(), budget=10_000)
+        assert result.alpha == pytest.approx(1.0)
+
+    def test_zero_budget(self):
+        result = greedy_document_allocation(self._profiles(), budget=0)
+        assert result.alpha == 0.0
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(AllocationError):
+            greedy_document_allocation({}, budget=10)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            greedy_document_allocation(self._profiles(), budget=-1)
+
+    def test_remote_only_toggle(self):
+        t = Trace(
+            [
+                Request(
+                    timestamp=0.0, client="c", doc_id="/x", size=10, remote=False
+                )
+            ]
+        )
+        profiles = {"s": PopularityProfile.from_trace(t)}
+        remote = greedy_document_allocation(profiles, budget=100)
+        assert remote.alpha == 0.0
+        everything = greedy_document_allocation(profiles, budget=100, remote_only=False)
+        assert everything.alpha == pytest.approx(1.0)

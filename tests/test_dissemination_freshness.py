@@ -1,0 +1,146 @@
+"""Tests for the freshness/invalidation simulator."""
+
+import pytest
+
+from repro.config import SECONDS_PER_DAY
+from repro.errors import SimulationError
+from repro.dissemination import FreshnessSimulator
+from repro.trace import Document, Request, Trace
+from repro.workload.updates import UpdateEvent
+
+SIZES = {"/stable": 1000, "/mutable": 2000, "/other": 500}
+DOCS = [Document(doc_id=d, size=s) for d, s in SIZES.items()]
+
+
+def req(day, doc, client="c"):
+    return Request(
+        timestamp=day * SECONDS_PER_DAY, client=client, doc_id=doc, size=SIZES[doc]
+    )
+
+
+@pytest.fixture
+def trace():
+    # Requests on days 0..9, alternating documents.
+    requests = []
+    for day in range(10):
+        requests.append(req(day + 0.1, "/stable", f"c{day}"))
+        requests.append(req(day + 0.2, "/mutable", f"c{day}"))
+    return Trace(requests, DOCS, sort=True)
+
+
+@pytest.fixture
+def updates():
+    # /mutable updates on days 2 and 6; /stable never.
+    return [UpdateEvent(day=2, doc_id="/mutable"), UpdateEvent(day=6, doc_id="/mutable")]
+
+
+class TestIgnorePolicy:
+    def test_stable_doc_never_stale(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate({"/stable"}, policy="ignore")
+        assert result.stale_hits == 0
+        assert result.proxy_hits == 10
+
+    def test_mutable_doc_goes_stale(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate({"/mutable"}, policy="ignore")
+        # Stale from day 2 onward (after the first update): days 2..9 inclusive
+        # except day-2 request at day+0.2 > update day 2 -> stale.
+        assert result.stale_hits == 8
+        assert result.stale_fraction == pytest.approx(0.8)
+
+    def test_coverage(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate({"/stable", "/mutable"}, policy="ignore")
+        assert result.coverage == 1.0
+        result2 = sim.simulate({"/stable"}, policy="ignore")
+        assert result2.coverage == 0.5
+
+    def test_no_refresh_cost(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        assert sim.simulate({"/mutable"}, policy="ignore").refresh_bytes == 0.0
+
+
+class TestExcludeMutable:
+    def test_no_staleness_less_coverage(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate(
+            {"/stable", "/mutable"},
+            policy="exclude-mutable",
+            mutable_docs={"/mutable"},
+        )
+        assert result.stale_hits == 0
+        assert result.coverage == 0.5  # /mutable requests go to the server
+
+    def test_requires_mutable_set(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        with pytest.raises(SimulationError):
+            sim.simulate({"/stable"}, policy="exclude-mutable")
+
+
+class TestPushUpdates:
+    def test_never_stale(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate({"/mutable"}, policy="push-updates")
+        assert result.stale_hits == 0
+        assert result.coverage == 0.5
+
+    def test_refresh_cost_per_update(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        result = sim.simulate({"/mutable"}, policy="push-updates")
+        # Two updates x 2000 bytes.
+        assert result.refresh_bytes == 4000.0
+
+    def test_stable_doc_costs_nothing(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        assert sim.simulate({"/stable"}, policy="push-updates").refresh_bytes == 0.0
+
+
+class TestPeriodicRefresh:
+    def test_staleness_bounded_by_cycle(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        daily = sim.simulate(
+            {"/mutable"}, policy="periodic-refresh", refresh_cycle_days=1.0
+        )
+        lazy = sim.simulate(
+            {"/mutable"}, policy="periodic-refresh", refresh_cycle_days=100.0
+        )
+        assert daily.stale_hits <= lazy.stale_hits
+        # Daily refresh: only the update-day requests can be stale.
+        assert daily.stale_hits <= 2
+
+    def test_refresh_cost_scales_with_frequency(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        daily = sim.simulate(
+            {"/mutable"}, policy="periodic-refresh", refresh_cycle_days=1.0
+        )
+        weekly = sim.simulate(
+            {"/mutable"}, policy="periodic-refresh", refresh_cycle_days=7.0
+        )
+        assert daily.refresh_bytes > weekly.refresh_bytes
+
+    def test_invalid_cycle(self, trace, updates):
+        sim = FreshnessSimulator(trace, updates)
+        with pytest.raises(SimulationError):
+            sim.simulate({"/stable"}, policy="periodic-refresh", refresh_cycle_days=0)
+
+
+class TestValidation:
+    def test_unknown_policy(self, trace, updates):
+        with pytest.raises(SimulationError):
+            FreshnessSimulator(trace, updates).simulate({"/stable"}, policy="magic")
+
+    def test_remote_only_default(self, updates):
+        requests = [
+            Request(
+                timestamp=0.0, client="c", doc_id="/stable", size=1000, remote=False
+            )
+        ]
+        sim = FreshnessSimulator(Trace(requests, DOCS), updates)
+        result = sim.simulate({"/stable"})
+        assert result.requests == 0
+
+    def test_empty_dissemination(self, trace, updates):
+        result = FreshnessSimulator(trace, updates).simulate(set())
+        assert result.proxy_hits == 0
+        assert result.stale_fraction == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the dynamic shielding control loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dissemination import DynamicShield
+
+
+def shield(**kw):
+    defaults = dict(n_servers=10, lam=1e-6, max_budget=50e6, capacity=1000.0)
+    defaults.update(kw)
+    return DynamicShield(**defaults)
+
+
+class TestControlLoop:
+    def test_underload_keeps_full_budget(self):
+        snaps = shield().run([100.0, 100.0, 100.0])
+        assert all(s.budget == 50e6 for s in snaps)
+
+    def test_overload_shrinks_budget(self):
+        snaps = shield(capacity=50.0).run([1000.0, 1000.0])
+        assert snaps[0].budget == 50e6
+        assert snaps[1].budget == 25e6
+
+    def test_repeated_overload_keeps_shrinking(self):
+        snaps = shield(capacity=10.0).run([10_000.0] * 5)
+        budgets = [s.budget for s in snaps]
+        assert budgets == sorted(budgets, reverse=True)
+        assert budgets[-1] < budgets[0]
+
+    def test_recovery_grows_back_to_max(self):
+        loads = [10_000.0] * 3 + [1.0] * 20
+        snaps = shield(capacity=100.0).run(loads)
+        assert snaps[-1].budget == pytest.approx(50e6)
+
+    def test_budget_never_exceeds_max(self):
+        snaps = shield(capacity=1e9).run([1.0] * 10)
+        assert all(s.budget <= 50e6 for s in snaps)
+
+    def test_conservation(self):
+        """Proxy load + server load = offered load, every period."""
+        snaps = shield(capacity=200.0).run([500.0, 1500.0, 50.0])
+        for snap in snaps:
+            assert snap.proxy_load + snap.server_load == pytest.approx(
+                snap.offered_requests
+            )
+
+    def test_alpha_decreases_after_shrink(self):
+        snaps = shield(capacity=10.0).run([10_000.0, 10_000.0])
+        assert snaps[1].alpha < snaps[0].alpha
+
+    def test_shrink_pushes_load_back_to_servers(self):
+        snaps = shield(capacity=10.0).run([10_000.0, 10_000.0])
+        assert snaps[1].server_load > snaps[0].server_load
+
+    def test_empty_run(self):
+        assert shield().run([]) == []
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(SimulationError):
+            shield().run([-1.0])
+
+
+class TestValidation:
+    def test_bad_servers(self):
+        with pytest.raises(SimulationError):
+            shield(n_servers=0)
+
+    def test_bad_lambda(self):
+        with pytest.raises(SimulationError):
+            shield(lam=0.0)
+
+    def test_bad_budget(self):
+        with pytest.raises(SimulationError):
+            shield(max_budget=0.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            shield(capacity=0.0)
+
+    def test_bad_shrink(self):
+        with pytest.raises(SimulationError):
+            shield(shrink_factor=1.0)
+
+    def test_bad_grow(self):
+        with pytest.raises(SimulationError):
+            shield(grow_factor=1.0)

@@ -1,0 +1,210 @@
+"""Tests for the trace-driven dissemination simulator (Fig. 3)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dissemination import DisseminationSimulator
+from repro.dissemination.simulator import per_proxy_popular_docs, select_popular_bytes
+from repro.popularity import PopularityProfile
+from repro.topology import RoutingTree, build_clientele_tree
+from repro.trace import Request, Trace
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+@pytest.fixture
+def tree():
+    return RoutingTree(
+        "root",
+        {
+            "mid": "root",
+            "subnet": "mid",
+            "c1": "subnet",
+            "c2": "subnet",
+        },
+    )
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [
+            Request(timestamp=0.0, client="c1", doc_id="/a", size=100),
+            Request(timestamp=1.0, client="c2", doc_id="/a", size=100),
+            Request(timestamp=2.0, client="c1", doc_id="/b", size=50),
+        ]
+    )
+
+
+class TestBaseline:
+    def test_baseline_cost(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        # Each client at depth 3: (100+100+50) * 3
+        assert sim.baseline_cost() == 750.0
+
+    def test_local_requests_excluded_by_default(self, tree):
+        t = Trace(
+            [
+                Request(timestamp=0.0, client="c1", doc_id="/a", size=100),
+                Request(
+                    timestamp=1.0, client="c2", doc_id="/a", size=100, remote=False
+                ),
+            ]
+        )
+        sim = DisseminationSimulator(t, tree)
+        assert sim.baseline_cost() == 300.0
+
+    def test_missing_client_rejected(self, trace):
+        small_tree = RoutingTree("root", {"c1": "root"})
+        with pytest.raises(SimulationError):
+            DisseminationSimulator(trace, small_tree)
+
+
+class TestSimulate:
+    def test_no_dissemination_no_savings(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["mid"], set())
+        assert result.savings_fraction == 0.0
+        assert result.proxy_hits == 0
+
+    def test_full_dissemination_saves_proxy_depth(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["mid"], {"/a", "/b"})
+        # mid at depth 1 of 3: saves 1/3 of every byte-hop.
+        assert result.savings_fraction == pytest.approx(1 / 3)
+        assert result.proxy_hits == 3
+
+    def test_deeper_proxy_saves_more(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        shallow = sim.simulate(["mid"], {"/a"})
+        deep = sim.simulate(["subnet"], {"/a"})
+        assert deep.savings_fraction > shallow.savings_fraction
+
+    def test_deepest_ancestor_wins(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        both = sim.simulate(["mid", "subnet"], {"/a", "/b"})
+        only_deep = sim.simulate(["subnet"], {"/a", "/b"})
+        assert both.savings_fraction == pytest.approx(only_deep.savings_fraction)
+
+    def test_partial_dissemination(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["subnet"], {"/a"})
+        # /a hits save 2 of 3 hops on 200 bytes; /b pays full.
+        expected_cost = 100 * 1 + 100 * 1 + 50 * 3
+        assert result.cost == pytest.approx(expected_cost)
+        assert result.proxy_hits == 2
+
+    def test_per_proxy_holdings(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["mid", "subnet"], {"mid": {"/b"}, "subnet": {"/a"}})
+        expected_cost = 100 * 1 + 100 * 1 + 50 * 2
+        assert result.cost == pytest.approx(expected_cost)
+
+    def test_storage_accounting(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["mid", "subnet"], {"/a"})
+        assert result.storage_bytes == 200.0  # /a on both proxies
+
+    def test_push_cost(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        without = sim.simulate(["subnet"], {"/a"})
+        with_push = sim.simulate(["subnet"], {"/a"}, include_push_cost=True)
+        assert with_push.push_cost == 100 * 2  # /a pushed 2 hops down
+        assert with_push.cost == without.cost + with_push.push_cost
+
+    def test_leaf_proxy_rejected(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        with pytest.raises(SimulationError):
+            sim.simulate(["c1"], {"/a"})
+
+    def test_root_proxy_rejected(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        with pytest.raises(SimulationError):
+            sim.simulate(["root"], {"/a"})
+
+    def test_savings_bounded(self, trace, tree):
+        sim = DisseminationSimulator(trace, tree)
+        result = sim.simulate(["subnet"], {"/a", "/b"})
+        assert 0.0 <= result.savings_fraction < 1.0
+
+
+class TestSelection:
+    def test_select_popular_bytes_orders_by_popularity(self):
+        t = Trace(
+            [Request(timestamp=float(i), client="c", doc_id="/hot", size=100) for i in range(5)]
+            + [Request(timestamp=10.0, client="c", doc_id="/cold", size=100)]
+        )
+        profile = PopularityProfile.from_trace(t)
+        assert select_popular_bytes(profile, 100) == {"/hot"}
+        assert select_popular_bytes(profile, 200) == {"/hot", "/cold"}
+
+    def test_select_zero_budget(self):
+        t = Trace([Request(timestamp=0.0, client="c", doc_id="/a", size=10)])
+        assert select_popular_bytes(PopularityProfile.from_trace(t), 0) == set()
+
+    def test_select_negative_budget_rejected(self):
+        t = Trace([Request(timestamp=0.0, client="c", doc_id="/a", size=10)])
+        with pytest.raises(SimulationError):
+            select_popular_bytes(PopularityProfile.from_trace(t), -1)
+
+    def test_per_proxy_selection_reflects_subtree(self, tree):
+        t = Trace(
+            [
+                Request(timestamp=float(i), client="c1", doc_id="/one", size=100)
+                for i in range(5)
+            ]
+            + [
+                Request(timestamp=10.0 + i, client="c2", doc_id="/two", size=100)
+                for i in range(9)
+            ]
+        )
+        per_proxy = per_proxy_popular_docs(t, tree, ["subnet"], byte_budget=100)
+        # Within the subtree both clients appear; /two is more popular.
+        assert per_proxy["subnet"] == {"/two"}
+
+    def test_per_proxy_empty_subtree(self, tree):
+        t = Trace([Request(timestamp=0.0, client="c1", doc_id="/a", size=10)])
+        tree2 = RoutingTree(
+            "root", {"mid": "root", "other": "root", "c1": "mid", "cx": "other"}
+        )
+        per_proxy = per_proxy_popular_docs(t, tree2, ["other"], byte_budget=100)
+        assert per_proxy["other"] == set()
+
+
+class TestIntegration:
+    def test_more_proxies_never_hurt(self):
+        gen = SyntheticTraceGenerator(
+            GeneratorConfig(seed=9, n_pages=50, n_clients=60, n_sessions=300, duration_days=8)
+        )
+        t = gen.generate()
+        tree = build_clientele_tree(t)
+        profile = PopularityProfile.from_trace(t.remote_only())
+        docs = select_popular_bytes(profile, 0.10 * gen.site.total_bytes())
+        sim = DisseminationSimulator(t, tree)
+        regions = sorted(
+            n for n in tree.internal_nodes() if n.startswith("region-")
+        )
+        previous = -1.0
+        for k in (0, 1, 2, 4, len(regions)):
+            result = sim.simulate(regions[:k], docs)
+            assert result.savings_fraction >= previous - 1e-12
+            previous = result.savings_fraction
+
+    def test_footnote5_per_proxy_at_least_as_good(self):
+        """Geographically-specialized dissemination should not lose to
+        one-size-fits-all under the same per-proxy byte budget."""
+        gen = SyntheticTraceGenerator(
+            GeneratorConfig(seed=10, n_pages=60, n_clients=80, n_sessions=400, duration_days=8)
+        )
+        t = gen.generate()
+        tree = build_clientele_tree(t)
+        sim = DisseminationSimulator(t, tree)
+        regions = sorted(
+            n for n in tree.internal_nodes() if n.startswith("region-")
+        )[:4]
+        budget = 0.08 * gen.site.total_bytes()
+        profile = PopularityProfile.from_trace(t.remote_only())
+        shared = select_popular_bytes(profile, budget)
+        specialized = per_proxy_popular_docs(t, tree, regions, budget)
+        shared_result = sim.simulate(regions, shared)
+        special_result = sim.simulate(regions, specialized)
+        assert special_result.savings_fraction >= shared_result.savings_fraction - 0.02

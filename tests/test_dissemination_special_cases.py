@@ -1,0 +1,151 @@
+"""Tests for the closed-form special cases (paper eqs. 6-10)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.dissemination import (
+    ServerModel,
+    equal_effectiveness_allocation,
+    equal_popularity_allocation,
+    exponential_allocation,
+    symmetric_allocation,
+    symmetric_alpha,
+    symmetric_storage_for_reduction,
+)
+from repro.popularity.expmodel import PAPER_LAMBDA
+
+
+class TestEqualEffectiveness:
+    def test_budget_conserved(self):
+        allocs = equal_effectiveness_allocation([10, 100, 1000], 1e-6, 9e6)
+        assert sum(allocs) == pytest.approx(9e6)
+
+    def test_equal_rates_even_split(self):
+        allocs = equal_effectiveness_allocation([50, 50, 50], 1e-6, 3e6)
+        assert allocs == pytest.approx([1e6, 1e6, 1e6])
+
+    def test_popular_servers_get_extra(self):
+        allocs = equal_effectiveness_allocation([10, 1000], 1e-6, 2e6)
+        assert allocs[1] > allocs[0]
+
+    def test_matches_general_solution(self):
+        """Equation 6 agrees with the general eq. 4-5 allocator when all
+        shares are positive."""
+        rates = [100.0, 300.0, 200.0]
+        lam = 1e-6
+        budget = 30e6
+        closed = equal_effectiveness_allocation(rates, lam, budget)
+        servers = [ServerModel(f"s{i}", r, lam) for i, r in enumerate(rates)]
+        general = exponential_allocation(servers, budget)
+        for i, value in enumerate(closed):
+            assert value == pytest.approx(general.allocations[f"s{i}"], rel=1e-9)
+
+    def test_correction_term_shape(self):
+        """Extra storage = (1/λ)·log(R_j / geometric mean)."""
+        rates = [10.0, 1000.0]
+        lam = 2e-6
+        allocs = equal_effectiveness_allocation(rates, lam, 10e6)
+        geo = math.sqrt(10.0 * 1000.0)
+        assert allocs[1] - 10e6 / 2 == pytest.approx(math.log(1000 / geo) / lam)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AllocationError):
+            equal_effectiveness_allocation([], 1e-6, 1.0)
+        with pytest.raises(AllocationError):
+            equal_effectiveness_allocation([1.0], 0.0, 1.0)
+        with pytest.raises(AllocationError):
+            equal_effectiveness_allocation([0.0], 1e-6, 1.0)
+
+
+class TestEqualPopularity:
+    def test_budget_conserved(self):
+        allocs = equal_popularity_allocation([1e-6, 2e-6, 5e-7], 6e6)
+        assert sum(allocs) == pytest.approx(6e6)
+
+    def test_equal_lambdas_even_split(self):
+        allocs = equal_popularity_allocation([1e-6] * 4, 4e6)
+        assert allocs == pytest.approx([1e6] * 4)
+
+    def test_lax_budget_favours_uniform_popularity(self):
+        """With B0 >> 1/λ the smaller-λ server gets more storage."""
+        lams = [5e-7, 5e-6]
+        allocs = equal_popularity_allocation(lams, 100e6)
+        assert allocs[0] > allocs[1]
+
+    def test_figure2_hump_under_tight_budget(self):
+        """Figure 2 (tight): the allocation to server j peaks at an
+        intermediate λ_j rather than growing monotonically."""
+        lam_others = 1e-6
+        budget = 1.0 / lam_others  # the paper's "tight" B0 = 1/λ_i
+        n_others = 9
+        lams_j = [lam_others * m for m in (0.05, 0.3, 1.0, 3.0, 20.0)]
+        shares = []
+        for lam_j in lams_j:
+            allocs = equal_popularity_allocation([lam_j] + [lam_others] * n_others, budget)
+            shares.append(allocs[0])
+        peak = max(range(len(shares)), key=shares.__getitem__)
+        assert 0 < peak < len(shares) - 1, f"no interior hump: {shares}"
+
+    def test_matches_general_solution(self):
+        lams = [8e-7, 1.5e-6, 3e-6]
+        budget = 60e6
+        closed = equal_popularity_allocation(lams, budget)
+        servers = [ServerModel(f"s{i}", 100.0, lam) for i, lam in enumerate(lams)]
+        general = exponential_allocation(servers, budget)
+        for i, value in enumerate(closed):
+            assert value == pytest.approx(general.allocations[f"s{i}"], rel=1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(AllocationError):
+            equal_popularity_allocation([], 1.0)
+        with pytest.raises(AllocationError):
+            equal_popularity_allocation([0.0], 1.0)
+
+
+class TestSymmetric:
+    def test_even_split(self):
+        assert symmetric_allocation(10, 100.0) == 10.0
+
+    def test_alpha_formula(self):
+        alpha = symmetric_alpha(10, PAPER_LAMBDA, 36.9e6)
+        assert alpha == pytest.approx(0.90, abs=0.005)
+
+    def test_paper_36mb_claim(self):
+        """10 servers, 90% reduction -> ~36-37 MB (paper says 36 MB)."""
+        budget = symmetric_storage_for_reduction(10, PAPER_LAMBDA, 0.90)
+        assert 34e6 < budget < 38e6
+
+    def test_paper_500mb_claim(self):
+        """500 MB shields 100 servers from ~96% of remote bandwidth."""
+        alpha = symmetric_alpha(100, PAPER_LAMBDA, 500e6)
+        assert alpha == pytest.approx(0.96, abs=0.01)
+
+    def test_round_trip(self):
+        budget = symmetric_storage_for_reduction(7, 1e-6, 0.75)
+        assert symmetric_alpha(7, 1e-6, budget) == pytest.approx(0.75)
+
+    def test_zero_reduction_zero_storage(self):
+        assert symmetric_storage_for_reduction(5, 1e-6, 0.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(AllocationError):
+            symmetric_allocation(0, 1.0)
+        with pytest.raises(AllocationError):
+            symmetric_alpha(1, 0.0, 1.0)
+        with pytest.raises(AllocationError):
+            symmetric_storage_for_reduction(1, 1e-6, 1.0)
+        with pytest.raises(AllocationError):
+            symmetric_storage_for_reduction(1, 1e-6, -0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=1e-8, max_value=1e-4),
+        st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, n, lam, reduction):
+        budget = symmetric_storage_for_reduction(n, lam, reduction)
+        assert symmetric_alpha(n, lam, budget) == pytest.approx(reduction, abs=1e-9)

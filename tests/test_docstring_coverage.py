@@ -1,0 +1,44 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for __, name, ___ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ calls sys.exit on import; it is covered by the CLI tests.
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(item):
+            undocumented.append(name)
+        elif inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module_name}: {undocumented}"

@@ -1,0 +1,103 @@
+"""Property-based tests of the freshness simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SECONDS_PER_DAY
+from repro.dissemination import FreshnessSimulator
+from repro.trace import Request, Trace
+from repro.workload.updates import UpdateEvent
+
+DOCS = ["/a", "/b", "/c"]
+
+
+@st.composite
+def freshness_instances(draw):
+    request_days = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+                st.sampled_from(DOCS),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    update_days = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30), st.sampled_from(DOCS)
+            ),
+            max_size=20,
+        )
+    )
+    requests = [
+        Request(
+            timestamp=day * SECONDS_PER_DAY,
+            client=f"c{i}",
+            doc_id=doc,
+            size=100,
+        )
+        for i, (day, doc) in enumerate(request_days)
+    ]
+    trace = Trace(requests, sort=True)
+    updates = [UpdateEvent(day=d, doc_id=doc) for d, doc in update_days]
+    disseminated = set(draw(st.lists(st.sampled_from(DOCS), max_size=3)))
+    return trace, updates, disseminated
+
+
+@given(freshness_instances())
+@settings(max_examples=60, deadline=None)
+def test_counting_invariants(instance):
+    trace, updates, disseminated = instance
+    simulator = FreshnessSimulator(trace, updates)
+    for policy_kwargs in (
+        dict(policy="ignore"),
+        dict(policy="push-updates"),
+        dict(policy="periodic-refresh", refresh_cycle_days=3.0),
+        dict(policy="exclude-mutable", mutable_docs={"/a"}),
+    ):
+        result = simulator.simulate(disseminated, **policy_kwargs)
+        assert 0 <= result.stale_hits <= result.proxy_hits <= result.requests
+        assert result.refresh_bytes >= 0.0
+        assert 0.0 <= result.coverage <= 1.0
+        assert 0.0 <= result.stale_fraction <= 1.0
+
+
+@given(freshness_instances())
+@settings(max_examples=60, deadline=None)
+def test_push_updates_never_stale(instance):
+    trace, updates, disseminated = instance
+    result = FreshnessSimulator(trace, updates).simulate(
+        disseminated, policy="push-updates"
+    )
+    assert result.stale_hits == 0
+
+
+@given(freshness_instances())
+@settings(max_examples=60, deadline=None)
+def test_exclude_mutable_dominates_ignore_on_staleness(instance):
+    trace, updates, disseminated = instance
+    simulator = FreshnessSimulator(trace, updates)
+    ignore = simulator.simulate(disseminated, policy="ignore")
+    exclude = simulator.simulate(
+        disseminated, policy="exclude-mutable", mutable_docs={"/a", "/b"}
+    )
+    assert exclude.stale_hits <= ignore.stale_hits
+    assert exclude.proxy_hits <= ignore.proxy_hits
+
+
+@given(freshness_instances(), st.floats(min_value=0.5, max_value=5.0))
+@settings(max_examples=60, deadline=None)
+def test_divisible_refresh_cycles_monotone(instance, cycle):
+    """A cycle that divides another refreshes at a superset of days, so
+    it can only reduce staleness."""
+    trace, updates, disseminated = instance
+    simulator = FreshnessSimulator(trace, updates)
+    fast = simulator.simulate(
+        disseminated, policy="periodic-refresh", refresh_cycle_days=cycle
+    )
+    slow = simulator.simulate(
+        disseminated, policy="periodic-refresh", refresh_cycle_days=cycle * 3
+    )
+    assert fast.stale_hits <= slow.stale_hits
+    assert fast.refresh_bytes >= slow.refresh_bytes

@@ -1,0 +1,140 @@
+"""Optimality guarantees checked against brute force on small instances."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dissemination import (
+    ServerModel,
+    alpha_for_allocation,
+    exponential_allocation,
+)
+from repro.topology import RoutingTree, greedy_tree_placement
+
+
+def _savings(tree, demand, nodes):
+    total = 0.0
+    for client, value in demand.items():
+        best = 0
+        path = tree.path_from_root(client)
+        for node in nodes:
+            if node in path:
+                best = max(best, tree.depth(node))
+        total += value * best
+    return total
+
+
+@st.composite
+def small_tree_instances(draw):
+    """A random 2-region tree with random leaf demand."""
+    n_regions = draw(st.integers(min_value=2, max_value=3))
+    leaves_per_subnet = draw(st.integers(min_value=1, max_value=2))
+    parents = {}
+    demand = {}
+    for region in range(n_regions):
+        region_node = f"r{region}"
+        parents[region_node] = "root"
+        for subnet in range(2):
+            subnet_node = f"r{region}s{subnet}"
+            parents[subnet_node] = region_node
+            for leaf in range(leaves_per_subnet):
+                leaf_node = f"r{region}s{subnet}c{leaf}"
+                parents[leaf_node] = subnet_node
+                demand[leaf_node] = draw(
+                    st.floats(min_value=0.0, max_value=100.0)
+                )
+    return RoutingTree("root", parents), demand
+
+
+class TestGreedyPlacementOptimality:
+    @given(small_tree_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_single_proxy_is_optimal(self, instance):
+        tree, demand = instance
+        chosen = greedy_tree_placement(tree, demand, 1)
+        greedy_value = _savings(tree, demand, chosen)
+        best = max(
+            (_savings(tree, demand, [node]) for node in tree.internal_nodes()),
+            default=0.0,
+        )
+        assert greedy_value == pytest.approx(best)
+
+    @given(small_tree_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_two_proxies_within_submodular_bound(self, instance):
+        """Greedy on a monotone submodular objective is within (1-1/e)
+        of the optimum; verify against exhaustive search."""
+        tree, demand = instance
+        chosen = greedy_tree_placement(tree, demand, 2)
+        greedy_value = _savings(tree, demand, chosen)
+        internal = sorted(tree.internal_nodes())
+        best = 0.0
+        for pair in itertools.combinations(internal, 2):
+            best = max(best, _savings(tree, demand, list(pair)))
+        assert greedy_value >= (1 - 1 / math.e) * best - 1e-9
+
+    @given(small_tree_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_more_proxies_never_decrease_savings(self, instance):
+        tree, demand = instance
+        values = []
+        for k in range(0, 4):
+            chosen = greedy_tree_placement(tree, demand, k)
+            values.append(_savings(tree, demand, chosen))
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestAllocationOptimality:
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1e-7, max_value=1e-5),
+        st.floats(min_value=1e-7, max_value=1e-5),
+        st.floats(min_value=0.0, max_value=5e6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_server_closed_form_beats_grid(self, r1, r2, lam1, lam2, budget):
+        servers = [ServerModel("a", r1, lam1), ServerModel("b", r2, lam2)]
+        result = exponential_allocation(servers, budget)
+        # Exhaustive grid over the budget split.
+        best_grid = 0.0
+        for fraction in np.linspace(0.0, 1.0, 201):
+            allocation = {"a": budget * fraction, "b": budget * (1 - fraction)}
+            best_grid = max(best_grid, alpha_for_allocation(servers, allocation))
+        assert result.alpha >= best_grid - 1e-6
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e4),
+                st.floats(min_value=1e-7, max_value=1e-5),
+            ),
+            min_size=2,
+            max_size=5,
+        ),
+        st.floats(min_value=1e3, max_value=1e7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kkt_stationarity_on_active_servers(self, params, budget):
+        """At the optimum, all servers with positive allocation share
+        the same marginal value λ_i R_i exp(−λ_i B_i)."""
+        servers = [
+            ServerModel(f"s{i}", rate, lam) for i, (rate, lam) in enumerate(params)
+        ]
+        result = exponential_allocation(servers, budget)
+        marginals = [
+            s.lam * s.rate * math.exp(-s.lam * result.allocations[s.name])
+            for s in servers
+            if result.allocations[s.name] > 1e-6
+        ]
+        if len(marginals) >= 2:
+            assert max(marginals) == pytest.approx(min(marginals), rel=1e-6)
+        # Servers pinned at zero have marginal value below the water level.
+        if marginals:
+            level = max(marginals)
+            for s in servers:
+                if result.allocations[s.name] <= 1e-6 and s.rate > 0:
+                    assert s.lam * s.rate <= level * (1 + 1e-6)

@@ -1,0 +1,178 @@
+"""Tests for the block analysis (Fig. 1) and the exponential model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.popularity import (
+    ExponentialPopularityModel,
+    analyze_blocks,
+    fit_lambda,
+)
+from repro.popularity.expmodel import PAPER_LAMBDA
+from repro.trace import Request, Trace
+
+
+def req(t, doc, size, remote=True):
+    return Request(timestamp=t, client="c", doc_id=doc, size=size, remote=remote)
+
+
+class TestBlockAnalysis:
+    def _trace(self):
+        # Three docs of 100 bytes each; block size 150 -> one per block.
+        return Trace(
+            [req(0, "/a", 100)] * 1
+            + [req(i, "/a", 100) for i in range(5)]
+            + [req(10 + i, "/b", 100) for i in range(3)]
+            + [req(20, "/c", 100)],
+            sort=True,
+        )
+
+    def test_blocks_ordered_by_popularity(self):
+        analysis = analyze_blocks(self._trace(), block_bytes=150)
+        requests = [b.requests for b in analysis.blocks]
+        assert requests == sorted(requests, reverse=True)
+
+    def test_fractions_sum_to_one(self):
+        analysis = analyze_blocks(self._trace(), block_bytes=150)
+        assert sum(b.request_fraction for b in analysis.blocks) == pytest.approx(1.0)
+
+    def test_bandwidth_saved_monotone_to_one(self):
+        analysis = analyze_blocks(self._trace(), block_bytes=150)
+        saved = analysis.bandwidth_saved
+        assert np.all(np.diff(saved) >= 0)
+        assert saved[-1] == pytest.approx(1.0)
+
+    def test_block_packing_respects_size(self):
+        trace = Trace([req(i, f"/d{i}", 60) for i in range(6)], sort=True)
+        analysis = analyze_blocks(trace, block_bytes=150)
+        for block in analysis.blocks:
+            # Two 60-byte docs per 150-byte block.
+            assert block.n_documents <= 2
+
+    def test_oversized_document_gets_own_block(self):
+        trace = Trace([req(0, "/huge", 1000), req(1, "/tiny", 10)])
+        analysis = analyze_blocks(trace, block_bytes=100)
+        assert analysis.blocks[0].n_documents == 1
+        assert analysis.blocks[0].bytes == 1000
+
+    def test_remote_only_filtering(self):
+        trace = Trace([req(0, "/a", 100), req(1, "/b", 100, remote=False)])
+        analysis = analyze_blocks(trace, block_bytes=1000)
+        assert analysis.blocks[0].requests == 1  # only the remote one
+
+    def test_top_block_share(self):
+        analysis = analyze_blocks(self._trace(), block_bytes=150)
+        assert analysis.top_block_request_share == pytest.approx(6 / 10)
+
+    def test_share_of_top_fraction(self):
+        analysis = analyze_blocks(self._trace(), block_bytes=150)
+        assert analysis.share_of_top_fraction(1.0) == pytest.approx(1.0)
+        assert analysis.share_of_top_fraction(0.01) == pytest.approx(
+            analysis.top_block_request_share
+        )
+
+    def test_invalid_block_bytes(self):
+        with pytest.raises(ReproError):
+            analyze_blocks(self._trace(), block_bytes=0)
+
+    def test_paper_shape_on_skewed_trace(self):
+        """A Zipf-like trace shows the paper's concentration: the top
+        block dominates and the saved-bandwidth curve is concave."""
+        rng = np.random.default_rng(0)
+        docs = [f"/d{i}" for i in range(200)]
+        weights = np.arange(1, 201.0) ** -1.4
+        weights /= weights.sum()
+        picks = rng.choice(200, size=20_000, p=weights)
+        trace = Trace(
+            [req(float(i), docs[k], 2048) for i, k in enumerate(picks)], sort=True
+        )
+        analysis = analyze_blocks(trace)
+        assert analysis.top_block_request_share > 0.3
+        saved = analysis.bandwidth_saved
+        increments = np.diff(np.concatenate([[0.0], saved]))
+        assert increments[0] == max(increments)
+
+
+class TestExponentialModel:
+    def test_coverage_at_zero(self):
+        assert ExponentialPopularityModel(1e-6).coverage(0) == 0.0
+
+    def test_coverage_monotone(self):
+        m = ExponentialPopularityModel(1e-6)
+        assert m.coverage(1e6) < m.coverage(5e6) < 1.0
+
+    def test_density_is_derivative(self):
+        m = ExponentialPopularityModel(2e-6)
+        b = 1e6
+        eps = 1.0
+        numeric = (m.coverage(b + eps) - m.coverage(b - eps)) / (2 * eps)
+        assert m.density(b) == pytest.approx(numeric, rel=1e-4)
+
+    def test_bytes_for_coverage_inverts(self):
+        m = ExponentialPopularityModel(PAPER_LAMBDA)
+        for target in (0.1, 0.5, 0.9, 0.99):
+            assert m.coverage(m.bytes_for_coverage(target)) == pytest.approx(target)
+
+    def test_effectiveness(self):
+        assert ExponentialPopularityModel(0.5).effectiveness == 2.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ReproError):
+            ExponentialPopularityModel(0.0)
+
+    def test_negative_budget(self):
+        with pytest.raises(ReproError):
+            ExponentialPopularityModel(1e-6).coverage(-1)
+
+    def test_invalid_target_coverage(self):
+        with pytest.raises(ReproError):
+            ExponentialPopularityModel(1e-6).bytes_for_coverage(1.0)
+
+
+class TestFitLambda:
+    def test_recovers_exact_exponential(self):
+        lam = 3.3e-7
+        b = np.linspace(1e5, 2e7, 50)
+        h = 1.0 - np.exp(-lam * b)
+        assert fit_lambda(b, h) == pytest.approx(lam, rel=1e-6)
+
+    @given(st.floats(min_value=1e-8, max_value=1e-4))
+    def test_recovers_any_lambda(self, lam):
+        b = np.linspace(1.0, 5.0 / lam, 40)
+        h = 1.0 - np.exp(-lam * b)
+        assert fit_lambda(b, h) == pytest.approx(lam, rel=1e-3)
+
+    def test_saturated_tail_discarded(self):
+        lam = 1e-6
+        b = np.linspace(1e5, 1e8, 100)  # deep into saturation
+        h = np.minimum(1.0 - np.exp(-lam * b), 1.0)
+        assert fit_lambda(b, h) == pytest.approx(lam, rel=0.01)
+
+    def test_fully_saturated_curve_still_fits(self):
+        b = np.array([1e6, 2e6])
+        h = np.array([1.0, 1.0])
+        lam = fit_lambda(b, h)
+        assert lam > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            fit_lambda(np.array([1.0, 2.0]), np.array([0.5]))
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            fit_lambda(np.array([]), np.array([]))
+
+    def test_invalid_coverage_range(self):
+        with pytest.raises(ReproError):
+            fit_lambda(np.array([1.0]), np.array([1.5]))
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(1)
+        lam = 6.247e-7
+        b = np.linspace(1e5, 6e6, 60)
+        h = np.clip(1.0 - np.exp(-lam * b) + rng.normal(0, 0.01, 60), 0, 1)
+        assert fit_lambda(b, h) == pytest.approx(lam, rel=0.08)

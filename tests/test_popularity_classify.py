@@ -1,0 +1,128 @@
+"""Tests for popularity-class and mutability classification."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.popularity import (
+    PopularityClass,
+    PopularityProfile,
+    classify_documents,
+    count_classes,
+    find_mutable_documents,
+)
+from repro.trace import Request, Trace
+from repro.workload.updates import UpdateEvent
+
+
+def trace_with_ratios():
+    """/r: 9 remote of 10 (ratio .9); /l: 1 of 10 (.1); /g: 5 of 10 (.5)."""
+    requests = []
+    t = 0.0
+    for doc, remote_count in (("/r", 9), ("/l", 1), ("/g", 5)):
+        for i in range(10):
+            requests.append(
+                Request(
+                    timestamp=t,
+                    client="c",
+                    doc_id=doc,
+                    size=1,
+                    remote=i < remote_count,
+                )
+            )
+            t += 1.0
+    return Trace(requests)
+
+
+class TestClassify:
+    def test_three_way_split(self):
+        profile = PopularityProfile.from_trace(trace_with_ratios())
+        classes = classify_documents(profile)
+        assert classes["/r"] is PopularityClass.REMOTE
+        assert classes["/l"] is PopularityClass.LOCAL
+        assert classes["/g"] is PopularityClass.GLOBAL
+
+    def test_boundaries_are_strict(self):
+        # Exactly 85% remote -> global (paper: "larger than 85%").
+        requests = [
+            Request(timestamp=float(i), client="c", doc_id="/x", size=1, remote=i < 17)
+            for i in range(20)
+        ]
+        classes = classify_documents(PopularityProfile.from_trace(Trace(requests)))
+        assert classes["/x"] is PopularityClass.GLOBAL
+
+    def test_unaccessed_excluded_by_default(self):
+        from repro.trace import Document
+
+        trace = Trace(
+            [Request(timestamp=0, client="c", doc_id="/a", size=1)],
+            [Document(doc_id="/ghost", size=5)],
+        )
+        classes = classify_documents(PopularityProfile.from_trace(trace))
+        assert "/ghost" not in classes
+
+    def test_unaccessed_included_when_asked(self):
+        from repro.trace import Document
+
+        trace = Trace(
+            [Request(timestamp=0, client="c", doc_id="/a", size=1)],
+            [Document(doc_id="/ghost", size=5)],
+        )
+        classes = classify_documents(
+            PopularityProfile.from_trace(trace), include_unaccessed=True
+        )
+        assert classes["/ghost"] is PopularityClass.LOCAL
+
+    def test_custom_thresholds(self):
+        profile = PopularityProfile.from_trace(trace_with_ratios())
+        classes = classify_documents(
+            profile, remote_threshold=0.45, local_threshold=0.45
+        )
+        assert classes["/g"] is PopularityClass.REMOTE
+
+    def test_invalid_thresholds(self):
+        profile = PopularityProfile.from_trace(trace_with_ratios())
+        with pytest.raises(ReproError):
+            classify_documents(profile, remote_threshold=0.1, local_threshold=0.9)
+
+    def test_count_classes(self):
+        profile = PopularityProfile.from_trace(trace_with_ratios())
+        counts = count_classes(classify_documents(profile))
+        assert (counts.remote, counts.global_, counts.local) == (1, 1, 1)
+        assert counts.total == 3
+
+
+class TestMutable:
+    def test_frequent_updater_flagged(self):
+        events = [UpdateEvent(day=d, doc_id="/busy") for d in range(50)]
+        events += [UpdateEvent(day=0, doc_id="/calm")]
+        mutable = find_mutable_documents(events, observation_days=100)
+        assert mutable == {"/busy"}
+
+    def test_threshold_respected(self):
+        events = [UpdateEvent(day=d, doc_id="/d") for d in range(10)]
+        assert find_mutable_documents(events, 100, rate_threshold=0.05) == {"/d"}
+        assert find_mutable_documents(events, 100, rate_threshold=0.2) == set()
+
+    def test_no_events(self):
+        assert find_mutable_documents([], 186) == set()
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            find_mutable_documents([], 0)
+
+    def test_paper_observation_window(self):
+        """With the paper's rates, the mutable subset stays very small."""
+        import numpy as np
+
+        from repro.workload import UpdateProcess
+
+        classes = {f"/d{i}": ("local" if i % 2 else "remote") for i in range(200)}
+        process = UpdateProcess(
+            classes, np.random.default_rng(0), mutable_fraction=0.02
+        )
+        events = process.events(186)
+        mutable = find_mutable_documents(events, 186)
+        # Mutables found should be (mostly) the process's fast subset.
+        assert mutable
+        assert len(mutable) <= 12
+        assert mutable <= process.mutable_docs | set()

@@ -1,0 +1,164 @@
+"""Tests for popularity profiles and coverage curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.popularity import PopularityProfile
+from repro.trace import Document, Request, Trace
+
+
+def req(t, doc, size=10, remote=True, client="c"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=size, remote=remote)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [
+            req(0, "/hot", size=100),
+            req(1, "/hot", size=100),
+            req(2, "/hot", size=100, remote=False),
+            req(3, "/warm", size=200),
+            req(4, "/cold", size=50, remote=False),
+        ],
+        [Document(doc_id="/never", size=999)],
+    )
+
+
+class TestStats:
+    def test_counts(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        hot = profile.get("/hot")
+        assert hot.requests == 3
+        assert hot.remote_requests == 2
+        assert hot.local_requests == 1
+        assert hot.bytes_served == 300
+        assert hot.remote_bytes == 200
+        assert hot.remote_ratio == pytest.approx(2 / 3)
+
+    def test_unaccessed_document_zeroes(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        never = profile.get("/never")
+        assert never.requests == 0
+        assert never.remote_ratio == 0.0
+        assert never.size == 999
+
+    def test_accessed_count(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        assert profile.accessed_count() == 3
+        assert profile.accessed_count(remote_only=True) == 2
+
+    def test_totals(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        assert profile.total_requests() == 5
+        assert profile.total_requests(remote_only=True) == 3
+        assert profile.total_bytes_served() == 550
+        assert profile.total_bytes_served(remote_only=True) == 400
+
+    def test_unknown_doc(self, trace):
+        with pytest.raises(ReproError):
+            PopularityProfile.from_trace(trace).get("/nope")
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ReproError):
+            PopularityProfile({})
+
+    def test_len_contains(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        assert len(profile) == 4
+        assert "/hot" in profile
+        assert "/nope" not in profile
+
+
+class TestRanking:
+    def test_remote_ranking(self, trace):
+        ranked = PopularityProfile.from_trace(trace).ranked(remote_only=True)
+        assert ranked[0].doc_id == "/hot"
+        assert ranked[1].doc_id == "/warm"
+
+    def test_total_ranking_differs(self):
+        t = Trace(
+            [req(0, "/a", remote=False), req(1, "/a", remote=False), req(2, "/b")]
+        )
+        profile = PopularityProfile.from_trace(t)
+        assert profile.ranked(remote_only=False)[0].doc_id == "/a"
+        assert profile.ranked(remote_only=True)[0].doc_id == "/b"
+
+    def test_tie_break_by_doc_id(self):
+        t = Trace([req(0, "/b"), req(1, "/a")])
+        ranked = PopularityProfile.from_trace(t).ranked()
+        assert [s.doc_id for s in ranked[:2]] == ["/a", "/b"]
+
+
+class TestCoverageCurve:
+    def test_monotone_and_normalized(self, trace):
+        b, h = PopularityProfile.from_trace(trace).coverage_curve()
+        assert np.all(np.diff(b) > 0)
+        assert np.all(np.diff(h) >= 0)
+        assert h[-1] == pytest.approx(1.0)
+
+    def test_only_accessed_docs_on_curve(self, trace):
+        b, h = PopularityProfile.from_trace(trace).coverage_curve()
+        # /hot and /warm have remote hits; /cold and /never do not.
+        assert len(b) == 2
+
+    def test_empty_curve_when_no_remote(self):
+        t = Trace([req(0, "/a", remote=False)])
+        b, h = PopularityProfile.from_trace(t).coverage_curve()
+        assert b.size == 0 and h.size == 0
+
+    def test_first_point(self, trace):
+        b, h = PopularityProfile.from_trace(trace).coverage_curve()
+        assert b[0] == 100  # /hot's size
+        assert h[0] == pytest.approx(2 / 3)  # 2 of 3 remote requests
+
+
+class TestHitFraction:
+    def test_zero_budget(self, trace):
+        assert PopularityProfile.from_trace(trace).hit_fraction(0) == 0.0
+
+    def test_full_budget(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        assert profile.hit_fraction(10_000) == pytest.approx(1.0)
+
+    def test_partial_budget(self, trace):
+        profile = PopularityProfile.from_trace(trace)
+        # Budget fits only /hot (100 bytes): 2 of 3 remote hits covered.
+        assert profile.hit_fraction(150) == pytest.approx(2 / 3)
+
+    def test_skip_too_big_take_smaller(self):
+        t = Trace(
+            [
+                req(0, "/big", size=1000),
+                req(1, "/big", size=1000),
+                req(2, "/small", size=10),
+            ]
+        )
+        profile = PopularityProfile.from_trace(t)
+        # /big (most popular) doesn't fit in 100; /small does.
+        assert profile.hit_fraction(100) == pytest.approx(1 / 3)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["/a", "/b", "/c", "/d"]),
+            st.integers(min_value=1, max_value=500),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_hit_fraction_monotone_in_budget(entries):
+    requests = [
+        Request(timestamp=float(i), client="c", doc_id=d, size=s, remote=r)
+        for i, (d, s, r) in enumerate(entries)
+    ]
+    profile = PopularityProfile.from_trace(Trace(requests))
+    budgets = [0, 100, 500, 2000, 10**6]
+    fractions = [profile.hit_fraction(b) for b in budgets]
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert fractions == sorted(fractions)

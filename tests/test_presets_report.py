@@ -1,0 +1,93 @@
+"""Tests for workload presets and the evaluation report."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CalibrationError
+from repro.core.report import generate_report
+from repro.workload import GeneratorConfig, preset, preset_names
+
+
+class TestPresets:
+    def test_all_names_resolve(self):
+        for name in preset_names():
+            config = preset(name, seed=1)
+            assert isinstance(config, GeneratorConfig)
+            assert config.seed == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(CalibrationError, match="available"):
+            preset("nope")
+
+    def test_paper_preset_matches_classmethod(self):
+        assert preset("paper", 7) == GeneratorConfig.paper_scale(seed=7)
+
+    def test_drifting_has_drift(self):
+        config = preset("drifting")
+        assert config.link_churn_per_day > 0
+        assert config.new_page_fraction > 0
+
+    def test_geographic_has_affinity(self):
+        assert preset("geographic").region_affinity > 0
+
+    def test_visit_presets_differ_only_in_clients(self):
+        returning = preset("returning-visitors", 5)
+        first = preset("first-visits", 5)
+        assert returning.n_clients < first.n_clients
+        assert returning.n_sessions == first.n_sessions
+
+    def test_diurnal(self):
+        assert preset("diurnal").diurnal_amplitude > 0
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report("small", seed=3, thresholds=[0.5, 0.2])
+
+    def test_contains_all_sections(self, report):
+        for heading in (
+            "# repro evaluation report",
+            "## Workload calibration",
+            "## Popularity",
+            "## Proxy sizing",
+            "## Dissemination replay",
+            "## Speculative service",
+            "## Gains vs bandwidth",
+        ):
+            assert heading in report
+
+    def test_markdown_tables_wellformed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_eq10_claims_present(self, report):
+        assert "36.9 MB" in report
+        assert "95.6%" in report
+
+    def test_sweep_thresholds_listed(self, report):
+        assert "| 0.5 |" in report
+        assert "| 0.2 |" in report
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(CalibrationError):
+            generate_report("missing-preset")
+
+
+class TestReportCLI:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "eval.md"
+        code = main(
+            ["report", "--preset", "small", "--seed", "3", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "# repro evaluation report" in out.read_text()
+
+    def test_unknown_preset_errors(self, tmp_path, capsys):
+        code = main(
+            ["report", "--preset", "bogus", "--out", str(tmp_path / "x.md")]
+        )
+        assert code == 2
+        assert "available" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Property-based invariants of the speculative-service simulator.
+
+Random small traces and dependency models are generated with
+hypothesis; the invariants below must hold for *every* workload, not
+just the calibrated ones.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BaselineConfig
+from repro.speculation import (
+    DependencyModel,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+    make_cache_factory,
+)
+from repro.trace import Document, Request, Trace
+
+CONFIG = BaselineConfig(comm_cost=1.0, serv_cost=50.0)
+
+DOC_IDS = ["/a", "/b", "/c", "/d", "/e"]
+SIZES = {doc: 100 * (index + 1) for index, doc in enumerate(DOC_IDS)}
+DOCS = [Document(doc_id=d, size=s) for d, s in SIZES.items()]
+
+
+@st.composite
+def traces(draw):
+    """A small random multi-client trace."""
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=5000, allow_nan=False),
+                st.sampled_from(["x", "y", "z"]),
+                st.sampled_from(DOC_IDS),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    requests = [
+        Request(timestamp=t, client=c, doc_id=d, size=SIZES[d])
+        for t, c, d in entries
+    ]
+    return Trace(requests, DOCS, sort=True)
+
+
+@st.composite
+def models(draw):
+    """A small random (valid) dependency model."""
+    occurrences = {doc: 10.0 for doc in DOC_IDS}
+    pairs = {}
+    for source in DOC_IDS:
+        row = draw(
+            st.dictionaries(
+                st.sampled_from([d for d in DOC_IDS if d != source]),
+                st.floats(min_value=0.0, max_value=10.0),
+                max_size=3,
+            )
+        )
+        if row:
+            pairs[source] = row
+    return DependencyModel.from_counts(pairs, occurrences)
+
+
+@given(traces(), models(), st.sampled_from([0.9, 0.5, 0.2, 0.05]))
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_bounds(trace, model, threshold):
+    sim = SpeculativeServiceSimulator(trace, CONFIG, model=model)
+    baseline = sim.run(None)
+    run = sim.run(ThresholdPolicy(threshold=threshold))
+    m = run.metrics
+
+    # Bytes conservation: everything sent is a demand miss or a push.
+    assert math.isclose(m.bytes_sent, m.miss_bytes + m.speculated_bytes)
+    # Waste never exceeds what was pushed.
+    assert m.wasted_bytes <= m.speculated_bytes + 1e-9
+    # Server answers at most one request per access.
+    assert m.server_requests <= run.accesses
+    assert m.server_requests + run.cache_hits == run.accesses
+    # Misses are a subset of accesses byte-wise.
+    assert m.miss_bytes <= m.accessed_bytes + 1e-9
+    # Accessed bytes are workload-determined, identical across runs.
+    assert m.accessed_bytes == baseline.metrics.accessed_bytes
+    # Speculation can only remove server requests, never add them.
+    assert m.server_requests <= baseline.metrics.server_requests
+    # ...and can only add bytes, never remove them.
+    assert m.bytes_sent >= baseline.metrics.bytes_sent - 1e-9
+    # Service time is ServCost+CommCost accounting over misses exactly.
+    assert math.isclose(
+        m.service_time,
+        CONFIG.serv_cost * m.server_requests + CONFIG.comm_cost * m.miss_bytes,
+    )
+
+
+@given(traces(), models(), st.sampled_from([0.5, 0.1]))
+@settings(max_examples=40, deadline=None)
+def test_cooperation_dominates_bandwidth(trace, model, threshold):
+    sim = SpeculativeServiceSimulator(trace, CONFIG, model=model)
+    plain = sim.run(ThresholdPolicy(threshold=threshold))
+    cooperative = sim.run(ThresholdPolicy(threshold=threshold), cooperative=True)
+    # Cooperation never sends more bytes and never loses cache hits.
+    assert cooperative.metrics.bytes_sent <= plain.metrics.bytes_sent + 1e-9
+    assert cooperative.cache_hits == plain.cache_hits
+    assert (
+        cooperative.metrics.server_requests == plain.metrics.server_requests
+    )
+
+
+@given(traces(), models())
+@settings(max_examples=40, deadline=None)
+def test_threshold_monotonicity_at_policy_level(trace, model):
+    """A looser threshold *proposes* a superset per request.
+
+    Note the end-to-end run is NOT monotone in the threshold: a pushed
+    document that turns a later request into a cache hit suppresses
+    that request's own speculation trigger, so a looser run can
+    legitimately send fewer bytes overall (hypothesis found this).
+    The guaranteed property lives at the policy level.
+    """
+    catalog = trace.documents
+    strict_policy = ThresholdPolicy(threshold=0.8)
+    loose_policy = ThresholdPolicy(threshold=0.1)
+    for doc_id in {r.doc_id for r in trace}:
+        strict_set = {c.doc_id for c in strict_policy.select(doc_id, model, catalog)}
+        loose_set = {c.doc_id for c in loose_policy.select(doc_id, model, catalog)}
+        assert strict_set <= loose_set
+
+
+@given(traces(), models())
+@settings(max_examples=40, deadline=None)
+def test_no_cache_degenerate(trace, model):
+    """Without a cache, speculation changes bytes but nothing else."""
+    sim = SpeculativeServiceSimulator(trace, CONFIG, model=model)
+    factory = make_cache_factory(0.0)
+    baseline = sim.run(None, cache_factory=factory)
+    speculation = sim.run(
+        ThresholdPolicy(threshold=0.2), cache_factory=factory
+    )
+    assert speculation.metrics.server_requests == baseline.metrics.server_requests
+    assert speculation.metrics.miss_bytes == baseline.metrics.miss_bytes
+    assert speculation.cache_hits == baseline.cache_hits == 0
+    # Every pushed byte is wasted.
+    assert math.isclose(
+        speculation.metrics.wasted_bytes, speculation.metrics.speculated_bytes
+    )
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_infinite_cache_never_refetches(trace):
+    """With SessionTimeout=∞ each (client, doc) is fetched at most once."""
+    sim = SpeculativeServiceSimulator(
+        trace, CONFIG, model=DependencyModel.from_counts({}, {})
+    )
+    run = sim.run(None)
+    distinct_pairs = len({(r.client, r.doc_id) for r in trace})
+    assert run.metrics.server_requests == distinct_pairs

@@ -1,0 +1,137 @@
+"""Tests for the self-tuning bandwidth-budget policy."""
+
+import pytest
+
+from repro.config import BASELINE
+from repro.core import Experiment
+from repro.errors import PolicyError
+from repro.speculation import AdaptiveBudgetPolicy, DependencyModel
+from repro.trace import Document
+from repro.workload import SyntheticTraceGenerator, preset
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    trace = SyntheticTraceGenerator(preset("small", 9)).generate()
+    return Experiment(trace, BASELINE, train_days=18)
+
+
+def make_policy(**kw):
+    defaults = dict(
+        target_traffic_increase=0.10,
+        warmup_bytes=20_000,
+        window_bytes=300_000,
+        adjust_rate=0.05,
+    )
+    defaults.update(kw)
+    return AdaptiveBudgetPolicy(**defaults)
+
+
+class TestValidation:
+    def test_negative_target(self):
+        with pytest.raises(PolicyError):
+            AdaptiveBudgetPolicy(target_traffic_increase=-0.1)
+
+    def test_bad_initial_threshold(self):
+        with pytest.raises(PolicyError):
+            AdaptiveBudgetPolicy(0.1, initial_threshold=0.0)
+
+    def test_bad_adjust_rate(self):
+        with pytest.raises(PolicyError):
+            AdaptiveBudgetPolicy(0.1, adjust_rate=1.0)
+
+    def test_bad_window(self):
+        with pytest.raises(PolicyError):
+            AdaptiveBudgetPolicy(0.1, window_bytes=0.0)
+
+    def test_bad_min_threshold(self):
+        with pytest.raises(PolicyError):
+            AdaptiveBudgetPolicy(0.1, min_threshold=0.0)
+
+
+class TestSteering:
+    def test_threshold_rises_when_over_budget(self):
+        policy = make_policy(
+            target_traffic_increase=0.0, warmup_bytes=0.0, initial_threshold=0.5
+        )
+        # A model that always proposes a big, uncertain push.
+        model = DependencyModel.from_counts(
+            {"/a": {"/big": 6.0}}, {"/a": 10.0, "/big": 10.0}
+        )
+        catalog = {
+            "/a": Document(doc_id="/a", size=100),
+            "/big": Document(doc_id="/big", size=100_000),
+        }
+        before = policy.threshold
+        for __ in range(20):
+            policy.select("/a", model, catalog)
+        assert policy.threshold > before
+
+    def test_threshold_falls_when_under_budget(self):
+        policy = make_policy(
+            target_traffic_increase=0.5, warmup_bytes=0.0, initial_threshold=0.9
+        )
+        model = DependencyModel.from_counts({}, {"/a": 1.0})
+        catalog = {"/a": Document(doc_id="/a", size=1000)}
+        for __ in range(30):
+            policy.select("/a", model, catalog)
+        assert policy.threshold < 0.9
+
+    def test_threshold_clamped(self):
+        policy = make_policy(
+            target_traffic_increase=0.9,
+            warmup_bytes=0.0,
+            initial_threshold=0.05,
+            min_threshold=0.04,
+        )
+        model = DependencyModel.from_counts({}, {"/a": 1.0})
+        catalog = {"/a": Document(doc_id="/a", size=1000)}
+        for __ in range(200):
+            policy.select("/a", model, catalog)
+        assert policy.threshold >= 0.04
+
+    def test_certain_pushes_cost_nothing(self):
+        """A p=1 push has zero expected waste and never raises the
+        threshold — the paper's embedding argument, encoded."""
+        policy = make_policy(target_traffic_increase=0.0, warmup_bytes=0.0)
+        model = DependencyModel.from_counts(
+            {"/a": {"/inline": 10.0}}, {"/a": 10.0, "/inline": 10.0}
+        )
+        catalog = {
+            "/a": Document(doc_id="/a", size=1000),
+            "/inline": Document(doc_id="/inline", size=500),
+        }
+        for __ in range(10):
+            chosen = policy.select("/a", model, catalog)
+            assert [c.doc_id for c in chosen] == ["/inline"]
+        assert policy.observed_traffic_increase == 0.0
+
+    def test_window_rescaling(self):
+        policy = make_policy(window_bytes=1_000.0, warmup_bytes=0.0)
+        model = DependencyModel.from_counts({}, {"/a": 1.0})
+        catalog = {"/a": Document(doc_id="/a", size=600)}
+        for __ in range(10):
+            policy.select("/a", model, catalog)
+        # Window cap keeps the demand counter bounded.
+        assert policy._demand_bytes <= 1_000.0 + 1e-9
+
+
+class TestEndToEnd:
+    def test_budget_monotonicity(self, experiment):
+        achieved = []
+        for target in (0.03, 0.15, 0.40):
+            policy = make_policy(target_traffic_increase=target)
+            ratios, __ = experiment.evaluate(policy)
+            achieved.append(ratios.traffic_increase)
+        assert achieved[0] <= achieved[1] <= achieved[2]
+
+    def test_small_budget_stays_small(self, experiment):
+        policy = make_policy(target_traffic_increase=0.03)
+        ratios, __ = experiment.evaluate(policy)
+        # Within a small multiple of the stated budget.
+        assert ratios.traffic_increase < 0.15
+
+    def test_still_delivers_gains(self, experiment):
+        policy = make_policy(target_traffic_increase=0.10)
+        ratios, __ = experiment.evaluate(policy)
+        assert ratios.server_load_reduction > 0.2

@@ -1,0 +1,149 @@
+"""Tests for aging and rolling re-estimation of the dependency model."""
+
+import pytest
+
+from repro.config import SECONDS_PER_DAY
+from repro.errors import DependencyModelError
+from repro.speculation import AgingDependencyCounter, RollingEstimator
+from repro.trace import Request, Trace
+
+
+def req(t, doc, client="c"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=10)
+
+
+def day(n):
+    return n * SECONDS_PER_DAY
+
+
+class TestAgingCounter:
+    def test_no_decay_accumulates(self):
+        counter = AgingDependencyCounter(decay_per_day=1.0)
+        counter.observe(Trace([req(0, "/a"), req(1, "/b")]))
+        counter.observe(Trace([req(day(10), "/a"), req(day(10) + 1, "/b")]))
+        model = counter.snapshot()
+        assert model.occurrence_counts["/a"] == 2.0
+        assert model.p("/a", "/b") == 1.0
+
+    def test_decay_fades_old_counts(self):
+        counter = AgingDependencyCounter(decay_per_day=0.5)
+        counter.observe(Trace([req(0, "/a"), req(1, "/b")]))
+        counter.observe(Trace([req(day(2), "/a"), req(day(2) + 1, "/c")]))
+        model = counter.snapshot()
+        # Old /a->/b count decayed by 0.5^2 = 0.25; occurrences 0.25 + 1.
+        assert model.occurrence_counts["/a"] == pytest.approx(1.25)
+        assert model.p("/a", "/b") == pytest.approx(0.25 / 1.25)
+        assert model.p("/a", "/c") == pytest.approx(1.0 / 1.25)
+
+    def test_recent_behaviour_dominates_over_time(self):
+        counter = AgingDependencyCounter(decay_per_day=0.8)
+        counter.observe(Trace([req(0, "/a"), req(1, "/old")]))
+        for n in range(1, 15):
+            counter.observe(
+                Trace([req(day(n), "/a"), req(day(n) + 1, "/new")])
+            )
+        model = counter.snapshot()
+        assert model.p("/a", "/new") > model.p("/a", "/old") * 5
+
+    def test_empty_batch_noop(self):
+        counter = AgingDependencyCounter()
+        counter.observe(Trace([]))
+        assert counter.snapshot().documents() == set()
+
+    def test_decay_property(self):
+        assert AgingDependencyCounter(decay_per_day=0.7).decay_per_day == 0.7
+
+    def test_invalid_decay(self):
+        with pytest.raises(DependencyModelError):
+            AgingDependencyCounter(decay_per_day=0.0)
+        with pytest.raises(DependencyModelError):
+            AgingDependencyCounter(decay_per_day=1.1)
+
+    def test_snapshot_isolated_from_counter(self):
+        counter = AgingDependencyCounter()
+        counter.observe(Trace([req(0, "/a"), req(1, "/b")]))
+        snap = counter.snapshot()
+        counter.observe(Trace([req(day(1), "/a"), req(day(1) + 1, "/b")]))
+        assert snap.occurrence_counts["/a"] == 1.0
+
+
+class TestRollingEstimator:
+    def _trace(self):
+        """Behaviour changes at day 10: /a->/b before, /a->/c after."""
+        requests = []
+        for n in range(20):
+            follower = "/b" if n < 10 else "/c"
+            requests.append(req(day(n), "/a", client=f"c{n}"))
+            requests.append(req(day(n) + 1, follower, client=f"c{n}"))
+        return Trace(requests, sort=True)
+
+    def test_no_peeking_at_future(self):
+        rolling = RollingEstimator(
+            self._trace(), history_length_days=60, update_cycle_days=1
+        )
+        model = rolling.model_at(day(5))
+        assert model.p("/a", "/c") == 0.0
+
+    def test_model_adapts_with_short_cycle(self):
+        rolling = RollingEstimator(
+            self._trace(), history_length_days=5, update_cycle_days=1
+        )
+        late = rolling.model_at(day(19))
+        assert late.p("/a", "/c") == 1.0
+        assert late.p("/a", "/b") == 0.0
+
+    def test_long_cycle_lags(self):
+        rolling = RollingEstimator(
+            self._trace(), history_length_days=60, update_cycle_days=60
+        )
+        late = rolling.model_at(day(19))
+        # Only the day-0 boundary has fired; it saw nothing.
+        assert late.p("/a", "/c") == 0.0
+
+    def test_history_window_limits_training(self):
+        rolling = RollingEstimator(
+            self._trace(), history_length_days=3, update_cycle_days=1
+        )
+        model = rolling.model_at(day(15))
+        # Days 12-14 only: /b pairs are gone.
+        assert model.p("/a", "/b") == 0.0
+
+    def test_model_cached_within_cycle(self):
+        rolling = RollingEstimator(
+            self._trace(), history_length_days=10, update_cycle_days=1
+        )
+        assert rolling.model_at(day(5) + 10) is rolling.model_at(day(5) + 500)
+
+    def test_before_start_uses_empty_model(self):
+        rolling = RollingEstimator(self._trace(), update_cycle_days=1)
+        model = rolling.model_at(0.0)
+        assert model.p("/a", "/b") == 0.0
+
+    def test_n_updates(self):
+        rolling = RollingEstimator(self._trace(), update_cycle_days=7)
+        assert rolling.n_updates(day(20)) == 3  # boundaries at days 0, 7, 14
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DependencyModelError):
+            RollingEstimator(self._trace(), history_length_days=0)
+        with pytest.raises(DependencyModelError):
+            RollingEstimator(self._trace(), update_cycle_days=0)
+
+
+class TestPaperStabilityDirection:
+    def test_shorter_cycle_tracks_drift_better(self):
+        """The paper's D=1 vs D=60 finding: with drifting dependencies a
+        1-day update cycle predicts the present better than a 60-day one."""
+        trace_requests = []
+        for n in range(60):
+            follower = "/early" if n < 30 else "/late"
+            trace_requests.append(req(day(n), "/hub", client=f"c{n}"))
+            trace_requests.append(req(day(n) + 2, follower, client=f"c{n}"))
+        trace = Trace(trace_requests, sort=True)
+
+        fast = RollingEstimator(trace, history_length_days=20, update_cycle_days=1)
+        slow = RollingEstimator(trace, history_length_days=20, update_cycle_days=60)
+        now = day(59)
+        assert fast.model_at(now).p("/hub", "/late") > slow.model_at(now).p(
+            "/hub", "/late"
+        )

@@ -1,0 +1,168 @@
+"""Tests for client cache models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.speculation import (
+    InfiniteCache,
+    LRUCache,
+    NoCache,
+    SessionCache,
+    make_cache_factory,
+)
+
+
+class TestNoCache:
+    def test_never_contains(self):
+        cache = NoCache()
+        cache.insert("/a", 10)
+        assert not cache.contains("/a")
+        assert cache.digest() == frozenset()
+
+
+class TestSessionCache:
+    def test_retains_within_session(self):
+        cache = SessionCache(60.0)
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(30.0)
+        assert cache.contains("/a")
+
+    def test_purges_after_gap(self):
+        cache = SessionCache(60.0)
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(60.0)  # gap == timeout purges
+        assert not cache.contains("/a")
+
+    def test_gap_just_under_keeps(self):
+        cache = SessionCache(60.0)
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(59.999)
+        assert cache.contains("/a")
+
+    def test_zero_timeout_is_no_cache(self):
+        cache = SessionCache(0.0)
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(0.0)
+        assert not cache.contains("/a")
+
+    def test_infinite_never_purges(self):
+        cache = InfiniteCache()
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(1e12)
+        assert cache.contains("/a")
+
+    def test_digest(self):
+        cache = SessionCache(math.inf)
+        cache.access(0.0)
+        cache.insert("/a", 1)
+        cache.insert("/b", 1)
+        assert cache.digest() == frozenset({"/a", "/b"})
+
+    def test_backwards_time_rejected(self):
+        cache = SessionCache(60.0)
+        cache.access(100.0)
+        with pytest.raises(SimulationError):
+            cache.access(50.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            SessionCache(-1.0)
+
+
+class TestLRUCache:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(capacity_bytes=100)
+        cache.insert("/a", 50)
+        cache.insert("/b", 50)
+        cache.contains("/a")  # touch /a
+        cache.insert("/c", 50)  # evicts /b
+        assert cache.contains("/a")
+        assert not cache.contains("/b")
+        assert cache.contains("/c")
+
+    def test_oversized_not_cached(self):
+        cache = LRUCache(capacity_bytes=100)
+        cache.insert("/big", 500)
+        assert not cache.contains("/big")
+        assert cache.used_bytes == 0
+
+    def test_reinsert_updates_size(self):
+        cache = LRUCache(capacity_bytes=100)
+        cache.insert("/a", 40)
+        cache.insert("/a", 60)
+        assert cache.used_bytes == 60
+
+    def test_used_never_exceeds_capacity(self):
+        cache = LRUCache(capacity_bytes=100)
+        for i in range(20):
+            cache.insert(f"/d{i}", 30)
+            assert cache.used_bytes <= 100
+
+    def test_session_purge(self):
+        cache = LRUCache(capacity_bytes=100, session_timeout=10.0)
+        cache.access(0.0)
+        cache.insert("/a", 10)
+        cache.access(20.0)
+        assert not cache.contains("/a")
+        assert cache.used_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            LRUCache(capacity_bytes=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["/a", "/b", "/c", "/d", "/e"]),
+                st.integers(min_value=1, max_value=60),
+            ),
+            max_size=60,
+        )
+    )
+    def test_capacity_invariant_property(self, operations):
+        cache = LRUCache(capacity_bytes=100)
+        for doc, size in operations:
+            cache.insert(doc, size)
+            assert cache.used_bytes <= 100
+            assert len(cache.digest()) <= 100  # trivially bounded
+
+
+class TestFactory:
+    def test_zero_timeout_no_cache(self):
+        assert isinstance(make_cache_factory(0.0)(), NoCache)
+
+    def test_finite_timeout_session_cache(self):
+        cache = make_cache_factory(3600.0)()
+        assert isinstance(cache, SessionCache)
+
+    def test_infinite_timeout(self):
+        cache = make_cache_factory(math.inf)()
+        cache.access(0.0)
+        cache.insert("/a", 1)
+        cache.access(1e9)
+        assert cache.contains("/a")
+
+    def test_finite_capacity_lru(self):
+        cache = make_cache_factory(math.inf, capacity_bytes=100)()
+        assert isinstance(cache, LRUCache)
+
+    def test_factory_produces_independent_caches(self):
+        factory = make_cache_factory(math.inf)
+        a, b = factory(), factory()
+        a.access(0.0)
+        a.insert("/x", 1)
+        assert not b.contains("/x")
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            make_cache_factory(-1.0)
+        with pytest.raises(SimulationError):
+            make_cache_factory(0.0, capacity_bytes=0)

@@ -1,0 +1,245 @@
+"""Tests for the P matrix and its closure P*."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DependencyModelError
+from repro.speculation import DependencyModel
+from repro.trace import Request, Trace
+
+
+def req(t, doc, client="c"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=10)
+
+
+class TestEstimation:
+    def test_simple_pair(self):
+        trace = Trace([req(0, "/a"), req(1, "/b")])
+        model = DependencyModel.estimate(trace, window=5.0)
+        assert model.p("/a", "/b") == 1.0
+        assert model.p("/b", "/a") == 0.0
+
+    def test_conditional_probability(self):
+        # /a requested twice; /b follows once -> p = 0.5
+        trace = Trace(
+            [req(0, "/a"), req(1, "/b"), req(100, "/a", "d"), req(110, "/c", "d")],
+            sort=True,
+        )
+        model = DependencyModel.estimate(trace, window=5.0)
+        assert model.p("/a", "/b") == 0.5
+
+    def test_window_excludes_distant_follower(self):
+        trace = Trace([req(0, "/a"), req(10, "/b")])
+        model = DependencyModel.estimate(trace, window=5.0, stride_timeout=60.0)
+        assert model.p("/a", "/b") == 0.0
+
+    def test_stride_boundary_blocks_pairs(self):
+        # Gap of 7s splits strides at timeout 5 even with a larger window.
+        trace = Trace([req(0, "/a"), req(7, "/b")])
+        model = DependencyModel.estimate(trace, window=60.0, stride_timeout=5.0)
+        assert model.p("/a", "/b") == 0.0
+
+    def test_different_clients_never_pair(self):
+        trace = Trace([req(0, "/a", "c1"), req(1, "/b", "c2")])
+        model = DependencyModel.estimate(trace, window=5.0)
+        assert model.p("/a", "/b") == 0.0
+
+    def test_repeat_follower_counts_once(self):
+        trace = Trace([req(0, "/a"), req(1, "/b"), req(2, "/b")])
+        model = DependencyModel.estimate(trace, window=5.0)
+        assert model.p("/a", "/b") == 1.0
+
+    def test_self_pairs_excluded(self):
+        trace = Trace([req(0, "/a"), req(1, "/a")])
+        model = DependencyModel.estimate(trace, window=5.0)
+        assert model.p("/a", "/a") == 0.0
+
+    def test_probabilities_at_most_one(self):
+        trace = Trace(
+            [req(t, d) for t, d in [(0, "/a"), (1, "/b"), (2, "/a"), (3, "/b")]]
+        )
+        model = DependencyModel.estimate(trace, window=5.0)
+        for source in model.documents():
+            for probability in model.successors(source).values():
+                assert 0.0 < probability <= 1.0
+
+    def test_invalid_window(self):
+        with pytest.raises(DependencyModelError):
+            DependencyModel.estimate(Trace([]), window=0.0)
+
+    def test_embedding_vs_traversal_shape(self):
+        """Embedding deps (always followed) get p=1; traversal deps
+        (sometimes) get fractional p — the paper's two classes."""
+        requests = []
+        t = 0.0
+        for visit in range(10):
+            requests.append(req(t, "/page"))
+            requests.append(req(t + 0.1, "/inline.gif"))  # always
+            if visit < 5:
+                requests.append(req(t + 2.0, "/next"))  # sometimes
+            t += 100.0
+        model = DependencyModel.estimate(Trace(requests, sort=True), window=5.0)
+        assert model.p("/page", "/inline.gif") == 1.0
+        assert model.p("/page", "/next") == 0.5
+
+
+class TestFromCounts:
+    def test_counts_validated(self):
+        with pytest.raises(DependencyModelError):
+            DependencyModel.from_counts({"/a": {"/b": 5.0}}, {"/a": 2.0})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DependencyModelError):
+            DependencyModel.from_counts({"/a": {"/b": -1.0}}, {"/a": 2.0})
+
+    def test_pairs_without_occurrences_rejected(self):
+        with pytest.raises(DependencyModelError):
+            DependencyModel.from_counts({"/a": {"/b": 1.0}}, {})
+
+    def test_round_trip(self):
+        trace = Trace([req(0, "/a"), req(1, "/b")])
+        model = DependencyModel.estimate(trace, window=5.0)
+        again = DependencyModel.from_counts(
+            model.pair_counts, model.occurrence_counts
+        )
+        assert again.p("/a", "/b") == model.p("/a", "/b")
+
+
+class TestClosure:
+    def _chain_model(self):
+        # /a -> /b (0.8), /b -> /c (0.5), /a -> /c (0.1 direct)
+        return DependencyModel.from_counts(
+            {"/a": {"/b": 8.0, "/c": 1.0}, "/b": {"/c": 5.0}},
+            {"/a": 10.0, "/b": 10.0, "/c": 10.0},
+        )
+
+    def test_direct_edge_preserved(self):
+        model = self._chain_model()
+        assert model.p_star("/a", "/b") == pytest.approx(0.8)
+
+    def test_best_chain_beats_direct(self):
+        model = self._chain_model()
+        # via /b: 0.8 * 0.5 = 0.4 > direct 0.1
+        assert model.p_star("/a", "/c") == pytest.approx(0.4)
+
+    def test_closure_at_least_direct(self):
+        model = self._chain_model()
+        for source in ("/a", "/b"):
+            row = model.closure_row(source, min_probability=0.01)
+            for target, direct in model.successors(source).items():
+                assert row[target] >= direct - 1e-12
+
+    def test_min_probability_prunes(self):
+        model = self._chain_model()
+        row = model.closure_row("/a", min_probability=0.5)
+        assert "/c" not in row
+        assert "/b" in row
+
+    def test_max_hops_limits_chains(self):
+        model = DependencyModel.from_counts(
+            {"/a": {"/b": 9.0}, "/b": {"/c": 9.0}, "/c": {"/d": 9.0}},
+            {"/a": 10.0, "/b": 10.0, "/c": 10.0, "/d": 10.0},
+        )
+        short = model.closure_row("/a", max_hops=1, min_probability=0.01)
+        assert set(short) == {"/b"}
+        longer = model.closure_row("/a", max_hops=3, min_probability=0.01)
+        assert "/d" in longer
+
+    def test_source_excluded_from_row(self):
+        model = self._chain_model()
+        assert "/a" not in model.closure_row("/a")
+
+    def test_cycle_handled(self):
+        model = DependencyModel.from_counts(
+            {"/a": {"/b": 5.0}, "/b": {"/a": 5.0}},
+            {"/a": 10.0, "/b": 10.0},
+        )
+        row = model.closure_row("/a", min_probability=0.01)
+        assert row["/b"] == pytest.approx(0.5)
+
+    def test_unknown_source_empty(self):
+        model = self._chain_model()
+        assert model.closure_row("/nope") == {}
+
+    def test_memoization_returns_copies(self):
+        model = self._chain_model()
+        row1 = model.closure_row("/a")
+        row1["/b"] = 999.0
+        row2 = model.closure_row("/a")
+        assert row2["/b"] == pytest.approx(0.8)
+
+    def test_invalid_parameters(self):
+        model = self._chain_model()
+        with pytest.raises(DependencyModelError):
+            model.closure_row("/a", min_probability=0.0)
+        with pytest.raises(DependencyModelError):
+            model.closure_row("/a", max_hops=0)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["/a", "/b", "/c", "/d"]),
+            st.dictionaries(
+                st.sampled_from(["/a", "/b", "/c", "/d"]),
+                st.floats(min_value=0.0, max_value=10.0),
+                max_size=4,
+            ),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_closure_bounds_property(self, raw):
+        occurrences = {doc: 10.0 for doc in ["/a", "/b", "/c", "/d"]}
+        pairs = {
+            s: {t: c for t, c in row.items() if t != s} for s, row in raw.items()
+        }
+        model = DependencyModel.from_counts(pairs, occurrences)
+        for source in ["/a", "/b", "/c", "/d"]:
+            row = model.closure_row(source, min_probability=0.01, max_hops=6)
+            for target, probability in row.items():
+                assert 0.01 <= probability <= 1.0 + 1e-12
+                assert target != source
+                assert probability >= model.p(source, target) - 1e-12
+
+
+class TestHistogram:
+    def test_figure4_peaks_at_reciprocals(self):
+        """Uniform anchor choice among k links piles pairs near 1/k."""
+        pairs = {}
+        occurrences = {}
+        doc_index = 0
+        for k in (1, 2, 4):
+            for copy in range(30):
+                source = f"/s{k}-{copy}"
+                occurrences[source] = float(4 * k)
+                pairs[source] = {
+                    f"/t{doc_index + j}": 4.0 for j in range(k)
+                }  # each target p = 1/k
+                doc_index += k
+        model = DependencyModel.from_counts(pairs, occurrences)
+        histogram = model.pair_histogram(n_bins=20)
+        # 1/1 -> bin 19, 1/2 -> bin 10, 1/4 -> bin 5
+        assert histogram.counts[19] == 30
+        assert histogram.counts[10] == 60
+        assert histogram.counts[5] == 120
+
+    def test_total_pairs(self):
+        model = DependencyModel.from_counts(
+            {"/a": {"/b": 1.0, "/c": 1.0}}, {"/a": 2.0}
+        )
+        assert model.pair_histogram(10).total_pairs == 2
+
+    def test_fraction_in_bin(self):
+        model = DependencyModel.from_counts({"/a": {"/b": 1.0}}, {"/a": 1.0})
+        histogram = model.pair_histogram(4)
+        assert histogram.fraction_in_bin(3) == 1.0
+
+    def test_invalid_bins(self):
+        model = DependencyModel.from_counts({}, {})
+        with pytest.raises(DependencyModelError):
+            model.pair_histogram(0)
+
+    def test_histogram_counts_match_edges(self):
+        with pytest.raises(DependencyModelError):
+            from repro.speculation.dependency import PairHistogram
+
+            PairHistogram(bin_edges=(0.0, 0.5, 1.0), counts=(1,))

@@ -1,0 +1,129 @@
+"""Tests for Bloom-filter cache digests."""
+
+import pytest
+
+from repro.config import BASELINE
+from repro.core import Experiment
+from repro.errors import PolicyError, SimulationError
+from repro.speculation import (
+    BloomFilter,
+    ThresholdPolicy,
+    digest_size_bytes,
+)
+from repro.workload import SyntheticTraceGenerator, preset
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(100, 0.01)
+        items = [f"/doc{i}" for i in range(100)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_near_nominal(self):
+        bloom = BloomFilter.from_items(
+            (f"/doc{i}" for i in range(200)), 0.05, capacity=200
+        )
+        false_positives = sum(
+            1 for i in range(5000) if f"/other{i}" in bloom
+        )
+        assert false_positives / 5000 == pytest.approx(0.05, abs=0.04)
+
+    def test_lower_fp_rate_bigger_filter(self):
+        loose = BloomFilter(100, 0.1)
+        tight = BloomFilter(100, 0.001)
+        assert tight.n_bits > loose.n_bits
+
+    def test_clear(self):
+        bloom = BloomFilter(10, 0.01)
+        bloom.add("/a")
+        bloom.clear()
+        assert "/a" not in bloom
+        assert bloom.count == 0
+
+    def test_count(self):
+        bloom = BloomFilter(10, 0.01)
+        bloom.add("/a")
+        bloom.add("/b")
+        assert bloom.count == 2
+
+    def test_capacity_recorded(self):
+        assert BloomFilter(123, 0.01).capacity == 123
+
+    def test_deterministic_per_seed(self):
+        a = BloomFilter.from_items(["/x", "/y"], 0.1, seed=5)
+        b = BloomFilter.from_items(["/x", "/y"], 0.1, seed=5)
+        assert ("/z" in a) == ("/z" in b)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(16, 0.01)
+        assert "/a" not in bloom
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PolicyError):
+            BloomFilter(0, 0.01)
+        with pytest.raises(PolicyError):
+            BloomFilter(10, 0.0)
+        with pytest.raises(PolicyError):
+            BloomFilter(10, 1.0)
+
+
+class TestDigestSize:
+    def test_exact_digest_linear(self):
+        assert digest_size_bytes(100) == 2400.0
+        assert digest_size_bytes(0) == 0.0
+
+    def test_bloom_much_smaller(self):
+        exact = digest_size_bytes(1000)
+        bloom = digest_size_bytes(1000, fp_rate=0.01)
+        assert bloom < exact / 10
+
+    def test_tighter_fp_costs_more(self):
+        assert digest_size_bytes(100, fp_rate=0.001) > digest_size_bytes(
+            100, fp_rate=0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(PolicyError):
+            digest_size_bytes(-1)
+        with pytest.raises(PolicyError):
+            digest_size_bytes(10, fp_rate=2.0)
+
+
+class TestSimulatorIntegration:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        trace = SyntheticTraceGenerator(preset("small", 9)).generate()
+        return Experiment(trace, BASELINE, train_days=15)
+
+    def test_requires_cooperative(self, experiment):
+        with pytest.raises(SimulationError):
+            experiment.simulator.run(
+                ThresholdPolicy(threshold=0.25), digest_fp_rate=0.01
+            )
+
+    def test_bloom_between_plain_and_exact_on_traffic(self, experiment):
+        policy = ThresholdPolicy(threshold=0.25)
+        plain, __ = experiment.evaluate(policy)
+        exact, __ = experiment.evaluate(policy, cooperative=True)
+        bloom, __ = experiment.evaluate(
+            policy, cooperative=True, digest_fp_rate=0.01
+        )
+        # Bloom keeps most of the cooperative bandwidth savings.
+        assert bloom.bandwidth_ratio < plain.bandwidth_ratio
+        assert bloom.bandwidth_ratio <= exact.bandwidth_ratio * 1.05
+
+    def test_aggressive_fp_costs_gains(self, experiment):
+        policy = ThresholdPolicy(threshold=0.25)
+        exact, exact_run = experiment.evaluate(policy, cooperative=True)
+        lossy, lossy_run = experiment.evaluate(
+            policy, cooperative=True, digest_fp_rate=0.3
+        )
+        # False positives suppress useful pushes: fewer speculated docs
+        # and weaker gains.
+        assert (
+            lossy_run.metrics.speculated_documents
+            < exact_run.metrics.speculated_documents
+        )
+        assert lossy.server_load_reduction <= exact.server_load_reduction

@@ -1,0 +1,78 @@
+"""Tests for the four-ratio metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.speculation import SpeculationMetrics, SpeculationRatios, compare
+
+
+def metrics(**kw):
+    defaults = dict(
+        bytes_sent=1000.0,
+        server_requests=100,
+        service_time=5000.0,
+        miss_bytes=800.0,
+        accessed_bytes=2000.0,
+    )
+    defaults.update(kw)
+    return SpeculationMetrics(**defaults)
+
+
+class TestMetrics:
+    def test_miss_rate(self):
+        assert metrics().miss_rate == 0.4
+
+    def test_miss_rate_empty(self):
+        m = metrics(miss_bytes=0.0, accessed_bytes=0.0)
+        assert m.miss_rate == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            metrics(bytes_sent=-1.0)
+
+
+class TestCompare:
+    def test_identical_runs_all_ones(self):
+        ratios = compare(metrics(), metrics())
+        assert ratios.bandwidth_ratio == 1.0
+        assert ratios.server_load_ratio == 1.0
+        assert ratios.service_time_ratio == 1.0
+        assert ratios.miss_rate_ratio == 1.0
+        assert ratios.traffic_increase == 0.0
+
+    def test_typical_speculation_outcome(self):
+        speculation = metrics(
+            bytes_sent=1100.0,  # +10% traffic
+            server_requests=65,  # -35% load
+            service_time=3650.0,  # -27% time
+            miss_bytes=616.0,  # miss rate 0.308 vs 0.4 -> -23%
+        )
+        ratios = compare(speculation, metrics())
+        assert ratios.traffic_increase == pytest.approx(0.10)
+        assert ratios.server_load_reduction == pytest.approx(0.35)
+        assert ratios.service_time_reduction == pytest.approx(0.27)
+        assert ratios.miss_rate_reduction == pytest.approx(0.23)
+
+    def test_zero_denominator(self):
+        base = metrics(bytes_sent=0.0)
+        spec = metrics(bytes_sent=0.0)
+        assert compare(spec, base).bandwidth_ratio == 1.0
+        spec2 = metrics(bytes_sent=5.0)
+        assert compare(spec2, base).bandwidth_ratio == float("inf")
+
+    def test_format_mentions_all_metrics(self):
+        text = compare(metrics(), metrics()).format()
+        for word in ("traffic", "load", "time", "miss"):
+            assert word in text
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e9),
+    st.floats(min_value=1.0, max_value=1e9),
+)
+def test_ratio_reduction_duality(spec_bytes, base_bytes):
+    speculation = metrics(bytes_sent=spec_bytes)
+    baseline = metrics(bytes_sent=base_bytes)
+    ratios = compare(speculation, baseline)
+    assert ratios.traffic_increase == pytest.approx(ratios.bandwidth_ratio - 1.0)

@@ -1,0 +1,104 @@
+"""Tests for the M/M/1 queueing view of server load."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.speculation import (
+    MM1Server,
+    SpeculationRatios,
+    capacity_headroom,
+    latency_impact,
+)
+
+
+def ratios(load_ratio):
+    return SpeculationRatios(
+        bandwidth_ratio=1.1,
+        server_load_ratio=load_ratio,
+        service_time_ratio=load_ratio,
+        miss_rate_ratio=load_ratio,
+    )
+
+
+class TestMM1Server:
+    def test_utilization(self):
+        assert MM1Server(capacity=100.0).utilization(50.0) == 0.5
+
+    def test_response_time(self):
+        server = MM1Server(capacity=10.0)
+        assert server.response_time(0.0) == pytest.approx(0.1)
+        assert server.response_time(5.0) == pytest.approx(0.2)
+
+    def test_saturation_infinite(self):
+        server = MM1Server(capacity=10.0)
+        assert math.isinf(server.response_time(10.0))
+        assert math.isinf(server.response_time(20.0))
+
+    def test_response_time_monotone(self):
+        server = MM1Server(capacity=10.0)
+        times = [server.response_time(rate) for rate in (0.0, 3.0, 6.0, 9.0)]
+        assert times == sorted(times)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            MM1Server(capacity=0.0)
+
+    def test_negative_rate(self):
+        with pytest.raises(SimulationError):
+            MM1Server(capacity=10.0).response_time(-1.0)
+
+
+class TestLatencyImpact:
+    def test_load_reduction_speeds_up(self):
+        server = MM1Server(capacity=100.0)
+        impact = latency_impact(server, ratios(0.65), arrival_rate=90.0)
+        assert impact.speculative_response < impact.baseline_response
+        assert impact.speedup > 1.0
+
+    def test_speedup_grows_with_utilization(self):
+        """The hotter the server, the more a 35% load cut is worth."""
+        server = MM1Server(capacity=100.0)
+        cool = latency_impact(server, ratios(0.65), arrival_rate=30.0)
+        hot = latency_impact(server, ratios(0.65), arrival_rate=95.0)
+        assert hot.speedup > cool.speedup
+
+    def test_rescue_from_saturation(self):
+        server = MM1Server(capacity=100.0)
+        impact = latency_impact(server, ratios(0.65), arrival_rate=120.0)
+        assert math.isinf(impact.baseline_response)
+        assert not math.isinf(impact.speculative_response)
+        assert impact.speedup == math.inf
+
+    def test_no_reduction_no_speedup(self):
+        server = MM1Server(capacity=100.0)
+        impact = latency_impact(server, ratios(1.0), arrival_rate=50.0)
+        assert impact.speedup == pytest.approx(1.0)
+
+
+class TestHeadroom:
+    def test_headroom_formula(self):
+        server = MM1Server(capacity=100.0)
+        assert capacity_headroom(server, ratios(0.5), 50.0) == pytest.approx(4.0)
+
+    def test_no_speculation_headroom(self):
+        server = MM1Server(capacity=100.0)
+        assert capacity_headroom(server, ratios(1.0), 50.0) == pytest.approx(2.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(SimulationError):
+            capacity_headroom(MM1Server(100.0), ratios(0.5), 0.0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=1.0, max_value=99.0),
+    )
+    @settings(max_examples=40)
+    def test_headroom_inverse_in_load_ratio(self, load_ratio, rate):
+        """Halving the load ratio doubles the headroom."""
+        server = MM1Server(capacity=100.0)
+        full = capacity_headroom(server, ratios(load_ratio), rate)
+        half = capacity_headroom(server, ratios(load_ratio / 2), rate)
+        assert half == pytest.approx(2 * full)

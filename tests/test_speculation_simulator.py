@@ -1,0 +1,223 @@
+"""Tests for the speculative-service trace simulator."""
+
+import math
+
+import pytest
+
+from repro.config import BaselineConfig
+from repro.errors import SimulationError
+from repro.speculation import (
+    DependencyModel,
+    SpeculativeServiceSimulator,
+    ThresholdPolicy,
+    compare,
+    make_cache_factory,
+)
+from repro.trace import Document, Request, Trace
+
+CONFIG = BaselineConfig(comm_cost=1.0, serv_cost=100.0)
+
+
+def req(t, doc, client="c"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=SIZES[doc])
+
+
+SIZES = {"/page": 1000, "/inline": 200, "/next": 500, "/other": 300}
+DOCS = [Document(doc_id=d, size=s) for d, s in SIZES.items()]
+
+
+def model_page_pushes_inline(probability=1.0):
+    return DependencyModel.from_counts(
+        {"/page": {"/inline": probability * 10.0}},
+        {"/page": 10.0, "/inline": 10.0},
+    )
+
+
+class TestBaselineRun:
+    def test_accounting_without_cache_hits(self):
+        trace = Trace([req(0, "/page"), req(1, "/next")], DOCS)
+        sim = SpeculativeServiceSimulator(
+            trace, CONFIG, model=model_page_pushes_inline()
+        )
+        run = sim.run(None)
+        m = run.metrics
+        assert m.bytes_sent == 1500
+        assert m.server_requests == 2
+        assert m.service_time == 2 * 100 + 1500
+        assert m.miss_bytes == 1500
+        assert m.accessed_bytes == 1500
+        assert run.cache_hits == 0
+
+    def test_repeat_access_hits_cache(self):
+        trace = Trace([req(0, "/page"), req(1, "/page")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(None)
+        assert run.cache_hits == 1
+        assert run.metrics.server_requests == 1
+        assert run.metrics.accessed_bytes == 2000
+        assert run.metrics.miss_bytes == 1000
+
+    def test_no_cache_factory_all_misses(self):
+        trace = Trace([req(0, "/page"), req(1, "/page")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(None, cache_factory=make_cache_factory(0.0))
+        assert run.cache_hits == 0
+        assert run.metrics.server_requests == 2
+
+    def test_model_and_rolling_exclusive(self):
+        trace = Trace([req(0, "/page")], DOCS)
+        from repro.speculation import RollingEstimator
+
+        with pytest.raises(SimulationError):
+            SpeculativeServiceSimulator(
+                trace,
+                CONFIG,
+                model=model_page_pushes_inline(),
+                rolling=RollingEstimator(trace),
+            )
+
+
+class TestSpeculation:
+    def test_pushed_document_becomes_hit(self):
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        m = run.metrics
+        assert run.cache_hits == 1
+        assert m.server_requests == 1
+        assert m.bytes_sent == 1200  # page + pushed inline
+        assert m.speculated_documents == 1
+        assert m.speculated_bytes == 200
+        assert m.wasted_bytes == 0.0  # push was used
+        # Client-visible latency only for the demand fetch of /page.
+        assert m.service_time == 100 + 1000
+
+    def test_unused_push_counts_as_waste(self):
+        trace = Trace([req(0, "/page"), req(1, "/other")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        assert run.metrics.speculated_bytes == 200
+        assert run.metrics.wasted_bytes == 200
+
+    def test_miss_rate_improves_with_speculation(self):
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        base = sim.run(None)
+        spec = sim.run(ThresholdPolicy(threshold=0.9))
+        ratios = compare(spec.metrics, base.metrics)
+        assert ratios.miss_rate_ratio < 1.0
+        assert ratios.server_load_ratio == 0.5
+        assert ratios.service_time_ratio < 1.0
+
+    def test_threshold_excludes_weak_dependencies(self):
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        model = model_page_pushes_inline(probability=0.3)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model)
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        assert run.metrics.speculated_documents == 0
+
+    def test_max_size_respected(self):
+        trace = Trace([req(0, "/page"), req(1, "/inline")], DOCS)
+        config = BaselineConfig(comm_cost=1.0, serv_cost=100.0, max_size=100)
+        sim = SpeculativeServiceSimulator(
+            trace, config, model=model_page_pushes_inline()
+        )
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        assert run.metrics.speculated_documents == 0
+
+    def test_speculation_never_increases_server_load(self):
+        trace = Trace(
+            [req(float(i), d) for i, d in enumerate(["/page", "/inline", "/next"])],
+            DOCS,
+        )
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        base = sim.run(None)
+        spec = sim.run(ThresholdPolicy(threshold=0.5))
+        assert spec.metrics.server_requests <= base.metrics.server_requests
+
+    def test_bytes_conservation(self):
+        trace = Trace(
+            [req(float(i), d) for i, d in enumerate(["/page", "/inline", "/next"])],
+            DOCS,
+        )
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.5))
+        m = run.metrics
+        # Everything sent is either a demand miss or a speculative push.
+        assert m.bytes_sent == pytest.approx(m.miss_bytes + m.speculated_bytes)
+
+
+class TestNonCooperativeWaste:
+    def test_resend_of_cached_document_wastes_bytes(self):
+        # /inline demanded first, then /page pushes it again (server
+        # doesn't know the client has it).
+        trace = Trace([req(0, "/inline"), req(1, "/page")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        assert run.metrics.speculated_documents == 1
+        assert run.metrics.wasted_bytes == 200
+
+    def test_cooperative_client_avoids_resend(self):
+        trace = Trace([req(0, "/inline"), req(1, "/page")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.9), cooperative=True)
+        assert run.metrics.speculated_documents == 0
+        assert run.metrics.wasted_bytes == 0.0
+
+    def test_cooperative_never_uses_more_bandwidth(self):
+        trace = Trace(
+            [req(float(i), d, client=f"c{i % 2}") for i, d in
+             enumerate(["/inline", "/page", "/page", "/inline", "/next"])],
+            DOCS,
+        )
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        plain = sim.run(ThresholdPolicy(threshold=0.5))
+        cooperative = sim.run(ThresholdPolicy(threshold=0.5), cooperative=True)
+        assert (
+            cooperative.metrics.bytes_sent <= plain.metrics.bytes_sent
+        )
+        # Gains must not shrink: same hits, fewer wasted bytes.
+        assert cooperative.cache_hits == plain.cache_hits
+
+
+class TestSessionSemantics:
+    def test_session_purge_forgets_pushes(self):
+        config = BaselineConfig(
+            comm_cost=1.0, serv_cost=100.0, session_timeout=60.0
+        )
+        trace = Trace([req(0, "/page"), req(1000, "/inline")], DOCS)
+        sim = SpeculativeServiceSimulator(
+            trace, config, model=model_page_pushes_inline()
+        )
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        # Push happened in session 1; purged before the session-2 access.
+        assert run.cache_hits == 0
+        assert run.metrics.server_requests == 2
+        assert run.metrics.wasted_bytes == 200
+
+    def test_clients_do_not_share_caches(self):
+        trace = Trace([req(0, "/page", "a"), req(1, "/inline", "b")], DOCS)
+        sim = SpeculativeServiceSimulator(trace, CONFIG, model=model_page_pushes_inline())
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        assert run.cache_hits == 0
+        assert run.metrics.server_requests == 2
+
+
+class TestRollingIntegration:
+    def test_default_rolling_estimator_builds(self):
+        requests = []
+        for n in range(6):
+            base = n * 86_400.0
+            requests.append(req(base, "/page", client=f"c{n}"))
+            requests.append(req(base + 1, "/inline", client=f"c{n}"))
+        trace = Trace(requests, DOCS, sort=True)
+        config = BaselineConfig(
+            comm_cost=1.0,
+            serv_cost=100.0,
+            history_length_days=10,
+            update_cycle_days=1,
+        )
+        sim = SpeculativeServiceSimulator(trace, config)
+        run = sim.run(ThresholdPolicy(threshold=0.9))
+        # Later days' speculation learned from earlier days.
+        assert run.metrics.speculated_documents >= 1

@@ -1,0 +1,120 @@
+"""Tests for the prediction-quality diagnostics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.speculation import (
+    DependencyModel,
+    ThresholdPolicy,
+    evaluate_policy_predictions,
+)
+from repro.trace import Document, Request, Trace
+
+SIZES = {"/a": 100, "/b": 100, "/c": 100}
+DOCS = [Document(doc_id=d, size=s) for d, s in SIZES.items()]
+
+
+def req(t, doc, client="c"):
+    return Request(timestamp=t, client=client, doc_id=doc, size=SIZES[doc])
+
+
+@pytest.fixture
+def perfect_model():
+    # Model says /a -> /b with certainty.
+    return DependencyModel.from_counts({"/a": {"/b": 10.0}}, {"/a": 10.0, "/b": 10.0})
+
+
+class TestScoring:
+    def test_perfect_prediction(self, perfect_model):
+        trace = Trace([req(0, "/a"), req(1, "/b")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, perfect_model, ThresholdPolicy(threshold=0.9)
+        )
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_wrong_prediction(self, perfect_model):
+        trace = Trace([req(0, "/a"), req(1, "/c")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, perfect_model, ThresholdPolicy(threshold=0.9)
+        )
+        assert quality.precision == 0.0  # pushed /b, /c was accessed
+        assert quality.recall == 0.0
+
+    def test_missed_opportunity(self):
+        empty = DependencyModel.from_counts({}, {})
+        trace = Trace([req(0, "/a"), req(1, "/b")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, empty, ThresholdPolicy(threshold=0.9)
+        )
+        assert quality.predictions == 0
+        assert quality.precision == 1.0  # vacuous
+        assert quality.recall == 0.0
+        assert quality.opportunities == 1
+
+    def test_horizon_limits_actuals(self, perfect_model):
+        trace = Trace([req(0, "/a"), req(100, "/b")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, perfect_model, ThresholdPolicy(threshold=0.9), horizon=5.0
+        )
+        # /b outside the horizon: the push is counted as unused.
+        assert quality.used_predictions == 0
+        assert quality.opportunities == 0
+
+    def test_clients_scored_separately(self, perfect_model):
+        trace = Trace([req(0, "/a", "x"), req(1, "/b", "y")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, perfect_model, ThresholdPolicy(threshold=0.9)
+        )
+        # y's access of /b is not x's future.
+        assert quality.used_predictions == 0
+
+    def test_max_requests_cap(self, perfect_model):
+        trace = Trace(
+            [req(float(i), "/a", f"c{i}") for i in range(10)], DOCS
+        )
+        quality = evaluate_policy_predictions(
+            trace, perfect_model, ThresholdPolicy(threshold=0.9), max_requests=3
+        )
+        assert quality.scored_requests == 3
+
+    def test_invalid_horizon(self, perfect_model):
+        trace = Trace([req(0, "/a")], DOCS)
+        with pytest.raises(SimulationError):
+            evaluate_policy_predictions(
+                trace, perfect_model, ThresholdPolicy(threshold=0.9), horizon=0.0
+            )
+
+    def test_f1_zero_when_both_zero(self):
+        empty = DependencyModel.from_counts({}, {})
+        trace = Trace([req(0, "/a")], DOCS)
+        quality = evaluate_policy_predictions(
+            trace, empty, ThresholdPolicy(threshold=0.9)
+        )
+        # precision vacuous 1.0, recall 0 with no opportunities -> f1 finite
+        assert 0.0 <= quality.f1 <= 1.0
+
+
+class TestThresholdTradeoff:
+    def test_lower_threshold_trades_precision_for_recall(self):
+        """On a mixed workload, loosening T_p must not increase
+        precision and must not decrease recall."""
+        from repro.workload import generate_trace
+
+        trace = generate_trace(
+            13, n_pages=50, n_clients=40, n_sessions=300, duration_days=10
+        )
+        half = trace.start_time + 5 * 86_400
+        model = DependencyModel.estimate(
+            trace.window(trace.start_time, half), window=5.0
+        )
+        test = trace.window(half, trace.end_time + 1)
+        strict = evaluate_policy_predictions(
+            test, model, ThresholdPolicy(threshold=0.8)
+        )
+        loose = evaluate_policy_predictions(
+            test, model, ThresholdPolicy(threshold=0.1)
+        )
+        assert loose.recall >= strict.recall
+        assert loose.precision <= strict.precision + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for proxy placement strategies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    RoutingTree,
+    geographic_placement,
+    greedy_tree_placement,
+)
+
+
+@pytest.fixture
+def tree():
+    # root -> region-00 -> subnet-00 -> {c1, c2}
+    #      -> region-01 -> subnet-01 -> {c3}
+    return RoutingTree(
+        "root",
+        {
+            "region-00": "root",
+            "region-01": "root",
+            "subnet-00": "region-00",
+            "subnet-01": "region-01",
+            "c1": "subnet-00",
+            "c2": "subnet-00",
+            "c3": "subnet-01",
+        },
+    )
+
+
+class TestGreedy:
+    def test_picks_highest_demand_subtree_first(self, tree):
+        demand = {"c1": 100.0, "c2": 100.0, "c3": 10.0}
+        chosen = greedy_tree_placement(tree, demand, 1)
+        # subnet-00 is deeper than region-00 and covers the same demand.
+        assert chosen == ["subnet-00"]
+
+    def test_second_pick_covers_other_branch(self, tree):
+        demand = {"c1": 100.0, "c2": 100.0, "c3": 10.0}
+        chosen = greedy_tree_placement(tree, demand, 2)
+        assert chosen[0] == "subnet-00"
+        assert chosen[1] == "subnet-01"
+
+    def test_stops_when_no_gain(self, tree):
+        demand = {"c1": 100.0}
+        chosen = greedy_tree_placement(tree, demand, 5)
+        # After shielding c1 at its subnet, remaining nodes add nothing.
+        assert len(chosen) <= 2
+
+    def test_zero_proxies(self, tree):
+        assert greedy_tree_placement(tree, {"c1": 1.0}, 0) == []
+
+    def test_zero_demand(self, tree):
+        assert greedy_tree_placement(tree, {"c1": 0.0}, 3) == []
+
+    def test_negative_count_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            greedy_tree_placement(tree, {}, -1)
+
+    def test_non_leaf_demand_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            greedy_tree_placement(tree, {"region-00": 5.0}, 1)
+
+    def test_deterministic_tie_break(self, tree):
+        demand = {"c1": 50.0, "c2": 50.0, "c3": 100.0}
+        a = greedy_tree_placement(tree, demand, 2)
+        b = greedy_tree_placement(tree, demand, 2)
+        assert a == b
+
+    def test_greedy_beats_or_ties_geographic(self, tree):
+        """Log-driven placement never saves fewer byte-hops than the
+        geography-only heuristic (on trees where both are feasible)."""
+        demand = {"c1": 30.0, "c2": 40.0, "c3": 90.0}
+
+        def savings(nodes):
+            total = 0.0
+            for client, d in demand.items():
+                best = 0
+                path = tree.path_from_root(client)
+                for node in nodes:
+                    if node in path:
+                        best = max(best, tree.depth(node))
+                total += d * best
+            return total
+
+        greedy = greedy_tree_placement(tree, demand, 1)
+        geo = geographic_placement(tree, demand, 1)
+        assert savings(greedy) >= savings(geo)
+
+
+class TestGeographic:
+    def test_orders_regions_by_demand(self, tree):
+        demand = {"c1": 1.0, "c2": 1.0, "c3": 50.0}
+        chosen = geographic_placement(tree, demand, 2)
+        assert chosen == ["region-01", "region-00"]
+
+    def test_skips_zero_demand_regions(self, tree):
+        demand = {"c3": 50.0}
+        chosen = geographic_placement(tree, demand, 2)
+        assert chosen == ["region-01"]
+
+    def test_negative_count_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            geographic_placement(tree, {}, -1)
+
+    def test_only_region_nodes_selected(self, tree):
+        demand = {"c1": 5.0, "c3": 5.0}
+        for node in geographic_placement(tree, demand, 5):
+            assert node.startswith("region-")

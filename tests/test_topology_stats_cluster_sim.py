@@ -1,0 +1,160 @@
+"""Tests for tree statistics and the cluster-level simulator."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.dissemination import ClusterSimulator
+from repro.topology import RoutingTree, tree_statistics
+from repro.trace import Request, Trace
+
+
+@pytest.fixture
+def tree():
+    return RoutingTree(
+        "root",
+        {
+            "r0": "root",
+            "r1": "root",
+            "s0": "r0",
+            "c1": "s0",
+            "c2": "s0",
+            "c3": "r1",
+        },
+    )
+
+
+class TestTreeStatistics:
+    def test_counts(self, tree):
+        stats = tree_statistics(tree)
+        assert stats.n_nodes == 7
+        assert stats.n_leaves == 3
+        assert stats.n_internal == 3
+
+    def test_depths(self, tree):
+        stats = tree_statistics(tree)
+        assert stats.max_depth == 3
+        assert stats.mean_leaf_depth == pytest.approx((3 + 3 + 2) / 3)
+
+    def test_demand_weighted_depth(self, tree):
+        stats = tree_statistics(tree, {"c1": 100.0, "c3": 100.0})
+        assert stats.demand_weighted_depth == pytest.approx(2.5)
+
+    def test_top_subtree_share(self, tree):
+        stats = tree_statistics(tree, {"c1": 70.0, "c2": 10.0, "c3": 20.0})
+        assert stats.top_subtree_demand_share == pytest.approx(0.8)
+
+    def test_no_demand(self, tree):
+        stats = tree_statistics(tree)
+        assert stats.demand_weighted_depth == 0.0
+        assert stats.top_subtree_demand_share == 0.0
+
+    def test_non_leaf_demand_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            tree_statistics(tree, {"r0": 10.0})
+
+    def test_format(self, tree):
+        text = tree_statistics(tree).format()
+        assert "leaves" in text and "max depth" in text
+
+    def test_single_node_tree(self):
+        stats = tree_statistics(RoutingTree("r", {}))
+        assert stats.n_leaves == 0
+        assert stats.max_depth == 0
+
+
+def make_trace(pairs):
+    """pairs: list of (doc, size, n_requests)."""
+    requests = []
+    t = 0.0
+    for doc, size, count in pairs:
+        for i in range(count):
+            requests.append(
+                Request(timestamp=t, client=f"c{i}", doc_id=doc, size=size)
+            )
+            t += 1.0
+    return Trace(requests, sort=True)
+
+
+class TestClusterSimulator:
+    def _simulator(self):
+        return ClusterSimulator(
+            {
+                "hot": make_trace([("/h1", 100, 8), ("/h2", 100, 2)]),
+                "cold": make_trace([("/c1", 100, 3)]),
+            }
+        )
+
+    def test_materialize_respects_allocation(self):
+        sim = self._simulator()
+        holdings = sim.materialize({"hot": 100.0, "cold": 0.0})
+        assert holdings["hot"] == {"/h1"}  # most popular first
+        assert holdings["cold"] == set()
+
+    def test_materialize_unknown_server(self):
+        with pytest.raises(SimulationError):
+            self._simulator().materialize({"ghost": 10.0})
+
+    def test_replay_alpha(self):
+        sim = self._simulator()
+        result = sim.run_plan({"hot": 100.0, "cold": 100.0})
+        # intercepted: /h1 (8 requests) + /c1 (3) of 13 total
+        assert result.alpha == pytest.approx(11 / 13)
+        assert result.per_server["hot"].request_alpha == pytest.approx(0.8)
+        assert result.per_server["cold"].request_alpha == pytest.approx(1.0)
+
+    def test_byte_alpha(self):
+        sim = self._simulator()
+        result = sim.run_plan({"hot": 100.0, "cold": 0.0})
+        assert result.byte_alpha == pytest.approx(800 / 1300)
+
+    def test_storage_used(self):
+        sim = self._simulator()
+        result = sim.run_plan({"hot": 200.0, "cold": 100.0})
+        assert result.storage_used == 300.0
+
+    def test_empty_allocation_zero_alpha(self):
+        sim = self._simulator()
+        result = sim.run_plan({"hot": 0.0, "cold": 0.0})
+        assert result.alpha == 0.0
+
+    def test_remote_only_filtering(self):
+        local_trace = Trace(
+            [
+                Request(
+                    timestamp=0.0, client="c", doc_id="/l", size=10, remote=False
+                )
+            ]
+        )
+        sim = ClusterSimulator({"s": local_trace})
+        result = sim.run_plan({"s": 100.0})
+        assert result.per_server["s"].requests == 0
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator({})
+
+    def test_planner_integration(self):
+        """The planner's predicted alpha is close to the replayed alpha
+        on the same (training) traces."""
+        from repro.core import DisseminationPlanner
+        from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+        traces = {}
+        planner = DisseminationPlanner()
+        for index in range(2):
+            generator = SyntheticTraceGenerator(
+                GeneratorConfig(
+                    seed=60 + index,
+                    n_pages=60,
+                    n_clients=50,
+                    n_sessions=400,
+                    duration_days=10,
+                )
+            )
+            trace = generator.generate()
+            traces[f"s{index}"] = trace
+            planner.add_server(f"s{index}", trace)
+        plan = planner.plan(3e6)
+        result = ClusterSimulator(traces).run_plan(plan.allocations)
+        assert result.alpha == pytest.approx(plan.empirical_alpha, abs=0.15)
+        assert result.storage_used <= plan.budget * 1.001

@@ -1,0 +1,127 @@
+"""Tests for the routing tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import RoutingTree
+
+
+@pytest.fixture
+def tree():
+    #        root
+    #       /    \
+    #      a      b
+    #     / \      \
+    #    c   d      e
+    #   /
+    #  leaf1   (d, e are leaves too)
+    return RoutingTree(
+        "root",
+        {"a": "root", "b": "root", "c": "a", "d": "a", "e": "b", "leaf1": "c"},
+    )
+
+
+class TestConstruction:
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            RoutingTree("r", {"r": "x"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TopologyError):
+            RoutingTree("r", {"a": "b", "b": "a"})
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            RoutingTree("r", {"a": "ghost"})
+
+    def test_single_node_tree(self):
+        t = RoutingTree("r", {})
+        assert t.leaves == frozenset()
+        assert t.nodes() == {"r"}
+
+
+class TestQueries:
+    def test_depths(self, tree):
+        assert tree.depth("root") == 0
+        assert tree.depth("a") == 1
+        assert tree.depth("leaf1") == 3
+
+    def test_leaves(self, tree):
+        assert tree.leaves == {"leaf1", "d", "e"}
+
+    def test_internal_nodes(self, tree):
+        assert tree.internal_nodes() == {"a", "b", "c"}
+
+    def test_parent(self, tree):
+        assert tree.parent("c") == "a"
+        assert tree.parent("root") is None
+
+    def test_children(self, tree):
+        assert set(tree.children("a")) == {"c", "d"}
+        assert tree.children("leaf1") == []
+
+    def test_path_from_root(self, tree):
+        assert tree.path_from_root("leaf1") == ["root", "a", "c", "leaf1"]
+        assert tree.path_from_root("root") == ["root"]
+
+    def test_hops(self, tree):
+        assert tree.hops("leaf1") == 3
+
+    def test_hops_from_ancestor(self, tree):
+        assert tree.hops_from("a", "leaf1") == 2
+        assert tree.hops_from("root", "leaf1") == 3
+        assert tree.hops_from("leaf1", "leaf1") == 0
+
+    def test_hops_from_non_ancestor_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            tree.hops_from("b", "leaf1")
+
+    def test_subtree_leaves(self, tree):
+        assert tree.subtree_leaves("a") == {"leaf1", "d"}
+        assert tree.subtree_leaves("root") == {"leaf1", "d", "e"}
+        assert tree.subtree_leaves("leaf1") == {"leaf1"}
+
+    def test_node_kind(self, tree):
+        assert tree.node_kind("root") == "root"
+        assert tree.node_kind("a") == "internal"
+        assert tree.node_kind("d") == "leaf"
+
+    def test_unknown_node_errors(self, tree):
+        for method in (tree.depth, tree.parent, tree.children, tree.node_kind):
+            with pytest.raises(TopologyError):
+                method("missing")
+        with pytest.raises(TopologyError):
+            tree.path_from_root("missing")
+        with pytest.raises(TopologyError):
+            tree.subtree_leaves("missing")
+
+    def test_contains_and_len(self, tree):
+        assert "a" in tree
+        assert "missing" not in tree
+        assert len(tree) == 7
+
+
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=5))
+def test_chain_and_fanout_invariants(chain_length, fanout):
+    """Chains of any length with leaf fanout keep depth bookkeeping exact."""
+    parents = {}
+    previous = "root"
+    for i in range(chain_length):
+        node = f"n{i}"
+        parents[node] = previous
+        previous = node
+    for j in range(fanout):
+        parents[f"leaf{j}"] = previous
+    tree = RoutingTree("root", parents)
+    assert tree.depth(previous) == chain_length
+    for j in range(fanout):
+        leaf = f"leaf{j}"
+        assert tree.depth(leaf) == chain_length + 1
+        path = tree.path_from_root(leaf)
+        assert path[0] == "root" and path[-1] == leaf
+        assert len(path) == chain_length + 2
+        # Depth increases by exactly one along the path.
+        for step, node in enumerate(path):
+            assert tree.depth(node) == step
+    assert tree.leaves == {f"leaf{j}" for j in range(fanout)}

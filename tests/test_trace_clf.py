@@ -1,0 +1,167 @@
+"""Tests for the Common Log Format parser/writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace import (
+    Request,
+    format_clf_line,
+    parse_clf_line,
+    read_clf,
+    write_clf,
+)
+
+LINE = 'remote.host.edu - - [15/Jan/1995:12:30:45 +0000] "GET /a/b.html HTTP/1.0" 200 2048'
+
+
+class TestParseLine:
+    def test_fields(self):
+        r = parse_clf_line(LINE)
+        assert r.client == "remote.host.edu"
+        assert r.doc_id == "/a/b.html"
+        assert r.size == 2048
+        assert r.status == 200
+        assert r.method == "GET"
+
+    def test_timestamp_utc(self):
+        r = parse_clf_line(LINE)
+        # 1995-01-15 12:30:45 UTC
+        assert r.timestamp == 790173045.0
+
+    def test_zone_offset_applied(self):
+        east = parse_clf_line(LINE.replace("+0000", "-0500"))
+        assert east.timestamp == 790173045.0 + 5 * 3600
+
+    def test_positive_zone_offset(self):
+        west = parse_clf_line(LINE.replace("+0000", "+0100"))
+        assert west.timestamp == 790173045.0 - 3600
+
+    def test_dash_size_is_zero(self):
+        r = parse_clf_line(LINE.replace(" 200 2048", " 304 -"))
+        assert r.size == 0
+        assert r.status == 304
+
+    def test_local_domain_classification(self):
+        r = parse_clf_line(LINE, local_domains=["host.edu"])
+        assert not r.remote
+        r2 = parse_clf_line(LINE, local_domains=["other.edu"])
+        assert r2.remote
+
+    def test_local_domain_exact_match(self):
+        line = LINE.replace("remote.host.edu", "host.edu")
+        assert not parse_clf_line(line, local_domains=["host.edu"]).remote
+
+    def test_local_domain_no_substring_false_positive(self):
+        # "xhost.edu" must not match local domain "host.edu".
+        line = LINE.replace("remote.host.edu", "xhost.edu")
+        assert parse_clf_line(line, local_domains=["host.edu"]).remote
+
+    def test_http09_bare_path(self):
+        line = LINE.replace('"GET /a/b.html HTTP/1.0"', '"/old.html"')
+        r = parse_clf_line(line)
+        assert r.method == "GET"
+        assert r.doc_id == "/old.html"
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_clf_line("garbage")
+
+    def test_bad_month_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_clf_line(LINE.replace("Jan", "Foo"))
+
+    def test_line_number_in_message(self):
+        with pytest.raises(TraceFormatError, match="line 7"):
+            parse_clf_line("garbage", line_number=7)
+
+    def test_post_method_preserved(self):
+        r = parse_clf_line(LINE.replace("GET", "POST"))
+        assert r.method == "POST"
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        original = parse_clf_line(LINE)
+        again = parse_clf_line(format_clf_line(original))
+        assert again.timestamp == original.timestamp
+        assert again.client == original.client
+        assert again.doc_id == original.doc_id
+        assert again.size == original.size
+        assert again.status == original.status
+
+    @given(
+        st.integers(min_value=0, max_value=2_000_000_000),
+        st.integers(min_value=0, max_value=10**7),
+        st.sampled_from([200, 304, 404, 500]),
+    )
+    def test_roundtrip_property(self, epoch, size, status):
+        request = Request(
+            timestamp=float(epoch),
+            client="host.example.com",
+            doc_id="/x/y.html",
+            size=size,
+            status=status,
+        )
+        parsed = parse_clf_line(format_clf_line(request))
+        assert parsed.timestamp == request.timestamp
+        assert parsed.size == request.size
+        assert parsed.status == request.status
+
+
+class TestReadWrite:
+    def test_read_sorts_and_skips_blank(self):
+        later = LINE.replace("12:30:45", "12:40:00")
+        trace = read_clf([later, "", LINE])
+        assert len(trace) == 2
+        assert trace[0].timestamp < trace[1].timestamp
+
+    def test_read_skips_malformed_by_default(self):
+        trace = read_clf([LINE, "not a log line"])
+        assert len(trace) == 1
+
+    def test_read_strict_mode_raises(self):
+        with pytest.raises(TraceFormatError):
+            read_clf([LINE, "not a log line"], skip_malformed=False)
+
+    def test_write_yields_one_line_per_request(self):
+        trace = read_clf([LINE])
+        lines = list(write_clf(trace))
+        assert len(lines) == 1
+        assert "GET /a/b.html" in lines[0]
+
+
+class TestRealWorldQuirks:
+    def test_ipv6_host(self):
+        line = LINE.replace("remote.host.edu", "2001:db8::1")
+        r = parse_clf_line(line)
+        assert r.client == "2001:db8::1"
+
+    def test_ident_and_user_fields_preserved_parse(self):
+        line = LINE.replace(" - - [", " ident42 alice [")
+        r = parse_clf_line(line)
+        assert r.client == "remote.host.edu"
+
+    def test_unusual_status_codes(self):
+        for status in (204, 206, 301, 403, 500, 503):
+            line = LINE.replace(" 200 ", f" {status} ")
+            assert parse_clf_line(line).status == status
+
+    def test_query_string_in_path(self):
+        line = LINE.replace("/a/b.html", "/search?q=x&y=1")
+        assert parse_clf_line(line).doc_id == "/search?q=x&y=1"
+
+    def test_head_request(self):
+        line = LINE.replace("GET", "HEAD")
+        assert parse_clf_line(line).method == "HEAD"
+
+    def test_trailing_whitespace_tolerated(self):
+        assert parse_clf_line(LINE + "   ").size == 2048
+
+    def test_huge_size(self):
+        line = LINE.replace(" 2048", " 4294967296")
+        assert parse_clf_line(line).size == 4_294_967_296
+
+    def test_lowercase_month_accepted(self):
+        line = LINE.replace("Jan", "jan")
+        assert parse_clf_line(line).timestamp == 790173045.0

@@ -1,0 +1,113 @@
+"""Tests for session/stride segmentation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace import Request, Trace, split_sessions, split_strides
+
+
+def trace_from_times(times_by_client):
+    requests = []
+    for client, times in times_by_client.items():
+        for t in times:
+            requests.append(
+                Request(timestamp=float(t), client=client, doc_id="/d", size=1)
+            )
+    return Trace(requests, sort=True)
+
+
+class TestStrides:
+    def test_gap_splits(self):
+        trace = trace_from_times({"a": [0, 1, 2, 10, 11]})
+        strides = split_strides(trace, stride_timeout=5.0)
+        assert [len(s) for s in strides] == [3, 2]
+
+    def test_gap_equal_to_timeout_splits(self):
+        # The paper defines a stride by gaps strictly less than the timeout.
+        trace = trace_from_times({"a": [0, 5]})
+        strides = split_strides(trace, stride_timeout=5.0)
+        assert [len(s) for s in strides] == [1, 1]
+
+    def test_gap_just_under_timeout_joins(self):
+        trace = trace_from_times({"a": [0, 4.999]})
+        strides = split_strides(trace, stride_timeout=5.0)
+        assert [len(s) for s in strides] == [2]
+
+    def test_zero_timeout_isolates_every_request(self):
+        trace = trace_from_times({"a": [0, 0.1, 0.2]})
+        strides = split_strides(trace, stride_timeout=0.0)
+        assert [len(s) for s in strides] == [1, 1, 1]
+
+    def test_infinite_timeout_one_stride_per_client(self):
+        trace = trace_from_times({"a": [0, 100, 10_000], "b": [5]})
+        strides = split_strides(trace, stride_timeout=math.inf)
+        assert sorted((s.client, len(s)) for s in strides) == [("a", 3), ("b", 1)]
+
+    def test_clients_never_mix(self):
+        trace = trace_from_times({"a": [0, 1], "b": [0.5, 1.5]})
+        strides = split_strides(trace, stride_timeout=5.0)
+        for stride in strides:
+            assert {r.client for r in stride.requests} == {stride.client}
+
+    def test_time_bounds(self):
+        trace = trace_from_times({"a": [3, 4, 5]})
+        (stride,) = split_strides(trace, stride_timeout=5.0)
+        assert stride.start_time == 3
+        assert stride.end_time == 5
+
+    def test_empty_trace(self):
+        assert split_strides(Trace([]), 5.0) == []
+
+
+class TestSessions:
+    def test_session_and_stride_share_semantics(self):
+        trace = trace_from_times({"a": [0, 1, 2, 3600, 3601]})
+        sessions = split_sessions(trace, session_timeout=1800.0)
+        assert [len(s) for s in sessions] == [3, 2]
+
+    def test_zero_timeout_no_cache_case(self):
+        trace = trace_from_times({"a": [0, 1]})
+        sessions = split_sessions(trace, session_timeout=0.0)
+        assert len(sessions) == 2
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=10_000, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(min_value=0.01, max_value=1_000),
+)
+def test_segmentation_partition_property(times, timeout):
+    """Strides partition the client's requests: nothing lost, nothing reordered,
+    gaps within a stride < timeout, gaps between consecutive strides >= timeout."""
+    trace = trace_from_times({"a": sorted(times)})
+    strides = split_strides(trace, stride_timeout=timeout)
+
+    flattened = [r.timestamp for s in strides for r in s.requests]
+    assert flattened == sorted(times)
+
+    for stride in strides:
+        gaps = [
+            b.timestamp - a.timestamp
+            for a, b in zip(stride.requests, stride.requests[1:])
+        ]
+        assert all(g < timeout for g in gaps)
+
+    for first, second in zip(strides, strides[1:]):
+        assert second.start_time - first.end_time >= timeout
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_infinite_timeout_never_splits(times):
+    trace = trace_from_times({"a": sorted(times)})
+    assert len(split_sessions(trace, math.inf)) == 1

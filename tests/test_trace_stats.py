@@ -1,0 +1,66 @@
+"""Tests for trace statistics."""
+
+from repro.trace import Request, Trace, summarize
+from repro.trace.stats import popularity_share
+
+
+def req(t, client, doc, size=10, remote=True):
+    return Request(timestamp=t, client=client, doc_id=doc, size=size, remote=remote)
+
+
+class TestPopularityShare:
+    def test_all_one_document(self):
+        trace = Trace([req(i, "c", "/a") for i in range(10)])
+        assert popularity_share(trace, 0.10) == 1.0
+
+    def test_uniform_two_docs(self):
+        trace = Trace(
+            [req(0, "c", "/a"), req(1, "c", "/b"), req(2, "c", "/a"), req(3, "c", "/b")]
+        )
+        # top 50% of 2 docs = 1 doc = half the requests
+        assert popularity_share(trace, 0.5) == 0.5
+
+    def test_at_least_one_document_counted(self):
+        trace = Trace([req(0, "c", "/a"), req(1, "c", "/b")])
+        # 0.1% of 2 docs rounds up to 1 document.
+        assert popularity_share(trace, 0.001) == 0.5
+
+    def test_empty_trace(self):
+        assert popularity_share(Trace([]), 0.1) == 0.0
+
+    def test_skewed(self):
+        requests = [req(float(i), "c", "/hot") for i in range(9)]
+        requests.append(req(9.0, "c", "/cold"))
+        trace = Trace(requests)
+        assert popularity_share(trace, 0.5) == 0.9
+
+
+class TestSummarize:
+    def test_counts(self):
+        trace = Trace(
+            [
+                req(0, "a", "/1", size=5),
+                req(1, "a", "/2", size=10),
+                req(5000, "b", "/1", size=5, remote=False),
+            ]
+        )
+        stats = summarize(trace, session_timeout=1800.0)
+        assert stats.num_requests == 3
+        assert stats.num_clients == 2
+        assert stats.num_documents == 2
+        assert stats.num_sessions == 2  # a's pair, b's single
+        assert stats.total_bytes == 20
+        assert stats.remote_fraction == 2 / 3
+        assert stats.mean_session_length == 1.5
+
+    def test_empty(self):
+        stats = summarize(Trace([]))
+        assert stats.num_requests == 0
+        assert stats.remote_fraction == 0.0
+        assert stats.mean_session_length == 0.0
+
+    def test_format_contains_fields(self):
+        stats = summarize(Trace([req(0, "a", "/1")]))
+        text = stats.format()
+        assert "requests" in text
+        assert "remote fraction" in text

@@ -1,0 +1,122 @@
+"""Tests for workload sampling distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError
+from repro.workload import BoundedZipf, HeavyTailedSizes, exponential_gap
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBoundedZipf:
+    def test_pmf_sums_to_one(self):
+        z = BoundedZipf(100, 1.0, rng())
+        assert z.pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_decreasing(self):
+        z = BoundedZipf(50, 1.2, rng())
+        assert all(a >= b for a, b in zip(z.pmf, z.pmf[1:]))
+
+    def test_alpha_zero_uniform(self):
+        z = BoundedZipf(10, 0.0, rng())
+        assert np.allclose(z.pmf, 0.1)
+
+    def test_samples_in_range(self):
+        z = BoundedZipf(20, 1.0, rng())
+        samples = z.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_scalar_sample(self):
+        z = BoundedZipf(5, 1.0, rng())
+        s = z.sample()
+        assert isinstance(s, int)
+        assert 0 <= s < 5
+
+    def test_empirical_matches_pmf(self):
+        z = BoundedZipf(10, 1.0, rng(42))
+        samples = z.sample(200_000)
+        observed = np.bincount(samples, minlength=10) / len(samples)
+        assert np.allclose(observed, z.pmf, atol=0.01)
+
+    def test_head_mass_monotone(self):
+        z = BoundedZipf(100, 1.3, rng())
+        assert z.head_mass(0.1) < z.head_mass(0.5) <= z.head_mass(1.0)
+
+    def test_head_mass_full_is_one(self):
+        z = BoundedZipf(100, 1.3, rng())
+        assert z.head_mass(1.0) == pytest.approx(1.0)
+
+    def test_skew_concentrates_head(self):
+        flat = BoundedZipf(100, 0.5, rng())
+        skewed = BoundedZipf(100, 2.0, rng())
+        assert skewed.head_mass(0.1) > flat.head_mass(0.1)
+
+    def test_invalid_n(self):
+        with pytest.raises(CalibrationError):
+            BoundedZipf(0, 1.0, rng())
+
+    def test_invalid_alpha(self):
+        with pytest.raises(CalibrationError):
+            BoundedZipf(10, -1.0, rng())
+
+    def test_invalid_head_fraction(self):
+        z = BoundedZipf(10, 1.0, rng())
+        with pytest.raises(CalibrationError):
+            z.head_mass(0.0)
+
+    @given(st.integers(min_value=1, max_value=500), st.floats(0, 3))
+    @settings(max_examples=30)
+    def test_determinism_per_seed(self, n, alpha):
+        a = BoundedZipf(n, alpha, rng(7)).sample(20)
+        b = BoundedZipf(n, alpha, rng(7)).sample(20)
+        assert np.array_equal(a, b)
+
+
+class TestHeavyTailedSizes:
+    def test_within_bounds(self):
+        sizes = HeavyTailedSizes(rng(), min_size=100, max_size=10_000).sample(5000)
+        assert sizes.min() >= 100
+        assert sizes.max() <= 10_000
+
+    def test_integer_bytes(self):
+        sizes = HeavyTailedSizes(rng()).sample(100)
+        assert sizes.dtype == np.int64
+
+    def test_heavy_tail_present(self):
+        sizes = HeavyTailedSizes(rng(3)).sample(50_000)
+        # Mean well above median is the signature of a heavy tail.
+        assert sizes.mean() > 2 * np.median(sizes)
+
+    def test_no_tail_when_probability_zero(self):
+        sizes = HeavyTailedSizes(
+            rng(), tail_probability=0.0, body_median=1000, body_sigma=0.1
+        ).sample(10_000)
+        # Pure tight lognormal: no sample an order of magnitude off.
+        assert sizes.max() < 10_000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CalibrationError):
+            HeavyTailedSizes(rng(), body_median=-1)
+        with pytest.raises(CalibrationError):
+            HeavyTailedSizes(rng(), tail_probability=1.5)
+        with pytest.raises(CalibrationError):
+            HeavyTailedSizes(rng(), min_size=100, max_size=10)
+
+
+class TestExponentialGap:
+    def test_positive(self):
+        assert exponential_gap(rng(), 10.0) > 0
+
+    def test_mean_close(self):
+        r = rng(1)
+        samples = [exponential_gap(r, 5.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.05)
+
+    def test_invalid_mean(self):
+        with pytest.raises(CalibrationError):
+            exponential_gap(rng(), 0.0)

@@ -1,0 +1,166 @@
+"""Tests for workload evolution: link churn, page birth, region affinity."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.speculation import DependencyModel
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+BASE = GeneratorConfig(
+    seed=17, n_pages=80, n_clients=60, n_sessions=600, duration_days=30
+)
+
+
+def variant(**kw):
+    return dataclasses.replace(BASE, **kw)
+
+
+class TestLinkChurn:
+    def test_zero_churn_stationary(self):
+        gen = SyntheticTraceGenerator(variant(link_churn_per_day=0.0))
+        gen.generate()
+        assert gen._links == [p.links for p in gen.site.pages]
+
+    def test_churn_rewires_links(self):
+        gen = SyntheticTraceGenerator(variant(link_churn_per_day=0.2))
+        gen.generate()
+        original = [p.links for p in gen.site.pages]
+        changed = sum(1 for a, b in zip(original, gen._links) if a != b)
+        assert changed > 10
+
+    def test_churn_preserves_out_degree_floor(self):
+        gen = SyntheticTraceGenerator(variant(link_churn_per_day=0.5))
+        gen.generate()
+        assert all(len(links) >= 1 for links in gen._links)
+
+    def test_churned_dependencies_drift(self):
+        """The P matrix learned early must differ from the one learned
+        late when links churn — the property E1 depends on."""
+        gen = SyntheticTraceGenerator(
+            variant(link_churn_per_day=0.15, n_sessions=2000)
+        )
+        trace = gen.generate()
+        third = trace.duration / 3
+        early = DependencyModel.estimate(
+            trace.window(trace.start_time, trace.start_time + third), window=5.0
+        )
+        late = DependencyModel.estimate(
+            trace.window(trace.end_time - third, trace.end_time + 1), window=5.0
+        )
+
+        def edges(model):
+            return {
+                (s, t)
+                for s, row in model.pair_counts.items()
+                for t in row
+            }
+
+        early_edges, late_edges = edges(early), edges(late)
+        overlap = len(early_edges & late_edges)
+        assert overlap < min(len(early_edges), len(late_edges))
+
+    def test_invalid_churn(self):
+        with pytest.raises(CalibrationError):
+            variant(link_churn_per_day=1.5)
+
+
+class TestPageBirth:
+    def test_newborn_pages_absent_early(self):
+        gen = SyntheticTraceGenerator(variant(new_page_fraction=0.4))
+        trace = gen.generate()
+        newborn_ids = {
+            gen.site.pages[i].doc_id
+            for i in np.nonzero(gen._birth_day > 0)[0]
+        }
+        first_day = trace.window(trace.start_time, trace.start_time + 86_400)
+        assert not ({r.doc_id for r in first_day} & newborn_ids)
+
+    def test_newborn_pages_eventually_requested(self):
+        gen = SyntheticTraceGenerator(
+            variant(new_page_fraction=0.4, n_sessions=2000)
+        )
+        trace = gen.generate()
+        newborn_ids = {
+            gen.site.pages[i].doc_id
+            for i in np.nonzero(gen._birth_day > 0)[0]
+        }
+        assert {r.doc_id for r in trace} & newborn_ids
+
+    def test_zero_fraction_all_born(self):
+        gen = SyntheticTraceGenerator(variant(new_page_fraction=0.0))
+        assert gen._born.all()
+
+    def test_at_least_one_initial_page(self):
+        gen = SyntheticTraceGenerator(variant(new_page_fraction=0.99))
+        assert gen._born.any()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(CalibrationError):
+            variant(new_page_fraction=1.0)
+
+
+class TestRegionAffinity:
+    def _region_top_docs(self, trace, gen, region, top=10):
+        from collections import Counter
+
+        counts = Counter(
+            r.doc_id
+            for r in trace
+            if not r.client.startswith("local-")
+            and r.client.endswith(f"region-{region:02d}")
+            and gen.site.document(r.doc_id).kind == "page"
+        )
+        return {doc for doc, __ in counts.most_common(top)}
+
+    def test_affinity_differentiates_regions(self):
+        gen = SyntheticTraceGenerator(
+            variant(
+                region_affinity=0.8,
+                n_regions=4,
+                n_sessions=3000,
+                n_clients=300,
+            )
+        )
+        trace = gen.generate()
+        tops = [
+            self._region_top_docs(trace, gen, region) for region in (1, 2, 3)
+        ]
+        populated = [t for t in tops if t]
+        assert len(populated) >= 2
+        # With strong affinity, regional top sets must not coincide.
+        assert populated[0] != populated[1]
+
+    def test_no_affinity_regions_agree(self):
+        gen = SyntheticTraceGenerator(
+            variant(
+                region_affinity=0.0, n_regions=4, n_sessions=3000, n_clients=300
+            )
+        )
+        trace = gen.generate()
+        tops = [
+            self._region_top_docs(trace, gen, region, top=5)
+            for region in (1, 2, 3)
+        ]
+        populated = [t for t in tops if len(t) == 5]
+        assert len(populated) >= 2
+        # Shared global ranking: top sets overlap heavily.
+        assert len(populated[0] & populated[1]) >= 3
+
+    def test_invalid_affinity(self):
+        with pytest.raises(CalibrationError):
+            variant(region_affinity=-0.1)
+
+    def test_determinism_with_all_dynamics(self):
+        config = variant(
+            link_churn_per_day=0.1,
+            new_page_fraction=0.3,
+            region_affinity=0.5,
+        )
+        a = SyntheticTraceGenerator(config).generate()
+        b = SyntheticTraceGenerator(config).generate()
+        assert [(r.timestamp, r.doc_id) for r in a] == [
+            (r.timestamp, r.doc_id) for r in b
+        ]

@@ -1,0 +1,121 @@
+"""Tests for fitting a generator configuration from a trace."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.trace import Request, Trace, summarize
+from repro.workload import (
+    SyntheticTraceGenerator,
+    fit_generator_config,
+    preset,
+)
+
+
+@pytest.fixture(scope="module")
+def source():
+    generator = SyntheticTraceGenerator(preset("small", 4))
+    return generator.generate()
+
+
+@pytest.fixture(scope="module")
+def fitted(source):
+    return fit_generator_config(source)
+
+
+class TestParameterRecovery:
+    def test_population_counts(self, source, fitted):
+        assert fitted.config.n_clients == len(source.clients())
+        assert fitted.config.n_sessions > 0
+
+    def test_alpha_near_truth(self, fitted):
+        # True popularity_alpha of the small preset is 1.05.
+        assert 0.6 < fitted.config.popularity_alpha < 1.6
+
+    def test_continue_probability_near_truth(self, fitted):
+        # True q is 0.72.
+        assert 0.5 < fitted.config.continue_probability < 0.9
+
+    def test_embed_density_near_truth(self, fitted):
+        # True mean_embedded is 1.7.
+        assert 1.0 < fitted.config.mean_embedded < 3.0
+
+    def test_local_fraction_near_truth(self, fitted):
+        # True local_fraction is 0.15.
+        assert 0.05 < fitted.config.local_fraction < 0.3
+
+    def test_duration_matches(self, source, fitted):
+        assert fitted.config.duration_days == pytest.approx(
+            source.duration / 86_400.0
+        )
+
+    def test_flat_arrivals_detected_as_low_amplitude(self, fitted):
+        assert fitted.config.diurnal_amplitude < 0.6
+
+    def test_diurnal_workload_detected(self):
+        trace = SyntheticTraceGenerator(preset("diurnal", 6)).generate()
+        config = fit_generator_config(trace).config
+        assert config.diurnal_amplitude > 0.3
+
+
+class TestRoundTrip:
+    def test_regenerated_statistics_close(self, source, fitted):
+        twin = SyntheticTraceGenerator(fitted.config).generate()
+        original = summarize(source)
+        regenerated = summarize(twin)
+        assert regenerated.num_requests == pytest.approx(
+            original.num_requests, rel=0.3
+        )
+        assert regenerated.mean_session_length == pytest.approx(
+            original.mean_session_length, rel=0.3
+        )
+        assert regenerated.top_ten_percent_share == pytest.approx(
+            original.top_ten_percent_share, abs=0.15
+        )
+
+
+class TestProvenance:
+    def test_measured_parameters_documented(self, fitted):
+        for key in (
+            "n_clients",
+            "continue_probability",
+            "popularity_alpha",
+            "mean_embedded",
+        ):
+            assert key in fitted.measured
+
+    def test_assumed_parameters_listed(self, fitted):
+        assert "mean_links" in fitted.assumed
+        assert "region_affinity" in fitted.assumed
+
+    def test_seed_applied(self, source):
+        assert fit_generator_config(source, seed=42).config.seed == 42
+
+
+class TestValidation:
+    def test_too_few_requests(self):
+        trace = Trace(
+            [Request(timestamp=0.0, client="a", doc_id="/x", size=1)]
+        )
+        with pytest.raises(CalibrationError):
+            fit_generator_config(trace)
+
+    def test_single_client_rejected(self):
+        requests = [
+            Request(timestamp=float(i), client="only", doc_id=f"/d{i}", size=1)
+            for i in range(20)
+        ]
+        with pytest.raises(CalibrationError):
+            fit_generator_config(Trace(requests))
+
+    def test_two_clients_always_fit(self):
+        # Two clients guarantee two sessions; fitting must succeed.
+        requests = [
+            Request(
+                timestamp=float(i * 10), client=f"c{i % 2}", doc_id=f"/d{i}", size=1
+            )
+            for i in range(20)
+        ]
+        fitted = fit_generator_config(Trace(requests))
+        assert fitted.config.n_clients == 2

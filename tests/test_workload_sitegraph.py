@@ -1,0 +1,113 @@
+"""Tests for the synthetic site graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.workload import SiteGraph
+
+
+def build(seed=0, n_pages=50, **kw):
+    return SiteGraph(n_pages, np.random.default_rng(seed), **kw)
+
+
+class TestStructure:
+    def test_page_count(self):
+        site = build(n_pages=30)
+        assert len(site.pages) == 30
+
+    def test_every_page_in_catalog(self):
+        site = build()
+        doc_ids = {d.doc_id for d in site.documents()}
+        for page in site.pages:
+            assert page.doc_id in doc_ids
+            for embedded in page.embedded:
+                assert embedded in doc_ids
+
+    def test_links_valid_indices(self):
+        site = build()
+        for page in site.pages:
+            for target in page.links:
+                assert 0 <= target < site.n_pages
+
+    def test_no_self_links(self):
+        site = build()
+        for index, page in enumerate(site.pages):
+            assert index not in page.links
+
+    def test_no_duplicate_links(self):
+        site = build()
+        for page in site.pages:
+            assert len(page.links) == len(set(page.links))
+
+    def test_kinds(self):
+        site = build()
+        kinds = {d.kind for d in site.documents()}
+        assert "page" in kinds
+        assert "embedded" in kinds
+
+    def test_shared_pool_reused(self):
+        site = build(
+            n_pages=200, shared_pool_size=3, shared_embed_probability=0.9,
+            mean_embedded=2.0,
+        )
+        shared_refs = [
+            e for p in site.pages for e in p.embedded if e.startswith("/shared/")
+        ]
+        # With 200 pages at high share probability, the 3 shared objects
+        # must be referenced many times.
+        assert len(shared_refs) > len(set(shared_refs))
+
+    def test_shared_pool_disabled(self):
+        site = build(shared_pool_size=0)
+        assert all(
+            not e.startswith("/shared/") for p in site.pages for e in p.embedded
+        )
+
+    def test_home_server_label(self):
+        site = build(home_server="srv-9")
+        assert all(d.home_server == "srv-9" for d in site.documents())
+
+
+class TestSizes:
+    def test_total_bytes_positive(self):
+        assert build().total_bytes() > 0
+
+    def test_page_and_embedded_bytes(self):
+        site = build()
+        page = site.pages[0]
+        expected = site.document(page.doc_id).size + sum(
+            site.document(e).size for e in page.embedded
+        )
+        assert site.page_and_embedded_bytes(0) == expected
+
+    def test_embedded_objects_capped(self):
+        site = build(n_pages=300)
+        for doc in site.documents():
+            if doc.kind == "embedded":
+                assert doc.size <= 65_536
+
+
+class TestDeterminism:
+    def test_same_seed_same_site(self):
+        a, b = build(seed=5), build(seed=5)
+        assert [p.links for p in a.pages] == [p.links for p in b.pages]
+        assert [p.embedded for p in a.pages] == [p.embedded for p in b.pages]
+
+    def test_different_seed_differs(self):
+        a, b = build(seed=1, n_pages=100), build(seed=2, n_pages=100)
+        assert [p.links for p in a.pages] != [p.links for p in b.pages]
+
+
+class TestValidation:
+    def test_too_few_pages(self):
+        with pytest.raises(CalibrationError):
+            build(n_pages=1)
+
+    def test_bad_probability(self):
+        with pytest.raises(CalibrationError):
+            build(shared_embed_probability=1.5)
+
+    def test_bad_bias(self):
+        with pytest.raises(CalibrationError):
+            build(popular_link_bias=-0.1)
