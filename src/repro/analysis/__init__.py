@@ -1,0 +1,47 @@
+"""``repro.analysis`` — AST-based static analysis for simulation invariants.
+
+The reproduction's headline numbers are only meaningful if every run is
+bit-reproducible, the package layering stays a DAG, and the arithmetic
+feeding Table 1 is numerically safe.  This package machine-checks those
+properties with a pluggable checker framework:
+
+* :mod:`~repro.analysis.engine` — discovery + single-pass dispatch.
+* :mod:`~repro.analysis.checkers` — determinism, layering, numeric
+  safety and API hygiene checkers (plus a registry for new ones).
+* :mod:`~repro.analysis.baseline` / :mod:`~repro.analysis.suppressions`
+  — grandfathering and inline opt-outs.
+* :mod:`~repro.analysis.runner` — the ``repro lint`` front-end, also
+  reachable as ``python -m repro.analysis``.
+
+This package sits beside ``repro.core`` in the layering DAG: it may not
+import any simulation layer, and only ``repro.cli`` may import it.
+"""
+
+from __future__ import annotations
+
+from .base import Checker, FileContext
+from .baseline import Baseline, default_baseline_path
+from .checkers import all_rules, register, registered_checkers
+from .engine import LintResult, run_lint
+from .findings import Finding, Rule, Severity
+from .lintconfig import DEFAULT_LAYER_RANKS, LintConfig, load_config
+from .runner import main
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "DEFAULT_LAYER_RANKS",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "default_baseline_path",
+    "load_config",
+    "main",
+    "register",
+    "registered_checkers",
+    "run_lint",
+]

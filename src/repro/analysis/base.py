@@ -1,0 +1,126 @@
+"""Checker protocol and per-file context for the lint framework.
+
+A checker is a class with ``visit_<NodeType>`` methods; the dispatch
+engine (:mod:`repro.analysis.dispatch`) walks each file's AST exactly
+once and fans every node out to the checkers that registered a handler
+for its type.  Checkers that need a whole-program view (the layering
+checker) additionally implement :meth:`Checker.finalize`, which runs
+after every file has been visited.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding, Rule, Severity
+from .lintconfig import LintConfig
+from .suppressions import SuppressionIndex
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may want to know about the file being linted."""
+
+    #: Absolute path on disk.
+    path: Path
+    #: Path as reported in findings (relative to the lint root).
+    display_path: str
+    #: Dotted module name if the file belongs to the root package
+    #: (e.g. ``repro.core.experiment``), else ``None``.
+    module: str | None
+    #: Raw source lines (1-indexed access via :meth:`line_text`).
+    lines: list[str]
+    #: Parsed module AST.
+    tree: ast.Module
+    #: Parsed ``# repro-lint: disable=...`` directives for this file.
+    suppressions: SuppressionIndex
+    #: Findings reported against this file (suppressed ones excluded).
+    findings: list[Finding] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        """Stripped source text of a 1-indexed line ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Checker:
+    """Base class for all lint checkers.
+
+    Subclasses declare their diagnostics in :attr:`rules` and implement
+    any number of ``visit_<NodeType>(node)`` methods.  During a file
+    visit, :attr:`ctx` is the current :class:`FileContext`; handlers
+    call :meth:`report` to emit findings (suppression and rule
+    enable/disable filtering happen there, so handlers stay simple).
+    """
+
+    #: Checker name used in reports, e.g. ``determinism``.
+    name: str = ""
+    #: Diagnostics this checker can produce.
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+        self.ctx: FileContext | None = None
+        self._rule_index = {rule.rule_id: rule for rule in self.rules}
+
+    # -- lifecycle hooks -------------------------------------------------
+    def begin_file(self, ctx: FileContext) -> None:
+        """Called before the AST walk of each file."""
+        self.ctx = ctx
+
+    def end_file(self, ctx: FileContext) -> None:
+        """Called after the AST walk of each file."""
+        self.ctx = None
+
+    def finalize(self, files: list[FileContext]) -> None:
+        """Called once after all files; override for whole-program checks."""
+
+    # -- reporting -------------------------------------------------------
+    def report(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        ctx: FileContext | None = None,
+    ) -> None:
+        """Emit a finding at ``node`` unless disabled or suppressed.
+
+        ``ctx`` defaults to the file currently being visited; finalize-
+        phase checkers pass the context the finding belongs to.
+        """
+        context = ctx if ctx is not None else self.ctx
+        if context is None:
+            raise RuntimeError(f"{self.name}: report() outside a file visit")
+        rule = self._rule_index[rule_id]
+        if not self.config.rule_enabled(rule_id):
+            return
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        if context.suppressions.is_suppressed(rule_id, line):
+            return
+        context.findings.append(
+            Finding(
+                rule_id=rule_id,
+                path=context.display_path,
+                line=line,
+                column=column,
+                message=message,
+                severity=rule.severity,
+                checker=self.name,
+                line_text=context.line_text(line),
+            )
+        )
+
+
+PARSE_ERROR_RULE = Rule(
+    rule_id="E001",
+    summary="file could not be parsed as Python",
+    severity=Severity.ERROR,
+    rationale=(
+        "A file the linter cannot parse is a file whose invariants "
+        "nobody can check; surface it rather than skipping silently."
+    ),
+)

@@ -1,0 +1,125 @@
+"""Baseline store: grandfathered findings that do not fail the build.
+
+The baseline is a committed JSON file mapping finding fingerprints to
+the finding they grandfather.  Fingerprints hash the offending *line
+text* rather than its line number, so unrelated edits above a
+grandfathered finding do not invalidate the entry; editing the line
+itself does — which is exactly when the grandfather clause should
+expire.
+
+Workflow:
+
+* ``repro lint --write-baseline`` records the current findings.
+* subsequent runs subtract baselined findings from the failure set and
+  report how many were skipped.
+* entries whose finding has disappeared are *stale*; ``repro lint``
+  reports them so the file shrinks monotonically toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+#: Default baseline filename, discovered next to pyproject.toml.
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """In-memory view of the committed baseline file."""
+
+    #: fingerprint → recorded entry (path/rule/justification).
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (an absent file is an empty baseline)."""
+        if not path.exists():
+            return cls(path=path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"cannot parse {path}: {error}") from error
+        if not isinstance(data, dict) or "findings" not in data:
+            raise BaselineError(f"{path} is not a baseline file")
+        if data.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"{path} has unsupported version {data.get('version')!r}"
+            )
+        entries: dict[str, dict[str, object]] = {}
+        for entry in data["findings"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(f"{path}: malformed baseline entry")
+            entries[str(entry["fingerprint"])] = entry
+        return cls(entries=entries, path=path)
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Partition findings into (new, baselined) plus stale fingerprints.
+
+        Returns:
+            ``(new, baselined, stale)`` where ``stale`` lists baseline
+            fingerprints no current finding matches (fixed findings
+            whose entries should be dropped from the file).
+        """
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, baselined, stale
+
+    @staticmethod
+    def write(path: Path, findings: list[Finding]) -> None:
+        """Write ``findings`` as the new baseline (sorted, stable)."""
+        entries = [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "justification": "grandfathered at baseline creation",
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule_id)
+            )
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def default_baseline_path(start: Path | None = None) -> Path:
+    """Locate the baseline next to the nearest ``pyproject.toml``.
+
+    Falls back to ``<cwd>/.repro-lint-baseline.json`` when no project
+    root is found, so ad-hoc runs still behave sensibly.
+    """
+    origin = (start or Path.cwd()).resolve()
+    for candidate in [origin, *origin.parents]:
+        if (candidate / "pyproject.toml").is_file() or (
+            candidate / BASELINE_FILENAME
+        ).is_file():
+            return candidate / BASELINE_FILENAME
+    return origin / BASELINE_FILENAME

@@ -1,0 +1,59 @@
+"""Checker registry for the ``repro lint`` framework.
+
+Checkers register here by name; the engine instantiates every
+registered checker (or a selected subset) per run.  Third-party or
+experiment-local checkers can call :func:`register` before invoking
+the engine programmatically.
+"""
+
+from __future__ import annotations
+
+from ..base import Checker
+from .determinism import DeterminismChecker
+from .hygiene import ApiHygieneChecker
+from .layering import LayeringChecker
+from .numeric import NumericSafetyChecker
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(checker_class: type[Checker]) -> type[Checker]:
+    """Add a checker class to the registry (usable as a decorator)."""
+    if not checker_class.name:
+        raise ValueError(f"{checker_class.__name__} has no name")
+    _REGISTRY[checker_class.name] = checker_class
+    return checker_class
+
+
+def registered_checkers() -> dict[str, type[Checker]]:
+    """Name → class map of all registered checkers (copy)."""
+    return dict(_REGISTRY)
+
+
+def all_rules() -> list:
+    """Every rule of every registered checker, sorted by rule id."""
+    rules = [
+        rule
+        for checker_class in _REGISTRY.values()
+        for rule in checker_class.rules
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)
+
+
+for _checker in (
+    DeterminismChecker,
+    LayeringChecker,
+    NumericSafetyChecker,
+    ApiHygieneChecker,
+):
+    register(_checker)
+
+__all__ = [
+    "ApiHygieneChecker",
+    "DeterminismChecker",
+    "LayeringChecker",
+    "NumericSafetyChecker",
+    "all_rules",
+    "register",
+    "registered_checkers",
+]

@@ -1,0 +1,265 @@
+"""Layering checker — enforce the architectural DAG of the package.
+
+The repository's layers form a DAG (configured in
+:data:`repro.analysis.lintconfig.DEFAULT_LAYER_RANKS`, overridable via
+``[tool.repro-lint.layers]``)::
+
+    errors < config < trace < workload < {popularity, topology}
+           < {speculation, dissemination} < {core, analysis} < cli
+
+* ``L001`` — an import that flows *upward* (or sideways between peer
+  packages at the same rank).  Upward imports are how "trace parsing
+  suddenly depends on the simulator" regressions start; sideways
+  coupling between ``speculation`` and ``dissemination`` would entangle
+  the paper's two independent protocols.
+* ``L002`` — an import cycle among modules of the root package, at
+  module granularity (so intra-package cycles are caught too).
+* ``L003`` — a package that is missing from the layer map.  New
+  packages must declare where they sit in the architecture.
+
+Per-file ``visit_*`` handlers record edges; the real verdicts are
+produced in :meth:`LayeringChecker.finalize`, which sees the whole
+import graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..base import Checker, FileContext
+from ..findings import Rule, Severity
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One static import: ``source`` module imports ``target`` module."""
+
+    source: str
+    target: str
+    node: ast.stmt
+    ctx: FileContext
+
+
+def resolve_relative(module: str, level: int, name: str | None) -> str | None:
+    """Resolve a ``from ... import`` target to an absolute dotted name.
+
+    Args:
+        module: Absolute dotted name of the importing module.
+        level: Number of leading dots (0 = absolute import).
+        name: The module path after the dots (may be ``None``).
+
+    Returns:
+        The absolute dotted name, or ``None`` if the relative import
+        escapes the package root (a bug the engine reports elsewhere).
+    """
+    if level == 0:
+        return name
+    parts = module.split(".")
+    # Relative imports are resolved against the containing package:
+    # one dot = the current package, so strip the module's own name
+    # first, then one more component per extra dot.
+    if len(parts) < level:
+        return None
+    base = parts[: len(parts) - level]
+    if name:
+        base = base + name.split(".")
+    return ".".join(base) if base else None
+
+
+class LayeringChecker(Checker):
+    """Build the intra-package import graph and enforce the DAG."""
+
+    name = "layering"
+    rules = (
+        Rule(
+            "L001",
+            "import violates the architectural layering DAG",
+            Severity.ERROR,
+            "Lower layers must not know about higher ones; peer layers "
+            "(speculation/dissemination) must stay independent.",
+        ),
+        Rule(
+            "L002",
+            "import cycle detected",
+            Severity.ERROR,
+            "Cycles make initialisation order fragile and refactors "
+            "non-local; the module graph must stay acyclic.",
+        ),
+        Rule(
+            "L003",
+            "package missing from the layer map",
+            Severity.ERROR,
+            "Every top-level package must declare its rank in "
+            "[tool.repro-lint.layers] so the DAG stays total.",
+        ),
+    )
+
+    #: Root-level modules that may import anything (package façade).
+    _UNRANKED_TOP = frozenset({"__init__", "__main__"})
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._edges: list[ImportEdge] = []
+
+    # -- per-file edge collection ---------------------------------------
+    def _record(self, target: str | None, node: ast.stmt) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        if ctx.module is None or target is None:
+            return
+        root = self.config.root_package
+        if target != root and not target.startswith(root + "."):
+            return
+        # `from . import sibling` implies an edge to the containing
+        # package's __init__, which would make every such import look
+        # like a cycle (__init__ re-exports the submodule).  Edges to
+        # an ancestor package of the importer are structural, not
+        # architectural — drop them; the per-symbol edges remain.
+        source_package = ctx.module.rsplit(".", 1)[0]
+        if source_package == target or source_package.startswith(target + "."):
+            return
+        self._edges.append(ImportEdge(ctx.module, target, node, ctx))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Record absolute import edges."""
+        for alias in node.names:
+            self._record(alias.name, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Record from-import edges, resolving relative levels."""
+        if self.ctx is None or self.ctx.module is None:
+            return
+        base = resolve_relative(self.ctx.module, node.level, node.module)
+        if base is None:
+            return
+        # `from pkg import name` may bind either a symbol or a module;
+        # for layering the package-level edge to `pkg` is what matters,
+        # but record `pkg.name` too so module-level cycle detection can
+        # see through re-export façades.
+        self._record(base, node)
+        for alias in node.names:
+            if alias.name != "*":
+                self._record(f"{base}.{alias.name}", node)
+
+    # -- whole-program verdicts -----------------------------------------
+    def _component(self, module: str) -> str | None:
+        """Top-level component of a root-package module (None for root)."""
+        parts = module.split(".")
+        if parts[0] != self.config.root_package or len(parts) == 1:
+            return None
+        return parts[1]
+
+    def finalize(self, files: list[FileContext]) -> None:
+        known_modules = {f.module for f in files if f.module}
+        ranks = self.config.layer_ranks
+        reported_unranked: set[str] = set()
+
+        graph: dict[str, set[str]] = {}
+        reported_l001: set[tuple[str, int, str, str]] = set()
+        for edge in self._edges:
+            # Keep cycle detection at module granularity, but only over
+            # modules that actually exist as files (symbol imports of
+            # `pkg.ClassName` resolve to nothing and are dropped here —
+            # the package-level edge was recorded separately).
+            target = edge.target
+            if target not in known_modules:
+                if target + ".__init__" in known_modules:
+                    target = target + ".__init__"
+                else:
+                    continue
+            graph.setdefault(edge.source, set()).add(target)
+
+            src_pkg = self._component(edge.source)
+            dst_pkg = self._component(target)
+            if src_pkg == dst_pkg:
+                continue  # intra-package imports are always allowed
+            if src_pkg in self._UNRANKED_TOP:
+                continue  # repro/__init__.py, __main__.py may import anything
+            if dst_pkg in self._UNRANKED_TOP or dst_pkg is None:
+                continue  # importing the root façade carries no rank
+            for key, module_name in ((src_pkg, edge.source), (dst_pkg, target)):
+                if key is not None and key not in ranks:
+                    if module_name not in reported_unranked:
+                        reported_unranked.add(module_name)
+                        self.report(
+                            "L003",
+                            edge.node,
+                            f"package `{key}` has no rank in the layer "
+                            "map; add it to [tool.repro-lint.layers]",
+                            ctx=edge.ctx,
+                        )
+            if src_pkg is None or src_pkg not in ranks or dst_pkg not in ranks:
+                continue
+            if ranks[src_pkg] <= ranks[dst_pkg]:
+                direction = (
+                    "sideways (peer layers must stay independent)"
+                    if ranks[src_pkg] == ranks[dst_pkg]
+                    else "upward"
+                )
+                dedup = (
+                    edge.ctx.display_path,
+                    getattr(edge.node, "lineno", 0),
+                    src_pkg,
+                    dst_pkg,
+                )
+                if dedup in reported_l001:
+                    continue
+                reported_l001.add(dedup)
+                self.report(
+                    "L001",
+                    edge.node,
+                    f"`{src_pkg}` (rank {ranks[src_pkg]}) imports "
+                    f"`{dst_pkg}` (rank {ranks[dst_pkg]}): {direction} "
+                    "import breaks the layering DAG",
+                    ctx=edge.ctx,
+                )
+
+        self._report_cycles(graph, files)
+
+    def _report_cycles(
+        self, graph: dict[str, set[str]], files: list[FileContext]
+    ) -> None:
+        """Detect cycles with an iterative three-colour DFS."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[str, int] = {}
+        by_module = {f.module: f for f in files if f.module}
+        cycles: list[list[str]] = []
+
+        for start in sorted(graph):
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            stack: list[tuple[str, list[str]]] = [(start, [start])]
+            while stack:
+                module, path = stack.pop()
+                if module == "__POP__":
+                    colour[path[-1]] = BLACK
+                    continue
+                if colour.get(module, WHITE) != WHITE:
+                    continue
+                colour[module] = GREY
+                stack.append(("__POP__", [module]))
+                for neighbour in sorted(graph.get(module, ())):
+                    state = colour.get(neighbour, WHITE)
+                    if state == GREY and neighbour in path:
+                        cycle = path[path.index(neighbour):] + [neighbour]
+                        cycles.append(cycle)
+                    elif state == WHITE:
+                        stack.append((neighbour, path + [neighbour]))
+
+        seen: set[frozenset[str]] = set()
+        for cycle in cycles:
+            key = frozenset(cycle)
+            if key in seen:
+                continue
+            seen.add(key)
+            anchor = cycle[0]
+            ctx = by_module.get(anchor)
+            if ctx is None:
+                continue
+            self.report(
+                "L002",
+                ctx.tree,
+                "import cycle: " + " -> ".join(cycle),
+                ctx=ctx,
+            )

@@ -1,0 +1,216 @@
+"""Numerical-safety checker for simulator arithmetic.
+
+The paper's metrics are ratios (bandwidth, server load, service time)
+over byte and request counters, and the speculation policy manipulates
+probabilities ``p*[i, j]``.  Three classes of numerical sloppiness keep
+showing up in simulation codebases, and each one silently corrupts
+exactly the numbers Table 1 reports:
+
+* ``N001`` — dividing by ``len(...)``/``sum(...)``/``count(...)`` with
+  no emptiness guard in sight: the first empty trace window turns a
+  sweep into a ``ZeroDivisionError`` (or worse, a silent ``nan`` with
+  numpy scalars).
+* ``N002`` — assigning arithmetic straight into a probability-named
+  variable without clamping: floating-point closure sums drift above
+  1.0, and a ``p*`` of 1.0000000002 breaks ``BaselineConfig``-style
+  validation far from the cause.
+* ``N003`` — initialising a byte counter to ``0.0``: accumulating
+  exact integer byte counts in floats loses exactness past 2**53 and
+  makes equality-based regression tests flaky.  Counters start at
+  ``0``; division promotes to float at the *end* of the pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker
+from ..dispatch import ancestors
+from ..findings import Rule, Severity
+
+#: Zero-able callables whose result is a dangerous denominator.
+_RISKY_DENOMINATOR_CALLS = frozenset({"len", "sum", "count"})
+
+#: Call names accepted as clamps/guards for probabilities.
+_CLAMP_CALLS = frozenset({"min", "max", "clip", "clamp", "_clamp"})
+
+
+def _call_name(node: ast.AST) -> str | None:
+    """Bare or attribute call name (``len``, ``x.count`` -> ``count``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_zero_float(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value == 0.0
+    )
+
+
+class NumericSafetyChecker(Checker):
+    """Guarded division, clamped probabilities, integer byte counters."""
+
+    name = "numeric"
+    rules = (
+        Rule(
+            "N001",
+            "division by len()/sum() without an emptiness guard",
+            Severity.ERROR,
+            "Empty trace windows are normal (cold caches, short "
+            "sessions); ratio code must guard the denominator.",
+        ),
+        Rule(
+            "N002",
+            "probability assigned from arithmetic without clamping",
+            Severity.WARNING,
+            "Float closure arithmetic drifts outside [0, 1]; clamp at "
+            "the assignment so the invariant holds at the source.",
+        ),
+        Rule(
+            "N003",
+            "byte counter initialised as float (use 0, not 0.0)",
+            Severity.WARNING,
+            "Byte counts are exact integers; float accumulation loses "
+            "exactness and makes regression comparisons flaky.",
+        ),
+    )
+
+    # -- N001: unguarded division ---------------------------------------
+    def _denominator_guarded(self, node: ast.BinOp) -> bool:
+        """Is the division protected by a test mentioning its denominator?
+
+        Walks the ancestor chain looking at ``if``/``while``/ternary
+        conditions and ``assert`` tests; the guard counts if its source
+        text contains the denominator's source text (so ``if requests:``
+        guards ``x / len(requests)``), or if it is a plain truthiness/
+        length/emptiness check on anything (conservative: any enclosing
+        conditional that mentions the same call or its argument).
+        """
+        denominator = node.right
+        denom_text = ast.unparse(denominator)
+        arg_text = None
+        if isinstance(denominator, ast.Call) and denominator.args:
+            arg_text = ast.unparse(denominator.args[0])
+        tests: list[ast.expr] = []
+        child: ast.AST = node
+        for parent in ancestors(node):
+            if isinstance(parent, (ast.If, ast.While)):
+                # Only bodies are guarded; the test itself is not.
+                if child is not parent.test:
+                    tests.append(parent.test)
+            elif isinstance(parent, ast.IfExp):
+                if child is parent.body or child is parent.orelse:
+                    tests.append(parent.test)
+            elif isinstance(parent, ast.Assert):
+                tests.append(parent.test)
+            elif isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Guards do not cross function boundaries, but a guard
+                # clause earlier in the same function body counts:
+                # `if not requests: return ...` style early exits.
+                for stmt in parent.body:
+                    if stmt.lineno >= node.lineno:
+                        break
+                    if isinstance(stmt, (ast.If, ast.Assert)):
+                        tests.append(stmt.test)
+                break
+            child = parent
+        for test in tests:
+            text = ast.unparse(test)
+            if denom_text in text:
+                return True
+            if arg_text is not None and arg_text in text:
+                return True
+        return False
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        """Flag division by an unguarded `len()`/`sum()`/`count()` (N001)."""
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            return
+        name = _call_name(node.right)
+        if name not in _RISKY_DENOMINATOR_CALLS:
+            return
+        # `max(1, len(x))` and `len(x) or 1` style denominators are the
+        # guard, not the hazard — they never reach here because the
+        # denominator is then the max()/BoolOp, not the len() call.
+        if self._denominator_guarded(node):
+            return
+        self.report(
+            "N001",
+            node,
+            f"division by `{ast.unparse(node.right)}` has no emptiness "
+            "guard; guard the denominator or use `max(1, ...)`",
+        )
+
+    # -- N002 / N003: assignments ---------------------------------------
+    def _target_names(self, node: ast.AST) -> list[str]:
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, ast.Attribute):
+            return [node.attr]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            names: list[str] = []
+            for element in node.elts:
+                names.extend(self._target_names(element))
+            return names
+        return []
+
+    def _is_probability_name(self, name: str) -> bool:
+        lowered = name.lower().lstrip("_")
+        return any(
+            lowered == suffix.lstrip("_") or lowered.endswith(suffix)
+            for suffix in self.config.probability_suffixes
+        )
+
+    def _is_byte_counter_name(self, name: str) -> bool:
+        lowered = name.lower().lstrip("_")
+        return any(
+            lowered.endswith(suffix)
+            for suffix in self.config.byte_counter_suffixes
+        ) or any(
+            lowered.startswith(prefix)
+            for prefix in self.config.byte_counter_prefixes
+        )
+
+    def _rhs_is_unclamped_arithmetic(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.Div, ast.Mult, ast.Add, ast.Sub, ast.Pow)
+        ):
+            return True
+        call = _call_name(value)
+        if call in ("exp",):
+            return True
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Flag unclamped probability assignments (N002) and float byte counters (N003)."""
+        names = [
+            name
+            for target in node.targets
+            for name in self._target_names(target)
+        ]
+        for name in names:
+            if self._is_probability_name(name) and (
+                self._rhs_is_unclamped_arithmetic(node.value)
+            ):
+                self.report(
+                    "N002",
+                    node,
+                    f"`{name}` is assigned raw arithmetic; clamp to "
+                    "[0, 1] (e.g. min(1.0, max(0.0, ...))) so the "
+                    "probability invariant holds where it is created",
+                )
+            if self._is_byte_counter_name(name) and _is_zero_float(node.value):
+                self.report(
+                    "N003",
+                    node,
+                    f"byte counter `{name}` starts at 0.0; use the "
+                    "integer 0 so byte accounting stays exact",
+                )

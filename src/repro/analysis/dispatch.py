@@ -1,0 +1,92 @@
+"""Single-pass visitor dispatch over one file's AST.
+
+Rather than each checker walking the tree independently (N walks for N
+checkers), the :class:`Dispatcher` walks once and fans each node out to
+every checker that defined a ``visit_<NodeType>`` handler.  Handler maps
+are computed per checker *class* and cached, so constructing dispatchers
+per file is cheap.
+
+The walk also maintains a parent map (``node._repro_parent``) before any
+handler runs, because several checkers need ancestry — e.g. the numeric
+checker asks whether a division sits under a guarding ``if``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from .base import Checker, FileContext
+
+_HANDLER_PREFIX = "visit_"
+_handler_cache: dict[type, frozenset[str]] = {}
+
+
+def _handled_types(checker_class: type) -> frozenset[str]:
+    """Node-type names a checker class defines handlers for."""
+    cached = _handler_cache.get(checker_class)
+    if cached is None:
+        cached = frozenset(
+            name[len(_HANDLER_PREFIX):]
+            for name in dir(checker_class)
+            if name.startswith(_HANDLER_PREFIX)
+            and callable(getattr(checker_class, name))
+        )
+        _handler_cache[checker_class] = cached
+    return cached
+
+
+def set_parents(tree: ast.AST) -> None:
+    """Annotate every node with ``_repro_parent`` (the root gets ``None``)."""
+    tree._repro_parent = None  # type: ignore[attr-defined]
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s ancestors from nearest to the module root."""
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+class Dispatcher:
+    """Fan one file's nodes out to the handlers of many checkers."""
+
+    def __init__(self, checkers: list[Checker]):
+        self._checkers = checkers
+        # node-type name -> bound handler methods, built lazily per type
+        # actually seen in the file; most types have no handlers.
+        self._handlers: dict[str, list[Callable[[ast.AST], None]]] = {}
+        self._interesting: set[str] = set()
+        for checker in checkers:
+            self._interesting |= _handled_types(type(checker))
+
+    def _handlers_for(self, type_name: str) -> list[Callable[[ast.AST], None]]:
+        handlers = self._handlers.get(type_name)
+        if handlers is None:
+            handlers = [
+                getattr(checker, _HANDLER_PREFIX + type_name)
+                for checker in self._checkers
+                if type_name in _handled_types(type(checker))
+            ]
+            self._handlers[type_name] = handlers
+        return handlers
+
+    def run(self, ctx: FileContext) -> None:
+        """Walk ``ctx.tree`` once, invoking every matching handler."""
+        set_parents(ctx.tree)
+        for checker in self._checkers:
+            checker.begin_file(ctx)
+        try:
+            for node in ast.walk(ctx.tree):
+                type_name = type(node).__name__
+                if type_name not in self._interesting:
+                    continue
+                for handler in self._handlers_for(type_name):
+                    handler(node)
+        finally:
+            for checker in self._checkers:
+                checker.end_file(ctx)

@@ -1,0 +1,189 @@
+"""Lint engine: file discovery, per-file dispatch, whole-program finalize.
+
+The engine is deliberately independent of the CLI so tests (and the
+self-check test in tier 1) can call :func:`run_lint` directly and get
+structured :class:`~repro.analysis.findings.Finding` values back.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import PARSE_ERROR_RULE, Checker, FileContext
+from .checkers import registered_checkers
+from .dispatch import Dispatcher
+from .findings import Finding, assign_occurrences
+from .lintconfig import LintConfig
+from .suppressions import SuppressionIndex
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__", ".git", ".hypothesis", ".pytest_cache",
+        ".ruff_cache", ".mypy_cache", "build", "dist", "out",
+        ".eggs", "node_modules", ".venv", "venv",
+    }
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    #: Findings filtered out because they matched the baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Number of files successfully parsed and checked.
+    files_checked: int = 0
+    #: Count of inline suppression directives encountered.
+    suppression_directives: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding survived filtering."""
+        return 1 if self.findings else 0
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        FileNotFoundError: A named path does not exist.
+    """
+    found: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path.resolve())
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            found.add(candidate.resolve())
+    return sorted(found)
+
+
+def module_name_for(path: Path, root_package: str) -> str | None:
+    """Dotted module name if ``path`` lives inside the root package.
+
+    ``.../src/repro/core/experiment.py`` → ``repro.core.experiment``;
+    ``__init__.py`` keeps an explicit ``.__init__`` suffix so relative
+    imports resolve uniformly.  Files outside the package (benchmarks,
+    examples) return ``None`` and are exempt from layering.
+    """
+    parts = list(path.parts)
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index(root_package)
+    except ValueError:
+        return None
+    # Require the anchor to actually be the package directory (it must
+    # contain the file and an __init__.py), not a same-named file.
+    package_dir = Path(*parts[: anchor + 1])
+    if not (package_dir / "__init__.py").is_file():
+        return None
+    relative = parts[anchor:]
+    relative[-1] = relative[-1][: -len(".py")]
+    return ".".join(relative)
+
+
+def _build_context(
+    path: Path, display_path: str, config: LintConfig
+) -> tuple[FileContext | None, Finding | None]:
+    """Parse one file; on syntax errors produce an E001 finding."""
+    source = path.read_text(encoding="utf-8", errors="replace")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        line = error.lineno or 1
+        finding = Finding(
+            rule_id=PARSE_ERROR_RULE.rule_id,
+            path=display_path,
+            line=line,
+            column=(error.offset or 1) - 1,
+            message=f"syntax error: {error.msg}",
+            severity=PARSE_ERROR_RULE.severity,
+            checker="engine",
+            line_text=lines[line - 1].strip() if 0 < line <= len(lines) else "",
+        )
+        return None, finding
+    ctx = FileContext(
+        path=path,
+        display_path=display_path,
+        module=module_name_for(path, config.root_package),
+        lines=lines,
+        tree=tree,
+        suppressions=SuppressionIndex(lines),
+    )
+    return ctx, None
+
+
+def _display_path(path: Path, base: Path) -> str:
+    try:
+        return path.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: list[Path],
+    config: LintConfig | None = None,
+    checker_names: list[str] | None = None,
+    base_dir: Path | None = None,
+) -> LintResult:
+    """Run every registered checker over ``paths``.
+
+    Args:
+        paths: Files and/or directories to lint.
+        config: Lint configuration (defaults to :class:`LintConfig`).
+        checker_names: Restrict to these checkers (default: all).
+        base_dir: Paths in findings are reported relative to this
+            directory (default: the current working directory).
+
+    Returns:
+        A :class:`LintResult`; baseline filtering is the caller's job
+        (see :mod:`repro.analysis.baseline`) so the engine stays pure.
+    """
+    config = config or LintConfig()
+    base = (base_dir or Path.cwd()).resolve()
+    registry = registered_checkers()
+    if checker_names is not None:
+        unknown = sorted(set(checker_names) - set(registry))
+        if unknown:
+            raise KeyError(f"unknown checkers: {', '.join(unknown)}")
+        registry = {name: registry[name] for name in checker_names}
+    checkers: list[Checker] = [
+        checker_class(config) for checker_class in registry.values()
+    ]
+    dispatcher = Dispatcher(checkers)
+
+    contexts: list[FileContext] = []
+    parse_failures: list[Finding] = []
+    for path in discover_files(paths):
+        ctx, failure = _build_context(path, _display_path(path, base), config)
+        if failure is not None:
+            if config.rule_enabled(failure.rule_id):
+                parse_failures.append(failure)
+            continue
+        assert ctx is not None
+        dispatcher.run(ctx)
+        contexts.append(ctx)
+
+    for checker in checkers:
+        checker.finalize(contexts)
+
+    findings = parse_failures + [
+        finding for ctx in contexts for finding in ctx.findings
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return LintResult(
+        findings=assign_occurrences(findings),
+        files_checked=len(contexts),
+        suppression_directives=sum(
+            ctx.suppressions.directive_count for ctx in contexts
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Finding and rule data model for the ``repro lint`` framework.
+
+A :class:`Finding` is one diagnostic produced by a checker at a source
+location; a :class:`Rule` is the static description of what a checker
+can report.  Both are plain frozen dataclasses so reporters, the
+baseline store and tests can treat them as values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings break reproducibility or layering guarantees;
+    ``WARNING`` findings are hygiene problems that merely invite bugs.
+    Both make ``repro lint`` exit non-zero — the split exists so
+    reporters and future gating can distinguish them.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one diagnostic a checker can emit."""
+
+    #: Stable identifier, e.g. ``D001``; used in suppressions/baselines.
+    rule_id: str
+    #: One-line summary shown by ``repro lint --list-rules``.
+    summary: str
+    #: Default severity for findings of this rule.
+    severity: Severity = Severity.ERROR
+    #: Longer rationale (used by the docs generator and ``--list-rules -v``).
+    rationale: str = ""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic at a concrete source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: Severity = Severity.ERROR
+    #: Name of the checker that produced the finding.
+    checker: str = ""
+    #: Stripped text of the offending source line (for fingerprints).
+    line_text: str = ""
+    #: Disambiguates identical (path, rule, line_text) triples.
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-drift-tolerant identity used by the baseline store.
+
+        Hashes the path, rule and offending line *text* (not the line
+        number), so inserting code above a grandfathered finding does
+        not invalidate the baseline entry.
+        """
+        payload = (
+            f"{self.path}::{self.rule_id}::{self.line_text}::{self.occurrence}"
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by the JSON reporter)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "severity": self.severity.value,
+            "checker": self.checker,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that share (path, rule, line_text) so their
+    fingerprints stay distinct and stable in file order."""
+    seen: dict[tuple[str, str, str], int] = {}
+    numbered: list[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.rule_id, finding.line_text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        if index:
+            finding = Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                message=finding.message,
+                severity=finding.severity,
+                checker=finding.checker,
+                line_text=finding.line_text,
+                occurrence=index,
+            )
+        numbered.append(finding)
+    return numbered

@@ -1,0 +1,78 @@
+"""Text and JSON reporters for lint results.
+
+Reporters are pure functions from results to strings, so the CLI, the
+tests and any future tooling (e.g. a CI annotator) share one formatting
+path.  The JSON document is stable and round-trips through
+``json.loads``; its schema is part of the public contract and covered
+by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import LintResult
+from .findings import Finding
+
+
+def _summary_counts(findings: list[Finding]) -> dict[str, int]:
+    return dict(sorted(Counter(f.rule_id for f in findings).items()))
+
+
+def render_text(result: LintResult, stale_baseline: list[str]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.column + 1}: "
+        f"{finding.rule_id} [{finding.severity.value}] {finding.message}"
+        for finding in result.findings
+    ]
+    summary: list[str] = []
+    if result.findings:
+        counts = ", ".join(
+            f"{rule}×{count}"
+            for rule, count in _summary_counts(result.findings).items()
+        )
+        summary.append(
+            f"{len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} ({counts}) "
+            f"in {result.files_checked} files"
+        )
+    else:
+        summary.append(f"clean: {result.files_checked} files checked")
+    if result.baselined:
+        summary.append(
+            f"{len(result.baselined)} finding(s) suppressed by baseline"
+        )
+    if result.suppression_directives:
+        summary.append(
+            f"{result.suppression_directives} inline suppression "
+            "directive(s) in effect"
+        )
+    for fingerprint in stale_baseline:
+        summary.append(
+            f"stale baseline entry {fingerprint}: finding no longer "
+            "present; remove it (or rerun with --write-baseline)"
+        )
+    return "\n".join(lines + summary)
+
+
+def render_json(result: LintResult, stale_baseline: list[str]) -> str:
+    """Machine-readable report (``repro lint --format json``)."""
+    document = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "baselined": [finding.as_dict() for finding in result.baselined],
+        "stale_baseline": list(stale_baseline),
+        "summary": {
+            "total": len(result.findings),
+            "by_rule": _summary_counts(result.findings),
+            "suppression_directives": result.suppression_directives,
+        },
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(document, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

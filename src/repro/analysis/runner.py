@@ -1,0 +1,210 @@
+"""Command-line front-end for the lint engine.
+
+Used both by ``repro lint ...`` (the CLI subcommand) and by
+``python -m repro.analysis ...``; the two share this module so flags
+and exit codes cannot drift apart.
+
+Exit codes:
+
+* ``0`` — no findings (after baseline and suppressions).
+* ``1`` — at least one finding.
+* ``2`` — usage or configuration error (bad path, unknown rule, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from .baseline import Baseline, BaselineError, default_baseline_path
+from .checkers import all_rules, registered_checkers
+from .engine import LintResult, run_lint
+from .lintconfig import LintConfigError, load_config
+from .reporters import render_json, render_text
+
+#: Directories linted when no paths are given (the repo's own layout).
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``lint`` front-end."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based static analysis enforcing the simulation-domain "
+            "invariants (determinism, layering, numerical safety, API "
+            "hygiene) this reproduction depends on"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only this checker (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to enable exclusively",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to disable",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: .repro-lint-baseline.json next to "
+        "pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml carrying [tool.repro-lint] overrides",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule with its summary and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    registry = registered_checkers()
+    owners = {
+        rule.rule_id: name
+        for name, checker_class in registry.items()
+        for rule in checker_class.rules
+    }
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.rule_id}  [{owners[rule.rule_id]}/{rule.severity.value}] "
+            f"{rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def _parse_rule_list(raw: str | None) -> frozenset[str]:
+    if not raw:
+        return frozenset()
+    return frozenset(token.strip() for token in raw.split(",") if token.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point shared by ``repro lint`` and ``python -m repro.analysis``."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error. Detach
+        # stdout so interpreter shutdown does not re-raise on flush.
+        try:
+            sys.stdout.close()
+        except (OSError, ValueError):
+            pass
+        return 0
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        config = load_config(Path(args.config) if args.config else None)
+    except LintConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.select:
+        config = config.with_updates(select=_parse_rule_list(args.select))
+    if args.disable:
+        config = config.with_updates(
+            disable=config.disable | _parse_rule_list(args.disable)
+        )
+    known_rules = {rule.rule_id for rule in all_rules()} | {"E001"}
+    unknown = (config.select | config.disable) - known_rules
+    if unknown:
+        print(
+            f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    paths = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    try:
+        result = run_lint(
+            paths,
+            config=config,
+            checker_names=args.checker or None,
+        )
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if args.write_baseline:
+        Baseline.write(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    stale: list[str] = []
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        new, baselined, stale = baseline.split(result.findings)
+        result = LintResult(
+            findings=new,
+            baselined=baselined,
+            files_checked=result.files_checked,
+            suppression_directives=result.suppression_directives,
+        )
+
+    renderer = render_json if args.format == "json" else render_text
+    output = renderer(result, stale)
+    if output:
+        print(output)
+    return result.exit_code

@@ -1,0 +1,68 @@
+"""Inline ``# repro-lint: disable=...`` suppression directives.
+
+Two forms are recognised:
+
+* line suppression — a trailing comment on the offending line::
+
+      value = legacy_ratio / count  # repro-lint: disable=N001
+
+* file suppression — a comment on a line of its own anywhere in the
+  file's first block of comments/docstring (the first 10 lines)::
+
+      # repro-lint: disable-file=D004
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.  Rule
+lists are comma-separated: ``disable=N001,H002``.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Rule lists are captured token-by-token so a trailing justification
+#: ("disable=N001  weights are positive") cannot leak into the rule
+#: set — only `X123`-shaped ids and the word `all` are recognised.
+_RULES_PATTERN = r"((?:[A-Za-z]+\d+|all)(?:\s*,\s*(?:[A-Za-z]+\d+|all))*)"
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=" + _RULES_PATTERN)
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=" + _RULES_PATTERN)
+
+#: Lines scanned for ``disable-file`` directives.
+_FILE_DIRECTIVE_WINDOW = 10
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    return frozenset(
+        token.strip() for token in raw.split(",") if token.strip()
+    )
+
+
+class SuppressionIndex:
+    """Per-file index of suppression directives, queried by the engine."""
+
+    def __init__(self, lines: list[str]):
+        self._by_line: dict[int, frozenset[str]] = {}
+        self._file_wide: frozenset[str] = frozenset()
+        file_rules: set[str] = set()
+        for number, text in enumerate(lines, start=1):
+            match = _LINE_RE.search(text)
+            if match:
+                self._by_line[number] = _parse_rule_list(match.group(1))
+            if number <= _FILE_DIRECTIVE_WINDOW:
+                file_match = _FILE_RE.search(text)
+                if file_match:
+                    file_rules |= _parse_rule_list(file_match.group(1))
+        self._file_wide = frozenset(file_rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is disabled at ``line`` (or file-wide)."""
+        if "all" in self._file_wide or rule_id in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule_id in rules
+
+    @property
+    def directive_count(self) -> int:
+        """Number of lines carrying directives (reported in summaries)."""
+        return len(self._by_line) + (1 if self._file_wide else 0)

@@ -174,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.set_defaults(handler=commands.cmd_plan)
 
+    subparsers.add_parser(
+        "lint",
+        help="static analysis enforcing simulation invariants "
+        "(determinism, layering, numerical safety, API hygiene)",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -181,10 +188,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.
 
     Returns:
-        Process exit code (0 on success, 2 on a usage/data error).
+        Process exit code (0 on success, 1 on lint findings, 2 on a
+        usage/data error).
     """
+    # `repro lint` owns its whole argument tail (it has flags like
+    # --format that must not collide with the main parser), so dispatch
+    # it before general parsing.
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint"]:
+        from ..analysis import runner
+
+        return runner.main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         args.handler(args)
     except commands.CommandError as error:

@@ -23,7 +23,7 @@ paper's "no limit" settings.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from .errors import SimulationError

@@ -143,10 +143,10 @@ class CombinedProtocolSimulator:
         cache_hits = 0
         proxy_requests = 0
         origin_requests = 0
-        bytes_hops = 0.0
+        bytes_hops = 0
         service_time = 0.0
         speculated_documents = 0
-        speculated_bytes = 0.0
+        speculated_bytes = 0
 
         for request in self._trace:
             client = request.client

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 from ..errors import AllocationError
 from ..dissemination.allocation import (
-    AllocationResult,
     ServerModel,
     exponential_allocation,
     greedy_document_allocation,

@@ -15,7 +15,6 @@ from ..dissemination import DisseminationSimulator, symmetric_alpha, symmetric_s
 from ..dissemination.simulator import select_popular_bytes
 from ..popularity import PopularityProfile, analyze_blocks, fit_lambda
 from ..popularity.expmodel import PAPER_LAMBDA
-from ..speculation import ThresholdPolicy
 from ..topology import build_clientele_tree, greedy_tree_placement
 from ..workload import SyntheticTraceGenerator, check_calibration, preset
 from .experiment import Experiment, interpolate_at_traffic, sweep_thresholds

@@ -10,7 +10,7 @@ server-assisted prefetching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import BASELINE, BaselineConfig
 from ..errors import SimulationError

@@ -143,8 +143,8 @@ class ClusterSimulator:
             storage += sum(sizes[d].size for d in held if d in sizes)
             requests = 0
             intercepted = 0
-            bytes_total = 0.0
-            bytes_hit = 0.0
+            bytes_total = 0
+            bytes_hit = 0
             for request in trace:
                 requests += 1
                 bytes_total += request.size

@@ -149,7 +149,7 @@ class FreshnessSimulator:
             if server_version > proxy_version:
                 stale_hits += 1
 
-        refresh_bytes = 0.0
+        refresh_bytes = 0
         trace_days = self._trace.duration / SECONDS_PER_DAY
         if policy == "push-updates":
             for doc_id in held:

@@ -13,7 +13,6 @@ subtree's own access pattern) is also implemented, as an ablation.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
 from ..errors import SimulationError

@@ -25,7 +25,7 @@ of a small steady-state oscillation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import PolicyError
 from ..trace.records import Document
@@ -79,8 +79,10 @@ class AdaptiveBudgetPolicy:
         if self.window_bytes <= 0:
             raise PolicyError("window_bytes must be positive")
         self._threshold = self.initial_threshold
-        self._demand_bytes = 0.0
-        self._speculative_bytes = 0.0
+        # Fractional by design: both totals decay by a float scale when
+        # the observation window is renormalised (see observe()).
+        self._demand_bytes = 0.0  # repro-lint: disable=N003
+        self._speculative_bytes = 0.0  # repro-lint: disable=N003
 
     @property
     def threshold(self) -> float:

@@ -215,7 +215,9 @@ class DependencyModel:
         heap: list[tuple[float, str]] = [(0.0, source)]
         while heap:
             neg_log, node = heapq.heappop(heap)
-            probability = math.exp(-neg_log)
+            # exp(-x) <= 1 for x >= 0, but clamp so the p*[i, j] in
+            # [0, 1] invariant holds even under float drift in neg_log.
+            probability = min(1.0, math.exp(-neg_log))
             if probability < best.get(node, 0.0) - 1e-15:
                 continue  # stale heap entry
             if hops[node] >= max_hops:
@@ -258,7 +260,10 @@ class DependencyModel:
             if base <= 0:
                 continue
             for count in row.values():
-                probability = count / base
+                # A pair cannot co-occur more often than its source
+                # occurs, but clamp so the histogram stays in-range
+                # even if counters are perturbed by aging.
+                probability = min(1.0, count / base)
                 if probability <= 0:
                     continue
                 index = min(int(probability * n_bins), n_bins - 1)

@@ -12,7 +12,7 @@ over the same trace and cache model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SimulationError
 

@@ -15,7 +15,7 @@ list.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import PolicyError
 from ..trace.records import Document

@@ -27,8 +27,7 @@ last ``HistoryLength`` days — via a
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..config import BASELINE, BaselineConfig
@@ -174,14 +173,16 @@ class SpeculativeServiceSimulator:
         caches: dict[str, ClientCache] = {}
         pending_pushes: dict[str, dict[str, int]] = {}
 
-        bytes_sent = 0.0
+        # Byte counters stay integers so byte accounting is exact; only
+        # derived ratios and costs are floats.
+        bytes_sent = 0
         server_requests = 0
         service_time = 0.0
-        miss_bytes = 0.0
-        accessed_bytes = 0.0
+        miss_bytes = 0
+        accessed_bytes = 0
         speculated_documents = 0
-        speculated_bytes = 0.0
-        wasted_bytes = 0.0
+        speculated_bytes = 0
+        wasted_bytes = 0
         cache_hits = 0
         prefetch_requests = 0
 

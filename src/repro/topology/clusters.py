@@ -9,7 +9,7 @@ higher-level proxies, forming a hierarchy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TopologyError
 

@@ -10,8 +10,7 @@ experiments need.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TopologyError
 

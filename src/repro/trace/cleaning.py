@@ -14,8 +14,8 @@ so experiments can show their preprocessing was faithful.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 from .records import Request, Trace
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TraceFormatError
 

@@ -45,7 +45,8 @@ class BoundedZipf:
         self.alpha = alpha
         self._rng = rng
         weights = np.arange(1, n + 1, dtype=np.float64) ** -alpha
-        self._pmf = weights / weights.sum()
+        total = float(weights.sum())  # > 0: n >= 1 and every weight > 0
+        self._pmf = weights / total
         self._cdf = np.cumsum(self._pmf)
         # Guard against floating-point drift at the top of the table.
         self._cdf[-1] = 1.0

@@ -16,7 +16,6 @@ were assumed.
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass
 

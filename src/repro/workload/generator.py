@@ -28,7 +28,7 @@ separates embedding from cross-page gaps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

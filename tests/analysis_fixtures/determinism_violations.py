@@ -1,0 +1,19 @@
+"""Fixture: every determinism rule (D001-D004) should fire on this file."""
+
+import random  # D001
+import time
+from datetime import datetime
+
+import numpy as np
+from random import shuffle  # D001
+
+
+def unseeded_everything(items):
+    rng = np.random.default_rng()  # D003
+    np.random.seed(42)  # D002
+    values = np.random.rand(3)  # D002
+    shuffle(items)
+    started = time.time()  # D004
+    stamp = datetime.now()  # D004
+    choice = random.choice(items)
+    return rng, values, started, stamp, choice

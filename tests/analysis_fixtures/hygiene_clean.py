@@ -1,0 +1,32 @@
+"""Fixture: hygienic code the API-hygiene checker accepts."""
+
+
+class SimulationError(Exception):
+    pass
+
+
+def immutable_defaults(history=None, limit=10, label="run", factor=(1, 2)):
+    if history is None:
+        history = []
+    history.append(limit)
+    return history, label, factor
+
+
+def narrow_handler(simulate):
+    try:
+        return simulate()
+    except SimulationError:
+        return None
+
+
+def broad_but_reraises(simulate, log):
+    try:
+        return simulate()
+    except Exception as error:
+        log(error)
+        raise
+
+
+def no_shadowing(items, key):
+    doc_id = 7
+    return [key(item) for item in items], doc_id

@@ -1,0 +1,25 @@
+"""Fixture: every API-hygiene rule (H001-H003) should fire here."""
+
+
+def mutable_defaults(history=[], cache={}, seen=set(), order=list()):  # H001 x4
+    history.append(len(cache) + len(seen) + len(order))
+    return history
+
+
+def swallows_everything(simulate):
+    try:
+        return simulate()
+    except Exception:  # H002: swallowed
+        return None
+
+
+def swallows_bare(simulate):
+    try:
+        return simulate()
+    except:  # H002: bare
+        return None
+
+
+def shadowing(list, sum):  # H003 x2
+    id = 7  # H003
+    return list, sum, id

@@ -1,0 +1,5 @@
+"""Half of an intra-package import cycle (L002)."""
+
+from .cycle_b import B
+
+A = ("a", B)

@@ -1,0 +1,5 @@
+"""Other half of the import cycle (L002)."""
+
+from .cycle_a import A
+
+B = ("b", A)

@@ -1,0 +1,3 @@
+"""Core module referenced by the upward importer."""
+
+READY = True

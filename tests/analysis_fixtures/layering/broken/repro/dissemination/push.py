@@ -1,0 +1,4 @@
+"""Peer-layer module imported sideways by speculation.peer."""
+
+def push():
+    return "pushed"

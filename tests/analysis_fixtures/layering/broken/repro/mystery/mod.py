@@ -1,0 +1,5 @@
+"""A package with no rank in the layer map (L003)."""
+
+from ..trace import records
+
+FORMAT = records.TRACE_FORMAT

@@ -1,0 +1,6 @@
+"""Sideways import between peer layers (L001): the two protocols
+(speculation / dissemination) must stay independent."""
+
+from ..dissemination import push
+
+PUSH = push

@@ -1,0 +1,5 @@
+"""Upward import: the bottom layer must not know about core (L001)."""
+
+from ..core import engine
+
+ENGINE = engine

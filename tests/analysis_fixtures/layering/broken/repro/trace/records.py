@@ -1,0 +1,3 @@
+"""Bottom-layer module (import target for the unranked package)."""
+
+TRACE_FORMAT = "clf"

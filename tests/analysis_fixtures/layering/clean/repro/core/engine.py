@@ -1,0 +1,5 @@
+"""Higher layer importing a lower layer: allowed by the DAG."""
+
+from ..trace import records
+
+FORMAT = records.TRACE_FORMAT

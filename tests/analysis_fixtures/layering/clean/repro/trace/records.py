@@ -1,0 +1,3 @@
+"""Bottom layer: no intra-package imports."""
+
+TRACE_FORMAT = "clf"

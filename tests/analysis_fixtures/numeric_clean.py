@@ -1,0 +1,27 @@
+"""Fixture: guarded, clamped, integer-counted code the numeric checker accepts."""
+
+import math
+
+
+def guarded_ratios(requests, weights):
+    if not requests:
+        return 0.0, []
+    mean_size = sum(r.size for r in requests) / len(requests)
+    total = sum(weights)
+    normalised = [w / total for w in weights] if sum(weights) else []
+    safe = len(requests) / max(1, len(weights))
+    return mean_size, normalised, safe
+
+
+def clamped_closure(count, base, neg_log):
+    probability = min(1.0, count / base)
+    hit_prob = min(1.0, math.exp(-neg_log))
+    copied_probability = probability
+    return probability, hit_prob, copied_probability
+
+
+def exact_accounting(scale):
+    total_bytes = 0
+    bytes_sent = 0
+    window_bytes = 0.0  # repro-lint: disable=N003  fractional by design
+    return total_bytes, bytes_sent, window_bytes * scale

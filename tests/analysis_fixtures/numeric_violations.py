@@ -1,0 +1,21 @@
+"""Fixture: every numeric-safety rule (N001-N003) should fire here."""
+
+
+def ratios(requests, weights):
+    mean_size = sum(r.size for r in requests) / len(requests)  # N001
+    normalised = [w / sum(weights) for w in weights]  # N001
+    return mean_size, normalised
+
+
+def closure(count, base, neg_log):
+    import math
+
+    probability = count / base  # N002
+    hit_prob = math.exp(-neg_log)  # N002
+    return probability, hit_prob
+
+
+def accounting():
+    total_bytes = 0.0  # N003
+    bytes_sent = 0.0  # N003
+    return total_bytes, bytes_sent

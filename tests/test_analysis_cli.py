@@ -1,0 +1,164 @@
+"""The ``repro lint`` front-end: flags, exit codes, reports, baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import runner
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+REPO = Path(__file__).parent.parent
+
+
+def run(args, capsys):
+    code = runner.main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        code, out, _ = run(["src", "benchmarks", "examples"], capsys)
+        assert code == 0
+        assert "clean" in out
+
+    def test_each_checker_family_fails_its_fixture(self, capsys):
+        fixtures = {
+            "determinism_violations.py",
+            "numeric_violations.py",
+            "hygiene_violations.py",
+        }
+        for fixture in fixtures:
+            code, out, _ = run(
+                ["--no-baseline", str(FIXTURES / fixture)], capsys
+            )
+            assert code == 1, fixture
+        code, out, _ = run(
+            ["--no-baseline", str(FIXTURES / "layering" / "broken")], capsys
+        )
+        assert code == 1
+        assert "L00" in out
+
+    def test_missing_path_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run([str(tmp_path / "missing")], capsys)
+        assert code == 2
+        assert "error" in err
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code, _, err = run(["--select", "Z999", str(FIXTURES)], capsys)
+        assert code == 2
+        assert "Z999" in err
+
+    def test_unknown_checker_is_usage_error(self, capsys):
+        code, _, err = run(["--checker", "nope", str(FIXTURES)], capsys)
+        assert code == 2
+
+
+class TestFlags:
+    def test_list_rules(self, capsys):
+        code, out, _ = run(["--list-rules"], capsys)
+        assert code == 0
+        for rule_id in ("D001", "L001", "N001", "H001"):
+            assert rule_id in out
+
+    def test_select_narrows_to_one_rule(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--select",
+                "D001",
+                str(FIXTURES / "determinism_violations.py"),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "D001" in out
+        assert "D002" not in out
+
+    def test_disable_silences_a_rule(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--disable",
+                "N001,N002,N003",
+                str(FIXTURES / "numeric_violations.py"),
+            ],
+            capsys,
+        )
+        assert code == 0
+
+    def test_json_format_round_trips(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--format",
+                "json",
+                str(FIXTURES / "hygiene_violations.py"),
+            ],
+            capsys,
+        )
+        document = json.loads(out)
+        assert code == 1
+        assert document["exit_code"] == 1
+        assert document["summary"]["total"] == len(document["findings"])
+        rules = {f["rule"] for f in document["findings"]}
+        assert rules == {"H001", "H002", "H003"}
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass_then_stale(self, capsys, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        baseline = tmp_path / "baseline.json"
+
+        code, _, err = run(
+            ["--baseline", str(baseline), "--write-baseline", str(target)],
+            capsys,
+        )
+        assert code == 0
+        assert "wrote 1 finding" in err
+
+        code, out, _ = run(
+            ["--baseline", str(baseline), str(target)], capsys
+        )
+        assert code == 0
+        assert "suppressed by baseline" in out
+
+        target.write_text("def f(xs=None):\n    return xs\n")
+        code, out, _ = run(
+            ["--baseline", str(baseline), str(target)], capsys
+        )
+        assert code == 0
+        assert "stale baseline entry" in out
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_dispatches(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert repro_main(["lint", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_lint_subcommand_propagates_failure(self, capsys):
+        code = repro_main(
+            ["lint", "--no-baseline", str(FIXTURES / "numeric_violations.py")]
+        )
+        assert code == 1
+
+    def test_lint_appears_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["--help"])
+        assert "lint" in capsys.readouterr().out
+
+    def test_other_subcommands_still_parse(self, tmp_path, capsys):
+        path = tmp_path / "t.log"
+        assert (
+            repro_main(
+                ["generate", str(path), "--sessions", "50", "--days", "2",
+                 "--pages", "20", "--clients", "10"]
+            )
+            == 0
+        )

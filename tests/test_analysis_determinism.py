@@ -1,0 +1,68 @@
+"""Determinism checker: unseeded randomness and wall-clock leakage."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def lint_fixture(name, **kwargs):
+    result = run_lint(
+        [FIXTURES / name],
+        config=LintConfig(),
+        checker_names=["determinism"],
+        base_dir=FIXTURES,
+        **kwargs,
+    )
+    return result
+
+
+class TestViolations:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_fixture("determinism_violations.py").findings
+
+    def test_every_rule_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"D001", "D002", "D003", "D004"}
+
+    def test_stdlib_random_both_import_forms(self, findings):
+        d001_lines = [f.line for f in findings if f.rule_id == "D001"]
+        assert len(d001_lines) == 2  # `import random` and `from random import`
+
+    def test_legacy_np_random_calls(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "D002"]
+        assert len(messages) == 2
+        assert any("np.random.seed" in m for m in messages)
+        assert any("np.random.rand" in m for m in messages)
+
+    def test_unseeded_default_rng(self, findings):
+        assert sum(f.rule_id == "D003" for f in findings) == 1
+
+    def test_wall_clock_reads(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "D004"]
+        assert len(messages) == 2
+        assert any("time.time" in m for m in messages)
+        assert any("datetime.now" in m for m in messages)
+
+    def test_findings_carry_location_and_checker(self, findings):
+        for finding in findings:
+            assert finding.path == "determinism_violations.py"
+            assert finding.line > 0
+            assert finding.checker == "determinism"
+
+
+class TestCleanCode:
+    def test_seeded_generators_and_perf_counter_pass(self):
+        assert lint_fixture("determinism_clean.py").findings == []
+
+    def test_repo_simulation_sources_are_deterministic(self):
+        repo = Path(__file__).parent.parent
+        result = run_lint(
+            [repo / "src", repo / "benchmarks", repo / "examples"],
+            checker_names=["determinism"],
+            base_dir=repo,
+        )
+        assert result.findings == []

@@ -1,0 +1,247 @@
+"""Engine mechanics: discovery, suppressions, baseline, fingerprints."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    LintConfig,
+    Severity,
+    load_config,
+    run_lint,
+)
+from repro.analysis.baseline import BaselineError, default_baseline_path
+from repro.analysis.engine import discover_files, module_name_for
+from repro.analysis.lintconfig import LintConfigError
+from repro.analysis.reporters import render_json, render_text
+
+
+class TestDiscovery:
+    def test_directories_expand_recursively(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("")
+        (tmp_path / "b.py").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        found = discover_files([tmp_path])
+        assert [p.name for p in found] == ["b.py", "a.py"] or len(found) == 2
+
+    def test_pycache_and_out_dirs_are_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("")
+        (tmp_path / "out").mkdir()
+        (tmp_path / "out" / "gen.py").write_text("")
+        (tmp_path / "real.py").write_text("")
+        assert [p.name for p in discover_files([tmp_path])] == ["real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover_files([tmp_path / "nope"])
+
+
+class TestModuleNaming:
+    def test_package_module(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "x.py").write_text("")
+        assert (
+            module_name_for(pkg / "x.py", "repro") == "repro.core.x"
+        )
+
+    def test_init_keeps_explicit_suffix(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        assert module_name_for(pkg / "__init__.py", "repro") == "repro.__init__"
+
+    def test_outside_package_is_none(self, tmp_path):
+        (tmp_path / "bench.py").write_text("")
+        assert module_name_for(tmp_path / "bench.py", "repro") is None
+
+
+class TestSuppressions:
+    def run(self, tmp_path, code):
+        path = tmp_path / "mod.py"
+        path.write_text(code)
+        return run_lint([path], checker_names=["hygiene"], base_dir=tmp_path)
+
+    def test_line_suppression(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def f(xs=[]):  # repro-lint: disable=H001\n    return xs\n",
+        )
+        assert result.findings == []
+        assert result.suppression_directives == 1
+
+    def test_trailing_justification_does_not_leak(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def f(xs=[]):  # repro-lint: disable=H001  shared sentinel\n"
+            "    return xs\n",
+        )
+        assert result.findings == []
+
+    def test_other_rule_suppression_does_not_apply(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def f(xs=[]):  # repro-lint: disable=N001\n    return xs\n",
+        )
+        assert [f.rule_id for f in result.findings] == ["H001"]
+
+    def test_disable_all(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def f(xs=[], ys={}):  # repro-lint: disable=all\n    return xs\n",
+        )
+        assert result.findings == []
+
+    def test_file_wide_suppression(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "# repro-lint: disable-file=H001\n"
+            "def f(xs=[]):\n    return xs\n"
+            "def g(ys={}):\n    return ys\n",
+        )
+        assert result.findings == []
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_e001(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        result = run_lint([path], base_dir=tmp_path)
+        assert [f.rule_id for f in result.findings] == ["E001"]
+        assert result.exit_code == 1
+
+
+class TestBaseline:
+    def make_finding(self, line_text="x = 0.0", rule="N003"):
+        return Finding(
+            rule_id=rule,
+            path="src/mod.py",
+            line=3,
+            column=0,
+            message="msg",
+            severity=Severity.WARNING,
+            checker="numeric",
+            line_text=line_text,
+        )
+
+    def test_round_trip_and_split(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        old = self.make_finding()
+        Baseline.write(baseline_path, [old])
+        baseline = Baseline.load(baseline_path)
+        fresh = self.make_finding(line_text="y = 1.0")
+        new, baselined, stale = baseline.split([old, fresh])
+        assert new == [fresh]
+        assert baselined == [old]
+        assert stale == []
+
+    def test_stale_entries_surface(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.write(baseline_path, [self.make_finding()])
+        baseline = Baseline.load(baseline_path)
+        new, baselined, stale = baseline.split([])
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+
+    def test_fingerprint_survives_line_drift(self):
+        a = self.make_finding()
+        moved = Finding(
+            rule_id=a.rule_id,
+            path=a.path,
+            line=99,
+            column=4,
+            message="different msg",
+            severity=a.severity,
+            checker=a.checker,
+            line_text=a.line_text,
+        )
+        assert a.fingerprint == moved.fingerprint
+
+    def test_fingerprint_distinguishes_duplicate_lines(self, tmp_path):
+        path = tmp_path / "dup.py"
+        path.write_text("a_bytes = 0.0\nb = 1\na_bytes = 0.0\n")
+        result = run_lint([path], checker_names=["numeric"], base_dir=tmp_path)
+        prints = [f.fingerprint for f in result.findings]
+        assert len(prints) == 2 and len(set(prints)) == 2
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_default_path_sits_next_to_pyproject(self):
+        repo = Path(__file__).parent.parent
+        assert (
+            default_baseline_path(repo / "src" / "repro")
+            == repo / ".repro-lint-baseline.json"
+        )
+
+    def test_committed_baseline_is_empty(self):
+        repo = Path(__file__).parent.parent
+        baseline = Baseline.load(repo / ".repro-lint-baseline.json")
+        assert baseline.entries == {}
+
+
+class TestReporters:
+    @pytest.fixture()
+    def result(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(xs=[]):\n    return xs\n")
+        return run_lint([path], base_dir=tmp_path)
+
+    def test_text_report_lists_findings_and_summary(self, result):
+        text = render_text(result, [])
+        assert "mod.py:1:" in text
+        assert "H001" in text
+        assert "1 finding" in text
+
+    def test_json_report_round_trips(self, result):
+        document = json.loads(render_json(result, ["deadbeef"]))
+        assert document["version"] == 1
+        assert document["summary"]["total"] == 1
+        assert document["findings"][0]["rule"] == "H001"
+        assert document["stale_baseline"] == ["deadbeef"]
+        assert document["exit_code"] == 1
+
+
+class TestConfig:
+    def test_defaults_without_pyproject(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        config = load_config()
+        assert config.root_package == "repro"
+        assert config.rule_enabled("D001")
+
+    def test_pyproject_overrides(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'disable = ["H003"]\n'
+            "[tool.repro-lint.layers]\n"
+            "alpha = 1\nbeta = 2\n"
+        )
+        config = load_config(pyproject)
+        assert not config.rule_enabled("H003")
+        assert config.layer_ranks == {"alpha": 1, "beta": 2}
+
+    def test_malformed_table_raises(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\ndisable = 3\n")
+        with pytest.raises(LintConfigError):
+            load_config(pyproject)
+
+    def test_select_restricts_rules(self):
+        config = LintConfig(select=frozenset({"D001"}))
+        assert config.rule_enabled("D001")
+        assert not config.rule_enabled("H001")
+
+    def test_repo_pyproject_carries_layer_map(self):
+        repo = Path(__file__).parent.parent
+        config = load_config(repo / "pyproject.toml")
+        assert config.layer_ranks["trace"] < config.layer_ranks["cli"]

@@ -1,0 +1,138 @@
+"""Layering checker: the architectural DAG, cycles, unranked packages."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DEFAULT_LAYER_RANKS, LintConfig, run_lint
+from repro.analysis.checkers.layering import resolve_relative
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures" / "layering"
+REPO = Path(__file__).parent.parent
+
+
+def lint_tree(tree):
+    # The fixture trees use the real package name (`repro`) so the same
+    # default configuration the CLI applies also governs the fixtures.
+    return run_lint(
+        [FIXTURES / tree],
+        config=LintConfig(),
+        checker_names=["layering"],
+        base_dir=FIXTURES / tree,
+    )
+
+
+class TestResolveRelative:
+    def test_single_dot_sibling(self):
+        assert (
+            resolve_relative("fakepkg.core.engine", 1, "records")
+            == "fakepkg.core.records"
+        )
+
+    def test_double_dot_other_package(self):
+        assert (
+            resolve_relative("fakepkg.core.engine", 2, "trace")
+            == "fakepkg.trace"
+        )
+
+    def test_absolute_passthrough(self):
+        assert resolve_relative("fakepkg.core.engine", 0, "os.path") == "os.path"
+
+    def test_escaping_the_root_returns_none(self):
+        assert resolve_relative("fakepkg.core", 5, "x") is None
+
+
+class TestBrokenTree:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_tree("broken").findings
+
+    def test_upward_import_rejected(self, findings):
+        upward = [
+            f
+            for f in findings
+            if f.rule_id == "L001" and f.path.endswith("trace/bad.py")
+        ]
+        assert len(upward) == 1
+        assert "`trace` (rank 2) imports `core` (rank 6)" in upward[0].message
+        assert "upward" in upward[0].message
+
+    def test_sideways_peer_import_rejected(self, findings):
+        sideways = [
+            f
+            for f in findings
+            if f.rule_id == "L001" and f.path.endswith("speculation/peer.py")
+        ]
+        assert len(sideways) == 1
+        assert "sideways" in sideways[0].message
+
+    def test_cycle_detected(self, findings):
+        cycles = [f for f in findings if f.rule_id == "L002"]
+        assert len(cycles) == 1
+        assert "cycle_a" in cycles[0].message and "cycle_b" in cycles[0].message
+
+    def test_unranked_package_reported(self, findings):
+        unranked = [f for f in findings if f.rule_id == "L003"]
+        assert len(unranked) == 1
+        assert "`mystery`" in unranked[0].message
+
+    def test_nothing_else_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"L001", "L002", "L003"}
+
+
+class TestCleanTree:
+    def test_downward_imports_pass(self):
+        assert lint_tree("clean").findings == []
+
+
+class TestRepoDag:
+    """The acceptance property: the repo's own layering DAG holds."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_lint(
+            [REPO / "src"], checker_names=["layering"], base_dir=REPO
+        )
+
+    def test_paper_dag_holds(self, result):
+        """trace -> workload -> popularity -> {dissemination, speculation}
+        -> core -> cli, with no cycles and no upward imports."""
+        assert result.findings == []
+
+    def test_dag_covers_every_package(self):
+        src = REPO / "src" / "repro"
+        packages = {
+            child.name
+            for child in src.iterdir()
+            if child.is_dir() and (child / "__init__.py").is_file()
+        }
+        top_modules = {
+            child.stem
+            for child in src.glob("*.py")
+            if child.stem not in ("__init__", "__main__")
+        }
+        assert packages | top_modules <= set(DEFAULT_LAYER_RANKS)
+
+    def test_ranks_encode_the_paper_pipeline(self):
+        ranks = DEFAULT_LAYER_RANKS
+        assert ranks["trace"] < ranks["workload"] < ranks["popularity"]
+        assert ranks["popularity"] < ranks["speculation"] == ranks["dissemination"]
+        assert ranks["speculation"] < ranks["core"] < ranks["cli"]
+
+    def test_synthetic_violation_in_repo_layout_is_caught(self, tmp_path):
+        """Copy the real package layout shape and inject one upward import."""
+        pkg = tmp_path / "repro"
+        (pkg / "trace").mkdir(parents=True)
+        (pkg / "core").mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "trace" / "__init__.py").write_text("")
+        (pkg / "core" / "__init__.py").write_text("")
+        (pkg / "core" / "engine.py").write_text("VALUE = 1\n")
+        (pkg / "trace" / "records.py").write_text(
+            "from ..core import engine\n"
+        )
+        result = run_lint(
+            [tmp_path], checker_names=["layering"], base_dir=tmp_path
+        )
+        assert [f.rule_id for f in result.findings] == ["L001"]
+        assert result.exit_code == 1

@@ -1,0 +1,118 @@
+"""Numeric-safety checker: guarded division, clamps, integer counters."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def lint_fixture(name):
+    return run_lint(
+        [FIXTURES / name],
+        config=LintConfig(),
+        checker_names=["numeric"],
+        base_dir=FIXTURES,
+    )
+
+
+class TestViolations:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_fixture("numeric_violations.py").findings
+
+    def test_every_rule_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"N001", "N002", "N003"}
+
+    def test_unguarded_divisions(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "N001"]
+        assert len(messages) == 2
+        assert any("len(requests)" in m for m in messages)
+        assert any("sum(weights)" in m for m in messages)
+
+    def test_unclamped_probabilities(self, findings):
+        names = [f.message for f in findings if f.rule_id == "N002"]
+        assert len(names) == 2
+        assert any("`probability`" in m for m in names)
+        assert any("`hit_prob`" in m for m in names)
+
+    def test_float_byte_counters(self, findings):
+        flagged = [f for f in findings if f.rule_id == "N003"]
+        assert len(flagged) == 2  # suffix (_bytes) and prefix (bytes_) forms
+
+
+class TestCleanCode:
+    def test_guarded_and_clamped_code_passes(self):
+        assert lint_fixture("numeric_clean.py").findings == []
+
+    def test_inline_suppression_counts_as_directive(self):
+        result = lint_fixture("numeric_clean.py")
+        assert result.suppression_directives >= 1
+
+
+class TestGuardRecognition:
+    """Unit-level cases for the denominator-guard heuristic."""
+
+    def run_snippet(self, tmp_path, code):
+        path = tmp_path / "snippet.py"
+        path.write_text(code)
+        return run_lint(
+            [path], checker_names=["numeric"], base_dir=tmp_path
+        ).findings
+
+    def test_if_guard_is_recognised(self, tmp_path):
+        code = (
+            "def f(xs):\n"
+            "    if len(xs):\n"
+            "        return 1 / len(xs)\n"
+            "    return 0.0\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_truthiness_guard_on_argument_is_recognised(self, tmp_path):
+        code = (
+            "def f(xs):\n"
+            "    if not xs:\n"
+            "        return 0.0\n"
+            "    return 1 / len(xs)\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_ternary_guard_is_recognised(self, tmp_path):
+        code = "def f(xs):\n    return 1 / len(xs) if xs else 0.0\n"
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_max_guard_is_recognised(self, tmp_path):
+        code = "def f(xs):\n    return 1 / max(1, len(xs))\n"
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_unrelated_guard_does_not_count(self, tmp_path):
+        code = (
+            "def f(xs, ys):\n"
+            "    if ys:\n"
+            "        return 1 / len(xs)\n"
+            "    return 0.0\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["N001"]
+
+    def test_condition_itself_is_not_guarded(self, tmp_path):
+        code = (
+            "def f(xs):\n"
+            "    if 1 / len(xs) > 0.5:\n"
+            "        return True\n"
+            "    return False\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["N001"]
+
+
+class TestRepoNumerics:
+    def test_repo_sources_are_numerically_safe(self):
+        repo = Path(__file__).parent.parent
+        result = run_lint(
+            [repo / "src"], checker_names=["numeric"], base_dir=repo
+        )
+        assert result.findings == []

@@ -1,0 +1,64 @@
+"""Tier-1 self-check: the repository satisfies its own lint invariants.
+
+This is the regression gate the ISSUE asks for: any PR that introduces
+unseeded randomness, an upward import, an unguarded ratio or a
+swallowed exception fails here, in plain pytest, before review.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_config, run_lint
+from repro.analysis.checkers import registered_checkers
+
+REPO = Path(__file__).parent.parent
+LINTED_DIRS = [REPO / "src", REPO / "benchmarks", REPO / "examples"]
+
+
+class TestRepoIsClean:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_lint(
+            LINTED_DIRS,
+            config=load_config(REPO / "pyproject.toml"),
+            base_dir=REPO,
+        )
+
+    def test_no_findings_anywhere(self, result):
+        formatted = "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id} {f.message}"
+            for f in result.findings
+        )
+        assert result.findings == [], f"repo lint regressions:\n{formatted}"
+
+    def test_exit_code_is_zero(self, result):
+        assert result.exit_code == 0
+
+    def test_sources_actually_got_checked(self, result):
+        # Guards against the self-check silently passing because path
+        # resolution broke and nothing was linted.
+        assert result.files_checked > 100
+
+
+class TestFrameworkWiring:
+    def test_all_four_checker_families_registered(self):
+        assert set(registered_checkers()) == {
+            "determinism",
+            "layering",
+            "numeric",
+            "hygiene",
+        }
+
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "clean" in completed.stdout
