@@ -1,0 +1,80 @@
+"""R1 — live runtime throughput on the in-memory transport.
+
+Drives the full live system (origin + regional proxies + asyncio load
+generator, see ``repro.runtime``) through :func:`run_loadtest` at three
+admission-control levels and reports wall-clock replay throughput
+(requests/second) alongside the virtual-time request latency p50/p99.
+
+Speculation/dissemination *decisions* must not depend on how many
+requests are in flight — only latencies may shift — so the paper's
+ratios are asserted identical across concurrency levels.
+"""
+
+import time
+
+from _harness import emit, once
+
+from repro.core import format_table
+from repro.runtime import LiveSettings, run_loadtest, smoke_workload
+
+CONCURRENCY_LEVELS = (8, 32, 128)
+
+
+def _sweep():
+    rows = []
+    for concurrency in CONCURRENCY_LEVELS:
+        # perf_counter is duration-only (sanctioned by D004): the
+        # throughput figure is wall time spent replaying virtual time.
+        started = time.perf_counter()
+        report = run_loadtest(
+            smoke_workload(0),
+            LiveSettings(seed=0, concurrency=concurrency),
+        )
+        elapsed = time.perf_counter() - started
+        requests = (
+            report.speculative["counters"]["accesses"]
+            + report.baseline["counters"]["accesses"]
+        )
+        latency = report.speculative["histograms"]["request_latency"]
+        rows.append(
+            {
+                "concurrency": concurrency,
+                "req_per_sec": requests / elapsed if elapsed > 0 else 0.0,
+                "p50_ms": latency["p50"] * 1000.0,
+                "p99_ms": latency["p99"] * 1000.0,
+                "ratios": report.ratios,
+            }
+        )
+    return rows
+
+
+def test_r1_runtime_throughput(benchmark):
+    rows = once(benchmark, _sweep)
+
+    reference = rows[0]["ratios"]
+    for row in rows[1:]:
+        assert row["ratios"].bandwidth_ratio == reference.bandwidth_ratio
+        assert row["ratios"].server_load_ratio == reference.server_load_ratio
+    for row in rows:
+        assert row["req_per_sec"] > 0
+        assert row["p99_ms"] >= row["p50_ms"]
+
+    emit(
+        "r1",
+        format_table(
+            ["concurrency", "req/s (wall)", "p50 ms (virtual)", "p99 ms (virtual)"],
+            [
+                (
+                    row["concurrency"],
+                    f"{row['req_per_sec']:,.0f}",
+                    f"{row['p50_ms']:.2f}",
+                    f"{row['p99_ms']:.2f}",
+                )
+                for row in rows
+            ],
+            title=(
+                "R1: live runtime throughput (smoke workload, "
+                f"ratios {reference.format()})"
+            ),
+        ),
+    )

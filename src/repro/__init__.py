@@ -22,9 +22,11 @@ from .errors import (
     DependencyModelError,
     PolicyError,
     ReproError,
+    RuntimeProtocolError,
     SimulationError,
     TopologyError,
     TraceFormatError,
+    TransportError,
 )
 
 __version__ = "1.0.0"
@@ -39,6 +41,8 @@ __all__ = [
     "AllocationError",
     "DependencyModelError",
     "SimulationError",
+    "RuntimeProtocolError",
+    "TransportError",
     "PolicyError",
     "__version__",
 ]

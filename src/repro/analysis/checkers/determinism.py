@@ -14,9 +14,11 @@ machine-checks that convention:
 * ``D003`` — ``np.random.default_rng()`` *without* a seed argument
   draws OS entropy; a seed (or ``SeedSequence``) must be passed.
 * ``D004`` — wall-clock reads (``time.time()``, ``datetime.now()``,
-  ...) leak real time into simulated time.  ``time.perf_counter`` and
-  ``time.monotonic`` stay legal: they measure the *measurement*, not
-  the simulation.
+  ...) leak real time into simulated time.  ``time.perf_counter``
+  stays legal everywhere (it measures the *measurement*, not the
+  simulation); ``time.monotonic`` is permitted only in the modules
+  named by ``LintConfig.monotonic_modules`` — the real-socket
+  transport, where wall durations are the thing being served.
 """
 
 from __future__ import annotations
@@ -38,6 +40,15 @@ _WALL_CLOCK = frozenset(
         ("datetime", "utcnow"),
         ("datetime", "today"),
         ("date", "today"),
+    }
+)
+
+#: Monotonic reads: wall-clock durations, allowed only in the modules
+#: the config names (the real-I/O transport).
+_MONOTONIC = frozenset(
+    {
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
     }
 )
 
@@ -176,3 +187,13 @@ class DeterminismChecker(Checker):
                 f"{'.'.join(parts)}() reads the wall clock; simulation "
                 "time must come from the trace or the config",
             )
+        elif len(parts) >= 2 and tuple(parts[-2:]) in _MONOTONIC:
+            module = self.ctx.module if self.ctx is not None else None
+            if module not in self.config.monotonic_modules:
+                self.report(
+                    "D004",
+                    node,
+                    f"{'.'.join(parts)}() measures wall durations; only "
+                    "the real-I/O transport modules "
+                    f"({', '.join(self.config.monotonic_modules)}) may",
+                )

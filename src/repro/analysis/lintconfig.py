@@ -36,7 +36,8 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "dissemination": 5,
     "analysis": 6,
     "core": 6,
-    "cli": 7,
+    "runtime": 7,
+    "cli": 8,
 }
 
 #: ``np.random`` attributes that are legitimate under seeded use.
@@ -92,6 +93,9 @@ class LintConfig:
     byte_counter_prefixes: tuple[str, ...] = ("bytes_",)
     #: Name suffixes treated as probabilities by the numeric checker.
     probability_suffixes: tuple[str, ...] = ("probability", "_prob", "p_star")
+    #: Modules where ``time.monotonic`` is permitted (D004).  Real-I/O
+    #: transport code may measure wall durations; simulation code may not.
+    monotonic_modules: tuple[str, ...] = ("repro.runtime.transport",)
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Apply ``select``/``disable`` filtering to one rule id."""
@@ -163,4 +167,13 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
                 "[tool.repro-lint.layers] must map package names to integer ranks"
             )
         changes["layer_ranks"] = dict(layers)
+    if "monotonic-modules" in table:
+        modules = table["monotonic-modules"]
+        if not isinstance(modules, list) or not all(
+            isinstance(module, str) for module in modules
+        ):
+            raise LintConfigError(
+                "[tool.repro-lint] monotonic-modules must be a list of strings"
+            )
+        changes["monotonic_modules"] = tuple(modules)
     return config.with_updates(**changes) if changes else config

@@ -6,7 +6,7 @@ from pathlib import Path
 
 from ..config import BASELINE
 from ..core import DisseminationPlanner, Experiment, format_table
-from ..errors import ReproError
+from ..errors import ReproError, RuntimeProtocolError, TransportError
 from ..popularity import (
     PopularityProfile,
     analyze_blocks,
@@ -333,3 +333,168 @@ def cmd_plan(args) -> None:
             ),
         )
     )
+
+
+def _live_summary(report) -> list[str]:
+    """Human-readable lines for one live loadtest report."""
+    lines = [f"live ratios : {report.ratios.format()}"]
+    if report.batch_ratios is not None:
+        lines.append(f"batch check : {report.batch_ratios.format()}")
+        lines.append(f"divergence  : {report.max_divergence():.2%} (max of 3 ratios)")
+    latency = report.speculative.get("histograms", {}).get("request_latency", {})
+    if latency.get("count"):
+        lines.append(
+            "latency     : "
+            f"p50 {latency['p50'] * 1000:.2f} ms  "
+            f"p99 {latency['p99'] * 1000:.2f} ms  "
+            f"({latency['count']:,} requests)"
+        )
+    counters = report.speculative.get("counters", {})
+    lines.append(
+        "speculative : "
+        f"{counters.get('accesses', 0):,.0f} accesses, "
+        f"{counters.get('cache_hits', 0):,.0f} cache hits, "
+        f"{counters.get('proxy_requests', 0):,.0f} proxy-served, "
+        f"{counters.get('origin_requests', 0):,.0f} origin-served"
+    )
+    lines.append(f"disseminated: {report.disseminated_documents:,} documents")
+    return lines
+
+
+def cmd_loadtest(args) -> None:
+    """``repro loadtest`` — drive the live runtime on the in-memory net."""
+    import json as _json
+
+    from ..runtime import LiveSettings, run_loadtest, run_smoke, smoke_workload
+    from ..workload import preset
+
+    if args.smoke:
+        # The CI gate: deterministic live run, self-verified against the
+        # batch combined simulator; raises RuntimeProtocolError (exit 3)
+        # on divergence beyond the tolerance.
+        report = run_smoke(args.seed, tolerance=args.tolerance)
+    else:
+        try:
+            workload = (
+                smoke_workload(args.seed)
+                if args.preset == "smoke"
+                else preset(args.preset, args.seed)
+            )
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        settings = LiveSettings(
+            budget_bytes=args.budget_mb * 1e6,
+            concurrency=args.concurrency,
+            request_timeout=args.timeout,
+            learn_online=args.learn_online,
+            seed=args.seed,
+        )
+        try:
+            report = run_loadtest(
+                workload, settings, verify_batch=args.verify_batch
+            )
+        except (RuntimeProtocolError, TransportError):
+            raise  # mapped to dedicated exit codes by main()
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        if args.verify_batch:
+            report.require_convergence(args.tolerance)
+
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "speculative": report.speculative,
+                    "baseline": report.baseline,
+                    "ratios": {
+                        "bandwidth": report.ratios.bandwidth_ratio,
+                        "server_load": report.ratios.server_load_ratio,
+                        "service_time": report.ratios.service_time_ratio,
+                        "miss_rate": report.ratios.miss_rate_ratio,
+                    },
+                },
+                sort_keys=True,
+            )
+        )
+        return
+    for line in _live_summary(report):
+        print(line)
+
+
+def cmd_serve(args) -> None:
+    """``repro serve`` — a real TCP origin server on a synthetic catalog."""
+    import asyncio
+
+    from ..runtime import (
+        OnlineDependencyEstimator,
+        OriginServer,
+        TcpServer,
+        tcp_call,
+    )
+    from ..runtime import smoke_workload
+    from ..runtime.messages import make_request
+    from ..workload import preset
+
+    try:
+        workload = (
+            smoke_workload(args.seed)
+            if args.preset == "smoke"
+            else preset(args.preset, args.seed)
+        )
+        trace = SyntheticTraceGenerator(workload).generate().remote_only()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    if len(trace) == 0:
+        raise CommandError("workload produced no remote requests to serve")
+
+    estimator = OnlineDependencyEstimator(
+        window=BASELINE.stride_timeout,
+        stride_timeout=BASELINE.stride_timeout,
+        learn=True,
+    )
+    estimator.warm(trace)
+    policy = ThresholdPolicy(threshold=args.threshold)
+    origin = OriginServer(
+        trace.documents, estimator=estimator, policy=policy, config=BASELINE
+    )
+
+    async def _serve() -> None:
+        server = TcpServer(origin.handle, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving {len(trace.documents):,} documents on "
+            f"{args.host}:{server.port} (threshold {args.threshold})",
+            flush=True,
+        )
+        try:
+            if args.smoke:
+                for index, request in enumerate(trace.requests[:5]):
+                    message = make_request(
+                        "smoke-client",
+                        f"smoke-client#{index}",
+                        request.doc_id,
+                        request.timestamp,
+                    )
+                    reply = await tcp_call(
+                        args.host, server.port, message, timeout=10.0
+                    )
+                    riders = len(reply.payload.get("speculated", ()))
+                    print(
+                        f"  {request.doc_id}: {reply.payload['size']:,} bytes "
+                        f"+ {riders} speculated"
+                    )
+                print(f"smoke OK: {server.requests_served} requests served")
+                return
+            if args.max_requests is not None:
+                while server.requests_served < args.max_requests:
+                    await asyncio.sleep(0.05)
+                print(f"served {server.requests_served} requests; exiting")
+                return
+            await asyncio.Event().wait()  # forever; Ctrl-C to stop
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")

@@ -7,6 +7,7 @@ import sys
 from collections.abc import Sequence
 
 from .. import __version__
+from ..errors import RuntimeProtocolError, TransportError
 from . import commands
 
 
@@ -174,6 +175,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.set_defaults(handler=commands.cmd_plan)
 
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="run the live runtime (origin + proxies + load generator) "
+        "on the deterministic in-memory transport",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--preset",
+        default="small",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    loadtest.add_argument(
+        "--budget-mb",
+        type=float,
+        default=2.0,
+        help="proxy dissemination budget in MB",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=32, help="in-flight request cap"
+    )
+    loadtest.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in (virtual) seconds",
+    )
+    loadtest.add_argument(
+        "--learn-online",
+        action="store_true",
+        help="keep estimating P from live requests (breaks batch parity)",
+    )
+    loadtest.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="also replay through core.combined and compare ratios",
+    )
+    loadtest.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max live-vs-batch ratio divergence before failing",
+    )
+    loadtest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic CI self-test: smoke workload + batch "
+        "verification (exit 3 on divergence)",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    loadtest.set_defaults(handler=commands.cmd_loadtest)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a synthetic catalog over real TCP with in-band "
+        "speculation (length-prefixed JSON frames)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--preset",
+        default="small",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=0.25, help="speculation T_p"
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit after serving this many requests",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="start, answer a few requests from an in-process client, exit",
+    )
+    serve.set_defaults(handler=commands.cmd_serve)
+
     subparsers.add_parser(
         "lint",
         help="static analysis enforcing simulation invariants "
@@ -188,8 +273,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.
 
     Returns:
-        Process exit code (0 on success, 1 on lint findings, 2 on a
-        usage/data error).
+        Process exit code: 0 on success, 1 on lint findings, 2 on a
+        usage/data error, 3 on a runtime protocol violation (including
+        live-vs-batch divergence), 4 on a transport failure.
     """
     # `repro lint` owns its whole argument tail (it has flags like
     # --format that must not collide with the main parser), so dispatch
@@ -206,6 +292,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except commands.CommandError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except RuntimeProtocolError as error:
+        print(f"protocol error: {error}", file=sys.stderr)
+        return 3
+    except TransportError as error:
+        print(f"transport error: {error}", file=sys.stderr)
+        return 4
     return 0
 
 

@@ -43,5 +43,27 @@ class SimulationError(ReproError):
     """A trace-driven simulation was configured or driven incorrectly."""
 
 
+class RuntimeProtocolError(SimulationError):
+    """A live runtime peer violated the serving protocol.
+
+    Raised when a node receives a malformed or out-of-contract message
+    (unknown kind, missing fields, oversized frame) or when the live
+    system's behaviour diverges from its batch reference.  Subclasses
+    :class:`SimulationError` so existing broad handlers still catch it,
+    while the CLI maps it to a distinct exit code.
+    """
+
+
+class TransportError(SimulationError):
+    """A message could not be delivered or timed out in flight.
+
+    Covers both the simulated in-memory network (dropped frames, full
+    inboxes, per-request timeouts) and the real TCP transport
+    (connection failures, truncated frames).  Distinct from
+    :class:`RuntimeProtocolError`: the peer behaved correctly but the
+    network did not.
+    """
+
+
 class PolicyError(ReproError):
     """A speculation policy received invalid parameters."""

@@ -1,0 +1,58 @@
+"""``repro.runtime`` — the asyncio online serving layer.
+
+Runs both of the paper's protocols **live** instead of in batch replay:
+an origin server speculates in-band from an online-estimated dependency
+model, proxy nodes serve disseminated documents, a daemon replans
+dissemination from observed popularity, and a load generator drives
+seeded workload sessions with admission control.  Two transports share
+one message protocol — a deterministic in-memory network under a
+virtual clock (tests, benchmarks, ``repro loadtest``) and real TCP
+(``repro serve``).
+
+Entry points: :func:`~repro.runtime.service.run_loadtest` /
+:func:`~repro.runtime.service.run_smoke`, or the ``repro serve`` and
+``repro loadtest`` CLI commands.
+"""
+
+from .clock import VirtualClock, run_virtual
+from .daemon import DisseminationDaemon
+from .estimator import OnlineDependencyEstimator
+from .loadgen import ClientRoute, LoadConfig, LoadGenerator
+from .messages import Message
+from .metrics import Counter, Histogram, MetricsRegistry, live_ratios
+from .origin import OriginServer
+from .proxy import ProxyNode
+from .service import (
+    LiveReport,
+    LiveSettings,
+    run_loadtest,
+    run_smoke,
+    smoke_workload,
+)
+from .transport import Endpoint, InMemoryNetwork, TcpServer, tcp_call
+
+__all__ = [
+    "ClientRoute",
+    "Counter",
+    "DisseminationDaemon",
+    "Endpoint",
+    "Histogram",
+    "InMemoryNetwork",
+    "LiveReport",
+    "LiveSettings",
+    "LoadConfig",
+    "LoadGenerator",
+    "Message",
+    "MetricsRegistry",
+    "OnlineDependencyEstimator",
+    "OriginServer",
+    "ProxyNode",
+    "TcpServer",
+    "VirtualClock",
+    "live_ratios",
+    "run_loadtest",
+    "run_smoke",
+    "run_virtual",
+    "smoke_workload",
+    "tcp_call",
+]

@@ -1,0 +1,116 @@
+"""Deterministic virtual time for asyncio event loops.
+
+The runtime's in-memory transport must be **replayable**: the same seed
+and workload have to produce the same metrics snapshot, and a simulated
+minute must cost no wall-clock time.  Both follow from one substitution:
+instead of letting the selector block until the next timer is due, the
+loop's selector is patched to *jump* virtual time forward by exactly the
+timeout it was asked to block for, and ``loop.time()`` is patched to
+read that virtual clock.  Every ``asyncio.sleep``, ``call_later`` and
+``wait_for`` then runs against simulated time, in the deterministic
+order of the loop's timer heap (ties broken by its monotone sequence
+counter), and a 90-day workload replays in milliseconds.
+
+Real-I/O transports (the TCP transport) must **not** run under a
+virtual clock — a patched selector never waits for sockets; use a
+normal ``asyncio.run`` for those.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from collections.abc import Coroutine
+from typing import Any, TypeVar
+
+from ..errors import RuntimeProtocolError, SimulationError
+
+T = TypeVar("T")
+
+
+class VirtualClock:
+    """A manually-advanced clock that can drive a selector event loop.
+
+    Args:
+        start: Initial virtual time in seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def time(self) -> float:
+        """Current virtual time in seconds (monotone, starts at ``start``)."""
+        return self._now
+
+    def install(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Patch a selector event loop to run on virtual time.
+
+        The loop's ``time()`` is replaced by this clock and its
+        selector's ``select(timeout)`` is replaced by a non-blocking
+        poll that advances the clock by ``timeout`` — so timers fire in
+        order at zero wall cost.
+
+        Raises:
+            SimulationError: If the loop is not selector-based.
+            RuntimeProtocolError: (later, while running) if every task
+                blocks with no timer scheduled — a virtual-time
+                deadlock, surfaced instead of spinning forever.
+        """
+        selector: selectors.BaseSelector | None = getattr(loop, "_selector", None)
+        if selector is None:
+            raise SimulationError(
+                "virtual clock needs a selector event loop "
+                f"(got {type(loop).__name__})"
+            )
+        original_select = selector.select
+
+        def virtual_select(
+            timeout: float | None = None,
+        ) -> list[tuple[selectors.SelectorKey, int]]:
+            if timeout is None:
+                # No ready callbacks and no timers: nothing can ever
+                # advance the clock again.
+                raise RuntimeProtocolError(
+                    "virtual-clock deadlock: all tasks are blocked and "
+                    "no timer is scheduled"
+                )
+            if timeout > 0:
+                self._now += timeout
+            return original_select(0)
+
+        selector.select = virtual_select  # type: ignore[method-assign]
+        loop.time = self.time  # type: ignore[method-assign]
+
+
+def run_virtual(
+    coro: Coroutine[Any, Any, T], *, start: float = 0.0
+) -> T:
+    """Run a coroutine to completion on a fresh virtual-clock loop.
+
+    The drop-in replacement for ``asyncio.run`` used by tests, the
+    benchmarks and ``repro loadtest``: all sleeps and timeouts resolve
+    against virtual time, so runs are fast and bit-reproducible.
+
+    Args:
+        coro: The coroutine to drive.
+        start: Initial virtual time.
+
+    Returns:
+        Whatever the coroutine returns.
+    """
+    clock = VirtualClock(start)
+    loop = asyncio.new_event_loop()
+    try:
+        clock.install(loop)
+        return loop.run_until_complete(coro)
+    finally:
+        try:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            loop.close()

@@ -1,0 +1,119 @@
+"""The dissemination daemon: periodic replan + push proxy-ward.
+
+The paper's dissemination protocol is *server-initiated*: the home
+server decides, from its own logs, what to push toward its clientele
+(section 2.2).  This daemon closes that loop live — every ``interval``
+(virtual) seconds it rebuilds a
+:class:`~repro.core.planner.DisseminationPlan` from the origin's
+recently-served requests and pushes the chosen documents to every
+proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..core.planner import DisseminationPlanner
+from ..errors import AllocationError, TransportError
+from .messages import Message
+from .metrics import MetricsRegistry
+from .origin import OriginServer
+from .transport import Endpoint
+
+
+class DisseminationDaemon:
+    """Periodically replans dissemination from observed popularity.
+
+    Args:
+        origin: The origin whose request history drives the plan.
+        endpoint: Endpoint to push from (typically the origin's own).
+        proxies: Proxy endpoint names to push to.
+        budget_bytes: Proxy storage budget per replan.
+        interval: Seconds between replans (the paper's UpdateCycle).
+        push_timeout: Per-push ack timeout.
+        metrics: Shared metrics registry.
+    """
+
+    def __init__(
+        self,
+        origin: OriginServer,
+        endpoint: Endpoint,
+        proxies: list[str],
+        *,
+        budget_bytes: float,
+        interval: float = 3600.0,
+        push_timeout: float | None = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self._origin = origin
+        self._endpoint = endpoint
+        self._proxies = list(proxies)
+        self._budget_bytes = budget_bytes
+        self._interval = interval
+        self._push_timeout = push_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.replans = 0
+
+    def compute_plan_documents(self) -> tuple[str, ...]:
+        """One replan from the origin's recent history.
+
+        Returns:
+            The document ids the plan disseminates (empty when there is
+            no usable history yet).
+        """
+        trace = self._origin.recent_trace()
+        if len(trace) == 0:
+            return ()
+        planner = DisseminationPlanner(remote_only=True)
+        planner.add_server(self._origin.name, trace)
+        try:
+            plan = planner.plan(self._budget_bytes)
+        except AllocationError:
+            return ()  # degenerate history (e.g. zero remote bytes)
+        return plan.documents.get(self._origin.name, ())
+
+    async def push_once(self) -> tuple[str, ...]:
+        """Replan and push the resulting holdings to every proxy.
+
+        Proxies that fail to ack within the timeout are skipped (they
+        keep their previous holdings); the push counts as degraded, not
+        fatal.
+        """
+        documents = self.compute_plan_documents()
+        if not documents:
+            return ()
+        catalog = self._origin.recent_trace().documents
+        entries = [
+            [doc_id, catalog[doc_id].size]
+            for doc_id in documents
+            if doc_id in catalog
+        ]
+        payload_bytes = 0
+        for _, size in entries:
+            payload_bytes += size
+        for proxy in self._proxies:
+            message = Message(
+                kind="push",
+                sender=self._endpoint.name,
+                request_id=self._endpoint.next_request_id(),
+                payload={"documents": entries, "mode": "replace"},
+                body_bytes=payload_bytes,
+            )
+            try:
+                await self._endpoint.call(
+                    proxy, message, timeout=self._push_timeout
+                )
+            except TransportError:
+                self.metrics.counter("daemon.failed_pushes").inc()
+                continue
+            self.metrics.counter("daemon.pushes").inc()
+            self.metrics.counter("daemon.pushed_bytes").inc(payload_bytes)
+        self.replans += 1
+        self.metrics.counter("daemon.replans").inc()
+        return documents
+
+    async def run(self) -> None:
+        """Replan forever on the UpdateCycle; cancel the task to stop."""
+        while True:
+            await asyncio.sleep(self._interval)
+            await self.push_once()

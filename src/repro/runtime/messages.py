@@ -1,0 +1,207 @@
+"""Wire protocol shared by every runtime transport.
+
+One message shape serves both transports: the in-memory network passes
+:class:`Message` objects by reference, the TCP transport serialises them
+as JSON behind a 4-byte big-endian length prefix.  Keeping the schema
+tiny (a kind tag, a sender, a correlation id, a payload dict) means the
+protocol layer — origin, proxies, load generator — never knows which
+transport carried a message.
+
+Message kinds
+-------------
+
+``request``      client → proxy/origin: fetch one document.
+``response``     the demand document plus any speculated rider documents.
+``push``         dissemination daemon → proxy: replace/extend holdings.
+``ack``          proxy → daemon: push applied.
+``stats``        ops → origin: report counters.
+``stats-reply``  origin → ops: the counter snapshot.
+``error``        any node → requester: the request failed; the payload's
+                 ``error_kind`` says whether the *protocol* was violated
+                 or the *transport* failed, so callers can re-raise the
+                 right exception class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RuntimeProtocolError
+
+#: Hard cap on one frame's encoded size (TCP transport).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+#: Length-prefix width in bytes (big-endian unsigned).
+HEADER_BYTES = 4
+
+#: Every message kind the protocol defines.
+KINDS = frozenset(
+    {"request", "response", "push", "ack", "stats", "stats-reply", "error"}
+)
+#: Kinds that answer an earlier message and carry its ``request_id``.
+REPLY_KINDS = frozenset({"response", "ack", "stats-reply", "error"})
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes:
+        kind: One of :data:`KINDS`.
+        sender: Endpoint name of the node that produced the message.
+        request_id: Correlation id; replies echo their request's id.
+        payload: Kind-specific fields (JSON-serialisable).
+        body_bytes: Nominal body size used by the simulated network's
+            latency model.  The TCP transport measures actual encoded
+            bytes instead; for in-memory delivery this carries the
+            *document* bytes a response represents.
+    """
+
+    kind: str
+    sender: str
+    request_id: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    body_bytes: int = 0
+
+    def encode(self) -> bytes:
+        """Serialise to canonical JSON bytes (sorted keys → stable)."""
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "sender": self.sender,
+                "request_id": self.request_id,
+                "payload": self.payload,
+                "body_bytes": self.body_bytes,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Message":
+        """Parse JSON bytes back into a message.
+
+        Raises:
+            RuntimeProtocolError: On malformed JSON, a non-object body,
+                or an unknown message kind.
+        """
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise RuntimeProtocolError(f"undecodable frame: {err}") from err
+        if not isinstance(data, dict):
+            raise RuntimeProtocolError("frame must encode a JSON object")
+        kind = data.get("kind")
+        if kind not in KINDS:
+            raise RuntimeProtocolError(f"unknown message kind {kind!r}")
+        payload = data.get("payload", {})
+        if not isinstance(payload, dict):
+            raise RuntimeProtocolError("message payload must be an object")
+        return cls(
+            kind=kind,
+            sender=str(data.get("sender", "")),
+            request_id=str(data.get("request_id", "")),
+            payload=payload,
+            body_bytes=int(data.get("body_bytes", 0)),
+        )
+
+
+def frame(message: Message) -> bytes:
+    """Length-prefix a message for stream transports.
+
+    Raises:
+        RuntimeProtocolError: If the encoded body exceeds
+            :data:`MAX_FRAME_BYTES`.
+    """
+    body = message.encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise RuntimeProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(body).to_bytes(HEADER_BYTES, "big") + body
+
+
+def make_request(
+    sender: str,
+    request_id: str,
+    doc_id: str,
+    timestamp: float,
+    *,
+    digest: tuple[str, ...] = (),
+) -> Message:
+    """A client's demand request, optionally piggybacking its cache digest."""
+    return Message(
+        kind="request",
+        sender=sender,
+        request_id=request_id,
+        payload={
+            "doc_id": doc_id,
+            "client": sender,
+            "timestamp": timestamp,
+            "digest": list(digest),
+        },
+        body_bytes=64 + 8 * len(digest),
+    )
+
+
+def make_response(
+    sender: str,
+    request_id: str,
+    doc_id: str,
+    size: int,
+    served_by: str,
+    *,
+    speculated: list[tuple[str, int]] | None = None,
+) -> Message:
+    """The demand document plus speculated (doc_id, size) riders."""
+    riders = speculated or []
+    rider_bytes = 0
+    for _, rider_size in riders:
+        rider_bytes += rider_size
+    return Message(
+        kind="response",
+        sender=sender,
+        request_id=request_id,
+        payload={
+            "doc_id": doc_id,
+            "size": size,
+            "served_by": served_by,
+            "speculated": [list(pair) for pair in riders],
+        },
+        body_bytes=size + rider_bytes,
+    )
+
+
+def make_error(
+    sender: str, request_id: str, error_kind: str, reason: str
+) -> Message:
+    """A failure reply; ``error_kind`` is ``"protocol"`` or ``"transport"``."""
+    return Message(
+        kind="error",
+        sender=sender,
+        request_id=request_id,
+        payload={"error_kind": error_kind, "reason": reason},
+        body_bytes=64,
+    )
+
+
+def raise_if_error(message: Message) -> Message:
+    """Re-raise an ``error`` reply as the exception class it encodes.
+
+    Returns the message unchanged when it is not an error, so callers
+    can write ``reply = raise_if_error(await ...)``.
+
+    Raises:
+        TransportError: When the peer reported a transport failure.
+        RuntimeProtocolError: When the peer reported a protocol
+            violation.
+    """
+    if message.kind != "error":
+        return message
+    reason = str(message.payload.get("reason", "unspecified error"))
+    if message.payload.get("error_kind") == "transport":
+        from ..errors import TransportError
+
+        raise TransportError(f"{message.sender}: {reason}")
+    raise RuntimeProtocolError(f"{message.sender}: {reason}")

@@ -1,0 +1,137 @@
+"""The live origin (home) server.
+
+Answers ``request`` messages with the demand document plus any
+speculated riders the policy selects — the paper's *speculative
+service*: the server, not the client, decides what else to send
+(section 3.1).  Each served request also feeds the online dependency
+estimator and a bounded history buffer the dissemination daemon
+replans from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..config import BASELINE, BaselineConfig
+from ..speculation.policies import SpeculationPolicy
+from ..trace.records import Document, Request, Trace
+from .estimator import OnlineDependencyEstimator
+from .messages import Message, make_error, make_response
+from .metrics import MetricsRegistry
+
+
+class OriginServer:
+    """Protocol logic of the origin; transport-agnostic.
+
+    Wire ``handle`` into either transport: an in-memory
+    :class:`~repro.runtime.transport.Endpoint` or a
+    :class:`~repro.runtime.transport.TcpServer`.
+
+    Args:
+        catalog: The servable documents.
+        estimator: Online dependency estimator (already warmed, or
+            learning in-band).
+        policy: Speculation policy; None serves demand-only (the
+            baseline arm).
+        config: Cost model (``max_size`` caps speculated documents).
+        metrics: Shared metrics registry.
+        name: Endpoint name used in replies.
+        history_limit: Served requests kept for the dissemination
+            daemon's replans.
+    """
+
+    def __init__(
+        self,
+        catalog: dict[str, Document],
+        *,
+        estimator: OnlineDependencyEstimator,
+        policy: SpeculationPolicy | None = None,
+        config: BaselineConfig = BASELINE,
+        metrics: MetricsRegistry | None = None,
+        name: str = "home-server",
+        history_limit: int = 200_000,
+    ):
+        self._catalog = catalog
+        self._estimator = estimator
+        self._policy = policy
+        self._config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.name = name
+        self._history: deque[Request] = deque(maxlen=history_limit)
+
+    async def handle(self, message: Message) -> Message | None:
+        """Answer one inbound message; never raises to the transport."""
+        if message.kind == "request":
+            return self._respond(message)
+        if message.kind == "stats":
+            return Message(
+                kind="stats-reply",
+                sender=self.name,
+                request_id=message.request_id,
+                payload=self.metrics.snapshot(),
+                body_bytes=256,
+            )
+        return make_error(
+            self.name,
+            message.request_id,
+            "protocol",
+            f"origin cannot handle kind {message.kind!r}",
+        )
+
+    def _respond(self, message: Message) -> Message:
+        payload = message.payload
+        doc_id = payload.get("doc_id")
+        client = payload.get("client") or message.sender
+        timestamp = payload.get("timestamp")
+        if not isinstance(doc_id, str) or not isinstance(timestamp, (int, float)):
+            return make_error(
+                self.name, message.request_id, "protocol",
+                "request needs doc_id and a numeric timestamp",
+            )
+        document = self._catalog.get(doc_id)
+        if document is None:
+            return make_error(
+                self.name, message.request_id, "protocol",
+                f"unknown document {doc_id!r}",
+            )
+
+        self.metrics.counter("origin.requests").inc()
+        self.metrics.counter("origin.bytes_served").inc(document.size)
+        self._history.append(
+            Request(
+                timestamp=float(timestamp),
+                client=str(client),
+                doc_id=doc_id,
+                size=document.size,
+            )
+        )
+        self._estimator.observe(str(client), doc_id, float(timestamp))
+
+        riders: list[tuple[str, int]] = []
+        if self._policy is not None:
+            cached = set(payload.get("digest", ()))
+            cached.add(doc_id)  # the demand document rides anyway
+            for candidate in self._policy.select(
+                doc_id, self._estimator.model, self._catalog
+            ):
+                rider = self._catalog.get(candidate.doc_id)
+                if rider is None or rider.size > self._config.max_size:
+                    continue
+                if candidate.doc_id in cached:
+                    continue
+                riders.append((rider.doc_id, rider.size))
+                self.metrics.counter("origin.speculated_documents").inc()
+                self.metrics.counter("origin.speculated_bytes").inc(rider.size)
+
+        return make_response(
+            self.name,
+            message.request_id,
+            doc_id,
+            document.size,
+            self.name,
+            speculated=riders,
+        )
+
+    def recent_trace(self) -> Trace:
+        """The buffered served requests as a trace (daemon replan input)."""
+        return Trace(list(self._history), self._catalog.values(), sort=True)

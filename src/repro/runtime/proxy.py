@@ -1,0 +1,151 @@
+"""Proxy nodes: serve disseminated documents, forward the rest.
+
+A proxy sits at an internal node of the routing tree.  Requests from
+clients below it are answered locally when the document is among its
+(disseminated) holdings — the bytes then travel only the hops below the
+proxy and the origin never sees the request (section 2's
+load-balancing effect).  Everything else is forwarded upstream, and the
+origin's reply (including speculated riders) is relayed back unchanged.
+
+Holdings change at runtime via ``push`` messages from the dissemination
+daemon.
+"""
+
+from __future__ import annotations
+
+from ..errors import RuntimeProtocolError, TransportError
+from .messages import Message, make_error, make_response
+from .metrics import MetricsRegistry
+from .transport import Endpoint
+
+
+class ProxyNode:
+    """Protocol logic of one proxy; bind ``handle`` to its endpoint.
+
+    Args:
+        name: Endpoint/tree-node name of this proxy.
+        endpoint: The proxy's own endpoint (used to call upstream).
+        upstream: Endpoint name to forward misses to (origin or a
+            higher proxy).
+        holdings: Initial ``doc_id → size`` holdings.
+        metrics: Shared metrics registry.
+        upstream_timeout: Per-forward timeout in seconds (None waits
+            forever).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: Endpoint,
+        *,
+        upstream: str,
+        holdings: dict[str, int] | None = None,
+        metrics: MetricsRegistry | None = None,
+        upstream_timeout: float | None = None,
+    ):
+        self.name = name
+        self._endpoint = endpoint
+        self._upstream = upstream
+        self._holdings: dict[str, int] = dict(holdings or {})
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._upstream_timeout = upstream_timeout
+
+    @property
+    def holdings(self) -> dict[str, int]:
+        """Current holdings (``doc_id → size``), a defensive copy."""
+        return dict(self._holdings)
+
+    async def handle(self, message: Message) -> Message | None:
+        """Serve, forward, or apply a push."""
+        if message.kind == "push":
+            return self._apply_push(message)
+        if message.kind == "request":
+            return await self._serve(message)
+        return make_error(
+            self.name,
+            message.request_id,
+            "protocol",
+            f"proxy cannot handle kind {message.kind!r}",
+        )
+
+    def _apply_push(self, message: Message) -> Message:
+        documents = message.payload.get("documents")
+        if not isinstance(documents, list):
+            return make_error(
+                self.name, message.request_id, "protocol",
+                "push needs a documents list",
+            )
+        mode = message.payload.get("mode", "replace")
+        incoming: dict[str, int] = {}
+        for entry in documents:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+            ):
+                # one malformed entry poisons the whole push
+                return make_error(
+                    self.name, message.request_id, "protocol",
+                    "push entries must be (doc_id, size) pairs",
+                )
+            incoming[entry[0]] = int(entry[1])
+        if mode == "replace":
+            self._holdings = incoming
+        else:
+            self._holdings.update(incoming)
+        pushed_bytes = 0
+        for size in incoming.values():
+            pushed_bytes += size
+        self.metrics.counter(f"proxy.{self.name}.pushes").inc()
+        self.metrics.counter(f"proxy.{self.name}.pushed_bytes").inc(pushed_bytes)
+        return Message(
+            kind="ack",
+            sender=self.name,
+            request_id=message.request_id,
+            payload={"documents": len(incoming)},
+            body_bytes=16,
+        )
+
+    async def _serve(self, message: Message) -> Message:
+        doc_id = message.payload.get("doc_id")
+        if not isinstance(doc_id, str):
+            return make_error(
+                self.name, message.request_id, "protocol",
+                "request needs a doc_id",
+            )
+        size = self._holdings.get(doc_id)
+        if size is not None:
+            self.metrics.counter(f"proxy.{self.name}.hits").inc()
+            self.metrics.counter(f"proxy.{self.name}.bytes_served").inc(size)
+            return make_response(
+                self.name, message.request_id, doc_id, size, self.name
+            )
+
+        self.metrics.counter(f"proxy.{self.name}.forwards").inc()
+        forwarded = Message(
+            kind="request",
+            sender=self.name,
+            request_id=message.request_id,
+            payload=dict(message.payload),
+            body_bytes=message.body_bytes,
+        )
+        try:
+            reply = await self._endpoint.call(
+                self._upstream, forwarded, timeout=self._upstream_timeout
+            )
+        except TransportError as err:
+            return make_error(
+                self.name, message.request_id, "transport",
+                f"upstream {self._upstream!r} unreachable: {err}",
+            )
+        except RuntimeProtocolError as err:
+            return make_error(
+                self.name, message.request_id, "protocol", str(err)
+            )
+        return Message(
+            kind="response",
+            sender=self.name,
+            request_id=message.request_id,
+            payload=dict(reply.payload),
+            body_bytes=reply.body_bytes,
+        )

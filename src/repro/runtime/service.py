@@ -1,0 +1,426 @@
+"""Wiring: build and run the full live system on the in-memory transport.
+
+:func:`run_loadtest` is the one-call harness behind ``repro loadtest``
+and the integration tests.  It generates a workload, splits it into a
+training half (the paper's HistoryLength) and a serving half, stands up
+an origin + one proxy per region on a seeded
+:class:`~repro.runtime.transport.InMemoryNetwork`, replays the serving
+half through the load generator **twice** — once demand-only
+(baseline), once with dissemination holdings and a speculation policy —
+and reports the paper's four ratios from the two metrics snapshots.
+
+Because the in-memory network runs under a virtual clock and the
+estimator defaults to a frozen (warm-up-trained) model, a run is fully
+deterministic *and* decision-for-decision comparable with
+:class:`~repro.core.combined.CombinedProtocolSimulator` on the same
+workload — ``verify_batch=True`` performs that comparison inline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import BASELINE, BaselineConfig
+from ..core.combined import CombinedProtocolSimulator, CombinedResult
+from ..core.planner import DisseminationPlanner
+from ..errors import RuntimeProtocolError, SimulationError
+from ..speculation.dependency import DependencyModel
+from ..speculation.metrics import SpeculationRatios
+from ..speculation.policies import ThresholdPolicy
+from ..topology.builder import build_clientele_tree
+from ..topology.tree import RoutingTree
+from ..trace.records import Trace
+from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
+from .clock import run_virtual
+from .daemon import DisseminationDaemon
+from .estimator import OnlineDependencyEstimator
+from .loadgen import ClientRoute, LoadConfig, LoadGenerator
+from .metrics import MetricsRegistry, live_ratios
+from .origin import OriginServer
+from .proxy import ProxyNode
+from .transport import InMemoryNetwork
+
+
+@dataclass(frozen=True)
+class LiveSettings:
+    """Knobs for one live run.
+
+    Attributes:
+        budget_bytes: Proxy storage budget for the dissemination plan.
+        concurrency: Load-generator admission-control cap.
+        request_timeout: Per-attempt timeout (virtual seconds).
+        retries: Retries per request after a timeout.
+        train_fraction: Leading fraction of the trace used as history.
+        learn_online: Keep updating ``P`` from live requests (breaks
+            exact batch parity; the batch reference fits on history
+            only).
+        cooperative: Piggyback client cache digests (required for exact
+            parity of speculation decisions).
+        dissemination_interval: Virtual seconds between daemon replans;
+            None plans once up front and never replans (the
+            parity-preserving default).
+        seed: Seed for the network's latency/drop RNG.
+        drop_probability: Frame-drop rate (exercises retry paths).
+        refresh_interval: Estimator observations between bounded
+            closure refreshes when learning online.
+    """
+
+    budget_bytes: float = 2_000_000.0
+    concurrency: int = 32
+    request_timeout: float = 30.0
+    retries: int = 1
+    train_fraction: float = 0.5
+    learn_online: bool = False
+    cooperative: bool = True
+    dissemination_interval: float | None = None
+    seed: int = 0
+    drop_probability: float = 0.0
+    refresh_interval: int = 512
+
+
+@dataclass(frozen=True)
+class LiveReport:
+    """Everything one live loadtest produced.
+
+    Attributes:
+        baseline: Metrics snapshot of the demand-only run.
+        speculative: Metrics snapshot of the dissemination+speculation
+            run.
+        ratios: The paper's four ratios, live-measured.
+        batch_ratios: Same three comparable ratios from the batch
+            replay (when ``verify_batch`` was requested).
+        disseminated_documents: Documents the plan pushed to proxies.
+    """
+
+    baseline: dict[str, Any]
+    speculative: dict[str, Any]
+    ratios: SpeculationRatios
+    batch_ratios: SpeculationRatios | None = None
+    disseminated_documents: int = 0
+
+    def max_divergence(self) -> float:
+        """Largest relative gap between live and batch ratios.
+
+        Compares the three ratios the batch reference can reproduce
+        exactly (bandwidth, server load, service time); ``inf`` when no
+        batch verification ran.
+        """
+        if self.batch_ratios is None:
+            return math.inf
+        gaps = []
+        for live, batch in (
+            (self.ratios.bandwidth_ratio, self.batch_ratios.bandwidth_ratio),
+            (self.ratios.server_load_ratio, self.batch_ratios.server_load_ratio),
+            (self.ratios.service_time_ratio, self.batch_ratios.service_time_ratio),
+        ):
+            scale = abs(batch) if batch else 1.0
+            gaps.append(abs(live - batch) / scale)
+        return max(gaps)
+
+    def require_convergence(self, tolerance: float = 0.05) -> None:
+        """Assert live ratios match the batch reference.
+
+        Raises:
+            RuntimeProtocolError: When any comparable ratio diverges
+                from the batch replay by more than ``tolerance``.
+        """
+        divergence = self.max_divergence()
+        if divergence > tolerance:
+            raise RuntimeProtocolError(
+                f"live ratios diverge {divergence:.1%} from batch replay "
+                f"(tolerance {tolerance:.0%}): live {self.ratios.format()} "
+                f"vs batch {self.batch_ratios.format() if self.batch_ratios else '-'}"
+            )
+
+
+def smoke_workload(seed: int = 0) -> GeneratorConfig:
+    """The small deterministic workload ``repro loadtest --smoke`` uses."""
+    return GeneratorConfig(
+        seed=seed,
+        n_pages=80,
+        n_clients=60,
+        n_sessions=500,
+        duration_days=10,
+    )
+
+
+def _region_of(tree: RoutingTree, client: str) -> str | None:
+    for node in tree.path_from_root(client):
+        if node.startswith("region-"):
+            return node
+    return None
+
+
+async def _run_once(
+    serve: Trace,
+    tree: RoutingTree,
+    routes: dict[str, ClientRoute],
+    proxies: list[str],
+    holdings: dict[str, int],
+    *,
+    config: BaselineConfig,
+    settings: LiveSettings,
+    estimator: OnlineDependencyEstimator,
+    policy: ThresholdPolicy | None,
+) -> dict[str, Any]:
+    """One full live replay; returns the metrics snapshot."""
+    depth_of = {node: tree.depth(node) for node in tree.nodes()}
+
+    def hop_count(source: str, destination: str) -> int:
+        gap = abs(depth_of.get(source, 0) - depth_of.get(destination, 0))
+        return gap if gap > 0 else 1
+
+    network = InMemoryNetwork(
+        seed=settings.seed,
+        drop_probability=settings.drop_probability,
+        hop_count=hop_count,
+    )
+    metrics = MetricsRegistry()
+    origin_endpoint = network.endpoint(tree.root)
+    origin = OriginServer(
+        serve.documents,
+        estimator=estimator,
+        policy=policy,
+        config=config,
+        metrics=metrics,
+        name=tree.root,
+    )
+    origin_endpoint.start(origin.handle)
+
+    proxy_endpoints = []
+    for name in proxies:
+        endpoint = network.endpoint(name)
+        node = ProxyNode(
+            name,
+            endpoint,
+            upstream=tree.root,
+            holdings=holdings,
+            metrics=metrics,
+            upstream_timeout=settings.request_timeout,
+        )
+        endpoint.start(node.handle)
+        proxy_endpoints.append(endpoint)
+
+    daemon_task = None
+    if settings.dissemination_interval is not None:
+        daemon = DisseminationDaemon(
+            origin,
+            origin_endpoint,
+            proxies,
+            budget_bytes=settings.budget_bytes,
+            interval=settings.dissemination_interval,
+            metrics=metrics,
+        )
+        daemon_task = asyncio.get_running_loop().create_task(daemon.run())
+
+    generator = LoadGenerator(
+        network,
+        routes,
+        serve.by_client(),
+        origin_name=tree.root,
+        config=config,
+        load=LoadConfig(
+            concurrency=settings.concurrency,
+            request_timeout=settings.request_timeout,
+            retries=settings.retries,
+            cooperative=settings.cooperative,
+        ),
+        metrics=metrics,
+    )
+    try:
+        await generator.run()
+    finally:
+        if daemon_task is not None:
+            daemon_task.cancel()
+        for endpoint in proxy_endpoints:
+            await endpoint.close()
+        await origin_endpoint.close()
+
+    for name, value in network.stats().items():
+        metrics.counter(f"network.frames_{name}").inc(value)
+    return metrics.snapshot()
+
+
+def _batch_ratios(
+    serve: Trace,
+    tree: RoutingTree,
+    proxies: list[str],
+    disseminated: set[str],
+    model: DependencyModel,
+    policy: ThresholdPolicy,
+    config: BaselineConfig,
+) -> SpeculationRatios:
+    """The comparable ratios from the offline combined replay."""
+    simulator = CombinedProtocolSimulator(
+        serve, tree, config, model=model, remote_only=False
+    )
+    base = simulator.run()
+    spec = simulator.run(
+        proxies=proxies, disseminated=disseminated, policy=policy
+    )
+
+    def ratio(numerator: float, denominator: float) -> float:
+        if denominator == 0:
+            return 1.0 if numerator == 0 else math.inf
+        return numerator / denominator
+
+    def request_miss_rate(result: CombinedResult) -> float:
+        if result.accesses == 0:
+            return 0.0
+        return (result.accesses - result.cache_hits) / result.accesses
+
+    return SpeculationRatios(
+        bandwidth_ratio=ratio(spec.bytes_hops, base.bytes_hops),
+        server_load_ratio=ratio(spec.origin_requests, base.origin_requests),
+        service_time_ratio=ratio(spec.service_time, base.service_time),
+        miss_rate_ratio=ratio(request_miss_rate(spec), request_miss_rate(base)),
+    )
+
+
+def run_loadtest(
+    workload: GeneratorConfig,
+    settings: LiveSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    verify_batch: bool = False,
+) -> LiveReport:
+    """Generate a workload and run it live, baseline vs. speculation.
+
+    Args:
+        workload: Synthetic workload configuration (seeded).
+        settings: Live-run knobs; defaults to :class:`LiveSettings`.
+        config: The paper's cost model and timeouts.
+        verify_batch: Also replay the serving half through the batch
+            combined simulator and attach its ratios for comparison.
+
+    Returns:
+        A :class:`LiveReport` with both snapshots and the ratios.
+
+    Raises:
+        SimulationError: If the trace is too small to split into
+            non-empty training and serving halves.
+    """
+    settings = settings if settings is not None else LiveSettings()
+    trace = SyntheticTraceGenerator(workload).generate().remote_only()
+    if len(trace) < 10:
+        raise SimulationError("workload too small for a live loadtest")
+
+    boundary = trace.start_time + settings.train_fraction * trace.duration
+    train = trace.window(trace.start_time, boundary)
+    serve = trace.window(boundary, trace.end_time + 1.0)
+    if len(train) == 0 or len(serve) == 0:
+        raise SimulationError(
+            "train/serve split produced an empty half; "
+            "adjust train_fraction or enlarge the workload"
+        )
+
+    tree = build_clientele_tree(trace)
+    proxies = sorted(
+        {
+            region
+            for client in serve.clients()
+            if (region := _region_of(tree, client)) is not None
+        }
+    )
+    routes: dict[str, ClientRoute] = {}
+    for client in serve.clients():
+        region = _region_of(tree, client)
+        target = region if region is not None else tree.root
+        routes[client] = ClientRoute(
+            target=target,
+            target_depth=tree.depth(target) if region is not None else 0,
+            depth=tree.depth(client),
+        )
+
+    planner = DisseminationPlanner(remote_only=True)
+    planner.add_server(tree.root, train)
+    plan = planner.plan(settings.budget_bytes)
+    plan_docs = plan.documents.get(tree.root, ())
+    catalog = trace.documents
+    holdings = {
+        doc_id: catalog[doc_id].size
+        for doc_id in plan_docs
+        if doc_id in catalog
+    }
+    policy = ThresholdPolicy(
+        threshold=config.threshold, max_size=config.max_size
+    )
+
+    def fresh_estimator() -> OnlineDependencyEstimator:
+        estimator = OnlineDependencyEstimator(
+            window=config.stride_timeout,
+            stride_timeout=config.stride_timeout,
+            learn=settings.learn_online,
+            refresh_interval=settings.refresh_interval,
+        )
+        estimator.warm(train)
+        return estimator
+
+    baseline_snapshot = run_virtual(
+        _run_once(
+            serve,
+            tree,
+            routes,
+            proxies,
+            {},
+            config=config,
+            settings=settings,
+            estimator=fresh_estimator(),
+            policy=None,
+        )
+    )
+    speculative_snapshot = run_virtual(
+        _run_once(
+            serve,
+            tree,
+            routes,
+            proxies,
+            holdings,
+            config=config,
+            settings=settings,
+            estimator=fresh_estimator(),
+            policy=policy,
+        )
+    )
+
+    ratios = live_ratios(speculative_snapshot, baseline_snapshot)
+    batch = None
+    if verify_batch:
+        model = DependencyModel.estimate(
+            train,
+            window=config.stride_timeout,
+            stride_timeout=config.stride_timeout,
+        )
+        batch = _batch_ratios(
+            serve, tree, proxies, set(holdings), model, policy, config
+        )
+    return LiveReport(
+        baseline=baseline_snapshot,
+        speculative=speculative_snapshot,
+        ratios=ratios,
+        batch_ratios=batch,
+        disseminated_documents=len(holdings),
+    )
+
+
+def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
+    """The ``repro loadtest --smoke`` self-test.
+
+    Runs the small smoke workload live, verifies the live ratios
+    against the batch reference, and raises on divergence — this is the
+    check CI runs after the test suite.
+
+    Raises:
+        RuntimeProtocolError: If live and batch ratios diverge beyond
+            ``tolerance``.
+    """
+    report = run_loadtest(
+        smoke_workload(seed),
+        LiveSettings(seed=seed),
+        verify_batch=True,
+    )
+    report.require_convergence(tolerance)
+    return report

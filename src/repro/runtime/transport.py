@@ -1,0 +1,425 @@
+"""Pluggable transports: a simulated in-memory network and real TCP.
+
+Two transports implement the same request/reply contract over
+:class:`~repro.runtime.messages.Message`:
+
+* :class:`InMemoryNetwork` — endpoints exchange messages through
+  bounded asyncio queues with **seeded** latency/bandwidth/jitter and
+  optional frame drops, scheduled with ``loop.call_at``.  Run it under
+  :func:`~repro.runtime.clock.run_virtual` and the whole system is
+  deterministic: same seed and workload → same delivery order → same
+  metrics snapshot.  Per-link delivery is FIFO (a later message never
+  overtakes an earlier one on the same src→dst link, mirroring a TCP
+  stream).
+* :class:`TcpServer` / :func:`tcp_call` — the same messages as JSON
+  frames behind a 4-byte big-endian length prefix on real sockets, for
+  ``repro serve``.
+
+Failure mapping: anything the *network* did wrong (timeout, dropped
+frame, refused connection, truncated stream) raises
+:class:`~repro.errors.TransportError`; anything the *peer* did wrong
+(bad frame contents, unknown kind, oversized frame) raises
+:class:`~repro.errors.RuntimeProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from ..errors import RuntimeProtocolError, TransportError
+from .messages import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    REPLY_KINDS,
+    Message,
+    frame,
+    raise_if_error,
+)
+
+#: An async message handler: returns a reply message or None.
+Handler = Callable[[Message], Awaitable[Message | None]]
+
+
+class Endpoint:
+    """One addressable node on an :class:`InMemoryNetwork`.
+
+    Owns a bounded inbox, a pump task that dispatches inbound messages,
+    and the pending-reply futures for requests issued via :meth:`call`.
+    Obtain instances from :meth:`InMemoryNetwork.endpoint`.
+    """
+
+    def __init__(self, network: "InMemoryNetwork", name: str, inbox_limit: int):
+        self._network = network
+        self.name = name
+        self._inbox: asyncio.Queue[Message] = asyncio.Queue(maxsize=inbox_limit)
+        self._pending: dict[str, asyncio.Future[Message]] = {}
+        self._handler: Handler | None = None
+        self._pump_task: asyncio.Task[None] | None = None
+        self._dispatch_tasks: set[asyncio.Task[None]] = set()
+        self._next_id = 0
+
+    def start(self, handler: Handler | None = None) -> None:
+        """Begin pumping the inbox; ``handler`` answers inbound requests."""
+        self._handler = handler
+        if self._pump_task is None:
+            loop = asyncio.get_running_loop()
+            self._pump_task = loop.create_task(self._pump())
+
+    def next_request_id(self) -> str:
+        """A fresh, globally-unique correlation id."""
+        self._next_id += 1
+        return f"{self.name}#{self._next_id}"
+
+    async def _pump(self) -> None:
+        while True:
+            message = await self._inbox.get()
+            if message.kind in REPLY_KINDS:
+                future = self._pending.pop(message.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+                # else: the requester gave up (timed out); drop the reply.
+                continue
+            if self._handler is None:
+                continue
+            loop = asyncio.get_running_loop()
+            task = loop.create_task(self._dispatch(message))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _dispatch(self, message: Message) -> None:
+        assert self._handler is not None
+        reply = await self._handler(message)
+        if reply is not None:
+            self._network.deliver(self.name, message.sender, reply)
+
+    async def call(
+        self, destination: str, message: Message, *, timeout: float | None = None
+    ) -> Message:
+        """Send a message and await the reply with its ``request_id``.
+
+        Raises:
+            TransportError: On timeout, or when the peer reports a
+                transport-level failure.
+            RuntimeProtocolError: When the peer reports a protocol
+                violation.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Message] = loop.create_future()
+        self._pending[message.request_id] = future
+        self._network.deliver(self.name, destination, message)
+        try:
+            if timeout is None:
+                reply = await future
+            else:
+                reply = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(message.request_id, None)
+            raise TransportError(
+                f"request {message.request_id} to {destination!r} "
+                f"timed out after {timeout}s"
+            ) from None
+        return raise_if_error(reply)
+
+    def cast(self, destination: str, message: Message) -> None:
+        """Fire-and-forget send (no reply expected)."""
+        self._network.deliver(self.name, destination, message)
+
+    async def close(self) -> None:
+        """Cancel the pump and any in-flight dispatch tasks."""
+        tasks = list(self._dispatch_tasks)
+        if self._pump_task is not None:
+            tasks.append(self._pump_task)
+            self._pump_task = None
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+class InMemoryNetwork:
+    """A deterministic simulated network connecting named endpoints.
+
+    Args:
+        seed: Seeds the latency-jitter / frame-drop RNG.
+        base_latency: Propagation delay per hop in seconds.
+        bandwidth: Link bandwidth in bytes/second (transfer delay is
+            ``body_bytes / bandwidth`` per hop).
+        jitter: Uniform multiplicative jitter on propagation delay
+            (0.2 → up to +20%).
+        drop_probability: Chance a frame silently vanishes (senders see
+            a timeout) — the retry-path test knob.
+        hop_count: Maps ``(src, dst)`` to the hop distance; defaults to
+            1 hop for every pair.  The service harness wires in routing
+            tree distances here.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        base_latency: float = 0.005,
+        bandwidth: float = 1e7,
+        jitter: float = 0.2,
+        drop_probability: float = 0.0,
+        hop_count: Callable[[str, str], int] | None = None,
+    ):
+        if base_latency < 0:
+            raise TransportError("base_latency must be non-negative")
+        if bandwidth <= 0:
+            raise TransportError("bandwidth must be positive")
+        if not 0.0 <= drop_probability < 1.0:
+            raise TransportError("drop_probability must be in [0, 1)")
+        self._rng = np.random.default_rng(seed)
+        self._base_latency = base_latency
+        self._bandwidth = bandwidth
+        self._jitter = jitter
+        self._drop_probability = drop_probability
+        self._hop_count = hop_count
+        self._endpoints: dict[str, Endpoint] = {}
+        self._link_clear_at: dict[tuple[str, str], float] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.frames_rejected = 0  # inbox full (backpressure overflow)
+
+    def endpoint(self, name: str, *, inbox_limit: int = 1024) -> Endpoint:
+        """Register a new endpoint.
+
+        Raises:
+            TransportError: If the name is taken or empty.
+        """
+        if not name:
+            raise TransportError("endpoint name must be non-empty")
+        if name in self._endpoints:
+            raise TransportError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(self, name, inbox_limit)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def _latency(self, source: str, destination: str, body_bytes: int) -> float:
+        hops = 1
+        if self._hop_count is not None:
+            hops = max(1, self._hop_count(source, destination))
+        propagation = self._base_latency
+        if self._jitter > 0:
+            propagation *= 1.0 + self._jitter * float(self._rng.random())
+        return hops * (propagation + body_bytes / self._bandwidth)
+
+    def deliver(self, source: str, destination: str, message: Message) -> None:
+        """Schedule a message for delayed delivery.
+
+        Raises:
+            TransportError: If the destination endpoint does not exist.
+        """
+        self.frames_sent += 1
+        target = self._endpoints.get(destination)
+        if target is None:
+            raise TransportError(f"unknown endpoint {destination!r}")
+        if self._drop_probability > 0 and (
+            float(self._rng.random()) < self._drop_probability
+        ):
+            self.frames_dropped += 1
+            return
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        arrival = now + self._latency(source, destination, message.body_bytes)
+        # FIFO per link: arrivals are *strictly* increasing, because the
+        # loop's timer heap is not stable — two frames due at the exact
+        # same instant may fire in either order.
+        link = (source, destination)
+        previous = self._link_clear_at.get(link)
+        if previous is not None and arrival <= previous:
+            arrival = math.nextafter(previous, math.inf)
+        self._link_clear_at[link] = arrival
+        loop.call_at(arrival, self._put, target, message)
+
+    def _put(self, target: Endpoint, message: Message) -> None:
+        try:
+            target._inbox.put_nowait(message)
+        except asyncio.QueueFull:
+            # Bounded-inbox backpressure: overflow frames are dropped and
+            # the sender's timeout fires, exactly like a full router queue.
+            self.frames_rejected += 1
+            return
+        self.frames_delivered += 1
+
+    def stats(self) -> dict[str, int]:
+        """Frame accounting for tests and debugging."""
+        return {
+            "sent": self.frames_sent,
+            "delivered": self.frames_delivered,
+            "dropped": self.frames_dropped,
+            "rejected": self.frames_rejected,
+        }
+
+
+# -- real TCP ----------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Message:
+    """Read one length-prefixed message from a stream.
+
+    Raises:
+        TransportError: On a truncated stream.
+        RuntimeProtocolError: On an oversized or undecodable frame.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME_BYTES:
+            raise RuntimeProtocolError(
+                f"peer announced a {length}-byte frame "
+                f"(cap {MAX_FRAME_BYTES})"
+            )
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise TransportError("stream closed mid-frame") from err
+    return Message.decode(body)
+
+
+def write_frame(writer: asyncio.StreamWriter, message: Message) -> None:
+    """Queue one length-prefixed message on a stream."""
+    writer.write(frame(message))
+
+
+class TcpServer:
+    """Serves a message handler over real TCP, one frame per request.
+
+    Connections are persistent: a client may send many frames and
+    receives one reply frame per request, in order.
+
+    Args:
+        handler: Async callable answering each inbound message.
+        host: Interface to bind.
+        port: Port to bind; 0 picks an ephemeral port (read it back
+            from :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        self._handler = handler
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task[None]] = set()
+        self.port: int = port
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server closing: drop the connection quietly
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                message = await read_frame(reader)
+            except TransportError:
+                return  # client closed the connection
+            # Wall-clock is banned repo-wide (D004) because it breaks
+            # replayability — but a real-socket round trip has no
+            # virtual clock, and the served duration is reporting-only
+            # (never feeds a simulation decision).  time.monotonic is
+            # the narrow sanctioned exception, scoped by the linter to
+            # this module.
+            started = time.monotonic()
+            reply = await self._handler(message)
+            if reply is not None:
+                elapsed = time.monotonic() - started
+                reply.payload["service_seconds"] = round(elapsed, 6)
+                write_frame(writer, reply)
+                await writer.drain()
+            self.requests_served += 1
+
+    async def close(self) -> None:
+        """Stop accepting, close the listener, drain live connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        connections = list(self._connections)
+        for task in connections:
+            task.cancel()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+
+
+async def tcp_call(
+    host: str, port: int, message: Message, *, timeout: float = 5.0
+) -> Message:
+    """One request/reply round trip against a :class:`TcpServer`.
+
+    Opens a connection, sends one frame, awaits one reply frame and
+    closes.  (The load generator keeps persistent connections; this
+    helper is for the CLI and tests.)
+
+    Raises:
+        TransportError: On connect failure, timeout or truncation.
+        RuntimeProtocolError: When the peer reports a protocol error.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except asyncio.TimeoutError:
+        raise TransportError(
+            f"connect to {host}:{port} timed out after {timeout}s"
+        ) from None
+    except (ConnectionError, OSError) as err:
+        raise TransportError(f"connect to {host}:{port} failed: {err}") from err
+    try:
+        write_frame(writer, message)
+        await writer.drain()
+        reply = await asyncio.wait_for(read_frame(reader), timeout)
+    except asyncio.TimeoutError:
+        raise TransportError(
+            f"request {message.request_id} to {host}:{port} "
+            f"timed out after {timeout}s"
+        ) from None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return raise_if_error(reply)
+
+
+__all__: list[str] = [
+    "Endpoint",
+    "Handler",
+    "InMemoryNetwork",
+    "TcpServer",
+    "read_frame",
+    "tcp_call",
+    "write_frame",
+]

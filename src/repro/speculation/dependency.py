@@ -22,12 +22,33 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections import Counter
-from dataclasses import dataclass
+from collections import Counter, deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
 
 from ..errors import DependencyModelError
 from ..trace.records import Trace
 from ..trace.sessions import split_strides
+
+
+@dataclass(slots=True)
+class _OpenOccurrence:
+    """One not-yet-expired source occurrence inside an open stride."""
+
+    timestamp: float
+    doc_id: str
+    #: Distinct followers already counted for this occurrence.
+    seen: set[str] = field(default_factory=set)
+
+
+@dataclass(slots=True)
+class _OpenStride:
+    """Per-client state of the traversal stride currently being built."""
+
+    last_time: float | None = None
+    #: Occurrences still young enough (within ``T_w``) to gain followers,
+    #: in timestamp order.
+    entries: deque[_OpenOccurrence] = field(default_factory=deque)
 
 
 @dataclass(frozen=True)
@@ -59,15 +80,22 @@ class PairHistogram:
 class DependencyModel:
     """The estimated ``P`` matrix with on-demand ``P*`` closure rows.
 
-    Build with :meth:`estimate` (from a trace) or :meth:`from_counts`
-    (from raw pair/occurrence counts, as the aging machinery does).
+    Build with :meth:`estimate` (from a trace), :meth:`from_counts`
+    (from raw pair/occurrence counts, as the aging machinery does), or
+    :meth:`incremental` (empty, fed one live request at a time through
+    :meth:`observe` — the runtime's in-band estimation path).
     """
 
     def __init__(
         self,
         pair_counts: dict[str, dict[str, float]],
         occurrences: dict[str, float],
+        *,
+        window: float = 5.0,
+        stride_timeout: float | None = None,
     ):
+        if window <= 0:
+            raise DependencyModelError("window must be positive")
         for source, row in pair_counts.items():
             base = occurrences.get(source, 0.0)
             if base <= 0 and row:
@@ -85,6 +113,9 @@ class DependencyModel:
         self._pairs = {s: dict(row) for s, row in pair_counts.items()}
         self._occurrences = dict(occurrences)
         self._closure_cache: dict[tuple[str, float, int], dict[str, float]] = {}
+        self._window = window
+        self._stride_timeout = window if stride_timeout is None else stride_timeout
+        self._strides: dict[str, _OpenStride] = {}
 
     # -- estimation --------------------------------------------------------------
 
@@ -131,7 +162,28 @@ class DependencyModel:
                     seen.add(follower.doc_id)
                     row = pair_counts.setdefault(source.doc_id, {})
                     row[follower.doc_id] = row.get(follower.doc_id, 0.0) + 1.0
-        return cls(pair_counts, dict(occurrences))
+        return cls(
+            pair_counts,
+            dict(occurrences),
+            window=window,
+            stride_timeout=stride_timeout,
+        )
+
+    @classmethod
+    def incremental(
+        cls,
+        *,
+        window: float = 5.0,
+        stride_timeout: float | None = None,
+    ) -> "DependencyModel":
+        """An empty model ready for online :meth:`observe` updates.
+
+        The runtime's origin server estimates ``P`` in-band from the
+        live request stream; feeding the same requests (in per-client
+        timestamp order) through :meth:`observe` yields counts identical
+        to :meth:`estimate` over the equivalent trace.
+        """
+        return cls({}, {}, window=window, stride_timeout=stride_timeout)
 
     @classmethod
     def from_counts(
@@ -141,6 +193,88 @@ class DependencyModel:
     ) -> "DependencyModel":
         """Wrap precomputed counts (used by aging / merging)."""
         return cls(pair_counts, occurrences)
+
+    # -- incremental estimation ---------------------------------------------------
+
+    def observe(self, client: str, doc_id: str, timestamp: float) -> None:
+        """Fold one live request into the pair/occurrence counts.
+
+        Implements the same stride rule as :meth:`estimate`, one request
+        at a time: a gap of at least ``StrideTimeout`` since the
+        client's previous request opens a new traversal stride, and the
+        new request counts one ``(i, j)`` pair for every open source
+        occurrence within ``T_w`` that has not already seen ``D_j``.
+
+        Updating the counts does **not** invalidate memoized closure
+        rows — the paper re-derives ``P*`` on its UpdateCycle, not per
+        request.  Call :meth:`refresh_closure` on whatever cadence the
+        caller's update cycle dictates; direct reads (:meth:`p`,
+        :meth:`successors`) always see the live counts.
+
+        Raises:
+            DependencyModelError: On an empty client/document id, or a
+                client whose timestamps run backwards.
+        """
+        if not client or not doc_id:
+            raise DependencyModelError("client and doc_id must be non-empty")
+        state = self._strides.get(client)
+        if state is None:
+            state = _OpenStride()
+            self._strides[client] = state
+        if state.last_time is not None:
+            gap = timestamp - state.last_time
+            if gap < 0:
+                raise DependencyModelError(
+                    f"client {client!r} requests out of order"
+                )
+            # Mirror trace.sessions._split_by_gap: an infinite timeout
+            # never splits, a non-positive one always does.
+            if self._stride_timeout <= 0 or (
+                not math.isinf(self._stride_timeout)
+                and gap >= self._stride_timeout
+            ):
+                state.entries.clear()
+        state.last_time = timestamp
+
+        self._occurrences[doc_id] = self._occurrences.get(doc_id, 0.0) + 1.0
+        entries = state.entries
+        while entries and timestamp - entries[0].timestamp > self._window:
+            entries.popleft()  # too old to gain any further followers
+        for occurrence in entries:
+            if occurrence.doc_id == doc_id or doc_id in occurrence.seen:
+                continue
+            occurrence.seen.add(doc_id)
+            row = self._pairs.setdefault(occurrence.doc_id, {})
+            row[doc_id] = row.get(doc_id, 0.0) + 1.0
+        entries.append(_OpenOccurrence(timestamp=timestamp, doc_id=doc_id))
+
+    def refresh_closure(
+        self,
+        sources: Iterable[str] | None = None,
+        *,
+        min_probability: float = 0.01,
+        max_hops: int = 8,
+    ) -> int:
+        """Drop stale memoized ``P*`` rows and optionally precompute.
+
+        Args:
+            sources: Documents whose closure rows to precompute after
+                the flush (e.g. the currently hot sources); ``None``
+                leaves recomputation lazy.
+            min_probability: Pruning floor for precomputed rows.
+            max_hops: Chain-length cap for precomputed rows.
+
+        Returns:
+            Number of closure rows precomputed.
+        """
+        self._closure_cache.clear()
+        count = 0
+        for source in sources or ():
+            self.closure_row(
+                source, min_probability=min_probability, max_hops=max_hops
+            )
+            count += 1
+        return count
 
     # -- raw access --------------------------------------------------------------
 

@@ -15,5 +15,6 @@ def unseeded_everything(items):
     shuffle(items)
     started = time.time()  # D004
     stamp = datetime.now()  # D004
+    tick = time.monotonic()  # D004 (only transport modules may)
     choice = random.choice(items)
-    return rng, values, started, stamp, choice
+    return rng, values, started, stamp, tick, choice

@@ -1,0 +1,75 @@
+"""CLI surface of the live runtime: ``repro loadtest`` / ``repro serve``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import RuntimeProtocolError, TransportError
+
+
+class TestLoadtest:
+    def test_smoke_passes_and_reports(self, capsys):
+        assert main(["loadtest", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "live ratios" in out
+        assert "batch check" in out
+        assert "divergence" in out
+
+    def test_impossible_tolerance_exits_3(self, capsys):
+        code = main(["loadtest", "--smoke", "--tolerance", "-1"])
+        assert code == 3
+        assert "protocol error:" in capsys.readouterr().err
+
+    def test_json_output_is_deterministic(self, capsys):
+        def run():
+            assert main(
+                ["loadtest", "--preset", "smoke", "--seed", "1", "--json"]
+            ) == 0
+            return capsys.readouterr().out
+
+        first, second = run(), run()
+        assert first == second
+        data = json.loads(first)
+        assert set(data) == {"baseline", "ratios", "speculative"}
+        assert 0.0 < data["ratios"]["server_load"] < 1.0
+
+    def test_unknown_preset_is_a_usage_error(self, capsys):
+        assert main(["loadtest", "--preset", "no-such-preset"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_transport_failures_exit_4(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def boom(args):
+            raise TransportError("wire cut")
+
+        monkeypatch.setattr(commands, "cmd_loadtest", boom)
+        assert main(["loadtest", "--smoke"]) == 4
+        assert "transport error: wire cut" in capsys.readouterr().err
+
+    def test_protocol_failures_exit_3(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def boom(args):
+            raise RuntimeProtocolError("bad frame")
+
+        monkeypatch.setattr(commands, "cmd_loadtest", boom)
+        assert main(["loadtest", "--smoke"]) == 3
+        assert "protocol error: bad frame" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.mark.parametrize("extra", [[], ["--threshold", "0.5"]])
+    def test_tcp_smoke(self, capsys, extra):
+        code = main(
+            ["serve", "--preset", "smoke", "--seed", "0", "--smoke"] + extra
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "smoke OK: 5 requests served" in out
+
+    def test_unknown_preset_is_a_usage_error(self, capsys):
+        assert main(["serve", "--preset", "no-such-preset"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""Live runtime end-to-end: determinism, batch parity, daemon, TCP."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import RuntimeProtocolError, SimulationError, TransportError
+from repro.runtime import (
+    DisseminationDaemon,
+    InMemoryNetwork,
+    LiveSettings,
+    OnlineDependencyEstimator,
+    OriginServer,
+    ProxyNode,
+    TcpServer,
+    run_loadtest,
+    run_smoke,
+    run_virtual,
+    tcp_call,
+)
+from repro.runtime.messages import Message, make_request
+from repro.speculation.policies import ThresholdPolicy
+from repro.workload.generator import GeneratorConfig, generate_trace
+
+SMALL = GeneratorConfig(
+    seed=2, n_pages=50, n_clients=40, n_sessions=250, duration_days=6
+)
+
+
+SETTINGS = LiveSettings(seed=3, budget_bytes=300_000.0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_loadtest(SMALL, SETTINGS, verify_batch=True)
+
+
+class TestLoadtest:
+    def test_same_seed_reproduces_snapshots(self, report):
+        again = run_loadtest(SMALL, SETTINGS, verify_batch=True)
+        dump = lambda snap: json.dumps(snap, sort_keys=True)  # noqa: E731
+        assert dump(again.baseline) == dump(report.baseline)
+        assert dump(again.speculative) == dump(report.speculative)
+        assert again.ratios == report.ratios
+
+    def test_network_seed_changes_latencies_not_ratios(self, report):
+        other = run_loadtest(
+            SMALL, LiveSettings(seed=4, budget_bytes=300_000.0)
+        )
+        # Decisions are seed-free; only float summation order may shift.
+        assert other.ratios.bandwidth_ratio == report.ratios.bandwidth_ratio
+        assert (
+            other.ratios.server_load_ratio == report.ratios.server_load_ratio
+        )
+        assert other.ratios.service_time_ratio == pytest.approx(
+            report.ratios.service_time_ratio
+        )
+        assert (
+            other.speculative["histograms"]["request_latency"]
+            != report.speculative["histograms"]["request_latency"]
+        )
+
+    def test_speculation_relieves_the_origin(self, report):
+        base = report.baseline["counters"]
+        spec = report.speculative["counters"]
+        assert spec["origin_requests"] < base["origin_requests"]
+        assert spec["proxy_requests"] > 0
+        assert base.get("speculated_documents", 0) == 0
+        assert spec["speculated_documents"] > 0
+        assert report.disseminated_documents > 0
+        # Speculation trades a little traffic for load and service time.
+        assert report.ratios.server_load_ratio < 1.0
+        assert report.ratios.service_time_ratio < 1.0
+        assert report.ratios.miss_rate_ratio < 1.0
+
+    def test_live_matches_batch_replay(self, report):
+        assert report.batch_ratios is not None
+        assert report.max_divergence() <= 0.05
+        report.require_convergence(0.05)
+
+    def test_divergence_raises_at_negative_tolerance(self, report):
+        with pytest.raises(RuntimeProtocolError, match="diverge"):
+            report.require_convergence(-1.0)
+
+    def test_smoke_self_test_converges(self):
+        smoke = run_smoke(0)  # raises on >5% divergence
+        assert smoke.batch_ratios is not None
+        assert smoke.baseline["counters"]["accesses"] > 0
+
+    def test_tiny_workload_rejected(self):
+        tiny = GeneratorConfig(
+            seed=0, n_pages=4, n_clients=2, n_sessions=1, duration_days=1
+        )
+        with pytest.raises(SimulationError):
+            run_loadtest(tiny)
+
+
+class TestDaemon:
+    def test_push_once_replaces_proxy_holdings(self):
+        async def scenario():
+            trace = generate_trace(
+                5, n_pages=30, n_clients=10, n_sessions=80, duration_days=3
+            ).remote_only()
+            network = InMemoryNetwork(seed=0)
+            estimator = OnlineDependencyEstimator(learn=True)
+            origin_endpoint = network.endpoint("home-server")
+            origin = OriginServer(trace.documents, estimator=estimator)
+            origin_endpoint.start(origin.handle)
+            proxy_endpoint = network.endpoint("region-0")
+            proxy = ProxyNode(
+                "region-0", proxy_endpoint, upstream="home-server"
+            )
+            proxy_endpoint.start(proxy.handle)
+            # Live demand builds the history the daemon plans from.
+            for index, request in enumerate(trace):
+                await origin.handle(
+                    make_request(
+                        request.client,
+                        f"seed#{index}",
+                        request.doc_id,
+                        request.timestamp,
+                    )
+                )
+            daemon = DisseminationDaemon(
+                origin,
+                origin_endpoint,
+                ["region-0"],
+                budget_bytes=500_000.0,
+            )
+            try:
+                pushed = await daemon.push_once()
+                return pushed, proxy.holdings, daemon.metrics.snapshot()
+            finally:
+                await proxy_endpoint.close()
+                await origin_endpoint.close()
+
+        pushed, holdings, metrics = run_virtual(scenario())
+        assert len(pushed) > 0
+        assert set(holdings) == set(pushed)
+        assert metrics["counters"]["daemon.pushes"] == 1
+        assert metrics["counters"]["daemon.replans"] == 1
+
+    def test_unreachable_proxy_degrades_not_fails(self):
+        async def scenario():
+            trace = generate_trace(
+                5, n_pages=30, n_clients=10, n_sessions=80, duration_days=3
+            ).remote_only()
+            network = InMemoryNetwork(seed=0)
+            estimator = OnlineDependencyEstimator(learn=False)
+            estimator.warm(trace)
+            origin_endpoint = network.endpoint("home-server")
+            origin = OriginServer(trace.documents, estimator=estimator)
+            origin_endpoint.start(origin.handle)
+            for index, request in enumerate(trace):
+                await origin.handle(
+                    make_request(
+                        request.client,
+                        f"seed#{index}",
+                        request.doc_id,
+                        request.timestamp,
+                    )
+                )
+            # A proxy endpoint that never pumps its inbox: the push
+            # times out and the daemon must carry on.
+            network.endpoint("region-dead")
+            daemon = DisseminationDaemon(
+                origin,
+                origin_endpoint,
+                ["region-dead"],
+                budget_bytes=500_000.0,
+                push_timeout=1.0,
+            )
+            try:
+                pushed = await daemon.push_once()
+                return pushed, daemon.metrics.snapshot()
+            finally:
+                await origin_endpoint.close()
+
+        pushed, metrics = run_virtual(scenario())
+        assert len(pushed) > 0
+        assert metrics["counters"]["daemon.failed_pushes"] == 1
+        assert "daemon.pushes" not in metrics["counters"]
+
+
+class TestTcpTransport:
+    def test_round_trip_with_speculation(self):
+        async def scenario():
+            trace = generate_trace(
+                9, n_pages=40, n_clients=20, n_sessions=150, duration_days=4
+            ).remote_only()
+            estimator = OnlineDependencyEstimator(learn=False)
+            estimator.warm(trace)
+            origin = OriginServer(
+                trace.documents,
+                estimator=estimator,
+                policy=ThresholdPolicy(threshold=0.1),
+            )
+            server = TcpServer(origin.handle)
+            await server.start()
+            assert server.port != 0
+            doc_id = sorted(trace.documents)[0]
+            try:
+                reply = await tcp_call(
+                    "127.0.0.1",
+                    server.port,
+                    make_request("probe", "probe#1", doc_id, 0.0),
+                )
+                stats = await tcp_call(
+                    "127.0.0.1",
+                    server.port,
+                    Message(
+                        kind="stats", sender="probe", request_id="probe#2"
+                    ),
+                )
+                with pytest.raises(RuntimeProtocolError, match="unknown"):
+                    await tcp_call(
+                        "127.0.0.1",
+                        server.port,
+                        make_request("probe", "probe#3", "/no-such-doc", 1.0),
+                    )
+                return reply, stats, server.requests_served, server.port
+            finally:
+                await server.close()
+
+        reply, stats, served, port = asyncio.run(scenario())
+        assert reply.kind == "response"
+        assert reply.payload["served_by"] == "home-server"
+        assert reply.payload["size"] > 0
+        assert "service_seconds" in reply.payload
+        assert stats.kind == "stats-reply"
+        assert served == 3
+
+    def test_connect_failure_is_a_transport_error(self):
+        async def scenario():
+            server = TcpServer(None)
+            await server.start()
+            port = server.port
+            await server.close()
+            with pytest.raises(TransportError, match="connect"):
+                await tcp_call(
+                    "127.0.0.1",
+                    port,
+                    Message(kind="stats", sender="probe", request_id="p#1"),
+                )
+
+        asyncio.run(scenario())

@@ -1,0 +1,290 @@
+"""Runtime wire protocol, virtual clock and in-memory transport."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import RuntimeProtocolError, TransportError
+from repro.runtime import InMemoryNetwork, Message, VirtualClock, run_virtual
+from repro.runtime.messages import (
+    HEADER_BYTES,
+    frame,
+    make_error,
+    make_request,
+    make_response,
+    raise_if_error,
+)
+
+
+class TestMessages:
+    def test_encode_decode_round_trip(self):
+        message = make_request("client-1", "client-1#7", "/a.html", 12.5)
+        assert Message.decode(message.encode()) == message
+
+    def test_frame_is_length_prefixed(self):
+        message = make_request("c", "c#1", "/a", 0.0)
+        framed = frame(message)
+        body = message.encode()
+        assert framed[:HEADER_BYTES] == len(body).to_bytes(HEADER_BYTES, "big")
+        assert framed[HEADER_BYTES:] == body
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(RuntimeProtocolError):
+            Message.decode(b"not json at all")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(RuntimeProtocolError):
+            Message.decode(b"[1, 2, 3]")
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(RuntimeProtocolError):
+            Message.decode(b'{"kind": "teleport", "sender": "x"}')
+
+    def test_oversized_frame_rejected(self):
+        huge = Message(
+            kind="response", sender="s", payload={"blob": "x" * (9 * 2**20)}
+        )
+        with pytest.raises(RuntimeProtocolError):
+            frame(huge)
+
+    def test_response_body_includes_riders(self):
+        message = make_response(
+            "origin", "c#1", "/a", 100, "origin", speculated=[("/b", 40)]
+        )
+        assert message.body_bytes == 140
+
+    def test_raise_if_error_maps_error_kind(self):
+        ok = make_response("o", "c#1", "/a", 1, "o")
+        assert raise_if_error(ok) is ok
+        with pytest.raises(RuntimeProtocolError):
+            raise_if_error(make_error("o", "c#1", "protocol", "bad doc"))
+        with pytest.raises(TransportError):
+            raise_if_error(make_error("o", "c#1", "transport", "upstream gone"))
+
+
+class TestVirtualClock:
+    def test_sleeps_advance_virtual_time_only(self):
+        async def nap():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - before
+
+        assert run_virtual(nap()) == pytest.approx(3600.0)
+
+    def test_start_offset(self):
+        async def now():
+            return asyncio.get_running_loop().time()
+
+        assert run_virtual(now(), start=1000.0) == pytest.approx(1000.0)
+
+    def test_deadlock_is_surfaced(self):
+        async def wait_forever():
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(RuntimeProtocolError, match="deadlock"):
+            run_virtual(wait_forever())
+
+    def test_requires_selector_loop(self):
+        class FakeLoop:
+            pass
+
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            VirtualClock().install(FakeLoop())  # type: ignore[arg-type]
+
+
+async def echo_exchange(network, *, doc_id="/a", timeout=None):
+    """One request/response round trip; returns (reply, service_time)."""
+    server = network.endpoint("server")
+    client = network.endpoint("client")
+
+    async def handler(message):
+        return make_response(
+            "server",
+            message.request_id,
+            message.payload["doc_id"],
+            size=2048,
+            served_by="server",
+        )
+
+    server.start(handler)
+    client.start(None)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    request = make_request("client", client.next_request_id(), doc_id, 0.0)
+    try:
+        reply = await client.call("server", request, timeout=timeout)
+    finally:
+        await server.close()
+        await client.close()
+    return reply, loop.time() - started
+
+
+class TestInMemoryNetwork:
+    def test_round_trip(self):
+        network = InMemoryNetwork(seed=0)
+        reply, elapsed = run_virtual(echo_exchange(network))
+        assert reply.kind == "response"
+        assert reply.payload["size"] == 2048
+        # Two frames crossed the wire, each at least base_latency late.
+        assert elapsed >= 2 * 0.005
+        assert network.stats() == {
+            "sent": 2,
+            "delivered": 2,
+            "dropped": 0,
+            "rejected": 0,
+        }
+
+    def test_same_seed_same_latency(self):
+        elapsed = [
+            run_virtual(echo_exchange(InMemoryNetwork(seed=5)))[1]
+            for _ in range(2)
+        ]
+        assert elapsed[0] == elapsed[1]
+
+    def test_seed_changes_jittered_latency(self):
+        a = run_virtual(echo_exchange(InMemoryNetwork(seed=1)))[1]
+        b = run_virtual(echo_exchange(InMemoryNetwork(seed=2)))[1]
+        assert a != b
+
+    def test_hop_count_scales_latency(self):
+        flat = run_virtual(
+            echo_exchange(InMemoryNetwork(seed=3, jitter=0.0))
+        )[1]
+        deep = run_virtual(
+            echo_exchange(
+                InMemoryNetwork(seed=3, jitter=0.0, hop_count=lambda s, d: 4)
+            )
+        )[1]
+        assert deep == pytest.approx(4 * flat)
+
+    def test_per_link_fifo_despite_size_inversion(self):
+        async def scenario():
+            # Slow link: a 1 MB frame takes 100 virtual seconds, but the
+            # tiny frame sent just after it must not overtake it.
+            network = InMemoryNetwork(seed=0, bandwidth=1e4, jitter=0.0)
+            receiver = network.endpoint("rx")
+            sender = network.endpoint("tx")
+            seen = []
+
+            async def handler(message):
+                seen.append(message.payload["n"])
+                return None
+
+            receiver.start(handler)
+            sender.start(None)
+            for n, body in enumerate([1_000_000, 0, 10]):
+                sender.cast(
+                    "rx",
+                    Message(
+                        kind="request",
+                        sender="tx",
+                        payload={"n": n},
+                        body_bytes=body,
+                    ),
+                )
+            await asyncio.sleep(500.0)
+            await receiver.close()
+            await sender.close()
+            return seen
+
+        assert run_virtual(scenario()) == [0, 1, 2]
+
+    def test_unknown_endpoint_raises(self):
+        async def scenario():
+            network = InMemoryNetwork()
+            sender = network.endpoint("tx")
+            with pytest.raises(TransportError, match="unknown endpoint"):
+                sender.cast("nowhere", Message(kind="request", sender="tx"))
+
+        run_virtual(scenario())
+
+    def test_duplicate_endpoint_name_rejected(self):
+        network = InMemoryNetwork()
+        network.endpoint("a")
+        with pytest.raises(TransportError):
+            network.endpoint("a")
+
+    def test_unanswered_call_times_out(self):
+        async def scenario():
+            network = InMemoryNetwork(seed=0)
+            server = network.endpoint("server")
+            client = network.endpoint("client")
+
+            async def mute(message):
+                return None
+
+            server.start(mute)
+            client.start(None)
+            request = make_request(
+                "client", client.next_request_id(), "/a", 0.0
+            )
+            try:
+                with pytest.raises(TransportError, match="timed out"):
+                    await client.call("server", request, timeout=2.0)
+            finally:
+                await server.close()
+                await client.close()
+
+        run_virtual(scenario())
+
+    def test_dropped_frames_recover_via_retry(self):
+        async def scenario():
+            network = InMemoryNetwork(seed=0, drop_probability=0.6)
+            server = network.endpoint("server")
+            client = network.endpoint("client")
+
+            async def handler(message):
+                return make_response(
+                    "server", message.request_id, "/a", 10, "server"
+                )
+
+            server.start(handler)
+            client.start(None)
+            reply = None
+            attempts = 0
+            try:
+                for attempts in range(1, 11):  # noqa: B007
+                    request = make_request(
+                        "client", client.next_request_id(), "/a", 0.0
+                    )
+                    try:
+                        reply = await client.call(
+                            "server", request, timeout=1.0
+                        )
+                        break
+                    except TransportError:
+                        continue
+                return reply, attempts, network.frames_dropped
+            finally:
+                await server.close()
+                await client.close()
+
+        reply, attempts, dropped = run_virtual(scenario())
+        assert reply is not None and reply.kind == "response"
+        assert attempts == 3  # seed 0 drops the first two attempts
+        assert dropped >= 1
+
+    def test_full_inbox_rejects_frames(self):
+        async def scenario():
+            network = InMemoryNetwork(seed=0, jitter=0.0)
+            network.endpoint("rx", inbox_limit=1)  # pump never started
+            sender = network.endpoint("tx")
+            for _ in range(3):
+                sender.cast("rx", Message(kind="request", sender="tx"))
+            await asyncio.sleep(1.0)
+            return network.stats()
+
+        stats = run_virtual(scenario())
+        assert stats["rejected"] == 2
+        assert stats["delivered"] == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TransportError):
+            InMemoryNetwork(base_latency=-1.0)
+        with pytest.raises(TransportError):
+            InMemoryNetwork(bandwidth=0.0)
+        with pytest.raises(TransportError):
+            InMemoryNetwork(drop_probability=1.0)
