@@ -1,0 +1,72 @@
+"""R2 — what fault injection costs the live runtime.
+
+Runs the ``repro chaos`` smoke scenario (proxy crash + restart + 2 %
+frame drops) and compares its faulted arms against the clean arms the
+same run measured: virtual seconds (how much longer the protocols
+needed to deliver the same bytes through retries and backoff), retry
+volume, and duplicate service.  The resilience contract — the four
+paper ratios within tolerance of the fault-free run — is asserted, so
+this bench doubles as a regression guard on the chaos gate itself.
+"""
+
+import time
+
+from _harness import emit, once
+
+from repro.core import format_table
+from repro.runtime import run_chaos_smoke
+
+TOLERANCE = 0.05
+
+
+def _drill():
+    started = time.perf_counter()
+    report = run_chaos_smoke(0, tolerance=TOLERANCE)
+    wall = time.perf_counter() - started
+    return report, wall
+
+
+def _counters(snapshot):
+    return snapshot.get("counters", {})
+
+
+def test_r2_chaos_overhead(benchmark):
+    report, wall = once(benchmark, _drill)
+
+    clean = _counters(report.clean.speculative)
+    faulted = _counters(report.faulted.speculative)
+    assert faulted["network.frames_dropped"] > 0
+    assert faulted["retries"] > 0
+    assert faulted["run.virtual_seconds"] >= clean["run.virtual_seconds"]
+    assert report.max_ratio_divergence() <= TOLERANCE
+
+    duplicates = sum(
+        value
+        for name, value in faulted.items()
+        if name.endswith(".duplicate_requests")
+    )
+    rows = [
+        (
+            arm,
+            f"{counters['run.virtual_seconds']:.2f}",
+            f"{counters.get('retries', 0):,.0f}",
+            f"{counters.get('network.frames_dropped', 0):,.0f}",
+        )
+        for arm, counters in (
+            ("clean", clean),
+            ("faulted", faulted),
+        )
+    ]
+    emit(
+        "r2",
+        format_table(
+            ["arm", "virtual s", "retries", "frames dropped"],
+            rows,
+            title=(
+                "R2: chaos overhead, speculative arm "
+                f"(divergence {report.max_ratio_divergence():.2%}, "
+                f"{duplicates:,.0f} duplicate serves, "
+                f"{wall:.1f}s wall for all four arms)"
+            ),
+        ),
+    )

@@ -1,0 +1,73 @@
+"""Chaos drill: the live runtime under a scripted fault plan.
+
+``examples/live_loadtest.py`` shows the happy path; this script breaks
+it on purpose.  ``run_chaos`` first measures a fault-free
+baseline/speculative pair, then replays the *same* pair under one
+scripted fault timeline — here a proxy crash (its disseminated
+holdings are lost until the daemon re-pushes them), a global 2 % frame
+drop, and a brief origin brownout — and checks the paper's four ratios
+still match the fault-free run.
+
+That is the resilience claim in one number: retries with seeded
+backoff, per-upstream circuit breakers, stale service from holdings,
+and anti-entropy re-push change *when* things happen, not *what* the
+protocols deliver.  Everything is seeded (the injector even rolls its
+drops on a separate RNG stream), so every run prints the same numbers.
+
+Run:  python examples/chaos_drill.py
+"""
+
+from repro.runtime import (
+    ChaosSettings,
+    LiveSettings,
+    run_chaos,
+    smoke_workload,
+)
+
+
+def main() -> None:
+    settings = ChaosSettings(
+        live=LiveSettings(seed=0, request_timeout=2.0, retries=3),
+        crash_proxy=0,       # first proxy dies at 20% of the run...
+        crash_at=0.2,
+        restart_at=0.5,      # ...and comes back empty-handed at 50%
+        drop_rate=0.02,      # 2% of frames vanish for the whole run
+        latency_extra=0.05,  # +50 ms one-way to the origin...
+        latency_target="origin",
+        latency_from=0.6,    # ...for the 60-80% window (a brownout)
+        latency_until=0.8,
+    )
+    report = run_chaos(smoke_workload(0), settings)
+
+    print("fault timeline (virtual seconds):")
+    for time, label in report.fault_events:
+        print(f"  t={time:8.3f}s  {label[len('fault:'):]}")
+
+    print("ratios, faulted run vs fault-free run:")
+    print(f"  clean  : {report.clean.ratios.format()}")
+    print(f"  faulted: {report.faulted.ratios.format()}")
+    print(f"  divergence: {report.max_ratio_divergence():.2%} (max of 4)")
+    report.require_resilience(0.05)  # raises if the faults changed the story
+
+    counters = report.faulted.speculative["counters"]
+    crashed = sorted(
+        name.split(".")[1]
+        for name in counters
+        if name.startswith("proxy.") and name.endswith(".crashes")
+    )[0]
+    print("what the resilience machinery did:")
+    print(f"  frames dropped   : {counters['network.frames_dropped']:,.0f}")
+    print(f"  client retries   : {counters['retries']:,.0f}")
+    print(
+        "  duplicate serves : "
+        f"{counters.get('origin.duplicate_requests', 0):,.0f} at the origin"
+    )
+    print(
+        f"  crash recovery   : {crashed} lost "
+        f"{counters[f'proxy.{crashed}.holdings_lost']:,.0f} holdings; "
+        f"daemon re-pushed {counters.get('daemon.repushes', 0):,.0f} time(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -421,6 +421,100 @@ def cmd_loadtest(args) -> None:
         print(line)
 
 
+def cmd_chaos(args) -> None:
+    """``repro chaos`` — fault-injected live run with resilience checks."""
+    import json as _json
+
+    from ..runtime import (
+        ChaosSettings,
+        LiveSettings,
+        run_chaos,
+        run_chaos_smoke,
+        smoke_workload,
+    )
+    from ..workload import preset
+
+    if args.smoke:
+        # The CI gate after `repro loadtest --smoke`: scripted proxy
+        # crash + 2% frame drops; raises RuntimeProtocolError (exit 3)
+        # when the four ratios diverge or conservation breaks.
+        report = run_chaos_smoke(args.seed, tolerance=args.tolerance)
+    else:
+        try:
+            workload = (
+                smoke_workload(args.seed)
+                if args.preset == "smoke"
+                else preset(args.preset, args.seed)
+            )
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        settings = ChaosSettings(
+            live=LiveSettings(
+                budget_bytes=args.budget_mb * 1e6,
+                request_timeout=args.timeout,
+                retries=args.retries,
+                seed=args.seed,
+            ),
+            crash_proxy=None if args.crash_proxy < 0 else args.crash_proxy,
+            crash_at=args.crash_at,
+            restart_at=None if args.restart_at < 0 else args.restart_at,
+            drop_rate=args.drop_rate,
+            latency_extra=args.latency_extra,
+            latency_target="" if args.latency_extra <= 0 else "origin",
+            partition_proxy=(
+                None if args.partition_proxy < 0 else args.partition_proxy
+            ),
+            partition_from=args.partition_from,
+            partition_until=(
+                None if args.partition_until < 0 else args.partition_until
+            ),
+        )
+        try:
+            report = run_chaos(workload, settings)
+        except (RuntimeProtocolError, TransportError):
+            raise  # mapped to dedicated exit codes by main()
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        report.require_resilience(args.tolerance)
+
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "clean": {
+                        "speculative": report.clean.speculative,
+                        "baseline": report.clean.baseline,
+                    },
+                    "faulted": {
+                        "speculative": report.faulted.speculative,
+                        "baseline": report.faulted.baseline,
+                    },
+                    "fault_events": [list(pair) for pair in report.fault_events],
+                    "divergence": report.max_ratio_divergence(),
+                },
+                sort_keys=True,
+            )
+        )
+        return
+    print(f"fault events ({len(report.fault_events)}):")
+    for time, label in report.fault_events:
+        print(f"  t={time:10.3f}s  {label[len('fault:'):]}")
+    print(f"clean ratios  : {report.clean.ratios.format()}")
+    print(f"faulted ratios: {report.faulted.ratios.format()}")
+    print(
+        f"divergence    : {report.max_ratio_divergence():.2%} "
+        "(max of 4 ratios)"
+    )
+    faulted = report.faulted.speculative.get("counters", {})
+    print(
+        "faulted run   : "
+        f"{faulted.get('retries', 0):,.0f} retries, "
+        f"{faulted.get('requests_failed', 0):,.0f} failed, "
+        f"{faulted.get('network.frames_dropped', 0):,.0f} frames dropped, "
+        f"{faulted.get('network.handler_errors', 0):,.0f} handler errors"
+    )
+
+
 def cmd_serve(args) -> None:
     """``repro serve`` — a real TCP origin server on a synthetic catalog."""
     import asyncio

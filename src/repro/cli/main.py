@@ -228,6 +228,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.set_defaults(handler=commands.cmd_loadtest)
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the live runtime under scripted fault injection and "
+        "verify the paper's ratios survive (proxy crashes, frame drops, "
+        "partitions, brownouts)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--preset",
+        default="smoke",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    chaos.add_argument(
+        "--budget-mb",
+        type=float,
+        default=2.0,
+        help="proxy dissemination budget in MB",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-request timeout in (virtual) seconds",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=3, help="retries per request"
+    )
+    chaos.add_argument(
+        "--crash-proxy",
+        type=int,
+        default=0,
+        help="index of the proxy to crash; -1 disables the crash",
+    )
+    chaos.add_argument(
+        "--crash-at",
+        type=float,
+        default=0.2,
+        help="crash time as a fraction of the fault-free run",
+    )
+    chaos.add_argument(
+        "--restart-at",
+        type=float,
+        default=0.5,
+        help="restart time as a fraction; -1 keeps the proxy down",
+    )
+    chaos.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.02,
+        help="injected global frame-drop probability",
+    )
+    chaos.add_argument(
+        "--latency-extra",
+        type=float,
+        default=0.0,
+        help="extra one-way seconds injected on the origin (brownout)",
+    )
+    chaos.add_argument(
+        "--partition-proxy",
+        type=int,
+        default=-1,
+        help="index of a proxy to partition from the origin; -1 disables",
+    )
+    chaos.add_argument(
+        "--partition-from",
+        type=float,
+        default=0.2,
+        help="partition start as a fraction of the fault-free run",
+    )
+    chaos.add_argument(
+        "--partition-until",
+        type=float,
+        default=0.5,
+        help="partition heal as a fraction; -1 never heals",
+    )
+    chaos.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max faulted-vs-clean ratio divergence before failing",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic CI self-test: smoke workload, proxy crash + "
+        "2%% frame drops (exit 3 on divergence or conservation failure)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    chaos.set_defaults(handler=commands.cmd_chaos)
+
     serve = subparsers.add_parser(
         "serve",
         help="serve a synthetic catalog over real TCP with in-band "

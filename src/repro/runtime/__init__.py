@@ -9,22 +9,43 @@ one message protocol — a deterministic in-memory network under a
 virtual clock (tests, benchmarks, ``repro loadtest``) and real TCP
 (``repro serve``).
 
+The layer is hardened against injected failures: a scripted, seeded
+fault plan (:mod:`~repro.runtime.faults`) can crash proxies, partition
+links, ramp frame drops and brown out the origin, while the resilience
+machinery (:mod:`~repro.runtime.resilience` — retry backoff, circuit
+breakers, duplicate-service accounting, daemon anti-entropy re-push)
+carries the run through with the paper's four ratios intact.
+
 Entry points: :func:`~repro.runtime.service.run_loadtest` /
-:func:`~repro.runtime.service.run_smoke`, or the ``repro serve`` and
-``repro loadtest`` CLI commands.
+:func:`~repro.runtime.service.run_smoke` /
+:func:`~repro.runtime.service.run_chaos`, or the ``repro serve``,
+``repro loadtest`` and ``repro chaos`` CLI commands.
 """
 
 from .clock import VirtualClock, run_virtual
 from .daemon import DisseminationDaemon
 from .estimator import OnlineDependencyEstimator
+from .faults import FaultEvent, FaultInjector, FaultPlan
 from .loadgen import ClientRoute, LoadConfig, LoadGenerator
 from .messages import Message
-from .metrics import Counter, Histogram, MetricsRegistry, live_ratios
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    live_ratios,
+    verify_conservation,
+)
 from .origin import OriginServer
 from .proxy import ProxyNode
+from .resilience import BackoffPolicy, CircuitBreaker, DuplicateFilter, retry_rng
 from .service import (
+    ChaosReport,
+    ChaosSettings,
     LiveReport,
     LiveSettings,
+    chaos_smoke_settings,
+    run_chaos,
+    run_chaos_smoke,
     run_loadtest,
     run_smoke,
     smoke_workload,
@@ -32,10 +53,18 @@ from .service import (
 from .transport import Endpoint, InMemoryNetwork, TcpServer, tcp_call
 
 __all__ = [
+    "BackoffPolicy",
+    "ChaosReport",
+    "ChaosSettings",
+    "CircuitBreaker",
     "ClientRoute",
     "Counter",
     "DisseminationDaemon",
+    "DuplicateFilter",
     "Endpoint",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Histogram",
     "InMemoryNetwork",
     "LiveReport",
@@ -49,10 +78,15 @@ __all__ = [
     "ProxyNode",
     "TcpServer",
     "VirtualClock",
+    "chaos_smoke_settings",
     "live_ratios",
+    "retry_rng",
+    "run_chaos",
+    "run_chaos_smoke",
     "run_loadtest",
     "run_smoke",
     "run_virtual",
     "smoke_workload",
     "tcp_call",
+    "verify_conservation",
 ]

@@ -7,6 +7,12 @@ server decides, from its own logs, what to push toward its clientele
 :class:`~repro.core.planner.DisseminationPlan` from the origin's
 recently-served requests and pushes the chosen documents to every
 proxy.
+
+For fault tolerance the daemon also acts as the *anti-entropy* channel:
+when a proxy restarts after a crash (its volatile holdings are gone),
+:meth:`DisseminationDaemon.request_repush` wakes the daemon to re-push
+the **last** plan to that proxy without replanning, so the proxy's
+holdings converge back to the pre-crash state deterministically.
 """
 
 from __future__ import annotations
@@ -29,9 +35,14 @@ class DisseminationDaemon:
         endpoint: Endpoint to push from (typically the origin's own).
         proxies: Proxy endpoint names to push to.
         budget_bytes: Proxy storage budget per replan.
-        interval: Seconds between replans (the paper's UpdateCycle).
+        interval: Seconds between replans (the paper's UpdateCycle);
+            None disables periodic replanning — the daemon then only
+            answers explicit re-push requests (anti-entropy mode).
         push_timeout: Per-push ack timeout.
         metrics: Shared metrics registry.
+        static_entries: Seed ``(doc_id, size)`` holdings to re-push
+            before the first replan has happened (typically the offline
+            dissemination plan the proxies started with).
     """
 
     def __init__(
@@ -41,9 +52,10 @@ class DisseminationDaemon:
         proxies: list[str],
         *,
         budget_bytes: float,
-        interval: float = 3600.0,
+        interval: float | None = 3600.0,
         push_timeout: float | None = 30.0,
         metrics: MetricsRegistry | None = None,
+        static_entries: list[list] | None = None,
     ):
         self._origin = origin
         self._endpoint = endpoint
@@ -53,6 +65,40 @@ class DisseminationDaemon:
         self._push_timeout = push_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.replans = 0
+        self._last_entries: list[list] = [
+            [str(doc_id), int(size)] for doc_id, size in (static_entries or [])
+        ]
+        self._paused = False
+        self._repush_pending: set[str] = set()
+        self._wake = asyncio.Event()
+
+    @property
+    def paused(self) -> bool:
+        """True while a fault plan has the daemon paused."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Fault hook: stop replanning/pushing until :meth:`resume`."""
+        self._paused = True
+        self.metrics.counter("daemon.pauses").inc()
+
+    def resume(self) -> None:
+        """Fault hook: resume, and immediately serve any queued re-pushes."""
+        self._paused = False
+        self.metrics.counter("daemon.resumes").inc()
+        if self._repush_pending:
+            self._wake.set()
+
+    def request_repush(self, proxy: str) -> None:
+        """Queue an anti-entropy re-push of the last plan to one proxy.
+
+        Called from a restarted proxy's fault hook; the daemon's run
+        loop picks it up immediately (or as soon as it is resumed).
+        """
+        self._repush_pending.add(proxy)
+        self.metrics.counter("daemon.repush_requests").inc()
+        if not self._paused:
+            self._wake.set()
 
     def compute_plan_documents(self) -> tuple[str, ...]:
         """One replan from the origin's recent history.
@@ -72,6 +118,27 @@ class DisseminationDaemon:
             return ()  # degenerate history (e.g. zero remote bytes)
         return plan.documents.get(self._origin.name, ())
 
+    async def _push_to(self, proxy: str, entries: list[list]) -> bool:
+        """Push one holdings snapshot to one proxy; False on timeout."""
+        payload_bytes = 0
+        for _, size in entries:
+            payload_bytes += size
+        message = Message(
+            kind="push",
+            sender=self._endpoint.name,
+            request_id=self._endpoint.next_request_id(),
+            payload={"documents": entries, "mode": "replace"},
+            body_bytes=payload_bytes,
+        )
+        try:
+            await self._endpoint.call(proxy, message, timeout=self._push_timeout)
+        except TransportError:
+            self.metrics.counter("daemon.failed_pushes").inc()
+            return False
+        self.metrics.counter("daemon.pushes").inc()
+        self.metrics.counter("daemon.pushed_bytes").inc(payload_bytes)
+        return True
+
     async def push_once(self) -> tuple[str, ...]:
         """Replan and push the resulting holdings to every proxy.
 
@@ -88,32 +155,48 @@ class DisseminationDaemon:
             for doc_id in documents
             if doc_id in catalog
         ]
-        payload_bytes = 0
-        for _, size in entries:
-            payload_bytes += size
+        self._last_entries = entries
         for proxy in self._proxies:
-            message = Message(
-                kind="push",
-                sender=self._endpoint.name,
-                request_id=self._endpoint.next_request_id(),
-                payload={"documents": entries, "mode": "replace"},
-                body_bytes=payload_bytes,
-            )
-            try:
-                await self._endpoint.call(
-                    proxy, message, timeout=self._push_timeout
-                )
-            except TransportError:
-                self.metrics.counter("daemon.failed_pushes").inc()
-                continue
-            self.metrics.counter("daemon.pushes").inc()
-            self.metrics.counter("daemon.pushed_bytes").inc(payload_bytes)
+            await self._push_to(proxy, entries)
         self.replans += 1
         self.metrics.counter("daemon.replans").inc()
         return documents
 
+    async def repush_pending(self) -> None:
+        """Serve queued anti-entropy re-pushes from the last known plan."""
+        while self._repush_pending:
+            proxy = min(self._repush_pending)  # deterministic order
+            self._repush_pending.discard(proxy)
+            if not self._last_entries:
+                continue
+            if await self._push_to(proxy, list(self._last_entries)):
+                self.metrics.counter("daemon.repushes").inc()
+            else:
+                # proxy still unreachable — leave it queued for later
+                self._repush_pending.add(proxy)
+                return
+
     async def run(self) -> None:
-        """Replan forever on the UpdateCycle; cancel the task to stop."""
+        """Replan on the UpdateCycle and serve re-push requests.
+
+        Cancel the task to stop.  With ``interval=None`` the loop only
+        wakes for :meth:`request_repush` calls.
+        """
         while True:
-            await asyncio.sleep(self._interval)
-            await self.push_once()
+            self._wake.clear()
+            cycle_due = False
+            if self._interval is None:
+                await self._wake.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._wake.wait(), self._interval)
+                except asyncio.TimeoutError:
+                    cycle_due = True
+            if self._paused:
+                if cycle_due:
+                    self.metrics.counter("daemon.skipped_cycles").inc()
+                continue
+            if self._repush_pending:
+                await self.repush_pending()
+            if cycle_due:
+                await self.push_once()

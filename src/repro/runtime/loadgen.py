@@ -18,15 +18,18 @@ does, while measured (virtual) latencies feed separate histograms.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..config import BASELINE, BaselineConfig
-from ..errors import TransportError
+from ..errors import RuntimeProtocolError, TransportError
 from ..speculation.caches import ClientCache, make_cache_factory
 from ..trace.records import Request
 from .messages import Message, make_request
 from .metrics import MetricsRegistry
+from .resilience import BackoffPolicy, retry_rng
 from .transport import Endpoint, InMemoryNetwork
 
 
@@ -58,6 +61,11 @@ class LoadConfig:
             paper's cooperative-clients variant; required for exact
             batch parity of speculation decisions).
         inbox_limit: Per-client endpoint inbox bound.
+        backoff: Exponential-backoff policy applied between retry
+            attempts (seeded jitter; a no-op on fault-free runs, which
+            never retry).
+        backoff_seed: Seeds each client's jitter RNG (per-client
+            streams stay independent and reproducible).
     """
 
     concurrency: int = 32
@@ -65,6 +73,8 @@ class LoadConfig:
     retries: int = 1
     cooperative: bool = True
     inbox_limit: int = 64
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    backoff_seed: int = 0
 
 
 class LoadGenerator:
@@ -132,6 +142,7 @@ class LoadGenerator:
         endpoint.start(None)  # replies only; clients never serve
         cache = self._cache_factory()
         metrics = self.metrics
+        rng = retry_rng(self._load.backoff_seed, client)
         loop = asyncio.get_running_loop()
         try:
             for request in requests:
@@ -148,7 +159,9 @@ class LoadGenerator:
                     digest = tuple(sorted(cache.digest()))
                 async with semaphore:
                     started = loop.time()
-                    reply = await self._attempt(endpoint, route, request, digest)
+                    reply = await self._attempt(
+                        endpoint, route, request, digest, rng
+                    )
                     elapsed = loop.time() - started
                 if reply is None:
                     metrics.counter("requests_failed").inc()
@@ -164,9 +177,19 @@ class LoadGenerator:
         route: ClientRoute,
         request: Request,
         digest: tuple[str, ...],
+        rng: np.random.Generator,
     ) -> Message | None:
-        """One request with bounded retries; None when all attempts fail."""
+        """One request with bounded retries; None when all attempts fail.
+
+        Transport failures (timeouts, dropped frames) are retried with
+        exponential backoff under a fresh correlation id but the same
+        demand key, so servers can account retries as duplicate
+        service.  Protocol errors are *not* retried — the peer answered
+        and will answer identically again — and must not escape, or one
+        bad document would kill the whole client worker mid-session.
+        """
         attempts = 1 + max(0, self._load.retries)
+        demand_key = endpoint.next_request_id()
         for attempt in range(attempts):
             message = make_request(
                 endpoint.name,
@@ -174,6 +197,7 @@ class LoadGenerator:
                 request.doc_id,
                 request.timestamp,
                 digest=digest,
+                demand=demand_key,
             )
             try:
                 return await endpoint.call(
@@ -184,7 +208,13 @@ class LoadGenerator:
             except TransportError:
                 if attempt + 1 < attempts:
                     self.metrics.counter("retries").inc()
+                    delay = self._load.backoff.delay(attempt, rng)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
                 continue
+            except RuntimeProtocolError:
+                self.metrics.counter("protocol_errors").inc()
+                return None
         return None
 
     def _account(
@@ -201,6 +231,7 @@ class LoadGenerator:
         size = int(payload.get("size", request.size))
         served_by = payload.get("served_by", self._origin_name)
 
+        metrics.counter("received_bytes").inc(size)
         if served_by == self._origin_name:
             metrics.counter("origin_requests").inc()
             serving_depth = 0

@@ -129,18 +129,28 @@ def make_request(
     timestamp: float,
     *,
     digest: tuple[str, ...] = (),
+    demand: str = "",
 ) -> Message:
-    """A client's demand request, optionally piggybacking its cache digest."""
+    """A client's demand request, optionally piggybacking its cache digest.
+
+    ``demand`` is the *stable* demand key: retries of one logical
+    request carry fresh ``request_id`` correlation ids but the same
+    demand key, which lets servers classify re-served requests as
+    duplicate service instead of fresh load (at-least-once accounting).
+    """
+    payload: dict[str, Any] = {
+        "doc_id": doc_id,
+        "client": sender,
+        "timestamp": timestamp,
+        "digest": list(digest),
+    }
+    if demand:
+        payload["req"] = demand
     return Message(
         kind="request",
         sender=sender,
         request_id=request_id,
-        payload={
-            "doc_id": doc_id,
-            "client": sender,
-            "timestamp": timestamp,
-            "digest": list(digest),
-        },
+        payload=payload,
         body_bytes=64 + 8 * len(digest),
     )
 

@@ -16,6 +16,7 @@ import asyncio
 import json
 from typing import Any, Callable
 
+from ..errors import RuntimeProtocolError
 from ..speculation.metrics import SpeculationRatios
 
 
@@ -80,11 +81,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Creates-on-first-use registry of counters and histograms."""
+    """Creates-on-first-use registry of counters, histograms and events."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._events: list[tuple[float, str]] = []
 
     def counter(self, name: str) -> Counter:
         """The named counter, created at zero on first use."""
@@ -107,9 +109,17 @@ class MetricsRegistry:
         found = self._counters.get(name)
         return found.value if found is not None else 0
 
+    def record_event(self, time: float, name: str) -> None:
+        """Append one timestamped event (fault injections, recoveries)."""
+        self._events.append((round(float(time), 9), name))
+
     def snapshot(self) -> dict[str, Any]:
-        """Plain-dict snapshot: sorted counters + histogram summaries."""
-        return {
+        """Plain-dict snapshot: sorted counters + histogram summaries.
+
+        The event timeline is included only when non-empty, so clean
+        runs keep their historical snapshot shape.
+        """
+        snapshot: dict[str, Any] = {
             "counters": {
                 name: self._counters[name].value
                 for name in sorted(self._counters)
@@ -119,6 +129,9 @@ class MetricsRegistry:
                 for name in sorted(self._histograms)
             },
         }
+        if self._events:
+            snapshot["events"] = [[time, name] for time, name in self._events]
+        return snapshot
 
     def to_json(self, *, indent: int | None = None) -> str:
         """Canonical JSON rendering — identical runs give identical text."""
@@ -186,3 +199,91 @@ def live_ratios(
         ),
         miss_rate_ratio=_ratio(miss_rate(spec), miss_rate(base)),
     )
+
+
+def verify_conservation(snapshot: dict[str, Any], *, strict: bool = False) -> None:
+    """Check byte/frame conservation invariants on one run snapshot.
+
+    Two families of invariants:
+
+    * **Network identity** (always): every frame the network accepted
+      was delivered, dropped, rejected, or is still in flight —
+      ``frames_sent == delivered + dropped + rejected + inflight``,
+      and the same identity over body bytes.  Each term is counted on
+      an independent code path, so this cross-checks the transport's
+      accounting rather than restating it.
+    * **Service conservation**: clients cannot receive more demand or
+      speculated bytes than servers served (including duplicate and
+      stale service).  With ``strict=True`` — valid only for fault-free
+      runs, where nothing is lost in flight — the relation must be
+      exact equality per category.
+
+    Raises:
+        RuntimeProtocolError: When an invariant is violated.
+    """
+    counters = snapshot.get("counters", {})
+
+    def value(name: str) -> float:
+        return counters.get(name, 0)
+
+    sent = value("network.frames_sent")
+    settled = (
+        value("network.frames_delivered")
+        + value("network.frames_dropped")
+        + value("network.frames_rejected")
+        + value("network.frames_inflight")
+    )
+    if sent != settled:
+        raise RuntimeProtocolError(
+            f"frame conservation violated: sent {sent:g} != settled {settled:g}"
+        )
+    sent_bytes = value("network.bytes_sent")
+    settled_bytes = (
+        value("network.bytes_delivered")
+        + value("network.bytes_dropped")
+        + value("network.bytes_rejected")
+        + value("network.bytes_inflight")
+    )
+    if sent_bytes != settled_bytes:
+        raise RuntimeProtocolError(
+            f"byte conservation violated on the wire: sent {sent_bytes:g} "
+            f"!= settled {settled_bytes:g}"
+        )
+
+    proxy_demand = sum(
+        amount
+        for name, amount in counters.items()
+        if name.startswith("proxy.") and name.endswith(".bytes_served")
+    )
+    proxy_duplicates = sum(
+        amount
+        for name, amount in counters.items()
+        if name.startswith("proxy.") and name.endswith(".duplicate_bytes")
+    )
+    served_demand = value("origin.bytes_served") + proxy_demand
+    served_riders = value("origin.speculated_bytes")
+    duplicates = value("origin.duplicate_bytes") + proxy_duplicates
+    received_demand = value("received_bytes")
+    received_riders = value("speculated_bytes")
+
+    if strict:
+        if received_demand != served_demand or duplicates != 0:
+            raise RuntimeProtocolError(
+                "byte conservation violated (strict): received "
+                f"{received_demand:g} demand bytes vs served {served_demand:g} "
+                f"(+{duplicates:g} duplicate)"
+            )
+        if received_riders != served_riders:
+            raise RuntimeProtocolError(
+                "byte conservation violated (strict): received "
+                f"{received_riders:g} speculated bytes vs served "
+                f"{served_riders:g}"
+            )
+        return
+    served_total = served_demand + served_riders + duplicates
+    received_total = received_demand + received_riders
+    if received_total > served_total:
+        raise RuntimeProtocolError(
+            f"byte conservation violated: clients received {received_total:g} "
+            f"bytes but servers only served {served_total:g}"
+        )

@@ -18,6 +18,7 @@ from ..trace.records import Document, Request, Trace
 from .estimator import OnlineDependencyEstimator
 from .messages import Message, make_error, make_response
 from .metrics import MetricsRegistry
+from .resilience import DuplicateFilter
 
 
 class OriginServer:
@@ -58,6 +59,7 @@ class OriginServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.name = name
         self._history: deque[Request] = deque(maxlen=history_limit)
+        self._dedupe = DuplicateFilter()
 
     async def handle(self, message: Message) -> Message | None:
         """Answer one inbound message; never raises to the transport."""
@@ -95,17 +97,32 @@ class OriginServer:
                 f"unknown document {doc_id!r}",
             )
 
-        self.metrics.counter("origin.requests").inc()
-        self.metrics.counter("origin.bytes_served").inc(document.size)
-        self._history.append(
-            Request(
-                timestamp=float(timestamp),
-                client=str(client),
-                doc_id=doc_id,
-                size=document.size,
-            )
+        # At-least-once accounting: a retry of a demand the origin
+        # already served (its reply was lost in flight) is served again
+        # but counted as duplicate service, not fresh load — otherwise
+        # every dropped reply would inflate server load and speculative
+        # push bytes beyond what the batch replay can reproduce.
+        demand_key = payload.get("req")
+        duplicate = (
+            isinstance(demand_key, str)
+            and bool(demand_key)
+            and self._dedupe.seen(demand_key)
         )
-        self._estimator.observe(str(client), doc_id, float(timestamp))
+        if duplicate:
+            self.metrics.counter("origin.duplicate_requests").inc()
+            self.metrics.counter("origin.duplicate_bytes").inc(document.size)
+        else:
+            self.metrics.counter("origin.requests").inc()
+            self.metrics.counter("origin.bytes_served").inc(document.size)
+            self._history.append(
+                Request(
+                    timestamp=float(timestamp),
+                    client=str(client),
+                    doc_id=doc_id,
+                    size=document.size,
+                )
+            )
+            self._estimator.observe(str(client), doc_id, float(timestamp))
 
         riders: list[tuple[str, int]] = []
         if self._policy is not None:
@@ -120,8 +137,15 @@ class OriginServer:
                 if candidate.doc_id in cached:
                     continue
                 riders.append((rider.doc_id, rider.size))
-                self.metrics.counter("origin.speculated_documents").inc()
-                self.metrics.counter("origin.speculated_bytes").inc(rider.size)
+                if duplicate:
+                    self.metrics.counter("origin.duplicate_bytes").inc(
+                        rider.size
+                    )
+                else:
+                    self.metrics.counter("origin.speculated_documents").inc()
+                    self.metrics.counter("origin.speculated_bytes").inc(
+                        rider.size
+                    )
 
         return make_response(
             self.name,

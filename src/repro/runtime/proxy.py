@@ -9,13 +9,39 @@ origin's reply (including speculated riders) is relayed back unchanged.
 
 Holdings change at runtime via ``push`` messages from the dissemination
 daemon.
+
+Failure semantics (see ``docs/runtime.md``):
+
+* Upstream forwards go through a per-upstream
+  :class:`~repro.runtime.resilience.CircuitBreaker`; after repeated
+  transport failures the proxy fast-fails misses instead of burning a
+  full timeout per request, and probes the upstream again after the
+  breaker's reset window.
+* Forward attempts retry with seeded exponential backoff before the
+  client's own timeout gives up.
+* While the upstream is unreachable the proxy keeps serving its
+  disseminated holdings (counted as stale service) and queues the
+  misses it had to reject; once the breaker closes again the queued
+  misses are fetched and folded into holdings.
+* Retried requests whose earlier reply was lost are served again but
+  counted as duplicate service (at-least-once accounting).
 """
 
 from __future__ import annotations
 
+import asyncio
+from collections import OrderedDict
+
 from ..errors import RuntimeProtocolError, TransportError
-from .messages import Message, make_error, make_response
+from .messages import Message, make_error, make_request, make_response
 from .metrics import MetricsRegistry
+from .resilience import (
+    BREAKER_OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    DuplicateFilter,
+    retry_rng,
+)
 from .transport import Endpoint
 
 
@@ -31,6 +57,14 @@ class ProxyNode:
         metrics: Shared metrics registry.
         upstream_timeout: Per-forward timeout in seconds (None waits
             forever).
+        breaker: Upstream circuit breaker; a default one (4 failures,
+            reset after two upstream timeouts) is built when omitted.
+        backoff: Backoff policy between forward retry attempts.
+        forward_retries: Extra forward attempts after a transport
+            failure before giving up on a request.
+        backoff_seed: Seeds this proxy's retry-jitter RNG.
+        miss_queue_limit: Bound on misses remembered while the
+            upstream is unreachable (oldest kept).
     """
 
     def __init__(
@@ -42,6 +76,11 @@ class ProxyNode:
         holdings: dict[str, int] | None = None,
         metrics: MetricsRegistry | None = None,
         upstream_timeout: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        backoff: BackoffPolicy | None = None,
+        forward_retries: int = 1,
+        backoff_seed: int = 0,
+        miss_queue_limit: int = 64,
     ):
         self.name = name
         self._endpoint = endpoint
@@ -49,11 +88,69 @@ class ProxyNode:
         self._holdings: dict[str, int] = dict(holdings or {})
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._upstream_timeout = upstream_timeout
+        if breaker is None:
+            reset = 2.0 * (upstream_timeout if upstream_timeout else 30.0)
+            breaker = CircuitBreaker(failure_threshold=4, reset_timeout=reset)
+        breaker.watch(self._breaker_transition)
+        self._breaker = breaker
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
+        self._forward_retries = max(0, forward_retries)
+        self._rng = retry_rng(backoff_seed, name)
+        self._missed: OrderedDict[str, float] = OrderedDict()
+        self._miss_queue_limit = miss_queue_limit
+        self._dedupe = DuplicateFilter()
+        self._recovery_task: asyncio.Task[None] | None = None
 
     @property
     def holdings(self) -> dict[str, int]:
         """Current holdings (``doc_id → size``), a defensive copy."""
         return dict(self._holdings)
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The upstream circuit breaker (exposed for tests and chaos)."""
+        return self._breaker
+
+    @property
+    def queued_misses(self) -> tuple[str, ...]:
+        """Doc ids queued while the upstream was unreachable."""
+        return tuple(self._missed)
+
+    def _breaker_transition(self, old_state: str, new_state: str) -> None:
+        self.metrics.counter(f"proxy.{self.name}.breaker.{new_state}").inc()
+        self.metrics.record_event(
+            self._loop_time(), f"breaker:{self.name}:{old_state}->{new_state}"
+        )
+
+    def _loop_time(self) -> float:
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:  # outside a loop (unit tests)
+            return 0.0
+
+    def on_crash(self) -> None:
+        """Fault hook: the process died — volatile holdings are lost."""
+        lost = len(self._holdings)
+        self._holdings = {}
+        self._missed.clear()
+        self.metrics.counter(f"proxy.{self.name}.crashes").inc()
+        if lost:
+            self.metrics.counter(f"proxy.{self.name}.holdings_lost").inc(lost)
+
+    def on_restart(self) -> None:
+        """Fault hook: back up, empty-handed until the daemon re-pushes."""
+        self.metrics.counter(f"proxy.{self.name}.restarts").inc()
+
+    async def close(self) -> None:
+        """Cancel the background miss-recovery task, if any."""
+        task = self._recovery_task
+        self._recovery_task = None
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
 
     async def handle(self, message: Message) -> Message | None:
         """Serve, forward, or apply a push."""
@@ -106,6 +203,75 @@ class ProxyNode:
             body_bytes=16,
         )
 
+    def _local_response(self, message: Message, doc_id: str, size: int) -> Message:
+        demand_key = message.payload.get("req")
+        duplicate = (
+            isinstance(demand_key, str)
+            and bool(demand_key)
+            and self._dedupe.seen(demand_key)
+        )
+        if duplicate:
+            self.metrics.counter(f"proxy.{self.name}.duplicate_requests").inc()
+            self.metrics.counter(f"proxy.{self.name}.duplicate_bytes").inc(size)
+        else:
+            self.metrics.counter(f"proxy.{self.name}.hits").inc()
+            self.metrics.counter(f"proxy.{self.name}.bytes_served").inc(size)
+            if self._breaker.state == BREAKER_OPEN:
+                # Partitioned from the origin but still serving what
+                # dissemination left here — possibly stale, better than
+                # nothing (the paper's proxies hold immutable copies).
+                self.metrics.counter(f"proxy.{self.name}.stale_serves").inc()
+        return make_response(
+            self.name, message.request_id, doc_id, size, self.name
+        )
+
+    def _queue_miss(self, doc_id: str, timestamp: float) -> None:
+        if doc_id in self._missed:
+            return
+        if len(self._missed) >= self._miss_queue_limit:
+            self.metrics.counter(f"proxy.{self.name}.miss_queue_overflow").inc()
+            return
+        self._missed[doc_id] = timestamp
+        self.metrics.counter(f"proxy.{self.name}.queued_misses").inc()
+
+    def _schedule_recovery(self) -> None:
+        if not self._missed:
+            return
+        if self._recovery_task is not None and not self._recovery_task.done():
+            return
+        loop = asyncio.get_running_loop()
+        self._recovery_task = loop.create_task(self._recover_misses())
+
+    async def _recover_misses(self) -> None:
+        """Fetch queued misses into holdings once the upstream is back."""
+        while self._missed:
+            doc_id, timestamp = next(iter(self._missed.items()))
+            message = make_request(
+                self.name,
+                self._endpoint.next_request_id(),
+                doc_id,
+                timestamp,
+            )
+            try:
+                reply = await self._endpoint.call(
+                    self._upstream, message, timeout=self._upstream_timeout
+                )
+            except TransportError:
+                self._breaker.record_failure()
+                return  # upstream flaky again; retry on the next close
+            except RuntimeProtocolError:
+                # e.g. the document no longer exists; drop it for good
+                self._missed.pop(doc_id, None)
+                continue
+            self._breaker.record_success()
+            self._missed.pop(doc_id, None)
+            size = reply.payload.get("size")
+            if isinstance(size, (int, float)):
+                self._holdings[doc_id] = int(size)
+                self.metrics.counter(
+                    f"proxy.{self.name}.recovered_misses"
+                ).inc()
+
     async def _serve(self, message: Message) -> Message:
         doc_id = message.payload.get("doc_id")
         if not isinstance(doc_id, str):
@@ -115,10 +281,18 @@ class ProxyNode:
             )
         size = self._holdings.get(doc_id)
         if size is not None:
-            self.metrics.counter(f"proxy.{self.name}.hits").inc()
-            self.metrics.counter(f"proxy.{self.name}.bytes_served").inc(size)
-            return make_response(
-                self.name, message.request_id, doc_id, size, self.name
+            return self._local_response(message, doc_id, size)
+
+        timestamp = message.payload.get("timestamp")
+        timestamp = float(timestamp) if isinstance(timestamp, (int, float)) else 0.0
+        if not self._breaker.allow():
+            # Fast-fail: don't burn an upstream timeout per miss while
+            # the breaker is open; remember the miss for recovery.
+            self._queue_miss(doc_id, timestamp)
+            self.metrics.counter(f"proxy.{self.name}.breaker_fast_fails").inc()
+            return make_error(
+                self.name, message.request_id, "transport",
+                f"upstream {self._upstream!r} unavailable (circuit open)",
             )
 
         self.metrics.counter(f"proxy.{self.name}.forwards").inc()
@@ -129,23 +303,41 @@ class ProxyNode:
             payload=dict(message.payload),
             body_bytes=message.body_bytes,
         )
-        try:
-            reply = await self._endpoint.call(
-                self._upstream, forwarded, timeout=self._upstream_timeout
+        attempts = 1 + self._forward_retries
+        for attempt in range(attempts):
+            try:
+                reply = await self._endpoint.call(
+                    self._upstream, forwarded, timeout=self._upstream_timeout
+                )
+            except TransportError as err:
+                self._breaker.record_failure()
+                if attempt + 1 < attempts and self._breaker.allow():
+                    self.metrics.counter(
+                        f"proxy.{self.name}.forward_retries"
+                    ).inc()
+                    delay = self._backoff.delay(attempt, self._rng)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    continue
+                self._queue_miss(doc_id, timestamp)
+                return make_error(
+                    self.name, message.request_id, "transport",
+                    f"upstream {self._upstream!r} unreachable: {err}",
+                )
+            except RuntimeProtocolError as err:
+                # The upstream answered (connectivity is fine): the
+                # request itself is bad, and retrying cannot fix it.
+                self._breaker.record_success()
+                return make_error(
+                    self.name, message.request_id, "protocol", str(err)
+                )
+            self._breaker.record_success()
+            self._schedule_recovery()
+            return Message(
+                kind="response",
+                sender=self.name,
+                request_id=message.request_id,
+                payload=dict(reply.payload),
+                body_bytes=reply.body_bytes,
             )
-        except TransportError as err:
-            return make_error(
-                self.name, message.request_id, "transport",
-                f"upstream {self._upstream!r} unreachable: {err}",
-            )
-        except RuntimeProtocolError as err:
-            return make_error(
-                self.name, message.request_id, "protocol", str(err)
-            )
-        return Message(
-            kind="response",
-            sender=self.name,
-            request_id=message.request_id,
-            payload=dict(reply.payload),
-            body_bytes=reply.body_bytes,
-        )
+        raise AssertionError("unreachable: forward loop always returns")

@@ -14,14 +14,24 @@ estimator defaults to a frozen (warm-up-trained) model, a run is fully
 deterministic *and* decision-for-decision comparable with
 :class:`~repro.core.combined.CombinedProtocolSimulator` on the same
 workload — ``verify_batch=True`` performs that comparison inline.
+
+:func:`run_chaos` (behind ``repro chaos``) replays the same serving
+half **four** times: the clean baseline/speculative pair, then the same
+pair under a scripted :class:`~repro.runtime.faults.FaultPlan` — proxy
+crash + restart, frame-drop ramps, brownouts, partitions.  Because both
+arms of each pair suffer identical faults, the four ratios survive the
+chaos; :meth:`ChaosReport.require_resilience` asserts they stay within
+tolerance of the fault-free ratios while
+:func:`~repro.runtime.metrics.verify_conservation` checks that no byte
+was conjured or silently lost along the way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..config import BASELINE, BaselineConfig
 from ..core.combined import CombinedProtocolSimulator, CombinedResult
@@ -37,8 +47,9 @@ from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
 from .clock import run_virtual
 from .daemon import DisseminationDaemon
 from .estimator import OnlineDependencyEstimator
+from .faults import FaultInjector, FaultPlan
 from .loadgen import ClientRoute, LoadConfig, LoadGenerator
-from .metrics import MetricsRegistry, live_ratios
+from .metrics import MetricsRegistry, live_ratios, verify_conservation
 from .origin import OriginServer
 from .proxy import ProxyNode
 from .transport import InMemoryNetwork
@@ -136,6 +147,114 @@ class LiveReport:
             )
 
 
+@dataclass(frozen=True)
+class ChaosSettings:
+    """Knobs for one chaos run (``repro chaos``).
+
+    Fault times are **fractions of the fault-free run's virtual
+    duration** (measured from the clean speculative arm), so one
+    setting works across workloads of any size; :func:`run_chaos`
+    converts them to absolute virtual seconds when it builds the
+    :class:`~repro.runtime.faults.FaultPlan`.
+
+    Attributes:
+        live: The underlying live-run knobs (both pairs use them).
+        crash_proxy: Index into the sorted proxy list to crash; None
+            disables the crash.
+        crash_at: When the proxy crashes (fraction of run).
+        restart_at: When it restarts; None means it stays down.
+        drop_rate: Extra injected frame-drop probability (global).
+        drop_from: When the drop ramp starts (fraction of run).
+        drop_until: When it ends; None keeps dropping to the end.
+        latency_extra: Extra one-way seconds injected (absolute
+            seconds, not a fraction — it is a delay, not a time).
+        latency_target: Endpoint the brownout applies to; empty means
+            every link, and ``"origin"`` is an alias for the tree root.
+        latency_from: When the brownout starts (fraction of run).
+        latency_until: When it ends; None keeps it to the end.
+        partition_proxy: Index of a proxy to partition from the origin;
+            None disables the partition.
+        partition_from: When the partition starts (fraction of run).
+        partition_until: When it heals; None never heals.
+        pause_daemon_from: When the dissemination daemon pauses; None
+            disables the pause.
+        pause_daemon_until: When it resumes; None never resumes.
+    """
+
+    live: LiveSettings = field(default_factory=LiveSettings)
+    crash_proxy: int | None = 0
+    crash_at: float = 0.2
+    restart_at: float | None = 0.5
+    drop_rate: float = 0.0
+    drop_from: float = 0.0
+    drop_until: float | None = None
+    latency_extra: float = 0.0
+    latency_target: str = ""
+    latency_from: float = 0.0
+    latency_until: float | None = None
+    partition_proxy: int | None = None
+    partition_from: float = 0.0
+    partition_until: float | None = None
+    pause_daemon_from: float | None = None
+    pause_daemon_until: float | None = None
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Everything one chaos run produced.
+
+    Attributes:
+        clean: The fault-free baseline/speculative pair and its ratios.
+        faulted: The same pair replayed under the fault plan.
+        fault_events: ``(virtual_time, label)`` timeline of every fault
+            the injector fired during the faulted speculative arm.
+    """
+
+    clean: LiveReport
+    faulted: LiveReport
+    fault_events: tuple[tuple[float, str], ...] = ()
+
+    def max_ratio_divergence(self) -> float:
+        """Largest relative gap between faulted and clean ratios.
+
+        Compares all four of the paper's ratios: the whole point of the
+        resilience machinery is that scripted faults change *when*
+        things happen, not *what* the protocols ultimately deliver.
+        """
+        gaps = []
+        for clean, faulted in (
+            (self.clean.ratios.bandwidth_ratio, self.faulted.ratios.bandwidth_ratio),
+            (
+                self.clean.ratios.server_load_ratio,
+                self.faulted.ratios.server_load_ratio,
+            ),
+            (
+                self.clean.ratios.service_time_ratio,
+                self.faulted.ratios.service_time_ratio,
+            ),
+            (self.clean.ratios.miss_rate_ratio, self.faulted.ratios.miss_rate_ratio),
+        ):
+            scale = abs(clean) if clean else 1.0
+            gaps.append(abs(faulted - clean) / scale)
+        return max(gaps)
+
+    def require_resilience(self, tolerance: float = 0.05) -> None:
+        """Assert the faulted ratios track the fault-free ratios.
+
+        Raises:
+            RuntimeProtocolError: When any of the four ratios diverges
+                beyond ``tolerance``.
+        """
+        divergence = self.max_ratio_divergence()
+        if divergence > tolerance:
+            raise RuntimeProtocolError(
+                f"chaos ratios diverge {divergence:.1%} from the fault-free "
+                f"run (tolerance {tolerance:.0%}): faulted "
+                f"{self.faulted.ratios.format()} vs clean "
+                f"{self.clean.ratios.format()}"
+            )
+
+
 def smoke_workload(seed: int = 0) -> GeneratorConfig:
     """The small deterministic workload ``repro loadtest --smoke`` uses."""
     return GeneratorConfig(
@@ -154,6 +273,19 @@ def _region_of(tree: RoutingTree, client: str) -> str | None:
     return None
 
 
+def _restart_hook(
+    node: ProxyNode, daemon: DisseminationDaemon | None
+) -> Callable[[], None]:
+    """A proxy's restart callback: come back up, ask for a re-push."""
+
+    def hook() -> None:
+        node.on_restart()
+        if daemon is not None:
+            daemon.request_repush(node.name)
+
+    return hook
+
+
 async def _run_once(
     serve: Trace,
     tree: RoutingTree,
@@ -165,6 +297,7 @@ async def _run_once(
     settings: LiveSettings,
     estimator: OnlineDependencyEstimator,
     policy: ThresholdPolicy | None,
+    fault_plan: FaultPlan | None = None,
 ) -> dict[str, Any]:
     """One full live replay; returns the metrics snapshot."""
     depth_of = {node: tree.depth(node) for node in tree.nodes()}
@@ -179,6 +312,11 @@ async def _run_once(
         hop_count=hop_count,
     )
     metrics = MetricsRegistry()
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, seed=settings.seed, metrics=metrics)
+        network.attach_faults(injector)
+
     origin_endpoint = network.endpoint(tree.root)
     origin = OriginServer(
         serve.documents,
@@ -191,6 +329,7 @@ async def _run_once(
     origin_endpoint.start(origin.handle)
 
     proxy_endpoints = []
+    proxy_nodes: list[ProxyNode] = []
     for name in proxies:
         endpoint = network.endpoint(name)
         node = ProxyNode(
@@ -200,12 +339,18 @@ async def _run_once(
             holdings=holdings,
             metrics=metrics,
             upstream_timeout=settings.request_timeout,
+            backoff_seed=settings.seed,
         )
         endpoint.start(node.handle)
         proxy_endpoints.append(endpoint)
+        proxy_nodes.append(node)
 
+    daemon = None
     daemon_task = None
-    if settings.dissemination_interval is not None:
+    if settings.dissemination_interval is not None or injector is not None:
+        # Under a fault plan the daemon always runs (interval=None makes
+        # it anti-entropy only) so restarted proxies get their holdings
+        # re-pushed instead of degrading to forward-everything.
         daemon = DisseminationDaemon(
             origin,
             origin_endpoint,
@@ -213,8 +358,23 @@ async def _run_once(
             budget_bytes=settings.budget_bytes,
             interval=settings.dissemination_interval,
             metrics=metrics,
+            static_entries=[
+                [doc_id, size] for doc_id, size in sorted(holdings.items())
+            ],
         )
         daemon_task = asyncio.get_running_loop().create_task(daemon.run())
+
+    injector_task = None
+    if injector is not None:
+        for node in proxy_nodes:
+            injector.register_node(
+                node.name,
+                on_crash=node.on_crash,
+                on_restart=_restart_hook(node, daemon),
+            )
+        if daemon is not None:
+            injector.register_daemon(pause=daemon.pause, resume=daemon.resume)
+        injector_task = asyncio.get_running_loop().create_task(injector.run())
 
     generator = LoadGenerator(
         network,
@@ -227,20 +387,31 @@ async def _run_once(
             request_timeout=settings.request_timeout,
             retries=settings.retries,
             cooperative=settings.cooperative,
+            backoff_seed=settings.seed,
         ),
         metrics=metrics,
     )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
     try:
         await generator.run()
     finally:
-        if daemon_task is not None:
-            daemon_task.cancel()
+        background = [
+            task for task in (daemon_task, injector_task) if task is not None
+        ]
+        for task in background:
+            task.cancel()
+        if background:
+            await asyncio.gather(*background, return_exceptions=True)
+        for node in proxy_nodes:
+            await node.close()
         for endpoint in proxy_endpoints:
             await endpoint.close()
         await origin_endpoint.close()
 
+    metrics.counter("run.virtual_seconds").inc(round(loop.time() - started, 9))
     for name, value in network.stats().items():
-        metrics.counter(f"network.frames_{name}").inc(value)
+        metrics.counter(f"network.{name}").inc(value)
     return metrics.snapshot()
 
 
@@ -280,6 +451,97 @@ def _batch_ratios(
     )
 
 
+class _PreparedRun:
+    """Workload, topology and plan prep shared by every live arm.
+
+    Built once per :func:`run_loadtest` / :func:`run_chaos` call so the
+    clean and faulted arms replay byte-identical inputs.
+    """
+
+    def __init__(
+        self,
+        workload: GeneratorConfig,
+        settings: LiveSettings,
+        config: BaselineConfig,
+    ):
+        self.settings = settings
+        self.config = config
+        trace = SyntheticTraceGenerator(workload).generate().remote_only()
+        if len(trace) < 10:
+            raise SimulationError("workload too small for a live loadtest")
+
+        boundary = trace.start_time + settings.train_fraction * trace.duration
+        self.train = trace.window(trace.start_time, boundary)
+        self.serve = trace.window(boundary, trace.end_time + 1.0)
+        if len(self.train) == 0 or len(self.serve) == 0:
+            raise SimulationError(
+                "train/serve split produced an empty half; "
+                "adjust train_fraction or enlarge the workload"
+            )
+
+        self.tree = build_clientele_tree(trace)
+        self.proxies = sorted(
+            {
+                region
+                for client in self.serve.clients()
+                if (region := _region_of(self.tree, client)) is not None
+            }
+        )
+        self.routes: dict[str, ClientRoute] = {}
+        for client in self.serve.clients():
+            region = _region_of(self.tree, client)
+            target = region if region is not None else self.tree.root
+            self.routes[client] = ClientRoute(
+                target=target,
+                target_depth=self.tree.depth(target) if region is not None else 0,
+                depth=self.tree.depth(client),
+            )
+
+        planner = DisseminationPlanner(remote_only=True)
+        planner.add_server(self.tree.root, self.train)
+        plan = planner.plan(settings.budget_bytes)
+        plan_docs = plan.documents.get(self.tree.root, ())
+        catalog = trace.documents
+        self.holdings = {
+            doc_id: catalog[doc_id].size
+            for doc_id in plan_docs
+            if doc_id in catalog
+        }
+        self.policy = ThresholdPolicy(
+            threshold=config.threshold, max_size=config.max_size
+        )
+
+    def fresh_estimator(self) -> OnlineDependencyEstimator:
+        """A warm estimator; each arm gets its own (no state bleed)."""
+        estimator = OnlineDependencyEstimator(
+            window=self.config.stride_timeout,
+            stride_timeout=self.config.stride_timeout,
+            learn=self.settings.learn_online,
+            refresh_interval=self.settings.refresh_interval,
+        )
+        estimator.warm(self.train)
+        return estimator
+
+    def arm(
+        self, *, speculative: bool, fault_plan: FaultPlan | None = None
+    ) -> dict[str, Any]:
+        """Run one arm under the virtual clock; returns its snapshot."""
+        return run_virtual(
+            _run_once(
+                self.serve,
+                self.tree,
+                self.routes,
+                self.proxies,
+                self.holdings if speculative else {},
+                config=self.config,
+                settings=self.settings,
+                estimator=self.fresh_estimator(),
+                policy=self.policy if speculative else None,
+                fault_plan=fault_plan,
+            )
+        )
+
+
 def run_loadtest(
     workload: GeneratorConfig,
     settings: LiveSettings | None = None,
@@ -304,106 +566,178 @@ def run_loadtest(
             non-empty training and serving halves.
     """
     settings = settings if settings is not None else LiveSettings()
-    trace = SyntheticTraceGenerator(workload).generate().remote_only()
-    if len(trace) < 10:
-        raise SimulationError("workload too small for a live loadtest")
+    prepared = _PreparedRun(workload, settings, config)
 
-    boundary = trace.start_time + settings.train_fraction * trace.duration
-    train = trace.window(trace.start_time, boundary)
-    serve = trace.window(boundary, trace.end_time + 1.0)
-    if len(train) == 0 or len(serve) == 0:
-        raise SimulationError(
-            "train/serve split produced an empty half; "
-            "adjust train_fraction or enlarge the workload"
-        )
-
-    tree = build_clientele_tree(trace)
-    proxies = sorted(
-        {
-            region
-            for client in serve.clients()
-            if (region := _region_of(tree, client)) is not None
-        }
-    )
-    routes: dict[str, ClientRoute] = {}
-    for client in serve.clients():
-        region = _region_of(tree, client)
-        target = region if region is not None else tree.root
-        routes[client] = ClientRoute(
-            target=target,
-            target_depth=tree.depth(target) if region is not None else 0,
-            depth=tree.depth(client),
-        )
-
-    planner = DisseminationPlanner(remote_only=True)
-    planner.add_server(tree.root, train)
-    plan = planner.plan(settings.budget_bytes)
-    plan_docs = plan.documents.get(tree.root, ())
-    catalog = trace.documents
-    holdings = {
-        doc_id: catalog[doc_id].size
-        for doc_id in plan_docs
-        if doc_id in catalog
-    }
-    policy = ThresholdPolicy(
-        threshold=config.threshold, max_size=config.max_size
-    )
-
-    def fresh_estimator() -> OnlineDependencyEstimator:
-        estimator = OnlineDependencyEstimator(
-            window=config.stride_timeout,
-            stride_timeout=config.stride_timeout,
-            learn=settings.learn_online,
-            refresh_interval=settings.refresh_interval,
-        )
-        estimator.warm(train)
-        return estimator
-
-    baseline_snapshot = run_virtual(
-        _run_once(
-            serve,
-            tree,
-            routes,
-            proxies,
-            {},
-            config=config,
-            settings=settings,
-            estimator=fresh_estimator(),
-            policy=None,
-        )
-    )
-    speculative_snapshot = run_virtual(
-        _run_once(
-            serve,
-            tree,
-            routes,
-            proxies,
-            holdings,
-            config=config,
-            settings=settings,
-            estimator=fresh_estimator(),
-            policy=policy,
-        )
-    )
+    baseline_snapshot = prepared.arm(speculative=False)
+    speculative_snapshot = prepared.arm(speculative=True)
 
     ratios = live_ratios(speculative_snapshot, baseline_snapshot)
     batch = None
     if verify_batch:
         model = DependencyModel.estimate(
-            train,
+            prepared.train,
             window=config.stride_timeout,
             stride_timeout=config.stride_timeout,
         )
         batch = _batch_ratios(
-            serve, tree, proxies, set(holdings), model, policy, config
+            prepared.serve,
+            prepared.tree,
+            prepared.proxies,
+            set(prepared.holdings),
+            model,
+            prepared.policy,
+            config,
         )
     return LiveReport(
         baseline=baseline_snapshot,
         speculative=speculative_snapshot,
         ratios=ratios,
         batch_ratios=batch,
-        disseminated_documents=len(holdings),
+        disseminated_documents=len(prepared.holdings),
     )
+
+
+def _build_fault_plan(
+    settings: ChaosSettings, proxies: list[str], root: str, duration: float
+) -> FaultPlan:
+    """Scale the fractional chaos knobs into an absolute fault plan.
+
+    Raises:
+        SimulationError: When a knob names a proxy index the topology
+            does not have.
+    """
+
+    def proxy_name(index: int) -> str:
+        if not 0 <= index < len(proxies):
+            raise SimulationError(
+                f"chaos targets proxy index {index} but the topology "
+                f"has {len(proxies)} proxies"
+            )
+        return proxies[index]
+
+    def at(fraction: float) -> float:
+        return round(fraction * duration, 9)
+
+    plan = FaultPlan()
+    if settings.drop_rate > 0.0:
+        plan.drop_rate(
+            settings.drop_rate,
+            at=at(settings.drop_from),
+            until=None if settings.drop_until is None else at(settings.drop_until),
+        )
+    if settings.crash_proxy is not None:
+        plan.crash(
+            proxy_name(settings.crash_proxy),
+            at=at(settings.crash_at),
+            restart_at=(
+                None if settings.restart_at is None else at(settings.restart_at)
+            ),
+        )
+    if settings.latency_extra > 0.0:
+        # "origin" is a convenience alias for the tree root's endpoint
+        # name, which callers (the CLI) do not know ahead of time.
+        target = settings.latency_target
+        if target == "origin":
+            target = root
+        plan.latency_add(
+            settings.latency_extra,
+            at=at(settings.latency_from),
+            until=(
+                None
+                if settings.latency_until is None
+                else at(settings.latency_until)
+            ),
+            target=(target,) if target else (),
+        )
+    if settings.partition_proxy is not None:
+        plan.partition(
+            root,
+            proxy_name(settings.partition_proxy),
+            at=at(settings.partition_from),
+            heal_at=(
+                None
+                if settings.partition_until is None
+                else at(settings.partition_until)
+            ),
+        )
+    if settings.pause_daemon_from is not None:
+        plan.pause_daemon(
+            at=at(settings.pause_daemon_from),
+            until=(
+                None
+                if settings.pause_daemon_until is None
+                else at(settings.pause_daemon_until)
+            ),
+        )
+    return plan
+
+
+def run_chaos(
+    workload: GeneratorConfig,
+    settings: ChaosSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    fault_plan: FaultPlan | None = None,
+) -> ChaosReport:
+    """Run the live pair fault-free, then again under a fault plan.
+
+    Args:
+        workload: Synthetic workload configuration (seeded).
+        settings: Chaos knobs; defaults to :class:`ChaosSettings`.
+        config: The paper's cost model and timeouts.
+        fault_plan: Explicit plan in absolute virtual seconds; when
+            given it overrides the fractional knobs in ``settings``.
+
+    Returns:
+        A :class:`ChaosReport` with both pairs, their ratios and the
+        fault timeline.
+
+    Raises:
+        RuntimeProtocolError: When a byte/frame conservation invariant
+            fails on any of the four snapshots.
+        SimulationError: On an unusable workload or fault target.
+    """
+    settings = settings if settings is not None else ChaosSettings()
+    live = settings.live
+    prepared = _PreparedRun(workload, live, config)
+
+    clean_base = prepared.arm(speculative=False)
+    clean_spec = prepared.arm(speculative=True)
+    strict = live.drop_probability == 0.0
+    verify_conservation(clean_base, strict=strict)
+    verify_conservation(clean_spec, strict=strict)
+
+    duration = float(
+        clean_spec.get("counters", {}).get("run.virtual_seconds", 0.0)
+    )
+    if fault_plan is None:
+        fault_plan = _build_fault_plan(
+            settings, prepared.proxies, prepared.tree.root, duration
+        )
+
+    faulted_base = prepared.arm(speculative=False, fault_plan=fault_plan)
+    faulted_spec = prepared.arm(speculative=True, fault_plan=fault_plan)
+    verify_conservation(faulted_base)
+    verify_conservation(faulted_spec)
+
+    clean = LiveReport(
+        baseline=clean_base,
+        speculative=clean_spec,
+        ratios=live_ratios(clean_spec, clean_base),
+        disseminated_documents=len(prepared.holdings),
+    )
+    faulted = LiveReport(
+        baseline=faulted_base,
+        speculative=faulted_spec,
+        ratios=live_ratios(faulted_spec, faulted_base),
+        disseminated_documents=len(prepared.holdings),
+    )
+    fault_events = tuple(
+        (float(time), str(name))
+        for time, name in faulted_spec.get("events", ())
+        if str(name).startswith("fault:")
+    )
+    return ChaosReport(clean=clean, faulted=faulted, fault_events=fault_events)
 
 
 def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
@@ -423,4 +757,39 @@ def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
         verify_batch=True,
     )
     report.require_convergence(tolerance)
+    return report
+
+
+def chaos_smoke_settings(seed: int = 0) -> ChaosSettings:
+    """The scripted faults ``repro chaos --smoke`` injects.
+
+    One proxy crashes a fifth of the way in and restarts at the
+    halfway mark (losing its holdings until the daemon re-pushes), on
+    top of a 2% global frame-drop rate for the whole run.  Timeouts are
+    shortened and retries raised so the retry/backoff machinery — not
+    luck — carries the run through.
+    """
+    return ChaosSettings(
+        live=LiveSettings(seed=seed, request_timeout=2.0, retries=3),
+        crash_proxy=0,
+        crash_at=0.2,
+        restart_at=0.5,
+        drop_rate=0.02,
+    )
+
+
+def run_chaos_smoke(seed: int = 0, *, tolerance: float = 0.05) -> ChaosReport:
+    """The ``repro chaos --smoke`` self-test.
+
+    Runs the smoke workload through :func:`run_chaos` with the
+    standard smoke fault script and asserts the four live ratios stay
+    within ``tolerance`` of the fault-free run — the check CI runs
+    after ``repro loadtest --smoke``.
+
+    Raises:
+        RuntimeProtocolError: On ratio divergence beyond ``tolerance``
+            or a conservation violation.
+    """
+    report = run_chaos(smoke_workload(seed), chaos_smoke_settings(seed))
+    report.require_resilience(tolerance)
     return report

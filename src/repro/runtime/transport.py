@@ -27,7 +27,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from typing import Awaitable, Callable
+from typing import TYPE_CHECKING, Awaitable, Callable
 
 import numpy as np
 
@@ -38,8 +38,12 @@ from .messages import (
     REPLY_KINDS,
     Message,
     frame,
+    make_error,
     raise_if_error,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultInjector
 
 #: An async message handler: returns a reply message or None.
 Handler = Callable[[Message], Awaitable[Message | None]]
@@ -93,7 +97,23 @@ class Endpoint:
 
     async def _dispatch(self, message: Message) -> None:
         assert self._handler is not None
-        reply = await self._handler(message)
+        try:
+            reply = await self._handler(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as err:  # repro-lint: disable=H002
+            # Deliberately broad: this is the dispatch boundary, and ANY
+            # handler crash must become an error reply instead of
+            # stranding the requester until its timeout.  The error-kind
+            # mapping preserves the exception class across the wire.
+            self._network.handler_errors += 1
+            kind = "transport" if isinstance(err, TransportError) else "protocol"
+            reply = make_error(
+                self.name,
+                message.request_id,
+                kind,
+                f"handler failed: {type(err).__name__}: {err}",
+            )
         if reply is not None:
             self._network.deliver(self.name, message.sender, reply)
 
@@ -118,11 +138,15 @@ class Endpoint:
             else:
                 reply = await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
-            self._pending.pop(message.request_id, None)
             raise TransportError(
                 f"request {message.request_id} to {destination!r} "
                 f"timed out after {timeout}s"
             ) from None
+        finally:
+            # Cleans up after timeouts AND cancellation of the awaiting
+            # task; without this, a cancelled call leaks its future in
+            # _pending forever.
+            self._pending.pop(message.request_id, None)
         return raise_if_error(reply)
 
     def cast(self, destination: str, message: Message) -> None:
@@ -182,10 +206,22 @@ class InMemoryNetwork:
         self._hop_count = hop_count
         self._endpoints: dict[str, Endpoint] = {}
         self._link_clear_at: dict[tuple[str, str], float] = {}
+        self._faults: FaultInjector | None = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.frames_rejected = 0  # inbox full (backpressure overflow)
+        self.frames_inflight = 0  # scheduled, not yet delivered/rejected
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.bytes_dropped = 0
+        self.bytes_rejected = 0
+        self.bytes_inflight = 0
+        self.handler_errors = 0  # handler exceptions converted to replies
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Plug a fault injector in; consulted on every frame delivery."""
+        self._faults = injector
 
     def endpoint(self, name: str, *, inbox_limit: int = 1024) -> Endpoint:
         """Register a new endpoint.
@@ -208,7 +244,10 @@ class InMemoryNetwork:
         propagation = self._base_latency
         if self._jitter > 0:
             propagation *= 1.0 + self._jitter * float(self._rng.random())
-        return hops * (propagation + body_bytes / self._bandwidth)
+        delay = hops * (propagation + body_bytes / self._bandwidth)
+        if self._faults is not None:
+            delay += self._faults.extra_latency(source, destination)
+        return delay
 
     def deliver(self, source: str, destination: str, message: Message) -> None:
         """Schedule a message for delayed delivery.
@@ -217,13 +256,22 @@ class InMemoryNetwork:
             TransportError: If the destination endpoint does not exist.
         """
         self.frames_sent += 1
+        self.bytes_sent += message.body_bytes
         target = self._endpoints.get(destination)
         if target is None:
             raise TransportError(f"unknown endpoint {destination!r}")
+        if self._faults is not None and self._faults.intercept(
+            source, destination
+        ):
+            # Injected fault: crashed node, cut link, or extra drop rate.
+            self.frames_dropped += 1
+            self.bytes_dropped += message.body_bytes
+            return
         if self._drop_probability > 0 and (
             float(self._rng.random()) < self._drop_probability
         ):
             self.frames_dropped += 1
+            self.bytes_dropped += message.body_bytes
             return
         loop = asyncio.get_running_loop()
         now = loop.time()
@@ -236,25 +284,43 @@ class InMemoryNetwork:
         if previous is not None and arrival <= previous:
             arrival = math.nextafter(previous, math.inf)
         self._link_clear_at[link] = arrival
+        self.frames_inflight += 1
+        self.bytes_inflight += message.body_bytes
         loop.call_at(arrival, self._put, target, message)
 
     def _put(self, target: Endpoint, message: Message) -> None:
+        self.frames_inflight -= 1
+        self.bytes_inflight -= message.body_bytes
         try:
             target._inbox.put_nowait(message)
         except asyncio.QueueFull:
             # Bounded-inbox backpressure: overflow frames are dropped and
             # the sender's timeout fires, exactly like a full router queue.
             self.frames_rejected += 1
+            self.bytes_rejected += message.body_bytes
             return
         self.frames_delivered += 1
+        self.bytes_delivered += message.body_bytes
 
     def stats(self) -> dict[str, int]:
-        """Frame accounting for tests and debugging."""
+        """Frame and byte accounting for tests, metrics and debugging.
+
+        The frame and byte families each satisfy the conservation
+        identity ``sent == delivered + dropped + rejected + inflight``
+        (checked by :func:`~repro.runtime.metrics.verify_conservation`).
+        """
         return {
-            "sent": self.frames_sent,
-            "delivered": self.frames_delivered,
-            "dropped": self.frames_dropped,
-            "rejected": self.frames_rejected,
+            "frames_sent": self.frames_sent,
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
+            "frames_rejected": self.frames_rejected,
+            "frames_inflight": self.frames_inflight,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "bytes_dropped": self.bytes_dropped,
+            "bytes_rejected": self.bytes_rejected,
+            "bytes_inflight": self.bytes_inflight,
+            "handler_errors": self.handler_errors,
         }
 
 

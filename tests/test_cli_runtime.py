@@ -59,6 +59,38 @@ class TestLoadtest:
         assert "protocol error: bad frame" in capsys.readouterr().err
 
 
+class TestChaos:
+    def test_smoke_passes_and_reports(self, capsys):
+        assert main(["chaos", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fault events" in out
+        assert "crash[" in out
+        assert "clean ratios" in out
+        assert "faulted ratios" in out
+        assert "divergence" in out
+
+    def test_impossible_tolerance_exits_3(self, capsys):
+        code = main(["chaos", "--smoke", "--tolerance", "-1"])
+        assert code == 3
+        assert "protocol error:" in capsys.readouterr().err
+
+    def test_json_output_has_both_pairs(self, capsys):
+        assert main(["chaos", "--smoke", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"clean", "faulted", "fault_events", "divergence"}
+        assert data["divergence"] <= 0.05
+        assert any("crash[" in label for _, label in data["fault_events"])
+        faulted = data["faulted"]["speculative"]["counters"]
+        assert faulted["network.frames_dropped"] > 0
+
+    def test_bad_proxy_index_is_a_usage_error(self, capsys):
+        code = main(
+            ["chaos", "--preset", "smoke", "--crash-proxy", "99"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServe:
     @pytest.mark.parametrize("extra", [[], ["--threshold", "0.5"]])
     def test_tcp_smoke(self, capsys, extra):

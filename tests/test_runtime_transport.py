@@ -130,12 +130,15 @@ class TestInMemoryNetwork:
         assert reply.payload["size"] == 2048
         # Two frames crossed the wire, each at least base_latency late.
         assert elapsed >= 2 * 0.005
-        assert network.stats() == {
-            "sent": 2,
-            "delivered": 2,
-            "dropped": 0,
-            "rejected": 0,
-        }
+        stats = network.stats()
+        assert stats["frames_sent"] == 2
+        assert stats["frames_delivered"] == 2
+        assert stats["frames_dropped"] == 0
+        assert stats["frames_rejected"] == 0
+        assert stats["frames_inflight"] == 0
+        # request (64) + response (2048) body bytes, all delivered
+        assert stats["bytes_sent"] == 64 + 2048
+        assert stats["bytes_delivered"] == 64 + 2048
 
     def test_same_seed_same_latency(self):
         elapsed = [
@@ -278,8 +281,8 @@ class TestInMemoryNetwork:
             return network.stats()
 
         stats = run_virtual(scenario())
-        assert stats["rejected"] == 2
-        assert stats["delivered"] == 1
+        assert stats["frames_rejected"] == 2
+        assert stats["frames_delivered"] == 1
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(TransportError):
