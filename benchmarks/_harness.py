@@ -30,7 +30,7 @@ def emit(experiment: str, text: str) -> None:
     banner = f"\n===== {experiment} =====\n{text}\n"
     sys.__stdout__.write(banner)
     sys.__stdout__.flush()
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     mode = "a" if experiment in _fresh_this_session else "w"
     _fresh_this_session.add(experiment)
     with (OUT_DIR / f"{experiment}.txt").open(mode) as handle:

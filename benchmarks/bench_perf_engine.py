@@ -2,24 +2,28 @@
 
 Timed with multiple rounds so pytest-benchmark's statistics are
 meaningful: trace generation throughput, dependency-model estimation,
-and the simulator's replay rate.  These guard against performance
-regressions in the core loops; the figure/table benches above them are
-single-shot reproductions.
+and the simulator's replay rate — each in both the ``dict`` and
+``sparse`` backends, so a run shows the vectorization win directly.
+These guard against performance regressions in the core loops; the
+figure/table benches above them are single-shot reproductions.
+
+The workload is the same reference configuration ``repro bench`` times
+and gates (see :data:`repro.perf.bench.SCALES`), so numbers here are
+comparable with the committed ``BENCH_PERF.json`` trajectory.
 """
 
 import pytest
 
 from repro.config import BASELINE
+from repro.perf import SCALES
 from repro.speculation import (
     DependencyModel,
     SpeculativeServiceSimulator,
     ThresholdPolicy,
 )
-from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+from repro.workload import SyntheticTraceGenerator
 
-CONFIG = GeneratorConfig(
-    seed=77, n_pages=120, n_clients=150, n_sessions=1500, duration_days=30
-)
+CONFIG = SCALES["full"].workload
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +34,11 @@ def perf_trace():
 @pytest.fixture(scope="module")
 def perf_model(perf_trace):
     return DependencyModel.estimate(perf_trace, window=5.0)
+
+
+@pytest.fixture(scope="module")
+def perf_model_sparse(perf_trace):
+    return DependencyModel.estimate(perf_trace, window=5.0, backend="sparse")
 
 
 def test_perf_trace_generation(benchmark):
@@ -51,6 +60,17 @@ def test_perf_dependency_estimation(benchmark, perf_trace):
     assert model.documents()
 
 
+def test_perf_dependency_estimation_sparse(benchmark, perf_trace):
+    model = benchmark.pedantic(
+        DependencyModel.estimate,
+        args=(perf_trace,),
+        kwargs={"window": 5.0, "backend": "sparse"},
+        rounds=3,
+        iterations=1,
+    )
+    assert model.documents()
+
+
 def test_perf_baseline_replay(benchmark, perf_trace, perf_model):
     simulator = SpeculativeServiceSimulator(perf_trace, BASELINE, model=perf_model)
     run = benchmark.pedantic(simulator.run, args=(None,), rounds=3, iterations=1)
@@ -64,15 +84,34 @@ def test_perf_speculative_replay(benchmark, perf_trace, perf_model):
     assert run.metrics.speculated_documents > 0
 
 
+def test_perf_speculative_replay_sparse(benchmark, perf_trace, perf_model_sparse):
+    simulator = SpeculativeServiceSimulator(
+        perf_trace, BASELINE, model=perf_model_sparse
+    )
+    policy = ThresholdPolicy(threshold=0.25)
+    run = benchmark.pedantic(simulator.run, args=(policy,), rounds=3, iterations=1)
+    assert run.metrics.speculated_documents > 0
+
+
+def _closure_pass(source_model, documents, backend):
+    # Fresh model so memoization does not trivialize the timing.
+    fresh = DependencyModel.from_counts(
+        source_model.pair_counts, source_model.occurrence_counts, backend=backend
+    )
+    return sum(len(row) for row in fresh.closure_rows(documents).values())
+
+
 def test_perf_closure_queries(benchmark, perf_model):
     documents = sorted(perf_model.occurrence_counts)[:200]
+    total = benchmark.pedantic(
+        _closure_pass, args=(perf_model, documents, "dict"), rounds=3, iterations=1
+    )
+    assert total >= 0
 
-    def closure_pass():
-        # Fresh model so memoization does not trivialize the timing.
-        fresh = DependencyModel.from_counts(
-            perf_model.pair_counts, perf_model.occurrence_counts
-        )
-        return sum(len(fresh.closure_row(doc)) for doc in documents)
 
-    total = benchmark.pedantic(closure_pass, rounds=3, iterations=1)
+def test_perf_closure_queries_sparse(benchmark, perf_model):
+    documents = sorted(perf_model.occurrence_counts)[:200]
+    total = benchmark.pedantic(
+        _closure_pass, args=(perf_model, documents, "sparse"), rounds=3, iterations=1
+    )
     assert total >= 0

@@ -4,32 +4,43 @@ Re-runs the headline speculation experiment on three independently
 seeded paper-scale workloads and checks that the key numbers (the
 traffic/load trade-off at the baseline threshold, the embedding-regime
 traffic cost) agree across seeds within tight bands.
+
+The per-seed pipeline is a pure function of the seed, so the sweep also
+doubles as the byte-identity check for the parallel sweep executor: the
+same seeds sharded across a 4-worker pool must reproduce the serial
+results exactly.
 """
 
 from _harness import emit
 from repro.config import BASELINE
 from repro.core import Experiment, format_table
+from repro.perf import parallel_map
 from repro.speculation import ThresholdPolicy
 from repro.workload import GeneratorConfig, SyntheticTraceGenerator
 
 SEEDS = [1, 2, 3]
 
 
+def _run_seed(seed):
+    trace = SyntheticTraceGenerator(
+        GeneratorConfig.paper_scale(seed=seed)
+    ).generate()
+    experiment = Experiment(trace, BASELINE, train_days=60.0)
+    moderate, __ = experiment.evaluate(ThresholdPolicy(threshold=0.25))
+    embedding, __ = experiment.evaluate(ThresholdPolicy(threshold=0.95))
+    return len(trace), moderate, embedding
+
+
 def test_seed_robustness(benchmark):
-    results = {}
-
     def run_all():
-        for seed in SEEDS:
-            trace = SyntheticTraceGenerator(
-                GeneratorConfig.paper_scale(seed=seed)
-            ).generate()
-            experiment = Experiment(trace, BASELINE, train_days=60.0)
-            moderate, __ = experiment.evaluate(ThresholdPolicy(threshold=0.25))
-            embedding, __ = experiment.evaluate(ThresholdPolicy(threshold=0.95))
-            results[seed] = (len(trace), moderate, embedding)
-        return results
+        return parallel_map(_run_seed, SEEDS, workers=1)
 
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    serial = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = dict(zip(SEEDS, serial))
+
+    # Sharding the seeds across a pool must not change a single bit of
+    # the output: ordered merge + a pure per-seed pipeline.
+    assert parallel_map(_run_seed, SEEDS, workers=4) == serial
 
     rows = [
         [

@@ -35,9 +35,10 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "speculation": 5,
     "dissemination": 5,
     "analysis": 6,
-    "core": 6,
-    "runtime": 7,
-    "cli": 8,
+    "perf": 6,
+    "core": 7,
+    "runtime": 8,
+    "cli": 9,
 }
 
 #: ``np.random`` attributes that are legitimate under seeded use.

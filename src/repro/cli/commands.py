@@ -265,7 +265,7 @@ def cmd_sweep(args) -> None:
         experiment = Experiment(trace, BASELINE, train_days=train_days)
     except ReproError as error:
         raise CommandError(str(error)) from error
-    points = sweep_thresholds(experiment, thresholds)
+    points = sweep_thresholds(experiment, thresholds, workers=args.workers)
 
     header = [
         "threshold",
@@ -592,3 +592,48 @@ def cmd_serve(args) -> None:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("interrupted; shutting down")
+
+
+def cmd_bench(args) -> None:
+    """``repro bench`` — measure engine medians and gate regressions."""
+    import functools
+    import json as _json
+    import sys
+
+    from .. import perf
+
+    # With --json, stdout carries the report alone; status goes to stderr.
+    status = functools.partial(print, file=sys.stderr) if args.json else print
+
+    scale = "smoke" if args.smoke else "full"
+    if args.repeats is not None and args.repeats < 1:
+        raise CommandError("--repeats must be >= 1")
+    section = perf.run_scale(scale, repeats=args.repeats)
+    report = perf.build_report({scale: section})
+
+    baseline_path = Path(args.baseline)
+    baseline = perf.load_baseline(baseline_path)
+
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        medians = section["medians_seconds"]
+        print(f"bench scale: {scale} ({section['repeats']} repeats)")
+        for name in sorted(medians):
+            print(f"  {name:<20} {medians[name] * 1e3:8.1f} ms")
+        for metric, achieved in sorted(section["speedups"].items()):
+            print(f"  sparse {metric} speedup: {achieved:.2f}x")
+
+    if args.update_baseline:
+        # Floors still apply so an under-floor run cannot become the
+        # committed reference; only baseline-relative drift is waived.
+        perf.enforce_gate(report, baseline, compare_absolute=False)
+        merged = perf.merge_reports(baseline, report)
+        perf.write_baseline(baseline_path, merged)
+        status(f"updated baseline {baseline_path}")
+        return
+    perf.enforce_gate(report, baseline)
+    if baseline is None:
+        status(f"no baseline at {baseline_path}; speedup floors only")
+    else:
+        status("performance gate passed")

@@ -7,7 +7,7 @@ import sys
 from collections.abc import Sequence
 
 from .. import __version__
-from ..errors import RuntimeProtocolError, TransportError
+from ..errors import PerfRegressionError, RuntimeProtocolError, TransportError
 from . import commands
 
 
@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--csv", default=None, help="write the sweep as CSV to this path"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the sweep across this many processes (byte-identical "
+        "to the serial sweep; default serial)",
     )
     sweep.set_defaults(handler=commands.cmd_sweep)
 
@@ -351,6 +358,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=commands.cmd_serve)
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the engine's hot loops, record BENCH_PERF.json, and "
+        "gate against speedup floors and the committed baseline",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI-sized scale instead of the full reference scale",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repetitions per benchmark (default: per-scale)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="BENCH_PERF.json",
+        help="path of the committed baseline (default: ./BENCH_PERF.json)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run's medians into the baseline file (speedup "
+        "floors are still enforced so a bad baseline cannot land)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    bench.set_defaults(handler=commands.cmd_bench)
+
     subparsers.add_parser(
         "lint",
         help="static analysis enforcing simulation invariants "
@@ -367,7 +406,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     Returns:
         Process exit code: 0 on success, 1 on lint findings, 2 on a
         usage/data error, 3 on a runtime protocol violation (including
-        live-vs-batch divergence), 4 on a transport failure.
+        live-vs-batch divergence), 4 on a transport failure, 5 on a
+        performance regression (``repro bench`` gate).
     """
     # `repro lint` owns its whole argument tail (it has flags like
     # --format that must not collide with the main parser), so dispatch
@@ -390,6 +430,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except TransportError as error:
         print(f"transport error: {error}", file=sys.stderr)
         return 4
+    except PerfRegressionError as error:
+        print(f"{error}", file=sys.stderr)
+        return 5
     return 0
 
 

@@ -15,6 +15,7 @@ from typing import Callable
 
 from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
 from ..errors import SimulationError
+from ..perf.parallel import parallel_map
 from ..trace.records import Trace
 from ..speculation.caches import ClientCache
 from ..speculation.dependency import DependencyModel
@@ -62,6 +63,10 @@ class Experiment:
         config: Baseline parameters.
         train_days: History used to estimate the dependency model; the
             remainder of the trace is replayed.
+        backend: Dependency-model backend.  The default ``"sparse"``
+            engine is bit-identical to ``"dict"`` (pinned by
+            ``tests/test_sparse_backend.py``) and several times faster
+            on estimation, closure, and replay.
 
     The no-speculation baseline for the configured cache model is run
     once and cached; :meth:`evaluate` compares any policy against it.
@@ -73,11 +78,12 @@ class Experiment:
         config: BaselineConfig = BASELINE,
         *,
         train_days: float = 60.0,
+        backend: str = "sparse",
     ):
         self._config = config
         self.train, self.test = train_test_split(trace, train_days)
         self.model = DependencyModel.estimate(
-            self.train, window=config.stride_timeout
+            self.train, window=config.stride_timeout, backend=backend
         )
         self._simulator = SpeculativeServiceSimulator(
             self.test, config, model=self.model
@@ -133,6 +139,7 @@ def sweep_thresholds(
     thresholds: list[float],
     *,
     policy_factory: Callable[[float], SpeculationPolicy] | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """The Figure-5 sweep: the four ratios across ``T_p`` values.
 
@@ -141,13 +148,23 @@ def sweep_thresholds(
         thresholds: ``T_p`` values, any order (returned in given order).
         policy_factory: Builds the policy per threshold; defaults to the
             paper's :class:`ThresholdPolicy`.
+        workers: Shard thresholds across this many processes (see
+            :func:`repro.perf.parallel.parallel_map`).  Results are
+            byte-identical to the serial sweep for any worker count;
+            ``None`` or ``1`` stays serial.
     """
     factory = policy_factory or (lambda tp: ThresholdPolicy(threshold=tp))
-    points = []
-    for threshold in thresholds:
+
+    def point(threshold: float) -> SweepPoint:
         ratios, run = experiment.evaluate(factory(threshold))
-        points.append(SweepPoint(parameter=threshold, ratios=ratios, run=run))
-    return points
+        return SweepPoint(parameter=threshold, ratios=ratios, run=run)
+
+    if workers is not None and workers > 1:
+        # Materialize the shared baseline before forking so every
+        # worker inherits it instead of recomputing it per shard.
+        experiment.baseline()
+        return parallel_map(point, thresholds, workers=workers)
+    return [point(threshold) for threshold in thresholds]
 
 
 def interpolate_at_traffic(

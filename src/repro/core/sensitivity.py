@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..config import BASELINE, BaselineConfig
 from ..errors import SimulationError
+from ..perf.parallel import parallel_map
 from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import SpeculationPolicy, ThresholdPolicy
 from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
@@ -44,6 +45,7 @@ def workload_sensitivity(
     policy: SpeculationPolicy | None = None,
     sim_config: BaselineConfig = BASELINE,
     train_fraction: float = 0.5,
+    workers: int | None = None,
 ) -> list[SensitivityPoint]:
     """Sweep one workload parameter and measure the speculation ratios.
 
@@ -57,6 +59,11 @@ def workload_sensitivity(
             policy at the sim config's threshold).
         sim_config: Simulation parameters.
         train_fraction: Fraction of each trace used to estimate P/P*.
+        workers: Shard the swept values across this many processes (see
+            :func:`repro.perf.parallel.parallel_map`); each value is an
+            independent generate-estimate-replay pipeline, so results
+            are byte-identical to the serial loop.  ``None`` or ``1``
+            stays serial.
 
     Raises:
         SimulationError: On an unknown parameter name or empty values.
@@ -74,16 +81,12 @@ def workload_sensitivity(
         threshold=sim_config.threshold, max_size=sim_config.max_size
     )
 
-    points: list[SensitivityPoint] = []
-    for value in values:
+    def point(value: object) -> SensitivityPoint:
         config = dataclasses.replace(base_config, **{parameter: value})
         trace = SyntheticTraceGenerator(config).generate()
         train_days = trace.duration / 86_400.0 * train_fraction
         experiment = Experiment(trace, sim_config, train_days=train_days)
         ratios, __ = experiment.evaluate(policy)
-        points.append(
-            SensitivityPoint(
-                value=value, ratios=ratios, n_requests=len(trace)
-            )
-        )
-    return points
+        return SensitivityPoint(value=value, ratios=ratios, n_requests=len(trace))
+
+    return parallel_map(point, values, workers=workers or 1)

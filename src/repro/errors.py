@@ -67,3 +67,14 @@ class TransportError(SimulationError):
 
 class PolicyError(ReproError):
     """A speculation policy received invalid parameters."""
+
+
+class PerfRegressionError(ReproError):
+    """A benchmark run regressed past the committed baseline's gate.
+
+    Raised by :mod:`repro.perf.bench` when a measured median slows down
+    beyond the allowed margin on the same machine, or when a sparse/dict
+    speedup ratio falls below its floor.  The CLI maps it to a distinct
+    exit code so CI can tell a perf regression from a correctness
+    failure.
+    """

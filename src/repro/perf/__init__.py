@@ -1,0 +1,53 @@
+"""Performance engineering for the reproduction: ``repro.perf``.
+
+Three concerns live here, all in service of running the paper's
+experiments faster without changing a single measured number:
+
+* The **sparse vectorized dependency backend**
+  (:class:`~repro.speculation.sparse.SparseDependencyEngine`, re-exported
+  for convenience) — CSR adjacency over numpy with batched closure-row
+  relaxation, bit-identical to the pure-Python ``dict`` backend.
+* The **parallel sweep executor** (:mod:`repro.perf.parallel`) —
+  fork-based sharding of embarrassingly parallel sweep points with an
+  ordered merge and deterministic per-shard seeding, so parallel runs
+  are byte-identical to serial ones.
+* The **benchmark trajectory** (:mod:`repro.perf.bench`) — ``repro
+  bench`` medians recorded in ``BENCH_PERF.json`` and gated against
+  both speedup floors and the committed baseline.
+"""
+
+from ..speculation.sparse import SparseDependencyEngine, estimate_pair_counts
+from .bench import (
+    MAX_REGRESSION,
+    SCALES,
+    BenchScale,
+    build_report,
+    enforce_gate,
+    find_regressions,
+    load_baseline,
+    machine_fingerprint,
+    merge_reports,
+    run_scale,
+    write_baseline,
+)
+from .parallel import default_workers, fork_available, parallel_map, spawn_seeds
+
+__all__ = [
+    "MAX_REGRESSION",
+    "SCALES",
+    "BenchScale",
+    "SparseDependencyEngine",
+    "build_report",
+    "default_workers",
+    "enforce_gate",
+    "estimate_pair_counts",
+    "find_regressions",
+    "fork_available",
+    "load_baseline",
+    "machine_fingerprint",
+    "merge_reports",
+    "parallel_map",
+    "run_scale",
+    "spawn_seeds",
+    "write_baseline",
+]

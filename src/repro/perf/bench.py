@@ -1,0 +1,368 @@
+"""Benchmark-trajectory layer: measure, record, and gate engine speed.
+
+``repro bench`` times the engine's hot loops — dependency estimation,
+closure computation, and trace replay — in both the ``dict`` and
+``sparse`` backends at a fixed reference configuration.  The medians
+land in ``BENCH_PERF.json`` together with a machine fingerprint and the
+git revision, so the committed file is a performance trajectory of the
+repository: every entry says *this revision ran this fast on this
+machine*.
+
+Two kinds of gate protect that trajectory:
+
+* **Speedup floors** — the sparse backend must beat the dict backend by
+  a fixed factor on estimation and replay.  Speedup is a *ratio of two
+  measurements on the same machine in the same run*, so it is stable
+  across hardware and is enforced unconditionally.
+* **Absolute regression** — ``*_sparse`` medians may not slow down more
+  than :data:`MAX_REGRESSION` against the committed baseline.
+  Wall-clock medians only compare across runs on the same machine, so
+  this check applies only when the stored fingerprint matches the
+  current one, and each sparse median is load-normalized by the drift
+  of its interleaved ``dict`` partner so shared-host noise does not
+  read as a regression.  Dict medians are recorded as the load
+  reference, not gated: their drift *is* the noise measurement.
+
+Violations raise :class:`~repro.errors.PerfRegressionError`, which the
+CLI maps to exit code 5.  The file records no timestamps — it changes
+only when the measurements change, keeping diffs reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..config import BASELINE
+from ..errors import PerfRegressionError
+from ..speculation.dependency import DependencyModel
+from ..speculation.policies import ThresholdPolicy
+from ..speculation.simulator import SpeculativeServiceSimulator
+from ..workload import GeneratorConfig, SyntheticTraceGenerator
+
+#: Allowed slow-down of a median versus the committed baseline before
+#: the gate fails (same-machine comparisons only).
+MAX_REGRESSION = 0.25
+
+#: Default location of the committed baseline, relative to the cwd.
+DEFAULT_BASELINE = Path("BENCH_PERF.json")
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One reference configuration the suite can run at.
+
+    Attributes:
+        workload: Synthetic-workload configuration measured against.
+        repeats: Timing repetitions per benchmark (median is reported).
+        speedup_floors: Minimum sparse-over-dict speedup per metric;
+            enforced on every run, independent of any baseline.
+    """
+
+    workload: GeneratorConfig
+    repeats: int
+    speedup_floors: dict[str, float]
+
+
+#: The reference scales.  ``full`` matches the committed baseline and
+#: the acceptance floors; ``smoke`` is sized for CI (a few seconds) with
+#: correspondingly relaxed floors, since fixed vectorization overheads
+#: weigh heavier on a small trace.
+SCALES: dict[str, BenchScale] = {
+    "full": BenchScale(
+        workload=GeneratorConfig(
+            seed=77, n_pages=120, n_clients=150, n_sessions=1500, duration_days=30
+        ),
+        repeats=9,
+        speedup_floors={"estimation": 3.0, "replay": 3.0},
+    ),
+    "smoke": BenchScale(
+        workload=GeneratorConfig(
+            seed=77, n_pages=100, n_clients=100, n_sessions=900, duration_days=18
+        ),
+        repeats=9,
+        speedup_floors={"estimation": 2.0, "replay": 2.0},
+    ),
+}
+
+#: The T_p used by the replay benchmarks (the paper's mid-sweep point).
+REPLAY_THRESHOLD = 0.25
+
+
+def machine_fingerprint() -> dict[str, str]:
+    """Identity of the measuring machine, for baseline comparability."""
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": str(os.cpu_count() or 1),
+    }
+
+
+def git_revision() -> str:
+    """The current git commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if probe.returncode != 0:
+        return "unknown"
+    return probe.stdout.strip() or "unknown"
+
+
+def _paired_medians(
+    dict_pass: Callable[[], Any],
+    sparse_pass: Callable[[], Any],
+    repeats: int,
+) -> tuple[float, float]:
+    """Median wall-clock seconds of each pass, sampled interleaved.
+
+    The two implementations alternate within every repeat so a burst of
+    co-tenant load lands on both rather than blanketing one stage's
+    whole timing window — which keeps the dict stage a valid load
+    reference for its sparse partner.
+    """
+    dict_samples: list[float] = []
+    sparse_samples: list[float] = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        dict_pass()
+        split = time.perf_counter()
+        sparse_pass()
+        dict_samples.append(split - begin)
+        sparse_samples.append(time.perf_counter() - split)
+    dict_samples.sort()
+    sparse_samples.sort()
+    middle = repeats // 2
+    return dict_samples[middle], sparse_samples[middle]
+
+
+def run_scale(name: str, *, repeats: int | None = None) -> dict[str, Any]:
+    """Run the benchmark suite at one scale.
+
+    Args:
+        name: A key of :data:`SCALES`.
+        repeats: Override the scale's timing repetitions.
+
+    Returns:
+        The scale section for the report: the workload configuration,
+        per-benchmark medians in seconds, and sparse-over-dict speedups.
+    """
+    if name not in SCALES:
+        raise PerfRegressionError(
+            f"unknown bench scale {name!r}; expected one of {sorted(SCALES)}"
+        )
+    scale = SCALES[name]
+    reps = scale.repeats if repeats is None else max(1, repeats)
+    trace = SyntheticTraceGenerator(scale.workload).generate()
+
+    medians: dict[str, float] = {}
+    medians["estimation_dict"], medians["estimation_sparse"] = _paired_medians(
+        lambda: DependencyModel.estimate(trace, window=5.0, backend="dict"),
+        lambda: DependencyModel.estimate(trace, window=5.0, backend="sparse"),
+        reps,
+    )
+
+    model_dict = DependencyModel.estimate(trace, window=5.0, backend="dict")
+    model_sparse = DependencyModel.estimate(trace, window=5.0, backend="sparse")
+    documents = sorted(model_dict.occurrence_counts)
+
+    def closure_pass(backend: str) -> None:
+        # A fresh model per pass so memoized rows never trivialize the
+        # timing; closure_rows computes the whole universe in one batch.
+        fresh = DependencyModel.from_counts(
+            model_dict.pair_counts, model_dict.occurrence_counts, backend=backend
+        )
+        fresh.closure_rows(documents)
+
+    medians["closure_dict"], medians["closure_sparse"] = _paired_medians(
+        lambda: closure_pass("dict"), lambda: closure_pass("sparse"), reps
+    )
+
+    policy = ThresholdPolicy(threshold=REPLAY_THRESHOLD)
+    replay_dict = SpeculativeServiceSimulator(trace, BASELINE, model=model_dict)
+    replay_sparse = SpeculativeServiceSimulator(trace, BASELINE, model=model_sparse)
+    medians["replay_dict"], medians["replay_sparse"] = _paired_medians(
+        lambda: replay_dict.run(policy), lambda: replay_sparse.run(policy), reps
+    )
+
+    speedups = {
+        "estimation": medians["estimation_dict"] / medians["estimation_sparse"],
+        "closure": medians["closure_dict"] / medians["closure_sparse"],
+        "replay": medians["replay_dict"] / medians["replay_sparse"],
+    }
+    return {
+        "workload": {
+            "seed": scale.workload.seed,
+            "n_pages": scale.workload.n_pages,
+            "n_clients": scale.workload.n_clients,
+            "n_sessions": scale.workload.n_sessions,
+            "duration_days": scale.workload.duration_days,
+        },
+        "repeats": reps,
+        "medians_seconds": medians,
+        "speedups": speedups,
+    }
+
+
+def build_report(sections: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Assemble the report written to ``BENCH_PERF.json``."""
+    return {
+        "machine": machine_fingerprint(),
+        "git_sha": git_revision(),
+        "scales": sections,
+    }
+
+
+def merge_reports(
+    existing: dict[str, Any] | None, report: dict[str, Any]
+) -> dict[str, Any]:
+    """Fold a new report into a baseline, keeping untouched scales.
+
+    A smoke run must not discard the committed full-scale section, so
+    only the scales actually re-measured are replaced.
+    """
+    if not existing:
+        return report
+    sections = dict(existing.get("scales", {}))
+    sections.update(report["scales"])
+    return {**report, "scales": sections}
+
+
+def load_baseline(path: Path) -> dict[str, Any] | None:
+    """Read a committed baseline; ``None`` when absent or unparseable."""
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def write_baseline(path: Path, report: dict[str, Any]) -> None:
+    """Write the report as the new committed baseline."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _load_scale(
+    bench_name: str, current: dict[str, float], committed: dict[str, float]
+) -> float:
+    """Machine-load normalization factor for one absolute comparison.
+
+    The ``*_dict`` stages time the reference implementation, which the
+    sparse engine never touches — so when *those* medians drift versus
+    the committed baseline, the machine is busier (or idler), not the
+    code slower.  A ``*_sparse`` stage is normalized by its paired
+    ``*_dict`` stage (sampled interleaved, so both see the same load),
+    falling back to the median drift of all dict stages.  The factor is
+    clamped to at least 1.0: a uniform slow-down of both passes
+    (shared-host noise) cancels out, while a *differential* slow-down
+    of the sparse pass is still flagged.  Without dict anchors the
+    factor is 1.0 and the comparison is strict.
+    """
+    partner = bench_name[: -len("_sparse")] + "_dict"
+    if partner in current and committed.get(partner, 0) > 0:
+        return max(1.0, current[partner] / committed[partner])
+    drifts = sorted(
+        current[name] / committed[name]
+        for name in current
+        if name.endswith("_dict") and committed.get(name, 0) > 0
+    )
+    if not drifts:
+        return 1.0
+    return max(1.0, drifts[len(drifts) // 2])
+
+
+def find_regressions(
+    report: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    *,
+    max_regression: float = MAX_REGRESSION,
+    compare_absolute: bool = True,
+) -> list[str]:
+    """Every gate violation in ``report``, as human-readable findings.
+
+    Speedup floors are checked unconditionally; absolute ``*_sparse``
+    medians are compared only when a baseline exists,
+    ``compare_absolute`` is set, and its machine fingerprint matches
+    the current machine.  Matching fingerprints still share the host
+    with other tenants, so each comparison is load-normalized by the
+    paired dict-stage drift (:func:`_load_scale`); the dict medians
+    themselves are the load reference and are not gated.
+    """
+    findings: list[str] = []
+    for scale_name, section in report.get("scales", {}).items():
+        floors = SCALES[scale_name].speedup_floors if scale_name in SCALES else {}
+        speedups = section.get("speedups", {})
+        for metric, floor in floors.items():
+            achieved = speedups.get(metric)
+            if achieved is None or achieved < floor:
+                findings.append(
+                    f"{scale_name}: sparse {metric} speedup "
+                    f"{achieved if achieved is None else f'{achieved:.2f}x'} "
+                    f"below the {floor:.1f}x floor"
+                )
+
+    if baseline is None or not compare_absolute:
+        return findings
+    if baseline.get("machine") != report.get("machine"):
+        return findings
+    for scale_name, section in report.get("scales", {}).items():
+        reference = baseline.get("scales", {}).get(scale_name)
+        if reference is None:
+            continue
+        committed = reference.get("medians_seconds", {})
+        current = section.get("medians_seconds", {})
+        for bench_name, median in current.items():
+            if not bench_name.endswith("_sparse"):
+                # Dict medians are the load reference, not a gated
+                # surface: their drift *defines* machine weather here.
+                continue
+            anchor = committed.get(bench_name)
+            if anchor is None or anchor <= 0:
+                continue
+            tolerance = (1.0 + max_regression) * _load_scale(
+                bench_name, current, committed
+            )
+            if median > anchor * tolerance:
+                findings.append(
+                    f"{scale_name}: {bench_name} median {median * 1e3:.1f}ms "
+                    f"regressed >{max_regression:.0%} versus the committed "
+                    f"{anchor * 1e3:.1f}ms (load-normalized)"
+                )
+    return findings
+
+
+def enforce_gate(
+    report: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    *,
+    max_regression: float = MAX_REGRESSION,
+    compare_absolute: bool = True,
+) -> None:
+    """Raise :class:`PerfRegressionError` if any gate is violated."""
+    findings = find_regressions(
+        report,
+        baseline,
+        max_regression=max_regression,
+        compare_absolute=compare_absolute,
+    )
+    if findings:
+        raise PerfRegressionError(
+            "performance gate failed:\n" + "\n".join(f"  - {f}" for f in findings)
+        )

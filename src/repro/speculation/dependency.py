@@ -13,14 +13,23 @@ to 1), so a literal matrix power has no probabilistic reading and is
 O(N⁴) besides.  This implementation realizes the stated semantics as the
 **best-path product**: ``p*[i, j]`` is the maximum over request chains
 ``i → … → j`` of the product of the per-hop conditional probabilities,
-computed per source with a pruned Dijkstra search in −log space (and
-``p*[i, j] >= p[i, j]`` always, with equality on direct links).  The
-substitution is recorded in DESIGN.md.
+computed by hop-bounded relaxation in the max-product semiring — the
+truncated-Neumann form of ``P^N``, run for ``max_hops`` levels with
+chains pruned below ``min_probability`` (and ``p*[i, j] >= p[i, j]``
+always, with equality on direct links).  The substitution is recorded
+in DESIGN.md.
+
+Two interchangeable backends share these semantics, selected with
+``backend=``: ``"dict"`` (pure Python, the default) and ``"sparse"``
+(CSR numpy arrays, batched relaxation; see
+:mod:`repro.speculation.sparse`).  The backends are bit-identical —
+every probability is the same ``count / base`` division and the
+relaxations chain the same IEEE-754 multiplications — so switching is
+purely a performance decision.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from collections import Counter, deque
 from collections.abc import Iterable
@@ -29,6 +38,10 @@ from dataclasses import dataclass, field
 from ..errors import DependencyModelError
 from ..trace.records import Trace
 from ..trace.sessions import split_strides
+from .sparse import SparseDependencyEngine, estimate_pair_counts
+
+#: Valid values for the ``backend=`` switch.
+BACKENDS = ("dict", "sparse")
 
 
 @dataclass(slots=True)
@@ -73,7 +86,17 @@ class PairHistogram:
         return sum(self.counts)
 
     def fraction_in_bin(self, index: int) -> float:
-        """Share of all pairs falling in one probability bin."""
+        """Share of all pairs falling in one probability bin.
+
+        Raises:
+            IndexError: If ``index`` is not a valid bin index (negative
+                indices do not wrap).
+        """
+        if not 0 <= index < len(self.counts):
+            raise IndexError(
+                f"bin index {index} out of range; "
+                f"valid bins are 0..{len(self.counts) - 1}"
+            )
         return self.counts[index] / self.total_pairs if self.total_pairs else 0.0
 
 
@@ -93,29 +116,42 @@ class DependencyModel:
         *,
         window: float = 5.0,
         stride_timeout: float | None = None,
+        backend: str = "dict",
+        validate: bool = True,
     ):
         if window <= 0:
             raise DependencyModelError("window must be positive")
-        for source, row in pair_counts.items():
-            base = occurrences.get(source, 0.0)
-            if base <= 0 and row:
-                raise DependencyModelError(
-                    f"pairs recorded for {source!r} with no occurrences"
-                )
-            for target, count in row.items():
-                if count < 0:
-                    raise DependencyModelError("negative pair count")
-                if count > base * (1 + 1e-9):
+        if backend not in BACKENDS:
+            raise DependencyModelError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if validate:
+            for source, row in pair_counts.items():
+                base = occurrences.get(source, 0.0)
+                if base <= 0 and row:
                     raise DependencyModelError(
-                        f"pair count for ({source!r}, {target!r}) exceeds "
-                        "source occurrences"
+                        f"pairs recorded for {source!r} with no occurrences"
                     )
+                for target, count in row.items():
+                    if count < 0:
+                        raise DependencyModelError("negative pair count")
+                    if count > base * (1 + 1e-9):
+                        raise DependencyModelError(
+                            f"pair count for ({source!r}, {target!r}) "
+                            "exceeds source occurrences"
+                        )
         self._pairs = {s: dict(row) for s, row in pair_counts.items()}
         self._occurrences = dict(occurrences)
         self._closure_cache: dict[tuple[str, float, int], dict[str, float]] = {}
         self._window = window
         self._stride_timeout = window if stride_timeout is None else stride_timeout
         self._strides: dict[str, _OpenStride] = {}
+        self._backend = backend
+        #: Documents whose row of ``P`` (outgoing probabilities) changed
+        #: since the last closure refresh; drives the fine-grained cache
+        #: invalidation in :meth:`refresh_closure`.
+        self._dirty: set[str] = set()
+        self._engine: SparseDependencyEngine | None = None
 
     # -- estimation --------------------------------------------------------------
 
@@ -126,6 +162,7 @@ class DependencyModel:
         *,
         window: float = 5.0,
         stride_timeout: float | None = None,
+        backend: str = "dict",
     ) -> "DependencyModel":
         """Estimate ``P`` from a trace.
 
@@ -140,10 +177,27 @@ class DependencyModel:
             window: ``T_w`` in seconds (paper: 5 s).
             stride_timeout: ``StrideTimeout``; defaults to ``window``,
                 the paper's baseline coupling.
+            backend: ``"dict"`` counts with the reference Python loop;
+                ``"sparse"`` counts vectorized (identical results) and
+                keeps the sparse closure engine for later queries.
         """
         if window <= 0:
             raise DependencyModelError("window must be positive")
         stride_timeout = window if stride_timeout is None else stride_timeout
+        if backend == "sparse":
+            counted_pairs, counted_occurrences = estimate_pair_counts(
+                trace, window=window, stride_timeout=stride_timeout
+            )
+            return cls(
+                counted_pairs,
+                counted_occurrences,
+                window=window,
+                stride_timeout=stride_timeout,
+                backend=backend,
+                # Counts are correct by construction (and parity-tested
+                # against the reference loop), so skip re-validation.
+                validate=False,
+            )
 
         pair_counts: dict[str, dict[str, float]] = {}
         occurrences: Counter[str] = Counter()
@@ -167,6 +221,7 @@ class DependencyModel:
             dict(occurrences),
             window=window,
             stride_timeout=stride_timeout,
+            backend=backend,
         )
 
     @classmethod
@@ -175,6 +230,7 @@ class DependencyModel:
         *,
         window: float = 5.0,
         stride_timeout: float | None = None,
+        backend: str = "dict",
     ) -> "DependencyModel":
         """An empty model ready for online :meth:`observe` updates.
 
@@ -183,16 +239,20 @@ class DependencyModel:
         timestamp order) through :meth:`observe` yields counts identical
         to :meth:`estimate` over the equivalent trace.
         """
-        return cls({}, {}, window=window, stride_timeout=stride_timeout)
+        return cls(
+            {}, {}, window=window, stride_timeout=stride_timeout, backend=backend
+        )
 
     @classmethod
     def from_counts(
         cls,
         pair_counts: dict[str, dict[str, float]],
         occurrences: dict[str, float],
+        *,
+        backend: str = "dict",
     ) -> "DependencyModel":
         """Wrap precomputed counts (used by aging / merging)."""
-        return cls(pair_counts, occurrences)
+        return cls(pair_counts, occurrences, backend=backend)
 
     # -- incremental estimation ---------------------------------------------------
 
@@ -237,6 +297,9 @@ class DependencyModel:
         state.last_time = timestamp
 
         self._occurrences[doc_id] = self._occurrences.get(doc_id, 0.0) + 1.0
+        # The occurrence base dilutes every outgoing probability of
+        # doc_id, so its row of P is dirty even if no pair changes.
+        self._dirty.add(doc_id)
         entries = state.entries
         while entries and timestamp - entries[0].timestamp > self._window:
             entries.popleft()  # too old to gain any further followers
@@ -246,7 +309,9 @@ class DependencyModel:
             occurrence.seen.add(doc_id)
             row = self._pairs.setdefault(occurrence.doc_id, {})
             row[doc_id] = row.get(doc_id, 0.0) + 1.0
+            self._dirty.add(occurrence.doc_id)
         entries.append(_OpenOccurrence(timestamp=timestamp, doc_id=doc_id))
+        self._engine = None  # counts changed; rebuild lazily on next miss
 
     def refresh_closure(
         self,
@@ -256,6 +321,15 @@ class DependencyModel:
         max_hops: int = 8,
     ) -> int:
         """Drop stale memoized ``P*`` rows and optionally precompute.
+
+        Invalidation is fine-grained: only rows that the observations
+        since the last refresh can actually have changed are dropped.
+        A cached row for source ``i`` is stale iff some dirty document
+        is ``i`` itself or appears in the row: edges never exceed 1, so
+        every intermediate node of a surviving chain carries a prefix
+        product at or above the row's pruning floor and is therefore
+        *in* the row — any new or re-weighted chain must pass through
+        ``i`` or a node the old row already contains.
 
         Args:
             sources: Documents whose closure rows to precompute after
@@ -267,16 +341,29 @@ class DependencyModel:
         Returns:
             Number of closure rows precomputed.
         """
-        self._closure_cache.clear()
-        count = 0
-        for source in sources or ():
-            self.closure_row(
-                source, min_probability=min_probability, max_hops=max_hops
+        if self._dirty:
+            dirty = self._dirty
+            stale = [
+                key
+                for key, row in self._closure_cache.items()
+                if key[0] in dirty or not dirty.isdisjoint(row)
+            ]
+            for key in stale:
+                del self._closure_cache[key]
+            self._dirty = set()
+        wanted = list(sources or ())
+        if wanted:
+            self.closure_rows(
+                wanted, min_probability=min_probability, max_hops=max_hops
             )
-            count += 1
-        return count
+        return len(wanted)
 
     # -- raw access --------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """The closure/estimation backend: ``"dict"`` or ``"sparse"``."""
+        return self._backend
 
     @property
     def pair_counts(self) -> dict[str, dict[str, float]]:
@@ -314,6 +401,41 @@ class DependencyModel:
             if count > 0
         }
 
+    def _relaxed_row(
+        self, source: str, min_probability: float, max_hops: int
+    ) -> dict[str, float]:
+        """One ``P*`` row by pure-Python max-product relaxation.
+
+        The reference arithmetic both backends must match: per level,
+        extend every improved chain by one hop, prune products below
+        ``min_probability`` *before* clamping to 1.0, and keep a value
+        only on strict improvement.
+        """
+        best: dict[str, float] = {source: 1.0}
+        frontier: dict[str, float] = {source: 1.0}
+        for __ in range(max_hops):
+            next_frontier: dict[str, float] = {}
+            for node, through in frontier.items():
+                for target, edge in self.successors(node).items():
+                    chained = through * edge
+                    if chained < min_probability:
+                        continue
+                    if chained > 1.0:
+                        chained = 1.0
+                    if chained > best.get(target, 0.0):
+                        best[target] = chained
+                        next_frontier[target] = chained
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        best.pop(source, None)
+        return best
+
+    def _sparse_engine(self) -> SparseDependencyEngine:
+        if self._engine is None:
+            self._engine = SparseDependencyEngine(self._pairs, self._occurrences)
+        return self._engine
+
     def closure_row(
         self,
         source: str,
@@ -323,9 +445,11 @@ class DependencyModel:
     ) -> dict[str, float]:
         """Row ``i`` of ``P*``: best-chain probability to every target.
 
-        Computed by Dijkstra in −log space, pruning chains whose product
-        falls below ``min_probability`` or longer than ``max_hops``
-        hops.  Results are memoized per (source, pruning) triple.
+        Computed by hop-bounded relaxation in the max-product semiring,
+        pruning chains whose product falls below ``min_probability`` or
+        longer than ``max_hops`` hops.  Results are memoized per
+        (source, pruning) triple; both backends produce bit-identical
+        rows.
 
         Args:
             source: The requested document ``D_i``.
@@ -343,30 +467,59 @@ class DependencyModel:
         cached = self._closure_cache.get(key)
         if cached is not None:
             return dict(cached)
+        if self._backend == "sparse":
+            row = self._sparse_engine().closure_rows(
+                [source], min_probability=min_probability, max_hops=max_hops
+            )[0]
+        else:
+            row = self._relaxed_row(source, min_probability, max_hops)
+        self._closure_cache[key] = row
+        return dict(row)
 
-        best: dict[str, float] = {source: 1.0}
-        hops: dict[str, int] = {source: 0}
-        heap: list[tuple[float, str]] = [(0.0, source)]
-        while heap:
-            neg_log, node = heapq.heappop(heap)
-            # exp(-x) <= 1 for x >= 0, but clamp so the p*[i, j] in
-            # [0, 1] invariant holds even under float drift in neg_log.
-            probability = min(1.0, math.exp(-neg_log))
-            if probability < best.get(node, 0.0) - 1e-15:
-                continue  # stale heap entry
-            if hops[node] >= max_hops:
-                continue
-            for target, edge in self.successors(node).items():
-                chained = probability * edge
-                if chained < min_probability:
-                    continue
-                if chained > best.get(target, 0.0) + 1e-15:
-                    best[target] = chained
-                    hops[target] = hops[node] + 1
-                    heapq.heappush(heap, (-math.log(chained), target))
-        best.pop(source, None)
-        self._closure_cache[key] = dict(best)
-        return best
+    def closure_rows(
+        self,
+        sources: Iterable[str],
+        *,
+        min_probability: float = 0.01,
+        max_hops: int = 8,
+    ) -> dict[str, dict[str, float]]:
+        """Many ``P*`` rows at once (the batched form of
+        :meth:`closure_row`).
+
+        On the sparse backend all cache-missing sources are computed in
+        one vectorized batch; the dict backend falls back to a per-row
+        loop.  Either way results land in the same memoization cache.
+
+        Returns:
+            Mapping source → closure row (duplicates collapse).
+        """
+        if not 0.0 < min_probability <= 1.0:
+            raise DependencyModelError("min_probability must be in (0, 1]")
+        if max_hops < 1:
+            raise DependencyModelError("max_hops must be >= 1")
+        wanted = list(dict.fromkeys(sources))
+        result: dict[str, dict[str, float]] = {}
+        missing: list[str] = []
+        for source in wanted:
+            cached = self._closure_cache.get((source, min_probability, max_hops))
+            if cached is not None:
+                result[source] = dict(cached)
+            else:
+                missing.append(source)
+        if missing:
+            if self._backend == "sparse":
+                computed = self._sparse_engine().closure_rows(
+                    missing, min_probability=min_probability, max_hops=max_hops
+                )
+            else:
+                computed = [
+                    self._relaxed_row(source, min_probability, max_hops)
+                    for source in missing
+                ]
+            for source, row in zip(missing, computed):
+                self._closure_cache[(source, min_probability, max_hops)] = row
+                result[source] = dict(row)
+        return result
 
     def p_star(
         self,
@@ -384,9 +537,12 @@ class DependencyModel:
     # -- analyses -----------------------------------------------------------------
 
     def pair_histogram(self, n_bins: int = 20) -> PairHistogram:
-        """Figure 4: histogram of pair counts over ``p[i, j]`` ranges."""
-        if n_bins < 1:
-            raise DependencyModelError("need at least one bin")
+        """Figure 4: histogram of pair counts over ``p[i, j]`` ranges.
+
+        ``n_bins`` is clamped to at least one bin, so degenerate
+        requests collapse to a single [0, 1] bucket instead of failing.
+        """
+        n_bins = max(1, n_bins)
         edges = [k / n_bins for k in range(n_bins + 1)]
         counts = [0] * n_bins
         for source, row in self._pairs.items():

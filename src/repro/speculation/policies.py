@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol
+from typing import ClassVar, Protocol
 
 from ..errors import PolicyError
 from ..trace.records import Document
@@ -74,6 +74,11 @@ class ThresholdPolicy:
         max_hops: Chain-length cap for closure computation.
     """
 
+    #: select() is a pure function of (requested, model state): frozen
+    #: parameters, no internal state.  The simulator's fast path may
+    #: memoize selections per document when this is set.
+    select_is_pure: ClassVar[bool] = True
+
     threshold: float
     max_size: float = math.inf
     use_closure: bool = True
@@ -123,6 +128,8 @@ class EmbeddingOnlyPolicy:
         max_size: MaxSize cap in bytes.
     """
 
+    select_is_pure: ClassVar[bool] = True
+
     tolerance: float = 0.05
     max_size: float = math.inf
 
@@ -164,6 +171,8 @@ class TopKPolicy:
         use_closure: Rank by ``P*`` (default) or direct ``P``.
         max_hops: Chain-length cap for closure computation.
     """
+
+    select_is_pure: ClassVar[bool] = True
 
     k: int
     min_probability: float = 0.05

@@ -158,6 +158,16 @@ class Trace:
         return self._requests
 
     @property
+    def timestamps(self) -> Sequence[float]:
+        """Request timestamps in trace order (read-only by convention).
+
+        Kept alongside the requests for binary searches; exposed so
+        vectorized consumers can build arrays without re-walking the
+        request objects.
+        """
+        return self._timestamps
+
+    @property
     def documents(self) -> dict[str, Document]:
         """Catalog mapping ``doc_id`` to :class:`Document`."""
         return self._documents

@@ -1,0 +1,333 @@
+"""Bit-identity of the sparse engine, the fast replay path, and the
+parallel sweep executor — plus the ``repro bench`` gate logic.
+
+The sparse backend's whole contract is *exact* equality with the dict
+backend: same pair counts, same closure rows, same replay metrics, same
+four ratios, down to the last float bit.  Every test here asserts with
+``==``, never ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BASELINE
+from repro.core import Experiment, interpolate_at_traffic, sweep_thresholds
+from repro.errors import DependencyModelError, PerfRegressionError
+from repro.perf import (
+    enforce_gate,
+    find_regressions,
+    merge_reports,
+    parallel_map,
+    spawn_seeds,
+)
+from repro.speculation.caches import make_cache_factory
+from repro.speculation.dependency import DependencyModel
+from repro.speculation.policies import ThresholdPolicy, TopKPolicy
+from repro.speculation.simulator import SpeculativeServiceSimulator
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    config = GeneratorConfig(
+        seed=11, n_pages=60, n_clients=50, n_sessions=400, duration_days=10
+    )
+    return SyntheticTraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def reference_trace():
+    # The reference configuration `repro bench` times and gates.
+    config = GeneratorConfig(
+        seed=77, n_pages=120, n_clients=150, n_sessions=1500, duration_days=30
+    )
+    return SyntheticTraceGenerator(config).generate()
+
+
+# -- estimation and closure parity --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("window", "stride_timeout"),
+    [(5.0, None), (5.0, 5.0), (2.0, 10.0), (30.0, math.inf), (5.0, 0.0)],
+)
+def test_estimation_parity_exact(small_trace, window, stride_timeout):
+    dict_model = DependencyModel.estimate(
+        small_trace, window=window, stride_timeout=stride_timeout, backend="dict"
+    )
+    sparse_model = DependencyModel.estimate(
+        small_trace, window=window, stride_timeout=stride_timeout, backend="sparse"
+    )
+    assert dict_model.pair_counts == sparse_model.pair_counts
+    assert dict_model.occurrence_counts == sparse_model.occurrence_counts
+
+
+def test_closure_parity_exact_at_reference_scale(reference_trace):
+    dict_model = DependencyModel.estimate(
+        reference_trace, window=5.0, backend="dict"
+    )
+    sparse_model = DependencyModel.estimate(
+        reference_trace, window=5.0, backend="sparse"
+    )
+    documents = sorted(dict_model.occurrence_counts)
+    assert dict_model.closure_rows(documents) == sparse_model.closure_rows(documents)
+
+
+def test_unknown_backend_rejected(small_trace):
+    with pytest.raises(DependencyModelError):
+        DependencyModel.estimate(small_trace, backend="csr")
+
+
+# -- the headline pipeline: identical sweeps and interpolated numbers ---------
+
+
+def test_headline_pipeline_parity(small_trace):
+    grid = [0.95, 0.5, 0.25, 0.1]
+    dict_points = sweep_thresholds(
+        Experiment(small_trace, BASELINE, train_days=5.0, backend="dict"), grid
+    )
+    sparse_points = sweep_thresholds(
+        Experiment(small_trace, BASELINE, train_days=5.0, backend="sparse"), grid
+    )
+    assert dict_points == sparse_points
+    for level in (0.05, 0.10, 0.50, 1.00):
+        assert interpolate_at_traffic(
+            dict_points, level
+        ) == interpolate_at_traffic(sparse_points, level)
+
+
+# -- the simulator fast path vs the general loop ------------------------------
+
+
+def _general_loop(simulator, policy, config):
+    # An explicit cache_factory forces the general loop even when the
+    # fast-path preconditions hold.
+    return simulator.run(
+        policy, cache_factory=make_cache_factory(config.session_timeout)
+    )
+
+
+@pytest.mark.parametrize("session_timeout", [math.inf, 1800.0, 0.0])
+def test_fast_path_matches_general_loop(small_trace, session_timeout):
+    config = BASELINE.with_updates(session_timeout=session_timeout)
+    model = DependencyModel.estimate(
+        small_trace, window=config.stride_timeout, backend="sparse"
+    )
+    simulator = SpeculativeServiceSimulator(small_trace, config, model=model)
+    for policy in (None, ThresholdPolicy(threshold=0.25), TopKPolicy(k=3)):
+        fast = simulator.run(policy)
+        reference = _general_loop(simulator, policy, config)
+        assert fast.metrics == reference.metrics
+        assert fast.cache_hits == reference.cache_hits
+        assert fast.accesses == reference.accesses
+
+
+def test_fast_path_four_ratio_parity(reference_trace):
+    dict_exp = Experiment(reference_trace, BASELINE, train_days=15.0, backend="dict")
+    sparse_exp = Experiment(
+        reference_trace, BASELINE, train_days=15.0, backend="sparse"
+    )
+    policy = ThresholdPolicy(threshold=0.25)
+    dict_ratios, dict_run = dict_exp.evaluate(policy)
+    sparse_ratios, sparse_run = sparse_exp.evaluate(policy)
+    assert dict_ratios == sparse_ratios
+    assert dict_run == sparse_run
+
+
+# -- incremental estimation: random observe/refresh interleavings -------------
+
+_GAPS = [0.5, 2.0, 6.0, 12.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, 4), st.integers(0, 9), st.integers(0, len(_GAPS) - 1)
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    refresh_after=st.sets(st.integers(0, 59), max_size=5),
+)
+def test_incremental_parity_random(events, refresh_after):
+    dict_model = DependencyModel.incremental(
+        window=5.0, stride_timeout=8.0, backend="dict"
+    )
+    sparse_model = DependencyModel.incremental(
+        window=5.0, stride_timeout=8.0, backend="sparse"
+    )
+    now = 0.0
+    for index, (client, doc, gap) in enumerate(events):
+        now += _GAPS[gap]
+        dict_model.observe(f"c{client}", f"d{doc}", now)
+        sparse_model.observe(f"c{client}", f"d{doc}", now)
+        if index in refresh_after:
+            dict_model.refresh_closure()
+            sparse_model.refresh_closure()
+            documents = sorted(dict_model.occurrence_counts)
+            assert dict_model.closure_rows(documents) == sparse_model.closure_rows(
+                documents
+            )
+    assert dict_model.pair_counts == sparse_model.pair_counts
+    assert dict_model.occurrence_counts == sparse_model.occurrence_counts
+    documents = sorted(dict_model.occurrence_counts)
+    assert dict_model.closure_rows(documents) == sparse_model.closure_rows(documents)
+
+
+@pytest.mark.parametrize("backend", ["dict", "sparse"])
+def test_dirty_row_refresh_equals_full_recompute(backend):
+    model = DependencyModel.incremental(
+        window=5.0, stride_timeout=8.0, backend=backend
+    )
+    now = 0.0
+    for step in range(80):
+        now += 1.5
+        model.observe(f"c{step % 5}", f"d{step % 11}", now)
+    # Populate the closure cache for the full universe, then dirty a
+    # few source rows with more observations.
+    model.refresh_closure()
+    model.closure_rows(sorted(model.occurrence_counts))
+    for step in range(20):
+        now += 1.5
+        model.observe(f"c{step % 3}", f"d{(step * 3) % 7}", now)
+    model.refresh_closure()
+
+    fresh = DependencyModel.from_counts(
+        model.pair_counts, model.occurrence_counts, backend=backend
+    )
+    for doc in sorted(model.occurrence_counts):
+        assert model.closure_row(doc) == fresh.closure_row(doc)
+
+
+# -- the parallel sweep executor ----------------------------------------------
+
+
+def _cube(value):
+    return value**3
+
+
+def test_parallel_map_is_ordered_and_identical():
+    items = list(range(20))
+    serial = parallel_map(_cube, items, workers=1)
+    assert serial == [_cube(item) for item in items]
+    assert parallel_map(_cube, items, workers=4) == serial
+
+
+def test_parallel_map_accepts_closures():
+    offset = 7
+    assert parallel_map(lambda v: v + offset, [1, 2, 3], workers=2) == [8, 9, 10]
+
+
+def test_spawn_seeds_deterministic():
+    seeds = spawn_seeds(123, 6)
+    assert seeds == spawn_seeds(123, 6)
+    assert len(set(seeds)) == 6
+    assert all(seed >= 0 for seed in seeds)
+    assert spawn_seeds(124, 6) != seeds
+    with pytest.raises(ValueError):
+        spawn_seeds(123, -1)
+
+
+def test_parallel_threshold_sweep_byte_identical(small_trace):
+    experiment = Experiment(small_trace, BASELINE, train_days=5.0)
+    grid = [0.9, 0.5, 0.25, 0.1]
+    serial = sweep_thresholds(experiment, grid)
+    parallel = sweep_thresholds(experiment, grid, workers=4)
+    assert parallel == serial
+
+
+# -- the bench gate -----------------------------------------------------------
+
+
+def _section(speedups, medians):
+    return {
+        "repeats": 3,
+        "medians_seconds": medians,
+        "speedups": speedups,
+    }
+
+
+def _report(machine, **scales):
+    return {"machine": machine, "git_sha": "deadbeef", "scales": scales}
+
+
+_MACHINE = {"system": "Linux", "machine": "x86_64", "python": "3.12", "cpus": "8"}
+_OTHER = {"system": "Linux", "machine": "aarch64", "python": "3.12", "cpus": "4"}
+_GOOD = {"estimation": 3.5, "closure": 5.0, "replay": 4.0}
+
+
+def test_gate_passes_clean_report():
+    report = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
+    baseline = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
+    assert find_regressions(report, baseline) == []
+    enforce_gate(report, baseline)
+
+
+def test_gate_enforces_speedup_floors():
+    slow = dict(_GOOD, estimation=2.0)
+    report = _report(_MACHINE, full=_section(slow, {"replay_sparse": 0.010}))
+    findings = find_regressions(report, None)
+    assert any("estimation" in finding and "floor" in finding for finding in findings)
+    with pytest.raises(PerfRegressionError):
+        enforce_gate(report, None)
+
+
+def test_gate_flags_same_machine_median_regression():
+    report = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.020}))
+    baseline = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
+    findings = find_regressions(report, baseline)
+    assert any("replay_sparse" in finding for finding in findings)
+    # A 25%-or-less drift is within the gate's tolerance.
+    mild = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.012}))
+    assert find_regressions(mild, baseline) == []
+
+
+def test_gate_normalizes_uniform_machine_load_drift():
+    # Every stage — including the untouched dict reference — slowed by
+    # the same 60%: that is a busier machine, not a code regression.
+    committed = {"estimation_dict": 0.010, "estimation_sparse": 0.003}
+    drifted = {"estimation_dict": 0.016, "estimation_sparse": 0.0048}
+    report = _report(_MACHINE, full=_section(_GOOD, drifted))
+    baseline = _report(_MACHINE, full=_section(_GOOD, committed))
+    assert find_regressions(report, baseline) == []
+
+
+def test_gate_still_flags_differential_regression():
+    # The dict reference held steady, so a 60% sparse slow-down is real.
+    committed = {"estimation_dict": 0.010, "estimation_sparse": 0.003}
+    drifted = {"estimation_dict": 0.010, "estimation_sparse": 0.0048}
+    report = _report(_MACHINE, full=_section(_GOOD, drifted))
+    baseline = _report(_MACHINE, full=_section(_GOOD, committed))
+    findings = find_regressions(report, baseline)
+    assert any("estimation_sparse" in finding for finding in findings)
+
+
+def test_gate_exempts_dict_reference_medians():
+    # Dict stages are the load reference; their drift is machine
+    # weather, not a regression — only sparse medians are gated.
+    committed = {"replay_dict": 0.010, "replay_sparse": 0.003}
+    drifted = {"replay_dict": 0.020, "replay_sparse": 0.003}
+    report = _report(_MACHINE, full=_section(_GOOD, drifted))
+    baseline = _report(_MACHINE, full=_section(_GOOD, committed))
+    assert find_regressions(report, baseline) == []
+
+
+def test_gate_skips_absolute_comparison_across_machines():
+    report = _report(_OTHER, full=_section(_GOOD, {"replay_sparse": 0.050}))
+    baseline = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
+    assert find_regressions(report, baseline) == []
+
+
+def test_merge_reports_keeps_untouched_scales():
+    baseline = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
+    smoke_only = _report(_MACHINE, smoke=_section(_GOOD, {"replay_sparse": 0.002}))
+    merged = merge_reports(baseline, smoke_only)
+    assert set(merged["scales"]) == {"full", "smoke"}
+    assert merged["scales"]["full"] == baseline["scales"]["full"]
+    assert merge_reports(None, smoke_only) == smoke_only

@@ -233,10 +233,20 @@ class TestHistogram:
         histogram = model.pair_histogram(4)
         assert histogram.fraction_in_bin(3) == 1.0
 
-    def test_invalid_bins(self):
-        model = DependencyModel.from_counts({}, {})
-        with pytest.raises(DependencyModelError):
-            model.pair_histogram(0)
+    def test_degenerate_bins_clamp_to_one(self):
+        model = DependencyModel.from_counts({"/a": {"/b": 1.0}}, {"/a": 1.0})
+        histogram = model.pair_histogram(0)
+        assert histogram.bin_edges == (0.0, 1.0)
+        assert histogram.counts == (1,)
+        assert model.pair_histogram(-3).counts == (1,)
+
+    def test_fraction_in_bin_rejects_bad_index(self):
+        model = DependencyModel.from_counts({"/a": {"/b": 1.0}}, {"/a": 1.0})
+        histogram = model.pair_histogram(4)
+        with pytest.raises(IndexError, match="0..3"):
+            histogram.fraction_in_bin(4)
+        with pytest.raises(IndexError, match="0..3"):
+            histogram.fraction_in_bin(-1)
 
     def test_histogram_counts_match_edges(self):
         with pytest.raises(DependencyModelError):
