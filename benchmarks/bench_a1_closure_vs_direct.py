@@ -8,7 +8,11 @@ This ablation compares the two at equal traffic budgets.
 
 from _harness import emit
 from conftest import THRESHOLD_GRID
-from repro.core import format_table, interpolate_at_traffic, sweep_thresholds
+from repro.core import (
+    evaluate_thresholds,
+    format_table,
+    interpolate_at_traffic,
+)
 from repro.speculation import ThresholdPolicy
 
 TRAFFIC_BUDGETS = [0.05, 0.25]
@@ -19,7 +23,7 @@ def test_a1_closure_vs_direct(benchmark, paper_experiment):
 
     def sweep():
         for use_closure in (True, False):
-            curves[use_closure] = sweep_thresholds(
+            curves[use_closure] = evaluate_thresholds(
                 paper_experiment,
                 THRESHOLD_GRID,
                 policy_factory=lambda tp, uc=use_closure: ThresholdPolicy(

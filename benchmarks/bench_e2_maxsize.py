@@ -11,7 +11,11 @@ import math
 
 from _harness import emit
 from conftest import THRESHOLD_GRID
-from repro.core import format_table, interpolate_at_traffic, sweep_thresholds
+from repro.core import (
+    evaluate_thresholds,
+    format_table,
+    interpolate_at_traffic,
+)
 from repro.speculation import ThresholdPolicy
 
 MAX_SIZES = [4_000.0, 15_000.0, 30_000.0, 60_000.0, math.inf]
@@ -23,7 +27,7 @@ def test_e2_maxsize(benchmark, paper_experiment):
 
     def sweep():
         for max_size in MAX_SIZES:
-            curves[max_size] = sweep_thresholds(
+            curves[max_size] = evaluate_thresholds(
                 paper_experiment,
                 THRESHOLD_GRID,
                 policy_factory=lambda tp, ms=max_size: ThresholdPolicy(

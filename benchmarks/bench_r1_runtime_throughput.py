@@ -1,8 +1,8 @@
 """R1 — live runtime throughput on the in-memory transport.
 
 Drives the full live system (origin + regional proxies + asyncio load
-generator, see ``repro.runtime``) through :func:`run_loadtest` at three
-admission-control levels and reports wall-clock replay throughput
+generator, see ``repro.runtime``) through :func:`execute_loadtest` at
+three admission-control levels and reports wall-clock replay throughput
 (requests/second) alongside the virtual-time request latency p50/p99.
 
 Speculation/dissemination *decisions* must not depend on how many
@@ -15,7 +15,7 @@ import time
 from _harness import emit, once
 
 from repro.core import format_table
-from repro.runtime import LiveSettings, run_loadtest, smoke_workload
+from repro.runtime import LiveSettings, execute_loadtest, smoke_workload
 
 CONCURRENCY_LEVELS = (8, 32, 128)
 
@@ -26,7 +26,7 @@ def _sweep():
         # perf_counter is duration-only (sanctioned by D004): the
         # throughput figure is wall time spent replaying virtual time.
         started = time.perf_counter()
-        report = run_loadtest(
+        report = execute_loadtest(
             smoke_workload(0),
             LiveSettings(seed=0, concurrency=concurrency),
         )

@@ -14,14 +14,14 @@ import time
 from _harness import emit, once
 
 from repro.core import format_table
-from repro.runtime import run_chaos_smoke
+from repro.runtime import execute_chaos_smoke
 
 TOLERANCE = 0.05
 
 
 def _drill():
     started = time.perf_counter()
-    report = run_chaos_smoke(0, tolerance=TOLERANCE)
+    report = execute_chaos_smoke(0, tolerance=TOLERANCE)
     wall = time.perf_counter() - started
     return report, wall
 

@@ -13,7 +13,7 @@ import importlib.util
 import pytest
 
 from repro.config import BASELINE
-from repro.core import Experiment, sweep_thresholds
+from repro.core import Experiment, evaluate_thresholds
 from repro.workload import GeneratorConfig, SyntheticTraceGenerator
 
 #: The benches time their heavy sections through pytest-benchmark's
@@ -54,7 +54,7 @@ def paper_experiment(paper_trace):
 @pytest.fixture(scope="session")
 def fig5_sweep(paper_experiment):
     """The Figure-5 sweep, shared by fig5 / fig6 / headline benches."""
-    return sweep_thresholds(paper_experiment, THRESHOLD_GRID)
+    return evaluate_thresholds(paper_experiment, THRESHOLD_GRID)
 
 
 @pytest.fixture(scope="session")

@@ -1,8 +1,8 @@
 """Chaos drill: the live runtime under a scripted fault plan.
 
 ``examples/live_loadtest.py`` shows the happy path; this script breaks
-it on purpose.  ``run_chaos`` first measures a fault-free
-baseline/speculative pair, then replays the *same* pair under one
+it on purpose.  :meth:`repro.api.Session.chaos` first measures a
+fault-free baseline/speculative pair, then replays the *same* pair under one
 scripted fault timeline — here a proxy crash (its disseminated
 holdings are lost until the daemon re-pushes them), a global 2 % frame
 drop, and a brief origin brownout — and checks the paper's four ratios
@@ -17,12 +17,8 @@ drops on a separate RNG stream), so every run prints the same numbers.
 Run:  python examples/chaos_drill.py
 """
 
-from repro.runtime import (
-    ChaosSettings,
-    LiveSettings,
-    run_chaos,
-    smoke_workload,
-)
+from repro.api import Session
+from repro.runtime import ChaosSettings, LiveSettings
 
 
 def main() -> None:
@@ -37,7 +33,7 @@ def main() -> None:
         latency_from=0.6,    # ...for the 60-80% window (a brownout)
         latency_until=0.8,
     )
-    report = run_chaos(smoke_workload(0), settings)
+    report = Session(seed=0, chaos=settings).chaos().detail
 
     print("fault timeline (virtual seconds):")
     for time, label in report.fault_events:

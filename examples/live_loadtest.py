@@ -12,10 +12,14 @@ The run self-verifies: the live-measured ratios are compared against a
 batch replay of the same serving window through
 ``repro.core.combined`` and must agree within 5 %.
 
+The entry point is :class:`repro.api.Session` — the same front door the
+CLI and the other examples use for every kind of run.
+
 Run:  python examples/live_loadtest.py
 """
 
-from repro.runtime import LiveSettings, run_loadtest, smoke_workload
+from repro.api import Session
+from repro.runtime import LiveSettings
 
 
 def main() -> None:
@@ -24,7 +28,7 @@ def main() -> None:
         budget_bytes=300_000.0,  # proxy storage for disseminated documents
         concurrency=32,          # admission control: requests in flight
     )
-    report = run_loadtest(smoke_workload(0), settings, verify_batch=True)
+    report = Session(seed=0, settings=settings).loadtest(verify_batch=True).detail
 
     print("live run (speculation + dissemination vs demand-only baseline)")
     print(f"  ratios     : {report.ratios.format()}")

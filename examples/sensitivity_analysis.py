@@ -10,7 +10,8 @@ each setting.
 Run:  python examples/sensitivity_analysis.py
 """
 
-from repro.core import format_table, workload_sensitivity
+from repro.api import Session
+from repro.core import format_table
 from repro.speculation import ThresholdPolicy
 from repro.workload import GeneratorConfig
 
@@ -28,10 +29,9 @@ SWEEPS = {
 
 
 def main() -> None:
+    session = Session(workload=BASE)
     for parameter, values in SWEEPS.items():
-        points = workload_sensitivity(
-            parameter, values, base_config=BASE, policy=POLICY
-        )
+        points = session.sensitivity(parameter, values, policy=POLICY).detail
         rows = [
             [
                 f"{point.value:g}",

@@ -36,10 +36,35 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "dissemination": 5,
     "analysis": 6,
     "perf": 6,
-    "core": 7,
-    "runtime": 8,
-    "cli": 9,
+    "obs": 7,
+    "core": 8,
+    "runtime": 9,
+    "api": 10,
+    "cli": 11,
 }
+
+#: Legacy run entry points whose *direct* use is frozen (H004).  New
+#: code goes through ``repro.api.Session``; only the facade itself and
+#: the engine layers may keep touching these names.
+DEFAULT_LEGACY_ENTRY_POINTS: frozenset[str] = frozenset(
+    {
+        "run_loadtest",
+        "run_smoke",
+        "run_chaos",
+        "run_chaos_smoke",
+        "sweep_thresholds",
+        "workload_sensitivity",
+    }
+)
+
+#: Module prefixes allowed to reference the legacy entry points: the
+#: facade (which wraps them), and the packages that *define* them and
+#: re-export them from their facades.
+DEFAULT_LEGACY_ENTRY_ALLOWED: tuple[str, ...] = (
+    "repro.api",
+    "repro.core",
+    "repro.runtime",
+)
 
 #: ``np.random`` attributes that are legitimate under seeded use.
 DEFAULT_ALLOWED_NP_RANDOM: frozenset[str] = frozenset(
@@ -97,6 +122,10 @@ class LintConfig:
     #: Modules where ``time.monotonic`` is permitted (D004).  Real-I/O
     #: transport code may measure wall durations; simulation code may not.
     monotonic_modules: tuple[str, ...] = ("repro.runtime.transport",)
+    #: Deprecated run entry points the hygiene checker (H004) flags.
+    legacy_entry_points: frozenset[str] = DEFAULT_LEGACY_ENTRY_POINTS
+    #: Module prefixes exempt from H004 (the facade and engine homes).
+    legacy_entry_allowed: tuple[str, ...] = DEFAULT_LEGACY_ENTRY_ALLOWED
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Apply ``select``/``disable`` filtering to one rule id."""
@@ -177,4 +206,17 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
                 "[tool.repro-lint] monotonic-modules must be a list of strings"
             )
         changes["monotonic_modules"] = tuple(modules)
+    if "legacy-entry-points" in table:
+        changes["legacy_entry_points"] = _coerce_rule_set(
+            table["legacy-entry-points"], "legacy-entry-points"
+        )
+    if "legacy-entry-allowed" in table:
+        allowed = table["legacy-entry-allowed"]
+        if not isinstance(allowed, list) or not all(
+            isinstance(module, str) for module in allowed
+        ):
+            raise LintConfigError(
+                "[tool.repro-lint] legacy-entry-allowed must be a list of strings"
+            )
+        changes["legacy_entry_allowed"] = tuple(allowed)
     return config.with_updates(**changes) if changes else config

@@ -1,0 +1,23 @@
+"""One front door for every way of running the reproduction.
+
+``repro.api`` wraps the batch simulators, the live runtime and the
+benchmark harness behind a single :class:`Session` object::
+
+    from repro.api import Session
+    from repro.obs import ObsConfig
+
+    session = Session(seed=0, obs=ObsConfig.full())
+    report = session.loadtest(smoke=True)
+    print(report.format())
+    print(report.trace_jsonl())
+
+Every method — :meth:`Session.loadtest`, :meth:`Session.chaos`,
+:meth:`Session.sweep`, :meth:`Session.sensitivity`,
+:meth:`Session.bench` — takes its inputs from one normalised
+:class:`RunSpec` and returns one :class:`RunReport` shape, replacing
+the five keyword dialects the legacy entry points grew over time.
+"""
+
+from .session import RunReport, RunSpec, Session
+
+__all__ = ["RunReport", "RunSpec", "Session"]

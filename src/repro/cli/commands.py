@@ -245,7 +245,7 @@ def cmd_report(args) -> None:
 
 def cmd_sweep(args) -> None:
     """``repro sweep`` — the Figure-5 threshold sweep over a log."""
-    from ..core import sweep_thresholds
+    from ..core import evaluate_thresholds
 
     trace = _load_trace(args.log, args.local_domain)
     train_days = args.train_days
@@ -265,7 +265,7 @@ def cmd_sweep(args) -> None:
         experiment = Experiment(trace, BASELINE, train_days=train_days)
     except ReproError as error:
         raise CommandError(str(error)) from error
-    points = sweep_thresholds(experiment, thresholds, workers=args.workers)
+    points = evaluate_thresholds(experiment, thresholds, workers=args.workers)
 
     header = [
         "threshold",
@@ -365,14 +365,19 @@ def cmd_loadtest(args) -> None:
     """``repro loadtest`` — drive the live runtime on the in-memory net."""
     import json as _json
 
-    from ..runtime import LiveSettings, run_loadtest, run_smoke, smoke_workload
+    from ..runtime import (
+        LiveSettings,
+        execute_loadtest,
+        execute_smoke,
+        smoke_workload,
+    )
     from ..workload import preset
 
     if args.smoke:
         # The CI gate: deterministic live run, self-verified against the
         # batch combined simulator; raises RuntimeProtocolError (exit 3)
         # on divergence beyond the tolerance.
-        report = run_smoke(args.seed, tolerance=args.tolerance)
+        report = execute_smoke(args.seed, tolerance=args.tolerance)
     else:
         try:
             workload = (
@@ -390,7 +395,7 @@ def cmd_loadtest(args) -> None:
             seed=args.seed,
         )
         try:
-            report = run_loadtest(
+            report = execute_loadtest(
                 workload, settings, verify_batch=args.verify_batch
             )
         except (RuntimeProtocolError, TransportError):
@@ -428,8 +433,8 @@ def cmd_chaos(args) -> None:
     from ..runtime import (
         ChaosSettings,
         LiveSettings,
-        run_chaos,
-        run_chaos_smoke,
+        execute_chaos,
+        execute_chaos_smoke,
         smoke_workload,
     )
     from ..workload import preset
@@ -438,7 +443,7 @@ def cmd_chaos(args) -> None:
         # The CI gate after `repro loadtest --smoke`: scripted proxy
         # crash + 2% frame drops; raises RuntimeProtocolError (exit 3)
         # when the four ratios diverge or conservation breaks.
-        report = run_chaos_smoke(args.seed, tolerance=args.tolerance)
+        report = execute_chaos_smoke(args.seed, tolerance=args.tolerance)
     else:
         try:
             workload = (
@@ -470,7 +475,7 @@ def cmd_chaos(args) -> None:
             ),
         )
         try:
-            report = run_chaos(workload, settings)
+            report = execute_chaos(workload, settings)
         except (RuntimeProtocolError, TransportError):
             raise  # mapped to dedicated exit codes by main()
         except ReproError as error:
@@ -637,3 +642,110 @@ def cmd_bench(args) -> None:
         status(f"no baseline at {baseline_path}; speedup floors only")
     else:
         status("performance gate passed")
+
+
+def _observed_run(args, *, window: float = 3600.0):
+    """Run one observed loadtest/chaos via the :mod:`repro.api` facade."""
+    from ..api import Session
+    from ..obs import ObsConfig
+
+    obs = ObsConfig(
+        trace=True,
+        timeseries=True,
+        trace_limit=args.limit,
+        window=window,
+    )
+    session = Session(seed=args.seed, obs=obs)
+    try:
+        if args.run == "chaos":
+            return session.chaos()
+        return session.loadtest()
+    except (RuntimeProtocolError, TransportError):
+        raise  # mapped to dedicated exit codes by main()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+
+def cmd_trace(args) -> None:
+    """``repro trace`` — dump the deterministic event trace of a run."""
+    from ..obs import prometheus_text
+
+    report = _observed_run(args)
+    jsonl = report.trace_jsonl()
+
+    if args.smoke:
+        # The CI determinism gate: the same seed must produce a
+        # byte-identical trace.  Re-run and compare; exit 3 on drift.
+        again = _observed_run(args).trace_jsonl()
+        if jsonl != again:
+            raise RuntimeProtocolError(
+                f"trace not deterministic for seed {args.seed}: "
+                f"{len(jsonl)} vs {len(again)} bytes"
+            )
+        print(
+            f"trace smoke OK: {len(jsonl.splitlines())} events, "
+            f"byte-identical across two seed-{args.seed} runs"
+        )
+
+    if args.out is not None:
+        Path(args.out).write_text(jsonl)
+        print(f"wrote {len(jsonl.splitlines())} events to {args.out}")
+    elif not args.smoke:
+        print(jsonl, end="")
+
+    if args.metrics_out is not None:
+        live = report.detail.faulted if args.run == "chaos" else report.detail
+        text = prometheus_text(live.speculative)
+        Path(args.metrics_out).write_text(text)
+        print(f"wrote Prometheus snapshot to {args.metrics_out}")
+
+
+def cmd_metrics(args) -> None:
+    """``repro metrics`` — windowed ratio curves and metric exports."""
+    import json as _json
+
+    from ..obs import prometheus_text
+
+    report = _observed_run(args, window=args.window)
+    observed = report.observed
+    assert observed is not None  # ObsConfig above always enables channels
+
+    if args.format == "prometheus":
+        live = report.detail.faulted if args.run == "chaos" else report.detail
+        output = prometheus_text(live.speculative)
+    elif args.format == "json":
+        output = _json.dumps(
+            {
+                "window": args.window,
+                "speculative": observed.speculative.timeseries.to_dict(),
+                "baseline": observed.baseline.timeseries.to_dict(),
+            },
+            sort_keys=True,
+        )
+    else:
+        rows = [
+            [
+                f"{start:g}",
+                f"{ratios.bandwidth_ratio:.4f}",
+                f"{ratios.server_load_ratio:.4f}",
+                f"{ratios.service_time_ratio:.4f}",
+                f"{ratios.miss_rate_ratio:.4f}",
+            ]
+            for start, ratios in report.ratio_curve()
+        ]
+        output = format_table(
+            ["window", "bandwidth", "load", "time", "miss"],
+            rows,
+            title=(
+                f"four-ratio curve ({args.run}, seed {args.seed}, "
+                f"{args.window:g}s windows)"
+            ),
+        )
+
+    if args.out is not None:
+        Path(args.out).write_text(
+            output if output.endswith("\n") else output + "\n"
+        )
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(output)

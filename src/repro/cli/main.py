@@ -390,6 +390,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(handler=commands.cmd_bench)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="run an observed loadtest/chaos and dump its deterministic "
+        "JSONL event trace (requests, speculation, pushes, faults)",
+    )
+    trace.add_argument(
+        "run",
+        nargs="?",
+        default="loadtest",
+        choices=["loadtest", "chaos"],
+        help="which kind of run to trace (default loadtest)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=65536,
+        help="trace ring size; older events beyond it are dropped",
+    )
+    trace.add_argument(
+        "--out", default=None, help="write the JSONL here instead of stdout"
+    )
+    trace.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write a Prometheus text snapshot of the speculative arm",
+    )
+    trace.add_argument(
+        "--smoke",
+        action="store_true",
+        help="determinism self-check: run twice and require byte-identical "
+        "traces (exit 3 on drift)",
+    )
+    trace.set_defaults(handler=commands.cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run an observed loadtest/chaos and export windowed "
+        "time-series (ratio curve table, JSON, or Prometheus text)",
+    )
+    metrics.add_argument(
+        "run",
+        nargs="?",
+        default="loadtest",
+        choices=["loadtest", "chaos"],
+        help="which kind of run to measure (default loadtest)",
+    )
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--limit", type=int, default=65536, help="trace ring size"
+    )
+    metrics.add_argument(
+        "--window",
+        type=float,
+        default=3600.0,
+        help="time-series window in virtual seconds",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["table", "json", "prometheus"],
+        default="table",
+        help="output format (default: ratio-curve table)",
+    )
+    metrics.add_argument(
+        "--out", default=None, help="write the output here instead of stdout"
+    )
+    metrics.set_defaults(handler=commands.cmd_metrics)
+
     subparsers.add_parser(
         "lint",
         help="static analysis enforcing simulation invariants "

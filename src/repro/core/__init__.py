@@ -15,12 +15,13 @@ from .planner import DisseminationPlan, DisseminationPlanner
 from .experiment import (
     Experiment,
     SweepPoint,
+    evaluate_thresholds,
     interpolate_at_traffic,
     sweep_thresholds,
     train_test_split,
 )
 from .reporting import format_series, format_table
-from .sensitivity import SensitivityPoint, workload_sensitivity
+from .sensitivity import SensitivityPoint, sweep_workload, workload_sensitivity
 from .combined import CombinedProtocolSimulator, CombinedResult
 
 __all__ = [
@@ -31,11 +32,13 @@ __all__ = [
     "Experiment",
     "SweepPoint",
     "train_test_split",
+    "evaluate_thresholds",
     "sweep_thresholds",
     "interpolate_at_traffic",
     "format_table",
     "format_series",
     "SensitivityPoint",
+    "sweep_workload",
     "workload_sensitivity",
     "CombinedProtocolSimulator",
     "CombinedResult",

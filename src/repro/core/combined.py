@@ -25,6 +25,8 @@ from typing import Callable
 
 from ..config import BASELINE, BaselineConfig
 from ..errors import SimulationError
+from ..obs.timeseries import TimeSeriesRecorder
+from ..obs.trace import Tracer
 from ..speculation.caches import ClientCache, make_cache_factory
 from ..speculation.dependency import DependencyModel
 from ..speculation.policies import SpeculationPolicy
@@ -106,6 +108,8 @@ class CombinedProtocolSimulator:
         disseminated: set[str] | dict[str, set[str]] | None = None,
         policy: SpeculationPolicy | None = None,
         cache_factory: Callable[[], ClientCache] | None = None,
+        recorder: TimeSeriesRecorder | None = None,
+        tracer: Tracer | None = None,
     ) -> CombinedResult:
         """Replay once with the given proxy holdings and policy.
 
@@ -115,6 +119,12 @@ class CombinedProtocolSimulator:
             disseminated: One shared document set, or per-proxy sets.
             policy: Origin speculation policy (None disables that half).
             cache_factory: Client cache constructor.
+            recorder: Optional time-series recorder; when given, every
+                :class:`CombinedResult` total is also sampled
+                cumulatively at the trace timestamps, so the final
+                sample of each series equals the result field exactly.
+            tracer: Optional tracer receiving one ``speculation`` event
+                per pushed rider (trace-timestamped).
 
         Raises:
             SimulationError: If a proxy is not internal, or a policy is
@@ -147,8 +157,30 @@ class CombinedProtocolSimulator:
         service_time = 0.0
         speculated_documents = 0
         speculated_bytes = 0
+        accesses = 0
+
+        def sample(timestamp: float) -> None:
+            """Cumulatively sample every running total at ``timestamp``."""
+            assert recorder is not None
+            recorder.sample_at(timestamp, "accesses", float(accesses))
+            recorder.sample_at(timestamp, "cache_hits", float(cache_hits))
+            recorder.sample_at(
+                timestamp, "proxy_requests", float(proxy_requests)
+            )
+            recorder.sample_at(
+                timestamp, "origin_requests", float(origin_requests)
+            )
+            recorder.sample_at(timestamp, "bytes_hops", float(bytes_hops))
+            recorder.sample_at(timestamp, "service_time", service_time)
+            recorder.sample_at(
+                timestamp, "speculated_documents", float(speculated_documents)
+            )
+            recorder.sample_at(
+                timestamp, "speculated_bytes", float(speculated_bytes)
+            )
 
         for request in self._trace:
+            accesses += 1
             client = request.client
             cache = caches.get(client)
             if cache is None:
@@ -158,6 +190,8 @@ class CombinedProtocolSimulator:
 
             if cache.contains(request.doc_id):
                 cache_hits += 1
+                if recorder is not None:
+                    sample(request.timestamp)
                 continue
 
             depth = self._depths[client]
@@ -176,6 +210,8 @@ class CombinedProtocolSimulator:
 
             if serving_depth > 0:
                 proxy_requests += 1
+                if recorder is not None:
+                    sample(request.timestamp)
                 continue  # the origin never sees it: no speculation
 
             origin_requests += 1
@@ -192,6 +228,17 @@ class CombinedProtocolSimulator:
                     speculated_bytes += document.size
                     bytes_hops += document.size * depth
                     cache.insert(candidate.doc_id, document.size)
+                    if tracer is not None:
+                        tracer.event(
+                            request.timestamp,
+                            "speculation",
+                            demand=request.doc_id,
+                            rider=candidate.doc_id,
+                            bytes=document.size,
+                            client=client,
+                        )
+            if recorder is not None:
+                sample(request.timestamp)
 
         return CombinedResult(
             accesses=len(self._trace),

@@ -3,13 +3,14 @@
 The paper's section-3 experiments all follow one recipe: estimate P/P*
 from history, replay the (later part of the) trace with and without
 speculation, and compare the four ratios while sweeping one knob.
-:class:`Experiment` packages the recipe; :func:`sweep_thresholds` and
+:class:`Experiment` packages the recipe; :func:`evaluate_thresholds` and
 :func:`interpolate_at_traffic` derive the Figure-5/6 series and the
 "x% extra bandwidth buys ..." headline numbers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -134,7 +135,7 @@ class Experiment:
         return compare(run.metrics, base.metrics), run
 
 
-def sweep_thresholds(
+def evaluate_thresholds(
     experiment: Experiment,
     thresholds: list[float],
     *,
@@ -142,6 +143,9 @@ def sweep_thresholds(
     workers: int | None = None,
 ) -> list[SweepPoint]:
     """The Figure-5 sweep: the four ratios across ``T_p`` values.
+
+    This is the engine behind :meth:`repro.api.Session.sweep` (and the
+    deprecated :func:`sweep_thresholds` shim).
 
     Args:
         experiment: A prepared experiment.
@@ -165,6 +169,28 @@ def sweep_thresholds(
         experiment.baseline()
         return parallel_map(point, thresholds, workers=workers)
     return [point(threshold) for threshold in thresholds]
+
+
+def sweep_thresholds(
+    experiment: Experiment,
+    thresholds: list[float],
+    *,
+    policy_factory: Callable[[float], SpeculationPolicy] | None = None,
+    workers: int | None = None,
+) -> list[SweepPoint]:
+    """Deprecated shim; use :meth:`repro.api.Session.sweep`.
+
+    Delegates unchanged to :func:`evaluate_thresholds`.
+    """
+    warnings.warn(
+        "sweep_thresholds() is deprecated; use repro.api.Session.sweep "
+        "(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return evaluate_thresholds(
+        experiment, thresholds, policy_factory=policy_factory, workers=workers
+    )
 
 
 def interpolate_at_traffic(

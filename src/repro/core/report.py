@@ -17,7 +17,7 @@ from ..popularity import PopularityProfile, analyze_blocks, fit_lambda
 from ..popularity.expmodel import PAPER_LAMBDA
 from ..topology import build_clientele_tree, greedy_tree_placement
 from ..workload import SyntheticTraceGenerator, check_calibration, preset
-from .experiment import Experiment, interpolate_at_traffic, sweep_thresholds
+from .experiment import Experiment, evaluate_thresholds, interpolate_at_traffic
 
 DEFAULT_THRESHOLDS = [0.95, 0.5, 0.35, 0.25, 0.15, 0.1, 0.05]
 TRAFFIC_LEVELS = [0.05, 0.10, 0.50, 1.00]
@@ -149,7 +149,7 @@ def generate_report(
     # --- section 4: speculation sweep (Figures 5 & 6) -------------------------
     train_days = trace.duration / 86_400.0 * train_fraction
     experiment = Experiment(trace, BASELINE, train_days=train_days)
-    points = sweep_thresholds(experiment, thresholds)
+    points = evaluate_thresholds(experiment, thresholds)
     sections += [
         "",
         "## Speculative service (Figure 5)",

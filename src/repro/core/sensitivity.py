@@ -2,7 +2,7 @@
 
 How robust are the paper's conclusions to the workload?  A reviewer's
 natural question, answered by sweeping one generator knob at a time and
-re-running the speculation experiment.  :func:`workload_sensitivity`
+re-running the speculation experiment.  :func:`sweep_workload`
 automates the loop; results print with
 :func:`repro.core.reporting.format_table` or feed further analysis.
 """
@@ -10,6 +10,7 @@ automates the loop; results print with
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from ..config import BASELINE, BaselineConfig
@@ -37,7 +38,7 @@ class SensitivityPoint:
     n_requests: int
 
 
-def workload_sensitivity(
+def sweep_workload(
     parameter: str,
     values: list,
     *,
@@ -48,6 +49,9 @@ def workload_sensitivity(
     workers: int | None = None,
 ) -> list[SensitivityPoint]:
     """Sweep one workload parameter and measure the speculation ratios.
+
+    This is the engine behind :meth:`repro.api.Session.sensitivity`
+    (and the deprecated :func:`workload_sensitivity` shim).
 
     Args:
         parameter: A :class:`GeneratorConfig` field name.
@@ -90,3 +94,34 @@ def workload_sensitivity(
         return SensitivityPoint(value=value, ratios=ratios, n_requests=len(trace))
 
     return parallel_map(point, values, workers=workers or 1)
+
+
+def workload_sensitivity(
+    parameter: str,
+    values: list,
+    *,
+    base_config: GeneratorConfig | None = None,
+    policy: SpeculationPolicy | None = None,
+    sim_config: BaselineConfig = BASELINE,
+    train_fraction: float = 0.5,
+    workers: int | None = None,
+) -> list[SensitivityPoint]:
+    """Deprecated shim; use :meth:`repro.api.Session.sensitivity`.
+
+    Delegates unchanged to :func:`sweep_workload`.
+    """
+    warnings.warn(
+        "workload_sensitivity() is deprecated; use "
+        "repro.api.Session.sensitivity (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sweep_workload(
+        parameter,
+        values,
+        base_config=base_config,
+        policy=policy,
+        sim_config=sim_config,
+        train_fraction=train_fraction,
+        workers=workers,
+    )

@@ -1,0 +1,97 @@
+"""Exporters: JSONL traces, Prometheus text, run manifests.
+
+Everything here renders to deterministic text: keys sorted, floats
+carried through ``repr`` via :func:`json.dumps`, no wall-clock
+timestamps.  Two runs with the same seed, config and commit produce
+byte-identical artifacts, so CI can diff them and the trace-smoke gate
+can assert equality by hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from ..perf.bench import git_revision
+from .trace import TraceEvent, events_to_jsonl
+
+__all__ = [
+    "config_digest",
+    "prometheus_text",
+    "run_manifest",
+    "trace_jsonl",
+]
+
+
+def trace_jsonl(events: tuple[TraceEvent, ...]) -> str:
+    """Deterministic JSONL rendering of a trace event tuple."""
+    return events_to_jsonl(events)
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a registry counter name into a Prometheus metric name."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render without a dot."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: Mapping[str, Any], *, prefix: str = "") -> str:
+    """Prometheus text-exposition rendering of a registry snapshot.
+
+    Counters become ``repro_<name>`` counter samples; histogram
+    summaries become one gauge per statistic (``_count``, ``_mean``,
+    ``_p50``…).  ``prefix`` (e.g. ``"speculative_"``) distinguishes the
+    two arms of a paired run inside one scrape.
+
+    Args:
+        snapshot: A :meth:`~repro.obs.timeseries.MetricsRegistry.snapshot`
+            dict (``counters`` + ``histograms`` keys).
+        prefix: Optional name prefix inserted after ``repro_``.
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = _metric_name(prefix + name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        summary = histograms[name]
+        for stat in sorted(summary):
+            metric = _metric_name(f"{prefix}{name}_{stat}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(summary[stat])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def config_digest(config: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON rendering of a config mapping."""
+    canonical = json.dumps(
+        dict(config), sort_keys=True, default=str, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_manifest(
+    *, seed: int, config: Mapping[str, Any] | None = None
+) -> dict[str, str | int]:
+    """Provenance manifest attached to every observed run.
+
+    Records what is needed to reproduce the artifact: the seed, a
+    digest of the effective configuration, and the git commit.  No
+    wall-clock timestamp — the manifest itself must be deterministic.
+    """
+    return {
+        "seed": int(seed),
+        "config_digest": config_digest(config or {}),
+        "git_sha": git_revision(),
+    }

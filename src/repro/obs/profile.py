@@ -1,0 +1,76 @@
+"""Opt-in wall/CPU profiling hooks around the hot paths.
+
+``repro.perf`` benchmarks the hot paths (estimation, closure, replay)
+end to end; this module answers the follow-up question — *where inside
+a run does the time go* — without perturbing unprofiled runs.  A
+:class:`Profiler` times named sections with ``time.perf_counter`` and
+can additionally drive :mod:`cProfile` for per-function CPU stats.
+Profiling is wall-clock by nature and therefore never part of any
+determinism contract; nothing here feeds the seeded artifacts.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Profiler:
+    """Times named sections; optionally collects a cProfile capture.
+
+    Args:
+        cpu: When true, :meth:`section` also runs the Python profiler
+            so :meth:`cpu_stats` can report per-function time.
+    """
+
+    def __init__(self, *, cpu: bool = False):
+        self._wall: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._profile = cProfile.Profile() if cpu else None
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall time under ``name``."""
+        profile = self._profile
+        if profile is not None:
+            profile.enable()
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            if profile is not None:
+                profile.disable()
+            self._wall[name] = self._wall.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def wall_seconds(self, name: str) -> float:
+        """Accumulated wall seconds for one section (0.0 if never run)."""
+        return self._wall.get(name, 0.0)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-section ``{"seconds": ..., "calls": ...}`` mapping."""
+        return {
+            name: {
+                "seconds": self._wall[name],
+                "calls": float(self._calls[name]),
+            }
+            for name in sorted(self._wall)
+        }
+
+    def cpu_stats(self, *, limit: int = 20) -> str:
+        """Top cumulative-time functions from the cProfile capture.
+
+        Returns an empty string when the profiler was created without
+        ``cpu=True``.
+        """
+        if self._profile is None:
+            return ""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(limit)
+        return buffer.getvalue()

@@ -16,10 +16,12 @@ machinery (:mod:`~repro.runtime.resilience` — retry backoff, circuit
 breakers, duplicate-service accounting, daemon anti-entropy re-push)
 carries the run through with the paper's four ratios intact.
 
-Entry points: :func:`~repro.runtime.service.run_loadtest` /
-:func:`~repro.runtime.service.run_smoke` /
-:func:`~repro.runtime.service.run_chaos`, or the ``repro serve``,
-``repro loadtest`` and ``repro chaos`` CLI commands.
+Entry points: :class:`repro.api.Session` (the front door), the
+``repro serve``, ``repro loadtest`` and ``repro chaos`` CLI commands,
+or the engine functions :func:`~repro.runtime.service.execute_loadtest`
+/ :func:`~repro.runtime.service.execute_chaos`.  The historical
+``run_loadtest`` / ``run_smoke`` / ``run_chaos`` / ``run_chaos_smoke``
+names remain as deprecated shims.
 """
 
 from .clock import VirtualClock, run_virtual
@@ -32,6 +34,7 @@ from .metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
+    default_registry,
     live_ratios,
     verify_conservation,
 )
@@ -44,6 +47,10 @@ from .service import (
     LiveReport,
     LiveSettings,
     chaos_smoke_settings,
+    execute_chaos,
+    execute_chaos_smoke,
+    execute_loadtest,
+    execute_smoke,
     run_chaos,
     run_chaos_smoke,
     run_loadtest,
@@ -79,6 +86,11 @@ __all__ = [
     "TcpServer",
     "VirtualClock",
     "chaos_smoke_settings",
+    "default_registry",
+    "execute_chaos",
+    "execute_chaos_smoke",
+    "execute_loadtest",
+    "execute_smoke",
     "live_ratios",
     "retry_rng",
     "run_chaos",

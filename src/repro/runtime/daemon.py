@@ -22,7 +22,7 @@ import asyncio
 from ..core.planner import DisseminationPlanner
 from ..errors import AllocationError, TransportError
 from .messages import Message
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, default_registry
 from .origin import OriginServer
 from .transport import Endpoint
 
@@ -63,7 +63,7 @@ class DisseminationDaemon:
         self._budget_bytes = budget_bytes
         self._interval = interval
         self._push_timeout = push_timeout
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else default_registry()
         self.replans = 0
         self._last_entries: list[list] = [
             [str(doc_id), int(size)] for doc_id, size in (static_entries or [])
@@ -137,6 +137,12 @@ class DisseminationDaemon:
             return False
         self.metrics.counter("daemon.pushes").inc()
         self.metrics.counter("daemon.pushed_bytes").inc(payload_bytes)
+        self.metrics.trace_event(
+            "dissemination",
+            proxy=proxy,
+            documents=len(entries),
+            bytes=payload_bytes,
+        )
         return True
 
     async def push_once(self) -> tuple[str, ...]:

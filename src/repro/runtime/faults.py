@@ -272,6 +272,9 @@ class FaultInjector:
         self.metrics.counter(f"faults.{action}").inc()
         self.log.append((event.at, event.label()))
         self.metrics.record_event(event.at, f"fault:{event.label()}")
+        self.metrics.trace_event(
+            "fault", time=event.at, action=action, label=event.label()
+        )
 
     async def run(self) -> None:
         """Fire every plan event at its virtual time, then return."""

@@ -28,7 +28,7 @@ from ..errors import RuntimeProtocolError, TransportError
 from ..speculation.caches import ClientCache, make_cache_factory
 from ..trace.records import Request
 from .messages import Message, make_request
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, default_registry
 from .resilience import BackoffPolicy, retry_rng
 from .transport import Endpoint, InMemoryNetwork
 
@@ -110,7 +110,7 @@ class LoadGenerator:
         self._origin_name = origin_name
         self._config = config
         self._load = load if load is not None else LoadConfig()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else default_registry()
         self._cache_factory = cache_factory or make_cache_factory(
             config.session_timeout
         )
@@ -168,6 +168,17 @@ class LoadGenerator:
                     continue
                 metrics.histogram("request_latency").observe(elapsed)
                 self._account(route, request, reply.payload, cache)
+                if metrics.tracer is not None:
+                    metrics.trace_event(
+                        "request",
+                        time=loop.time(),
+                        client=client,
+                        doc=request.doc_id,
+                        served_by=str(
+                            reply.payload.get("served_by", self._origin_name)
+                        ),
+                        latency=round(elapsed, 9),
+                    )
         finally:
             await endpoint.close()
 
@@ -208,6 +219,12 @@ class LoadGenerator:
             except TransportError:
                 if attempt + 1 < attempts:
                     self.metrics.counter("retries").inc()
+                    self.metrics.trace_event(
+                        "retry",
+                        client=endpoint.name,
+                        doc=request.doc_id,
+                        attempt=attempt + 1,
+                    )
                     delay = self._load.backoff.delay(attempt, rng)
                     if delay > 0:
                         await asyncio.sleep(delay)

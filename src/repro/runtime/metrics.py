@@ -1,141 +1,41 @@
 """Live metrics: counters, histograms, deterministic JSON snapshots.
 
-The batch simulators return one result object at the end of a replay;
-a live system needs the same numbers *while running*.  This registry
-keeps named monotone counters (requests, bytes×hops, cost units) and
-histograms (per-request latency), renders them as canonically-sorted
-JSON — byte-identical across runs with the same seed, which is what the
-``repro loadtest --smoke`` determinism check asserts — and converts a
-(speculation, baseline) snapshot pair into the paper's four
-:class:`~repro.speculation.metrics.SpeculationRatios`.
+The metric primitives — :class:`~repro.obs.timeseries.Counter`,
+:class:`~repro.obs.timeseries.Histogram` and the
+:class:`~repro.obs.timeseries.MetricsRegistry` with its
+canonically-sorted JSON snapshot — now live in :mod:`repro.obs` (the
+observability layer shared with the batch simulators) and are
+re-exported here unchanged for the runtime's historical import paths.
+This module keeps what is genuinely runtime-side: the periodic
+:class:`SnapshotReporter`, the four-ratio conversion of a
+(speculation, baseline) snapshot pair, and the byte/frame conservation
+invariants the chaos gate checks.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 from typing import Any, Callable
 
 from ..errors import RuntimeProtocolError
+from ..obs import default_registry
+from ..obs.timeseries import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ratios_from_counters,
+)
 from ..speculation.metrics import SpeculationRatios
 
-
-class Counter:
-    """A named monotone counter (int or float increments)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value: float = 0
-
-    def inc(self, amount: float = 1) -> None:
-        """Add ``amount`` (must be non-negative to stay monotone)."""
-        self.value += amount
-
-
-class Histogram:
-    """Stores raw observations; quantiles are computed on demand.
-
-    Exact rather than bucketed: live runs are bounded by the workload
-    trace, so storing every observation is affordable and keeps p50/p99
-    deterministic to the last bit.
-    """
-
-    __slots__ = ("_values",)
-
-    def __init__(self) -> None:
-        self._values: list[float] = []
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self._values.append(value)
-
-    @property
-    def count(self) -> int:
-        return len(self._values)
-
-    def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile; 0.0 when empty."""
-        if not self._values:
-            return 0.0
-        ordered = sorted(self._values)
-        position = q * (len(ordered) - 1)
-        low = int(position)
-        high = min(low + 1, len(ordered) - 1)
-        fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
-
-    def summary(self) -> dict[str, float]:
-        """Count, mean and the standard quantiles, rounded for stability."""
-        if not self._values:
-            return {"count": 0}
-        total = sum(self._values)
-        return {
-            "count": len(self._values),
-            "mean": round(total / len(self._values), 9),
-            "p50": round(self.quantile(0.50), 9),
-            "p90": round(self.quantile(0.90), 9),
-            "p99": round(self.quantile(0.99), 9),
-            "max": round(max(self._values), 9),
-        }
-
-
-class MetricsRegistry:
-    """Creates-on-first-use registry of counters, histograms and events."""
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
-        self._events: list[tuple[float, str]] = []
-
-    def counter(self, name: str) -> Counter:
-        """The named counter, created at zero on first use."""
-        found = self._counters.get(name)
-        if found is None:
-            found = Counter()
-            self._counters[name] = found
-        return found
-
-    def histogram(self, name: str) -> Histogram:
-        """The named histogram, created empty on first use."""
-        found = self._histograms.get(name)
-        if found is None:
-            found = Histogram()
-            self._histograms[name] = found
-        return found
-
-    def value(self, name: str) -> float:
-        """Current value of a counter; 0 if it was never touched."""
-        found = self._counters.get(name)
-        return found.value if found is not None else 0
-
-    def record_event(self, time: float, name: str) -> None:
-        """Append one timestamped event (fault injections, recoveries)."""
-        self._events.append((round(float(time), 9), name))
-
-    def snapshot(self) -> dict[str, Any]:
-        """Plain-dict snapshot: sorted counters + histogram summaries.
-
-        The event timeline is included only when non-empty, so clean
-        runs keep their historical snapshot shape.
-        """
-        snapshot: dict[str, Any] = {
-            "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
-            },
-            "histograms": {
-                name: self._histograms[name].summary()
-                for name in sorted(self._histograms)
-            },
-        }
-        if self._events:
-            snapshot["events"] = [[time, name] for time, name in self._events]
-        return snapshot
-
-    def to_json(self, *, indent: int | None = None) -> str:
-        """Canonical JSON rendering — identical runs give identical text."""
-        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "SnapshotReporter",
+    "default_registry",
+    "live_ratios",
+    "verify_conservation",
+]
 
 
 class SnapshotReporter:
@@ -165,12 +65,6 @@ class SnapshotReporter:
             self._sink(self._registry.to_json())
 
 
-def _ratio(numerator: float, denominator: float) -> float:
-    if denominator == 0:
-        return 1.0 if numerator == 0 else float("inf")
-    return numerator / denominator
-
-
 def live_ratios(
     speculation: dict[str, Any], baseline: dict[str, Any]
 ) -> SpeculationRatios:
@@ -180,24 +74,8 @@ def live_ratios(
     ``origin_requests``, ``service_cost``, ``miss_bytes`` and
     ``accessed_bytes``.
     """
-    spec = speculation.get("counters", {})
-    base = baseline.get("counters", {})
-
-    def miss_rate(counters: dict[str, float]) -> float:
-        accessed = counters.get("accessed_bytes", 0)
-        return _ratio(counters.get("miss_bytes", 0), accessed) if accessed else 0.0
-
-    return SpeculationRatios(
-        bandwidth_ratio=_ratio(
-            spec.get("bytes_hops", 0), base.get("bytes_hops", 0)
-        ),
-        server_load_ratio=_ratio(
-            spec.get("origin_requests", 0), base.get("origin_requests", 0)
-        ),
-        service_time_ratio=_ratio(
-            spec.get("service_cost", 0), base.get("service_cost", 0)
-        ),
-        miss_rate_ratio=_ratio(miss_rate(spec), miss_rate(base)),
+    return ratios_from_counters(
+        speculation.get("counters", {}), baseline.get("counters", {})
     )
 
 

@@ -17,7 +17,7 @@ from ..speculation.policies import SpeculationPolicy
 from ..trace.records import Document, Request, Trace
 from .estimator import OnlineDependencyEstimator
 from .messages import Message, make_error, make_response
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, default_registry
 from .resilience import DuplicateFilter
 
 
@@ -56,7 +56,7 @@ class OriginServer:
         self._estimator = estimator
         self._policy = policy
         self._config = config
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else default_registry()
         self.name = name
         self._history: deque[Request] = deque(maxlen=history_limit)
         self._dedupe = DuplicateFilter()
@@ -145,6 +145,14 @@ class OriginServer:
                     self.metrics.counter("origin.speculated_documents").inc()
                     self.metrics.counter("origin.speculated_bytes").inc(
                         rider.size
+                    )
+                    self.metrics.trace_event(
+                        "speculation",
+                        time=float(timestamp),
+                        demand=doc_id,
+                        rider=rider.doc_id,
+                        bytes=rider.size,
+                        client=str(client),
                     )
 
         return make_response(

@@ -34,7 +34,7 @@ from collections import OrderedDict
 
 from ..errors import RuntimeProtocolError, TransportError
 from .messages import Message, make_error, make_request, make_response
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, default_registry
 from .resilience import (
     BREAKER_OPEN,
     BackoffPolicy,
@@ -86,7 +86,7 @@ class ProxyNode:
         self._endpoint = endpoint
         self._upstream = upstream
         self._holdings: dict[str, int] = dict(holdings or {})
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else default_registry()
         self._upstream_timeout = upstream_timeout
         if breaker is None:
             reset = 2.0 * (upstream_timeout if upstream_timeout else 30.0)
@@ -195,6 +195,14 @@ class ProxyNode:
             pushed_bytes += size
         self.metrics.counter(f"proxy.{self.name}.pushes").inc()
         self.metrics.counter(f"proxy.{self.name}.pushed_bytes").inc(pushed_bytes)
+        self.metrics.trace_event(
+            "push",
+            time=self._loop_time(),
+            proxy=self.name,
+            documents=len(incoming),
+            bytes=pushed_bytes,
+            mode=str(mode),
+        )
         return Message(
             kind="ack",
             sender=self.name,

@@ -30,13 +30,21 @@ from __future__ import annotations
 
 import asyncio
 import math
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable
 
 from ..config import BASELINE, BaselineConfig
 from ..core.combined import CombinedProtocolSimulator, CombinedResult
 from ..core.planner import DisseminationPlanner
 from ..errors import RuntimeProtocolError, SimulationError
+from ..obs import (
+    ArmObservations,
+    ObsBundle,
+    ObsConfig,
+    RunObservations,
+    run_manifest,
+)
 from ..speculation.dependency import DependencyModel
 from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import ThresholdPolicy
@@ -49,7 +57,7 @@ from .daemon import DisseminationDaemon
 from .estimator import OnlineDependencyEstimator
 from .faults import FaultInjector, FaultPlan
 from .loadgen import ClientRoute, LoadConfig, LoadGenerator
-from .metrics import MetricsRegistry, live_ratios, verify_conservation
+from .metrics import live_ratios, verify_conservation
 from .origin import OriginServer
 from .proxy import ProxyNode
 from .transport import InMemoryNetwork
@@ -104,6 +112,9 @@ class LiveReport:
         batch_ratios: Same three comparable ratios from the batch
             replay (when ``verify_batch`` was requested).
         disseminated_documents: Documents the plan pushed to proxies.
+        observed: Traces/time-series/manifest for both arms, when the
+            run was executed with an enabled
+            :class:`~repro.obs.ObsConfig`; None otherwise.
     """
 
     baseline: dict[str, Any]
@@ -111,6 +122,7 @@ class LiveReport:
     ratios: SpeculationRatios
     batch_ratios: SpeculationRatios | None = None
     disseminated_documents: int = 0
+    observed: RunObservations | None = None
 
     def max_divergence(self) -> float:
         """Largest relative gap between live and batch ratios.
@@ -298,8 +310,9 @@ async def _run_once(
     estimator: OnlineDependencyEstimator,
     policy: ThresholdPolicy | None,
     fault_plan: FaultPlan | None = None,
-) -> dict[str, Any]:
-    """One full live replay; returns the metrics snapshot."""
+    obs: ObsConfig | None = None,
+) -> tuple[dict[str, Any], ArmObservations | None]:
+    """One full live replay; returns (snapshot, observations-or-None)."""
     depth_of = {node: tree.depth(node) for node in tree.nodes()}
 
     def hop_count(source: str, destination: str) -> int:
@@ -311,7 +324,9 @@ async def _run_once(
         drop_probability=settings.drop_probability,
         hop_count=hop_count,
     )
-    metrics = MetricsRegistry()
+    bundle = ObsBundle.from_config(obs)
+    metrics = bundle.registry
+    metrics.bind_clock(asyncio.get_running_loop().time)
     injector = None
     if fault_plan is not None:
         injector = FaultInjector(fault_plan, seed=settings.seed, metrics=metrics)
@@ -412,7 +427,10 @@ async def _run_once(
     metrics.counter("run.virtual_seconds").inc(round(loop.time() - started, 9))
     for name, value in network.stats().items():
         metrics.counter(f"network.{name}").inc(value)
-    return metrics.snapshot()
+    observed = (
+        bundle.observations() if obs is not None and obs.enabled else None
+    )
+    return metrics.snapshot(), observed
 
 
 def _batch_ratios(
@@ -523,9 +541,19 @@ class _PreparedRun:
         return estimator
 
     def arm(
-        self, *, speculative: bool, fault_plan: FaultPlan | None = None
-    ) -> dict[str, Any]:
-        """Run one arm under the virtual clock; returns its snapshot."""
+        self,
+        *,
+        speculative: bool,
+        fault_plan: FaultPlan | None = None,
+        obs: ObsConfig | None = None,
+    ) -> tuple[dict[str, Any], ArmObservations | None]:
+        """Run one arm under the virtual clock.
+
+        Returns:
+            The arm's metrics snapshot, plus its
+            :class:`~repro.obs.ArmObservations` when ``obs`` enables
+            any channel (None otherwise).
+        """
         return run_virtual(
             _run_once(
                 self.serve,
@@ -538,18 +566,56 @@ class _PreparedRun:
                 estimator=self.fresh_estimator(),
                 policy=self.policy if speculative else None,
                 fault_plan=fault_plan,
+                obs=obs,
             )
         )
 
 
-def run_loadtest(
+def _deprecated(old: str, new: str) -> None:
+    """Emit the one-line migration warning for a legacy entry point."""
+    warnings.warn(
+        f"{old}() is deprecated; use {new} (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run_observations(
+    workload: GeneratorConfig,
+    settings: LiveSettings,
+    config: BaselineConfig,
+    speculative: ArmObservations | None,
+    baseline: ArmObservations | None,
+) -> RunObservations | None:
+    """Bundle both arms' observations with a provenance manifest."""
+    if speculative is None or baseline is None:
+        return None
+    return RunObservations(
+        speculative=speculative,
+        baseline=baseline,
+        manifest=run_manifest(
+            seed=workload.seed,
+            config={
+                "workload": asdict(workload),
+                "settings": asdict(settings),
+                "cost_model": asdict(config),
+            },
+        ),
+    )
+
+
+def execute_loadtest(
     workload: GeneratorConfig,
     settings: LiveSettings | None = None,
     *,
     config: BaselineConfig = BASELINE,
     verify_batch: bool = False,
+    obs: ObsConfig | None = None,
 ) -> LiveReport:
     """Generate a workload and run it live, baseline vs. speculation.
+
+    This is the engine behind :meth:`repro.api.Session.loadtest` (and
+    the deprecated :func:`run_loadtest` shim).
 
     Args:
         workload: Synthetic workload configuration (seeded).
@@ -557,9 +623,13 @@ def run_loadtest(
         config: The paper's cost model and timeouts.
         verify_batch: Also replay the serving half through the batch
             combined simulator and attach its ratios for comparison.
+        obs: Observability channels to enable for both arms; None (or
+            an all-off config) runs exactly as before this layer
+            existed.
 
     Returns:
-        A :class:`LiveReport` with both snapshots and the ratios.
+        A :class:`LiveReport` with both snapshots and the ratios (and
+        ``observed`` filled in when ``obs`` enables a channel).
 
     Raises:
         SimulationError: If the trace is too small to split into
@@ -568,8 +638,10 @@ def run_loadtest(
     settings = settings if settings is not None else LiveSettings()
     prepared = _PreparedRun(workload, settings, config)
 
-    baseline_snapshot = prepared.arm(speculative=False)
-    speculative_snapshot = prepared.arm(speculative=True)
+    baseline_snapshot, baseline_obs = prepared.arm(speculative=False, obs=obs)
+    speculative_snapshot, speculative_obs = prepared.arm(
+        speculative=True, obs=obs
+    )
 
     ratios = live_ratios(speculative_snapshot, baseline_snapshot)
     batch = None
@@ -594,6 +666,26 @@ def run_loadtest(
         ratios=ratios,
         batch_ratios=batch,
         disseminated_documents=len(prepared.holdings),
+        observed=_run_observations(
+            workload, settings, config, speculative_obs, baseline_obs
+        ),
+    )
+
+
+def run_loadtest(
+    workload: GeneratorConfig,
+    settings: LiveSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    verify_batch: bool = False,
+) -> LiveReport:
+    """Deprecated shim; use :meth:`repro.api.Session.loadtest`.
+
+    Delegates unchanged to :func:`execute_loadtest`.
+    """
+    _deprecated("run_loadtest", "repro.api.Session.loadtest")
+    return execute_loadtest(
+        workload, settings, config=config, verify_batch=verify_batch
     )
 
 
@@ -672,14 +764,18 @@ def _build_fault_plan(
     return plan
 
 
-def run_chaos(
+def execute_chaos(
     workload: GeneratorConfig,
     settings: ChaosSettings | None = None,
     *,
     config: BaselineConfig = BASELINE,
     fault_plan: FaultPlan | None = None,
+    obs: ObsConfig | None = None,
 ) -> ChaosReport:
     """Run the live pair fault-free, then again under a fault plan.
+
+    This is the engine behind :meth:`repro.api.Session.chaos` (and the
+    deprecated :func:`run_chaos` shim).
 
     Args:
         workload: Synthetic workload configuration (seeded).
@@ -687,6 +783,8 @@ def run_chaos(
         config: The paper's cost model and timeouts.
         fault_plan: Explicit plan in absolute virtual seconds; when
             given it overrides the fractional knobs in ``settings``.
+        obs: Observability channels, applied to all four arms; each
+            pair's :class:`LiveReport` carries its own observations.
 
     Returns:
         A :class:`ChaosReport` with both pairs, their ratios and the
@@ -701,8 +799,8 @@ def run_chaos(
     live = settings.live
     prepared = _PreparedRun(workload, live, config)
 
-    clean_base = prepared.arm(speculative=False)
-    clean_spec = prepared.arm(speculative=True)
+    clean_base, clean_base_obs = prepared.arm(speculative=False, obs=obs)
+    clean_spec, clean_spec_obs = prepared.arm(speculative=True, obs=obs)
     strict = live.drop_probability == 0.0
     verify_conservation(clean_base, strict=strict)
     verify_conservation(clean_spec, strict=strict)
@@ -715,8 +813,12 @@ def run_chaos(
             settings, prepared.proxies, prepared.tree.root, duration
         )
 
-    faulted_base = prepared.arm(speculative=False, fault_plan=fault_plan)
-    faulted_spec = prepared.arm(speculative=True, fault_plan=fault_plan)
+    faulted_base, faulted_base_obs = prepared.arm(
+        speculative=False, fault_plan=fault_plan, obs=obs
+    )
+    faulted_spec, faulted_spec_obs = prepared.arm(
+        speculative=True, fault_plan=fault_plan, obs=obs
+    )
     verify_conservation(faulted_base)
     verify_conservation(faulted_spec)
 
@@ -725,12 +827,18 @@ def run_chaos(
         speculative=clean_spec,
         ratios=live_ratios(clean_spec, clean_base),
         disseminated_documents=len(prepared.holdings),
+        observed=_run_observations(
+            workload, live, config, clean_spec_obs, clean_base_obs
+        ),
     )
     faulted = LiveReport(
         baseline=faulted_base,
         speculative=faulted_spec,
         ratios=live_ratios(faulted_spec, faulted_base),
         disseminated_documents=len(prepared.holdings),
+        observed=_run_observations(
+            workload, live, config, faulted_spec_obs, faulted_base_obs
+        ),
     )
     fault_events = tuple(
         (float(time), str(name))
@@ -740,7 +848,27 @@ def run_chaos(
     return ChaosReport(clean=clean, faulted=faulted, fault_events=fault_events)
 
 
-def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
+def run_chaos(
+    workload: GeneratorConfig,
+    settings: ChaosSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    fault_plan: FaultPlan | None = None,
+) -> ChaosReport:
+    """Deprecated shim; use :meth:`repro.api.Session.chaos`.
+
+    Delegates unchanged to :func:`execute_chaos`.
+    """
+    _deprecated("run_chaos", "repro.api.Session.chaos")
+    return execute_chaos(workload, settings, config=config, fault_plan=fault_plan)
+
+
+def execute_smoke(
+    seed: int = 0,
+    *,
+    tolerance: float = 0.05,
+    obs: ObsConfig | None = None,
+) -> LiveReport:
     """The ``repro loadtest --smoke`` self-test.
 
     Runs the small smoke workload live, verifies the live ratios
@@ -751,13 +879,23 @@ def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
         RuntimeProtocolError: If live and batch ratios diverge beyond
             ``tolerance``.
     """
-    report = run_loadtest(
+    report = execute_loadtest(
         smoke_workload(seed),
         LiveSettings(seed=seed),
         verify_batch=True,
+        obs=obs,
     )
     report.require_convergence(tolerance)
     return report
+
+
+def run_smoke(seed: int = 0, *, tolerance: float = 0.05) -> LiveReport:
+    """Deprecated shim; use :meth:`repro.api.Session.loadtest`.
+
+    Delegates unchanged to :func:`execute_smoke`.
+    """
+    _deprecated("run_smoke", "repro.api.Session.loadtest(smoke=True)")
+    return execute_smoke(seed, tolerance=tolerance)
 
 
 def chaos_smoke_settings(seed: int = 0) -> ChaosSettings:
@@ -778,10 +916,15 @@ def chaos_smoke_settings(seed: int = 0) -> ChaosSettings:
     )
 
 
-def run_chaos_smoke(seed: int = 0, *, tolerance: float = 0.05) -> ChaosReport:
+def execute_chaos_smoke(
+    seed: int = 0,
+    *,
+    tolerance: float = 0.05,
+    obs: ObsConfig | None = None,
+) -> ChaosReport:
     """The ``repro chaos --smoke`` self-test.
 
-    Runs the smoke workload through :func:`run_chaos` with the
+    Runs the smoke workload through :func:`execute_chaos` with the
     standard smoke fault script and asserts the four live ratios stay
     within ``tolerance`` of the fault-free run — the check CI runs
     after ``repro loadtest --smoke``.
@@ -790,6 +933,17 @@ def run_chaos_smoke(seed: int = 0, *, tolerance: float = 0.05) -> ChaosReport:
         RuntimeProtocolError: On ratio divergence beyond ``tolerance``
             or a conservation violation.
     """
-    report = run_chaos(smoke_workload(seed), chaos_smoke_settings(seed))
+    report = execute_chaos(
+        smoke_workload(seed), chaos_smoke_settings(seed), obs=obs
+    )
     report.require_resilience(tolerance)
     return report
+
+
+def run_chaos_smoke(seed: int = 0, *, tolerance: float = 0.05) -> ChaosReport:
+    """Deprecated shim; use :meth:`repro.api.Session.chaos`.
+
+    Delegates unchanged to :func:`execute_chaos_smoke`.
+    """
+    _deprecated("run_chaos_smoke", "repro.api.Session.chaos(smoke=True)")
+    return execute_chaos_smoke(seed, tolerance=tolerance)

@@ -54,7 +54,7 @@ class TestBrokenTree:
             if f.rule_id == "L001" and f.path.endswith("trace/bad.py")
         ]
         assert len(upward) == 1
-        assert "`trace` (rank 2) imports `core` (rank 7)" in upward[0].message
+        assert "`trace` (rank 2) imports `core` (rank 8)" in upward[0].message
         assert "upward" in upward[0].message
 
     def test_sideways_peer_import_rejected(self, findings):

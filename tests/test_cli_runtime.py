@@ -105,3 +105,54 @@ class TestServe:
     def test_unknown_preset_is_a_usage_error(self, capsys):
         assert main(["serve", "--preset", "no-such-preset"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_smoke_gate_passes(self, capsys):
+        assert main(["trace", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "trace smoke OK" in out
+        assert "byte-identical" in out
+
+    def test_stdout_is_jsonl(self, capsys):
+        assert main(["trace", "--limit", "64"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 64
+        for line in lines:
+            event = json.loads(line)
+            assert {"t", "kind"} <= set(event)
+
+    def test_artifacts_are_written(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "trace",
+                "--out",
+                str(trace_path),
+                "--metrics-out",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = trace_path.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        assert "# TYPE repro_accesses counter" in prom_path.read_text()
+
+
+class TestMetrics:
+    def test_table_shows_the_curve(self, capsys):
+        assert main(["metrics", "--window", "86400"]) == 0
+        out = capsys.readouterr().out
+        assert "four-ratio curve" in out
+        assert "bandwidth" in out
+
+    def test_json_has_both_arms(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"baseline", "speculative", "window"}
+
+    def test_chaos_run_exports_prometheus(self, capsys):
+        assert main(["metrics", "chaos", "--format", "prometheus"]) == 0
+        assert "# TYPE repro_accesses counter" in capsys.readouterr().out

@@ -9,7 +9,7 @@ from repro.core import (
     format_series,
     format_table,
     interpolate_at_traffic,
-    sweep_thresholds,
+    evaluate_thresholds,
     train_test_split,
 )
 from repro.core.experiment import SweepPoint
@@ -73,11 +73,11 @@ class TestExperiment:
 
 class TestSweep:
     def test_sweep_order_preserved(self, experiment):
-        points = sweep_thresholds(experiment, [0.9, 0.3])
+        points = evaluate_thresholds(experiment, [0.9, 0.3])
         assert [p.parameter for p in points] == [0.9, 0.3]
 
     def test_lower_threshold_more_traffic(self, experiment):
-        points = sweep_thresholds(experiment, [0.9, 0.1])
+        points = evaluate_thresholds(experiment, [0.9, 0.1])
         assert (
             points[1].ratios.traffic_increase >= points[0].ratios.traffic_increase
         )
@@ -85,7 +85,7 @@ class TestSweep:
     def test_custom_policy_factory(self, experiment):
         from repro.speculation import TopKPolicy
 
-        points = sweep_thresholds(
+        points = evaluate_thresholds(
             experiment,
             [0.2],
             policy_factory=lambda p: TopKPolicy(k=2, min_probability=p),

@@ -9,7 +9,7 @@ from repro.core import (
     DisseminationPlanner,
     Experiment,
     SpeculativeServer,
-    sweep_thresholds,
+    evaluate_thresholds,
 )
 from repro.dissemination import DisseminationSimulator
 from repro.dissemination.simulator import select_popular_bytes
@@ -152,7 +152,7 @@ class TestSweepInternalConsistency:
     def test_ratio_definitions_hold(self, trace):
         """Recompute the four ratios from raw metrics and match."""
         experiment = Experiment(trace, BASELINE, train_days=12)
-        points = sweep_thresholds(experiment, [0.5, 0.1])
+        points = evaluate_thresholds(experiment, [0.5, 0.1])
         baseline = experiment.baseline()
         for point in points:
             m = point.run.metrics

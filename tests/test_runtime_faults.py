@@ -27,7 +27,7 @@ from repro.runtime import (
     OnlineDependencyEstimator,
     OriginServer,
     ProxyNode,
-    run_chaos_smoke,
+    execute_chaos_smoke,
     run_virtual,
     verify_conservation,
 )
@@ -529,7 +529,7 @@ class TestProxyResilience:
 class TestChaosSmoke:
     @pytest.fixture(scope="class")
     def report(self):
-        return run_chaos_smoke(0)
+        return execute_chaos_smoke(0)
 
     def test_ratios_survive_the_faults(self, report):
         assert report.max_ratio_divergence() <= 0.05
@@ -564,7 +564,7 @@ class TestChaosSmoke:
         verify_conservation(report.clean.speculative, strict=True)
 
     def test_chaos_smoke_is_deterministic(self, report):
-        again = run_chaos_smoke(0)
+        again = execute_chaos_smoke(0)
         dump = lambda snap: json.dumps(snap, sort_keys=True)  # noqa: E731
         assert dump(again.faulted.speculative) == dump(
             report.faulted.speculative

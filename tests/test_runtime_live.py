@@ -14,8 +14,8 @@ from repro.runtime import (
     OriginServer,
     ProxyNode,
     TcpServer,
-    run_loadtest,
-    run_smoke,
+    execute_loadtest,
+    execute_smoke,
     run_virtual,
     tcp_call,
 )
@@ -33,19 +33,19 @@ SETTINGS = LiveSettings(seed=3, budget_bytes=300_000.0)
 
 @pytest.fixture(scope="module")
 def report():
-    return run_loadtest(SMALL, SETTINGS, verify_batch=True)
+    return execute_loadtest(SMALL, SETTINGS, verify_batch=True)
 
 
 class TestLoadtest:
     def test_same_seed_reproduces_snapshots(self, report):
-        again = run_loadtest(SMALL, SETTINGS, verify_batch=True)
+        again = execute_loadtest(SMALL, SETTINGS, verify_batch=True)
         dump = lambda snap: json.dumps(snap, sort_keys=True)  # noqa: E731
         assert dump(again.baseline) == dump(report.baseline)
         assert dump(again.speculative) == dump(report.speculative)
         assert again.ratios == report.ratios
 
     def test_network_seed_changes_latencies_not_ratios(self, report):
-        other = run_loadtest(
+        other = execute_loadtest(
             SMALL, LiveSettings(seed=4, budget_bytes=300_000.0)
         )
         # Decisions are seed-free; only float summation order may shift.
@@ -84,7 +84,7 @@ class TestLoadtest:
             report.require_convergence(-1.0)
 
     def test_smoke_self_test_converges(self):
-        smoke = run_smoke(0)  # raises on >5% divergence
+        smoke = execute_smoke(0)  # raises on >5% divergence
         assert smoke.batch_ratios is not None
         assert smoke.baseline["counters"]["accesses"] > 0
 
@@ -93,7 +93,7 @@ class TestLoadtest:
             seed=0, n_pages=4, n_clients=2, n_sessions=1, duration_days=1
         )
         with pytest.raises(SimulationError):
-            run_loadtest(tiny)
+            execute_loadtest(tiny)
 
 
 class TestDaemon:

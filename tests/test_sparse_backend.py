@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import BASELINE
-from repro.core import Experiment, interpolate_at_traffic, sweep_thresholds
+from repro.core import Experiment, interpolate_at_traffic, evaluate_thresholds
 from repro.errors import DependencyModelError, PerfRegressionError
 from repro.perf import (
     enforce_gate,
@@ -88,10 +88,10 @@ def test_unknown_backend_rejected(small_trace):
 
 def test_headline_pipeline_parity(small_trace):
     grid = [0.95, 0.5, 0.25, 0.1]
-    dict_points = sweep_thresholds(
+    dict_points = evaluate_thresholds(
         Experiment(small_trace, BASELINE, train_days=5.0, backend="dict"), grid
     )
-    sparse_points = sweep_thresholds(
+    sparse_points = evaluate_thresholds(
         Experiment(small_trace, BASELINE, train_days=5.0, backend="sparse"), grid
     )
     assert dict_points == sparse_points
@@ -237,8 +237,8 @@ def test_spawn_seeds_deterministic():
 def test_parallel_threshold_sweep_byte_identical(small_trace):
     experiment = Experiment(small_trace, BASELINE, train_days=5.0)
     grid = [0.9, 0.5, 0.25, 0.1]
-    serial = sweep_thresholds(experiment, grid)
-    parallel = sweep_thresholds(experiment, grid, workers=4)
+    serial = evaluate_thresholds(experiment, grid)
+    parallel = evaluate_thresholds(experiment, grid, workers=4)
     assert parallel == serial
 
 

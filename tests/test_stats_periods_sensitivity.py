@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.core import workload_sensitivity
+from repro.core import sweep_workload
 from repro.dissemination import DynamicShield
 from repro.speculation import TopKPolicy
 from repro.trace import Request, Trace, bytes_per_period, requests_per_period
@@ -59,7 +59,7 @@ class TestSensitivity:
     )
 
     def test_sweep_runs_each_value(self):
-        points = workload_sensitivity(
+        points = sweep_workload(
             "jump_probability", [0.0, 0.6], base_config=self.BASE
         )
         assert [p.value for p in points] == [0.0, 0.6]
@@ -70,7 +70,7 @@ class TestSensitivity:
     def test_predictability_direction(self):
         """More jumps -> less predictable traversals -> weaker gains at
         the same policy (the knob works the way it claims)."""
-        points = workload_sensitivity(
+        points = sweep_workload(
             "jump_probability",
             [0.0, 0.8],
             base_config=self.BASE,
@@ -83,7 +83,7 @@ class TestSensitivity:
         )
 
     def test_custom_policy_used(self):
-        points = workload_sensitivity(
+        points = sweep_workload(
             "popularity_alpha",
             [1.0],
             base_config=self.BASE,
@@ -93,8 +93,8 @@ class TestSensitivity:
 
     def test_unknown_parameter(self):
         with pytest.raises(SimulationError):
-            workload_sensitivity("not_a_field", [1])
+            sweep_workload("not_a_field", [1])
 
     def test_empty_values(self):
         with pytest.raises(SimulationError):
-            workload_sensitivity("jump_probability", [])
+            sweep_workload("jump_probability", [])
