@@ -6,10 +6,15 @@ feeding Table 1 is numerically safe.  This package machine-checks those
 properties with a pluggable checker framework:
 
 * :mod:`~repro.analysis.engine` — discovery + single-pass dispatch.
+* :mod:`~repro.analysis.dataflow` — reusable CFG/provenance engine
+  behind the flow-based checkers.
 * :mod:`~repro.analysis.checkers` — determinism, layering, numeric
-  safety and API hygiene checkers (plus a registry for new ones).
+  safety, API hygiene, RNG-stream provenance, clock/units provenance
+  and async-interleaving checkers (plus a registry for new ones).
 * :mod:`~repro.analysis.baseline` / :mod:`~repro.analysis.suppressions`
   — grandfathering and inline opt-outs.
+* :mod:`~repro.analysis.schedules` — the dynamic schedule-perturbation
+  race gate behind ``repro racecheck``.
 * :mod:`~repro.analysis.runner` — the ``repro lint`` front-end, also
   reachable as ``python -m repro.analysis``.
 
@@ -26,6 +31,7 @@ from .engine import LintResult, run_lint
 from .findings import Finding, Rule, Severity
 from .lintconfig import DEFAULT_LAYER_RANKS, LintConfig, load_config
 from .runner import main
+from .schedules import RaceCheckReport, ScheduleRun, run_schedule_sweep
 
 __all__ = [
     "Baseline",
@@ -35,7 +41,9 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintResult",
+    "RaceCheckReport",
     "Rule",
+    "ScheduleRun",
     "Severity",
     "all_rules",
     "default_baseline_path",
@@ -44,4 +52,5 @@ __all__ = [
     "register",
     "registered_checkers",
     "run_lint",
+    "run_schedule_sweep",
 ]

@@ -13,7 +13,9 @@ Workflow:
 * subsequent runs subtract baselined findings from the failure set and
   report how many were skipped.
 * entries whose finding has disappeared are *stale*; ``repro lint``
-  reports them so the file shrinks monotonically toward empty.
+  reports them (with a reason: fixed, file deleted, or rule removed)
+  and ``repro lint --update-baseline`` prunes them, so the file
+  shrinks monotonically toward empty.
 """
 
 from __future__ import annotations
@@ -86,6 +88,67 @@ class Baseline:
                 new.append(finding)
         stale = sorted(set(self.entries) - seen)
         return new, baselined, stale
+
+    def audit(
+        self,
+        findings: list[Finding],
+        *,
+        known_rules: frozenset[str] | set[str] | None = None,
+        base_dir: Path | None = None,
+    ) -> dict[str, str]:
+        """Explain every stale entry: why does nothing match it?
+
+        Returns:
+            fingerprint → reason, for each entry no current finding
+            matches.  Reasons distinguish entries whose *rule* was
+            removed from the checker set, whose *file* no longer
+            exists, and plain fixed findings — the first two can never
+            match again and should always be pruned.
+        """
+        matched = {finding.fingerprint for finding in findings}
+        reasons: dict[str, str] = {}
+        for fingerprint, entry in self.entries.items():
+            if fingerprint in matched:
+                continue
+            rule = str(entry.get("rule", ""))
+            path = str(entry.get("path", ""))
+            if known_rules is not None and rule and rule not in known_rules:
+                reasons[fingerprint] = f"rule {rule} no longer exists"
+            elif (
+                base_dir is not None
+                and path
+                and not (base_dir / path).exists()
+            ):
+                reasons[fingerprint] = f"file {path} no longer exists"
+            else:
+                reasons[fingerprint] = "finding no longer present"
+        return reasons
+
+    def prune(self, fingerprints: list[str]) -> int:
+        """Drop the given entries; returns how many were removed."""
+        removed = 0
+        for fingerprint in fingerprints:
+            if self.entries.pop(fingerprint, None) is not None:
+                removed += 1
+        return removed
+
+    def save(self) -> None:
+        """Write the (possibly pruned) entries back to :attr:`path`."""
+        if self.path is None:
+            raise BaselineError("baseline has no backing path")
+        entries = sorted(
+            self.entries.values(),
+            key=lambda entry: (
+                str(entry.get("path", "")),
+                int(entry.get("line", 0) or 0),
+                str(entry.get("rule", "")),
+            ),
+        )
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
 
     @staticmethod
     def write(path: Path, findings: list[Finding]) -> None:

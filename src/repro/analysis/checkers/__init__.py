@@ -9,10 +9,13 @@ the engine programmatically.
 from __future__ import annotations
 
 from ..base import Checker
+from .concurrency import ConcurrencyChecker
 from .determinism import DeterminismChecker
 from .hygiene import ApiHygieneChecker
 from .layering import LayeringChecker
 from .numeric import NumericSafetyChecker
+from .rngflow import RngStreamChecker
+from .units import UnitsChecker
 
 _REGISTRY: dict[str, type[Checker]] = {}
 
@@ -45,14 +48,20 @@ for _checker in (
     LayeringChecker,
     NumericSafetyChecker,
     ApiHygieneChecker,
+    RngStreamChecker,
+    UnitsChecker,
+    ConcurrencyChecker,
 ):
     register(_checker)
 
 __all__ = [
     "ApiHygieneChecker",
+    "ConcurrencyChecker",
     "DeterminismChecker",
     "LayeringChecker",
     "NumericSafetyChecker",
+    "RngStreamChecker",
+    "UnitsChecker",
     "all_rules",
     "register",
     "registered_checkers",

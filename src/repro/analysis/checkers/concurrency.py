@@ -1,0 +1,425 @@
+"""Async-interleaving checker for the cooperative runtime (A001–A003).
+
+Everything in ``repro.runtime`` shares state between asyncio tasks —
+proxy holdings, daemon repush queues, metrics — and the only mutual
+exclusion is the absence of ``await`` between a read and its dependent
+write.  These rules make that discipline checkable:
+
+* ``A001`` — inside one ``async def``, an ``await`` (or ``async
+  for``/``async with``) occurs between a read of a ``self.*``
+  attribute and a *dependent* write of the same attribute: the classic
+  asyncio lost-update window.  Dependence is tracked through locals
+  (``x = self.attr...`` then ``self.attr.pop(x)``); guard-only reads
+  (``if self.attr: ... self.attr = []``) are deliberately excluded.
+* ``A002`` — a coroutine function is called as a bare expression
+  statement without being awaited (the call silently does nothing).
+* ``A003`` — the task created by ``loop.create_task`` /
+  ``asyncio.ensure_future`` is dropped without being stored or
+  awaited, so it can be garbage-collected mid-flight and its
+  exceptions vanish.  ``TaskGroup``-style receivers (terminal name
+  ``tg`` or containing ``group``), which own their tasks, are exempt.
+
+The A001 scan is linear in source order within one function body and
+does not follow loop back-edges or descend into nested ``def``/
+``lambda`` scopes; see ``docs/static_analysis.md`` for the limitation
+list.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker, FileContext
+from ..findings import Rule, Severity
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+        "update", "move_to_end",
+    }
+)
+
+#: ``asyncio`` module-level coroutine functions (callable bare by
+#: mistake just as easily as locally defined ones).
+_ASYNCIO_COROUTINES = frozenset(
+    {"sleep", "gather", "wait", "wait_for", "to_thread"}
+)
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """Attribute name when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _InterleavingScan:
+    """Linear read/await/write scan of one async function body."""
+
+    def __init__(self) -> None:
+        self.position = 0
+        #: attr -> positions at which ``self.attr`` was read
+        self.reads: dict[str, list[int]] = {}
+        #: positions of awaits (incl. async for / async with headers)
+        self.awaits: list[int] = []
+        #: local name -> {attr: earliest read position it derives from}
+        self.deps: dict[str, dict[str, int]] = {}
+        #: (node, attr, read position) candidates
+        self.findings: list[tuple[ast.AST, str, int]] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _await_between(self, read_pos: int, write_pos: int) -> bool:
+        return any(read_pos < a < write_pos for a in self.awaits)
+
+    def _expr_dependencies(self, expr: ast.expr) -> dict[str, int]:
+        """Self-attrs the value of ``expr`` derives from, with the
+        position their originating read happened at."""
+        dependencies: dict[str, int] = {}
+        for node in ast.walk(expr):
+            if isinstance(node, _SCOPES):
+                continue
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                current = dependencies.get(attr)
+                if current is None or self.position < current:
+                    dependencies[attr] = self.position
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                for attr, pos in self.deps.get(node.id, {}).items():
+                    current = dependencies.get(attr)
+                    if current is None or pos < current:
+                        dependencies[attr] = pos
+        return dependencies
+
+    def _record_reads_and_awaits(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, _SCOPES):
+                continue
+            if isinstance(node, ast.Await):
+                self.awaits.append(self.position)
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                self.reads.setdefault(attr, []).append(self.position)
+
+    def _statement_has_await(self, exprs: list[ast.expr]) -> bool:
+        return any(
+            isinstance(node, ast.Await)
+            for expr in exprs
+            for node in ast.walk(expr)
+            if not isinstance(node, _SCOPES)
+        )
+
+    def _note_write(
+        self, node: ast.AST, attr: str, value_exprs: list[ast.expr]
+    ) -> None:
+        write_pos = self.position
+        has_await_here = self._statement_has_await(value_exprs)
+        for expr in value_exprs:
+            for dep_attr, read_pos in self._expr_dependencies(expr).items():
+                if dep_attr != attr:
+                    continue
+                if self._await_between(read_pos, write_pos) or (
+                    read_pos == write_pos and has_await_here
+                ):
+                    self.findings.append((node, attr, read_pos))
+                    return
+
+    def _bind_local(self, target: ast.expr, value: ast.expr) -> None:
+        dependencies = self._expr_dependencies(value)
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.deps[node.id] = dict(dependencies)
+
+    # -- statement walk --------------------------------------------------
+    def scan(self, body: list[ast.stmt]) -> None:
+        for statement in body:
+            self.position += 1
+            self._statement(statement)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, _SCOPES):
+            return  # nested scope: separate task context
+        header_exprs = self._header_exprs(stmt)
+        # Writes are checked against state *before* this statement's
+        # reads are recorded, then reads/awaits/bindings are applied.
+        self._collect_writes(stmt, header_exprs)
+        for expr in header_exprs:
+            self._record_reads_and_awaits(expr)
+        if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+            self.awaits.append(self.position)
+        self._apply_bindings(stmt)
+        for body in self._nested_bodies(stmt):
+            self.scan(body)
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        """Expressions evaluated by the statement itself (not bodies)."""
+        if isinstance(stmt, ast.Assign):
+            return [stmt.value, *stmt.targets]
+        if isinstance(stmt, ast.AugAssign):
+            return [stmt.value, stmt.target]
+        if isinstance(stmt, ast.AnnAssign):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.Raise):
+            return [e for e in (stmt.exc, stmt.cause) if e is not None]
+        if isinstance(stmt, ast.Assert):
+            return [stmt.test]
+        if isinstance(stmt, ast.Delete):
+            return list(stmt.targets)
+        if isinstance(stmt, ast.Match):
+            return [stmt.subject]
+        return []
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        for case in getattr(stmt, "cases", []) or []:
+            bodies.append(case.body)
+        return bodies
+
+    def _collect_writes(
+        self, stmt: ast.stmt, header_exprs: list[ast.expr]
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._target_write(target, stmt, [stmt.value])
+        elif isinstance(stmt, ast.AugAssign):
+            attr = _self_attr(stmt.target)
+            if attr is not None:
+                # ``self.x += v`` reads and writes in one statement; a
+                # window exists only if the statement itself awaits.
+                if self._statement_has_await([stmt.value]):
+                    self.findings.append((stmt, attr, self.position))
+            else:
+                self._target_write(stmt.target, stmt, [stmt.value])
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._target_write(stmt.target, stmt, [stmt.value])
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target.value)
+                    if attr is not None:
+                        self._note_write(stmt, attr, [target.slice])
+        # Mutator method calls can hide anywhere in the statement.
+        for expr in header_exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, _SCOPES):
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _MUTATORS:
+                    continue
+                attr = _self_attr(func.value)
+                if attr is None:
+                    continue
+                arg_exprs = list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]
+                if arg_exprs:
+                    self._note_write(node, attr, arg_exprs)
+
+    def _target_write(
+        self, target: ast.expr, stmt: ast.stmt, values: list[ast.expr]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target_write(element, stmt, values)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._note_write(stmt, attr, values)
+            return
+        if isinstance(target, ast.Subscript):
+            container = _self_attr(target.value)
+            if container is not None:
+                self._note_write(stmt, container, [target.slice, *values])
+
+    def _apply_bindings(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind_local(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind_local(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                merged = self._expr_dependencies(stmt.value)
+                for attr, pos in self.deps.get(stmt.target.id, {}).items():
+                    merged.setdefault(attr, pos)
+                self.deps[stmt.target.id] = merged
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_local(stmt.target, stmt.iter)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind_local(item.optional_vars, item.context_expr)
+        # Walrus targets inside header expressions:
+        for expr in self._header_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.NamedExpr):
+                    self._bind_local(node.target, node.value)
+
+
+class ConcurrencyChecker(Checker):
+    """Async lost-update windows and dropped coroutines/tasks."""
+
+    name = "concurrency"
+    rules = (
+        Rule(
+            "A001",
+            "await between a read and a dependent write of the same "
+            "self attribute (lost-update window)",
+            Severity.ERROR,
+            "Another task can mutate the attribute while this one is "
+            "suspended; the write then acts on stale state.  Re-read "
+            "after the await, use immutable snapshots, or suppress "
+            "with a comment explaining why the interleaving is safe.",
+        ),
+        Rule(
+            "A002",
+            "coroutine called but never awaited",
+            Severity.ERROR,
+            "Calling an async function returns a coroutine object; as "
+            "a bare statement it is discarded unexecuted and the "
+            "intended work silently never happens.",
+        ),
+        Rule(
+            "A003",
+            "task handle from create_task/ensure_future dropped",
+            Severity.WARNING,
+            "An unreferenced task can be garbage-collected mid-flight "
+            "and its exception is never observed; store the handle or "
+            "await it.",
+        ),
+    )
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._module_async: dict[str, bool] = {}
+        self._class_async: dict[str, dict[str, bool]] = {}
+
+    # -- per-file coroutine index ---------------------------------------
+    def begin_file(self, ctx: FileContext) -> None:
+        super().begin_file(ctx)
+        # name -> unambiguously async?  (a name defined both sync and
+        # async anywhere in the file resolves to "unknown")
+        self._module_async = {}
+        self._class_async = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                methods = self._class_async.setdefault(node.name, {})
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        methods[item.name] = isinstance(
+                            item, ast.AsyncFunctionDef
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_async = isinstance(node, ast.AsyncFunctionDef)
+                if node.name in self._module_async and (
+                    self._module_async[node.name] != is_async
+                ):
+                    self._module_async[node.name] = False
+                else:
+                    self._module_async[node.name] = is_async
+
+    # -- A001 ------------------------------------------------------------
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Scan one coroutine for lost-update windows (A001)."""
+        scan = _InterleavingScan()
+        scan.scan(node.body)
+        for finding_node, attr, _read_pos in scan.findings:
+            self.report(
+                "A001",
+                finding_node,
+                f"`self.{attr}` is read, then awaited across, then "
+                "written from the stale value; another task may have "
+                "mutated it in between",
+            )
+
+    # -- A002 / A003 ----------------------------------------------------
+    def _enclosing_class(self, node: ast.AST) -> str | None:
+        from ..dispatch import ancestors
+
+        for parent in ancestors(node):
+            if isinstance(parent, ast.ClassDef):
+                return parent.name
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+        return None
+
+    def _is_known_coroutine_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._module_async.get(func.id, False)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                class_name = self._enclosing_class(call)
+                if class_name is not None:
+                    return self._class_async.get(class_name, {}).get(
+                        func.attr, False
+                    )
+                return False
+            if isinstance(base, ast.Name) and base.id == "asyncio":
+                return func.attr in _ASYNCIO_COROUTINES
+        return False
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        """Flag dropped coroutines (A002) and task handles (A003)."""
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "create_task",
+            "ensure_future",
+        ):
+            receiver = func.value
+            name = receiver.id if isinstance(receiver, ast.Name) else (
+                receiver.attr if isinstance(receiver, ast.Attribute) else ""
+            )
+            lowered = name.lower()
+            if lowered == "tg" or "group" in lowered:
+                return  # TaskGroup owns its tasks
+            self.report(
+                "A003",
+                node,
+                "task handle is dropped; store it (and await or cancel "
+                "it on shutdown) so failures are observed",
+            )
+            return
+        if self._is_known_coroutine_call(call):
+            target = ast.unparse(func)
+            self.report(
+                "A002",
+                node,
+                f"`{target}(...)` returns a coroutine that is never "
+                "awaited; the call does nothing",
+            )

@@ -1,0 +1,402 @@
+"""RNG stream-separation checker (flow-based).
+
+PR 3 split the runtime's randomness into independently seeded streams
+— fault injection, network jitter, retry backoff, workload synthesis,
+load generation — precisely so that enabling one subsystem cannot
+perturb another's draws.  The determinism checker (D001–D003) enforces
+*seeding*; this checker enforces *separation*: a ``Generator`` minted
+for one stream must never flow into a sink or role belonging to
+another.
+
+Built on :mod:`repro.analysis.dataflow`: every function is analysed
+once with its parameters seeded both with their role labels (a
+parameter named ``fault_rng`` carries ``rng:faults``) and with
+per-parameter taint labels used to summarise which stream each
+parameter is expected to carry.  Summaries propagate through the call
+graph (conservatively, by unambiguous simple name), so a generator
+that crosses one or two forwarding functions before hitting
+``BackoffPolicy.delay`` is still tracked.
+
+Rules:
+
+* ``R001`` — a generator of stream X reaches a declared sink of
+  stream Y (sinks live in ``LintConfig.rng_sinks``).
+* ``R002`` — a generator of stream X is bound to a name whose role
+  marks it as stream Y (one object aliased into two stream roles).
+* ``R003`` — a generator of stream X is passed to a function whose
+  parameter is inferred (by name role or by call-graph summary) to
+  expect stream Y.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Checker, FileContext
+from ..dataflow import (
+    EMPTY,
+    FunctionRecord,
+    ProgramIndex,
+    ProvenanceAnalysis,
+    terminal_name,
+)
+from ..findings import Rule, Severity
+
+#: Constructors that mint a new ``numpy.random`` generator.
+_GENERATOR_CONSTRUCTORS = frozenset({"default_rng", "Generator"})
+
+_RNG_PREFIX = "rng:"
+_PARAM_PREFIX = "param:"
+_UNKNOWN_STREAM = "?"
+
+
+def _call_simple_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _streams_of(labels: frozenset[str]) -> set[str]:
+    return {
+        label[len(_RNG_PREFIX):]
+        for label in labels
+        if label.startswith(_RNG_PREFIX)
+        and label[len(_RNG_PREFIX):] != _UNKNOWN_STREAM
+    }
+
+
+def _params_of(labels: frozenset[str]) -> set[str]:
+    return {
+        label[len(_PARAM_PREFIX):]
+        for label in labels
+        if label.startswith(_PARAM_PREFIX)
+    }
+
+
+class _RngAnalysis(ProvenanceAnalysis):
+    """One function's RNG provenance; collects events, reports nothing."""
+
+    def __init__(
+        self,
+        checker: "RngStreamChecker",
+        record: FunctionRecord,
+        initial_env: dict[str, frozenset[str]],
+    ):
+        super().__init__(record.node, initial_env)
+        self.checker = checker
+        self.record = record
+        #: (call, arg labels, expected stream) at declared sinks.
+        self.sink_events: list[tuple[ast.Call, list, str]] = []
+        #: (call, callee record, [(param, labels)]) at resolved calls.
+        self.call_events: list[
+            tuple[ast.Call, FunctionRecord, list[tuple[str, frozenset[str]]]]
+        ] = []
+        #: (node, ref, labels, role stream) at role-named bindings.
+        self.alias_events: list[tuple[ast.AST, str, frozenset[str], str]] = []
+
+    # -- sources ---------------------------------------------------------
+    def call_result(self, call, arg_labels, env):
+        name = _call_simple_name(call)
+        checker = self.checker
+        if name in checker.config.rng_factories:
+            return frozenset({_RNG_PREFIX + checker.config.rng_factories[name]})
+        if name in _GENERATOR_CONSTRUCTORS:
+            stream = checker.stream_for_module(self.record.module)
+            return frozenset({_RNG_PREFIX + (stream or _UNKNOWN_STREAM)})
+        record = checker.index.resolve_call(call, self.record.class_name)
+        if record is not None:
+            return checker.return_summary(record)
+        return EMPTY
+
+    # -- sinks and call sites -------------------------------------------
+    def observe_call(self, call, arg_labels, env):
+        if not self.observing:
+            return
+        checker = self.checker
+        name = _call_simple_name(call)
+        expected = checker.config.rng_sinks.get(name or "")
+        if expected is not None:
+            self.sink_events.append((call, list(arg_labels), expected))
+            return
+        record = checker.index.resolve_call(call, self.record.class_name)
+        if record is None or record.node is self.record.node:
+            return
+        bound = ProgramIndex.bind_arguments(call, record)
+        if not bound:
+            return
+        # arg_labels aligns with call.args then call.keywords; map the
+        # already-computed labels back to each argument expression
+        # rather than re-evaluating (hooks must fire exactly once).
+        labels_by_arg: dict[int, frozenset[str]] = {}
+        for position, arg in enumerate(call.args):
+            if position < len(arg_labels):
+                labels_by_arg[id(arg)] = arg_labels[position]
+        offset = len(call.args)
+        for position, keyword in enumerate(call.keywords):
+            if offset + position < len(arg_labels):
+                labels_by_arg[id(keyword.value)] = arg_labels[offset + position]
+        pairs = []
+        for param, arg in bound:
+            labels = labels_by_arg.get(id(arg), EMPTY)
+            if labels:
+                pairs.append((param, labels))
+        if pairs:
+            self.call_events.append((call, record, pairs))
+
+    # -- aliasing --------------------------------------------------------
+    def bind(self, ref, labels, value, node):
+        role = self.checker.role_of(terminal_name(ref))
+        if role is None:
+            return labels
+        if self.observing and _streams_of(labels) - {role}:
+            self.alias_events.append((node, ref, labels, role))
+        if _RNG_PREFIX + _UNKNOWN_STREAM in labels:
+            # An anonymous generator takes the stream of the role it is
+            # bound to — the binding *is* the declaration.
+            labels = (labels - {_RNG_PREFIX + _UNKNOWN_STREAM}) | {
+                _RNG_PREFIX + role
+            }
+        return labels
+
+
+class RngStreamChecker(Checker):
+    """Whole-program RNG stream separation (R001–R003)."""
+
+    name = "rngflow"
+    rules = (
+        Rule(
+            "R001",
+            "RNG generator of one stream reaches a sink of another stream",
+            Severity.ERROR,
+            "Each subsystem draws from its own seeded stream; feeding a "
+            "sink from a foreign stream couples the two subsystems' "
+            "draw sequences and breaks A/B determinism.",
+        ),
+        Rule(
+            "R002",
+            "RNG generator aliased into a different stream role",
+            Severity.ERROR,
+            "Binding one Generator object under two stream roles makes "
+            "every draw in one subsystem advance the other's sequence.",
+        ),
+        Rule(
+            "R003",
+            "RNG generator crosses a call boundary into another stream's "
+            "parameter",
+            Severity.ERROR,
+            "Call-graph summaries track which stream each parameter "
+            "expects; passing a foreign stream couples subsystems even "
+            "when the sink is several calls away.",
+        ),
+    )
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.index: ProgramIndex | None = None
+        self._return_cache: dict[int, frozenset[str]] = {}
+        self._class_envs: dict[
+            tuple[int, str], dict[str, frozenset[str]]
+        ] = {}
+
+    # -- config lookups --------------------------------------------------
+    def role_of(self, name: str) -> str | None:
+        """Stream role a terminal name declares (None if no/ambiguous)."""
+        lowered = name.lower()
+        matches = {
+            stream
+            for stream, needles in self.config.rng_stream_names.items()
+            if any(needle in lowered for needle in needles)
+        }
+        if len(matches) == 1:
+            return next(iter(matches))
+        return None
+
+    def stream_for_module(self, module: str | None) -> str | None:
+        """Return the default stream configured for ``module``, if any."""
+        if module is None:
+            return None
+        for prefix, stream in self.config.rng_stream_modules.items():
+            if module == prefix or module.startswith(prefix + "."):
+                return stream
+        return None
+
+    def return_summary(self, record: FunctionRecord) -> frozenset[str]:
+        """RNG labels of a function's return value (memoised, acyclic)."""
+        key = id(record.node)
+        cached = self._return_cache.get(key)
+        if cached is not None:
+            return cached
+        self._return_cache[key] = EMPTY  # break recursion
+        analysis = _RngAnalysis(self, record, self._seed_env(record))
+        analysis.run()
+        labels = frozenset(
+            label
+            for label in analysis.return_labels
+            if label.startswith(_RNG_PREFIX)
+        )
+        self._return_cache[key] = labels
+        return labels
+
+    # -- environment seeding --------------------------------------------
+    def _seed_env(self, record: FunctionRecord) -> dict[str, frozenset[str]]:
+        env: dict[str, frozenset[str]] = {}
+        for param in record.param_names:
+            labels = frozenset({_PARAM_PREFIX + param})
+            role = self.role_of(param)
+            if role is not None:
+                labels |= {_RNG_PREFIX + role}
+            env[param] = labels
+        if record.class_name is not None:
+            class_env = self._class_envs.get(
+                (id(record.ctx), record.class_name)
+            )
+            if class_env and record.node.name != "__init__":
+                for ref, labels in class_env.items():
+                    env.setdefault(ref, labels)
+        return env
+
+    def _collect_class_envs(self, files: list[FileContext]) -> None:
+        assert self.index is not None
+        for record in self.index.records:
+            if record.class_name is None or record.node.name != "__init__":
+                continue
+            analysis = _RngAnalysis(self, record, self._seed_env(record))
+            analysis.run()
+            attrs = {
+                ref: frozenset(
+                    label
+                    for label in labels
+                    if label.startswith(_RNG_PREFIX)
+                )
+                for ref, labels in analysis.all_env.items()
+                if ref.startswith("self.")
+            }
+            attrs = {ref: labels for ref, labels in attrs.items() if labels}
+            if attrs:
+                self._class_envs[(id(record.ctx), record.class_name)] = attrs
+
+    # -- driver ----------------------------------------------------------
+    def finalize(self, files: list[FileContext]) -> None:
+        self.index = ProgramIndex(files)
+        self._collect_class_envs(files)
+
+        analyses: list[tuple[FunctionRecord, _RngAnalysis]] = []
+        for record in self.index.records:
+            analysis = _RngAnalysis(self, record, self._seed_env(record))
+            analysis.run()
+            analyses.append((record, analysis))
+
+        expectations = self._solve_expectations(analyses)
+        for record, analysis in analyses:
+            self._report_events(record, analysis, expectations)
+
+    def _solve_expectations(
+        self, analyses: list[tuple[FunctionRecord, _RngAnalysis]]
+    ) -> dict[tuple[int, str], str]:
+        """Fixpoint of "parameter P of function F expects stream S".
+
+        Base facts: a role-named parameter expects its role's stream; a
+        parameter whose taint reaches a declared sink expects the
+        sink's stream.  Propagation: if an argument tainted by caller
+        parameter P flows into callee parameter Q, P inherits Q's
+        expectation.  Conflicting inferences drop the parameter (no
+        guessing).
+        """
+        expectations: dict[tuple[int, str], str] = {}
+        conflicted: set[tuple[int, str]] = set()
+
+        def record_fact(key: tuple[int, str], stream: str) -> bool:
+            if key in conflicted:
+                return False
+            current = expectations.get(key)
+            if current is None:
+                expectations[key] = stream
+                return True
+            if current != stream:
+                del expectations[key]
+                conflicted.add(key)
+                return True
+            return False
+
+        edges: list[tuple[tuple[int, str], tuple[int, str]]] = []
+        for record, analysis in analyses:
+            for param in record.param_names:
+                role = self.role_of(param)
+                if role is not None:
+                    record_fact((id(record.node), param), role)
+            for _call, arg_labels, expected in analysis.sink_events:
+                for labels in arg_labels:
+                    for param in _params_of(labels):
+                        record_fact((id(record.node), param), expected)
+            for _call, callee, pairs in analysis.call_events:
+                for callee_param, labels in pairs:
+                    for caller_param in _params_of(labels):
+                        edges.append(
+                            (
+                                (id(record.node), caller_param),
+                                (id(callee.node), callee_param),
+                            )
+                        )
+        for _ in range(8):  # summaries converge within call-graph depth
+            changed = False
+            for caller_key, callee_key in edges:
+                stream = expectations.get(callee_key)
+                if stream is not None and record_fact(caller_key, stream):
+                    changed = True
+            if not changed:
+                break
+        return expectations
+
+    def _report_events(
+        self,
+        record: FunctionRecord,
+        analysis: _RngAnalysis,
+        expectations: dict[tuple[int, str], str],
+    ) -> None:
+        ctx = record.ctx
+        for call, arg_labels, expected in analysis.sink_events:
+            foreign = set()
+            for labels in arg_labels:
+                foreign |= _streams_of(labels) - {expected}
+            if foreign:
+                name = _call_simple_name(call)
+                self.report(
+                    "R001",
+                    call,
+                    f"`{name}(...)` is a {expected}-stream sink but "
+                    f"receives a generator of stream "
+                    f"{'/'.join(sorted(foreign))}; streams must stay "
+                    "independent",
+                    ctx=ctx,
+                )
+        for node, ref, labels, role in analysis.alias_events:
+            foreign = _streams_of(labels) - {role}
+            if foreign:
+                self.report(
+                    "R002",
+                    node,
+                    f"`{ref}` declares the {role} stream role but is "
+                    f"bound to a generator of stream "
+                    f"{'/'.join(sorted(foreign))}; one Generator must "
+                    "not serve two streams",
+                    ctx=ctx,
+                )
+        for call, callee, pairs in analysis.call_events:
+            for param, labels in pairs:
+                expected = expectations.get((id(callee.node), param))
+                if expected is None:
+                    continue
+                foreign = _streams_of(labels) - {expected}
+                if foreign:
+                    self.report(
+                        "R003",
+                        call,
+                        f"argument `{param}` of `{callee.qualname}` "
+                        f"expects the {expected} stream but receives a "
+                        f"generator of stream "
+                        f"{'/'.join(sorted(foreign))}",
+                        ctx=ctx,
+                    )

@@ -1,0 +1,735 @@
+"""Intra/inter-procedural provenance dataflow over ``ast``.
+
+The determinism story of the live runtime rests on invariants that are
+*flow* properties, not syntactic ones: a ``Generator`` seeded for the
+fault stream must never end up jittering network latencies, and a
+virtual-clock timestamp must never be added to a byte counter.  This
+module provides the machinery the R/U checker families share:
+
+* :func:`build_cfg` — a per-function control-flow graph over the raw
+  AST (branches, loops, ``try``, ``break``/``continue``/``return``).
+* :class:`ProvenanceAnalysis` — a forward worklist fixpoint over that
+  CFG.  The abstract state maps variable references (locals and
+  ``self.*`` attributes) to *label sets* drawn from a powerset lattice
+  (join = union).  Checkers subclass it and override the labelling
+  hooks; once the fixpoint converges a single observation pass re-runs
+  every reachable block so hooks can report against stable states.
+* :class:`ProgramIndex` — whole-program function records and call
+  resolution, so checkers can build call-graph summaries (return-label
+  and parameter-expectation maps) for ``repro.*`` modules.
+
+The model is deliberately modest — single powerset lattice, strong
+updates only for plain names and ``self.x`` targets, containers and
+nested functions treated opaquely, call resolution by unambiguous
+simple name — which keeps it fast enough to run on every lint pass and
+predictable enough to document (see ``docs/static_analysis.md`` for
+the known limitations).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Abstract value: a set of provenance labels, e.g. ``{"rng:faults"}``.
+Labels = frozenset
+
+EMPTY: frozenset[str] = frozenset()
+
+#: Sentinel successor index meaning "function exit".
+EXIT = -1
+
+
+# ---------------------------------------------------------------------------
+# Control-flow graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """One basic block: a run of work items plus successor block ids.
+
+    Items are either plain statements or ``(kind, node)`` markers for
+    the evaluated parts of compound statements (``("test", expr)`` for
+    branch/loop conditions, ``("for", node)`` / ``("with", node)`` for
+    their binding headers, ``("return", node)`` for returns).
+    """
+
+    items: list = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """Per-function CFG; block 0 is the entry."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+
+    def new_block(self) -> int:
+        """Append an empty basic block and return its index."""
+        self.blocks.append(Block())
+        return len(self.blocks) - 1
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Record a control-flow edge from ``source`` to ``target``."""
+        if source != EXIT:
+            self.blocks[source].successors.add(target)
+
+    def predecessors(self) -> dict[int, set[int]]:
+        """Return the predecessor sets, keyed by block index."""
+        preds: dict[int, set[int]] = {i: set() for i in range(len(self.blocks))}
+        for index, block in enumerate(self.blocks):
+            for successor in block.successors:
+                if successor != EXIT:
+                    preds[successor].add(index)
+        return preds
+
+
+_NO_DESCENT = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class _CfgBuilder:
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        # (continue_target, break_target) per enclosing loop
+        self._loops: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> ControlFlowGraph:
+        entry = self.cfg.new_block()
+        exit_block = self._body(body, entry)
+        if exit_block is not None:
+            self.cfg.add_edge(exit_block, EXIT)
+        return self.cfg
+
+    def _body(self, statements: list[ast.stmt], current: int) -> int | None:
+        """Thread ``statements`` from ``current``; None when all paths leave."""
+        for statement in statements:
+            if current is None:
+                # unreachable code after return/raise/break — parse it
+                # into a fresh floating block so bindings stay sane.
+                current = self.cfg.new_block()
+            current = self._statement(statement, current)
+        return current
+
+    def _statement(self, node: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(node, (ast.If,)):
+            cfg.blocks[current].items.append(("test", node.test))
+            after = cfg.new_block()
+            then_entry = cfg.new_block()
+            cfg.add_edge(current, then_entry)
+            then_exit = self._body(node.body, then_entry)
+            if then_exit is not None:
+                cfg.add_edge(then_exit, after)
+            if node.orelse:
+                else_entry = cfg.new_block()
+                cfg.add_edge(current, else_entry)
+                else_exit = self._body(node.orelse, else_entry)
+                if else_exit is not None:
+                    cfg.add_edge(else_exit, after)
+            else:
+                cfg.add_edge(current, after)
+            return after
+        if isinstance(node, (ast.While,)):
+            header = cfg.new_block()
+            cfg.add_edge(current, header)
+            cfg.blocks[header].items.append(("test", node.test))
+            after = cfg.new_block()
+            body_entry = cfg.new_block()
+            cfg.add_edge(header, body_entry)
+            cfg.add_edge(header, after)
+            self._loops.append((header, after))
+            body_exit = self._body(node.body, body_entry)
+            self._loops.pop()
+            if body_exit is not None:
+                cfg.add_edge(body_exit, header)
+            if node.orelse:
+                else_exit = self._body(node.orelse, after)
+                return else_exit
+            return after
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            header = cfg.new_block()
+            cfg.add_edge(current, header)
+            cfg.blocks[header].items.append(("for", node))
+            after = cfg.new_block()
+            body_entry = cfg.new_block()
+            cfg.add_edge(header, body_entry)
+            cfg.add_edge(header, after)
+            self._loops.append((header, after))
+            body_exit = self._body(node.body, body_entry)
+            self._loops.pop()
+            if body_exit is not None:
+                cfg.add_edge(body_exit, header)
+            if node.orelse:
+                return self._body(node.orelse, after)
+            return after
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            cfg.blocks[current].items.append(("with", node))
+            return self._body(node.body, current)
+        if isinstance(node, ast.Try):
+            entry = current
+            body_entry = cfg.new_block()
+            cfg.add_edge(entry, body_entry)
+            after = cfg.new_block()
+            body_exit = self._body(node.body, body_entry)
+            tail = body_exit
+            if node.orelse and tail is not None:
+                tail = self._body(node.orelse, tail)
+            if tail is not None:
+                cfg.add_edge(tail, after)
+            for handler in node.handlers:
+                handler_entry = cfg.new_block()
+                # A handler may fire with the state from anywhere inside
+                # the body; approximate with edges from both ends.
+                cfg.add_edge(entry, handler_entry)
+                if body_exit is not None:
+                    cfg.add_edge(body_exit, handler_entry)
+                if handler.name:
+                    cfg.blocks[handler_entry].items.append(
+                        ("bindname", handler.name)
+                    )
+                handler_exit = self._body(handler.body, handler_entry)
+                if handler_exit is not None:
+                    cfg.add_edge(handler_exit, after)
+            if node.finalbody:
+                return self._body(node.finalbody, after)
+            return after
+        if isinstance(node, ast.Match):
+            cfg.blocks[current].items.append(("test", node.subject))
+            after = cfg.new_block()
+            cfg.add_edge(current, after)  # no case may match
+            for case in node.cases:
+                case_entry = cfg.new_block()
+                cfg.add_edge(current, case_entry)
+                case_exit = self._body(case.body, case_entry)
+                if case_exit is not None:
+                    cfg.add_edge(case_exit, after)
+            return after
+        if isinstance(node, ast.Return):
+            cfg.blocks[current].items.append(("return", node))
+            cfg.add_edge(current, EXIT)
+            return None
+        if isinstance(node, ast.Raise):
+            cfg.blocks[current].items.append(node)
+            cfg.add_edge(current, EXIT)
+            return None
+        if isinstance(node, ast.Break):
+            if self._loops:
+                cfg.add_edge(current, self._loops[-1][1])
+            return None
+        if isinstance(node, ast.Continue):
+            if self._loops:
+                cfg.add_edge(current, self._loops[-1][0])
+            return None
+        if isinstance(node, _NO_DESCENT):
+            # Nested definitions are separate scopes; bind the name only.
+            cfg.blocks[current].items.append(("bindname", node.name))
+            return current
+        cfg.blocks[current].items.append(node)
+        return current
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """Build the control-flow graph of one function body."""
+    return _CfgBuilder().build(func.body)
+
+
+# ---------------------------------------------------------------------------
+# Reference naming
+# ---------------------------------------------------------------------------
+
+
+def ref_of(node: ast.expr) -> str | None:
+    """Dotted reference of a name/attribute chain, else None.
+
+    ``x`` → ``"x"``; ``self._rng`` → ``"self._rng"``; ``a.b.c`` →
+    ``"a.b.c"``; anything with a non-name base (calls, subscripts)
+    returns None.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(ref: str | None) -> str:
+    """Last component of a dotted reference ('' for None)."""
+    if not ref:
+        return ""
+    return ref.rsplit(".", 1)[-1]
+
+
+# ---------------------------------------------------------------------------
+# Forward provenance fixpoint
+# ---------------------------------------------------------------------------
+
+
+class ProvenanceAnalysis:
+    """Forward may-analysis of one function over the powerset lattice.
+
+    Subclasses override the labelling hooks; :meth:`run` computes the
+    fixpoint with observation disabled, then replays every reachable
+    block once with :attr:`observing` set so hooks can report findings
+    exactly once against converged states.
+
+    Args:
+        func: The function to analyze.
+        initial_env: Seed environment (parameter/attribute labels).
+    """
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        initial_env: dict[str, frozenset[str]] | None = None,
+    ):
+        self.func = func
+        self.cfg = build_cfg(func)
+        self.initial_env = dict(initial_env or {})
+        self.return_labels: frozenset[str] = EMPTY
+        #: Join of every reachable block's post-state (filled by the
+        #: observation pass) — used to harvest ``self.*`` labels after
+        #: analysing an ``__init__``.
+        self.all_env: dict[str, frozenset[str]] = {}
+        self.observing = False
+
+    # -- hooks (override in subclasses) ---------------------------------
+    def leaf_labels(self, node: ast.expr, ref: str | None) -> frozenset[str]:
+        """Labels intrinsically carried by a name/attribute leaf."""
+        return EMPTY
+
+    def call_result(
+        self,
+        call: ast.Call,
+        arg_labels: list[frozenset[str]],
+        env: dict[str, frozenset[str]],
+    ) -> frozenset[str]:
+        """Labels of a call's result (sources are minted here)."""
+        return EMPTY
+
+    def observe_call(
+        self,
+        call: ast.Call,
+        arg_labels: list[frozenset[str]],
+        env: dict[str, frozenset[str]],
+    ) -> None:
+        """Sink hook; check :attr:`observing` before reporting."""
+
+    def combine_binop(
+        self, node: ast.BinOp, left: frozenset[str], right: frozenset[str]
+    ) -> frozenset[str]:
+        """Result labels of a binary operation (default: union)."""
+        return left | right
+
+    def observe_binop(
+        self, node: ast.BinOp, left: frozenset[str], right: frozenset[str]
+    ) -> None:
+        """Arithmetic-mixing hook; check :attr:`observing`."""
+
+    def observe_compare(
+        self, node: ast.Compare, parts: list[frozenset[str]]
+    ) -> None:
+        """Comparison-mixing hook; check :attr:`observing`."""
+
+    def bind(
+        self,
+        ref: str,
+        labels: frozenset[str],
+        value: ast.expr | None,
+        node: ast.AST,
+    ) -> frozenset[str]:
+        """Binding hook; may adjust the labels stored for ``ref``.
+
+        Must be deterministic and monotone in ``labels`` or the
+        fixpoint may not converge.
+        """
+        return labels
+
+    # -- driver ----------------------------------------------------------
+    def run(self) -> None:
+        """Fixpoint, then one observation pass per reachable block."""
+        blocks = self.cfg.blocks
+        if not blocks:
+            return
+        in_envs: list[dict[str, frozenset[str]] | None] = [None] * len(blocks)
+        in_envs[0] = dict(self.initial_env)
+        worklist = [0]
+        iterations = 0
+        limit = 50 * max(1, len(blocks))
+        while worklist and iterations < limit:
+            iterations += 1
+            index = worklist.pop()
+            env = dict(in_envs[index] or {})
+            for item in blocks[index].items:
+                self._exec(item, env)
+            for successor in blocks[index].successors:
+                if successor == EXIT:
+                    continue
+                merged = self._join(in_envs[successor], env)
+                if merged != in_envs[successor]:
+                    in_envs[successor] = merged
+                    if successor not in worklist:
+                        worklist.append(successor)
+        self.observing = True
+        try:
+            for index, block in enumerate(blocks):
+                if in_envs[index] is None:
+                    continue
+                env = dict(in_envs[index])
+                for item in block.items:
+                    self._exec(item, env)
+                self.all_env = self._join(self.all_env, env)
+        finally:
+            self.observing = False
+
+    @staticmethod
+    def _join(
+        left: dict[str, frozenset[str]] | None, right: dict[str, frozenset[str]]
+    ) -> dict[str, frozenset[str]]:
+        if left is None:
+            return dict(right)
+        merged = dict(left)
+        for key, labels in right.items():
+            merged[key] = merged.get(key, EMPTY) | labels
+        return merged
+
+    # -- transfer functions ---------------------------------------------
+    def _exec(self, item, env: dict[str, frozenset[str]]) -> None:
+        if isinstance(item, tuple):
+            kind, payload = item
+            if kind == "test":
+                self.eval(payload, env)
+            elif kind == "for":
+                labels = self.eval(payload.iter, env)
+                self._bind_target(payload.target, labels, None, payload, env)
+            elif kind == "with":
+                for with_item in payload.items:
+                    labels = self.eval(with_item.context_expr, env)
+                    if with_item.optional_vars is not None:
+                        self._bind_target(
+                            with_item.optional_vars, labels, None, payload, env
+                        )
+            elif kind == "return":
+                if payload.value is not None:
+                    self.return_labels |= self.eval(payload.value, env)
+            elif kind == "bindname":
+                env[payload] = EMPTY
+            return
+        statement = item
+        if isinstance(statement, ast.Assign):
+            labels = self.eval(statement.value, env)
+            for target in statement.targets:
+                self._bind_target(
+                    target, labels, statement.value, statement, env
+                )
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                labels = self.eval(statement.value, env)
+                self._bind_target(
+                    statement.target, labels, statement.value, statement, env
+                )
+        elif isinstance(statement, ast.AugAssign):
+            labels = self.eval(statement.value, env)
+            ref = ref_of(statement.target)
+            if ref is not None:
+                labels = labels | env.get(ref, EMPTY)
+            self._bind_target(
+                statement.target, labels, statement.value, statement, env
+            )
+        elif isinstance(statement, ast.Expr):
+            self.eval(statement.value, env)
+        elif isinstance(statement, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                ref = ref_of(target)
+                if ref is not None:
+                    env.pop(ref, None)
+        # Import/Global/Nonlocal/Pass carry no labels.
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        labels: frozenset[str],
+        value: ast.expr | None,
+        node: ast.AST,
+        env: dict[str, frozenset[str]],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, labels, value, node, env)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_target(target.value, labels, value, node, env)
+            return
+        ref = ref_of(target)
+        if ref is None:
+            # Subscript or computed-attribute target: contents are
+            # opaque; evaluate the pieces for their side hooks only.
+            for child in ast.iter_child_nodes(target):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+            return
+        env[ref] = self.bind(ref, labels, value, node)
+
+    # -- expression evaluation -------------------------------------------
+    def eval(
+        self, node: ast.expr, env: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        """Labels of one expression under ``env`` (fires hooks)."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY) | self.leaf_labels(node, node.id)
+        if isinstance(node, ast.Attribute):
+            ref = ref_of(node)
+            labels = EMPTY
+            if ref is not None:
+                labels = env.get(ref, EMPTY)
+            else:
+                self.eval(node.value, env)
+            return labels | self.leaf_labels(node, ref)
+        if isinstance(node, ast.Call):
+            self.eval(node.func, env)
+            arg_labels = [self.eval(arg, env) for arg in node.args]
+            keyword_labels = [
+                self.eval(keyword.value, env) for keyword in node.keywords
+            ]
+            all_labels = arg_labels + keyword_labels
+            self.observe_call(node, all_labels, env)
+            return self.call_result(node, all_labels, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            self.observe_binop(node, left, right)
+            return self.combine_binop(node, left, right)
+        if isinstance(node, ast.BoolOp):
+            labels = EMPTY
+            for value in node.values:
+                labels |= self.eval(value, env)
+            return labels
+        if isinstance(node, ast.Compare):
+            parts = [self.eval(node.left, env)]
+            parts.extend(self.eval(comp, env) for comp in node.comparators)
+            self.observe_compare(node, parts)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env) | self.eval(node.orelse, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            labels = EMPTY
+            for element in node.elts:
+                labels |= self.eval(element, env)
+            return labels
+        if isinstance(node, ast.Dict):
+            labels = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    labels |= self.eval(key, env)
+            for value in node.values:
+                labels |= self.eval(value, env)
+            return labels
+        if isinstance(node, ast.Subscript):
+            labels = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            return labels
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return EMPTY
+        if isinstance(node, (ast.UnaryOp,)):
+            return self.eval(node.operand, env)
+        if isinstance(node, (ast.Await, ast.YieldFrom, ast.Starred)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.eval(node.value, env)
+            return EMPTY
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value, env)
+            self._bind_target(node.target, labels, node.value, node, env)
+            return labels
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            scope = dict(env)
+            for comprehension in node.generators:
+                iter_labels = self.eval(comprehension.iter, scope)
+                self._bind_target(
+                    comprehension.target, iter_labels, None, node, scope
+                )
+                for condition in comprehension.ifs:
+                    self.eval(condition, scope)
+            if isinstance(node, ast.DictComp):
+                return self.eval(node.key, scope) | self.eval(node.value, scope)
+            return self.eval(node.elt, scope)
+        if isinstance(node, ast.FormattedValue):
+            self.eval(node.value, env)
+            return EMPTY
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                self.eval(value, env)
+            return EMPTY
+        if isinstance(node, ast.Lambda):
+            return EMPTY  # separate scope, evaluated later
+        return EMPTY  # Constant and friends
+
+
+# ---------------------------------------------------------------------------
+# Whole-program function index (call-graph summaries)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionRecord:
+    """One function/method definition somewhere in the linted program."""
+
+    #: ``module.Class.method`` or ``module.function`` (display only).
+    qualname: str
+    #: Simple (unqualified) name used for call resolution.
+    name: str
+    #: Enclosing class name, None for module-level functions.
+    class_name: str | None
+    #: Dotted module of the defining file (None outside the package).
+    module: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: The FileContext the function was found in (``repro.analysis.base``).
+    ctx: object
+
+    @property
+    def param_names(self) -> list[str]:
+        """Positional parameter names, ``self``/``cls`` stripped."""
+        args = self.node.args
+        names = [arg.arg for arg in args.posonlyargs + args.args]
+        if self.class_name is not None and names and names[0] in (
+            "self",
+            "cls",
+        ):
+            names = names[1:]
+        return names + [arg.arg for arg in args.kwonlyargs]
+
+
+class ProgramIndex:
+    """All function definitions across the linted files, by simple name.
+
+    Call resolution is deliberately conservative: a call is resolved
+    only when exactly one definition program-wide carries the simple
+    name (method calls additionally prefer a match in the caller's own
+    class).  Ambiguous names resolve to nothing rather than guessing.
+    """
+
+    def __init__(self, files: list) -> None:
+        self.records: list[FunctionRecord] = []
+        self._by_name: dict[str, list[FunctionRecord]] = {}
+        for ctx in files:
+            module = getattr(ctx, "module", None)
+            prefix = module or getattr(ctx, "display_path", "?")
+            for node in ast.walk(ctx.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                class_name = self._enclosing_class(node)
+                qualname = ".".join(
+                    part
+                    for part in (prefix, class_name, node.name)
+                    if part is not None
+                )
+                record = FunctionRecord(
+                    qualname=qualname,
+                    name=node.name,
+                    class_name=class_name,
+                    module=module,
+                    node=node,
+                    ctx=ctx,
+                )
+                self.records.append(record)
+                self._by_name.setdefault(node.name, []).append(record)
+
+    @staticmethod
+    def _enclosing_class(node: ast.AST) -> str | None:
+        parent = getattr(node, "_repro_parent", None)
+        while parent is not None:
+            if isinstance(parent, ast.ClassDef):
+                return parent.name
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+            parent = getattr(parent, "_repro_parent", None)
+        return None
+
+    def classes_of(self, ctx: object) -> list[ast.ClassDef]:
+        """Return the class definitions recorded for ``ctx``'s file."""
+        return [
+            node
+            for node in ast.walk(ctx.tree)  # type: ignore[attr-defined]
+            if isinstance(node, ast.ClassDef)
+        ]
+
+    def resolve_call(
+        self, call: ast.Call, caller_class: str | None = None
+    ) -> FunctionRecord | None:
+        """Resolve a call to its unique program-wide definition, if any."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        candidates = self._by_name.get(name, [])
+        if not candidates:
+            return None
+        if caller_class is not None and isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                own = [
+                    record
+                    for record in candidates
+                    if record.class_name == caller_class
+                ]
+                if len(own) == 1:
+                    return own[0]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    @staticmethod
+    def bind_arguments(
+        call: ast.Call, record: FunctionRecord
+    ) -> list[tuple[str, ast.expr]]:
+        """Map call arguments onto the callee's parameter names.
+
+        Positional arguments map in order (``self`` already stripped
+        for method records when the call is an attribute call);
+        keywords map by name; ``*args``/``**kwargs`` are skipped.
+        """
+        params = record.param_names
+        pairs: list[tuple[str, ast.expr]] = []
+        positional = [
+            arg for arg in call.args if not isinstance(arg, ast.Starred)
+        ]
+        offset = 0
+        if record.class_name is not None:
+            # Unbound calls pass the receiver explicitly: either the
+            # resolved method is called by bare name, or the attribute
+            # base names the defining class (``Class.method(obj, ..)``).
+            if not isinstance(call.func, ast.Attribute):
+                offset = 1
+            elif (
+                isinstance(call.func.value, ast.Name)
+                and call.func.value.id == record.class_name
+            ):
+                offset = 1
+        for index, arg in enumerate(positional[offset:]):
+            if index >= len(params):
+                break
+            pairs.append((params[index], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs

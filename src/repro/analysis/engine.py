@@ -39,6 +39,9 @@ class LintResult:
     files_checked: int = 0
     #: Count of inline suppression directives encountered.
     suppression_directives: int = 0
+    #: Rule ids named by suppression directives that match no known
+    #: rule (typo or removed rule) — surfaced as a warning, not a crash.
+    unknown_directive_rules: tuple[str, ...] = ()
 
     @property
     def exit_code(self) -> int:
@@ -111,13 +114,17 @@ def _build_context(
             line_text=lines[line - 1].strip() if 0 < line <= len(lines) else "",
         )
         return None, finding
+    suppressions = SuppressionIndex(lines)
+    # Directives on any line of a multi-line statement must reach the
+    # line findings are reported at (the statement/expression start).
+    suppressions.attach_tree(tree)
     ctx = FileContext(
         path=path,
         display_path=display_path,
         module=module_name_for(path, config.root_package),
         lines=lines,
         tree=tree,
-        suppressions=SuppressionIndex(lines),
+        suppressions=suppressions,
     )
     return ctx, None
 
@@ -180,10 +187,26 @@ def run_lint(
         finding for ctx in contexts for finding in ctx.findings
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    known_rules = {
+        rule.rule_id
+        for checker_class in registered_checkers().values()
+        for rule in checker_class.rules
+    } | {PARSE_ERROR_RULE.rule_id}
+    unknown_directive_rules = tuple(
+        sorted(
+            {
+                rule
+                for ctx in contexts
+                for rule in ctx.suppressions.referenced_rules
+            }
+            - known_rules
+        )
+    )
     return LintResult(
         findings=assign_occurrences(findings),
         files_checked=len(contexts),
         suppression_directives=sum(
             ctx.suppressions.directive_count for ctx in contexts
         ),
+        unknown_directive_rules=unknown_directive_rules,
     )

@@ -81,6 +81,49 @@ DEFAULT_ALLOWED_NP_RANDOM: frozenset[str] = frozenset(
     }
 )
 
+#: RNG stream role → name substrings.  A variable, attribute or
+#: parameter whose terminal name contains one of these substrings is
+#: declared to hold that stream's ``Generator``; the rngflow checker
+#: flags any other stream's generator flowing into it (R002) and uses
+#: the role to type otherwise-anonymous ``default_rng`` results.
+DEFAULT_RNG_STREAM_NAMES: dict[str, tuple[str, ...]] = {
+    "faults": ("fault_rng", "faults_rng", "chaos_rng"),
+    "network": ("jitter_rng", "net_rng", "network_rng", "latency_rng"),
+    "retry": ("retry_rng", "backoff_rng"),
+    "workload": ("workload_rng", "trace_rng"),
+    "loadgen": ("loadgen_rng", "client_rng"),
+}
+
+#: Module prefix → stream: a bare ``np.random.default_rng(...)`` call
+#: inside one of these modules mints a generator of that stream.
+DEFAULT_RNG_STREAM_MODULES: dict[str, str] = {
+    "repro.runtime.faults": "faults",
+    "repro.runtime.transport": "network",
+    "repro.runtime.resilience": "retry",
+    "repro.runtime.loadgen": "loadgen",
+    "repro.workload": "workload",
+}
+
+#: Factory callables whose *result* is a generator of a known stream,
+#: wherever they are called from (``retry_rng`` is PR 3's derivation).
+DEFAULT_RNG_FACTORIES: dict[str, str] = {
+    "retry_rng": "retry",
+}
+
+#: Sink callables (by simple name) and the stream whose generator they
+#: must be fed.  ``BackoffPolicy.delay(attempt, rng)`` is the canonical
+#: retry sink: the caller owns the generator, so a fault or jitter
+#: generator reaching it silently couples two streams (R001).
+DEFAULT_RNG_SINKS: dict[str, str] = {
+    "delay": "retry",
+}
+
+#: Call names (terminal attribute) whose result carries virtual-clock
+#: seconds when the receiver looks like an event loop or clock — e.g.
+#: ``loop.time()``, ``self._clock.time()`` — plus whole-name matches
+#: like ``_loop_time``.  Used by the units checker (U001/U002).
+DEFAULT_VIRTUAL_TIME_BASES: tuple[str, ...] = ("loop", "clock")
+
 #: Builtins whose shadowing the hygiene checker reports.  Restricted to
 #: names that plausibly appear as locals in simulation code; obscure
 #: builtins are excluded to keep the rule quiet.
@@ -126,6 +169,24 @@ class LintConfig:
     legacy_entry_points: frozenset[str] = DEFAULT_LEGACY_ENTRY_POINTS
     #: Module prefixes exempt from H004 (the facade and engine homes).
     legacy_entry_allowed: tuple[str, ...] = DEFAULT_LEGACY_ENTRY_ALLOWED
+    #: RNG stream role → name substrings (rngflow checker).
+    rng_stream_names: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_RNG_STREAM_NAMES)
+    )
+    #: Module prefix → stream for anonymous generator creations.
+    rng_stream_modules: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_RNG_STREAM_MODULES)
+    )
+    #: Factory callable name → stream of the generator it returns.
+    rng_factories: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_RNG_FACTORIES)
+    )
+    #: Sink callable name → stream whose generator it must receive.
+    rng_sinks: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_RNG_SINKS)
+    )
+    #: Receiver-name substrings marking ``<recv>.time()`` as virtual.
+    virtual_time_bases: tuple[str, ...] = DEFAULT_VIRTUAL_TIME_BASES
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Apply ``select``/``disable`` filtering to one rule id."""
@@ -210,6 +271,34 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
         changes["legacy_entry_points"] = _coerce_rule_set(
             table["legacy-entry-points"], "legacy-entry-points"
         )
+    if "rng-streams" in table:
+        streams = table["rng-streams"]
+        if not isinstance(streams, dict) or not all(
+            isinstance(names, list)
+            and all(isinstance(name, str) for name in names)
+            for names in streams.values()
+        ):
+            raise LintConfigError(
+                "[tool.repro-lint.rng-streams] must map stream names to "
+                "lists of name substrings"
+            )
+        changes["rng_stream_names"] = {
+            stream: tuple(names) for stream, names in streams.items()
+        }
+    for key, attr in (
+        ("rng-modules", "rng_stream_modules"),
+        ("rng-factories", "rng_factories"),
+        ("rng-sinks", "rng_sinks"),
+    ):
+        if key in table:
+            mapping = table[key]
+            if not isinstance(mapping, dict) or not all(
+                isinstance(stream, str) for stream in mapping.values()
+            ):
+                raise LintConfigError(
+                    f"[tool.repro-lint.{key}] must map names to stream names"
+                )
+            changes[attr] = dict(mapping)
     if "legacy-entry-allowed" in table:
         allowed = table["legacy-entry-allowed"]
         if not isinstance(allowed, list) or not all(

@@ -1,10 +1,11 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON and SARIF reporters for lint results.
 
 Reporters are pure functions from results to strings, so the CLI, the
 tests and any future tooling (e.g. a CI annotator) share one formatting
 path.  The JSON document is stable and round-trips through
 ``json.loads``; its schema is part of the public contract and covered
-by tests.
+by tests.  The SARIF document follows the 2.1.0 schema so CI can
+upload it for code-scanning annotations.
 """
 
 from __future__ import annotations
@@ -12,15 +13,25 @@ from __future__ import annotations
 import json
 from collections import Counter
 
+from .checkers import all_rules
 from .engine import LintResult
 from .findings import Finding
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _summary_counts(findings: list[Finding]) -> dict[str, int]:
     return dict(sorted(Counter(f.rule_id for f in findings).items()))
 
 
-def render_text(result: LintResult, stale_baseline: list[str]) -> str:
+def render_text(
+    result: LintResult,
+    stale_baseline: list[str],
+    stale_reasons: dict[str, str] | None = None,
+) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [
         f"{finding.path}:{finding.line}:{finding.column + 1}: "
@@ -50,14 +61,21 @@ def render_text(result: LintResult, stale_baseline: list[str]) -> str:
             "directive(s) in effect"
         )
     for fingerprint in stale_baseline:
+        reason = (stale_reasons or {}).get(
+            fingerprint, "finding no longer present"
+        )
         summary.append(
-            f"stale baseline entry {fingerprint}: finding no longer "
-            "present; remove it (or rerun with --write-baseline)"
+            f"stale baseline entry {fingerprint}: {reason}; remove it "
+            "with --update-baseline (or rerun --write-baseline)"
         )
     return "\n".join(lines + summary)
 
 
-def render_json(result: LintResult, stale_baseline: list[str]) -> str:
+def render_json(
+    result: LintResult,
+    stale_baseline: list[str],
+    stale_reasons: dict[str, str] | None = None,
+) -> str:
     """Machine-readable report (``repro lint --format json``)."""
     document = {
         "version": 1,
@@ -65,6 +83,7 @@ def render_json(result: LintResult, stale_baseline: list[str]) -> str:
         "findings": [finding.as_dict() for finding in result.findings],
         "baselined": [finding.as_dict() for finding in result.baselined],
         "stale_baseline": list(stale_baseline),
+        "stale_baseline_detail": dict(stale_reasons or {}),
         "summary": {
             "total": len(result.findings),
             "by_rule": _summary_counts(result.findings),
@@ -75,4 +94,75 @@ def render_json(result: LintResult, stale_baseline: list[str]) -> str:
     return json.dumps(document, indent=2)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _sarif_result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLint/fingerprint/v1": finding.fingerprint
+        },
+    }
+
+
+def render_sarif(
+    result: LintResult,
+    stale_baseline: list[str],
+    stale_reasons: dict[str, str] | None = None,
+) -> str:
+    """SARIF 2.1.0 report (``repro lint --format sarif``) for CI upload.
+
+    Baselined findings are included with ``"suppressions"`` marking
+    them reviewed, so code-scanning UIs show them as dismissed rather
+    than losing them entirely.  Stale-baseline bookkeeping is a
+    repo-local concern and is not represented in SARIF.
+    """
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": rule.severity.value},
+        }
+        for rule in all_rules()
+    ]
+    results = [_sarif_result(finding) for finding in result.findings]
+    for finding in result.baselined:
+        entry = _sarif_result(finding)
+        entry["suppressions"] = [
+            {"kind": "external", "justification": "grandfathered baseline"}
+        ]
+        results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

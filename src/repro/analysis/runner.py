@@ -22,7 +22,7 @@ from .baseline import Baseline, BaselineError, default_baseline_path
 from .checkers import all_rules, registered_checkers
 from .engine import LintResult, run_lint
 from .lintconfig import LintConfigError, load_config
-from .reporters import render_json, render_text
+from .reporters import REPORTERS
 
 #: Directories linted when no paths are given (the repo's own layout).
 DEFAULT_PATHS = ("src", "benchmarks", "examples")
@@ -35,7 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based static analysis enforcing the simulation-domain "
             "invariants (determinism, layering, numerical safety, API "
-            "hygiene) this reproduction depends on"
+            "hygiene, RNG-stream/clock provenance, async interleaving) "
+            "this reproduction depends on"
         ),
     )
     parser.add_argument(
@@ -45,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -84,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="prune stale baseline entries (fixed findings, deleted "
+        "files, removed rules) and keep the rest",
     )
     parser.add_argument(
         "--config",
@@ -177,6 +184,13 @@ def _run(argv: Sequence[str] | None) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
 
+    if result.unknown_directive_rules:
+        print(
+            "warning: suppression directive(s) reference unknown rule "
+            f"id(s): {', '.join(result.unknown_directive_rules)}",
+            file=sys.stderr,
+        )
+
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path()
     )
@@ -189,6 +203,7 @@ def _run(argv: Sequence[str] | None) -> int:
         return 0
 
     stale: list[str] = []
+    stale_reasons: dict[str, str] = {}
     if not args.no_baseline:
         try:
             baseline = Baseline.load(baseline_path)
@@ -196,15 +211,30 @@ def _run(argv: Sequence[str] | None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         new, baselined, stale = baseline.split(result.findings)
+        stale_reasons = baseline.audit(
+            result.findings,
+            known_rules=known_rules,
+            base_dir=Path.cwd(),
+        )
         result = LintResult(
             findings=new,
             baselined=baselined,
             files_checked=result.files_checked,
             suppression_directives=result.suppression_directives,
+            unknown_directive_rules=result.unknown_directive_rules,
         )
+        if args.update_baseline and stale:
+            removed = baseline.prune(stale)
+            baseline.save()
+            print(
+                f"pruned {removed} stale baseline entr"
+                f"{'y' if removed == 1 else 'ies'} from {baseline_path}",
+                file=sys.stderr,
+            )
+            stale, stale_reasons = [], {}
 
-    renderer = render_json if args.format == "json" else render_text
-    output = renderer(result, stale)
+    renderer = REPORTERS[args.format]
+    output = renderer(result, stale, stale_reasons)
     if output:
         print(output)
     return result.exit_code

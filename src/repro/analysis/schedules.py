@@ -1,0 +1,146 @@
+"""Schedule-perturbation race gate (the dynamic half of `repro lint`).
+
+The static checkers (A001–A003) prove the *absence of patterns* that
+need interleaving luck; this module proves the *presence of results*
+that do not depend on it.  A run under the virtual clock is
+deterministic for a fixed tie-break order of same-timestamp timers —
+but that order is an accident of the stock event loop's heap, not a
+documented contract.  The sweep replays the same run under N seeded
+shuffles of exactly those ties (every perturbation is a schedule a
+conforming loop could have produced) and requires the paper's four
+ratios — and everything else the runner chooses to report — to be
+bit-identical across all of them.
+
+Layering: ``repro.analysis`` must not import ``repro.runtime``, so the
+sweep takes a *runner callable*; the CLI supplies a closure built on
+``execute_loadtest`` with ``LiveSettings.schedule_seed`` set (see
+``repro racecheck``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RuntimeProtocolError
+
+#: First tie-break seed used when the caller does not choose.
+DEFAULT_BASE_SEED = 1
+
+#: Default number of perturbed replays (the acceptance floor is 8).
+DEFAULT_PERTURBATIONS = 8
+
+
+def canonical_payload(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding used for bit-identity comparison."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ScheduleRun:
+    """One replay of the run under a (possibly perturbed) schedule."""
+
+    #: Tie-break seed; None marks the unperturbed reference schedule.
+    schedule_seed: int | None
+    #: Whatever the runner reported (ratios, conservation flags, ...).
+    payload: Mapping[str, Any]
+    #: Canonical encoding of ``payload``.
+    encoded: str
+
+
+@dataclass(frozen=True)
+class RaceCheckReport:
+    """Outcome of one schedule-perturbation sweep."""
+
+    reference: ScheduleRun
+    runs: tuple[ScheduleRun, ...] = field(default_factory=tuple)
+
+    @property
+    def divergent(self) -> tuple[ScheduleRun, ...]:
+        """Perturbed runs whose payload differs from the reference."""
+        return tuple(
+            run for run in self.runs if run.encoded != self.reference.encoded
+        )
+
+    @property
+    def passed(self) -> bool:
+        """True when every perturbed schedule reproduced the reference."""
+        return not self.divergent
+
+    def require_schedule_independence(self) -> None:
+        """Raise unless all perturbed schedules were bit-identical.
+
+        Raises:
+            RuntimeProtocolError: At least one legal schedule produced
+                different results — the run is racy.
+        """
+        divergent = self.divergent
+        if divergent:
+            seeds = ", ".join(
+                str(run.schedule_seed) for run in divergent
+            )
+            raise RuntimeProtocolError(
+                f"schedule-perturbation race: {len(divergent)} of "
+                f"{len(self.runs)} perturbed schedules (tie seeds "
+                f"{seeds}) diverged from the reference run; results "
+                "depend on timer tie-break order"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (used by ``repro racecheck --json``)."""
+        return {
+            "version": 1,
+            "perturbations": len(self.runs),
+            "passed": self.passed,
+            "divergent_seeds": [
+                run.schedule_seed for run in self.divergent
+            ],
+            "seeds": [run.schedule_seed for run in self.runs],
+            "reference": dict(self.reference.payload),
+        }
+
+
+def run_schedule_sweep(
+    run_arm: Callable[[int | None], Mapping[str, Any]],
+    *,
+    perturbations: int = DEFAULT_PERTURBATIONS,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> RaceCheckReport:
+    """Replay a run under N perturbed schedules and compare payloads.
+
+    Args:
+        run_arm: Executes the run under the given tie-break seed
+            (``None`` = unperturbed reference) and returns a JSON-able
+            payload of everything that must be schedule-independent.
+        perturbations: Number of perturbed replays.
+        base_seed: Seeds used are ``base_seed .. base_seed+N-1``.
+
+    Returns:
+        A :class:`RaceCheckReport`; call
+        :meth:`~RaceCheckReport.require_schedule_independence` to gate.
+
+    Raises:
+        ValueError: ``perturbations`` is not positive.
+    """
+    if perturbations < 1:
+        raise ValueError("perturbations must be >= 1")
+    reference_payload = run_arm(None)
+    reference = ScheduleRun(
+        schedule_seed=None,
+        payload=reference_payload,
+        encoded=canonical_payload(reference_payload),
+    )
+    runs = []
+    for offset in range(perturbations):
+        seed = base_seed + offset
+        payload = run_arm(seed)
+        runs.append(
+            ScheduleRun(
+                schedule_seed=seed,
+                payload=payload,
+                encoded=canonical_payload(payload),
+            )
+        )
+    return RaceCheckReport(reference=reference, runs=tuple(runs))

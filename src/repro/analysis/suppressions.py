@@ -17,6 +17,7 @@ lists are comma-separated: ``disable=N001,H002``.
 
 from __future__ import annotations
 
+import ast
 import re
 
 #: Rule lists are captured token-by-token so a trailing justification
@@ -36,6 +37,15 @@ def _parse_rule_list(raw: str) -> frozenset[str]:
     )
 
 
+#: Compound statements: a directive on their *header* lines covers the
+#: header, never the (arbitrarily long) body.
+_COMPOUND = (
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.Try, ast.Match, ast.FunctionDef, ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
 class SuppressionIndex:
     """Per-file index of suppression directives, queried by the engine."""
 
@@ -52,6 +62,58 @@ class SuppressionIndex:
                 if file_match:
                     file_rules |= _parse_rule_list(file_match.group(1))
         self._file_wide = frozenset(file_rules)
+        self._directive_lines = len(self._by_line)
+
+    def attach_tree(self, tree: ast.AST) -> None:
+        """Expand line directives over multi-line statement spans.
+
+        A finding is reported at the offending *node*'s line, which for
+        a statement wrapped across several lines need not be the line
+        carrying the trailing ``# repro-lint: disable=...`` comment.
+        After attaching the parsed tree, a directive anywhere on a
+        simple statement's span covers the whole span; for compound
+        statements only the header (up to the first body statement) is
+        covered, so one comment cannot blanket an entire function body.
+        """
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            if isinstance(node, _COMPOUND):
+                first_body = min(
+                    (
+                        child.lineno
+                        for child in getattr(node, "body", [])
+                        if isinstance(child, ast.stmt)
+                    ),
+                    default=None,
+                )
+                end = start if first_body is None else max(
+                    start, first_body - 1
+                )
+            else:
+                end = max(start, node.end_lineno or start)
+            if end <= start:
+                continue
+            span = range(start, end + 1)
+            rules: frozenset[str] = frozenset()
+            for line in span:
+                rules |= self._by_line.get(line, frozenset())
+            if not rules:
+                continue
+            for line in span:
+                self._by_line[line] = self._by_line.get(
+                    line, frozenset()
+                ) | rules
+
+    @property
+    def referenced_rules(self) -> frozenset[str]:
+        """Every rule id named by a directive (``all`` excluded)."""
+        referenced: set[str] = set(self._file_wide)
+        for rules in self._by_line.values():
+            referenced |= rules
+        referenced.discard("all")
+        return frozenset(referenced)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """True if ``rule_id`` is disabled at ``line`` (or file-wide)."""
@@ -64,5 +126,9 @@ class SuppressionIndex:
 
     @property
     def directive_count(self) -> int:
-        """Number of lines carrying directives (reported in summaries)."""
-        return len(self._by_line) + (1 if self._file_wide else 0)
+        """Number of lines carrying directives (reported in summaries).
+
+        Counts source lines that literally carry a directive comment;
+        span expansion via :meth:`attach_tree` does not inflate it.
+        """
+        return self._directive_lines + (1 if self._file_wide else 0)

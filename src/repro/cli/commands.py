@@ -426,6 +426,86 @@ def cmd_loadtest(args) -> None:
         print(line)
 
 
+def cmd_racecheck(args) -> None:
+    """``repro racecheck`` — schedule-perturbation race gate.
+
+    Replays the smoke loadtest under seeded shuffles of same-deadline
+    timer ties (every perturbation is a schedule a conforming event
+    loop could have produced) and requires the full metrics snapshots
+    — both arms, plus the paper's four ratios — to be bit-identical
+    across all of them.  Divergence raises
+    :class:`~repro.errors.RuntimeProtocolError` (exit 3).
+    """
+    import json as _json
+
+    from ..analysis.schedules import run_schedule_sweep
+    from ..runtime import LiveSettings, execute_loadtest, smoke_workload
+    from ..runtime.metrics import verify_conservation
+
+    if args.perturbations < 1:
+        raise CommandError("--perturbations must be >= 1")
+    try:
+        workload = smoke_workload(args.seed)
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    def run_arm(schedule_seed):
+        settings = LiveSettings(seed=args.seed, schedule_seed=schedule_seed)
+        report = execute_loadtest(workload, settings)
+        # Conservation must hold on *every* legal schedule, not just
+        # the stock one; racecheck runs are fault-free so the strict
+        # identities apply.
+        verify_conservation(report.speculative, strict=True)
+        verify_conservation(report.baseline, strict=True)
+        return {
+            "speculative": report.speculative,
+            "baseline": report.baseline,
+            "ratios": {
+                "bandwidth": report.ratios.bandwidth_ratio,
+                "server_load": report.ratios.server_load_ratio,
+                "service_time": report.ratios.service_time_ratio,
+                "miss_rate": report.ratios.miss_rate_ratio,
+            },
+        }
+
+    try:
+        sweep = run_schedule_sweep(
+            run_arm,
+            perturbations=args.perturbations,
+            base_seed=args.base_seed,
+        )
+    except (RuntimeProtocolError, TransportError):
+        raise  # mapped to dedicated exit codes by main()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    document = sweep.as_dict()
+    if args.out:
+        Path(args.out).write_text(
+            _json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(_json.dumps(document, sort_keys=True))
+    else:
+        seeds = ", ".join(str(run.schedule_seed) for run in sweep.runs)
+        print(
+            f"racecheck: {len(sweep.runs)} perturbed schedules "
+            f"(tie seeds {seeds}) vs unperturbed reference"
+        )
+        ratios = sweep.reference.payload["ratios"]
+        print(
+            "  reference ratios: "
+            f"bandwidth {ratios['bandwidth']:.4f}, "
+            f"server load {ratios['server_load']:.4f}, "
+            f"service time {ratios['service_time']:.4f}, "
+            f"miss rate {ratios['miss_rate']:.4f}"
+        )
+        verdict = "bit-identical" if sweep.passed else "DIVERGED"
+        print(f"  snapshots: {verdict} across all schedules")
+    # Gate last so --out/--json capture the report even on failure.
+    sweep.require_schedule_independence()
+
+
 def cmd_chaos(args) -> None:
     """``repro chaos`` — fault-injected live run with resilience checks."""
     import json as _json

@@ -458,10 +458,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.set_defaults(handler=commands.cmd_metrics)
 
+    racecheck = subparsers.add_parser(
+        "racecheck",
+        help="schedule-perturbation race gate: replay a loadtest under "
+        "seeded shuffles of same-timestamp timer ties and require "
+        "bit-identical ratios (exit 3 on divergence)",
+    )
+    racecheck.add_argument("--seed", type=int, default=0, help="workload seed")
+    racecheck.add_argument(
+        "--perturbations",
+        type=int,
+        default=8,
+        help="number of perturbed schedules to replay (default 8)",
+    )
+    racecheck.add_argument(
+        "--base-seed",
+        type=int,
+        default=1,
+        help="first tie-break seed (seeds are base..base+N-1)",
+    )
+    racecheck.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the small smoke workload (the CI gate)",
+    )
+    racecheck.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    racecheck.add_argument(
+        "--out", default=None, help="write the JSON report here as well"
+    )
+    racecheck.set_defaults(handler=commands.cmd_racecheck)
+
     subparsers.add_parser(
         "lint",
         help="static analysis enforcing simulation invariants "
-        "(determinism, layering, numerical safety, API hygiene)",
+        "(determinism, layering, numerical safety, API hygiene, RNG/"
+        "clock provenance, async interleaving)",
         add_help=False,
     )
 

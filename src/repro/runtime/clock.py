@@ -19,13 +19,46 @@ normal ``asyncio.run`` for those.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import selectors
 from collections.abc import Coroutine
 from typing import Any, TypeVar
 
+import numpy as np
+
 from ..errors import RuntimeProtocolError, SimulationError
 
 T = TypeVar("T")
+
+
+class _RankedTimerHandle(asyncio.TimerHandle):
+    """Timer handle whose heap order breaks ties by a seeded rank.
+
+    The stock loop resolves timers scheduled for the *same* deadline by
+    an unstable heap order that happens to follow insertion sequence.
+    Any code whose results depend on that order is racy — it would
+    break under a different-but-legal scheduler.  The race gate
+    (``repro racecheck``) shuffles exactly those ties: each handle gets
+    a seeded random rank consulted only when two deadlines are equal,
+    so every perturbation is a schedule a conforming event loop could
+    have produced.
+    """
+
+    __slots__ = ("_tie_rank",)
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, _RankedTimerHandle):
+            return (self._when, self._tie_rank) < (other._when, other._tie_rank)
+        when = getattr(other, "_when", None)
+        if when is None:
+            return NotImplemented
+        return self._when < when
+
+    def __le__(self, other: object) -> bool:
+        less = self.__lt__(other)
+        if less is NotImplemented:
+            return NotImplemented
+        return less or self._when == getattr(other, "_when", None)
 
 
 class VirtualClock:
@@ -33,10 +66,15 @@ class VirtualClock:
 
     Args:
         start: Initial virtual time in seconds.
+        tie_seed: When not ``None``, same-deadline timers fire in a
+            seeded random order instead of insertion order (see
+            :class:`_RankedTimerHandle`).  Used by ``repro racecheck``
+            to prove results do not depend on tie-break order.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, tie_seed: int | None = None):
         self._now = float(start)
+        self._tie_seed = tie_seed
 
     def time(self) -> float:
         """Current virtual time in seconds (monotone, starts at ``start``)."""
@@ -80,10 +118,40 @@ class VirtualClock:
 
         selector.select = virtual_select  # type: ignore[method-assign]
         loop.time = self.time  # type: ignore[method-assign]
+        if self._tie_seed is not None:
+            self._install_tie_shuffle(loop)
+
+    def _install_tie_shuffle(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Replace ``loop.call_at`` so equal-deadline timers get seeded
+        tie-break ranks.  ``call_later`` delegates to ``call_at``, so
+        one patch covers both; ready-queue (``call_soon``) FIFO order
+        is untouched because it reflects causal program order."""
+        rng = np.random.default_rng(self._tie_seed)
+
+        def ranked_call_at(
+            when: float,
+            callback: Any,
+            *args: Any,
+            context: Any = None,
+        ) -> asyncio.TimerHandle:
+            timer = _RankedTimerHandle(when, callback, args, loop, context)
+            timer._tie_rank = float(rng.random())
+            # The loop rebuilds ``_scheduled`` when compacting
+            # cancelled timers, so fetch it per call.
+            heapq.heappush(
+                loop._scheduled, timer  # type: ignore[attr-defined]
+            )
+            timer._scheduled = True
+            return timer
+
+        loop.call_at = ranked_call_at  # type: ignore[method-assign]
 
 
 def run_virtual(
-    coro: Coroutine[Any, Any, T], *, start: float = 0.0
+    coro: Coroutine[Any, Any, T],
+    *,
+    start: float = 0.0,
+    schedule_seed: int | None = None,
 ) -> T:
     """Run a coroutine to completion on a fresh virtual-clock loop.
 
@@ -94,11 +162,14 @@ def run_virtual(
     Args:
         coro: The coroutine to drive.
         start: Initial virtual time.
+        schedule_seed: When not ``None``, perturb the firing order of
+            same-deadline timers with this seed (legal-schedule
+            shuffling for the race gate; results must not change).
 
     Returns:
         Whatever the coroutine returns.
     """
-    clock = VirtualClock(start)
+    clock = VirtualClock(start, tie_seed=schedule_seed)
     loop = asyncio.new_event_loop()
     try:
         clock.install(loop)

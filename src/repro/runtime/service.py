@@ -85,6 +85,11 @@ class LiveSettings:
         drop_probability: Frame-drop rate (exercises retry paths).
         refresh_interval: Estimator observations between bounded
             closure refreshes when learning online.
+        schedule_seed: When not ``None``, perturb the event loop's
+            tie-break order for same-virtual-timestamp timers with this
+            seed (see :func:`~repro.runtime.clock.run_virtual`).  Used
+            by ``repro racecheck``; the reported ratios must be
+            bit-identical for every value.
     """
 
     budget_bytes: float = 2_000_000.0
@@ -98,6 +103,7 @@ class LiveSettings:
     seed: int = 0
     drop_probability: float = 0.0
     refresh_interval: int = 512
+    schedule_seed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -567,7 +573,8 @@ class _PreparedRun:
                 policy=self.policy if speculative else None,
                 fault_plan=fault_plan,
                 obs=obs,
-            )
+            ),
+            schedule_seed=self.settings.schedule_seed,
         )
 
 

@@ -1,0 +1,43 @@
+"""Fixture: interleaving-safe async code; no A-rule should fire."""
+
+import asyncio
+
+
+class Holdings:
+    def __init__(self):
+        self._entries = {"a": 1}
+        self._task = None
+
+    async def flush(self):
+        await asyncio.sleep(0)
+
+    async def evict(self):
+        await self.flush()
+        victim = min(self._entries)  # re-read *after* the await
+        self._entries.pop(victim)
+
+    async def reset(self):
+        if self._entries:  # guard-only read: no value dependence
+            await self.flush()
+            self._entries = {}
+
+    async def start(self, loop):
+        self._task = loop.create_task(self.flush())  # handle stored
+
+    async def scoped(self):
+        async with asyncio.TaskGroup() as tg:
+            tg.create_task(self.flush())  # TaskGroup owns its tasks
+
+
+def sync_helper():
+    return 1
+
+
+async def well_behaved():
+    await tick()
+    sync_helper()  # bare sync call: fine
+    unknown_callable()  # unknown name: not flagged
+
+
+async def tick():
+    await asyncio.sleep(0)

@@ -1,0 +1,34 @@
+"""Fixture: every async-interleaving rule (A001-A003) should fire."""
+
+import asyncio
+
+
+class Holdings:
+    def __init__(self):
+        self._entries = {"a": 1}
+
+    async def flush(self, victim):
+        await asyncio.sleep(0)
+
+    async def evict(self):
+        victim = min(self._entries)  # read
+        await self.flush(victim)  # suspension point
+        self._entries.pop(victim)  # A001: write from the stale read
+
+    async def restock(self):
+        snapshot = dict(self._entries)
+        await asyncio.sleep(0)
+        self._entries = snapshot  # A001: plain assign from stale snapshot
+
+
+async def tick():
+    await asyncio.sleep(0)
+
+
+async def forgets_await():
+    tick()  # A002: coroutine called, never awaited
+    asyncio.sleep(1)  # A002: asyncio coroutine, never awaited
+
+
+async def drops_task(loop):
+    loop.create_task(tick())  # A003: task handle dropped

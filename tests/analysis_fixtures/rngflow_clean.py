@@ -1,0 +1,35 @@
+"""Fixture: stream-respecting RNG plumbing; no R-rule should fire."""
+
+import numpy as np
+
+
+def make_streams(seed):
+    # Anonymous generators take the stream of the role they are bound
+    # to -- the binding *is* the declaration.
+    fault_rng = np.random.default_rng(seed)
+    retry_rng = np.random.default_rng(seed + 1)
+    return fault_rng, retry_rng
+
+
+def schedule_retry(retry_rng):
+    # The `delay` sink expects the retry stream and gets it.
+    return delay(retry_rng)
+
+
+def consume_backoff(retry_rng):
+    return retry_rng.random()
+
+
+def forward(rng):
+    return consume_backoff(rng)
+
+
+def caller(retry_rng):
+    # Crosses one forwarding function into a retry-role parameter with
+    # a retry-stream generator: consistent, no finding.
+    return forward(retry_rng)
+
+
+def draw(fault_rng, size):
+    # Non-sink, role-consistent use.
+    return fault_rng.integers(0, size)

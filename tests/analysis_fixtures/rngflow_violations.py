@@ -1,0 +1,34 @@
+"""Fixture: every RNG stream-separation rule (R001-R003) should fire."""
+
+import numpy as np
+
+
+def schedule_retry(jitter_rng):
+    # R001: the `delay` sink is declared retry-stream; jitter_rng
+    # carries the network stream by role.
+    return delay(jitter_rng)
+
+
+def wire_streams(fault_rng):
+    jitter_rng = fault_rng  # R002: faults generator bound to network role
+    return jitter_rng
+
+
+def make_backoff(seed):
+    retry_rng = np.random.default_rng(seed)
+    return retry_rng
+
+
+def consume_backoff(retry_rng):
+    return retry_rng.random()
+
+
+def forward(rng):
+    return consume_backoff(rng)
+
+
+def couple(workload_rng):
+    # R003: `forward`'s parameter is inferred (via its call into
+    # consume_backoff's role-named parameter) to expect the retry
+    # stream; workload_rng carries the workload stream.
+    return forward(workload_rng)

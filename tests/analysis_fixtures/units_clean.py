@@ -1,0 +1,26 @@
+"""Fixture: unit-respecting clock and byte arithmetic; no U-rule fires."""
+
+import time
+
+
+def wall_elapsed():
+    started = time.perf_counter()
+    return time.perf_counter() - started  # wall with wall: fine
+
+
+def virtual_deadline(loop, timeout):
+    return loop.time() + timeout  # virtual with unitless scalar: fine
+
+
+def eta(loop, body_bytes, bandwidth):
+    # Rate division is the unit boundary: bytes / (bytes/second)
+    # yields seconds, addable to virtual time.
+    return loop.time() + body_bytes / bandwidth
+
+
+def throughput(total_bytes, elapsed):
+    return total_bytes / elapsed  # conversion, not addition
+
+
+def budget_left(budget_bytes, used_bytes):
+    return budget_bytes - used_bytes  # bytes with bytes: fine

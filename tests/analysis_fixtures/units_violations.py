@@ -1,0 +1,21 @@
+"""Fixture: both unit-mixing rules (U001-U002) should fire here."""
+
+import time
+
+
+class Probe:
+    def __init__(self, loop):
+        self._loop = loop
+
+    def skew(self):
+        started = time.perf_counter()
+        now = self._loop.time()
+        return now - started  # U001: virtual minus wall
+
+
+def deadline(loop, body_bytes):
+    return loop.time() + body_bytes  # U002: bytes added to virtual seconds
+
+
+def overdue(loop, sent_bytes):
+    return sent_bytes > loop.time()  # U002: bytes compared to virtual time

@@ -1,0 +1,151 @@
+"""Async-interleaving checker: A001-A003."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def lint_fixture(name):
+    return run_lint(
+        [FIXTURES / name],
+        config=LintConfig(),
+        checker_names=["concurrency"],
+        base_dir=FIXTURES,
+    )
+
+
+class TestViolations:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_fixture("concurrency_violations.py").findings
+
+    def test_every_rule_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"A001", "A002", "A003"}
+
+    def test_lost_update_windows(self, findings):
+        flagged = [f for f in findings if f.rule_id == "A001"]
+        assert len(flagged) == 2  # mutator call and plain assign forms
+        assert all("`self._entries`" in f.message for f in flagged)
+
+    def test_unawaited_coroutines(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "A002"]
+        assert len(messages) == 2
+        assert any("`tick(...)`" in m for m in messages)
+        assert any("`asyncio.sleep(...)`" in m for m in messages)
+
+    def test_dropped_task_handle(self, findings):
+        flagged = [f for f in findings if f.rule_id == "A003"]
+        assert len(flagged) == 1
+
+
+class TestCleanCode:
+    def test_interleaving_safe_code_passes(self):
+        assert lint_fixture("concurrency_clean.py").findings == []
+
+
+class TestScanSemantics:
+    """Unit-level cases for the lost-update scan."""
+
+    def run_snippet(self, tmp_path, code):
+        path = tmp_path / "snippet.py"
+        path.write_text(code)
+        return run_lint(
+            [path], checker_names=["concurrency"], base_dir=tmp_path
+        ).findings
+
+    def test_async_for_header_counts_as_suspension(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self, source):\n"
+            "        keys = list(self.held)\n"
+            "        async for _ in source:\n"
+            "            pass\n"
+            "        self.held = keys\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["A001"]
+
+    def test_await_in_write_statement_itself_is_a_window(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self):\n"
+            "        self.total = self.total + await self.fetch()\n"
+            "    async def fetch(self):\n"
+            "        return 1\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["A001"]
+
+    def test_dependence_tracks_through_locals(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self):\n"
+            "        first = self.queue[0]\n"
+            "        chosen = first\n"
+            "        await self.ship(chosen)\n"
+            "        self.queue.remove(chosen)\n"
+            "    async def ship(self, item):\n"
+            "        pass\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["A001"]
+
+    def test_write_before_await_is_clean(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self):\n"
+            "        item = self.queue[0]\n"
+            "        self.queue.remove(item)\n"
+            "        await self.ship(item)\n"
+            "    async def ship(self, item):\n"
+            "        pass\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_unrelated_attribute_write_is_clean(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self):\n"
+            "        item = self.queue[0]\n"
+            "        await self.ship(item)\n"
+            "        self.last_shipped = item\n"
+            "    async def ship(self, item):\n"
+            "        pass\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_nested_def_is_a_separate_task_context(self, tmp_path):
+        code = (
+            "class C:\n"
+            "    async def f(self):\n"
+            "        item = self.queue[0]\n"
+            "        await self.ship(item)\n"
+            "        def callback():\n"
+            "            self.queue.remove(item)\n"
+            "        return callback\n"
+            "    async def ship(self, item):\n"
+            "        pass\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_sync_async_name_collision_is_not_flagged(self, tmp_path):
+        code = (
+            "def helper():\n"
+            "    return 1\n"
+            "async def other():\n"
+            "    helper()\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+
+class TestRepoConcurrency:
+    def test_repo_sources_have_no_unsuppressed_windows(self):
+        repo = Path(__file__).parent.parent
+        result = run_lint(
+            [repo / "src"], checker_names=["concurrency"], base_dir=repo
+        )
+        assert result.findings == []

@@ -1,0 +1,343 @@
+"""The reusable dataflow engine behind the R/U flow checkers."""
+
+import ast
+from types import SimpleNamespace
+
+from repro.analysis.dataflow import (
+    EMPTY,
+    EXIT,
+    ProgramIndex,
+    ProvenanceAnalysis,
+    build_cfg,
+    ref_of,
+    terminal_name,
+)
+from repro.analysis.dispatch import set_parents
+
+
+def first_function(code):
+    tree = ast.parse(code)
+    set_parents(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in snippet")
+
+
+class _SourceAnalysis(ProvenanceAnalysis):
+    """Labels every ``source()`` result and records sink() observations."""
+
+    def __init__(self, func, initial_env=None):
+        super().__init__(func, initial_env)
+        self.sink_labels = []
+
+    def call_result(self, call, arg_labels, env):
+        if isinstance(call.func, ast.Name) and call.func.id == "source":
+            return frozenset({"tainted"})
+        return EMPTY
+
+    def observe_call(self, call, arg_labels, env):
+        if not self.observing:
+            return
+        if isinstance(call.func, ast.Name) and call.func.id == "sink":
+            self.sink_labels.append(
+                frozenset().union(*arg_labels) if arg_labels else EMPTY
+            )
+
+
+def analyze(code, initial_env=None):
+    analysis = _SourceAnalysis(first_function(code), initial_env)
+    analysis.run()
+    return analysis
+
+
+class TestRefHelpers:
+    def test_ref_of_dotted_chain(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert ref_of(node) == "a.b.c"
+
+    def test_ref_of_non_name_base_is_none(self):
+        node = ast.parse("f().b", mode="eval").body
+        assert ref_of(node) is None
+
+    def test_terminal_name(self):
+        assert terminal_name("a.b.c") == "c"
+        assert terminal_name("x") == "x"
+        assert terminal_name(None) == ""
+
+
+class TestCfg:
+    def build(self, code):
+        return build_cfg(first_function(code))
+
+    def test_straight_line_is_one_block(self):
+        cfg = self.build("def f():\n    a = 1\n    b = a\n    return b\n")
+        assert len(cfg.blocks) == 1
+        assert EXIT in cfg.blocks[0].successors
+
+    def test_if_produces_join(self):
+        cfg = self.build(
+            "def f(p):\n"
+            "    if p:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        predecessors = cfg.predecessors()
+        joins = [b for b, preds in predecessors.items() if len(preds) == 2]
+        assert joins  # the post-if block joins both arms
+
+    def test_while_has_back_edge(self):
+        cfg = self.build(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    return n\n"
+        )
+        back_edges = [
+            (index, successor)
+            for index, block in enumerate(cfg.blocks)
+            for successor in block.successors
+            if successor != EXIT and successor <= index
+        ]
+        assert back_edges
+
+    def test_try_handler_reachable_from_body(self):
+        cfg = self.build(
+            "def f():\n"
+            "    try:\n"
+            "        a = source()\n"
+            "    except ValueError:\n"
+            "        a = None\n"
+            "    return a\n"
+        )
+        assert len(cfg.blocks) >= 3
+
+
+class TestFixpoint:
+    def test_straight_line_taint(self):
+        analysis = analyze(
+            "def f():\n"
+            "    x = source()\n"
+            "    y = x\n"
+            "    sink(y)\n"
+        )
+        assert analysis.sink_labels == [frozenset({"tainted"})]
+
+    def test_branch_join_is_union(self):
+        analysis = analyze(
+            "def f(p):\n"
+            "    if p:\n"
+            "        x = source()\n"
+            "    else:\n"
+            "        x = 1\n"
+            "    sink(x)\n"
+        )
+        assert analysis.sink_labels == [frozenset({"tainted"})]
+
+    def test_strong_update_clears_labels(self):
+        analysis = analyze(
+            "def f():\n"
+            "    x = source()\n"
+            "    x = 1\n"
+            "    sink(x)\n"
+        )
+        assert analysis.sink_labels == [EMPTY]
+
+    def test_loop_carried_taint_converges(self):
+        analysis = analyze(
+            "def f(n):\n"
+            "    x = 0\n"
+            "    while n:\n"
+            "        x = x + source()\n"
+            "        n = n - 1\n"
+            "    sink(x)\n"
+        )
+        assert analysis.sink_labels == [frozenset({"tainted"})]
+
+    def test_tuple_unpacking_spreads_labels(self):
+        analysis = analyze(
+            "def f():\n"
+            "    a, b = source(), 1\n"
+            "    sink(a)\n"
+            "    sink(b)\n"
+        )
+        # Tuple element tracking is conservative: both targets may
+        # carry the source label.
+        assert all("tainted" in labels for labels in analysis.sink_labels[:1])
+
+    def test_observation_fires_exactly_once_per_sink(self):
+        analysis = analyze(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    sink(source())\n"
+        )
+        assert len(analysis.sink_labels) == 1
+
+    def test_self_attribute_strong_update(self):
+        analysis = analyze(
+            "def f(self):\n"
+            "    self.x = source()\n"
+            "    self.x = 1\n"
+            "    sink(self.x)\n"
+        )
+        assert analysis.sink_labels == [EMPTY]
+
+    def test_initial_env_seeds_parameters(self):
+        analysis = analyze(
+            "def f(p):\n    sink(p)\n",
+            initial_env={"p": frozenset({"seeded"})},
+        )
+        assert analysis.sink_labels == [frozenset({"seeded"})]
+
+    def test_return_labels_join_all_returns(self):
+        analysis = analyze(
+            "def f(p):\n"
+            "    if p:\n"
+            "        return source()\n"
+            "    return 1\n"
+        )
+        assert "tainted" in analysis.return_labels
+
+    def test_all_env_collects_attribute_labels(self):
+        analysis = analyze(
+            "def __init__(self):\n"
+            "    self.rng = source()\n"
+        )
+        assert analysis.all_env.get("self.rng") == frozenset({"tainted"})
+
+    def test_nested_def_is_opaque(self):
+        analysis = analyze(
+            "def f():\n"
+            "    x = source()\n"
+            "    def g():\n"
+            "        return x\n"
+            "    sink(g)\n"
+        )
+        assert analysis.sink_labels == [EMPTY]
+
+    def test_comprehension_carries_element_labels(self):
+        analysis = analyze(
+            "def f(items):\n"
+            "    values = [source() for _ in items]\n"
+            "    sink(values)\n"
+        )
+        assert analysis.sink_labels == [frozenset({"tainted"})]
+
+    def test_unknown_calls_do_not_launder_labels(self):
+        # Labels do not pass *through* unresolved calls (documented
+        # limitation: ``min``/``max``-style builtins are opaque).
+        analysis = analyze(
+            "def f():\n"
+            "    x = max(source(), 1)\n"
+            "    sink(x)\n"
+        )
+        assert analysis.sink_labels == [EMPTY]
+
+
+def make_ctx(code, module=None):
+    tree = ast.parse(code)
+    set_parents(tree)
+    return SimpleNamespace(tree=tree, module=module, display_path="mem.py")
+
+
+def call_in(tree, name):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, (ast.Name, ast.Attribute))
+            and (
+                node.func.id == name
+                if isinstance(node.func, ast.Name)
+                else node.func.attr == name
+            )
+        ):
+            return node
+    raise AssertionError(f"no call to {name}")
+
+
+class TestProgramIndex:
+    def test_indexes_functions_and_methods(self):
+        ctx = make_ctx(
+            "def top():\n    pass\n"
+            "class C:\n"
+            "    def meth(self):\n        pass\n",
+            module="pkg.mod",
+        )
+        index = ProgramIndex([ctx])
+        names = {record.qualname for record in index.records}
+        assert names == {"pkg.mod.top", "pkg.mod.C.meth"}
+
+    def test_method_params_strip_self(self):
+        ctx = make_ctx("class C:\n    def meth(self, a, b=1):\n        pass\n")
+        index = ProgramIndex([ctx])
+        (record,) = index.records
+        assert record.param_names == ["a", "b"]
+
+    def test_unique_simple_name_resolves(self):
+        ctx = make_ctx(
+            "def helper(x):\n    return x\n"
+            "def caller():\n    return helper(1)\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "helper")
+        record = index.resolve_call(call)
+        assert record is not None and record.name == "helper"
+
+    def test_ambiguous_name_resolves_to_nothing(self):
+        ctx = make_ctx(
+            "class A:\n    def helper(self):\n        pass\n"
+            "class B:\n    def helper(self):\n        pass\n"
+            "def caller(obj):\n    return obj.helper()\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "helper")
+        assert index.resolve_call(call) is None
+
+    def test_self_call_prefers_own_class(self):
+        ctx = make_ctx(
+            "class A:\n"
+            "    def helper(self):\n        pass\n"
+            "    def caller(self):\n        return self.helper()\n"
+            "class B:\n    def helper(self):\n        pass\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "helper")
+        record = index.resolve_call(call, caller_class="A")
+        assert record is not None and record.class_name == "A"
+
+    def test_bind_arguments_positional_and_keyword(self):
+        ctx = make_ctx(
+            "def target(a, b, c=None):\n    pass\n"
+            "def caller():\n    target(1, 2, c=3)\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "target")
+        record = index.resolve_call(call)
+        pairs = ProgramIndex.bind_arguments(call, record)
+        assert [name for name, _ in pairs] == ["a", "b", "c"]
+
+    def test_bind_arguments_unbound_method_skips_receiver(self):
+        ctx = make_ctx(
+            "class C:\n    def meth(self, a):\n        pass\n"
+            "def caller(obj):\n    C.meth(obj, 1)\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "meth")
+        record = index.resolve_call(call)
+        pairs = ProgramIndex.bind_arguments(call, record)
+        assert len(pairs) == 1
+        assert pairs[0][0] == "a"
+        assert isinstance(pairs[0][1], ast.Constant)
+
+    def test_starred_arguments_are_skipped(self):
+        ctx = make_ctx(
+            "def target(a, b):\n    pass\n"
+            "def caller(rest):\n    target(*rest)\n"
+        )
+        index = ProgramIndex([ctx])
+        call = call_in(ctx.tree, "target")
+        record = index.resolve_call(call)
+        assert ProgramIndex.bind_arguments(call, record) == []

@@ -1,0 +1,315 @@
+"""Edge cases of suppressions, rule filtering, baseline staleness, SARIF."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis import runner
+from repro.analysis.suppressions import SuppressionIndex
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def run(args, capsys):
+    code = runner.main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def lint_snippet(tmp_path, code, **kwargs):
+    path = tmp_path / "snippet.py"
+    path.write_text(code)
+    return run_lint([path], base_dir=tmp_path, **kwargs)
+
+
+class TestMultiLineSuppression:
+    def test_directive_on_last_line_of_statement_suppresses(self, tmp_path):
+        code = (
+            "def f(xs):\n"
+            "    value = (sum(xs)\n"
+            "             / len(xs))  # repro-lint: disable=N001\n"
+            "    return value\n"
+        )
+        result = lint_snippet(tmp_path, code, checker_names=["numeric"])
+        assert result.findings == []
+        assert result.suppression_directives == 1
+
+    def test_same_statement_without_directive_still_fires(self, tmp_path):
+        code = (
+            "def f(xs):\n"
+            "    value = (sum(xs)\n"
+            "             / len(xs))\n"
+            "    return value\n"
+        )
+        result = lint_snippet(tmp_path, code, checker_names=["numeric"])
+        assert [f.rule_id for f in result.findings] == ["N001"]
+
+    def test_compound_header_span_covers_the_condition(self, tmp_path):
+        code = (
+            "def f(xs, flag):\n"
+            "    if (1 / len(xs)\n"
+            "            > 0.5):  # repro-lint: disable=N001\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        result = lint_snippet(tmp_path, code, checker_names=["numeric"])
+        assert result.findings == []
+
+    def test_compound_header_directive_does_not_blanket_the_body(
+        self, tmp_path
+    ):
+        code = (
+            "def f(xs, flag):\n"
+            "    if flag:  # repro-lint: disable=N001\n"
+            "        return 1 / len(xs)\n"
+            "    return 0\n"
+        )
+        result = lint_snippet(tmp_path, code, checker_names=["numeric"])
+        assert [f.rule_id for f in result.findings] == ["N001"]
+
+    def test_directive_count_is_not_inflated_by_span_expansion(self):
+        lines = [
+            "def f(xs):",
+            "    value = (sum(xs)",
+            "             / len(xs))  # repro-lint: disable=N001",
+        ]
+        index = SuppressionIndex(lines)
+        import ast
+
+        index.attach_tree(ast.parse("\n".join(lines)))
+        assert index.directive_count == 1
+        assert index.is_suppressed("N001", 2)
+        assert index.is_suppressed("N001", 3)
+        assert not index.is_suppressed("N001", 1)
+
+
+class TestUnknownDirectiveRules:
+    def test_unknown_rule_in_directive_warns_not_crashes(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "def f():\n"
+            "    return 1  # repro-lint: disable=Z999\n"
+        )
+        result = run_lint([path], base_dir=tmp_path)
+        assert result.findings == []
+        assert result.unknown_directive_rules == ("Z999",)
+
+        code, _, err = run(["--no-baseline", str(path)], capsys)
+        assert code == 0
+        assert "unknown rule id(s): Z999" in err
+
+    def test_known_rules_raise_no_warning(self, capsys):
+        code, _, err = run(
+            ["--no-baseline", str(FIXTURES / "numeric_clean.py")], capsys
+        )
+        assert code == 0
+        assert "unknown rule" not in err
+
+    def test_referenced_rules_excludes_all(self):
+        index = SuppressionIndex(
+            [
+                "# repro-lint: disable-file=D004",
+                "x = 1  # repro-lint: disable=all",
+                "y = 2  # repro-lint: disable=N001,Z999",
+            ]
+        )
+        assert index.referenced_rules == frozenset({"D004", "N001", "Z999"})
+
+
+class TestSelectDisableOverlap:
+    def test_disable_wins_inside_select(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--select",
+                "N001,N002",
+                "--disable",
+                "N001",
+                str(FIXTURES / "numeric_violations.py"),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "N002" in out
+        assert "N001" not in out
+
+    def test_disabling_everything_selected_is_clean(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--select",
+                "N001",
+                "--disable",
+                "N001",
+                str(FIXTURES / "numeric_violations.py"),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "clean" in out
+
+
+class TestBaselineStaleness:
+    def _baseline_for(self, tmp_path, code):
+        source = tmp_path / "mod.py"
+        source.write_text(code)
+        result = run_lint([source], base_dir=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.write(baseline_path, result.findings)
+        return source, baseline_path
+
+    def test_fixed_finding_reason(self, tmp_path):
+        source, baseline_path = self._baseline_for(
+            tmp_path, "def f(xs):\n    return 1 / len(xs)\n"
+        )
+        source.write_text("def f(xs):\n    return 0\n")
+        baseline = Baseline.load(baseline_path)
+        reasons = baseline.audit([], base_dir=tmp_path)
+        assert list(reasons.values()) == ["finding no longer present"]
+
+    def test_deleted_file_reason(self, tmp_path):
+        source, baseline_path = self._baseline_for(
+            tmp_path, "def f(xs):\n    return 1 / len(xs)\n"
+        )
+        source.unlink()
+        baseline = Baseline.load(baseline_path)
+        reasons = baseline.audit([], base_dir=tmp_path)
+        (reason,) = reasons.values()
+        assert "no longer exists" in reason and "mod.py" in reason
+
+    def test_removed_rule_reason(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "fingerprint": "deadbeefdeadbeef",
+                            "rule": "Q999",
+                            "path": "mod.py",
+                            "line": 1,
+                        }
+                    ],
+                }
+            )
+        )
+        baseline = Baseline.load(baseline_path)
+        reasons = baseline.audit(
+            [], known_rules={"N001"}, base_dir=tmp_path
+        )
+        assert reasons == {
+            "deadbeefdeadbeef": "rule Q999 no longer exists"
+        }
+
+    def test_update_baseline_prunes_stale_entries(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        source, baseline_path = self._baseline_for(
+            tmp_path, "def f(xs):\n    return 1 / len(xs)\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        source.write_text("def f(xs):\n    return 0\n")
+
+        code, out, err = run(
+            ["--baseline", str(baseline_path), str(source)], capsys
+        )
+        assert code == 0
+        assert "stale baseline entry" in out
+
+        code, out, err = run(
+            [
+                "--update-baseline",
+                "--baseline",
+                str(baseline_path),
+                str(source),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "pruned 1 stale baseline entry" in err
+        assert "stale baseline entry" not in out
+        assert json.loads(baseline_path.read_text())["findings"] == []
+
+        # A second run is quiet: the file reflects reality again.
+        code, out, err = run(
+            ["--baseline", str(baseline_path), str(source)], capsys
+        )
+        assert code == 0
+        assert "stale" not in out
+
+    def test_update_baseline_keeps_live_entries(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        source, baseline_path = self._baseline_for(
+            tmp_path,
+            "def f(xs):\n"
+            "    return 1 / len(xs)\n"
+            "def g(ys):\n"
+            "    return 2 / len(ys)\n",
+        )
+        monkeypatch.chdir(tmp_path)
+        source.write_text("def f(xs):\n    return 1 / len(xs)\n")
+        code, _, err = run(
+            [
+                "--update-baseline",
+                "--baseline",
+                str(baseline_path),
+                str(source),
+            ],
+            capsys,
+        )
+        assert code == 0
+        remaining = json.loads(baseline_path.read_text())["findings"]
+        assert len(remaining) == 1
+        assert remaining[0]["rule"] == "N001"
+
+
+class TestSarifReport:
+    def test_sarif_document_shape(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--format",
+                "sarif",
+                str(FIXTURES / "numeric_violations.py"),
+            ],
+            capsys,
+        )
+        assert code == 1
+        document = json.loads(out)
+        assert document["version"] == "2.1.0"
+        (sarif_run,) = document["runs"]
+        assert sarif_run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {
+            rule["id"] for rule in sarif_run["tool"]["driver"]["rules"]
+        }
+        # Every registered family ships rule metadata.
+        for expected in ("D001", "L001", "N001", "H001", "R001", "U001",
+                         "A001"):
+            assert expected in rule_ids
+        results = sarif_run["results"]
+        assert {r["ruleId"] for r in results} == {"N001", "N002", "N003"}
+        for entry in results:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(
+                "numeric_violations.py"
+            )
+            assert location["region"]["startLine"] >= 1
+            assert "reproLint/fingerprint/v1" in entry["partialFingerprints"]
+
+    def test_clean_run_yields_empty_results(self, capsys):
+        code, out, _ = run(
+            [
+                "--no-baseline",
+                "--format",
+                "sarif",
+                str(FIXTURES / "numeric_clean.py"),
+            ],
+            capsys,
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["runs"][0]["results"] == []

@@ -1,0 +1,127 @@
+"""RNG stream-separation checker: flow-based R001-R003."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def lint_fixture(name):
+    return run_lint(
+        [FIXTURES / name],
+        config=LintConfig(),
+        checker_names=["rngflow"],
+        base_dir=FIXTURES,
+    )
+
+
+class TestViolations:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_fixture("rngflow_violations.py").findings
+
+    def test_every_rule_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"R001", "R002", "R003"}
+
+    def test_sink_violation_names_both_streams(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "R001"]
+        assert len(messages) == 1
+        assert "retry-stream sink" in messages[0]
+        assert "network" in messages[0]
+
+    def test_alias_violation_names_role_and_stream(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "R002"]
+        assert len(messages) == 1
+        assert "`jitter_rng`" in messages[0]
+        assert "faults" in messages[0]
+
+    def test_cross_call_violation_names_callee_parameter(self, findings):
+        messages = [f.message for f in findings if f.rule_id == "R003"]
+        assert len(messages) == 1
+        assert "argument `rng` of" in messages[0]
+        assert "forward" in messages[0]
+        assert "retry" in messages[0]
+        assert "workload" in messages[0]
+
+
+class TestCleanCode:
+    def test_stream_respecting_plumbing_passes(self):
+        assert lint_fixture("rngflow_clean.py").findings == []
+
+
+class TestFlowSemantics:
+    """Unit-level cases for the provenance rules."""
+
+    def run_snippet(self, tmp_path, code):
+        path = tmp_path / "snippet.py"
+        path.write_text(code)
+        return run_lint(
+            [path], checker_names=["rngflow"], base_dir=tmp_path
+        ).findings
+
+    def test_factory_minted_stream_is_tracked(self, tmp_path):
+        # `retry_rng(...)` is a declared retry-stream factory; binding
+        # its result to a network role name is an alias violation.
+        code = (
+            "def wire(seed):\n"
+            "    jitter_rng = retry_rng(seed)\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["R002"]
+
+    def test_anonymous_generator_adopts_bound_role(self, tmp_path):
+        code = (
+            "import numpy as np\n"
+            "def wire(seed):\n"
+            "    fault_rng = np.random.default_rng(seed)\n"
+            "    chaos_rng = fault_rng\n"  # same role: still faults
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_flow_through_conditional_join(self, tmp_path):
+        code = (
+            "def wire(fault_rng, jitter_rng, flip):\n"
+            "    rng = fault_rng if flip else jitter_rng\n"
+            "    retry_rng = rng\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["R002"]
+        assert "faults" in findings[0].message
+        assert "network" in findings[0].message
+
+    def test_return_summary_crosses_functions(self, tmp_path):
+        code = (
+            "def mint(seed):\n"
+            "    fault_rng = retry_rng(seed)  # repro-lint: disable=R002\n"
+            "    return fault_rng\n"
+            "def use(seed):\n"
+            "    jitter_rng = mint(seed)\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["R002"]
+        assert "`jitter_rng`" in findings[0].message
+
+    def test_conflicting_expectations_stay_silent(self, tmp_path):
+        # `shared` is called with two different streams; its parameter
+        # gets no unambiguous expectation, so no R003 guesses.
+        code = (
+            "def shared(rng):\n"
+            "    return rng.random()\n"
+            "def a(fault_rng):\n"
+            "    return shared(fault_rng)\n"
+            "def b(jitter_rng):\n"
+            "    return shared(jitter_rng)\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+
+class TestRepoRngFlow:
+    def test_repo_sources_keep_streams_separate(self):
+        repo = Path(__file__).parent.parent
+        result = run_lint(
+            [repo / "src"], checker_names=["rngflow"], base_dir=repo
+        )
+        assert result.findings == []

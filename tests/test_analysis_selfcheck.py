@@ -44,12 +44,15 @@ class TestRepoIsClean:
 
 
 class TestFrameworkWiring:
-    def test_all_four_checker_families_registered(self):
+    def test_all_seven_checker_families_registered(self):
         assert set(registered_checkers()) == {
             "determinism",
             "layering",
             "numeric",
             "hygiene",
+            "rngflow",
+            "units",
+            "concurrency",
         }
 
     def test_module_entry_point(self):

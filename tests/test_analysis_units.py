@@ -1,0 +1,126 @@
+"""Clock/units provenance checker: flow-based U001-U002."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def lint_fixture(name):
+    return run_lint(
+        [FIXTURES / name],
+        config=LintConfig(),
+        checker_names=["units"],
+        base_dir=FIXTURES,
+    )
+
+
+class TestViolations:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return lint_fixture("units_violations.py").findings
+
+    def test_every_rule_fires(self, findings):
+        assert {f.rule_id for f in findings} == {"U001", "U002"}
+
+    def test_virtual_wall_mix(self, findings):
+        flagged = [f for f in findings if f.rule_id == "U001"]
+        assert len(flagged) == 1
+        assert "virtual-clock seconds with wall-clock seconds" in (
+            flagged[0].message
+        )
+
+    def test_bytes_time_mixes(self, findings):
+        flagged = [f for f in findings if f.rule_id == "U002"]
+        assert len(flagged) == 2  # one addition, one comparison
+
+
+class TestCleanCode:
+    def test_unit_respecting_arithmetic_passes(self):
+        assert lint_fixture("units_clean.py").findings == []
+
+
+class TestFlowSemantics:
+    """Unit-level cases for label sources and conversion boundaries."""
+
+    def run_snippet(self, tmp_path, code):
+        path = tmp_path / "snippet.py"
+        path.write_text(code)
+        return run_lint(
+            [path], checker_names=["units"], base_dir=tmp_path
+        ).findings
+
+    def test_wall_labels_flow_through_locals(self, tmp_path):
+        code = (
+            "import time\n"
+            "def f(loop):\n"
+            "    t0 = time.monotonic()\n"
+            "    copied = t0\n"
+            "    return loop.time() - copied\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["U001"]
+
+    def test_running_loop_receiver_is_virtual(self, tmp_path):
+        code = (
+            "import asyncio, time\n"
+            "def f():\n"
+            "    return asyncio.get_running_loop().time() - "
+            "time.perf_counter()\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["U001"]
+
+    def test_rate_division_is_a_unit_boundary(self, tmp_path):
+        code = (
+            "def f(loop, miss_bytes, bandwidth):\n"
+            "    return loop.time() + miss_bytes / bandwidth\n"
+        )
+        assert self.run_snippet(tmp_path, code) == []
+
+    def test_init_attribute_units_reach_methods(self, tmp_path):
+        code = (
+            "import time\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.started = time.perf_counter()\n"
+            "    def skew(self, loop):\n"
+            "        return loop.time() - self.started\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["U001"]
+
+    def test_return_summary_carries_units(self, tmp_path):
+        code = (
+            "import time\n"
+            "def wall_now():\n"
+            "    return time.monotonic()\n"
+            "def f(loop):\n"
+            "    return loop.time() - wall_now()\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["U001"]
+
+    def test_already_mixed_side_does_not_recascade(self, tmp_path):
+        # The inner mix is reported once; the enclosing subtraction
+        # whose one side already carries both families stays silent.
+        code = (
+            "import time\n"
+            "def f(loop):\n"
+            "    bad = loop.time() - time.monotonic()\n"
+            "    return bad - time.monotonic()\n"
+        )
+        findings = self.run_snippet(tmp_path, code)
+        assert [f.rule_id for f in findings] == ["U001"]
+
+
+class TestRepoUnits:
+    def test_repo_sources_keep_units_separate(self):
+        repo = Path(__file__).parent.parent
+        result = run_lint(
+            [repo / "src"], checker_names=["units"], base_dir=repo
+        )
+        assert result.findings == []

@@ -1,0 +1,192 @@
+"""The schedule-perturbation race gate: clock ties, sweep, CLI."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis.schedules import (
+    RaceCheckReport,
+    ScheduleRun,
+    canonical_payload,
+    run_schedule_sweep,
+)
+from repro.cli import main
+from repro.errors import RuntimeProtocolError
+from repro.runtime.clock import run_virtual
+
+
+class TestTieShuffle:
+    """Seeded tie-breaking of same-deadline timers in the virtual clock."""
+
+    @staticmethod
+    async def _race(order):
+        async def touch(tag):
+            order.append(tag)
+
+        loop = asyncio.get_running_loop()
+        # Five callbacks at the *same* virtual deadline: only their
+        # tie-break order distinguishes schedules.
+        when = loop.time() + 1.0
+        for tag in range(5):
+            loop.call_at(when, order.append, tag)
+        await asyncio.sleep(2.0)
+
+    def run_order(self, schedule_seed):
+        order = []
+        run_virtual(self._race(order), schedule_seed=schedule_seed)
+        return order
+
+    def test_unperturbed_order_is_deterministic(self):
+        # The stock heap's tie order is an accident (not insertion
+        # order!), but it is at least reproducible run to run.
+        reference = self.run_order(None)
+        assert sorted(reference) == [0, 1, 2, 3, 4]
+        assert self.run_order(None) == reference
+
+    def test_same_seed_reproduces_the_same_order(self):
+        assert self.run_order(7) == self.run_order(7)
+
+    def test_some_seed_produces_a_different_order(self):
+        orders = {tuple(self.run_order(seed)) for seed in range(1, 9)}
+        assert len(orders) > 1  # the shuffle actually perturbs
+
+    def test_all_orders_are_permutations(self):
+        for seed in range(1, 9):
+            assert sorted(self.run_order(seed)) == [0, 1, 2, 3, 4]
+
+    def test_distinct_deadlines_keep_their_order(self):
+        async def staggered(order):
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            for tag in range(5):
+                loop.call_at(now + 1.0 + tag * 0.5, order.append, tag)
+            await asyncio.sleep(5.0)
+
+        for seed in range(1, 6):
+            order = []
+            run_virtual(staggered(order), schedule_seed=seed)
+            assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_ranked_timer_does_not_fire(self):
+        async def cancel_one(order):
+            loop = asyncio.get_running_loop()
+            when = loop.time() + 1.0
+            handles = [
+                loop.call_at(when, order.append, tag) for tag in range(3)
+            ]
+            handles[1].cancel()
+            await asyncio.sleep(2.0)
+
+        order = []
+        run_virtual(cancel_one(order), schedule_seed=3)
+        assert sorted(order) == [0, 2]
+
+
+class TestScheduleSweep:
+    def test_identical_payloads_pass(self):
+        report = run_schedule_sweep(
+            lambda seed: {"value": 42}, perturbations=3
+        )
+        assert report.passed
+        assert report.divergent == ()
+        report.require_schedule_independence()  # no raise
+
+    def test_divergent_payload_is_detected_and_raises(self):
+        report = run_schedule_sweep(
+            lambda seed: {"value": 0 if seed is None else seed},
+            perturbations=3,
+            base_seed=5,
+        )
+        assert not report.passed
+        assert [run.schedule_seed for run in report.divergent] == [5, 6, 7]
+        with pytest.raises(RuntimeProtocolError, match="tie seeds 5, 6, 7"):
+            report.require_schedule_independence()
+
+    def test_seeds_are_contiguous_from_base(self):
+        report = run_schedule_sweep(
+            lambda seed: {}, perturbations=4, base_seed=10
+        )
+        assert [run.schedule_seed for run in report.runs] == [10, 11, 12, 13]
+        assert report.reference.schedule_seed is None
+
+    def test_canonical_payload_is_order_insensitive(self):
+        assert canonical_payload({"b": 1, "a": 2}) == canonical_payload(
+            {"a": 2, "b": 1}
+        )
+
+    def test_as_dict_shape(self):
+        report = run_schedule_sweep(
+            lambda seed: {"ok": True}, perturbations=2
+        )
+        document = report.as_dict()
+        assert document["version"] == 1
+        assert document["perturbations"] == 2
+        assert document["passed"] is True
+        assert document["divergent_seeds"] == []
+        assert document["reference"] == {"ok": True}
+
+    def test_zero_perturbations_rejected(self):
+        with pytest.raises(ValueError):
+            run_schedule_sweep(lambda seed: {}, perturbations=0)
+
+    def test_report_is_json_serialisable(self):
+        report = RaceCheckReport(
+            reference=ScheduleRun(None, {"x": 1}, canonical_payload({"x": 1}))
+        )
+        json.dumps(report.as_dict())
+
+
+class TestRacecheckCli:
+    def test_smoke_gate_passes(self, capsys):
+        # Two perturbations keep the unit test fast; CI runs the
+        # default eight.
+        assert main(
+            ["racecheck", "--smoke", "--perturbations", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 perturbed schedules" in out
+        assert "bit-identical" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        out_path = tmp_path / "racecheck.json"
+        assert main(
+            [
+                "racecheck",
+                "--smoke",
+                "--perturbations",
+                "2",
+                "--json",
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True
+        assert data["perturbations"] == 2
+        assert set(data["reference"]["ratios"]) == {
+            "bandwidth",
+            "server_load",
+            "service_time",
+            "miss_rate",
+        }
+        assert json.loads(out_path.read_text())["passed"] is True
+
+    def test_divergence_exits_3(self, capsys, monkeypatch):
+        from repro.analysis import schedules
+
+        def rigged(run_arm, *, perturbations, base_seed):
+            reference = ScheduleRun(None, {"v": 0}, canonical_payload({"v": 0}))
+            bad = ScheduleRun(1, {"v": 1}, canonical_payload({"v": 1}))
+            return RaceCheckReport(reference=reference, runs=(bad,))
+
+        monkeypatch.setattr(schedules, "run_schedule_sweep", rigged)
+        code = main(["racecheck", "--smoke", "--perturbations", "1", "--json"])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["passed"] is False
+        assert "protocol error:" in captured.err
+
+    def test_bad_perturbation_count_is_usage_error(self, capsys):
+        assert main(["racecheck", "--perturbations", "0"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -182,6 +182,67 @@ class TestDaemon:
         assert metrics["counters"]["daemon.failed_pushes"] == 1
         assert "daemon.pushes" not in metrics["counters"]
 
+    def test_repush_request_during_push_is_served_promptly(self):
+        """Regression: a request_repush() arriving while the daemon is
+        awaiting inside push_once() used to have its wake-up consumed
+        by the loop-top clear(), delaying the re-push by a full
+        UpdateCycle (or forever with interval=None)."""
+        interval = 5.0
+
+        async def scenario():
+            trace = generate_trace(
+                5, n_pages=30, n_clients=10, n_sessions=80, duration_days=3
+            ).remote_only()
+            network = InMemoryNetwork(seed=0)
+            estimator = OnlineDependencyEstimator(learn=True)
+            origin_endpoint = network.endpoint("home-server")
+            origin = OriginServer(trace.documents, estimator=estimator)
+            origin_endpoint.start(origin.handle)
+            proxy_endpoint = network.endpoint("region-0")
+            proxy = ProxyNode(
+                "region-0", proxy_endpoint, upstream="home-server"
+            )
+            proxy_endpoint.start(proxy.handle)
+            for index, request in enumerate(trace):
+                await origin.handle(
+                    make_request(
+                        request.client,
+                        f"seed#{index}",
+                        request.doc_id,
+                        request.timestamp,
+                    )
+                )
+            daemon = DisseminationDaemon(
+                origin,
+                origin_endpoint,
+                ["region-0"],
+                budget_bytes=500_000.0,
+                interval=interval,
+            )
+            loop = asyncio.get_running_loop()
+            runner = loop.create_task(daemon.run())
+            # Land the request 1ms into the first cycle's push, while
+            # the daemon is awaiting the proxy's ack (round trip is
+            # >= 10ms of virtual latency).
+            loop.call_later(
+                interval + 0.001, daemon.request_repush, "region-0"
+            )
+            await asyncio.sleep(interval + 1.0)
+            served_at = loop.time()
+            try:
+                counters = daemon.metrics.snapshot()["counters"]
+                return counters, served_at
+            finally:
+                runner.cancel()
+                await proxy_endpoint.close()
+                await origin_endpoint.close()
+
+        counters, served_at = run_virtual(scenario())
+        assert counters["daemon.repush_requests"] == 1
+        # Served within the same cycle, not at the next interval wake.
+        assert counters.get("daemon.repushes", 0) == 1
+        assert served_at < 2 * interval
+
 
 class TestTcpTransport:
     def test_round_trip_with_speculation(self):
