@@ -39,8 +39,9 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "obs": 7,
     "core": 8,
     "runtime": 9,
-    "api": 10,
-    "cli": 11,
+    "fleet": 10,
+    "api": 11,
+    "cli": 12,
 }
 
 #: Legacy run entry points whose *direct* use is frozen (H004).  New

@@ -12,8 +12,9 @@ benchmark harness behind a single :class:`Session` object::
     print(report.trace_jsonl())
 
 Every method — :meth:`Session.loadtest`, :meth:`Session.chaos`,
-:meth:`Session.sweep`, :meth:`Session.sensitivity`,
-:meth:`Session.bench` — takes its inputs from one normalised
+:meth:`Session.fleet`, :meth:`Session.sweep`,
+:meth:`Session.sensitivity`, :meth:`Session.bench` — takes its inputs
+from one normalised
 :class:`RunSpec` and returns one :class:`RunReport` shape, replacing
 the five keyword dialects the legacy entry points grew over time.
 """

@@ -24,6 +24,12 @@ from typing import Any, Callable
 from ..config import BASELINE, BaselineConfig
 from ..core.experiment import Experiment, SweepPoint, evaluate_thresholds
 from ..core.sensitivity import SensitivityPoint, sweep_workload
+from ..fleet.service import (
+    FleetSettings,
+    execute_fleet,
+    execute_fleet_smoke,
+    fleet_smoke_settings,
+)
 from ..obs import ObsConfig, RunObservations
 from ..perf.bench import build_report, run_scale
 from ..runtime.faults import FaultPlan
@@ -56,6 +62,8 @@ class RunSpec:
             seeded with ``seed``.
         chaos: Chaos knobs; None derives them from ``settings`` (or the
             smoke chaos script when those are defaulted too).
+        fleet: Fleet-run knobs; None means the standard fleet preset
+            seeded with ``seed``.
         config: The paper's cost model.
         tolerance: Divergence tolerance for the smoke self-checks.
         workers: Process count for sweep sharding (None stays serial).
@@ -66,6 +74,7 @@ class RunSpec:
     workload: GeneratorConfig | None = None
     settings: LiveSettings | None = None
     chaos: ChaosSettings | None = None
+    fleet: FleetSettings | None = None
     config: BaselineConfig = BASELINE
     tolerance: float = 0.05
     workers: int | None = None
@@ -95,13 +104,21 @@ class RunSpec:
             return ChaosSettings(live=self.settings)
         return chaos_smoke_settings(self.seed)
 
+    def resolved_fleet(self) -> FleetSettings:
+        """The fleet knobs: explicit, or the seeded fleet preset."""
+        return (
+            self.fleet
+            if self.fleet is not None
+            else fleet_smoke_settings(self.seed)
+        )
+
 
 @dataclass(frozen=True)
 class RunReport:
     """The common result shape every :class:`Session` method returns.
 
     Attributes:
-        kind: ``"loadtest"``, ``"chaos"``, ``"sweep"``,
+        kind: ``"loadtest"``, ``"chaos"``, ``"fleet"``, ``"sweep"``,
             ``"sensitivity"`` or ``"bench"``.
         ratios: The paper's four ratios, when the run produces a single
             headline set (loadtest and chaos); None otherwise.
@@ -224,6 +241,47 @@ class Session:
             kind="chaos",
             ratios=report.faulted.ratios,
             observed=report.faulted.observed,
+            detail=report,
+        )
+
+    def fleet(
+        self, *, smoke: bool = False, fault_plan: FaultPlan | None = None
+    ) -> RunReport:
+        """Run the proxy fleet against the single tier; report the ratios.
+
+        Args:
+            smoke: Run the standard fleet smoke — the run twice, assert
+                bit-identical counters, and require every ratio to beat
+                the single-tier deployment (what ``repro fleet --smoke``
+                and CI do).
+            fault_plan: Scripted faults applied to the fleet arm only.
+
+        Returns:
+            A :class:`RunReport` whose ``ratios`` compare the fleet to
+            the no-speculation demand baseline and whose ``detail`` is
+            the full :class:`~repro.fleet.service.FleetReport`
+            (including the single-tier ratios at equal total storage).
+
+        Raises:
+            RuntimeProtocolError: On conservation violations, or (in
+                smoke mode) non-determinism or a ratio the fleet fails
+                to improve.
+        """
+        spec = self.spec
+        if smoke:
+            report = execute_fleet_smoke(spec.seed, obs=spec.obs)
+        else:
+            report = execute_fleet(
+                spec.resolved_workload(),
+                spec.resolved_fleet(),
+                config=spec.config,
+                fault_plan=fault_plan,
+                obs=spec.obs,
+            )
+        return RunReport(
+            kind="fleet",
+            ratios=report.ratios,
+            observed=report.observed,
             detail=report,
         )
 

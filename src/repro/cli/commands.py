@@ -600,6 +600,83 @@ def cmd_chaos(args) -> None:
     )
 
 
+def cmd_fleet(args) -> None:
+    """``repro fleet`` — hierarchical proxy fleet vs the single tier."""
+    import json as _json
+
+    from ..fleet import FleetSettings, execute_fleet, execute_fleet_smoke
+    from ..obs import ObsConfig
+    from ..runtime import smoke_workload
+    from ..workload import preset
+
+    obs = ObsConfig(trace=True) if args.trace_out else ObsConfig()
+    try:
+        if args.smoke:
+            # The CI gate after `repro chaos --smoke`: the full fleet run
+            # twice, bit-identical counters required, every ratio must
+            # beat the single-tier deployment (exit 3 otherwise).
+            report = execute_fleet_smoke(args.seed, obs=obs)
+        else:
+            try:
+                workload = (
+                    smoke_workload(args.seed)
+                    if args.preset == "smoke"
+                    else preset(args.preset, args.seed)
+                )
+            except ReproError as error:
+                raise CommandError(str(error)) from error
+            settings = FleetSettings(
+                budget_bytes=args.budget_mb * 1e6,
+                policy=args.policy,
+                probe_siblings=args.probe_siblings,
+                region_fraction=args.region_fraction,
+                seed=args.seed,
+            )
+            report = execute_fleet(workload, settings, obs=obs)
+    except (RuntimeProtocolError, TransportError):
+        raise  # mapped to dedicated exit codes by main()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    if args.trace_out:
+        jsonl = report.observed.trace_jsonl() if report.observed else ""
+        Path(args.trace_out).write_text(jsonl, encoding="utf-8")
+
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "plan": report.plan,
+                    "improvement": {
+                        name: list(pair)
+                        for name, pair in report.improvement().items()
+                    },
+                    "fleet": report.fleet,
+                    "single": report.single,
+                    "demand": report.demand,
+                },
+                sort_keys=True,
+            )
+        )
+        return
+    print(report.format())
+    summary = report.plan
+    tiers = ", ".join(
+        f"{count} {tier}" for tier, count in summary["tiers"].items()
+    )
+    print(
+        f"plan: {summary['policy']} ({summary['nodes']} nodes: {tiers}), "
+        f"{summary['stored_bytes']:,} of {summary['budget_bytes']:,.0f} "
+        "bytes placed"
+    )
+    for name, (fleet_value, single_value) in report.improvement().items():
+        sign = "<" if fleet_value < single_value else ">="
+        print(
+            f"  {name:12s} fleet {fleet_value:.4f} {sign} "
+            f"single {single_value:.4f}"
+        )
+
+
 def cmd_serve(args) -> None:
     """``repro serve`` — a real TCP origin server on a synthetic catalog."""
     import asyncio
@@ -694,7 +771,16 @@ def cmd_bench(args) -> None:
     if args.repeats is not None and args.repeats < 1:
         raise CommandError("--repeats must be >= 1")
     section = perf.run_scale(scale, repeats=args.repeats)
-    report = perf.build_report({scale: section})
+    # The perf layer sits below the fleet, so the fleet smoke is handed
+    # down as a plain callable; its wall median is baseline-gated too.
+    from ..fleet import execute_fleet_smoke
+
+    fleet_section = perf.time_wall(
+        "fleet_smoke",
+        lambda: execute_fleet_smoke(0),
+        repeats=args.repeats if args.repeats is not None else 3,
+    )
+    report = perf.build_report({scale: section, "fleet-smoke": fleet_section})
 
     baseline_path = Path(args.baseline)
     baseline = perf.load_baseline(baseline_path)
@@ -708,6 +794,9 @@ def cmd_bench(args) -> None:
             print(f"  {name:<20} {medians[name] * 1e3:8.1f} ms")
         for metric, achieved in sorted(section["speedups"].items()):
             print(f"  sparse {metric} speedup: {achieved:.2f}x")
+        fleet_medians = fleet_section["medians_seconds"]
+        for name in sorted(fleet_medians):
+            print(f"  {name:<20} {fleet_medians[name] * 1e3:8.1f} ms")
 
     if args.update_baseline:
         # Floors still apply so an under-floor run cannot become the

@@ -327,6 +327,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(handler=commands.cmd_chaos)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run the hierarchical proxy fleet (region + subnet caches, "
+        "sibling probes) against a single-tier deployment at equal "
+        "total storage",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--preset",
+        default="smoke",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    fleet.add_argument(
+        "--policy",
+        default="hierarchical",
+        choices=[
+            "hierarchical",
+            "cooperative",
+            "power-of-d",
+            "greedy",
+            "geographic",
+        ],
+        help="fleet placement policy",
+    )
+    fleet.add_argument(
+        "--budget-mb",
+        type=float,
+        default=2.0,
+        help="total storage budget in MB across every fleet node",
+    )
+    fleet.add_argument(
+        "--probe-siblings",
+        type=int,
+        default=2,
+        help="siblings probed on a node-local miss (0 disables probing)",
+    )
+    fleet.add_argument(
+        "--region-fraction",
+        type=float,
+        default=0.65,
+        help="fraction of each region's share kept at the region node",
+    )
+    fleet.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic CI gate: run twice, require bit-identical "
+        "counters and every ratio to beat the single tier (exit 3 on "
+        "failure)",
+    )
+    fleet.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the fleet arm's per-node trace as JSONL to this path",
+    )
+    fleet.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    fleet.set_defaults(handler=commands.cmd_fleet)
+
     serve = subparsers.add_parser(
         "serve",
         help="serve a synthetic catalog over real TCP with in-band "

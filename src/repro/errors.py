@@ -27,8 +27,14 @@ class CalibrationError(ReproError):
     """A synthetic workload failed to meet a calibration target."""
 
 
-class TopologyError(ReproError):
-    """A routing tree or cluster definition is malformed."""
+class TopologyError(ReproError, ValueError):
+    """A routing tree or cluster definition is malformed or queried badly.
+
+    Also subclasses :class:`ValueError` so callers probing a tree with
+    unvalidated node ids (e.g. ``hops_from`` / ``subtree_leaves`` on an
+    unknown id) can catch the standard exception without importing the
+    library hierarchy.
+    """
 
 
 class AllocationError(ReproError):

@@ -1,0 +1,67 @@
+"""Load generation for fleet runs: path-aware bytes × hops accounting.
+
+The single-tier load generator can infer hop counts from geometry alone
+(a reply came either from the client's proxy or from the origin).  In a
+fleet, a reply may have travelled entry node → sibling → parent →
+origin chains of any shape, so fleet replies carry ``path_hops`` — the
+tree edges accumulated **above** the client's entry node — and the
+client adds its own leg below the entry node.  Everything else
+(admission control, retries, caches, digests) is inherited unchanged
+from :class:`~repro.runtime.loadgen.LoadGenerator`.
+"""
+
+from __future__ import annotations
+
+from ..runtime.loadgen import ClientRoute, LoadGenerator
+from ..speculation.caches import ClientCache
+from ..trace.records import Request
+
+
+class FleetLoadGenerator(LoadGenerator):
+    """A load generator that costs replies by their travelled path."""
+
+    def _account(
+        self,
+        route: ClientRoute,
+        request: Request,
+        payload: dict,
+        cache: ClientCache,
+    ) -> None:
+        """Attribute one reply in batch-identical cost units.
+
+        ``hops = (client → entry node) + path_hops``.  Replies without
+        ``path_hops`` (a client routed straight at the origin) fall
+        back to the full root path.  Riders travelled with the demand
+        reply, so they pay the same hop count — cheaper than
+        origin-side speculation whenever the serving node sits below
+        the root, which is exactly the fleet's bandwidth advantage.
+        """
+        metrics = self.metrics
+        config = self._config
+        depth = route.depth
+        size = int(payload.get("size", request.size))
+        served_by = payload.get("served_by", self._origin_name)
+        travelled = payload.get("path_hops")
+        if isinstance(travelled, (int, float)):
+            hops = (depth - route.target_depth) + int(travelled)
+        else:
+            hops = depth
+
+        metrics.counter("received_bytes").inc(size)
+        if served_by == self._origin_name:
+            metrics.counter("origin_requests").inc()
+        else:
+            metrics.counter("proxy_requests").inc()
+        metrics.counter("bytes_hops").inc(size * hops)
+        metrics.counter("service_cost").inc(
+            config.serv_cost
+            + config.comm_cost * size * (hops / depth if depth else 1.0)
+        )
+        cache.insert(request.doc_id, size)
+
+        for entry in payload.get("speculated", ()):
+            rider_id, rider_size = str(entry[0]), int(entry[1])
+            metrics.counter("speculated_documents").inc()
+            metrics.counter("speculated_bytes").inc(rider_size)
+            metrics.counter("bytes_hops").inc(rider_size * hops)
+            cache.insert(rider_id, rider_size)

@@ -1,0 +1,514 @@
+"""One fleet cache node: local hit, sibling probe, parent, origin.
+
+A :class:`FleetNode` runs the deterministic lookup protocol at one
+caching node of the routing tree:
+
+1. **Local**: the document is among this node's disseminated holdings —
+   serve it (optionally with locally-speculated riders) at zero extra
+   path hops.
+2. **Sibling probe**: ask up to ``d`` same-parent siblings, one at a
+   time in deterministic order.  A probe is a normal ``request`` with a
+   ``probe`` flag; the probed node answers **only** from its own
+   holdings (a protocol-error reply signals a probe miss) so probes can
+   never recurse or loop.
+3. **Parent**: forward to the upstream caching node (which runs the
+   same protocol) behind the standard circuit breaker with seeded
+   retry backoff.
+4. **Origin**: the recursion's base case — the root upstream is the
+   origin server itself.
+
+Replies accumulate ``path_hops``, the tree edges the document travelled
+*above* the client's entry node, so the load generator can attribute
+bytes × hops exactly (the client adds its own leg below the entry
+node).  Failure semantics mirror
+:class:`~repro.runtime.proxy.ProxyNode`: open breakers fast-fail and
+queue misses, restarts lose volatile holdings until a re-push, and
+retried demands are counted as duplicate service — with every counter
+labelled ``fleet.<node>.*`` so multi-node runs never collide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+
+from ..config import BASELINE, BaselineConfig
+from ..errors import RuntimeProtocolError, TransportError
+from ..runtime.messages import Message, make_error, make_request, make_response
+from ..runtime.metrics import MetricsRegistry, default_registry
+from ..runtime.resilience import (
+    BREAKER_OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    DuplicateFilter,
+    retry_rng,
+)
+from ..runtime.transport import Endpoint
+from ..speculation.dependency import DependencyModel
+from ..speculation.policies import SpeculationPolicy
+from ..trace.records import Document
+from .plan import FleetNodeSpec, _hashed_rank
+
+
+class FleetNode:
+    """Protocol logic of one fleet cache; bind ``handle`` to its endpoint.
+
+    Args:
+        spec: The node's planned geometry (upstream, siblings,
+            distances) and initial holdings.
+        endpoint: The node's own endpoint (used for probes/forwards).
+        metrics: Shared metrics registry; counters are labelled
+            ``fleet.<name>.*``.
+        directory: ``doc_id → sibling names`` probe map from the plan
+            (directory mode); ignored in hashed mode.
+        probe_mode: ``"directory"`` or ``"hashed"`` sibling choice.
+        probe_siblings: Max siblings probed per miss (``d``); 0
+            disables probing.
+        probe_timeout: Per-probe timeout in (virtual) seconds.
+        model: Frozen dependency model for local speculation; None
+            disables node-side riders.
+        policy: Speculation policy sharing the origin's semantics;
+            riders are restricted to this node's own holdings (a cache
+            can only push bytes it actually has).
+        catalog: Full document catalog (rider candidate lookup).
+        config: Cost model (``max_size`` caps riders).
+        upstream_timeout: Per-forward timeout (None waits forever).
+        breaker: Upstream circuit breaker; a default one is built when
+            omitted.
+        backoff: Retry backoff policy for upstream forwards.
+        forward_retries: Extra upstream attempts after a transport
+            failure.
+        backoff_seed: Seeds this node's retry-jitter RNG.
+        miss_queue_limit: Bound on misses queued while the upstream is
+            unreachable.
+    """
+
+    def __init__(
+        self,
+        spec: FleetNodeSpec,
+        endpoint: Endpoint,
+        *,
+        metrics: MetricsRegistry | None = None,
+        directory: dict[str, tuple[str, ...]] | None = None,
+        probe_mode: str = "directory",
+        probe_siblings: int = 2,
+        probe_timeout: float | None = 5.0,
+        model: DependencyModel | None = None,
+        policy: SpeculationPolicy | None = None,
+        catalog: dict[str, Document] | None = None,
+        config: BaselineConfig = BASELINE,
+        upstream_timeout: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        backoff: BackoffPolicy | None = None,
+        forward_retries: int = 1,
+        backoff_seed: int = 0,
+        miss_queue_limit: int = 64,
+    ):
+        self.name = spec.name
+        self.spec = spec
+        self._endpoint = endpoint
+        self._holdings: dict[str, int] = dict(spec.holdings)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._directory = dict(directory or {})
+        self._probe_mode = probe_mode
+        self._probe_siblings = max(0, probe_siblings)
+        self._probe_timeout = probe_timeout
+        self._model = model
+        self._policy = policy
+        self._catalog = dict(catalog or {})
+        self._config = config
+        self._upstream_timeout = upstream_timeout
+        if breaker is None:
+            reset = 2.0 * (upstream_timeout if upstream_timeout else 30.0)
+            breaker = CircuitBreaker(failure_threshold=4, reset_timeout=reset)
+        breaker.watch(self._breaker_transition)
+        self._breaker = breaker
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
+        self._forward_retries = max(0, forward_retries)
+        self._rng = retry_rng(backoff_seed, spec.name)
+        self._missed: OrderedDict[str, float] = OrderedDict()
+        self._miss_queue_limit = miss_queue_limit
+        self._dedupe = DuplicateFilter()
+        self._recovery_task: asyncio.Task[None] | None = None
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def holdings(self) -> dict[str, int]:
+        """Current holdings (``doc_id → size``), a defensive copy."""
+        return dict(self._holdings)
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The upstream circuit breaker (exposed for tests and chaos)."""
+        return self._breaker
+
+    @property
+    def queued_misses(self) -> tuple[str, ...]:
+        """Doc ids queued while the upstream was unreachable."""
+        return tuple(self._missed)
+
+    def _counter(self, suffix: str):
+        return self.metrics.counter(f"fleet.{self.name}.{suffix}")
+
+    def _breaker_transition(self, old_state: str, new_state: str) -> None:
+        self._counter(f"breaker.{new_state}").inc()
+        self.metrics.record_event(
+            self._loop_time(), f"breaker:{self.name}:{old_state}->{new_state}"
+        )
+
+    def _loop_time(self) -> float:
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:  # outside a loop (unit tests)
+            return 0.0
+
+    def on_crash(self) -> None:
+        """Fault hook: the process died — volatile holdings are lost."""
+        lost = len(self._holdings)
+        self._holdings = {}
+        self._missed.clear()
+        self._counter("crashes").inc()
+        if lost:
+            self._counter("holdings_lost").inc(lost)
+
+    def on_restart(self) -> None:
+        """Fault hook: back up, empty-handed until holdings are re-pushed."""
+        self._counter("restarts").inc()
+
+    async def close(self) -> None:
+        """Cancel the background miss-recovery task, if any."""
+        task = self._recovery_task
+        self._recovery_task = None
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    # -- protocol -------------------------------------------------------------
+
+    async def handle(self, message: Message) -> Message | None:
+        """Serve, probe-answer, forward, or apply a push."""
+        if message.kind == "push":
+            return self._apply_push(message)
+        if message.kind == "request":
+            return await self._serve(message)
+        return make_error(
+            self.name,
+            message.request_id,
+            "protocol",
+            f"fleet node cannot handle kind {message.kind!r}",
+        )
+
+    def _apply_push(self, message: Message) -> Message:
+        documents = message.payload.get("documents")
+        if not isinstance(documents, list):
+            return make_error(
+                self.name, message.request_id, "protocol",
+                "push needs a documents list",
+            )
+        mode = message.payload.get("mode", "replace")
+        incoming: dict[str, int] = {}
+        for entry in documents:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+            ):
+                # one malformed entry poisons the whole push
+                return make_error(
+                    self.name, message.request_id, "protocol",
+                    "push entries must be (doc_id, size) pairs",
+                )
+            incoming[entry[0]] = int(entry[1])
+        if mode == "replace":
+            self._holdings = incoming
+        else:
+            self._holdings.update(incoming)
+        pushed_bytes = 0
+        for size in incoming.values():
+            pushed_bytes += size
+        self._counter("pushes").inc()
+        self._counter("pushed_bytes").inc(pushed_bytes)
+        self.metrics.trace_event(
+            "push",
+            time=self._loop_time(),
+            proxy=self.name,
+            documents=len(incoming),
+            bytes=pushed_bytes,
+            mode=str(mode),
+        )
+        return Message(
+            kind="ack",
+            sender=self.name,
+            request_id=message.request_id,
+            payload={"documents": len(incoming)},
+            body_bytes=16,
+        )
+
+    def _local_riders(
+        self, doc_id: str, cached: set[str]
+    ) -> list[tuple[str, int]]:
+        """Riders this node can push from its own holdings.
+
+        The footnote-5 refinement: the node speculates from the shared
+        dependency model but can only send documents dissemination
+        actually placed here.
+        """
+        if self._policy is None or self._model is None:
+            return []
+        riders: list[tuple[str, int]] = []
+        for candidate in self._policy.select(
+            doc_id, self._model, self._catalog
+        ):
+            size = self._holdings.get(candidate.doc_id)
+            if size is None or size > self._config.max_size:
+                continue
+            if candidate.doc_id in cached:
+                continue
+            riders.append((candidate.doc_id, size))
+        return riders
+
+    def _local_response(
+        self, message: Message, doc_id: str, size: int, *, probe: bool
+    ) -> Message:
+        demand_key = message.payload.get("req")
+        duplicate = (
+            isinstance(demand_key, str)
+            and bool(demand_key)
+            and self._dedupe.seen(demand_key)
+        )
+        if duplicate:
+            self._counter("duplicate_requests").inc()
+            self._counter("duplicate_bytes").inc(size)
+        else:
+            self._counter("hits").inc()
+            self._counter("bytes_served").inc(size)
+            if self._breaker.state == BREAKER_OPEN:
+                # Partitioned from upstream but still serving what
+                # dissemination left here (the paper's immutable copies).
+                self._counter("stale_serves").inc()
+
+        cached = {str(entry) for entry in message.payload.get("digest", ())}
+        cached.add(doc_id)
+        riders = self._local_riders(doc_id, cached)
+        for rider_id, rider_size in riders:
+            if duplicate:
+                self._counter("duplicate_bytes").inc(rider_size)
+            else:
+                self._counter("speculated_documents").inc()
+                self._counter("speculated_bytes").inc(rider_size)
+        response = make_response(
+            self.name,
+            message.request_id,
+            doc_id,
+            size,
+            self.name,
+            speculated=riders,
+        )
+        response.payload["path_hops"] = 0
+        if self.metrics.tracer is not None and not duplicate:
+            self.metrics.trace_event(
+                "fleet-serve",
+                time=self._loop_time(),
+                node=self.name,
+                doc=doc_id,
+                source="probe" if probe else "local",
+                riders=len(riders),
+            )
+        return response
+
+    def _queue_miss(self, doc_id: str, timestamp: float) -> None:
+        if doc_id in self._missed:
+            return
+        if len(self._missed) >= self._miss_queue_limit:
+            self._counter("miss_queue_overflow").inc()
+            return
+        self._missed[doc_id] = timestamp
+        self._counter("queued_misses").inc()
+
+    def _schedule_recovery(self) -> None:
+        if not self._missed:
+            return
+        if self._recovery_task is not None and not self._recovery_task.done():
+            return
+        loop = asyncio.get_running_loop()
+        self._recovery_task = loop.create_task(self._recover_misses())
+
+    async def _recover_misses(self) -> None:
+        """Fetch queued misses into holdings once the upstream is back."""
+        while self._missed:
+            doc_id, timestamp = next(iter(self._missed.items()))
+            message = make_request(
+                self.name,
+                self._endpoint.next_request_id(),
+                doc_id,
+                timestamp,
+            )
+            try:
+                reply = await self._endpoint.call(
+                    self.spec.upstream, message, timeout=self._upstream_timeout
+                )
+            except TransportError:
+                self._breaker.record_failure()
+                return  # upstream flaky again; retry on the next close
+            except RuntimeProtocolError:
+                # e.g. the document no longer exists; drop it for good.
+                # Safe window: pop(doc_id, None) tolerates a concurrent
+                # _queue_miss re-adding the key — it just re-queues and
+                # the next while-pass re-reads fresh state.
+                self._missed.pop(doc_id, None)  # repro-lint: disable=A001
+                continue
+            self._breaker.record_success()
+            # Safe window: same pop-with-default idiom as above.
+            self._missed.pop(doc_id, None)  # repro-lint: disable=A001
+            size = reply.payload.get("size")
+            if isinstance(size, (int, float)):
+                self._holdings[doc_id] = int(size)
+                self._counter("recovered_misses").inc()
+
+    def _probe_targets(self, doc_id: str) -> tuple[str, ...]:
+        """Siblings to probe for one miss, in deterministic order."""
+        if self._probe_siblings <= 0 or not self.spec.siblings:
+            return ()
+        if self._probe_mode == "hashed":
+            ranked = sorted(
+                self.spec.siblings,
+                key=lambda sibling: _hashed_rank(doc_id, sibling),
+            )
+            return tuple(ranked[: self._probe_siblings])
+        listed = self._directory.get(doc_id, ())
+        return tuple(listed[: self._probe_siblings])
+
+    async def _probe(self, sibling: str, message: Message) -> Message | None:
+        """One sibling probe; None on miss or transport failure."""
+        # Fresh correlation id per probe: a slow probe reply must never
+        # be mistaken for the upstream forward that follows it.
+        probe = Message(
+            kind="request",
+            sender=self.name,
+            request_id=self._endpoint.next_request_id(),
+            payload=dict(message.payload, probe=True),
+            body_bytes=message.body_bytes,
+        )
+        try:
+            reply = await self._endpoint.call(
+                sibling, probe, timeout=self._probe_timeout
+            )
+        except TransportError:
+            self._counter("probe_failures").inc()
+            self._trace_probe(sibling, message, hit=False)
+            return None
+        except RuntimeProtocolError:
+            self._counter("probe_misses").inc()
+            self._trace_probe(sibling, message, hit=False)
+            return None
+        self._counter("sibling_hits").inc()
+        self._trace_probe(sibling, message, hit=True)
+        return reply
+
+    def _trace_probe(self, sibling: str, message: Message, *, hit: bool) -> None:
+        if self.metrics.tracer is None:
+            return
+        self.metrics.trace_event(
+            "fleet-probe",
+            time=self._loop_time(),
+            node=self.name,
+            sibling=sibling,
+            doc=str(message.payload.get("doc_id")),
+            hit=hit,
+        )
+
+    def _relay(self, message: Message, reply: Message, extra_hops: int) -> Message:
+        """Pass a reply down, accumulating the hops it travelled."""
+        payload = dict(reply.payload)
+        travelled = payload.get("path_hops")
+        base = int(travelled) if isinstance(travelled, (int, float)) else 0
+        payload["path_hops"] = base + extra_hops
+        return Message(
+            kind="response",
+            sender=self.name,
+            request_id=message.request_id,
+            payload=payload,
+            body_bytes=reply.body_bytes,
+        )
+
+    async def _serve(self, message: Message) -> Message:
+        doc_id = message.payload.get("doc_id")
+        if not isinstance(doc_id, str):
+            return make_error(
+                self.name, message.request_id, "protocol",
+                "request needs a doc_id",
+            )
+        probe = bool(message.payload.get("probe"))
+        size = self._holdings.get(doc_id)
+        if size is not None:
+            return self._local_response(message, doc_id, size, probe=probe)
+        if probe:
+            # Probes answer only from local holdings — never recurse —
+            # so sibling lookups cannot loop.
+            self._counter("probe_rejects").inc()
+            return make_error(
+                self.name, message.request_id, "protocol",
+                f"probe miss for {doc_id!r}",
+            )
+
+        for sibling in self._probe_targets(doc_id):
+            reply = await self._probe(sibling, message)
+            if reply is not None:
+                return self._relay(message, reply, self.spec.sibling_distance)
+
+        timestamp = message.payload.get("timestamp")
+        timestamp = float(timestamp) if isinstance(timestamp, (int, float)) else 0.0
+        if not self._breaker.allow():
+            # Fast-fail: don't burn an upstream timeout per miss while
+            # the breaker is open; remember the miss for recovery.
+            self._queue_miss(doc_id, timestamp)
+            self._counter("breaker_fast_fails").inc()
+            return make_error(
+                self.name, message.request_id, "transport",
+                f"upstream {self.spec.upstream!r} unavailable (circuit open)",
+            )
+
+        self._counter("forwards").inc()
+        forwarded = Message(
+            kind="request",
+            sender=self.name,
+            request_id=message.request_id,
+            payload=dict(message.payload),
+            body_bytes=message.body_bytes,
+        )
+        attempts = 1 + self._forward_retries
+        for attempt in range(attempts):
+            try:
+                reply = await self._endpoint.call(
+                    self.spec.upstream,
+                    forwarded,
+                    timeout=self._upstream_timeout,
+                )
+            except TransportError as err:
+                self._breaker.record_failure()
+                if attempt + 1 < attempts and self._breaker.allow():
+                    self._counter("forward_retries").inc()
+                    delay = self._backoff.delay(attempt, self._rng)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    continue
+                self._queue_miss(doc_id, timestamp)
+                return make_error(
+                    self.name, message.request_id, "transport",
+                    f"upstream {self.spec.upstream!r} unreachable: {err}",
+                )
+            except RuntimeProtocolError as err:
+                # The upstream answered (connectivity is fine): the
+                # request itself is bad, and retrying cannot fix it.
+                self._breaker.record_success()
+                return make_error(
+                    self.name, message.request_id, "protocol", str(err)
+                )
+            self._breaker.record_success()
+            self._schedule_recovery()
+            return self._relay(message, reply, self.spec.upstream_distance)
+        raise AssertionError("unreachable: forward loop always returns")

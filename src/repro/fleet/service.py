@@ -1,0 +1,644 @@
+"""Wiring: run a proxy fleet live and gate it against the single tier.
+
+:func:`execute_fleet` replays one workload's serving half **three**
+times on the in-memory transport under the virtual clock:
+
+* **demand** — the ratio denominator: the single-tier deployment with
+  empty caches and no speculation anywhere.
+* **single** — the pre-fleet arrangement: one proxy per region, every
+  region replicating the same origin-computed dissemination plan, with
+  origin-side speculation.  Each replica holds a ``1/R`` share so the
+  arm uses the same **total** storage as the fleet.
+* **fleet** — the hierarchical fleet from
+  :func:`~repro.fleet.plan.build_fleet_plan`: per-region and per-subnet
+  nodes, per-subtree demand-driven holdings, the local → sibling →
+  parent → origin lookup, and per-node speculative service.
+
+The headline gate (:meth:`FleetReport.require_improvement`) asserts the
+paper's four ratios are all better for the fleet than for the
+single-tier deployment at equal total storage, and
+:func:`execute_fleet_smoke` additionally proves the whole report is
+bit-identical across repeated seeded runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from ..config import BASELINE, BaselineConfig
+from ..core.planner import DisseminationPlanner
+from ..errors import RuntimeProtocolError, SimulationError, TransportError
+from ..obs import (
+    ArmObservations,
+    ObsBundle,
+    ObsConfig,
+    RunObservations,
+    run_manifest,
+)
+from ..runtime.clock import run_virtual
+from ..runtime.estimator import OnlineDependencyEstimator
+from ..runtime.faults import FaultInjector, FaultPlan
+from ..runtime.loadgen import ClientRoute, LoadConfig
+from ..runtime.messages import Message
+from ..runtime.metrics import live_ratios, verify_conservation
+from ..runtime.origin import OriginServer
+from ..runtime.service import smoke_workload
+from ..runtime.transport import InMemoryNetwork
+from ..speculation.dependency import DependencyModel
+from ..speculation.metrics import SpeculationRatios
+from ..speculation.policies import SpeculationPolicy, ThresholdPolicy
+from ..topology.builder import build_clientele_tree
+from ..topology.tree import RoutingTree
+from ..trace.records import Trace
+from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
+from .loadgen import FleetLoadGenerator
+from .node import FleetNode
+from .plan import FleetPlan, build_fleet_plan, build_single_tier_plan
+
+#: The four headline ratios, in report order.
+RATIO_NAMES = ("bandwidth", "server_load", "service_time", "miss_rate")
+
+
+@dataclass(frozen=True)
+class FleetSettings:
+    """Knobs for one fleet run.
+
+    Attributes:
+        budget_bytes: **Total** storage across every caching node; the
+            single-tier comparison arm divides the same total across
+            its region replicas.
+        policy: Placement policy (see
+            :data:`~repro.fleet.plan.FLEET_POLICIES`).
+        probe_siblings: Max siblings probed per miss (``d``).
+        probe_timeout: Per-probe timeout in virtual seconds.
+        region_fraction: Share of each region's budget kept at the
+            region node; the rest goes to its subnets.
+        node_speculation: Fleet nodes push riders from their own
+            holdings (the footnote-5 per-proxy speculative service).
+        concurrency: Load-generator admission-control cap.
+        request_timeout: Per-attempt client/forward timeout.
+        retries: Client retries per request after a timeout.
+        train_fraction: Leading trace fraction used as history.
+        cooperative: Piggyback client cache digests on requests.
+        seed: Seeds the network and every backoff RNG.
+        drop_probability: Frame-drop rate (exercises retry paths).
+        schedule_seed: When not ``None``, perturb same-deadline timer
+            order (the race gate; results must not change).
+    """
+
+    budget_bytes: float = 2_000_000.0
+    policy: str = "hierarchical"
+    probe_siblings: int = 2
+    probe_timeout: float = 5.0
+    region_fraction: float = 0.65
+    node_speculation: bool = True
+    concurrency: int = 32
+    request_timeout: float = 30.0
+    retries: int = 1
+    train_fraction: float = 0.5
+    cooperative: bool = True
+    seed: int = 0
+    drop_probability: float = 0.0
+    schedule_seed: int | None = None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything one fleet run produced.
+
+    Attributes:
+        demand: Snapshot of the demand-only arm (ratio denominator).
+        single: Snapshot of the single-tier arm at equal total storage.
+        fleet: Snapshot of the fleet arm.
+        ratios: The four ratios, fleet vs. demand.
+        single_ratios: The four ratios, single-tier vs. demand.
+        plan: The fleet plan's summary (policy, tiers, stored bytes).
+        observed: Fleet/demand traces + time series when an enabled
+            :class:`~repro.obs.ObsConfig` was passed; None otherwise.
+    """
+
+    demand: dict[str, Any]
+    single: dict[str, Any]
+    fleet: dict[str, Any]
+    ratios: SpeculationRatios
+    single_ratios: SpeculationRatios
+    plan: dict[str, Any]
+    observed: RunObservations | None = None
+
+    def improvement(self) -> dict[str, tuple[float, float]]:
+        """Per-ratio ``(fleet, single_tier)`` pairs, lower is better."""
+        pairs = zip(
+            RATIO_NAMES,
+            (
+                self.ratios.bandwidth_ratio,
+                self.ratios.server_load_ratio,
+                self.ratios.service_time_ratio,
+                self.ratios.miss_rate_ratio,
+            ),
+            (
+                self.single_ratios.bandwidth_ratio,
+                self.single_ratios.server_load_ratio,
+                self.single_ratios.service_time_ratio,
+                self.single_ratios.miss_rate_ratio,
+            ),
+        )
+        return {name: (fleet, single) for name, fleet, single in pairs}
+
+    def require_improvement(self, slack: float = 0.0) -> None:
+        """Assert every headline ratio beats the single tier.
+
+        Args:
+            slack: Absolute tolerance; 0 demands a strict improvement
+                on all four ratios.
+
+        Raises:
+            RuntimeProtocolError: When any fleet ratio fails to improve
+                on the single-tier deployment at equal total storage.
+        """
+        losing = {
+            name: pair
+            for name, pair in self.improvement().items()
+            if not pair[0] < pair[1] + slack
+        }
+        if losing:
+            detail = ", ".join(
+                f"{name} {fleet:.4f} vs single {single:.4f}"
+                for name, (fleet, single) in sorted(losing.items())
+            )
+            raise RuntimeProtocolError(
+                f"fleet fails to improve on the single tier at equal "
+                f"total storage: {detail}"
+            )
+
+    def format(self) -> str:
+        """Human-readable two-row ratio comparison."""
+        lines = [
+            f"fleet  ({self.plan.get('policy')}): {self.ratios.format()}",
+            f"single (replicated):  {self.single_ratios.format()}",
+        ]
+        return "\n".join(lines)
+
+
+def _entry_routes(
+    tree: RoutingTree, plan: FleetPlan, clients: set[str]
+) -> dict[str, ClientRoute]:
+    """Each client's entry node: its deepest caching ancestor."""
+    sites = set(plan.node_names())
+    routes: dict[str, ClientRoute] = {}
+    for client in clients:
+        path = tree.path_from_root(client)
+        entry = None
+        for node in reversed(path[:-1]):
+            if node in sites:
+                entry = node
+                break
+        if entry is None:
+            routes[client] = ClientRoute(
+                target=tree.root, target_depth=0, depth=tree.depth(client)
+            )
+        else:
+            routes[client] = ClientRoute(
+                target=entry,
+                target_depth=tree.depth(entry),
+                depth=tree.depth(client),
+            )
+    return routes
+
+
+def _tree_hop_count(tree: RoutingTree) -> Callable[[str, str], int]:
+    """A memoized tree-distance latency weight for the network."""
+    cache: dict[tuple[str, str], int] = {}
+
+    def hop_count(source: str, destination: str) -> int:
+        key = (source, destination)
+        hops = cache.get(key)
+        if hops is None:
+            if source in tree and destination in tree:
+                hops = tree.distance(source, destination)
+            else:
+                hops = 1
+            hops = hops if hops > 0 else 1
+            cache[key] = hops
+        return hops
+
+    return hop_count
+
+
+async def _repush_holdings(
+    endpoint, target: str, entries: tuple[tuple[str, int], ...], metrics, timeout
+) -> None:
+    """Anti-entropy: push one restarted node's planned holdings back."""
+    payload_bytes = sum(size for _, size in entries)
+    message = Message(
+        kind="push",
+        sender=endpoint.name,
+        request_id=endpoint.next_request_id(),
+        payload={
+            "documents": [[doc, size] for doc, size in entries],
+            "mode": "replace",
+        },
+        body_bytes=payload_bytes,
+    )
+    try:
+        await endpoint.call(target, message, timeout=timeout)
+    except TransportError:
+        metrics.counter("fleet.failed_repushes").inc()
+        return
+    metrics.counter("fleet.repushes").inc()
+    metrics.counter("fleet.repushed_bytes").inc(payload_bytes)
+
+
+async def _fleet_run_once(
+    serve: Trace,
+    tree: RoutingTree,
+    plan: FleetPlan,
+    routes: dict[str, ClientRoute],
+    *,
+    config: BaselineConfig,
+    settings: FleetSettings,
+    estimator: OnlineDependencyEstimator,
+    model: DependencyModel,
+    origin_policy: SpeculationPolicy | None,
+    node_policy: SpeculationPolicy | None,
+    fault_plan: FaultPlan | None = None,
+    obs: ObsConfig | None = None,
+) -> tuple[dict[str, Any], ArmObservations | None]:
+    """One full fleet replay; returns (snapshot, observations-or-None)."""
+    network = InMemoryNetwork(
+        seed=settings.seed,
+        drop_probability=settings.drop_probability,
+        hop_count=_tree_hop_count(tree),
+    )
+    bundle = ObsBundle.from_config(obs)
+    metrics = bundle.registry
+    metrics.bind_clock(asyncio.get_running_loop().time)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, seed=settings.seed, metrics=metrics)
+        network.attach_faults(injector)
+
+    origin_endpoint = network.endpoint(tree.root)
+    origin = OriginServer(
+        serve.documents,
+        estimator=estimator,
+        policy=origin_policy,
+        config=config,
+        metrics=metrics,
+        name=tree.root,
+    )
+    origin_endpoint.start(origin.handle)
+
+    endpoints = []
+    nodes: list[FleetNode] = []
+    for spec in plan.nodes:
+        endpoint = network.endpoint(spec.name)
+        directory = (
+            plan.directory_for(spec.name)
+            if plan.probe_mode == "directory"
+            else {}
+        )
+        node = FleetNode(
+            spec,
+            endpoint,
+            metrics=metrics,
+            directory=directory,
+            probe_mode=plan.probe_mode,
+            probe_siblings=settings.probe_siblings,
+            probe_timeout=settings.probe_timeout,
+            model=model,
+            policy=node_policy,
+            catalog=serve.documents,
+            config=config,
+            upstream_timeout=settings.request_timeout,
+            backoff_seed=settings.seed,
+        )
+        endpoint.start(node.handle)
+        endpoints.append(endpoint)
+        nodes.append(node)
+
+    repush_tasks: list[asyncio.Task[None]] = []
+    injector_task = None
+    if injector is not None:
+
+        def restart_hook(restarted: FleetNode) -> Callable[[], None]:
+            entries = restarted.spec.holdings
+
+            def hook() -> None:
+                restarted.on_restart()
+                if not entries:
+                    return
+                repush_tasks.append(
+                    asyncio.get_running_loop().create_task(
+                        _repush_holdings(
+                            origin_endpoint,
+                            restarted.name,
+                            entries,
+                            metrics,
+                            settings.request_timeout,
+                        )
+                    )
+                )
+
+            return hook
+
+        for node in nodes:
+            injector.register_node(
+                node.name,
+                on_crash=node.on_crash,
+                on_restart=restart_hook(node),
+            )
+        injector_task = asyncio.get_running_loop().create_task(injector.run())
+
+    generator = FleetLoadGenerator(
+        network,
+        routes,
+        serve.by_client(),
+        origin_name=tree.root,
+        config=config,
+        load=LoadConfig(
+            concurrency=settings.concurrency,
+            request_timeout=settings.request_timeout,
+            retries=settings.retries,
+            cooperative=settings.cooperative,
+            backoff_seed=settings.seed,
+        ),
+        metrics=metrics,
+    )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    try:
+        await generator.run()
+    finally:
+        background = [
+            task
+            for task in (injector_task, *repush_tasks)
+            if task is not None and not task.done()
+        ]
+        for task in background:
+            task.cancel()
+        if background:
+            await asyncio.gather(*background, return_exceptions=True)
+        for node in nodes:
+            await node.close()
+        for endpoint in endpoints:
+            await endpoint.close()
+        await origin_endpoint.close()
+
+    metrics.counter("run.virtual_seconds").inc(round(loop.time() - started, 9))
+    for name, amount in network.stats().items():
+        metrics.counter(f"network.{name}").inc(amount)
+    observed = (
+        bundle.observations() if obs is not None and obs.enabled else None
+    )
+    return metrics.snapshot(), observed
+
+
+class _FleetPrepared:
+    """Workload, topology and plan prep shared by every fleet arm."""
+
+    def __init__(
+        self,
+        workload: GeneratorConfig,
+        settings: FleetSettings,
+        config: BaselineConfig,
+    ):
+        self.settings = settings
+        self.config = config
+        trace = SyntheticTraceGenerator(workload).generate().remote_only()
+        if len(trace) < 10:
+            raise SimulationError("workload too small for a fleet run")
+
+        boundary = trace.start_time + settings.train_fraction * trace.duration
+        self.train = trace.window(trace.start_time, boundary)
+        self.serve = trace.window(boundary, trace.end_time + 1.0)
+        if len(self.train) == 0 or len(self.serve) == 0:
+            raise SimulationError(
+                "train/serve split produced an empty half; "
+                "adjust train_fraction or enlarge the workload"
+            )
+
+        self.tree = build_clientele_tree(trace)
+        self.model = DependencyModel.estimate(
+            self.train,
+            window=config.stride_timeout,
+            stride_timeout=config.stride_timeout,
+        )
+        self.policy = ThresholdPolicy(
+            threshold=config.threshold, max_size=config.max_size
+        )
+
+        self.fleet_plan = build_fleet_plan(
+            self.tree,
+            self.train,
+            budget_bytes=settings.budget_bytes,
+            policy=settings.policy,
+            region_fraction=settings.region_fraction,
+        )
+
+        serve_clients = self.serve.clients()
+        regions = sorted(
+            {
+                node
+                for client in serve_clients
+                for node in self.tree.path_from_root(client)
+                if node.startswith("region-")
+            }
+        )
+        if not regions:
+            raise SimulationError("no region covers any serving client")
+        planner = DisseminationPlanner(remote_only=True)
+        planner.add_server(self.tree.root, self.train)
+        single_plan = planner.plan(settings.budget_bytes / len(regions))
+        catalog = trace.documents
+        single_holdings = {
+            doc_id: catalog[doc_id].size
+            for doc_id in single_plan.documents.get(self.tree.root, ())
+            if doc_id in catalog
+        }
+        self.single_plan = build_single_tier_plan(
+            self.tree,
+            self.train,
+            budget_bytes=settings.budget_bytes,
+            regions=regions,
+            holdings=single_holdings,
+        )
+        self.demand_plan = self.single_plan.without_holdings()
+
+        self.fleet_routes = _entry_routes(
+            self.tree, self.fleet_plan, serve_clients
+        )
+        self.single_routes = _entry_routes(
+            self.tree, self.single_plan, serve_clients
+        )
+
+    def fresh_estimator(self) -> OnlineDependencyEstimator:
+        """A warm, frozen estimator; each arm gets its own."""
+        estimator = OnlineDependencyEstimator(
+            window=self.config.stride_timeout,
+            stride_timeout=self.config.stride_timeout,
+            learn=False,
+        )
+        estimator.warm(self.train)
+        return estimator
+
+    def arm(
+        self,
+        kind: str,
+        *,
+        fault_plan: FaultPlan | None = None,
+        obs: ObsConfig | None = None,
+    ) -> tuple[dict[str, Any], ArmObservations | None]:
+        """Run one arm (``demand`` / ``single`` / ``fleet``) virtually."""
+        if kind == "demand":
+            plan, routes = self.demand_plan, self.single_routes
+            origin_policy = node_policy = None
+        elif kind == "single":
+            plan, routes = self.single_plan, self.single_routes
+            origin_policy, node_policy = self.policy, None
+        elif kind == "fleet":
+            plan, routes = self.fleet_plan, self.fleet_routes
+            origin_policy = self.policy
+            node_policy = (
+                self.policy if self.settings.node_speculation else None
+            )
+        else:
+            raise SimulationError(f"unknown fleet arm {kind!r}")
+        return run_virtual(
+            _fleet_run_once(
+                self.serve,
+                self.tree,
+                plan,
+                routes,
+                config=self.config,
+                settings=self.settings,
+                estimator=self.fresh_estimator(),
+                model=self.model,
+                origin_policy=origin_policy,
+                node_policy=node_policy,
+                fault_plan=fault_plan,
+                obs=obs,
+            ),
+            schedule_seed=self.settings.schedule_seed,
+        )
+
+
+def execute_fleet(
+    workload: GeneratorConfig,
+    settings: FleetSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    fault_plan: FaultPlan | None = None,
+    obs: ObsConfig | None = None,
+) -> FleetReport:
+    """Run demand / single-tier / fleet arms and compare the ratios.
+
+    This is the engine behind :meth:`repro.api.Session.fleet` and the
+    ``repro fleet`` CLI verb.
+
+    Args:
+        workload: Synthetic workload configuration (seeded).
+        settings: Fleet knobs; defaults to :class:`FleetSettings`.
+        config: The paper's cost model and timeouts.
+        fault_plan: Optional scripted faults, applied to the fleet arm
+            only (the comparison arms stay clean references).
+        obs: Observability channels; the fleet arm's observations are
+            reported as ``speculative``, the demand arm's as
+            ``baseline``.
+
+    Returns:
+        A :class:`FleetReport` with all three snapshots and both ratio
+        sets.
+
+    Raises:
+        SimulationError: On an unusable workload or plan.
+        RuntimeProtocolError: On a byte/frame conservation violation.
+    """
+    settings = settings if settings is not None else FleetSettings()
+    prepared = _FleetPrepared(workload, settings, config)
+
+    demand_snap, demand_obs = prepared.arm("demand", obs=obs)
+    single_snap, _ = prepared.arm("single", obs=obs)
+    fleet_snap, fleet_obs = prepared.arm(
+        "fleet", fault_plan=fault_plan, obs=obs
+    )
+    strict = settings.drop_probability == 0.0 and fault_plan is None
+    verify_conservation(demand_snap, strict=strict)
+    verify_conservation(single_snap, strict=strict)
+    verify_conservation(fleet_snap, strict=strict)
+
+    observed = None
+    if fleet_obs is not None and demand_obs is not None:
+        observed = RunObservations(
+            speculative=fleet_obs,
+            baseline=demand_obs,
+            manifest=run_manifest(
+                seed=workload.seed,
+                config={
+                    "workload": asdict(workload),
+                    "settings": asdict(settings),
+                    "cost_model": asdict(config),
+                    "plan": prepared.fleet_plan.summary(),
+                },
+            ),
+        )
+    return FleetReport(
+        demand=demand_snap,
+        single=single_snap,
+        fleet=fleet_snap,
+        ratios=live_ratios(fleet_snap, demand_snap),
+        single_ratios=live_ratios(single_snap, demand_snap),
+        plan=prepared.fleet_plan.summary(),
+        observed=observed,
+    )
+
+
+def fleet_smoke_settings(seed: int = 0) -> FleetSettings:
+    """The deterministic knobs ``repro fleet --smoke`` runs with."""
+    return FleetSettings(seed=seed)
+
+
+def _canonical_counters(report: FleetReport) -> str:
+    """Canonical JSON of all three arms' counters (determinism check)."""
+    return json.dumps(
+        {
+            "demand": report.demand.get("counters", {}),
+            "single": report.single.get("counters", {}),
+            "fleet": report.fleet.get("counters", {}),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def execute_fleet_smoke(
+    seed: int = 0,
+    *,
+    obs: ObsConfig | None = None,
+) -> FleetReport:
+    """The ``repro fleet --smoke`` self-test.
+
+    Runs the smoke workload through :func:`execute_fleet` **twice** and
+    requires byte-identical counters across the repeats (the
+    determinism gate), then asserts the four headline ratios improve on
+    the single-tier deployment at equal total storage — the check CI
+    runs after the chaos gate.
+
+    Raises:
+        RuntimeProtocolError: On any nondeterminism between repeats, a
+            conservation violation, or a ratio that fails to improve.
+    """
+    report = execute_fleet(
+        smoke_workload(seed), fleet_smoke_settings(seed), obs=obs
+    )
+    repeat = execute_fleet(smoke_workload(seed), fleet_smoke_settings(seed))
+    first, second = _canonical_counters(report), _canonical_counters(repeat)
+    if first != second:
+        raise RuntimeProtocolError(
+            "fleet smoke run is not deterministic: repeated seeded runs "
+            "produced different counters"
+        )
+    report.require_improvement()
+    return report

@@ -31,6 +31,7 @@ from .timeseries import (
     MetricsRegistry,
     TimeSample,
     TimeSeriesRecorder,
+    bandwidth_curve,
     ratio_curve,
     ratios_from_counters,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "default_registry",
     "events_to_jsonl",
     "prometheus_text",
+    "bandwidth_curve",
     "ratio_curve",
     "ratios_from_counters",
     "run_manifest",
@@ -179,6 +181,17 @@ class RunObservations:
         ):
             return []
         return ratio_curve(
+            self.speculative.timeseries, self.baseline.timeseries
+        )
+
+    def bandwidth_curve(self) -> list[tuple[float, float]]:
+        """Per-window bytes × hops ratio; empty when time-series were off."""
+        if (
+            self.speculative.timeseries is None
+            or self.baseline.timeseries is None
+        ):
+            return []
+        return bandwidth_curve(
             self.speculative.timeseries, self.baseline.timeseries
         )
 

@@ -410,3 +410,38 @@ def ratio_curve(
         )
         for when in timeline
     ]
+
+
+def bandwidth_curve(
+    spec: TimeSeriesRecorder, base: TimeSeriesRecorder
+) -> list[tuple[float, float]]:
+    """Per-window bytes × hops ratio series from two recorders.
+
+    The bandwidth coordinate of :func:`ratio_curve` on its own — the
+    series fleet runs chart to show where in the run the hierarchy's
+    shorter serving paths pay for the origin's full-depth pushes.
+    Windows where the baseline has moved no bytes yet report ``1.0``.
+    """
+    sides = []
+    for recorder in (spec, base):
+        series = recorder.series("bytes_hops")
+        boundaries = {point.window_start for point in series}
+        sides.append((series, boundaries))
+    timeline = sorted(sides[0][1] | sides[1][1])
+
+    def value_at(series: tuple[TimeSample, ...], when: float) -> float:
+        current = 0.0
+        for point in series:
+            if point.window_start > when:
+                break
+            current = point.value
+        return current
+
+    curve: list[tuple[float, float]] = []
+    for when in timeline:
+        base_value = value_at(sides[1][0], when)
+        spec_value = value_at(sides[0][0], when)
+        curve.append(
+            (when, spec_value / base_value if base_value else 1.0)
+        )
+    return curve

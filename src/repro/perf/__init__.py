@@ -20,6 +20,7 @@ from ..speculation.sparse import SparseDependencyEngine, estimate_pair_counts
 from .bench import (
     MAX_REGRESSION,
     SCALES,
+    WALL_MAX_REGRESSION,
     BenchScale,
     build_report,
     enforce_gate,
@@ -28,6 +29,7 @@ from .bench import (
     machine_fingerprint,
     merge_reports,
     run_scale,
+    time_wall,
     write_baseline,
 )
 from .parallel import default_workers, fork_available, parallel_map, spawn_seeds
@@ -37,6 +39,7 @@ __all__ = [
     "SCALES",
     "BenchScale",
     "SparseDependencyEngine",
+    "WALL_MAX_REGRESSION",
     "build_report",
     "default_workers",
     "enforce_gate",
@@ -49,5 +52,6 @@ __all__ = [
     "parallel_map",
     "run_scale",
     "spawn_seeds",
+    "time_wall",
     "write_baseline",
 ]

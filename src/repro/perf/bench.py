@@ -22,6 +22,9 @@ Two kinds of gate protect that trajectory:
   of its interleaved ``dict`` partner so shared-host noise does not
   read as a regression.  Dict medians are recorded as the load
   reference, not gated: their drift *is* the noise measurement.
+  Injected ``*_wall`` sections (:func:`time_wall` — e.g. the fleet
+  smoke handed down by the CLI) have no dict partner and are gated
+  strictly at the wider :data:`WALL_MAX_REGRESSION`.
 
 Violations raise :class:`~repro.errors.PerfRegressionError`, which the
 CLI maps to exit code 5.  The file records no timestamps — it changes
@@ -50,6 +53,11 @@ from ..workload import GeneratorConfig, SyntheticTraceGenerator
 #: Allowed slow-down of a median versus the committed baseline before
 #: the gate fails (same-machine comparisons only).
 MAX_REGRESSION = 0.25
+
+#: Allowed slow-down of an injected ``*_wall`` median.  Wall sections
+#: carry no interleaved dict partner to normalize machine load away, so
+#: the comparison is strict but the tolerance is wider.
+WALL_MAX_REGRESSION = 0.5
 
 #: Default location of the committed baseline, relative to the cwd.
 DEFAULT_BASELINE = Path("BENCH_PERF.json")
@@ -217,6 +225,38 @@ def run_scale(name: str, *, repeats: int | None = None) -> dict[str, Any]:
     }
 
 
+def time_wall(
+    name: str, runner: Callable[[], Any], *, repeats: int = 3
+) -> dict[str, Any]:
+    """Time an injected end-to-end pass as a report section.
+
+    Higher layers (the CLI, the api facade) hand verbs this package
+    must not import — the fleet smoke, for instance — down as plain
+    callables; the section slots into :func:`build_report` next to the
+    engine scales.  The median lands under ``<name>_wall`` and is gated
+    against the committed baseline at :data:`WALL_MAX_REGRESSION`.
+
+    Args:
+        name: Section benchmark name; ``_wall`` is appended.
+        runner: Zero-argument callable to time.
+        repeats: Timing repetitions (median is reported).
+
+    Returns:
+        A scale-shaped section: ``repeats`` plus ``medians_seconds``.
+    """
+    reps = max(1, repeats)
+    samples: list[float] = []
+    for _ in range(reps):
+        begin = time.perf_counter()
+        runner()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return {
+        "repeats": reps,
+        "medians_seconds": {f"{name}_wall": samples[reps // 2]},
+    }
+
+
 def build_report(sections: dict[str, dict[str, Any]]) -> dict[str, Any]:
     """Assemble the report written to ``BENCH_PERF.json``."""
     return {
@@ -275,9 +315,10 @@ def _load_scale(
     of the sparse pass is still flagged.  Without dict anchors the
     factor is 1.0 and the comparison is strict.
     """
-    partner = bench_name[: -len("_sparse")] + "_dict"
-    if partner in current and committed.get(partner, 0) > 0:
-        return max(1.0, current[partner] / committed[partner])
+    if bench_name.endswith("_sparse"):
+        partner = bench_name[: -len("_sparse")] + "_dict"
+        if partner in current and committed.get(partner, 0) > 0:
+            return max(1.0, current[partner] / committed[partner])
     drifts = sorted(
         current[name] / committed[name]
         for name in current
@@ -329,20 +370,28 @@ def find_regressions(
         committed = reference.get("medians_seconds", {})
         current = section.get("medians_seconds", {})
         for bench_name, median in current.items():
-            if not bench_name.endswith("_sparse"):
+            if bench_name.endswith("_sparse"):
+                limit = max_regression
+                tolerance = (1.0 + limit) * _load_scale(
+                    bench_name, current, committed
+                )
+            elif bench_name.endswith("_wall"):
+                # Injected end-to-end medians (see :func:`time_wall`):
+                # no dict partner to normalize by, so strict comparison
+                # at the wider wall tolerance.
+                limit = WALL_MAX_REGRESSION
+                tolerance = 1.0 + limit
+            else:
                 # Dict medians are the load reference, not a gated
                 # surface: their drift *defines* machine weather here.
                 continue
             anchor = committed.get(bench_name)
             if anchor is None or anchor <= 0:
                 continue
-            tolerance = (1.0 + max_regression) * _load_scale(
-                bench_name, current, committed
-            )
             if median > anchor * tolerance:
                 findings.append(
                     f"{scale_name}: {bench_name} median {median * 1e3:.1f}ms "
-                    f"regressed >{max_regression:.0%} versus the committed "
+                    f"regressed >{limit:.0%} versus the committed "
                     f"{anchor * 1e3:.1f}ms (load-normalized)"
                 )
     return findings

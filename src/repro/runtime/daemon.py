@@ -43,6 +43,10 @@ class DisseminationDaemon:
         static_entries: Seed ``(doc_id, size)`` holdings to re-push
             before the first replan has happened (typically the offline
             dissemination plan the proxies started with).
+        name: Optional label; counters become ``daemon.<name>.*`` so
+            several daemons sharing one registry (a fleet run) never
+            collide.  Unlabelled daemons keep the historical
+            ``daemon.*`` names.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class DisseminationDaemon:
         push_timeout: float | None = 30.0,
         metrics: MetricsRegistry | None = None,
         static_entries: list[list] | None = None,
+        name: str | None = None,
     ):
         self._origin = origin
         self._endpoint = endpoint
@@ -64,6 +69,7 @@ class DisseminationDaemon:
         self._interval = interval
         self._push_timeout = push_timeout
         self.metrics = metrics if metrics is not None else default_registry()
+        self._prefix = f"daemon.{name}." if name else "daemon."
         self.replans = 0
         self._last_entries: list[list] = [
             [str(doc_id), int(size)] for doc_id, size in (static_entries or [])
@@ -80,12 +86,12 @@ class DisseminationDaemon:
     def pause(self) -> None:
         """Fault hook: stop replanning/pushing until :meth:`resume`."""
         self._paused = True
-        self.metrics.counter("daemon.pauses").inc()
+        self.metrics.counter(f"{self._prefix}pauses").inc()
 
     def resume(self) -> None:
         """Fault hook: resume, and immediately serve any queued re-pushes."""
         self._paused = False
-        self.metrics.counter("daemon.resumes").inc()
+        self.metrics.counter(f"{self._prefix}resumes").inc()
         if self._repush_pending:
             self._wake.set()
 
@@ -96,7 +102,7 @@ class DisseminationDaemon:
         loop picks it up immediately (or as soon as it is resumed).
         """
         self._repush_pending.add(proxy)
-        self.metrics.counter("daemon.repush_requests").inc()
+        self.metrics.counter(f"{self._prefix}repush_requests").inc()
         if not self._paused:
             self._wake.set()
 
@@ -133,10 +139,10 @@ class DisseminationDaemon:
         try:
             await self._endpoint.call(proxy, message, timeout=self._push_timeout)
         except TransportError:
-            self.metrics.counter("daemon.failed_pushes").inc()
+            self.metrics.counter(f"{self._prefix}failed_pushes").inc()
             return False
-        self.metrics.counter("daemon.pushes").inc()
-        self.metrics.counter("daemon.pushed_bytes").inc(payload_bytes)
+        self.metrics.counter(f"{self._prefix}pushes").inc()
+        self.metrics.counter(f"{self._prefix}pushed_bytes").inc(payload_bytes)
         self.metrics.trace_event(
             "dissemination",
             proxy=proxy,
@@ -165,7 +171,7 @@ class DisseminationDaemon:
         for proxy in self._proxies:
             await self._push_to(proxy, entries)
         self.replans += 1
-        self.metrics.counter("daemon.replans").inc()
+        self.metrics.counter(f"{self._prefix}replans").inc()
         return documents
 
     async def repush_pending(self) -> None:
@@ -176,7 +182,7 @@ class DisseminationDaemon:
             if not self._last_entries:
                 continue
             if await self._push_to(proxy, list(self._last_entries)):
-                self.metrics.counter("daemon.repushes").inc()
+                self.metrics.counter(f"{self._prefix}repushes").inc()
             else:
                 # proxy still unreachable — leave it queued for later.
                 # Safe window: this task removed `proxy` above, add() is
@@ -210,7 +216,7 @@ class DisseminationDaemon:
             self._wake.clear()
             if self._paused:
                 if cycle_due:
-                    self.metrics.counter("daemon.skipped_cycles").inc()
+                    self.metrics.counter(f"{self._prefix}skipped_cycles").inc()
                 continue
             if self._repush_pending:
                 await self.repush_pending()

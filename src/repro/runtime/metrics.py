@@ -128,19 +128,20 @@ def verify_conservation(snapshot: dict[str, Any], *, strict: bool = False) -> No
             f"!= settled {settled_bytes:g}"
         )
 
-    proxy_demand = sum(
-        amount
-        for name, amount in counters.items()
-        if name.startswith("proxy.") and name.endswith(".bytes_served")
+    def node_sum(suffix: str) -> float:
+        # Single-tier proxies label counters proxy.<name>.*, fleet
+        # nodes fleet.<name>.*; both serve bytes the clients receive.
+        return sum(
+            amount
+            for name, amount in counters.items()
+            if name.startswith(("proxy.", "fleet.")) and name.endswith(suffix)
+        )
+
+    served_demand = value("origin.bytes_served") + node_sum(".bytes_served")
+    served_riders = value("origin.speculated_bytes") + node_sum(
+        ".speculated_bytes"
     )
-    proxy_duplicates = sum(
-        amount
-        for name, amount in counters.items()
-        if name.startswith("proxy.") and name.endswith(".duplicate_bytes")
-    )
-    served_demand = value("origin.bytes_served") + proxy_demand
-    served_riders = value("origin.speculated_bytes")
-    duplicates = value("origin.duplicate_bytes") + proxy_duplicates
+    duplicates = value("origin.duplicate_bytes") + node_sum(".duplicate_bytes")
     received_demand = value("received_bytes")
     received_riders = value("speculated_bytes")
 

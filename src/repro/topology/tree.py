@@ -155,15 +155,40 @@ class RoutingTree:
         """Hop count from an ancestor node down to ``node_id``.
 
         Raises:
-            TopologyError: If ``ancestor`` is not on the root path of
-                ``node_id`` — a proxy only shields clients below it.
+            TopologyError: If either node id is unknown (a
+                :class:`ValueError` subclass, with the offending id in
+                the message), or if ``ancestor`` is a known node that is
+                not on the root path of ``node_id`` — a proxy only
+                shields clients below it.
         """
+        if ancestor not in self._children:
+            raise TopologyError(f"unknown node {ancestor!r}")
         path = self.path_from_root(node_id)
         if ancestor not in path:
             raise TopologyError(
                 f"{ancestor!r} is not an ancestor of {node_id!r}"
             )
         return self.depth(node_id) - self.depth(ancestor)
+
+    def distance(self, a: str, b: str) -> int:
+        """Edges on the unique tree path between two nodes.
+
+        Unlike :meth:`hops_from` neither argument needs to be an
+        ancestor of the other: the path climbs to the lowest common
+        ancestor and descends.  Used by the fleet runtime to cost
+        sibling-to-sibling transfers.
+
+        Raises:
+            TopologyError: If either node id is unknown.
+        """
+        path_a = self.path_from_root(a)
+        path_b = self.path_from_root(b)
+        common = 0
+        for node_a, node_b in zip(path_a, path_b):
+            if node_a != node_b:
+                break
+            common += 1
+        return (len(path_a) - common) + (len(path_b) - common)
 
     def subtree_leaves(self, node_id: str) -> set[str]:
         """All leaves at or below a node."""

@@ -8,6 +8,7 @@ from repro.api import RunReport, RunSpec, Session
 from repro.core import SweepPoint, evaluate_thresholds
 from repro.core.experiment import Experiment, sweep_thresholds
 from repro.core.sensitivity import SensitivityPoint, workload_sensitivity
+from repro.fleet import FleetSettings, fleet_smoke_settings
 from repro.obs import ObsConfig
 from repro.runtime import (
     ChaosSettings,
@@ -33,6 +34,7 @@ class TestRunSpec:
         assert spec.resolved_workload() == smoke_workload(3)
         assert spec.resolved_settings() == LiveSettings(seed=3)
         assert spec.resolved_chaos() == chaos_smoke_settings(3)
+        assert spec.resolved_fleet() == fleet_smoke_settings(3)
 
     def test_explicit_fields_win(self):
         settings = LiveSettings(seed=2, concurrency=8)
@@ -41,6 +43,8 @@ class TestRunSpec:
         assert spec.resolved_settings() is settings
         # Chaos knobs derive from the explicit live settings.
         assert spec.resolved_chaos() == ChaosSettings(live=settings)
+        fleet = FleetSettings(seed=2, probe_siblings=1)
+        assert RunSpec(fleet=fleet).resolved_fleet() is fleet
 
     def test_session_overrides_replace_spec_fields(self):
         session = Session(RunSpec(seed=0), seed=5)
@@ -96,6 +100,20 @@ class TestSessionRuns:
         assert report.kind == "sensitivity"
         assert [point.value for point in report.detail] == [40, 80]
         assert all(isinstance(p, SensitivityPoint) for p in report.detail)
+
+    def test_fleet_reports_the_three_arm_comparison(self):
+        report = Session(seed=0).fleet()
+        assert report.kind == "fleet"
+        assert report.ratios == report.detail.ratios
+        assert report.detail.improvement()
+        for fleet_value, single_value in report.detail.improvement().values():
+            assert fleet_value < single_value
+        assert report.detail.plan["policy"] == "hierarchical"
+
+    def test_fleet_smoke_runs_the_determinism_gate(self):
+        report = Session(seed=0).fleet(smoke=True)
+        assert report.kind == "fleet"
+        assert report.ratios is not None
 
     def test_bench_wraps_the_perf_harness(self, monkeypatch):
         from repro.api import session as session_module

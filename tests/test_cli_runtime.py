@@ -91,6 +91,37 @@ class TestChaos:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFleet:
+    def test_smoke_gate_passes_and_reports(self, capsys):
+        assert main(["fleet", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet " in out
+        assert "single (replicated)" in out
+        assert "plan: hierarchical" in out
+
+    def test_json_and_trace_artifact(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet.jsonl"
+        code = main(["fleet", "--json", "--trace-out", str(trace_path)])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"demand", "fleet", "improvement", "plan", "single"}
+        for fleet_value, single_value in data["improvement"].values():
+            assert fleet_value < single_value
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "fleet-serve" in kinds
+
+    def test_bad_region_fraction_is_a_usage_error(self, capsys):
+        code = main(["fleet", "--region-fraction", "2.0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_preset_is_a_usage_error(self, capsys):
+        assert main(["fleet", "--preset", "no-such-preset"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServe:
     @pytest.mark.parametrize("extra", [[], ["--threshold", "0.5"]])
     def test_tcp_smoke(self, capsys, extra):

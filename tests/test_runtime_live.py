@@ -10,6 +10,7 @@ from repro.runtime import (
     DisseminationDaemon,
     InMemoryNetwork,
     LiveSettings,
+    MetricsRegistry,
     OnlineDependencyEstimator,
     OriginServer,
     ProxyNode,
@@ -242,6 +243,53 @@ class TestDaemon:
         # Served within the same cycle, not at the next interval wake.
         assert counters.get("daemon.repushes", 0) == 1
         assert served_at < 2 * interval
+
+    def test_named_daemon_labels_its_counters(self):
+        """Per-node daemons in a fleet share one registry; the name
+        keyword keeps their counters from colliding."""
+        network = InMemoryNetwork(seed=0)
+        endpoint = network.endpoint("home-server")
+        origin = OriginServer(
+            {}, estimator=OnlineDependencyEstimator(learn=False)
+        )
+        registry = MetricsRegistry()
+        daemon = DisseminationDaemon(
+            origin,
+            endpoint,
+            [],
+            budget_bytes=1.0,
+            name="region-01",
+            metrics=registry,
+        )
+        other = DisseminationDaemon(
+            origin,
+            endpoint,
+            [],
+            budget_bytes=1.0,
+            name="region-02",
+            metrics=registry,
+        )
+        daemon.pause()
+        daemon.resume()
+        other.pause()
+        counters = registry.snapshot()["counters"]
+        assert counters["daemon.region-01.pauses"] == 1
+        assert counters["daemon.region-01.resumes"] == 1
+        assert counters["daemon.region-02.pauses"] == 1
+        assert "daemon.pauses" not in counters
+
+    def test_unnamed_daemon_keeps_the_bare_prefix(self):
+        network = InMemoryNetwork(seed=0)
+        endpoint = network.endpoint("home-server")
+        origin = OriginServer(
+            {}, estimator=OnlineDependencyEstimator(learn=False)
+        )
+        registry = MetricsRegistry()
+        daemon = DisseminationDaemon(
+            origin, endpoint, [], budget_bytes=1.0, metrics=registry
+        )
+        daemon.pause()
+        assert registry.snapshot()["counters"]["daemon.pauses"] == 1
 
 
 class TestTcpTransport:

@@ -24,6 +24,7 @@ from repro.perf import (
     merge_reports,
     parallel_map,
     spawn_seeds,
+    time_wall,
 )
 from repro.speculation.caches import make_cache_factory
 from repro.speculation.dependency import DependencyModel
@@ -322,6 +323,31 @@ def test_gate_skips_absolute_comparison_across_machines():
     report = _report(_OTHER, full=_section(_GOOD, {"replay_sparse": 0.050}))
     baseline = _report(_MACHINE, full=_section(_GOOD, {"replay_sparse": 0.010}))
     assert find_regressions(report, baseline) == []
+
+
+def test_time_wall_builds_a_gateable_section():
+    calls = []
+    section = time_wall("fleet_smoke", lambda: calls.append(1), repeats=3)
+    assert len(calls) == 3
+    assert section["repeats"] == 3
+    assert set(section["medians_seconds"]) == {"fleet_smoke_wall"}
+    assert section["medians_seconds"]["fleet_smoke_wall"] >= 0.0
+
+
+def test_gate_flags_wall_median_regression():
+    # Injected wall sections have no dict partner: strict comparison,
+    # but at the wider 50% tolerance.
+    wall = {"fleet_smoke_wall": 2.0}
+    report = _report(_MACHINE, **{"fleet-smoke": _section(_GOOD, wall)})
+    baseline = _report(
+        _MACHINE, **{"fleet-smoke": _section(_GOOD, {"fleet_smoke_wall": 1.0})}
+    )
+    findings = find_regressions(report, baseline)
+    assert any("fleet_smoke_wall" in finding for finding in findings)
+    mild = _report(
+        _MACHINE, **{"fleet-smoke": _section(_GOOD, {"fleet_smoke_wall": 1.4})}
+    )
+    assert find_regressions(mild, baseline) == []
 
 
 def test_merge_reports_keeps_untouched_scales():

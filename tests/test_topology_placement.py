@@ -88,6 +88,73 @@ class TestGreedy:
         assert savings(greedy) >= savings(geo)
 
 
+class TestBudgetExhaustion:
+    def test_greedy_consumes_exact_budget_when_gains_remain(self, tree):
+        demand = {"c1": 100.0, "c2": 90.0, "c3": 80.0}
+        assert len(greedy_tree_placement(tree, demand, 1)) == 1
+        assert len(greedy_tree_placement(tree, demand, 2)) == 2
+
+    def test_greedy_budget_larger_than_useful_sites(self, tree):
+        demand = {"c1": 100.0, "c2": 90.0, "c3": 80.0}
+        chosen = greedy_tree_placement(tree, demand, 50)
+        # Never more sites than internal nodes, never a repeat.
+        assert len(chosen) == len(set(chosen))
+        assert set(chosen) <= tree.internal_nodes()
+
+    def test_geographic_budget_larger_than_regions(self, tree):
+        demand = {"c1": 5.0, "c3": 5.0}
+        chosen = geographic_placement(tree, demand, 50)
+        assert sorted(chosen) == ["region-00", "region-01"]
+
+
+class TestTieBreakDeterminism:
+    @pytest.fixture
+    def symmetric_tree(self):
+        # Two identical branches: equal gains everywhere.
+        return RoutingTree(
+            "root",
+            {
+                "region-00": "root",
+                "region-01": "root",
+                "subnet-00": "region-00",
+                "subnet-01": "region-01",
+                "a1": "subnet-00",
+                "b1": "subnet-01",
+            },
+        )
+
+    def test_greedy_equal_gains_pick_is_stable(self, symmetric_tree):
+        demand = {"a1": 10.0, "b1": 10.0}
+        first = greedy_tree_placement(symmetric_tree, demand, 1)
+        # Ties break on the node id, so the winner is a fixed name —
+        # not whichever dict iteration order surfaced first.
+        assert first == ["subnet-01"]
+        for _ in range(5):
+            assert greedy_tree_placement(symmetric_tree, demand, 1) == first
+
+    def test_geographic_equal_demand_orders_by_name(self, symmetric_tree):
+        demand = {"a1": 10.0, "b1": 10.0}
+        chosen = geographic_placement(symmetric_tree, demand, 2)
+        assert chosen == ["region-00", "region-01"]
+
+
+class TestZeroSavings:
+    def test_greedy_all_zero_demand(self, tree):
+        demand = {"c1": 0.0, "c2": 0.0, "c3": 0.0}
+        assert greedy_tree_placement(tree, demand, 3) == []
+
+    def test_greedy_empty_demand_map(self, tree):
+        assert greedy_tree_placement(tree, {}, 3) == []
+
+    def test_geographic_zero_demand(self, tree):
+        assert geographic_placement(tree, {"c1": 0.0}, 3) == []
+
+    def test_root_only_tree_has_no_sites(self):
+        lonely = RoutingTree("root", {})
+        assert greedy_tree_placement(lonely, {}, 3) == []
+        assert geographic_placement(lonely, {}, 3) == []
+
+
 class TestGeographic:
     def test_orders_regions_by_demand(self, tree):
         demand = {"c1": 1.0, "c2": 1.0, "c3": 50.0}

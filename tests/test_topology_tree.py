@@ -96,6 +96,30 @@ class TestQueries:
         with pytest.raises(TopologyError):
             tree.subtree_leaves("missing")
 
+    def test_hops_from_unknown_ids_raise_value_error(self, tree):
+        # TopologyError subclasses ValueError so unvalidated node-id
+        # probes can catch the builtin; the message names the id.
+        with pytest.raises(ValueError, match="missing"):
+            tree.hops_from("missing", "leaf1")
+        with pytest.raises(ValueError, match="missing"):
+            tree.hops_from("root", "missing")
+
+    def test_subtree_leaves_unknown_id_raises_value_error(self, tree):
+        with pytest.raises(ValueError, match="missing"):
+            tree.subtree_leaves("missing")
+
+    def test_distance(self, tree):
+        assert tree.distance("leaf1", "leaf1") == 0
+        assert tree.distance("a", "leaf1") == 2
+        assert tree.distance("leaf1", "a") == 2
+        assert tree.distance("d", "leaf1") == 3  # via a
+        assert tree.distance("e", "leaf1") == 5  # via root
+        assert tree.distance("root", "e") == 2
+
+    def test_distance_unknown_id_rejected(self, tree):
+        with pytest.raises(ValueError, match="missing"):
+            tree.distance("missing", "leaf1")
+
     def test_contains_and_len(self, tree):
         assert "a" in tree
         assert "missing" not in tree
