@@ -13,8 +13,8 @@ benchmark harness behind a single :class:`Session` object::
 
 Every method — :meth:`Session.loadtest`, :meth:`Session.chaos`,
 :meth:`Session.fleet`, :meth:`Session.sweep`,
-:meth:`Session.sensitivity`, :meth:`Session.bench` — takes its inputs
-from one normalised
+:meth:`Session.sensitivity`, :meth:`Session.sample`,
+:meth:`Session.bench` — takes its inputs from one normalised
 :class:`RunSpec` and returns one :class:`RunReport` shape, replacing
 the five keyword dialects the legacy entry points grew over time.
 """

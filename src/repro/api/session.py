@@ -43,9 +43,11 @@ from ..runtime.service import (
     execute_smoke,
     smoke_workload,
 )
+from ..core.sampling import estimate_ratios
 from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import SpeculationPolicy
 from ..trace.records import Trace
+from ..trace.sampling import SamplingConfig
 from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
 
 
@@ -68,6 +70,11 @@ class RunSpec:
         tolerance: Divergence tolerance for the smoke self-checks.
         workers: Process count for sweep sharding (None stays serial).
         obs: Observability channels threaded through every run.
+        sampling: Client-sampling knobs
+            (:class:`~repro.trace.sampling.SamplingConfig`).  When set,
+            loadtest and fleet runs replay only the hash-selected
+            client fraction and attach Horvitz–Thompson ratio estimates
+            with bootstrap intervals; None replays the full population.
     """
 
     seed: int = 0
@@ -79,6 +86,7 @@ class RunSpec:
     tolerance: float = 0.05
     workers: int | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)
+    sampling: SamplingConfig | None = None
 
     def resolved_workload(self) -> GeneratorConfig:
         """The workload to run: the given one, or the seeded smoke one."""
@@ -119,7 +127,7 @@ class RunReport:
 
     Attributes:
         kind: ``"loadtest"``, ``"chaos"``, ``"fleet"``, ``"sweep"``,
-            ``"sensitivity"`` or ``"bench"``.
+            ``"sensitivity"``, ``"sample"`` or ``"bench"``.
         ratios: The paper's four ratios, when the run produces a single
             headline set (loadtest and chaos); None otherwise.
         observed: Traces, time-series and the provenance manifest, when
@@ -200,6 +208,7 @@ class Session:
                 config=spec.config,
                 verify_batch=bool(verify_batch),
                 obs=spec.obs,
+                sampling=spec.sampling,
             )
         return RunReport(
             kind="loadtest",
@@ -277,6 +286,7 @@ class Session:
                 config=spec.config,
                 fault_plan=fault_plan,
                 obs=spec.obs,
+                sampling=spec.sampling,
             )
         return RunReport(
             kind="fleet",
@@ -357,6 +367,45 @@ class Session:
             workers=spec.workers,
         )
         return RunReport(kind="sensitivity", detail=points)
+
+    def sample(
+        self,
+        *,
+        trace: Trace | None = None,
+        policy: SpeculationPolicy | None = None,
+    ) -> RunReport:
+        """Estimate the four ratios from a client-sampled batch replay.
+
+        Uses the spec's :class:`~repro.trace.sampling.SamplingConfig`
+        (or its defaults when the spec leaves ``sampling`` unset): the
+        trace is split, the dependency model is estimated on the full
+        history, and only the hash-selected client fraction of the
+        serving half is replayed — the cheap preview of a full run.
+
+        Args:
+            trace: Estimate over this trace instead of generating the
+                spec's workload.
+            policy: Speculation policy (defaults to the cost model's
+                threshold policy).
+
+        Returns:
+            A :class:`RunReport` of kind ``"sample"`` whose ``detail``
+            is the :class:`~repro.trace.sampling.SampledRatioReport`.
+        """
+        spec = self.spec
+        sampling = spec.sampling or SamplingConfig()
+        if trace is None:
+            trace = SyntheticTraceGenerator(spec.resolved_workload()).generate()
+        train_fraction = spec.resolved_settings().train_fraction
+        train_days = trace.duration / 86_400.0 * train_fraction
+        report = estimate_ratios(
+            trace,
+            sampling,
+            config=spec.config,
+            train_days=train_days,
+            policy=policy,
+        )
+        return RunReport(kind="sample", detail=report)
 
     def bench(
         self, *, smoke: bool = True, repeats: int | None = None

@@ -918,3 +918,200 @@ def cmd_metrics(args) -> None:
         print(f"wrote {args.format} metrics to {args.out}")
     else:
         print(output)
+
+
+#: Peak-memory budget for the streamed-generation smoke gate, in bytes.
+#: Streaming paper-scale x10 (~1.6M requests) must stay far below the
+#: ~500 MB a materialized trace of that size costs; the budget leaves
+#: headroom over the site + schedule + heap working set.
+PROFILE_SMOKE_PEAK_BUDGET = 96 * 1024 * 1024
+
+#: Session multiplier of the smoke gate's workload over paper scale.
+PROFILE_SMOKE_SESSION_FACTOR = 10
+
+
+def _profile_smoke_gate() -> dict:
+    """Stream paper-scale x10 through the profiler under tracemalloc.
+
+    Returns the gate measurements; raises RuntimeProtocolError (exit 3)
+    when peak memory exceeds the budget — the streaming path has
+    regressed to materializing state proportional to the trace.
+    """
+    import dataclasses
+    import tracemalloc
+
+    from ..trace.profiler import TraceProfiler
+
+    config = dataclasses.replace(
+        GeneratorConfig.paper_scale(0),
+        n_sessions=GeneratorConfig.paper_scale(0).n_sessions
+        * PROFILE_SMOKE_SESSION_FACTOR,
+    )
+    generator = SyntheticTraceGenerator(config)
+    profiler = TraceProfiler()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    profile = profiler.profile(generator.stream())
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    if peak > PROFILE_SMOKE_PEAK_BUDGET:
+        raise RuntimeProtocolError(
+            f"streamed generation peaked at {peak / 1e6:.1f} MB for "
+            f"{profile.n_requests:,} requests — over the "
+            f"{PROFILE_SMOKE_PEAK_BUDGET / 1e6:.0f} MB budget; the "
+            "stream is no longer constant-memory"
+        )
+    return {
+        "peak_bytes": peak,
+        "budget_bytes": PROFILE_SMOKE_PEAK_BUDGET,
+        "n_requests": profile.n_requests,
+        "profile": profile.to_dict(),
+    }
+
+
+def cmd_profile(args) -> None:
+    """``repro profile`` — single-pass workload profiling (and mem gate)."""
+    import json as _json
+
+    from .. import perf
+    from ..runtime import smoke_workload
+    from ..trace.profiler import TraceProfiler
+    from ..workload import preset
+
+    if args.window <= 0:
+        raise CommandError("--window must be positive")
+    profiler = TraceProfiler(window_seconds=args.window)
+
+    if args.smoke:
+        # The CI gate: constant-memory streaming at paper scale x10,
+        # plus a throughput section gated against BENCH_PERF.json.
+        gate = _profile_smoke_gate()
+
+        generator = SyntheticTraceGenerator(GeneratorConfig.paper_scale(0))
+        counter = {"n": 0}
+
+        def _drain() -> None:
+            counter["n"] = sum(1 for _ in generator.stream(epoch=0))
+
+        section = perf.time_wall("stream", _drain, repeats=1)
+        median = section["medians_seconds"]["stream_wall"]
+        section["requests_per_second"] = (
+            counter["n"] / median if median > 0 else 0.0
+        )
+        report = perf.build_report({"stream": section})
+        baseline_path = Path(args.baseline)
+        baseline = perf.load_baseline(baseline_path)
+        payload = {
+            "gate": gate,
+            "stream": section,
+        }
+        if args.out:
+            Path(args.out).write_text(
+                _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        if args.json:
+            print(_json.dumps(payload, sort_keys=True))
+        else:
+            print(
+                f"stream gate: peak {gate['peak_bytes'] / 1e6:.1f} MB / "
+                f"budget {gate['budget_bytes'] / 1e6:.0f} MB over "
+                f"{gate['n_requests']:,} requests"
+            )
+            print(
+                f"stream throughput: {section['requests_per_second']:,.0f} "
+                f"requests/s ({median:.2f} s wall)"
+            )
+        if args.update_baseline:
+            merged = perf.merge_reports(baseline, report)
+            perf.write_baseline(baseline_path, merged)
+            print(f"updated baseline {baseline_path}")
+            return
+        perf.enforce_gate(report, baseline)
+        return
+
+    if args.clf:
+        trace = _load_trace(args.clf, [])
+        profile = profiler.profile(trace)
+    else:
+        try:
+            workload = (
+                smoke_workload(args.seed)
+                if args.preset == "smoke"
+                else preset(args.preset, args.seed)
+            )
+        except ReproError as error:
+            raise CommandError(str(error)) from error
+        generator = SyntheticTraceGenerator(workload)
+        profile = profiler.profile(generator.stream())
+
+    if args.out:
+        Path(args.out).write_text(
+            _json.dumps(profile.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote profile to {args.out}")
+    if args.json:
+        print(_json.dumps(profile.to_dict(), sort_keys=True))
+    elif not args.out:
+        print(profile.format())
+
+
+def cmd_sample(args) -> None:
+    """``repro sample`` — sampled ratio estimation (and coverage gate)."""
+    import json as _json
+
+    from ..core.sampling import estimate_ratios, execute_sample_check
+    from ..errors import TraceFormatError
+    from ..runtime import smoke_workload
+    from ..trace.sampling import SamplingConfig
+    from ..workload import preset
+
+    if args.check:
+        # The CI gate: prove the estimator's intervals cover an exact
+        # full replay of the check workload (exit 3 on a miss).
+        result = execute_sample_check(
+            args.seed,
+            fraction=args.fraction,
+            n_boot=args.boot,
+            level=args.level,
+        )
+        if args.json:
+            print(_json.dumps(result, sort_keys=True))
+        else:
+            print("sample check: all intervals cover the exact replay")
+            for name, estimate in result["sampled"]["estimates"].items():
+                print(
+                    f"  {name:<13} {estimate['value']:.4f} "
+                    f"[{estimate['low']:.4f}, {estimate['high']:.4f}] "
+                    f"exact {result['exact'][name]:.4f}"
+                )
+        return
+
+    try:
+        sampling = SamplingConfig(
+            fraction=args.fraction, seed=args.seed, n_boot=args.boot,
+            level=args.level,
+        )
+    except TraceFormatError as error:
+        raise CommandError(str(error)) from error
+    try:
+        workload = (
+            smoke_workload(args.seed)
+            if args.preset == "smoke"
+            else preset(args.preset, args.seed)
+        )
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    trace = SyntheticTraceGenerator(workload).generate()
+    try:
+        report = estimate_ratios(
+            trace,
+            sampling,
+            config=BASELINE,
+            train_days=trace.duration / 86_400.0 * args.train_fraction,
+        )
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+    if args.json:
+        print(_json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.format())

@@ -386,6 +386,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.set_defaults(handler=commands.cmd_fleet)
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile a workload's arrival bursts, popularity "
+        "concentration, session lengths and strides in one streaming "
+        "pass (no materialized trace)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--preset",
+        default="smoke",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    profile.add_argument(
+        "--clf",
+        default=None,
+        help="profile an imported CLF log instead of a synthetic workload",
+    )
+    profile.add_argument(
+        "--window",
+        type=float,
+        default=3600.0,
+        help="arrival-rate window in seconds (default: 3600)",
+    )
+    profile.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: stream paper-scale x10 through the profiler under "
+        "tracemalloc, enforce the constant-memory budget (exit 3 on "
+        "regression) and gate stream throughput against the baseline",
+    )
+    profile.add_argument(
+        "--baseline",
+        default="BENCH_PERF.json",
+        help="path of the committed perf baseline (default: "
+        "./BENCH_PERF.json); used with --smoke",
+    )
+    profile.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --smoke: write this run's stream medians into the "
+        "baseline file instead of gating against it",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        help="write the profile (or smoke-gate report) as JSON to this "
+        "path",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    profile.set_defaults(handler=commands.cmd_profile)
+
+    sample = subparsers.add_parser(
+        "sample",
+        help="estimate the four paper ratios from a client sample with "
+        "bootstrap confidence intervals (Horvitz-Thompson over "
+        "per-client contributions)",
+    )
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--preset",
+        default="smoke",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    sample.add_argument(
+        "--fraction",
+        type=float,
+        default=0.05,
+        help="fraction of clients to sample (default: 0.05)",
+    )
+    sample.add_argument(
+        "--boot",
+        type=int,
+        default=400,
+        help="bootstrap replicates for the intervals (default: 400)",
+    )
+    sample.add_argument(
+        "--level",
+        type=float,
+        default=0.95,
+        help="confidence level for the intervals (default: 0.95)",
+    )
+    sample.add_argument(
+        "--train-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of the trace duration used to train the "
+        "dependency model (default: 0.5)",
+    )
+    sample.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: on the pinned check workload, require every "
+        "interval to cover the exact full replay (exit 3 on a miss)",
+    )
+    sample.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    sample.set_defaults(handler=commands.cmd_sample)
+
     serve = subparsers.add_parser(
         "serve",
         help="serve a synthetic catalog over real TCP with in-band "

@@ -8,6 +8,8 @@
   sweeps, and traffic-level interpolation used by the benchmarks.
 * :mod:`repro.core.reporting` — plain-text tables and series for the
   benchmark harness output.
+* :mod:`repro.core.sampling` — ratio estimation from client-sampled
+  replays, and the ``repro sample --check`` validation gate.
 """
 
 from .server import SpeculativeResponse, SpeculativeServer
@@ -23,6 +25,12 @@ from .experiment import (
 from .reporting import format_series, format_table
 from .sensitivity import SensitivityPoint, sweep_workload, workload_sensitivity
 from .combined import CombinedProtocolSimulator, CombinedResult
+from .sampling import (
+    client_contributions,
+    estimate_ratios,
+    execute_sample_check,
+    sample_check_workload,
+)
 
 __all__ = [
     "SpeculativeServer",
@@ -42,4 +50,8 @@ __all__ = [
     "workload_sensitivity",
     "CombinedProtocolSimulator",
     "CombinedResult",
+    "client_contributions",
+    "estimate_ratios",
+    "execute_sample_check",
+    "sample_check_workload",
 ]

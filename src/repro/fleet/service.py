@@ -28,8 +28,9 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Any, Callable
 
-from ..config import BASELINE, BaselineConfig
+from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
 from ..core.planner import DisseminationPlanner
+from ..core.sampling import estimate_ratios
 from ..errors import RuntimeProtocolError, SimulationError, TransportError
 from ..obs import (
     ArmObservations,
@@ -52,7 +53,9 @@ from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import SpeculationPolicy, ThresholdPolicy
 from ..topology.builder import build_clientele_tree
 from ..topology.tree import RoutingTree
+from ..trace.profiler import TraceProfiler, WorkloadProfile
 from ..trace.records import Trace
+from ..trace.sampling import SampledRatioReport, SamplingConfig, sample_clients
 from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
 from .loadgen import FleetLoadGenerator
 from .node import FleetNode
@@ -118,6 +121,11 @@ class FleetReport:
         plan: The fleet plan's summary (policy, tiers, stored bytes).
         observed: Fleet/demand traces + time series when an enabled
             :class:`~repro.obs.ObsConfig` was passed; None otherwise.
+        sampling: Horvitz–Thompson estimates of the four ratios with
+            bootstrap intervals when the run replayed a client sample;
+            None for full-population runs.
+        profile: The sampled workload's profile when the sampling
+            config asked for one; None otherwise.
     """
 
     demand: dict[str, Any]
@@ -127,6 +135,8 @@ class FleetReport:
     single_ratios: SpeculationRatios
     plan: dict[str, Any]
     observed: RunObservations | None = None
+    sampling: SampledRatioReport | None = None
+    profile: WorkloadProfile | None = None
 
     def improvement(self) -> dict[str, tuple[float, float]]:
         """Per-ratio ``(fleet, single_tier)`` pairs, lower is better."""
@@ -404,10 +414,30 @@ class _FleetPrepared:
         workload: GeneratorConfig,
         settings: FleetSettings,
         config: BaselineConfig,
+        sampling: SamplingConfig | None = None,
     ):
         self.settings = settings
         self.config = config
         trace = SyntheticTraceGenerator(workload).generate().remote_only()
+        self.sampling_report: SampledRatioReport | None = None
+        self.profile: WorkloadProfile | None = None
+        if sampling is not None:
+            # Same contract as the loadtest engine: estimate the ratios
+            # from the batch replay of the sample against the full
+            # population, then thin every fleet arm to those clients.
+            train_days = (
+                settings.train_fraction * trace.duration / SECONDS_PER_DAY
+            )
+            self.sampling_report = estimate_ratios(
+                trace, sampling, config=config, train_days=train_days
+            )
+            trace = sample_clients(
+                trace, sampling.fraction, seed=sampling.seed
+            )
+            if sampling.profile:
+                self.profile = TraceProfiler(
+                    stride_timeout=config.stride_timeout
+                ).profile(trace)
         if len(trace) < 10:
             raise SimulationError("workload too small for a fleet run")
 
@@ -532,6 +562,7 @@ def execute_fleet(
     config: BaselineConfig = BASELINE,
     fault_plan: FaultPlan | None = None,
     obs: ObsConfig | None = None,
+    sampling: SamplingConfig | None = None,
 ) -> FleetReport:
     """Run demand / single-tier / fleet arms and compare the ratios.
 
@@ -547,6 +578,9 @@ def execute_fleet(
         obs: Observability channels; the fleet arm's observations are
             reported as ``speculative``, the demand arm's as
             ``baseline``.
+        sampling: Replay only a hash-selected client fraction and
+            attach Horvitz–Thompson ratio estimates with bootstrap
+            intervals; None replays the full population.
 
     Returns:
         A :class:`FleetReport` with all three snapshots and both ratio
@@ -557,7 +591,7 @@ def execute_fleet(
         RuntimeProtocolError: On a byte/frame conservation violation.
     """
     settings = settings if settings is not None else FleetSettings()
-    prepared = _FleetPrepared(workload, settings, config)
+    prepared = _FleetPrepared(workload, settings, config, sampling)
 
     demand_snap, demand_obs = prepared.arm("demand", obs=obs)
     single_snap, _ = prepared.arm("single", obs=obs)
@@ -571,6 +605,11 @@ def execute_fleet(
 
     observed = None
     if fleet_obs is not None and demand_obs is not None:
+        extra: dict[str, Any] = {}
+        if prepared.sampling_report is not None:
+            extra["sampling"] = prepared.sampling_report.to_dict()
+        if prepared.profile is not None:
+            extra["workload_profile"] = prepared.profile.to_dict()
         observed = RunObservations(
             speculative=fleet_obs,
             baseline=demand_obs,
@@ -582,6 +621,7 @@ def execute_fleet(
                     "cost_model": asdict(config),
                     "plan": prepared.fleet_plan.summary(),
                 },
+                extra=extra or None,
             ),
         )
     return FleetReport(
@@ -592,6 +632,8 @@ def execute_fleet(
         single_ratios=live_ratios(single_snap, demand_snap),
         plan=prepared.fleet_plan.summary(),
         observed=observed,
+        sampling=prepared.sampling_report,
+        profile=prepared.profile,
     )
 
 

@@ -82,16 +82,31 @@ def config_digest(config: Mapping[str, Any]) -> str:
 
 
 def run_manifest(
-    *, seed: int, config: Mapping[str, Any] | None = None
-) -> dict[str, str | int]:
+    *,
+    seed: int,
+    config: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
     """Provenance manifest attached to every observed run.
 
     Records what is needed to reproduce the artifact: the seed, a
     digest of the effective configuration, and the git commit.  No
     wall-clock timestamp — the manifest itself must be deterministic.
+
+    Args:
+        seed: The run's workload seed.
+        config: Effective configuration; only its digest is recorded.
+        extra: Additional deterministic, JSON-ready sections recorded
+            verbatim (e.g. a sampling report or a workload profile).
+            Keys must not collide with the manifest's own.
     """
-    return {
+    manifest: dict[str, Any] = {
         "seed": int(seed),
         "config_digest": config_digest(config or {}),
         "git_sha": git_revision(),
     }
+    for key, value in (extra or {}).items():
+        if key in manifest:
+            raise ValueError(f"extra manifest section {key!r} collides")
+        manifest[key] = value
+    return manifest

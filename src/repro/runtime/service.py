@@ -34,9 +34,10 @@ import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable
 
-from ..config import BASELINE, BaselineConfig
+from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
 from ..core.combined import CombinedProtocolSimulator, CombinedResult
 from ..core.planner import DisseminationPlanner
+from ..core.sampling import estimate_ratios
 from ..errors import RuntimeProtocolError, SimulationError
 from ..obs import (
     ArmObservations,
@@ -50,7 +51,9 @@ from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import ThresholdPolicy
 from ..topology.builder import build_clientele_tree
 from ..topology.tree import RoutingTree
+from ..trace.profiler import TraceProfiler, WorkloadProfile
 from ..trace.records import Trace
+from ..trace.sampling import SampledRatioReport, SamplingConfig, sample_clients
 from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
 from .clock import run_virtual
 from .daemon import DisseminationDaemon
@@ -121,6 +124,11 @@ class LiveReport:
         observed: Traces/time-series/manifest for both arms, when the
             run was executed with an enabled
             :class:`~repro.obs.ObsConfig`; None otherwise.
+        sampling: Horvitz–Thompson estimates of the four ratios with
+            bootstrap intervals when the run replayed a client sample;
+            None for full-population runs.
+        profile: The sampled workload's profile when the sampling
+            config asked for one; None otherwise.
     """
 
     baseline: dict[str, Any]
@@ -129,6 +137,8 @@ class LiveReport:
     batch_ratios: SpeculationRatios | None = None
     disseminated_documents: int = 0
     observed: RunObservations | None = None
+    sampling: SampledRatioReport | None = None
+    profile: WorkloadProfile | None = None
 
     def max_divergence(self) -> float:
         """Largest relative gap between live and batch ratios.
@@ -487,10 +497,32 @@ class _PreparedRun:
         workload: GeneratorConfig,
         settings: LiveSettings,
         config: BaselineConfig,
+        sampling: SamplingConfig | None = None,
     ):
         self.settings = settings
         self.config = config
         trace = SyntheticTraceGenerator(workload).generate().remote_only()
+        self.sampling_report: SampledRatioReport | None = None
+        self.profile: WorkloadProfile | None = None
+        if sampling is not None:
+            # Estimate the four ratios (with intervals) from the batch
+            # replay of the sample while the full trace is still in
+            # hand, then thin the live replay to the same clients.  The
+            # live arms report the sample's point ratios; the estimates
+            # quantify how far the sample can sit from the population.
+            train_days = (
+                settings.train_fraction * trace.duration / SECONDS_PER_DAY
+            )
+            self.sampling_report = estimate_ratios(
+                trace, sampling, config=config, train_days=train_days
+            )
+            trace = sample_clients(
+                trace, sampling.fraction, seed=sampling.seed
+            )
+            if sampling.profile:
+                self.profile = TraceProfiler(
+                    stride_timeout=config.stride_timeout
+                ).profile(trace)
         if len(trace) < 10:
             raise SimulationError("workload too small for a live loadtest")
 
@@ -593,6 +625,7 @@ def _run_observations(
     config: BaselineConfig,
     speculative: ArmObservations | None,
     baseline: ArmObservations | None,
+    extra: dict[str, Any] | None = None,
 ) -> RunObservations | None:
     """Bundle both arms' observations with a provenance manifest."""
     if speculative is None or baseline is None:
@@ -607,8 +640,22 @@ def _run_observations(
                 "settings": asdict(settings),
                 "cost_model": asdict(config),
             },
+            extra=extra,
         ),
     )
+
+
+def _sampling_manifest_extra(
+    sampling_report: SampledRatioReport | None,
+    profile: WorkloadProfile | None,
+) -> dict[str, Any] | None:
+    """Extra manifest sections for a sampled run (None when unsampled)."""
+    extra: dict[str, Any] = {}
+    if sampling_report is not None:
+        extra["sampling"] = sampling_report.to_dict()
+    if profile is not None:
+        extra["workload_profile"] = profile.to_dict()
+    return extra or None
 
 
 def execute_loadtest(
@@ -618,6 +665,7 @@ def execute_loadtest(
     config: BaselineConfig = BASELINE,
     verify_batch: bool = False,
     obs: ObsConfig | None = None,
+    sampling: SamplingConfig | None = None,
 ) -> LiveReport:
     """Generate a workload and run it live, baseline vs. speculation.
 
@@ -633,6 +681,10 @@ def execute_loadtest(
         obs: Observability channels to enable for both arms; None (or
             an all-off config) runs exactly as before this layer
             existed.
+        sampling: Replay only a hash-selected client fraction and
+            attach Horvitz–Thompson ratio estimates with bootstrap
+            intervals (:class:`~repro.trace.sampling.SamplingConfig`);
+            None replays the full population.
 
     Returns:
         A :class:`LiveReport` with both snapshots and the ratios (and
@@ -643,7 +695,7 @@ def execute_loadtest(
             non-empty training and serving halves.
     """
     settings = settings if settings is not None else LiveSettings()
-    prepared = _PreparedRun(workload, settings, config)
+    prepared = _PreparedRun(workload, settings, config, sampling)
 
     baseline_snapshot, baseline_obs = prepared.arm(speculative=False, obs=obs)
     speculative_snapshot, speculative_obs = prepared.arm(
@@ -674,8 +726,17 @@ def execute_loadtest(
         batch_ratios=batch,
         disseminated_documents=len(prepared.holdings),
         observed=_run_observations(
-            workload, settings, config, speculative_obs, baseline_obs
+            workload,
+            settings,
+            config,
+            speculative_obs,
+            baseline_obs,
+            _sampling_manifest_extra(
+                prepared.sampling_report, prepared.profile
+            ),
         ),
+        sampling=prepared.sampling_report,
+        profile=prepared.profile,
     )
 
 

@@ -22,7 +22,15 @@ from .cleaning import CleaningReport, TraceCleaner
 from .sessions import Session, Stride, split_sessions, split_strides
 from .stats import TraceStatistics, bytes_per_period, requests_per_period, summarize
 from .anonymize import anonymize_trace
-from .sampling import sample_clients
+from .sampling import (
+    RatioEstimate,
+    SampledRatioReport,
+    SamplingConfig,
+    client_hash,
+    ht_ratio_estimates,
+    sample_clients,
+)
+from .profiler import TraceProfiler, WorkloadProfile, profile_trace
 
 __all__ = [
     "Document",
@@ -44,4 +52,12 @@ __all__ = [
     "bytes_per_period",
     "anonymize_trace",
     "sample_clients",
+    "client_hash",
+    "SamplingConfig",
+    "RatioEstimate",
+    "SampledRatioReport",
+    "ht_ratio_estimates",
+    "TraceProfiler",
+    "WorkloadProfile",
+    "profile_trace",
 ]

@@ -1,0 +1,326 @@
+"""Single-pass workload profiling before replay.
+
+Before a trace is replayed — synthetic, sampled, or imported from a CLF
+log — it pays to know what is actually in it: how bursty the arrivals
+are, how concentrated the popularity is, how long the sessions run and
+how the inter-request gaps split around ``StrideTimeout``.  Those four
+shapes decide whether the paper's protocols have anything to work with
+(speculation needs strides; dissemination needs a popular head), and
+they are exactly what a sampled or freshly imported trace can silently
+get wrong.
+
+:class:`TraceProfiler` computes all of it in **one streaming pass** with
+memory proportional to clients + documents + time windows, never to the
+request count — so it composes with
+:meth:`repro.workload.generator.SyntheticTraceGenerator.stream` at
+scales where materializing the trace would not fit.
+
+The result, :class:`WorkloadProfile`, renders human-readable
+(:meth:`~WorkloadProfile.format`) and JSON-ready
+(:meth:`~WorkloadProfile.to_dict`) for run manifests and the
+``repro profile`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..errors import TraceFormatError
+from .records import Request, Trace
+
+#: Upper edges (seconds) of the inter-arrival histogram bins; the last
+#: bin is open-ended.  Chosen to straddle the paper's StrideTimeout (5 s)
+#: and SessionTimeout (30 min) thresholds.
+GAP_BIN_EDGES = (0.5, 1.0, 5.0, 30.0, 300.0, 1_800.0)
+
+#: Upper edges (requests) of the session-length histogram bins; the last
+#: bin is open-ended.
+LENGTH_BIN_EDGES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _bin_index(value: float, edges: tuple) -> int:
+    for index, edge in enumerate(edges):
+        if value <= edge:
+            return index
+    return len(edges)
+
+
+def _bin_labels(edges: tuple, unit: str) -> list[str]:
+    labels = []
+    previous = 0
+    for edge in edges:
+        labels.append(f"({previous}, {edge}] {unit}")
+        previous = edge
+    labels.append(f"> {previous} {unit}")
+    return labels
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What one streaming pass learned about a workload.
+
+    Attributes:
+        n_requests: Total requests profiled.
+        n_clients: Distinct clients observed.
+        n_documents: Documents in the catalog (or distinct requested
+            documents when profiling a bare request stream).
+        duration_seconds: Span from first to last request.
+        total_bytes: Sum of request sizes.
+        window_seconds: Width of the arrival-count windows.
+        window_mean: Mean requests per non-empty window.
+        window_peak: Requests in the busiest window.
+        burstiness: Peak-to-mean ratio of window counts (1.0 is flat).
+        fano: Fano factor (variance/mean) of window counts; 1.0 is
+            Poisson, larger is burstier.
+        hour_of_day: Request counts per hour of the (virtual) day,
+            24 entries — flat without a diurnal cycle.
+        top_half_percent_share: Fraction of requests on the most
+            popular 0.5% of the document population.
+        top_ten_percent_share: Same for the top 10%.
+        n_sessions: Sessions found (per-client ``session_timeout``
+            segmentation).
+        mean_session_length: Mean requests per session.
+        session_length_bins: Session-length histogram over
+            :data:`LENGTH_BIN_EDGES` (last bin open-ended).
+        intra_stride_fraction: Fraction of same-client gaps at or under
+            ``stride_timeout`` — the dependency-model's raw material.
+        gap_bins: Same-client inter-arrival histogram over
+            :data:`GAP_BIN_EDGES` (last bin open-ended).
+    """
+
+    n_requests: int
+    n_clients: int
+    n_documents: int
+    duration_seconds: float
+    total_bytes: int
+    window_seconds: float
+    window_mean: float
+    window_peak: int
+    burstiness: float
+    fano: float
+    hour_of_day: tuple[int, ...]
+    top_half_percent_share: float
+    top_ten_percent_share: float
+    n_sessions: int
+    mean_session_length: float
+    session_length_bins: tuple[int, ...]
+    intra_stride_fraction: float
+    gap_bins: tuple[int, ...] = field(default=())
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = [
+            f"requests            {self.n_requests:>12,}",
+            f"clients             {self.n_clients:>12,}",
+            f"documents           {self.n_documents:>12,}",
+            f"duration (days)     {self.duration_seconds / 86_400:>12.1f}",
+            f"total bytes         {self.total_bytes:>12,}",
+            f"window mean/peak    {self.window_mean:>8.1f} / {self.window_peak}"
+            f" per {self.window_seconds:.0f}s",
+            f"burstiness          {self.burstiness:>12.2f}",
+            f"fano factor         {self.fano:>12.2f}",
+            f"top 0.5% doc share  {self.top_half_percent_share:>12.3f}",
+            f"top 10% doc share   {self.top_ten_percent_share:>12.3f}",
+            f"sessions            {self.n_sessions:>12,}",
+            f"mean session len    {self.mean_session_length:>12.2f}",
+            f"intra-stride gaps   {self.intra_stride_fraction:>12.3f}",
+        ]
+        for label, count in zip(
+            _bin_labels(LENGTH_BIN_EDGES, "req"), self.session_length_bins
+        ):
+            lines.append(f"  session {label:<16} {count:>10,}")
+        for label, count in zip(_bin_labels(GAP_BIN_EDGES, "s"), self.gap_bins):
+            lines.append(f"  gap {label:<20} {count:>10,}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by manifests and the CLI)."""
+        return {
+            "n_requests": self.n_requests,
+            "n_clients": self.n_clients,
+            "n_documents": self.n_documents,
+            "duration_seconds": self.duration_seconds,
+            "total_bytes": self.total_bytes,
+            "arrivals": {
+                "window_seconds": self.window_seconds,
+                "window_mean": self.window_mean,
+                "window_peak": self.window_peak,
+                "burstiness": self.burstiness,
+                "fano": self.fano,
+                "hour_of_day": list(self.hour_of_day),
+            },
+            "popularity": {
+                "top_half_percent_share": self.top_half_percent_share,
+                "top_ten_percent_share": self.top_ten_percent_share,
+            },
+            "sessions": {
+                "count": self.n_sessions,
+                "mean_length": self.mean_session_length,
+                "length_bins": list(self.session_length_bins),
+                "length_bin_edges": list(LENGTH_BIN_EDGES),
+            },
+            "strides": {
+                "intra_stride_fraction": self.intra_stride_fraction,
+                "gap_bins": list(self.gap_bins),
+                "gap_bin_edges": list(GAP_BIN_EDGES),
+            },
+        }
+
+
+class TraceProfiler:
+    """Profile a request stream in one pass, constant per-request memory.
+
+    Args:
+        window_seconds: Width of the arrival-count windows used for
+            burstiness and the Fano factor.
+        session_timeout: Per-client gap (seconds) that closes a session;
+            the paper's value is 30 minutes.
+        stride_timeout: Gap (seconds) separating traversal strides; the
+            paper's value is 5 s.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_seconds: float = 3_600.0,
+        session_timeout: float = 1_800.0,
+        stride_timeout: float = 5.0,
+    ):
+        if window_seconds <= 0:
+            raise TraceFormatError("window_seconds must be positive")
+        if session_timeout <= 0 or stride_timeout <= 0:
+            raise TraceFormatError("timeouts must be positive")
+        self.window_seconds = window_seconds
+        self.session_timeout = session_timeout
+        self.stride_timeout = stride_timeout
+
+    def profile(
+        self, requests: Trace | Iterable[Request]
+    ) -> WorkloadProfile:
+        """Profile a trace or a time-ordered request iterable.
+
+        Args:
+            requests: A :class:`~repro.trace.records.Trace` (its catalog
+                sizes the popularity population) or any request iterable
+                in timestamp order — e.g. a generator
+                :meth:`~repro.workload.generator.SyntheticTraceGenerator.stream`.
+
+        Raises:
+            TraceFormatError: If the stream is empty or out of order.
+        """
+        catalog_size = (
+            len(requests.documents) if isinstance(requests, Trace) else 0
+        )
+
+        n_requests = 0
+        total_bytes = 0
+        first_time = 0.0
+        last_time = 0.0
+        windows: dict[int, int] = {}
+        hours = [0] * 24
+        doc_counts: dict[str, int] = {}
+        last_seen: dict[str, float] = {}
+        open_sessions: dict[str, int] = {}
+        session_bins = [0] * (len(LENGTH_BIN_EDGES) + 1)
+        gap_bins = [0] * (len(GAP_BIN_EDGES) + 1)
+        n_sessions = 0
+        n_gaps = 0
+        intra_stride = 0
+
+        for request in requests:
+            if n_requests == 0:
+                first_time = request.timestamp
+            elif request.timestamp < last_time:
+                raise TraceFormatError(
+                    "profiler input must be time-ordered"
+                )
+            last_time = request.timestamp
+            n_requests += 1
+            total_bytes += request.size
+            windows[int(request.timestamp // self.window_seconds)] = (
+                windows.get(int(request.timestamp // self.window_seconds), 0)
+                + 1
+            )
+            hours[int((request.timestamp % 86_400.0) // 3_600.0)] += 1
+            doc_counts[request.doc_id] = doc_counts.get(request.doc_id, 0) + 1
+
+            previous = last_seen.get(request.client)
+            last_seen[request.client] = request.timestamp
+            if previous is None:
+                open_sessions[request.client] = 1
+                continue
+            gap = request.timestamp - previous
+            n_gaps += 1
+            gap_bins[_bin_index(gap, GAP_BIN_EDGES)] += 1
+            if gap <= self.stride_timeout:
+                intra_stride += 1
+            if gap > self.session_timeout:
+                length = open_sessions[request.client]
+                session_bins[_bin_index(length, LENGTH_BIN_EDGES)] += 1
+                n_sessions += 1
+                open_sessions[request.client] = 1
+            else:
+                open_sessions[request.client] += 1
+
+        if n_requests == 0:
+            raise TraceFormatError("cannot profile an empty trace")
+
+        for length in open_sessions.values():
+            session_bins[_bin_index(length, LENGTH_BIN_EDGES)] += 1
+            n_sessions += 1
+
+        counts = list(windows.values())
+        n_windows = max(1, len(counts))
+        mean = sum(counts) / n_windows
+        variance = sum((c - mean) ** 2 for c in counts) / n_windows
+        peak = max(counts)
+
+        ranked = sorted(doc_counts.values(), reverse=True)
+        population = max(catalog_size, len(ranked))
+
+        def top_share(fraction: float) -> float:
+            top_n = max(1, math.ceil(population * fraction))
+            return sum(ranked[:top_n]) / n_requests
+
+        return WorkloadProfile(
+            n_requests=n_requests,
+            n_clients=len(last_seen),
+            n_documents=population,
+            duration_seconds=last_time - first_time,
+            total_bytes=total_bytes,
+            window_seconds=self.window_seconds,
+            window_mean=mean,
+            window_peak=peak,
+            burstiness=peak / mean if mean else 0.0,
+            fano=variance / mean if mean else 0.0,
+            hour_of_day=tuple(hours),
+            top_half_percent_share=top_share(0.005),
+            top_ten_percent_share=top_share(0.10),
+            n_sessions=n_sessions,
+            mean_session_length=n_requests / n_sessions if n_sessions else 0.0,
+            session_length_bins=tuple(session_bins),
+            intra_stride_fraction=(
+                intra_stride / n_gaps if n_gaps else 0.0
+            ),
+            gap_bins=tuple(gap_bins),
+        )
+
+
+def profile_trace(
+    requests: Trace | Iterable[Request],
+    *,
+    window_seconds: float = 3_600.0,
+    session_timeout: float = 1_800.0,
+    stride_timeout: float = 5.0,
+) -> WorkloadProfile:
+    """Convenience wrapper: profile with default thresholds.
+
+    See :class:`TraceProfiler` for the parameters.
+    """
+    return TraceProfiler(
+        window_seconds=window_seconds,
+        session_timeout=session_timeout,
+        stride_timeout=stride_timeout,
+    ).profile(requests)

@@ -119,7 +119,14 @@ class Trace:
         self._requests: list[Request] = reqs
         self._timestamps: list[float] = [r.timestamp for r in reqs]
 
-        catalog: dict[str, Document] = {d.doc_id: d for d in documents}
+        # Colliding catalog ids keep the largest cataloged size — the
+        # same rule merge() documents, so merging traces and building
+        # one from concatenated catalogs agree.
+        catalog: dict[str, Document] = {}
+        for document in documents:
+            known = catalog.get(document.doc_id)
+            if known is None or document.size > known.size:
+                catalog[document.doc_id] = document
         for request in reqs:
             known = catalog.get(request.doc_id)
             if known is None or request.size > known.size:

@@ -1,4 +1,4 @@
-"""Client-level trace sampling.
+"""Client-level trace sampling and the ratio-estimation machinery.
 
 Long traces make iteration slow; the standard reduction that preserves
 both protocols' structure is **client sampling**: keep a random subset
@@ -8,14 +8,64 @@ see — is untouched; only the population shrinks.
 
 (Request-level sampling would be wrong here: it breaks strides and
 inflates miss rates, which is why it is not offered.)
+
+Beyond selection, this module holds the *statistics* of sampling:
+
+* :func:`client_hash` — the one hash family behind both client
+  sampling (:func:`sample_clients`) and the workload generator's
+  stream sharding, so a shard and a sample agree on who a client is.
+* :func:`ht_ratio_estimates` — Horvitz–Thompson ratio estimation with
+  bootstrap confidence intervals over per-client contribution vectors.
+  Under equal inclusion probability ``π`` (what hash sampling gives),
+  each sampled total estimates ``π × population total``, so ``π``
+  cancels in every ratio of totals — the point estimates are the plain
+  sampled ratios, and they are consistent for the population ratios.
+  The intervals come from resampling *clients* (the sampling unit)
+  with replacement, which is valid because the speculative-service
+  replay decomposes exactly per client (caches and pending pushes are
+  per-client state).
+
+The simulator-aware driver that produces the contribution vectors
+lives in :mod:`repro.core.sampling` (this layer cannot import the
+simulator); the report types it returns are defined here.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import TraceFormatError
 from .records import Trace
+
+#: Order of the per-client contribution columns consumed by
+#: :func:`ht_ratio_estimates`: the five :class:`SpeculationMetrics`
+#: components the four headline ratios are built from.
+CONTRIBUTION_COLUMNS = (
+    "bytes_sent",
+    "server_requests",
+    "service_time",
+    "miss_bytes",
+    "accessed_bytes",
+)
+
+#: The four headline ratios, in report order.
+RATIO_NAMES = ("bandwidth", "server_load", "service_time", "miss_rate")
+
+
+def client_hash(client_id: str, *, seed: int = 0) -> int:
+    """Deterministic 32-bit hash of a client id.
+
+    The single hash family behind both :func:`sample_clients` and the
+    workload generator's client-hash sharding: a client's bucket is a
+    pure function of ``(seed, client_id)``, so shards of a stream and
+    samples of a trace partition the same population the same way.
+    """
+    digest = hashlib.sha256(f"{seed}:{client_id}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 def sample_clients(
@@ -26,9 +76,10 @@ def sample_clients(
 ) -> Trace:
     """Keep a deterministic ``fraction`` of clients, streams intact.
 
-    Selection hashes each client id with the seed, so the same
-    (fraction, seed) keeps the same clients across traces of the same
-    population — windows of one trace stay consistent.
+    Selection hashes each client id with the seed
+    (:func:`client_hash`), so the same (fraction, seed) keeps the same
+    clients across traces of the same population — windows of one
+    trace stay consistent.
 
     Args:
         trace: The trace to thin.
@@ -44,14 +95,226 @@ def sample_clients(
         return trace
 
     threshold = int(fraction * 2**32)
-
-    def keep(client_id: str) -> bool:
-        digest = hashlib.sha256(f"{seed}:{client_id}".encode()).digest()
-        return int.from_bytes(digest[:4], "big") < threshold
-
-    kept_clients = {c for c in trace.clients() if keep(c)}
+    kept_clients = {
+        c for c in trace.clients() if client_hash(c, seed=seed) < threshold
+    }
     if not kept_clients and len(trace):
         # Guarantee a non-empty sample: keep the lexicographically
         # first client so downstream pipelines have something to chew.
         kept_clients = {min(trace.clients())}
     return trace.filter(lambda r: r.client in kept_clients)
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How a run should sample its workload's clients.
+
+    Threaded through :class:`repro.api.RunSpec` into the loadtest and
+    fleet engines: the generated trace is thinned to a hash-selected
+    client subset before replay, and the report carries
+    Horvitz–Thompson ratio estimates with bootstrap intervals.
+
+    Attributes:
+        fraction: Fraction of clients to keep, in (0, 1].
+        seed: Selection salt (independent of the workload seed).
+        n_boot: Bootstrap replicates behind each confidence interval.
+        level: Confidence level of the intervals, e.g. ``0.95``.
+        profile: Also run the :class:`~repro.trace.profiler.TraceProfiler`
+            over the sampled trace and attach its summary to the run
+            manifest.
+    """
+
+    fraction: float = 0.05
+    seed: int = 0
+    n_boot: int = 400
+    level: float = 0.95
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise TraceFormatError("sampling fraction must be in (0, 1]")
+        if self.n_boot < 10:
+            raise TraceFormatError("n_boot must be at least 10")
+        if not 0.5 <= self.level < 1.0:
+            raise TraceFormatError("level must be in [0.5, 1)")
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """One estimated ratio with a bootstrap confidence interval.
+
+    Attributes:
+        value: The Horvitz–Thompson point estimate.
+        low: Lower confidence bound (percentile bootstrap).
+        high: Upper confidence bound.
+    """
+
+    value: float
+    low: float
+    high: float
+
+    def covers(self, exact: float) -> bool:
+        """True when the interval contains an exact reference value."""
+        return self.low <= exact <= self.high
+
+    def format(self) -> str:
+        """``0.812 [0.774, 0.851]`` style rendering."""
+        return f"{self.value:.4f} [{self.low:.4f}, {self.high:.4f}]"
+
+
+@dataclass(frozen=True)
+class SampledRatioReport:
+    """The four estimated ratios of a client-sampled replay.
+
+    Attributes:
+        fraction: Client fraction the estimates are based on.
+        seed: Selection salt used by the sampler.
+        level: Confidence level of the intervals.
+        n_boot: Bootstrap replicates used.
+        n_clients: Clients in the sample.
+        n_population: Clients in the full trace the sample was drawn
+            from (0 when unknown).
+        n_requests: Requests in the sampled serving half.
+        estimates: Ratio name → :class:`RatioEstimate`, keyed by
+            :data:`RATIO_NAMES`.
+    """
+
+    fraction: float
+    seed: int
+    level: float
+    n_boot: int
+    n_clients: int
+    n_population: int
+    n_requests: int
+    estimates: dict[str, RatioEstimate] = field(default_factory=dict)
+
+    def covers(self, exact: dict[str, float]) -> dict[str, bool]:
+        """Coverage of exact reference ratios, per ratio name."""
+        return {
+            name: estimate.covers(exact[name])
+            for name, estimate in self.estimates.items()
+            if name in exact
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = [
+            f"client sample: {self.n_clients}/{self.n_population or '?'} "
+            f"clients ({self.fraction:.1%}), {self.n_requests} requests, "
+            f"{self.level:.0%} CIs from {self.n_boot} bootstrap replicates"
+        ]
+        for name in RATIO_NAMES:
+            estimate = self.estimates.get(name)
+            if estimate is not None:
+                lines.append(f"  {name:<13} {estimate.format()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by manifests and the CLI)."""
+        return {
+            "fraction": self.fraction,
+            "seed": self.seed,
+            "level": self.level,
+            "n_boot": self.n_boot,
+            "n_clients": self.n_clients,
+            "n_population": self.n_population,
+            "n_requests": self.n_requests,
+            "estimates": {
+                name: {"value": e.value, "low": e.low, "high": e.high}
+                for name, e in self.estimates.items()
+            },
+        }
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """Mirror of the metrics layer's ratio semantics: 0/0 → 1, x/0 → inf."""
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else math.inf
+    return numerator / denominator
+
+
+def _four_ratios(spec: np.ndarray, base: np.ndarray) -> dict[str, float]:
+    """The paper's four ratios from summed contribution vectors.
+
+    ``spec``/``base`` are length-5 vectors ordered like
+    :data:`CONTRIBUTION_COLUMNS`.
+    """
+    spec_miss = _safe_ratio(float(spec[3]), float(spec[4]))
+    base_miss = _safe_ratio(float(base[3]), float(base[4]))
+    return {
+        "bandwidth": _safe_ratio(float(spec[0]), float(base[0])),
+        "server_load": _safe_ratio(float(spec[1]), float(base[1])),
+        "service_time": _safe_ratio(float(spec[2]), float(base[2])),
+        "miss_rate": _safe_ratio(spec_miss, base_miss),
+    }
+
+
+def ht_ratio_estimates(
+    speculative: np.ndarray,
+    baseline: np.ndarray,
+    *,
+    n_boot: int = 400,
+    level: float = 0.95,
+    seed: int = 0,
+) -> dict[str, RatioEstimate]:
+    """Horvitz–Thompson ratio estimates with bootstrap intervals.
+
+    Args:
+        speculative: ``(n_clients, 5)`` per-client contributions of the
+            speculative arm, columns ordered like
+            :data:`CONTRIBUTION_COLUMNS`.
+        baseline: Same shape for the no-speculation arm.
+        n_boot: Bootstrap replicates (clients resampled with
+            replacement).
+        level: Confidence level of the percentile intervals.
+        seed: Seeds the bootstrap resampling.
+
+    Returns:
+        Ratio name → :class:`RatioEstimate` for the four headline
+        ratios.  Equal inclusion probabilities cancel in each ratio of
+        totals, so the point estimate is the sampled ratio itself; the
+        interval captures the client-sampling variability.
+
+    Raises:
+        TraceFormatError: On mismatched or empty contribution arrays.
+    """
+    spec = np.asarray(speculative, dtype=np.float64)
+    base = np.asarray(baseline, dtype=np.float64)
+    if spec.shape != base.shape or spec.ndim != 2 or spec.shape[1] != 5:
+        raise TraceFormatError(
+            "contribution arrays must both be (n_clients, 5)"
+        )
+    n_clients = spec.shape[0]
+    if n_clients == 0:
+        raise TraceFormatError("cannot estimate ratios from zero clients")
+
+    points = _four_ratios(spec.sum(axis=0), base.sum(axis=0))
+
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(0xB007,))
+    )
+    draws = rng.integers(n_clients, size=(n_boot, n_clients))
+    replicates: dict[str, list[float]] = {name: [] for name in RATIO_NAMES}
+    for indices in draws:
+        sums = _four_ratios(
+            spec[indices].sum(axis=0), base[indices].sum(axis=0)
+        )
+        for name in RATIO_NAMES:
+            replicates[name].append(sums[name])
+
+    alpha = (1.0 - level) / 2.0
+    estimates: dict[str, RatioEstimate] = {}
+    for name in RATIO_NAMES:
+        values = np.asarray(replicates[name])
+        finite = values[np.isfinite(values)]
+        if len(finite) == 0:
+            low = high = points[name]
+        else:
+            low = float(np.quantile(finite, alpha))
+            high = float(np.quantile(finite, 1.0 - alpha))
+        estimates[name] = RatioEstimate(
+            value=points[name],
+            low=min(low, points[name]),
+            high=max(high, points[name]),
+        )
+    return estimates

@@ -67,7 +67,11 @@ def popularity_share(trace: Trace, top_fraction: float) -> float:
         return 0.0
     counts = Counter(r.doc_id for r in trace)
     ranked = [count for _, count in counts.most_common()]
-    top_n = max(1, math.ceil(len(ranked) * top_fraction))
+    # The fraction is of the whole catalog, not of the documents that
+    # happened to be requested — a trace touching 50 of 10,000 documents
+    # has a 0.5% head of 50 documents, not of one.
+    population = max(len(trace.documents), len(ranked))
+    top_n = max(1, math.ceil(population * top_fraction))
     return sum(ranked[:top_n]) / len(trace)
 
 

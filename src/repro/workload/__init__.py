@@ -27,7 +27,12 @@ from .distributions import (
 from .sitegraph import Page, SiteGraph
 from .clients import ClientPopulation
 from .updates import UpdateProcess, UpdateEvent
-from .generator import GeneratorConfig, SyntheticTraceGenerator, generate_trace
+from .generator import (
+    GeneratorConfig,
+    SyntheticTraceGenerator,
+    generate_trace,
+    merge_streams,
+)
 from .calibration import PAPER_TARGETS, CalibrationCheck, check_calibration
 from .presets import preset, preset_names
 from .fit import FittedWorkload, fit_generator_config
@@ -44,6 +49,7 @@ __all__ = [
     "GeneratorConfig",
     "SyntheticTraceGenerator",
     "generate_trace",
+    "merge_streams",
     "PAPER_TARGETS",
     "CalibrationCheck",
     "check_calibration",

@@ -56,16 +56,27 @@ class BoundedZipf:
         """Probability of each rank, index 0 = rank 1 (most popular)."""
         return self._pmf
 
-    def sample(self, size: int | None = None) -> int | np.ndarray:
+    def sample(
+        self,
+        size: int | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> int | np.ndarray:
         """Draw rank indices in ``0..n-1`` (0 = most popular).
 
         Args:
             size: Number of samples; None returns a scalar int.
+            rng: Draw from this generator instead of the bound one.
+                Callers that maintain domain-separated substreams (the
+                trace generator's per-session streams) pass their own
+                so the distribution table can be shared without the
+                draws coupling through one stream.
         """
+        source = self._rng if rng is None else rng
         if size is None:
-            u = self._rng.random()
+            u = source.random()
             return int(np.searchsorted(self._cdf, u, side="left"))
-        u = self._rng.random(size)
+        u = source.random(size)
         return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
 
     def head_mass(self, top_fraction: float) -> float:

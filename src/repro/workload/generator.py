@@ -24,18 +24,54 @@ browsing sessions over a :class:`~repro.workload.sitegraph.SiteGraph`:
 Think times are exponential; inline objects follow their page within
 fractions of a second, so the paper's ``StrideTimeout = 5 s`` cleanly
 separates embedding from cross-page gaps.
+
+**Randomness discipline.**  Construction (site, population, local page
+ranking, page birth days) consumes the one classic stream
+``default_rng(seed)``.  Everything drawn *during* generation comes from
+domain-separated substreams derived with
+``np.random.SeedSequence(seed, spawn_key=...)``:
+
+* region page rankings — one substream per region, fixed at
+  construction (so the site a region sees never depends on which
+  client happens to arrive first);
+* the session schedule (arrival times, diurnal thinning, client
+  assignment) — one substream per generation epoch;
+* daily link churn — one substream per epoch, consumed day by day;
+* each session's browsing walk — one substream per ``(epoch, session)``.
+
+Because session *k*'s randomness is a pure function of
+``(seed, epoch, k)``, the stream can be **sharded by client hash**:
+every shard replays the shared schedule and churn and generates only
+its member sessions, and the N shard streams merge back to the exact
+unsharded trace (:func:`merge_streams`).
+
+:meth:`SyntheticTraceGenerator.stream` produces the trace as a
+time-ordered request iterator with a bounded heap of in-flight
+sessions — peak memory holds the site, the schedule and the briefly
+overlapping sessions, not the trace.  :meth:`~SyntheticTraceGenerator.generate`
+is a materializing wrapper around it.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import CalibrationError
 from ..trace.records import Request, Trace
+from ..trace.sampling import client_hash
 from .clients import Client, ClientPopulation
 from .sitegraph import SiteGraph
+
+#: ``SeedSequence`` spawn-key domains for the generator's substreams.
+#: Kept distinct so no two kinds of draw can ever alias.
+_DOMAIN_REGION = 1
+_DOMAIN_SCHEDULE = 2
+_DOMAIN_CHURN = 3
+_DOMAIN_SESSION = 4
 
 
 @dataclass(frozen=True)
@@ -213,52 +249,86 @@ class SyntheticTraceGenerator:
                 1, max(2, int(config.duration_days)), size=n_new
             )
         self._born = self._birth_day == 0
-        # Per-region page rankings (geographic locality), built lazily.
-        self._region_page_order: dict[int, np.ndarray] = {}
+        # Per-region page rankings (geographic locality).  Each region's
+        # permutation comes from its own SeedSequence substream, fixed
+        # at construction: the ranking a region sees is a pure function
+        # of (seed, region), never of which client arrives first — the
+        # property client-sampled and sharded generation depend on.
+        self._region_page_order: dict[int, np.ndarray] = {
+            region: self._substream(_DOMAIN_REGION, region).permutation(
+                self.site.n_pages
+            )
+            for region in range(self.population.n_regions)
+        }
+        # Generation epoch: repeated stream()/generate() calls on one
+        # instance produce fresh (but reproducible) traffic.
+        self._epoch = 0
+
+    def _substream(self, *key: int) -> np.random.Generator:
+        """A domain-separated RNG substream of the generator's seed."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self.config.seed, spawn_key=tuple(key))
+        )
 
     def _region_order(self, region: int) -> np.ndarray:
         order = self._region_page_order.get(region)
         if order is None:
-            order = self._rng.permutation(self.site.n_pages)
+            # Foreign region index (only possible with an explicitly
+            # passed population): derive it the same seeded way.
+            order = self._substream(_DOMAIN_REGION, region).permutation(
+                self.site.n_pages
+            )
             self._region_page_order[region] = order
         return order
 
-    def _sample_entry_page(self, client: Client) -> int:
+    def _sample_entry_page(
+        self, client: Client, rng: np.random.Generator
+    ) -> int:
         """An entry page that already exists (born)."""
         affinity = self.config.region_affinity
         for __ in range(64):
-            page_index = int(self.site.popularity.sample())
+            page_index = int(self.site.popularity.sample(rng=rng))
             if client.local:
                 page_index = int(self._local_page_order[page_index])
-            elif affinity > 0 and self._rng.random() < affinity:
+            elif affinity > 0 and rng.random() < affinity:
                 page_index = int(self._region_order(client.region)[page_index])
             if self._born[page_index]:
                 return page_index
         born_indices = np.nonzero(self._born)[0]
-        return int(born_indices[int(self._rng.integers(len(born_indices)))])
+        return int(born_indices[int(rng.integers(len(born_indices)))])
 
-    def _apply_daily_churn(self) -> None:
+    def _apply_daily_churn(self, rng: np.random.Generator) -> None:
         """Rewire a random subset of pages' links (one day of evolution)."""
         churn = self.config.link_churn_per_day
         if churn <= 0:
             return
-        hits = self._rng.random(self.site.n_pages) < churn
+        hits = rng.random(self.site.n_pages) < churn
         for page_index in np.nonzero(hits)[0]:
             self._links[int(page_index)] = self.site.resample_links(
-                int(page_index), self._rng
+                int(page_index), rng
             )
 
     def _session_requests(
-        self, client: Client, start_time: float
+        self,
+        client: Client,
+        start_time: float,
+        rng: np.random.Generator | None = None,
     ) -> list[Request]:
-        """Generate one browsing session's requests."""
+        """Generate one browsing session's requests.
+
+        Args:
+            client: The session's client.
+            start_time: Virtual start time of the session.
+            rng: The session's dedicated substream; defaults to the
+                construction stream (convenient for structural tests).
+        """
         config = self.config
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         site = self.site
         requests: list[Request] = []
         fetched: set[str] = set()
         now = start_time
-        page_index = self._sample_entry_page(client)
+        page_index = self._sample_entry_page(client, rng)
 
         while True:
             page = site.pages[page_index]
@@ -293,50 +363,187 @@ class SyntheticTraceGenerator:
             if not links or rng.random() >= config.continue_probability:
                 break
             if rng.random() < config.jump_probability:
-                page_index = self._sample_entry_page(client)
+                page_index = self._sample_entry_page(client, rng)
             else:
                 page_index = links[int(rng.integers(len(links)))]
             now = inline_time + rng.exponential(config.think_time_mean)
         return requests
 
-    def generate(self) -> Trace:
-        """Generate the full trace (sorted by time, catalog attached)."""
-        config = self.config
-        rng = self._rng
-        duration = config.duration_days * 86_400.0
-        session_starts = np.sort(rng.random(config.n_sessions) * duration)
-        if config.diurnal_amplitude > 0:
-            # Thin the homogeneous arrivals against a sinusoidal daily
-            # intensity (peak mid-afternoon), then resample rejected
-            # sessions to keep the configured volume.
-            amplitude = config.diurnal_amplitude
-            kept: list[float] = []
-            while len(kept) < config.n_sessions:
-                candidates = rng.random(config.n_sessions) * duration
-                hour = (candidates % 86_400.0) / 3_600.0
-                intensity = 1.0 + amplitude * np.sin(
-                    (hour - 9.0) / 24.0 * 2.0 * np.pi
-                )
-                accept = rng.random(len(candidates)) * (1.0 + amplitude) < intensity
-                kept.extend(candidates[accept].tolist())
-            session_starts = np.sort(np.array(kept[: config.n_sessions]))
+    def _session_schedule(self, rng: np.random.Generator) -> np.ndarray:
+        """Sorted session start times for one generation epoch.
 
-        # Start each generation from the site's original link structure
-        # and birth state (the RNG stream still advances, so repeated
-        # calls on one generator produce fresh but same-site traffic).
+        The schedule is drawn entirely from the epoch's schedule
+        substream, so every shard of the same epoch reproduces it
+        bit-identically.  This array is the one O(n_sessions) buffer a
+        streamed generation keeps (8 bytes per session).
+        """
+        config = self.config
+        duration = config.duration_days * 86_400.0
+        if config.diurnal_amplitude <= 0:
+            return np.sort(rng.random(config.n_sessions) * duration)
+        # Thin homogeneous arrivals against a sinusoidal daily
+        # intensity (peak mid-afternoon), then resample rejected
+        # sessions to keep the configured volume.
+        amplitude = config.diurnal_amplitude
+        kept: list[float] = []
+        while len(kept) < config.n_sessions:
+            candidates = rng.random(config.n_sessions) * duration
+            hour = (candidates % 86_400.0) / 3_600.0
+            intensity = 1.0 + amplitude * np.sin(
+                (hour - 9.0) / 24.0 * 2.0 * np.pi
+            )
+            accept = rng.random(len(candidates)) * (1.0 + amplitude) < intensity
+            kept.extend(candidates[accept].tolist())
+        return np.sort(np.array(kept[: config.n_sessions]))
+
+    def stream(
+        self,
+        *,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        epoch: int | None = None,
+    ) -> Iterator[Request]:
+        """The trace as a time-ordered request iterator, constant memory.
+
+        Sessions are generated in start order; their requests sit in a
+        small heap until no earlier-starting session can still emit
+        before them, so the iterator yields in exact timestamp order
+        (ties broken by generation order — the order a stable sort of
+        the materialized trace produces).  Peak memory holds the site,
+        the schedule array and the briefly overlapping sessions, not
+        the trace: it is flat in ``n_sessions`` up to the 8-byte-per-
+        session schedule.
+
+        Args:
+            shard_index: This shard's index in ``0..shard_count-1``.
+            shard_count: Partition the client population into this many
+                hash buckets (:func:`~repro.trace.sampling.client_hash`)
+                and generate only sessions of bucket ``shard_index``'s
+                clients.  Every shard replays the shared schedule,
+                churn and client assignment, so the ``shard_count``
+                streams of the same epoch merge back
+                (:func:`merge_streams`) to the exact unsharded trace.
+            epoch: Generation epoch; None uses (and advances) the
+                instance's epoch counter, so repeated calls produce
+                fresh traffic.  Shards of one logical trace must be
+                generated from fresh instances (or pass the same epoch
+                explicitly), since all shards must replay the same
+                schedule.
+
+        Yields:
+            :class:`~repro.trace.records.Request` records in timestamp
+            order.
+
+        Note:
+            Iteration mutates the instance's site-evolution state
+            (links, born pages) — run one stream of an instance at a
+            time, and read ``_links``/``_born`` only after exhaustion.
+        """
+        if shard_count < 1:
+            raise CalibrationError("shard_count must be at least 1")
+        if not 0 <= shard_index < shard_count:
+            raise CalibrationError(
+                "shard_index must be in [0, shard_count)"
+            )
+        if epoch is None:
+            epoch = self._epoch
+            self._epoch += 1
+        return self._stream(shard_index, shard_count, epoch)
+
+    def _stream(
+        self, shard_index: int, shard_count: int, epoch: int
+    ) -> Iterator[Request]:
+        """Generator body behind :meth:`stream` (epoch already fixed)."""
+        schedule_rng = self._substream(_DOMAIN_SCHEDULE, epoch)
+        churn_rng = self._substream(_DOMAIN_CHURN, epoch)
+        starts = self._session_schedule(schedule_rng)
+
+        # Start from the site's original link structure and birth state.
+        self._links = [p.links for p in self.site.pages]
+        self._born = self._birth_day == 0
+        # In-flight requests: (timestamp, generation order, request).
+        # The sequence number reproduces the tie order of a stable sort
+        # over session-major generation order.
+        pending: list[tuple[float, int, Request]] = []
+        sequence = 0
+        current_day = 0
+        for index in range(len(starts)):
+            start = float(starts[index])
+            day = int(start // 86_400.0)
+            while current_day < day:
+                current_day += 1
+                self._apply_daily_churn(churn_rng)
+                self._born |= self._birth_day <= current_day
+            # The client draw is part of the shared schedule: every
+            # shard consumes it so session k's client is shard-invariant.
+            client = self.population.sample_client(rng=schedule_rng)
+            # Everything timestamped at or before this session's start
+            # can no longer be preceded by anything: emit it.
+            while pending and pending[0][0] <= start:
+                yield heapq.heappop(pending)[2]
+            if (
+                shard_count > 1
+                and client_hash(client.client_id) % shard_count != shard_index
+            ):
+                continue
+            session_rng = self._substream(_DOMAIN_SESSION, epoch, index)
+            for request in self._session_requests(client, start, session_rng):
+                heapq.heappush(pending, (request.timestamp, sequence, request))
+                sequence += 1
+        while pending:
+            yield heapq.heappop(pending)[2]
+
+    def _generate_batch(self, *, epoch: int | None = None) -> Trace:
+        """Reference implementation: materialize every session, then sort.
+
+        This is the pre-streaming algorithm, kept (non-public) so the
+        property tests can prove :meth:`stream` bit-identical to it
+        without the two sides sharing the ordering logic under test.
+        """
+        if epoch is None:
+            epoch = self._epoch
+            self._epoch += 1
+        schedule_rng = self._substream(_DOMAIN_SCHEDULE, epoch)
+        churn_rng = self._substream(_DOMAIN_CHURN, epoch)
+        starts = self._session_schedule(schedule_rng)
         self._links = [p.links for p in self.site.pages]
         self._born = self._birth_day == 0
         all_requests: list[Request] = []
         current_day = 0
-        for start in session_starts:
+        for index in range(len(starts)):
+            start = float(starts[index])
             day = int(start // 86_400.0)
             while current_day < day:
                 current_day += 1
-                self._apply_daily_churn()
+                self._apply_daily_churn(churn_rng)
                 self._born |= self._birth_day <= current_day
-            client = self.population.sample_client()
-            all_requests.extend(self._session_requests(client, float(start)))
+            client = self.population.sample_client(rng=schedule_rng)
+            session_rng = self._substream(_DOMAIN_SESSION, epoch, index)
+            all_requests.extend(
+                self._session_requests(client, start, session_rng)
+            )
         return Trace(all_requests, self.site.documents(), sort=True)
+
+    def generate(self) -> Trace:
+        """Generate the full trace (sorted by time, catalog attached).
+
+        A materializing wrapper around :meth:`stream`; the output is
+        bit-identical to streaming the same epoch.
+        """
+        requests = list(self.stream())
+        return Trace(requests, self.site.documents(), sort=True)
+
+
+def merge_streams(*streams: Iterable[Request]) -> Iterator[Request]:
+    """Merge time-ordered request streams into one time-ordered stream.
+
+    The inverse of sharded generation: merging the ``shard_count``
+    shard streams of one epoch yields the exact unsharded trace.  Each
+    input must already be sorted by timestamp (what
+    :meth:`SyntheticTraceGenerator.stream` produces); the merge is lazy
+    and keeps only one pending request per stream.
+    """
+    return heapq.merge(*streams, key=lambda request: request.timestamp)
 
 
 def generate_trace(seed: int = 0, **overrides) -> Trace:

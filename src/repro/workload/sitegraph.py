@@ -154,7 +154,11 @@ class SiteGraph:
         while len(links) < count and attempts < count * 10:
             attempts += 1
             if rng.random() < self._popular_link_bias:
-                target = int(self.popularity.sample())
+                # Draw through the caller's rng: during construction it
+                # is the same stream the popularity table is bound to,
+                # and during link churn it keeps the resample fully on
+                # the caller's substream instead of half on the site's.
+                target = int(self.popularity.sample(rng=rng))
             else:
                 target = int(rng.integers(self.n_pages))
             if target not in seen:

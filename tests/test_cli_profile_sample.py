@@ -1,0 +1,141 @@
+"""CLI tests for ``repro profile`` and ``repro sample``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProfile:
+    def test_smoke_preset_table(self, capsys):
+        code = main(["profile", "--preset", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "burstiness" in out
+
+    def test_json_output(self, capsys):
+        code = main(["profile", "--preset", "smoke", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] > 0
+        assert "arrivals" in payload
+        assert "sessions" in payload
+
+    def test_out_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "profile.json"
+        code = main(["profile", "--preset", "smoke", "--out", str(report)])
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["n_requests"] > 0
+
+    def test_clf_input(self, tmp_path, capsys):
+        log = tmp_path / "access.log"
+        assert (
+            main(
+                ["generate", str(log), "--seed", "1", "--pages", "40",
+                 "--clients", "30", "--sessions", "120", "--days", "5"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["profile", "--clf", str(log), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] > 100
+
+    def test_missing_clf_errors(self, tmp_path, capsys):
+        code = main(["profile", "--clf", str(tmp_path / "nope.log")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_window_errors(self, capsys):
+        code = main(["profile", "--preset", "smoke", "--window", "0"])
+        assert code == 2
+
+    def test_unknown_preset_errors(self, capsys):
+        code = main(["profile", "--preset", "galactic"])
+        assert code == 2
+
+    def test_deterministic(self, capsys):
+        main(["profile", "--preset", "smoke", "--json"])
+        first = capsys.readouterr().out
+        main(["profile", "--preset", "smoke", "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestSample:
+    def test_smoke_preset_report(self, capsys):
+        code = main(
+            ["sample", "--preset", "smoke", "--fraction", "0.2",
+             "--boot", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out
+        assert "client sample" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["sample", "--preset", "smoke", "--fraction", "0.2",
+             "--boot", "50", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["estimates"]) == {
+            "bandwidth", "server_load", "service_time", "miss_rate"
+        }
+        for estimate in payload["estimates"].values():
+            assert estimate["low"] <= estimate["value"] <= estimate["high"]
+
+    def test_bad_fraction_errors(self, capsys):
+        code = main(["sample", "--preset", "smoke", "--fraction", "1.5"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_boot_errors(self, capsys):
+        code = main(["sample", "--preset", "smoke", "--boot", "0"])
+        assert code == 2
+
+    def test_unknown_preset_errors(self, capsys):
+        code = main(["sample", "--preset", "galactic"])
+        assert code == 2
+
+    def test_check_gate_wiring(self, capsys, monkeypatch):
+        # The full gate runs in test_sampling_estimation; here we only
+        # check the CLI plumbing and exit codes around it.
+        import repro.core.sampling as sampling_module
+
+        canned = {
+            "seed": 0,
+            "exact": {"bandwidth": 1.0},
+            "sampled": {
+                "estimates": {
+                    "bandwidth": {"value": 1.0, "low": 0.9, "high": 1.1}
+                }
+            },
+            "coverage": {"bandwidth": True},
+        }
+        monkeypatch.setattr(
+            sampling_module,
+            "execute_sample_check",
+            lambda seed, **kwargs: canned,
+        )
+        code = main(["sample", "--check", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == canned
+
+    def test_check_gate_miss_exits_3(self, monkeypatch, capsys):
+        import repro.core.sampling as sampling_module
+        from repro.errors import RuntimeProtocolError
+
+        def boom(seed, **kwargs):
+            raise RuntimeProtocolError("interval missed bandwidth")
+
+        monkeypatch.setattr(
+            sampling_module, "execute_sample_check", boom
+        )
+        code = main(["sample", "--check"])
+        assert code == 3

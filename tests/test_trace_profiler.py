@@ -1,0 +1,147 @@
+"""Single-pass workload profiler."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import (
+    Request,
+    Trace,
+    TraceProfiler,
+    WorkloadProfile,
+    profile_trace,
+    split_sessions,
+    split_strides,
+)
+from repro.trace.records import Document
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+WORKLOAD = GeneratorConfig(
+    seed=2, n_pages=60, n_clients=40, n_sessions=300, duration_days=10
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return SyntheticTraceGenerator(WORKLOAD).generate()
+
+
+@pytest.fixture(scope="module")
+def profile(trace):
+    return TraceProfiler().profile(trace)
+
+
+def _request(ts, client="c0", doc="d0", size=100):
+    return Request(timestamp=ts, client=client, doc_id=doc, size=size)
+
+
+class TestBasicCounts:
+    def test_totals(self, trace, profile):
+        assert profile.n_requests == len(trace)
+        assert profile.n_clients == len(trace.clients())
+        assert profile.n_documents == len(trace.documents)
+        assert profile.total_bytes == sum(r.size for r in trace)
+        assert profile.duration_seconds == pytest.approx(trace.duration)
+
+    def test_session_count_matches_split_sessions(self, trace, profile):
+        assert profile.n_sessions == len(split_sessions(trace, 1800.0))
+
+    def test_session_bins_sum_to_sessions(self, profile):
+        assert sum(profile.session_length_bins) == profile.n_sessions
+
+    def test_intra_stride_fraction_matches_split_strides(
+        self, trace, profile
+    ):
+        strides = split_strides(trace, 5.0)
+        n_gaps = len(trace) - len(trace.clients())
+        intra = sum(len(s.requests) - 1 for s in strides)
+        assert profile.intra_stride_fraction == pytest.approx(
+            intra / n_gaps
+        )
+
+    def test_gap_bins_sum_to_gaps(self, trace, profile):
+        assert sum(profile.gap_bins) == len(trace) - len(trace.clients())
+
+
+class TestStreamingInput:
+    def test_trace_and_stream_agree(self, trace, profile):
+        streamed = TraceProfiler().profile(iter(list(trace)))
+        # Only the population differs: an iterable has no catalog, so
+        # the population falls back to the distinct requested docs.
+        assert streamed.n_requests == profile.n_requests
+        assert streamed.n_clients == profile.n_clients
+        assert streamed.session_length_bins == profile.session_length_bins
+        assert streamed.gap_bins == profile.gap_bins
+        assert streamed.n_documents <= profile.n_documents
+
+    def test_profiles_generator_stream(self):
+        generator = SyntheticTraceGenerator(WORKLOAD)
+        streamed = profile_trace(generator.stream())
+        batch = TraceProfiler().profile(
+            SyntheticTraceGenerator(WORKLOAD).generate()
+        )
+        assert streamed.n_requests == batch.n_requests
+        assert streamed.gap_bins == batch.gap_bins
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(TraceFormatError):
+            TraceProfiler().profile(iter([]))
+
+    def test_out_of_order_raises(self):
+        requests = [_request(10.0), _request(5.0)]
+        with pytest.raises(TraceFormatError):
+            TraceProfiler().profile(iter(requests))
+
+    def test_bad_thresholds_raise(self):
+        with pytest.raises(TraceFormatError):
+            TraceProfiler(window_seconds=0)
+        with pytest.raises(TraceFormatError):
+            TraceProfiler(session_timeout=-1.0)
+        with pytest.raises(TraceFormatError):
+            TraceProfiler(stride_timeout=0.0)
+
+
+class TestArrivals:
+    def test_burstiness_and_fano(self):
+        # Two windows: 3 requests then 1 — mean 2, peak 3, variance 1.
+        requests = [
+            _request(0.0),
+            _request(1.0),
+            _request(2.0),
+            _request(3_700.0),
+        ]
+        profile = TraceProfiler().profile(iter(requests))
+        assert profile.window_mean == pytest.approx(2.0)
+        assert profile.window_peak == 3
+        assert profile.burstiness == pytest.approx(1.5)
+        assert profile.fano == pytest.approx(0.5)
+
+    def test_hour_histogram_sums_to_requests(self, profile):
+        assert sum(profile.hour_of_day) == profile.n_requests
+
+
+class TestPopularity:
+    def test_population_prefers_catalog(self):
+        documents = [Document(f"d{i}", 100) for i in range(50)]
+        requests = [_request(float(i), doc="d0") for i in range(10)]
+        trace = Trace(requests, documents)
+        profile = TraceProfiler().profile(trace)
+        assert profile.n_documents == 50
+        # One doc takes all requests; top 10% of 50 docs covers it.
+        assert profile.top_ten_percent_share == pytest.approx(1.0)
+
+
+class TestReporting:
+    def test_to_dict_round_trip(self, profile):
+        payload = profile.to_dict()
+        assert payload["n_requests"] == profile.n_requests
+        assert payload["arrivals"]["burstiness"] == profile.burstiness
+        assert payload["sessions"]["count"] == profile.n_sessions
+        assert isinstance(profile, WorkloadProfile)
+
+    def test_format_mentions_key_figures(self, profile):
+        text = profile.format()
+        assert "requests" in text
+        assert "burstiness" in text
+        assert "sessions" in text

@@ -194,3 +194,49 @@ class TestMerge:
         a = Trace([make_request(t=0.0, doc="/m", size=50)], [doc])
         merged = Trace.merge([a, Trace([])])
         assert merged.documents["/m"].mutable
+
+
+class TestCatalogCollisions:
+    """Regression: colliding explicit catalog ids kept the last entry.
+
+    The old constructor built the catalog with a dict comprehension, so
+    a later, smaller duplicate silently replaced an earlier, larger one
+    — and disagreed with merge(), which keeps the max size. Both paths
+    now keep the largest entry.
+    """
+
+    def test_explicit_duplicates_keep_max_size(self):
+        documents = [
+            Document(doc_id="/x", size=500),
+            Document(doc_id="/x", size=100),
+        ]
+        trace = Trace([make_request(doc="/x", size=100)], documents)
+        assert trace.documents["/x"].size == 500
+
+    def test_order_independent(self):
+        big_first = Trace(
+            [make_request(doc="/x")],
+            [Document("/x", 500), Document("/x", 100)],
+        )
+        big_last = Trace(
+            [make_request(doc="/x")],
+            [Document("/x", 100), Document("/x", 500)],
+        )
+        assert (
+            big_first.documents["/x"].size
+            == big_last.documents["/x"].size
+            == 500
+        )
+
+    def test_agrees_with_merge(self):
+        left = Trace([make_request(t=0, doc="/x")], [Document("/x", 500)])
+        right = Trace([make_request(t=1, doc="/x")], [Document("/x", 100)])
+        merged = Trace.merge([left, right])
+        concatenated = Trace(
+            list(left) + list(right),
+            [Document("/x", 500), Document("/x", 100)],
+        )
+        assert (
+            merged.documents["/x"].size
+            == concatenated.documents["/x"].size
+        )

@@ -34,6 +34,31 @@ class TestPopularityShare:
         trace = Trace(requests)
         assert popularity_share(trace, 0.5) == 0.9
 
+    def test_population_is_catalog_not_requested_docs(self):
+        """Regression: ranks were taken over *requested* docs only.
+
+        With a 20-document catalog of which one was requested, the old
+        code computed top_n from the 1 requested doc and reported the
+        hot doc as "top 10%" concentration — wildly overstating skew
+        on sparse traces. The population is now the catalog size.
+        """
+        from repro.trace.records import Document
+
+        documents = [Document(f"/d{i}", 10) for i in range(20)]
+        requests = [req(float(i), "c", "/d0") for i in range(8)]
+        requests += [req(8.0 + i, "c", f"/d{i}") for i in range(1, 5)]
+        trace = Trace(requests, documents)
+        # top 5% of 20 catalog docs = 1 doc = the 8 hot requests.
+        assert popularity_share(trace, 0.05) == 8 / 12
+        # top 25% = 5 docs = every request.
+        assert popularity_share(trace, 0.25) == 1.0
+
+    def test_population_falls_back_to_requested_docs(self):
+        # No explicit catalog: population is the requested docs, as
+        # before the catalog was threaded through.
+        trace = Trace([req(0, "c", "/a"), req(1, "c", "/b")])
+        assert popularity_share(trace, 0.5) == 0.5
+
 
 class TestSummarize:
     def test_counts(self):
