@@ -231,6 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
         "verification (exit 3 on divergence)",
     )
     loadtest.add_argument(
+        "--codec",
+        default="binary",
+        choices=["binary", "json"],
+        help="wire codec the in-memory network round-trips every "
+        "message through (json is the debug/interop mode)",
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the client population across this many forked "
+        "processes; merged counters are bit-identical to --workers 1",
+    )
+    loadtest.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
     )
     loadtest.set_defaults(handler=commands.cmd_loadtest)
@@ -490,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="serve a synthetic catalog over real TCP with in-band "
-        "speculation (length-prefixed JSON frames)",
+        "speculation (length-prefixed binary or JSON frames)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -510,6 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="exit after serving this many requests",
+    )
+    serve.add_argument(
+        "--codec",
+        default="auto",
+        choices=["auto", "binary", "json"],
+        help="reply wire format: auto mirrors each connection's first "
+        "frame; json forces the debug/interop format",
     )
     serve.add_argument(
         "--smoke",

@@ -27,11 +27,13 @@ from .export import config_digest, prometheus_text, run_manifest, trace_jsonl
 from .profile import Profiler
 from .timeseries import (
     Counter,
+    CounterState,
     Histogram,
     MetricsRegistry,
     TimeSample,
     TimeSeriesRecorder,
     bandwidth_curve,
+    merge_registry_states,
     ratio_curve,
     ratios_from_counters,
 )
@@ -41,6 +43,7 @@ __all__ = [
     "EVENT_KINDS",
     "ArmObservations",
     "Counter",
+    "CounterState",
     "Histogram",
     "MetricsRegistry",
     "ObsBundle",
@@ -56,6 +59,7 @@ __all__ = [
     "events_to_jsonl",
     "prometheus_text",
     "bandwidth_curve",
+    "merge_registry_states",
     "ratio_curve",
     "ratios_from_counters",
     "run_manifest",

@@ -19,25 +19,90 @@ time-series↔ratios parity test asserts bit-for-bit.
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Collection, Iterable, Sequence
 
 from ..speculation.metrics import SpeculationRatios
 from .trace import Tracer
 
+#: A counter's exact accumulated state: the integer part plus the
+#: non-overlapping float partials (see :meth:`Counter.state`).
+CounterState = tuple[int, tuple[float, ...]]
+
 
 class Counter:
-    """A named monotone counter (int or float increments)."""
+    """A named monotone counter (int or float increments).
 
-    __slots__ = ("value",)
+    Integer increments accumulate exactly in an ``int``; float
+    increments accumulate as Shewchuk partials (the ``math.fsum``
+    algorithm, maintained incrementally), so :attr:`value` is the
+    *correctly rounded* sum of every increment — independent of
+    increment order.  That order-independence is what lets the sharded
+    load generator merge per-shard counters into values bit-identical
+    to a single-process run: the exact states add, and rounding happens
+    once at the end.
+    """
+
+    __slots__ = ("_int", "_partials")
 
     def __init__(self) -> None:
-        self.value: float = 0
+        self._int: int = 0
+        self._partials: list[float] = []
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (must be non-negative to stay monotone)."""
-        self.value += amount
+        if isinstance(amount, int):
+            self._int += amount
+        else:
+            self._add_float(float(amount))
+
+    def _add_float(self, x: float) -> None:
+        # One round of Shewchuk's algorithm: fold ``x`` into the
+        # non-overlapping partials without losing a single bit.
+        partials = self._partials
+        count = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            high = x + y
+            low = y - (high - x)
+            if low:
+                partials[count] = low
+                count += 1
+            x = high
+        partials[count:] = [x]
+
+    @property
+    def value(self) -> float:
+        """The correctly rounded sum of every increment.
+
+        Stays an ``int`` while only integer increments have been seen,
+        so integer counters keep rendering as integers in snapshots.
+        """
+        if not self._partials:
+            return self._int
+        return math.fsum([self._int, *self._partials])
+
+    def state(self) -> CounterState:
+        """The exact accumulated state, for cross-process merging."""
+        return (self._int, tuple(self._partials))
+
+    @classmethod
+    def from_states(cls, states: Iterable[CounterState]) -> "Counter":
+        """Rebuild one counter from many exact states.
+
+        Because each state is exact, the merged counter's
+        :attr:`value` equals what a single counter fed every original
+        increment (in any order) would report — bit for bit.
+        """
+        merged = cls()
+        for int_part, partials in states:
+            merged._int += int_part
+            for partial in partials:
+                merged._add_float(partial)
+        return merged
 
 
 class Histogram:
@@ -72,11 +137,25 @@ class Histogram:
         fraction = position - low
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
+    def extend(self, values: Iterable[float]) -> None:
+        """Bulk-record observations (shard merging)."""
+        self._values.extend(values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """Every raw observation, in recording order."""
+        return tuple(self._values)
+
     def summary(self) -> dict[str, float]:
-        """Count, mean and the standard quantiles, rounded for stability."""
+        """Count, mean and the standard quantiles, rounded for stability.
+
+        The mean uses ``math.fsum``, so the summary is independent of
+        observation order — merged shard histograms summarise exactly
+        like a single-process histogram over the same observations.
+        """
         if not self._values:
             return {"count": 0}
-        total = sum(self._values)
+        total = math.fsum(self._values)
         return {
             "count": len(self._values),
             "mean": round(total / len(self._values), 9),
@@ -198,7 +277,7 @@ class _RecordedCounter(Counter):
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` and sample the new cumulative value."""
-        self.value += amount
+        super().inc(amount)
         self._recorder.sample(self._name, self.value)
 
 
@@ -321,6 +400,75 @@ class MetricsRegistry:
     def to_json(self, *, indent: int | None = None) -> str:
         """Canonical JSON rendering — identical runs give identical text."""
         return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def export_state(self) -> dict[str, Any]:
+        """Exact, picklable state for cross-process merging.
+
+        Unlike :meth:`snapshot` — which rounds (histogram summaries)
+        and re-associates (counter values) — this carries every
+        counter's exact partials and every histogram's raw
+        observations, so :func:`merge_registry_states` can rebuild a
+        registry whose snapshot matches a single-process run bit for
+        bit.
+        """
+        return {
+            "counters": {
+                name: counter.state()
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: list(histogram.values)
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "events": list(self._events),
+        }
+
+
+def merge_registry_states(
+    states: Sequence[dict[str, Any]],
+    *,
+    max_counters: Collection[str] = (),
+) -> MetricsRegistry:
+    """Rebuild one registry from per-shard :meth:`~MetricsRegistry.export_state` exports.
+
+    Counters merge by summing exact states (bit-identical to a single
+    counter that saw every increment); histograms merge by
+    concatenating raw observations in shard order (their summaries are
+    order-independent); events merge time-sorted.  Counters named in
+    ``max_counters`` merge by taking the maximum shard value instead —
+    that is how clock-like readings (``run.virtual_seconds``) combine,
+    since every shard's virtual clock starts at zero.
+    """
+    merged = MetricsRegistry()
+    counter_names = sorted({name for s in states for name in s["counters"]})
+    for name in counter_names:
+        shard_states = [
+            s["counters"][name] for s in states if name in s["counters"]
+        ]
+        if name in max_counters:
+            peak = max(
+                Counter.from_states([state]).value for state in shard_states
+            )
+            counter = merged.counter(name)
+            counter.inc(peak)
+        else:
+            merged._counters[name] = Counter.from_states(
+                (int_part, tuple(partials))
+                for int_part, partials in shard_states
+            )
+    histogram_names = sorted(
+        {name for s in states for name in s["histograms"]}
+    )
+    for name in histogram_names:
+        histogram = merged.histogram(name)
+        for state in states:
+            histogram.extend(state["histograms"].get(name, ()))
+    events = sorted(
+        (tuple(event) for state in states for event in state["events"]),
+    )
+    for time, event_name in events:
+        merged.record_event(time, event_name)
+    return merged
 
 
 def ratio(numerator: float, denominator: float) -> float:

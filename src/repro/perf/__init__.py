@@ -7,6 +7,12 @@ experiments faster without changing a single measured number:
   (:class:`~repro.speculation.sparse.SparseDependencyEngine`, re-exported
   for convenience) — CSR adjacency over numpy with batched closure-row
   relaxation, bit-identical to the pure-Python ``dict`` backend.
+* The **columnar replay engine**
+  (:func:`~repro.speculation.columnar.replay_columnar`, re-exported) —
+  whole-trace vectorized replay of the speculative-service simulator,
+  bit-identical to the event loop and dispatched automatically by
+  :meth:`SpeculativeServiceSimulator.run` for fast-path-eligible
+  configurations.
 * The **parallel sweep executor** (:mod:`repro.perf.parallel`) —
   fork-based sharding of embarrassingly parallel sweep points with an
   ordered merge and deterministic per-shard seeding, so parallel runs
@@ -16,9 +22,11 @@ experiments faster without changing a single measured number:
   both speedup floors and the committed baseline.
 """
 
+from ..speculation.columnar import ColumnarReplay, replay_columnar
 from ..speculation.sparse import SparseDependencyEngine, estimate_pair_counts
 from .bench import (
     MAX_REGRESSION,
+    PAIRED_SUFFIXES,
     SCALES,
     WALL_MAX_REGRESSION,
     BenchScale,
@@ -29,6 +37,7 @@ from .bench import (
     machine_fingerprint,
     merge_reports,
     run_scale,
+    time_paired,
     time_wall,
     write_baseline,
 )
@@ -36,8 +45,10 @@ from .parallel import default_workers, fork_available, parallel_map, spawn_seeds
 
 __all__ = [
     "MAX_REGRESSION",
+    "PAIRED_SUFFIXES",
     "SCALES",
     "BenchScale",
+    "ColumnarReplay",
     "SparseDependencyEngine",
     "WALL_MAX_REGRESSION",
     "build_report",
@@ -50,8 +61,10 @@ __all__ = [
     "machine_fingerprint",
     "merge_reports",
     "parallel_map",
+    "replay_columnar",
     "run_scale",
     "spawn_seeds",
+    "time_paired",
     "time_wall",
     "write_baseline",
 ]

@@ -1,30 +1,36 @@
 """Benchmark-trajectory layer: measure, record, and gate engine speed.
 
 ``repro bench`` times the engine's hot loops — dependency estimation,
-closure computation, and trace replay — in both the ``dict`` and
-``sparse`` backends at a fixed reference configuration.  The medians
-land in ``BENCH_PERF.json`` together with a machine fingerprint and the
-git revision, so the committed file is a performance trajectory of the
-repository: every entry says *this revision ran this fast on this
-machine*.
+closure computation, trace replay in both the ``dict`` and ``sparse``
+backends, and the full baseline+policy replay pair through the
+per-event loop versus the vectorized columnar engine — at a fixed
+reference configuration.  The medians land in ``BENCH_PERF.json``
+together with a machine fingerprint and the git revision, so the
+committed file is a performance trajectory of the repository: every
+entry says *this revision ran this fast on this machine*.
 
 Two kinds of gate protect that trajectory:
 
-* **Speedup floors** — the sparse backend must beat the dict backend by
-  a fixed factor on estimation and replay.  Speedup is a *ratio of two
+* **Speedup floors** — the optimized implementation must beat its
+  reference partner by a fixed factor (sparse over dict, columnar over
+  event, binary codec over JSON).  Speedup is a *ratio of two
   measurements on the same machine in the same run*, so it is stable
-  across hardware and is enforced unconditionally.
-* **Absolute regression** — ``*_sparse`` medians may not slow down more
+  across hardware and is enforced unconditionally.  Scale floors live
+  in :data:`SCALES`; injected sections (:func:`time_paired`) carry
+  their own ``speedup_floors``.
+* **Absolute regression** — optimized medians may not slow down more
   than :data:`MAX_REGRESSION` against the committed baseline.
   Wall-clock medians only compare across runs on the same machine, so
   this check applies only when the stored fingerprint matches the
-  current one, and each sparse median is load-normalized by the drift
-  of its interleaved ``dict`` partner so shared-host noise does not
-  read as a regression.  Dict medians are recorded as the load
-  reference, not gated: their drift *is* the noise measurement.
-  Injected ``*_wall`` sections (:func:`time_wall` — e.g. the fleet
-  smoke handed down by the CLI) have no dict partner and are gated
-  strictly at the wider :data:`WALL_MAX_REGRESSION`.
+  current one, and each optimized median is load-normalized by the
+  drift of its interleaved reference partner (see
+  :data:`PAIRED_SUFFIXES`) so shared-host noise does not read as a
+  regression.  Reference medians are recorded as the load reference,
+  not gated: their drift *is* the noise measurement.  Injected
+  ``*_wall`` sections (:func:`time_wall` — e.g. the fleet smoke and
+  the sharded loadtest handed down by the CLI) have no reference
+  partner and are gated strictly at the wider
+  :data:`WALL_MAX_REGRESSION`.
 
 Violations raise :class:`~repro.errors.PerfRegressionError`, which the
 CLI maps to exit code 5.  The file records no timestamps — it changes
@@ -62,6 +68,17 @@ WALL_MAX_REGRESSION = 0.5
 #: Default location of the committed baseline, relative to the cwd.
 DEFAULT_BASELINE = Path("BENCH_PERF.json")
 
+#: Gated-median suffix → interleaved reference-partner suffix.  Each
+#: pair is sampled by :func:`_paired_medians` (or :func:`time_paired`),
+#: the left side is gated against the baseline load-normalized by the
+#: right side's drift, and the right side is recorded ungated as the
+#: load reference.
+PAIRED_SUFFIXES: dict[str, str] = {
+    "_sparse": "_dict",
+    "_columnar": "_event",
+    "_binary": "_json",
+}
+
 
 @dataclass(frozen=True)
 class BenchScale:
@@ -89,14 +106,22 @@ SCALES: dict[str, BenchScale] = {
             seed=77, n_pages=120, n_clients=150, n_sessions=1500, duration_days=30
         ),
         repeats=9,
-        speedup_floors={"estimation": 3.0, "replay": 3.0},
+        speedup_floors={
+            "estimation": 3.0,
+            "replay": 3.0,
+            "replay_columnar": 2.0,
+        },
     ),
     "smoke": BenchScale(
         workload=GeneratorConfig(
             seed=77, n_pages=100, n_clients=100, n_sessions=900, duration_days=18
         ),
         repeats=9,
-        speedup_floors={"estimation": 2.0, "replay": 2.0},
+        speedup_floors={
+            "estimation": 2.0,
+            "replay": 2.0,
+            "replay_columnar": 2.0,
+        },
     ),
 }
 
@@ -104,13 +129,13 @@ SCALES: dict[str, BenchScale] = {
 REPLAY_THRESHOLD = 0.25
 
 
-def machine_fingerprint() -> dict[str, str]:
+def machine_fingerprint() -> dict[str, Any]:
     """Identity of the measuring machine, for baseline comparability."""
     return {
         "system": platform.system(),
         "machine": platform.machine(),
         "python": platform.python_version(),
-        "cpus": str(os.cpu_count() or 1),
+        "cpus": os.cpu_count() or 1,
     }
 
 
@@ -206,10 +231,31 @@ def run_scale(name: str, *, repeats: int | None = None) -> dict[str, Any]:
         lambda: replay_dict.run(policy), lambda: replay_sparse.run(policy), reps
     )
 
+    # The ratio-producing unit of work: one baseline run plus one policy
+    # run on the same simulator, replayed through the per-event loop
+    # versus the vectorized columnar engine (bit-identical results; see
+    # tests/test_columnar_replay.py).
+    pair_sim = SpeculativeServiceSimulator(trace, BASELINE, model=model_sparse)
+
+    def replay_pair(mode: str) -> None:
+        pair_sim.run(replay=mode)
+        pair_sim.run(policy, replay=mode)
+
+    medians["replay_pair_event"], medians["replay_pair_columnar"] = (
+        _paired_medians(
+            lambda: replay_pair("event"),
+            lambda: replay_pair("columnar"),
+            reps,
+        )
+    )
+
     speedups = {
         "estimation": medians["estimation_dict"] / medians["estimation_sparse"],
         "closure": medians["closure_dict"] / medians["closure_sparse"],
         "replay": medians["replay_dict"] / medians["replay_sparse"],
+        "replay_columnar": (
+            medians["replay_pair_event"] / medians["replay_pair_columnar"]
+        ),
     }
     return {
         "workload": {
@@ -255,6 +301,62 @@ def time_wall(
         "repeats": reps,
         "medians_seconds": {f"{name}_wall": samples[reps // 2]},
     }
+
+
+def time_paired(
+    metric: str,
+    reference_pass: Callable[[], Any],
+    gated_pass: Callable[[], Any],
+    *,
+    suffixes: tuple[str, str],
+    repeats: int = 9,
+    floor: float | None = None,
+) -> dict[str, Any]:
+    """Time an injected reference/optimized pair as a report section.
+
+    Like :func:`time_wall` this takes plain callables from higher
+    layers — the wire-codec pass, for instance, lives above this
+    package.  Unlike a wall section the pair is sampled interleaved
+    (:func:`_paired_medians`), so the optimized median is gated against
+    the baseline load-normalized by its reference partner, and the
+    speedup floor travels inside the section where
+    :func:`find_regressions` picks it up.
+
+    Args:
+        metric: Benchmark stem; medians land under ``<metric><suffix>``.
+        reference_pass: Zero-argument reference implementation.
+        gated_pass: Zero-argument optimized implementation.
+        suffixes: ``(gated_suffix, reference_suffix)`` — must be a
+            :data:`PAIRED_SUFFIXES` item so the gate recognizes the pair.
+        repeats: Timing repetitions (median is reported).
+        floor: Minimum reference-over-optimized speedup, enforced
+            unconditionally when given.
+
+    Returns:
+        A scale-shaped section: ``repeats``, ``medians_seconds``,
+        ``speedups`` and (when ``floor`` is given) ``speedup_floors``.
+    """
+    gated_suffix, reference_suffix = suffixes
+    if PAIRED_SUFFIXES.get(gated_suffix) != reference_suffix:
+        raise PerfRegressionError(
+            f"unknown paired suffixes {suffixes!r}; expected an item of "
+            f"{sorted(PAIRED_SUFFIXES.items())}"
+        )
+    reps = max(1, repeats)
+    reference_median, gated_median = _paired_medians(
+        reference_pass, gated_pass, reps
+    )
+    section: dict[str, Any] = {
+        "repeats": reps,
+        "medians_seconds": {
+            f"{metric}{reference_suffix}": reference_median,
+            f"{metric}{gated_suffix}": gated_median,
+        },
+        "speedups": {metric: reference_median / gated_median},
+    }
+    if floor is not None:
+        section["speedup_floors"] = {metric: floor}
+    return section
 
 
 def build_report(sections: dict[str, dict[str, Any]]) -> dict[str, Any]:
@@ -304,25 +406,29 @@ def _load_scale(
 ) -> float:
     """Machine-load normalization factor for one absolute comparison.
 
-    The ``*_dict`` stages time the reference implementation, which the
-    sparse engine never touches — so when *those* medians drift versus
-    the committed baseline, the machine is busier (or idler), not the
-    code slower.  A ``*_sparse`` stage is normalized by its paired
-    ``*_dict`` stage (sampled interleaved, so both see the same load),
-    falling back to the median drift of all dict stages.  The factor is
+    The reference stages (``*_dict``, ``*_event``, ``*_json``) time
+    implementations the optimized engines never touch — so when *those*
+    medians drift versus the committed baseline, the machine is busier
+    (or idler), not the code slower.  An optimized stage is normalized
+    by its paired reference stage (:data:`PAIRED_SUFFIXES`; sampled
+    interleaved, so both see the same load), falling back to the median
+    drift of all reference stages in the section.  The factor is
     clamped to at least 1.0: a uniform slow-down of both passes
     (shared-host noise) cancels out, while a *differential* slow-down
-    of the sparse pass is still flagged.  Without dict anchors the
-    factor is 1.0 and the comparison is strict.
+    of the optimized pass is still flagged.  Without reference anchors
+    the factor is 1.0 and the comparison is strict.
     """
-    if bench_name.endswith("_sparse"):
-        partner = bench_name[: -len("_sparse")] + "_dict"
-        if partner in current and committed.get(partner, 0) > 0:
-            return max(1.0, current[partner] / committed[partner])
+    for gated_suffix, reference_suffix in PAIRED_SUFFIXES.items():
+        if bench_name.endswith(gated_suffix):
+            partner = bench_name[: -len(gated_suffix)] + reference_suffix
+            if partner in current and committed.get(partner, 0) > 0:
+                return max(1.0, current[partner] / committed[partner])
+            break
     drifts = sorted(
         current[name] / committed[name]
         for name in current
-        if name.endswith("_dict") and committed.get(name, 0) > 0
+        if name.endswith(tuple(PAIRED_SUFFIXES.values()))
+        and committed.get(name, 0) > 0
     )
     if not drifts:
         return 1.0
@@ -338,23 +444,29 @@ def find_regressions(
 ) -> list[str]:
     """Every gate violation in ``report``, as human-readable findings.
 
-    Speedup floors are checked unconditionally; absolute ``*_sparse``
-    medians are compared only when a baseline exists,
-    ``compare_absolute`` is set, and its machine fingerprint matches
-    the current machine.  Matching fingerprints still share the host
-    with other tenants, so each comparison is load-normalized by the
-    paired dict-stage drift (:func:`_load_scale`); the dict medians
-    themselves are the load reference and are not gated.
+    Speedup floors are checked unconditionally — scale floors from
+    :data:`SCALES` plus any ``speedup_floors`` an injected section
+    carries (:func:`time_paired`).  Absolute optimized medians
+    (:data:`PAIRED_SUFFIXES` left-hand suffixes) are compared only when
+    a baseline exists, ``compare_absolute`` is set, and its machine
+    fingerprint matches the current machine.  Matching fingerprints
+    still share the host with other tenants, so each comparison is
+    load-normalized by the paired reference-stage drift
+    (:func:`_load_scale`); the reference medians themselves are the
+    load reference and are not gated.
     """
     findings: list[str] = []
     for scale_name, section in report.get("scales", {}).items():
-        floors = SCALES[scale_name].speedup_floors if scale_name in SCALES else {}
+        floors = dict(
+            SCALES[scale_name].speedup_floors if scale_name in SCALES else {}
+        )
+        floors.update(section.get("speedup_floors", {}))
         speedups = section.get("speedups", {})
         for metric, floor in floors.items():
             achieved = speedups.get(metric)
             if achieved is None or achieved < floor:
                 findings.append(
-                    f"{scale_name}: sparse {metric} speedup "
+                    f"{scale_name}: {metric} speedup "
                     f"{achieved if achieved is None else f'{achieved:.2f}x'} "
                     f"below the {floor:.1f}x floor"
                 )
@@ -370,19 +482,19 @@ def find_regressions(
         committed = reference.get("medians_seconds", {})
         current = section.get("medians_seconds", {})
         for bench_name, median in current.items():
-            if bench_name.endswith("_sparse"):
+            if bench_name.endswith(tuple(PAIRED_SUFFIXES)):
                 limit = max_regression
                 tolerance = (1.0 + limit) * _load_scale(
                     bench_name, current, committed
                 )
             elif bench_name.endswith("_wall"):
                 # Injected end-to-end medians (see :func:`time_wall`):
-                # no dict partner to normalize by, so strict comparison
-                # at the wider wall tolerance.
+                # no reference partner to normalize by, so strict
+                # comparison at the wider wall tolerance.
                 limit = WALL_MAX_REGRESSION
                 tolerance = 1.0 + limit
             else:
-                # Dict medians are the load reference, not a gated
+                # Reference medians are the load reference, not a gated
                 # surface: their drift *defines* machine weather here.
                 continue
             anchor = committed.get(bench_name)

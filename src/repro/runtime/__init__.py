@@ -29,7 +29,16 @@ from .daemon import DisseminationDaemon
 from .estimator import OnlineDependencyEstimator
 from .faults import FaultEvent, FaultInjector, FaultPlan
 from .loadgen import ClientRoute, LoadConfig, LoadGenerator
-from .messages import Message
+from .messages import (
+    BINARY_CODEC,
+    CODECS,
+    JSON_CODEC,
+    BinaryCodec,
+    JsonCodec,
+    Message,
+    resolve_codec,
+    sniff_codec,
+)
 from .metrics import (
     Counter,
     Histogram,
@@ -60,7 +69,10 @@ from .service import (
 from .transport import Endpoint, InMemoryNetwork, TcpServer, tcp_call
 
 __all__ = [
+    "BINARY_CODEC",
     "BackoffPolicy",
+    "BinaryCodec",
+    "CODECS",
     "ChaosReport",
     "ChaosSettings",
     "CircuitBreaker",
@@ -74,6 +86,8 @@ __all__ = [
     "FaultPlan",
     "Histogram",
     "InMemoryNetwork",
+    "JSON_CODEC",
+    "JsonCodec",
     "LiveReport",
     "LiveSettings",
     "LoadConfig",
@@ -92,6 +106,7 @@ __all__ = [
     "execute_loadtest",
     "execute_smoke",
     "live_ratios",
+    "resolve_codec",
     "retry_rng",
     "run_chaos",
     "run_chaos_smoke",
@@ -99,6 +114,7 @@ __all__ = [
     "run_smoke",
     "run_virtual",
     "smoke_workload",
+    "sniff_codec",
     "tcp_call",
     "verify_conservation",
 ]

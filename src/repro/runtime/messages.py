@@ -1,11 +1,30 @@
 """Wire protocol shared by every runtime transport.
 
-One message shape serves both transports: the in-memory network passes
-:class:`Message` objects by reference, the TCP transport serialises them
-as JSON behind a 4-byte big-endian length prefix.  Keeping the schema
-tiny (a kind tag, a sender, a correlation id, a payload dict) means the
-protocol layer — origin, proxies, load generator — never knows which
-transport carried a message.
+One message shape serves both transports: the in-memory network
+round-trips :class:`Message` objects through the configured codec, the
+TCP transport serialises them behind a 4-byte big-endian length prefix.
+Keeping the schema tiny (a kind tag, a sender, a correlation id, a
+payload dict) means the protocol layer — origin, proxies, load
+generator — never knows which transport carried a message.
+
+Two codecs serialise that schema:
+
+* :data:`BINARY_CODEC` — the default.  A ``struct``-packed header
+  (magic, version, kind, payload format, field lengths, body bytes)
+  followed by a packed payload.  The hot ``request`` and ``response``
+  payloads use fixed packed layouts; everything else falls back to a
+  tagged value encoding that covers exactly the JSON value domain.
+  Decoding reads straight out of a ``memoryview`` — no intermediate
+  copies, no text parse.
+* :data:`JSON_CODEC` — canonical JSON, kept as the debug/interop mode
+  (``repro serve --codec json``).  ``Message.encode`` is this form.
+
+Both codecs accept the same payload value domain (``None``, ``bool``,
+``int``, ``float``, ``str``, ``list``, string-keyed ``dict``) and
+:meth:`Message.decode` sniffs the codec from the first byte (binary
+frames start with ``0xAB``, which no JSON document can), so every layer
+above the codec is codec-agnostic and roundtrip equivalence is enforced
+here, once.
 
 Message kinds
 -------------
@@ -25,12 +44,14 @@ Message kinds
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Union
 
 from ..errors import RuntimeProtocolError
 
-#: Hard cap on one frame's encoded size (TCP transport).
+#: Default cap on one frame's encoded size (TCP transport).  Transports
+#: accept a per-connection override; see ``read_frame``.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Length-prefix width in bytes (big-endian unsigned).
 HEADER_BYTES = 4
@@ -80,6 +101,37 @@ class Message:
 
     @classmethod
     def decode(cls, raw: bytes) -> "Message":
+        """Parse encoded bytes back into a message, sniffing the codec.
+
+        Binary frames are recognised by their ``0xAB`` magic byte —
+        unreachable by JSON, whose first byte is always ASCII — so one
+        decoder serves both wire formats and peers never have to agree
+        on a codec out of band.
+
+        Raises:
+            RuntimeProtocolError: On malformed input, a non-object
+                body, or an unknown message kind.
+        """
+        if raw[:1] == _MAGIC_BYTE:
+            return BINARY_CODEC.decode(raw)
+        return JSON_CODEC.decode(raw)
+
+
+class JsonCodec:
+    """Canonical-JSON wire codec: the debug/interop format.
+
+    Frames are ``json.dumps(..., sort_keys=True)`` of the message
+    fields — human-readable on the wire and accepted by any peer,
+    at the cost of text parsing on every decode.
+    """
+
+    name = "json"
+
+    def encode(self, message: Message) -> bytes:
+        """Serialise ``message`` to canonical JSON bytes."""
+        return message.encode()
+
+    def decode(self, raw: bytes) -> Message:
         """Parse JSON bytes back into a message.
 
         Raises:
@@ -87,7 +139,7 @@ class Message:
                 or an unknown message kind.
         """
         try:
-            data = json.loads(raw.decode("utf-8"))
+            data = json.loads(bytes(raw).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
             raise RuntimeProtocolError(f"undecodable frame: {err}") from err
         if not isinstance(data, dict):
@@ -98,7 +150,7 @@ class Message:
         payload = data.get("payload", {})
         if not isinstance(payload, dict):
             raise RuntimeProtocolError("message payload must be an object")
-        return cls(
+        return Message(
             kind=kind,
             sender=str(data.get("sender", "")),
             request_id=str(data.get("request_id", "")),
@@ -107,17 +159,508 @@ class Message:
         )
 
 
-def frame(message: Message) -> bytes:
+# --------------------------------------------------------------------------
+# Binary codec
+#
+# Frame layout (all integers big-endian):
+#
+#   magic      2 bytes   0xAB 0x52 — 0xAB is not a valid leading UTF-8/JSON
+#                        byte, so codec sniffing is unambiguous
+#   version    1 byte    wire format version (currently 1)
+#   kind       1 byte    index into _KIND_CODES
+#   format     1 byte    payload encoding: 0 generic tagged, 1 packed
+#   sender     u16 len   + UTF-8 bytes
+#   request_id u16 len   + UTF-8 bytes
+#   body_bytes i64
+#   payload    format-dependent (see _pack_request/_pack_response and
+#              the tagged-value encoding in _write_value)
+
+_MAGIC = b"\xabR"
+_MAGIC_BYTE = b"\xab"
+_WIRE_VERSION = 1
+_FORMAT_GENERIC = 0
+_FORMAT_PACKED = 1
+
+#: Stable kind numbering for the one-byte kind field.
+_KIND_CODES: tuple[str, ...] = tuple(sorted(KINDS))
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KIND_CODES)}
+
+_HEADER = struct.Struct("!2sBBBHHq")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_REQ_HEAD = struct.Struct("!dHHHII")
+_RESP_HEAD = struct.Struct("!qHHIIB")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+def _pack_request(payload: dict[str, Any]) -> bytes | None:
+    """Pack a canonical ``make_request`` payload, or ``None`` if the
+    payload deviates from that shape (extra keys, unexpected types,
+    oversize fields) and must take the generic encoding instead."""
+    try:
+        doc_id = payload["doc_id"]
+        client = payload["client"]
+        timestamp = payload["timestamp"]
+        digest = payload["digest"]
+    except (KeyError, TypeError):
+        return None
+    demand = payload.get("req")
+    if len(payload) != 4 + (demand is not None):
+        return None
+    if type(doc_id) is not str or type(client) is not str:
+        return None
+    if type(timestamp) is not float or type(digest) is not list:
+        return None
+    if demand is None:
+        demand_raw = b""
+    elif type(demand) is str and demand:
+        demand_raw = demand.encode("utf-8")
+    else:
+        return None
+    doc_raw = doc_id.encode("utf-8")
+    client_raw = client.encode("utf-8")
+    if max(len(doc_raw), len(client_raw), len(demand_raw)) > 0xFFFF:
+        return None
+    # The digest travels as one UTF-8 blob plus a codepoint-length
+    # array, so both encode and decode are single C-level passes.
+    try:
+        lengths = [len(entry) for entry in digest]
+        blob = "".join(digest).encode("utf-8")
+    except TypeError:
+        return None
+    if len(digest) > 0xFFFFFFFF or len(blob) > 0xFFFFFFFF:
+        return None
+    if lengths and max(lengths) > 0xFFFF:
+        return None
+    return b"".join(
+        (
+            _REQ_HEAD.pack(
+                timestamp,
+                len(doc_raw),
+                len(client_raw),
+                len(demand_raw),
+                len(digest),
+                len(blob),
+            ),
+            doc_raw,
+            client_raw,
+            demand_raw,
+            struct.pack(f"!{len(digest)}H", *lengths),
+            blob,
+        )
+    )
+
+
+def _unpack_request(view: memoryview, offset: int) -> tuple[dict[str, Any], int]:
+    """Inverse of :func:`_pack_request`; returns payload + next offset."""
+    timestamp, doc_len, client_len, demand_len, count, blob_len = (
+        _REQ_HEAD.unpack_from(view, offset)
+    )
+    offset += _REQ_HEAD.size
+    doc_id = str(view[offset : offset + doc_len], "utf-8")
+    offset += doc_len
+    client = str(view[offset : offset + client_len], "utf-8")
+    offset += client_len
+    demand = str(view[offset : offset + demand_len], "utf-8")
+    offset += demand_len
+    lengths = struct.unpack_from(f"!{count}H", view, offset)
+    offset += 2 * count
+    joined = str(view[offset : offset + blob_len], "utf-8")
+    offset += blob_len
+    digest: list[str] = []
+    append = digest.append
+    position = 0
+    for length in lengths:
+        append(joined[position : position + length])
+        position += length
+    if position != len(joined):
+        raise RuntimeProtocolError("request digest blob length mismatch")
+    payload: dict[str, Any] = {
+        "doc_id": doc_id,
+        "client": client,
+        "timestamp": timestamp,
+        "digest": digest,
+    }
+    if demand_len:
+        payload["req"] = demand
+    return payload, offset
+
+
+def _pack_response(payload: dict[str, Any]) -> bytes | None:
+    """Pack a canonical ``make_response`` payload (optionally stamped
+    with the TCP server's ``service_seconds``), or ``None`` when it
+    must take the generic encoding."""
+    try:
+        doc_id = payload["doc_id"]
+        size = payload["size"]
+        served_by = payload["served_by"]
+        speculated = payload["speculated"]
+    except (KeyError, TypeError):
+        return None
+    service = payload.get("service_seconds")
+    if len(payload) != 4 + (service is not None):
+        return None
+    if type(doc_id) is not str or type(served_by) is not str:
+        return None
+    if type(size) is not int or not _I64_MIN <= size <= _I64_MAX:
+        return None
+    if type(speculated) is not list:
+        return None
+    if service is not None and type(service) is not float:
+        return None
+    doc_raw = doc_id.encode("utf-8")
+    served_raw = served_by.encode("utf-8")
+    if max(len(doc_raw), len(served_raw)) > 0xFFFF:
+        return None
+    # Rider ids travel as one UTF-8 blob plus codepoint-length and
+    # size arrays — single C-level packs, mirroring the digest layout.
+    rider_ids: list[str] = []
+    rider_sizes: list[int] = []
+    for pair in speculated:
+        if type(pair) is not list or len(pair) != 2:
+            return None
+        rider_id, rider_size = pair
+        if type(rider_id) is not str or type(rider_size) is not int:
+            return None
+        if not _I64_MIN <= rider_size <= _I64_MAX or len(rider_id) > 0xFFFF:
+            return None
+        rider_ids.append(rider_id)
+        rider_sizes.append(rider_size)
+    blob = "".join(rider_ids).encode("utf-8")
+    count = len(rider_ids)
+    if count > 0xFFFFFFFF or len(blob) > 0xFFFFFFFF:
+        return None
+    chunks = [
+        _RESP_HEAD.pack(
+            size,
+            len(doc_raw),
+            len(served_raw),
+            count,
+            len(blob),
+            service is not None,
+        ),
+    ]
+    if service is not None:
+        chunks.append(_F64.pack(service))
+    chunks.append(doc_raw)
+    chunks.append(served_raw)
+    chunks.append(struct.pack(f"!{count}H", *map(len, rider_ids)))
+    chunks.append(struct.pack(f"!{count}q", *rider_sizes))
+    chunks.append(blob)
+    return b"".join(chunks)
+
+
+def _unpack_response(view: memoryview, offset: int) -> tuple[dict[str, Any], int]:
+    """Inverse of :func:`_pack_response`; returns payload + next offset."""
+    size, doc_len, served_len, count, blob_len, has_service = (
+        _RESP_HEAD.unpack_from(view, offset)
+    )
+    offset += _RESP_HEAD.size
+    service = None
+    if has_service:
+        (service,) = _F64.unpack_from(view, offset)
+        offset += 8
+    doc_id = str(view[offset : offset + doc_len], "utf-8")
+    offset += doc_len
+    served_by = str(view[offset : offset + served_len], "utf-8")
+    offset += served_len
+    lengths = struct.unpack_from(f"!{count}H", view, offset)
+    offset += 2 * count
+    sizes = struct.unpack_from(f"!{count}q", view, offset)
+    offset += 8 * count
+    joined = str(view[offset : offset + blob_len], "utf-8")
+    offset += blob_len
+    speculated: list[list[Any]] = []
+    append = speculated.append
+    position = 0
+    for length, rider_size in zip(lengths, sizes):
+        append([joined[position : position + length], rider_size])
+        position += length
+    if position != len(joined):
+        raise RuntimeProtocolError("response rider blob length mismatch")
+    payload: dict[str, Any] = {
+        "doc_id": doc_id,
+        "size": size,
+        "served_by": served_by,
+        "speculated": speculated,
+    }
+    if has_service:
+        payload["service_seconds"] = service
+    return payload, offset
+
+
+def _write_value(chunks: list[bytes], value: Any) -> None:
+    """Append the tagged encoding of one JSON-domain value.
+
+    The tag set mirrors the JSON value domain exactly — tuples encode
+    like lists (JSON coerces them the same way) and dict keys must be
+    strings — so the two codecs stay roundtrip-equivalent.
+
+    Raises:
+        RuntimeProtocolError: On a value outside the JSON domain.
+    """
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        chunks.append(b"s" + _U32.pack(len(raw)))
+        chunks.append(raw)
+    elif kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            chunks.append(b"i" + _I64.pack(value))
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            chunks.append(b"I" + _U32.pack(len(raw)))
+            chunks.append(raw)
+    elif kind is float:
+        chunks.append(b"d" + _F64.pack(value))
+    elif kind is bool:
+        chunks.append(b"T" if value else b"F")
+    elif value is None:
+        chunks.append(b"N")
+    elif kind is list or kind is tuple:
+        chunks.append(b"l" + _U32.pack(len(value)))
+        for item in value:
+            _write_value(chunks, item)
+    elif kind is dict:
+        chunks.append(b"m" + _U32.pack(len(value)))
+        for key in sorted(value):
+            if type(key) is not str:
+                raise RuntimeProtocolError(
+                    f"binary codec requires string payload keys, got {key!r}"
+                )
+            raw = key.encode("utf-8")
+            chunks.append(_U32.pack(len(raw)))
+            chunks.append(raw)
+            _write_value(chunks, value[key])
+    else:
+        raise RuntimeProtocolError(
+            f"payload value of type {kind.__name__} is not wire-encodable"
+        )
+
+
+def _read_value(view: memoryview, offset: int) -> tuple[Any, int]:
+    """Inverse of :func:`_write_value`; returns value + next offset.
+
+    Raises:
+        RuntimeProtocolError: On an unknown tag byte.
+    """
+    tag = view[offset]
+    offset += 1
+    if tag == 0x73:  # "s"
+        (length,) = _U32.unpack_from(view, offset)
+        offset += 4
+        return str(view[offset : offset + length], "utf-8"), offset + length
+    if tag == 0x69:  # "i"
+        (value,) = _I64.unpack_from(view, offset)
+        return value, offset + 8
+    if tag == 0x49:  # "I"
+        (length,) = _U32.unpack_from(view, offset)
+        offset += 4
+        big = int.from_bytes(view[offset : offset + length], "big", signed=True)
+        return big, offset + length
+    if tag == 0x64:  # "d"
+        (value,) = _F64.unpack_from(view, offset)
+        return value, offset + 8
+    if tag == 0x54:  # "T"
+        return True, offset
+    if tag == 0x46:  # "F"
+        return False, offset
+    if tag == 0x4E:  # "N"
+        return None, offset
+    if tag == 0x6C:  # "l"
+        (count,) = _U32.unpack_from(view, offset)
+        offset += 4
+        items: list[Any] = []
+        for _ in range(count):
+            item, offset = _read_value(view, offset)
+            items.append(item)
+        return items, offset
+    if tag == 0x6D:  # "m"
+        (count,) = _U32.unpack_from(view, offset)
+        offset += 4
+        mapping: dict[str, Any] = {}
+        for _ in range(count):
+            (length,) = _U32.unpack_from(view, offset)
+            offset += 4
+            key = str(view[offset : offset + length], "utf-8")
+            offset += length
+            mapping[key], offset = _read_value(view, offset)
+        return mapping, offset
+    raise RuntimeProtocolError(f"unknown binary value tag {tag:#04x}")
+
+
+class BinaryCodec:
+    """Struct-packed wire codec: the default transport format.
+
+    The header is one ``struct`` pack; the hot ``request``/``response``
+    payload shapes get fixed packed layouts and everything else takes a
+    tagged value encoding covering exactly the JSON value domain, so
+    ``binary → decode`` and ``json → decode`` agree on every message.
+    Decoding is zero-copy: fields are unpacked straight out of a
+    ``memoryview`` of the frame.
+    """
+
+    name = "binary"
+
+    def encode(self, message: Message) -> bytes:
+        """Serialise ``message`` to binary frame bytes.
+
+        Raises:
+            RuntimeProtocolError: On an unknown kind, an out-of-range
+                header field, or a payload value outside the wire
+                value domain.
+        """
+        kind_code = _KIND_INDEX.get(message.kind)
+        if kind_code is None:
+            raise RuntimeProtocolError(f"unknown message kind {message.kind!r}")
+        payload = message.payload
+        packed: bytes | None = None
+        if message.kind == "request":
+            packed = _pack_request(payload)
+        elif message.kind == "response":
+            packed = _pack_response(payload)
+        if packed is None:
+            if type(payload) is not dict:
+                raise RuntimeProtocolError("message payload must be an object")
+            chunks: list[bytes] = []
+            _write_value(chunks, payload)
+            payload_format = _FORMAT_GENERIC
+            body = b"".join(chunks)
+        else:
+            payload_format = _FORMAT_PACKED
+            body = packed
+        sender_raw = message.sender.encode("utf-8")
+        request_raw = message.request_id.encode("utf-8")
+        try:
+            header = _HEADER.pack(
+                _MAGIC,
+                _WIRE_VERSION,
+                kind_code,
+                payload_format,
+                len(sender_raw),
+                len(request_raw),
+                message.body_bytes,
+            )
+        except struct.error as err:
+            raise RuntimeProtocolError(f"unencodable message header: {err}") from err
+        return b"".join((header, sender_raw, request_raw, body))
+
+    def decode(self, raw: bytes) -> Message:
+        """Parse binary frame bytes back into a message.
+
+        Raises:
+            RuntimeProtocolError: On a bad magic/version, a truncated
+                or overlong frame, or a malformed payload.
+        """
+        view = memoryview(raw)
+        try:
+            (
+                magic,
+                version,
+                kind_code,
+                payload_format,
+                sender_len,
+                request_len,
+                body_bytes,
+            ) = _HEADER.unpack_from(view, 0)
+            if magic != _MAGIC:
+                raise RuntimeProtocolError("bad binary frame magic")
+            if version != _WIRE_VERSION:
+                raise RuntimeProtocolError(
+                    f"unsupported wire version {version}"
+                )
+            if kind_code >= len(_KIND_CODES):
+                raise RuntimeProtocolError(f"unknown kind code {kind_code}")
+            offset = _HEADER.size
+            sender = str(view[offset : offset + sender_len], "utf-8")
+            offset += sender_len
+            request_id = str(view[offset : offset + request_len], "utf-8")
+            offset += request_len
+            kind = _KIND_CODES[kind_code]
+            payload: Any
+            if payload_format == _FORMAT_PACKED and kind == "request":
+                payload, offset = _unpack_request(view, offset)
+            elif payload_format == _FORMAT_PACKED and kind == "response":
+                payload, offset = _unpack_response(view, offset)
+            elif payload_format == _FORMAT_GENERIC:
+                payload, offset = _read_value(view, offset)
+            else:
+                raise RuntimeProtocolError(
+                    f"payload format {payload_format} is invalid for kind {kind!r}"
+                )
+        except (struct.error, UnicodeDecodeError, IndexError) as err:
+            raise RuntimeProtocolError(f"undecodable binary frame: {err}") from err
+        if offset != len(view):
+            raise RuntimeProtocolError(
+                f"binary frame has {len(view) - offset} trailing bytes"
+            )
+        if not isinstance(payload, dict):
+            raise RuntimeProtocolError("message payload must be an object")
+        return Message(
+            kind=kind,
+            sender=sender,
+            request_id=request_id,
+            payload=payload,
+            body_bytes=body_bytes,
+        )
+
+
+#: Union of the concrete codec types (both are duck-compatible).
+Codec = Union[JsonCodec, BinaryCodec]
+
+#: Singleton codec instances (codecs are stateless).
+JSON_CODEC = JsonCodec()
+BINARY_CODEC = BinaryCodec()
+
+#: Codec registry keyed by wire-format name.
+CODECS: dict[str, Codec] = {"json": JSON_CODEC, "binary": BINARY_CODEC}
+
+
+def resolve_codec(codec: str | Codec | None) -> Codec:
+    """Map a codec name (or codec instance, or ``None``) to a codec.
+
+    ``None`` resolves to the default :data:`BINARY_CODEC`.
+
+    Raises:
+        RuntimeProtocolError: On an unknown codec name.
+    """
+    if codec is None:
+        return BINARY_CODEC
+    if isinstance(codec, str):
+        try:
+            return CODECS[codec]
+        except KeyError:
+            raise RuntimeProtocolError(
+                f"unknown codec {codec!r}; expected one of {sorted(CODECS)}"
+            ) from None
+    return codec
+
+
+def sniff_codec(raw: bytes) -> Codec:
+    """Identify which codec produced ``raw`` from its first byte."""
+    return BINARY_CODEC if raw[:1] == _MAGIC_BYTE else JSON_CODEC
+
+
+def frame(
+    message: Message,
+    codec: str | Codec | None = None,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
     """Length-prefix a message for stream transports.
 
     Raises:
         RuntimeProtocolError: If the encoded body exceeds
-            :data:`MAX_FRAME_BYTES`.
+            ``max_frame_bytes``.
     """
-    body = message.encode()
-    if len(body) > MAX_FRAME_BYTES:
+    body = resolve_codec(codec).encode(message)
+    if len(body) > max_frame_bytes:
         raise RuntimeProtocolError(
-            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte cap"
         )
     return len(body).to_bytes(HEADER_BYTES, "big") + body
 

@@ -32,7 +32,7 @@ import asyncio
 import math
 import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
 from ..core.combined import CombinedProtocolSimulator, CombinedResult
@@ -41,11 +41,14 @@ from ..core.sampling import estimate_ratios
 from ..errors import RuntimeProtocolError, SimulationError
 from ..obs import (
     ArmObservations,
+    MetricsRegistry,
     ObsBundle,
     ObsConfig,
     RunObservations,
+    merge_registry_states,
     run_manifest,
 )
+from ..perf.parallel import parallel_map
 from ..speculation.dependency import DependencyModel
 from ..speculation.metrics import SpeculationRatios
 from ..speculation.policies import ThresholdPolicy
@@ -53,7 +56,12 @@ from ..topology.builder import build_clientele_tree
 from ..topology.tree import RoutingTree
 from ..trace.profiler import TraceProfiler, WorkloadProfile
 from ..trace.records import Trace
-from ..trace.sampling import SampledRatioReport, SamplingConfig, sample_clients
+from ..trace.sampling import (
+    SampledRatioReport,
+    SamplingConfig,
+    client_hash,
+    sample_clients,
+)
 from ..workload.generator import GeneratorConfig, SyntheticTraceGenerator
 from .clock import run_virtual
 from .daemon import DisseminationDaemon
@@ -93,6 +101,10 @@ class LiveSettings:
             seed (see :func:`~repro.runtime.clock.run_virtual`).  Used
             by ``repro racecheck``; the reported ratios must be
             bit-identical for every value.
+        codec: Wire codec for the in-memory network (``"binary"`` or
+            ``"json"``); every delivered message round-trips through
+            it, so both formats are exercised end to end and must
+            produce identical ratios.
     """
 
     budget_bytes: float = 2_000_000.0
@@ -107,6 +119,7 @@ class LiveSettings:
     drop_probability: float = 0.0
     refresh_interval: int = 512
     schedule_seed: int | None = None
+    codec: str = "binary"
 
 
 @dataclass(frozen=True)
@@ -314,6 +327,50 @@ def _restart_hook(
     return hook
 
 
+def _shard_clients(
+    clients: Iterable[str], workers: int
+) -> list[tuple[str, ...]]:
+    """Partition clients into ``workers`` hash buckets.
+
+    Uses the same :func:`~repro.trace.sampling.client_hash` family as
+    trace sampling and generator sharding, so a client's bucket is a
+    pure function of its id — stable across runs and machines.
+    """
+    buckets: list[list[str]] = [[] for _ in range(workers)]
+    for client in sorted(clients):
+        buckets[client_hash(client) % workers].append(client)
+    return [tuple(bucket) for bucket in buckets]
+
+
+def _require_shardable(
+    settings: LiveSettings, obs: ObsConfig | None
+) -> None:
+    """Reject configurations whose counters are not shard-exact.
+
+    Raises:
+        SimulationError: When a knob couples clients across shards —
+            frame drops (shared drop-RNG stream), online learning
+            (estimator state depends on global request order), a
+            replanning daemon (each shard would push and count its own
+            copy), or observability channels (windowed time-series
+            sample per-shard virtual clocks).
+    """
+    problems = []
+    if settings.drop_probability != 0.0:
+        problems.append("drop_probability must be 0")
+    if settings.learn_online:
+        problems.append("learn_online must be False")
+    if settings.dissemination_interval is not None:
+        problems.append("dissemination_interval must be None")
+    if obs is not None and obs.enabled:
+        problems.append("obs channels must be disabled")
+    if problems:
+        raise SimulationError(
+            "sharded loadtest (workers > 1) requires a "
+            f"shard-exact configuration: {'; '.join(problems)}"
+        )
+
+
 async def _run_once(
     serve: Trace,
     tree: RoutingTree,
@@ -327,8 +384,15 @@ async def _run_once(
     policy: ThresholdPolicy | None,
     fault_plan: FaultPlan | None = None,
     obs: ObsConfig | None = None,
-) -> tuple[dict[str, Any], ArmObservations | None]:
-    """One full live replay; returns (snapshot, observations-or-None)."""
+    clients: frozenset[str] | None = None,
+) -> tuple[MetricsRegistry, ArmObservations | None]:
+    """One full live replay; returns (registry, observations-or-None).
+
+    ``clients`` restricts the load generator to a subset of the serving
+    trace's clients (the sharded loadtest's per-worker filter); ``None``
+    replays every client.  Topology, holdings and routing stay those of
+    the full population either way, so shard counters add up exactly.
+    """
     depth_of = {node: tree.depth(node) for node in tree.nodes()}
 
     def hop_count(source: str, destination: str) -> int:
@@ -339,6 +403,7 @@ async def _run_once(
         seed=settings.seed,
         drop_probability=settings.drop_probability,
         hop_count=hop_count,
+        codec=settings.codec,
     )
     bundle = ObsBundle.from_config(obs)
     metrics = bundle.registry
@@ -407,10 +472,17 @@ async def _run_once(
             injector.register_daemon(pause=daemon.pause, resume=daemon.resume)
         injector_task = asyncio.get_running_loop().create_task(injector.run())
 
+    streams = serve.by_client()
+    if clients is not None:
+        streams = {
+            client: requests
+            for client, requests in streams.items()
+            if client in clients
+        }
     generator = LoadGenerator(
         network,
         routes,
-        serve.by_client(),
+        streams,
         origin_name=tree.root,
         config=config,
         load=LoadConfig(
@@ -446,7 +518,7 @@ async def _run_once(
     observed = (
         bundle.observations() if obs is not None and obs.enabled else None
     )
-    return metrics.snapshot(), observed
+    return metrics, observed
 
 
 def _batch_ratios(
@@ -592,7 +664,7 @@ class _PreparedRun:
             :class:`~repro.obs.ArmObservations` when ``obs`` enables
             any channel (None otherwise).
         """
-        return run_virtual(
+        metrics, observed = run_virtual(
             _run_once(
                 self.serve,
                 self.tree,
@@ -608,6 +680,51 @@ class _PreparedRun:
             ),
             schedule_seed=self.settings.schedule_seed,
         )
+        return metrics.snapshot(), observed
+
+    def arm_sharded(self, *, speculative: bool, workers: int) -> dict[str, Any]:
+        """Run one arm with its client population split across workers.
+
+        Each worker replays only its hash-bucket of clients
+        (:func:`_shard_clients`) against the *full* topology, holdings
+        and routing, then exports its registry's exact state; the
+        merged snapshot's counters are bit-identical to a
+        single-process :meth:`arm` because fault-free proxy state is
+        static (holdings change only via pushes or breaker-open miss
+        recovery, neither of which sharding preconditions allow), so
+        every per-client counter contribution is independent of which
+        process serves which client.  The only cross-shard quantities
+        are ``run.virtual_seconds`` (a clock, merged by max — each
+        shard's virtual clock starts at zero) and the
+        ``request_latency`` histogram, whose *observations* depend on
+        the shared jitter-RNG draw order and therefore reflect the
+        sharded schedule rather than the single-process one.
+        """
+        buckets = _shard_clients(self.serve.clients(), workers)
+
+        def run_shard(bucket: tuple[str, ...]) -> dict[str, Any]:
+            metrics, _ = run_virtual(
+                _run_once(
+                    self.serve,
+                    self.tree,
+                    self.routes,
+                    self.proxies,
+                    self.holdings if speculative else {},
+                    config=self.config,
+                    settings=self.settings,
+                    estimator=self.fresh_estimator(),
+                    policy=self.policy if speculative else None,
+                    clients=frozenset(bucket),
+                ),
+                schedule_seed=self.settings.schedule_seed,
+            )
+            return metrics.export_state()
+
+        states = parallel_map(run_shard, buckets, workers=workers)
+        merged = merge_registry_states(
+            states, max_counters=("run.virtual_seconds",)
+        )
+        return merged.snapshot()
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -666,6 +783,7 @@ def execute_loadtest(
     verify_batch: bool = False,
     obs: ObsConfig | None = None,
     sampling: SamplingConfig | None = None,
+    workers: int = 1,
 ) -> LiveReport:
     """Generate a workload and run it live, baseline vs. speculation.
 
@@ -685,6 +803,12 @@ def execute_loadtest(
             attach Horvitz–Thompson ratio estimates with bootstrap
             intervals (:class:`~repro.trace.sampling.SamplingConfig`);
             None replays the full population.
+        workers: Shard the client population across this many forked
+            processes (:func:`~repro.perf.parallel.parallel_map`),
+            merging per-shard metrics into counters bit-identical to a
+            single-process run.  Requires a shard-exact configuration
+            (no drops, no online learning, no replanning daemon, no
+            obs channels); 1 runs in-process as before.
 
     Returns:
         A :class:`LiveReport` with both snapshots and the ratios (and
@@ -692,15 +816,32 @@ def execute_loadtest(
 
     Raises:
         SimulationError: If the trace is too small to split into
-            non-empty training and serving halves.
+            non-empty training and serving halves, or if ``workers >
+            1`` with a configuration whose counters are not
+            shard-exact.
     """
     settings = settings if settings is not None else LiveSettings()
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        _require_shardable(settings, obs)
     prepared = _PreparedRun(workload, settings, config, sampling)
 
-    baseline_snapshot, baseline_obs = prepared.arm(speculative=False, obs=obs)
-    speculative_snapshot, speculative_obs = prepared.arm(
-        speculative=True, obs=obs
-    )
+    if workers > 1:
+        baseline_snapshot = prepared.arm_sharded(
+            speculative=False, workers=workers
+        )
+        speculative_snapshot = prepared.arm_sharded(
+            speculative=True, workers=workers
+        )
+        baseline_obs = speculative_obs = None
+    else:
+        baseline_snapshot, baseline_obs = prepared.arm(
+            speculative=False, obs=obs
+        )
+        speculative_snapshot, speculative_obs = prepared.arm(
+            speculative=True, obs=obs
+        )
 
     ratios = live_ratios(speculative_snapshot, baseline_snapshot)
     batch = None
@@ -936,12 +1077,18 @@ def execute_smoke(
     *,
     tolerance: float = 0.05,
     obs: ObsConfig | None = None,
+    codec: str = "binary",
+    workers: int = 1,
 ) -> LiveReport:
     """The ``repro loadtest --smoke`` self-test.
 
     Runs the small smoke workload live, verifies the live ratios
     against the batch reference, and raises on divergence — this is the
-    check CI runs after the test suite.
+    check CI runs after the test suite.  ``codec`` selects the wire
+    format the in-memory network round-trips every message through
+    (CI's codec matrix runs this once per codec and diffs the four
+    ratios bit-for-bit); ``workers`` shards the client population as in
+    :func:`execute_loadtest`.
 
     Raises:
         RuntimeProtocolError: If live and batch ratios diverge beyond
@@ -949,9 +1096,10 @@ def execute_smoke(
     """
     report = execute_loadtest(
         smoke_workload(seed),
-        LiveSettings(seed=seed),
+        LiveSettings(seed=seed, codec=codec),
         verify_batch=True,
         obs=obs,
+        workers=workers,
     )
     report.require_convergence(tolerance)
     return report

@@ -11,9 +11,16 @@ Two transports implement the same request/reply contract over
   metrics snapshot.  Per-link delivery is FIFO (a later message never
   overtakes an earlier one on the same src→dst link, mirroring a TCP
   stream).
-* :class:`TcpServer` / :func:`tcp_call` — the same messages as JSON
+* :class:`TcpServer` / :func:`tcp_call` — the same messages as codec
   frames behind a 4-byte big-endian length prefix on real sockets, for
   ``repro serve``.
+
+Both transports speak a negotiated wire codec (see
+:mod:`~repro.runtime.messages`): the packed binary codec by default,
+canonical JSON as the debug/interop mode.  The in-memory network
+round-trips every delivered message through its codec so simulated runs
+exercise the same serialisation path as real sockets; the TCP server
+mirrors each connection's first inbound frame unless a codec is forced.
 
 Failure mapping: anything the *network* did wrong (timeout, dropped
 frame, refused connection, truncated stream) raises
@@ -36,10 +43,13 @@ from .messages import (
     HEADER_BYTES,
     MAX_FRAME_BYTES,
     REPLY_KINDS,
+    Codec,
     Message,
     frame,
     make_error,
     raise_if_error,
+    resolve_codec,
+    sniff_codec,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -180,6 +190,11 @@ class InMemoryNetwork:
         hop_count: Maps ``(src, dst)`` to the hop distance; defaults to
             1 hop for every pair.  The service harness wires in routing
             tree distances here.
+        codec: Wire codec name (``"binary"`` or ``"json"``).  Every
+            delivered message is round-tripped through this codec, so
+            simulated runs exercise the same serialisation path as the
+            TCP transport; ``body_bytes`` still drives the latency
+            model either way.
     """
 
     def __init__(
@@ -191,6 +206,7 @@ class InMemoryNetwork:
         jitter: float = 0.2,
         drop_probability: float = 0.0,
         hop_count: Callable[[str, str], int] | None = None,
+        codec: str | Codec = "binary",
     ):
         if base_latency < 0:
             raise TransportError("base_latency must be non-negative")
@@ -204,6 +220,7 @@ class InMemoryNetwork:
         self._jitter = jitter
         self._drop_probability = drop_probability
         self._hop_count = hop_count
+        self._codec = resolve_codec(codec)
         self._endpoints: dict[str, Endpoint] = {}
         self._link_clear_at: dict[tuple[str, str], float] = {}
         self._faults: FaultInjector | None = None
@@ -249,12 +266,25 @@ class InMemoryNetwork:
             delay += self._faults.extra_latency(source, destination)
         return delay
 
+    @property
+    def codec(self) -> Codec:
+        """The wire codec every delivered message round-trips through."""
+        return self._codec
+
     def deliver(self, source: str, destination: str, message: Message) -> None:
         """Schedule a message for delayed delivery.
 
+        The message is serialised and re-parsed through the network's
+        codec before scheduling, so the receiver observes exactly what
+        the wire format preserves and codec bugs surface synchronously
+        at the sender.
+
         Raises:
             TransportError: If the destination endpoint does not exist.
+            RuntimeProtocolError: If the message does not survive the
+                wire codec.
         """
+        message = self._codec.decode(self._codec.encode(message))
         self.frames_sent += 1
         self.bytes_sent += message.body_bytes
         target = self._endpoints.get(destination)
@@ -327,30 +357,56 @@ class InMemoryNetwork:
 # -- real TCP ----------------------------------------------------------------
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Message:
-    """Read one length-prefixed message from a stream.
+async def _read_body(
+    reader: asyncio.StreamReader, max_frame_bytes: int
+) -> bytes:
+    """Read one length-prefixed frame body without decoding it.
+
+    Raises:
+        TransportError: On a truncated stream.
+        RuntimeProtocolError: When the peer announces a frame larger
+            than ``max_frame_bytes`` — the declared length is rejected
+            *before* any body byte is read, so a hostile peer cannot
+            make the server buffer an unbounded frame.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+        length = int.from_bytes(header, "big")
+        if length > max_frame_bytes:
+            raise RuntimeProtocolError(
+                f"peer announced a {length}-byte frame "
+                f"(cap {max_frame_bytes})"
+            )
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise TransportError("stream closed mid-frame") from err
+    return body
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Message:
+    """Read one length-prefixed message from a stream (codec sniffed).
 
     Raises:
         TransportError: On a truncated stream.
         RuntimeProtocolError: On an oversized or undecodable frame.
     """
-    try:
-        header = await reader.readexactly(HEADER_BYTES)
-        length = int.from_bytes(header, "big")
-        if length > MAX_FRAME_BYTES:
-            raise RuntimeProtocolError(
-                f"peer announced a {length}-byte frame "
-                f"(cap {MAX_FRAME_BYTES})"
-            )
-        body = await reader.readexactly(length)
-    except asyncio.IncompleteReadError as err:
-        raise TransportError("stream closed mid-frame") from err
-    return Message.decode(body)
+    return Message.decode(await _read_body(reader, max_frame_bytes))
 
 
-def write_frame(writer: asyncio.StreamWriter, message: Message) -> None:
-    """Queue one length-prefixed message on a stream."""
-    writer.write(frame(message))
+def write_frame(
+    writer: asyncio.StreamWriter,
+    message: Message,
+    codec: str | Codec | None = None,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Queue one length-prefixed message on a stream.
+
+    ``codec`` selects the wire format (default: binary).
+    """
+    writer.write(frame(message, codec, max_frame_bytes=max_frame_bytes))
 
 
 class TcpServer:
@@ -364,16 +420,36 @@ class TcpServer:
         host: Interface to bind.
         port: Port to bind; 0 picks an ephemeral port (read it back
             from :attr:`port` after :meth:`start`).
+        codec: Reply wire format.  ``None`` (the default) negotiates
+            per connection by mirroring the codec of the connection's
+            first inbound frame; ``"binary"`` or ``"json"`` forces one
+            format regardless of what clients send (``repro serve
+            --codec json`` is the debug/interop mode).  Inbound frames
+            are always decoded by sniffing, so a forced codec never
+            rejects a well-formed client.
+        max_frame_bytes: Per-frame size cap enforced on the *declared*
+            length before any body byte is read.
     """
 
-    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        codec: str | Codec | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
         self._handler = handler
         self._host = host
         self._requested_port = port
+        self._forced_codec = None if codec is None else resolve_codec(codec)
+        self._max_frame_bytes = max_frame_bytes
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task[None]] = set()
         self.port: int = port
         self.requests_served = 0
+        self.protocol_errors = 0
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
@@ -406,11 +482,27 @@ class TcpServer:
     async def _serve_loop(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        codec = self._forced_codec
         while True:
             try:
-                message = await read_frame(reader)
+                body = await _read_body(reader, self._max_frame_bytes)
+                message = Message.decode(body)
             except TransportError:
                 return  # client closed the connection
+            except RuntimeProtocolError as err:
+                # Hostile or broken peer (oversize announcement,
+                # undecodable frame): report the violation on whichever
+                # codec is in force and drop the connection instead of
+                # trusting any further bytes from the stream.
+                self.protocol_errors += 1
+                error = make_error("server", "", "protocol", str(err))
+                write_frame(writer, error, codec)
+                await writer.drain()
+                return
+            if codec is None:
+                # Negotiation: replies mirror the codec of this
+                # connection's first inbound frame.
+                codec = sniff_codec(body)
             # Wall-clock is banned repo-wide (D004) because it breaks
             # replayability — but a real-socket round trip has no
             # virtual clock, and the served duration is reporting-only
@@ -422,7 +514,7 @@ class TcpServer:
             if reply is not None:
                 elapsed = time.monotonic() - started
                 reply.payload["service_seconds"] = round(elapsed, 6)
-                write_frame(writer, reply)
+                write_frame(writer, reply, codec)
                 await writer.drain()
             self.requests_served += 1
 
@@ -440,13 +532,20 @@ class TcpServer:
 
 
 async def tcp_call(
-    host: str, port: int, message: Message, *, timeout: float = 5.0
+    host: str,
+    port: int,
+    message: Message,
+    *,
+    timeout: float = 5.0,
+    codec: str | Codec | None = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
 ) -> Message:
     """One request/reply round trip against a :class:`TcpServer`.
 
-    Opens a connection, sends one frame, awaits one reply frame and
-    closes.  (The load generator keeps persistent connections; this
-    helper is for the CLI and tests.)
+    Opens a connection, sends one frame (binary by default; pass
+    ``codec="json"`` for the debug/interop format), awaits one reply
+    frame and closes.  (The load generator keeps persistent
+    connections; this helper is for the CLI and tests.)
 
     Raises:
         TransportError: On connect failure, timeout or truncation.
@@ -463,9 +562,11 @@ async def tcp_call(
     except (ConnectionError, OSError) as err:
         raise TransportError(f"connect to {host}:{port} failed: {err}") from err
     try:
-        write_frame(writer, message)
+        write_frame(writer, message, codec)
         await writer.drain()
-        reply = await asyncio.wait_for(read_frame(reader), timeout)
+        reply = await asyncio.wait_for(
+            read_frame(reader, max_frame_bytes=max_frame_bytes), timeout
+        )
     except asyncio.TimeoutError:
         raise TransportError(
             f"request {message.request_id} to {host}:{port} "

@@ -152,6 +152,11 @@ class DependencyModel:
         #: invalidation in :meth:`refresh_closure`.
         self._dirty: set[str] = set()
         self._engine: SparseDependencyEngine | None = None
+        #: Monotone mutation counter; bumped by :meth:`observe` so
+        #: derived caches (e.g. the columnar replay's memoized push
+        #: tables) can key on ``(model, version)`` and never serve
+        #: selections computed from stale counts.
+        self._version = 0
 
     # -- estimation --------------------------------------------------------------
 
@@ -312,6 +317,7 @@ class DependencyModel:
             self._dirty.add(occurrence.doc_id)
         entries.append(_OpenOccurrence(timestamp=timestamp, doc_id=doc_id))
         self._engine = None  # counts changed; rebuild lazily on next miss
+        self._version += 1
 
     def refresh_closure(
         self,
@@ -364,6 +370,12 @@ class DependencyModel:
     def backend(self) -> str:
         """The closure/estimation backend: ``"dict"`` or ``"sparse"``."""
         return self._backend
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increments whenever :meth:`observe` changes
+        the counts.  Derived caches key on it to stay coherent."""
+        return self._version
 
     @property
     def pair_counts(self) -> dict[str, dict[str, float]]:

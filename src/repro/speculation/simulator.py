@@ -112,6 +112,7 @@ class SpeculativeServiceSimulator:
         cooperative: bool = False,
         digest_fp_rate: float | None = None,
         prefetcher: "ClientPrefetcherLike | None" = None,
+        replay: str = "auto",
     ) -> SimulationRun:
         """Replay the trace once.
 
@@ -136,10 +137,19 @@ class SpeculativeServiceSimulator:
                 prefetchers to learn online), and a ``client`` keyword
                 on ``choose`` (detected by attribute
                 ``wants_client=True``) for per-client decisions.
+            replay: Fast-path engine selection: ``"auto"`` (default)
+                replays eligible configurations through the columnar
+                engine, ``"columnar"`` requires it (raising when the
+                configuration is not eligible), ``"event"`` forces the
+                event-by-event fast loop.  All three are bit-identical;
+                an explicit ``cache_factory`` still forces the general
+                loop below.
 
         Returns:
             A :class:`SimulationRun` with raw metric totals.
         """
+        if replay not in ("auto", "columnar", "event"):
+            raise SimulationError(f"unknown replay mode {replay!r}")
         config = self._config
         if (
             cache_factory is None
@@ -157,11 +167,32 @@ class SpeculativeServiceSimulator:
         ):
             # The common configuration — default SessionTimeout caches,
             # no digests/prefetchers, a fixed sparse-backend model, and
-            # a stateless policy — replays through a specialized loop
-            # that memoizes per-document push lists and inlines the
-            # session-cache bookkeeping.  Bit-identical to the general
-            # loop below (pinned by tests/test_sparse_backend.py).
-            return self._run_fast(policy)
+            # a stateless policy — replays through the vectorized
+            # columnar engine (or, on request, the specialized event
+            # loop that memoizes per-document push lists and inlines
+            # the session-cache bookkeeping).  Both are bit-identical
+            # to the general loop below (pinned by
+            # tests/test_sparse_backend.py and
+            # tests/test_columnar_replay.py).
+            if replay == "event":
+                return self._run_fast(policy)
+            from .columnar import replay_columnar
+
+            result = replay_columnar(
+                self._trace, config, model=self._model, policy=policy
+            )
+            return SimulationRun(
+                metrics=result.metrics,
+                accesses=result.accesses,
+                cache_hits=result.cache_hits,
+                prefetch_requests=0,
+            )
+        if replay == "columnar":
+            raise SimulationError(
+                "columnar replay requires the fast-path configuration "
+                "(default caches, no cooperation/digests/prefetchers, "
+                "and a pure policy over a fixed sparse model)"
+            )
         factory = cache_factory or make_cache_factory(config.session_timeout)
         catalog = self._trace.documents
 

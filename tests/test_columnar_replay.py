@@ -1,0 +1,126 @@
+"""Bit-identity of the vectorized columnar replay engine.
+
+The columnar engine (:mod:`repro.speculation.columnar`) replays the
+whole trace as numpy column passes; every run here is compared to the
+specialized event loop *and* the general loop with exact ``==`` — the
+engines must return identical metrics, not merely close ones.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BASELINE
+from repro.errors import SimulationError
+from repro.speculation.caches import make_cache_factory
+from repro.speculation.dependency import DependencyModel
+from repro.speculation.policies import (
+    EmbeddingOnlyPolicy,
+    ThresholdPolicy,
+    TopKPolicy,
+)
+from repro.speculation.simulator import SpeculativeServiceSimulator
+from repro.workload import GeneratorConfig, SyntheticTraceGenerator
+
+
+@functools.lru_cache(maxsize=8)
+def _trace(seed: int):
+    config = GeneratorConfig(
+        seed=seed, n_pages=24, n_clients=12, n_sessions=80, duration_days=4
+    )
+    return SyntheticTraceGenerator(config).generate()
+
+
+@functools.lru_cache(maxsize=8)
+def _sparse_model(seed: int) -> DependencyModel:
+    return DependencyModel.estimate(_trace(seed), window=5.0, backend="sparse")
+
+
+def _policy(kind: str, parameter: float):
+    if kind == "threshold":
+        return ThresholdPolicy(threshold=parameter)
+    if kind == "topk":
+        return TopKPolicy(k=max(1, int(parameter * 8)), min_probability=0.05)
+    if kind == "embedding":
+        return EmbeddingOnlyPolicy(tolerance=min(parameter, 0.9))
+    assert kind == "baseline"
+    return None
+
+
+class TestColumnarParity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        kind=st.sampled_from(["baseline", "threshold", "topk", "embedding"]),
+        parameter=st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_columnar_matches_event_and_general(self, seed, kind, parameter):
+        policy = _policy(kind, parameter)
+        sim = SpeculativeServiceSimulator(
+            _trace(seed), BASELINE, model=_sparse_model(seed)
+        )
+        columnar = sim.run(policy, replay="columnar")
+        event = sim.run(policy, replay="event")
+        # An explicit cache_factory (same semantics) escapes the fast
+        # path entirely, so this run exercises the general loop.
+        general = sim.run(
+            policy,
+            cache_factory=make_cache_factory(BASELINE.session_timeout),
+        )
+        assert columnar.metrics == event.metrics
+        assert columnar.metrics == general.metrics
+        assert columnar.accesses == event.accesses == general.accesses
+        assert columnar.cache_hits == event.cache_hits == general.cache_hits
+
+    def test_auto_dispatch_equals_forced_columnar(self):
+        sim = SpeculativeServiceSimulator(
+            _trace(0), BASELINE, model=_sparse_model(0)
+        )
+        policy = ThresholdPolicy(threshold=0.25)
+        assert sim.run(policy) == sim.run(policy, replay="columnar")
+        assert sim.run() == sim.run(replay="columnar")
+
+
+class TestReplaySelection:
+    def test_event_escape_hatch_never_enters_columnar(self, monkeypatch):
+        import repro.speculation.columnar as columnar_module
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("columnar engine entered despite escape hatch")
+
+        monkeypatch.setattr(columnar_module, "replay_columnar", _boom)
+        sim = SpeculativeServiceSimulator(
+            _trace(1), BASELINE, model=_sparse_model(1)
+        )
+        run = sim.run(ThresholdPolicy(threshold=0.25), replay="event")
+        assert run.accesses > 0
+
+    def test_columnar_requires_sparse_model(self):
+        dict_model = DependencyModel.estimate(
+            _trace(0), window=5.0, backend="dict"
+        )
+        sim = SpeculativeServiceSimulator(_trace(0), BASELINE, model=dict_model)
+        with pytest.raises(SimulationError, match="fast-path"):
+            sim.run(ThresholdPolicy(threshold=0.25), replay="columnar")
+
+    def test_columnar_rejects_cooperative_mode(self):
+        sim = SpeculativeServiceSimulator(
+            _trace(0), BASELINE, model=_sparse_model(0)
+        )
+        with pytest.raises(SimulationError, match="fast-path"):
+            sim.run(
+                ThresholdPolicy(threshold=0.25),
+                cooperative=True,
+                replay="columnar",
+            )
+
+    def test_unknown_replay_mode_rejected(self):
+        sim = SpeculativeServiceSimulator(
+            _trace(0), BASELINE, model=_sparse_model(0)
+        )
+        with pytest.raises(SimulationError, match="replay mode"):
+            sim.run(replay="warp")

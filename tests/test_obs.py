@@ -16,6 +16,8 @@ from repro.config import BaselineConfig
 from repro.core import CombinedProtocolSimulator
 from repro.obs import (
     EVENT_KINDS,
+    Counter,
+    Histogram,
     MetricsRegistry,
     ObsBundle,
     ObsConfig,
@@ -258,3 +260,74 @@ class TestProfiler:
         with profiler.section("hot"):
             sorted(range(100, 0, -1))
         assert "function calls" in profiler.cpu_stats(limit=5)
+
+
+class TestExactCounterMerge:
+    """Shard-merge exactness: Counter state transfer and fsum totals."""
+
+    def test_int_counters_stay_int(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.inc(4)
+        assert counter.value == 7
+        assert isinstance(counter.value, int)
+
+    def test_float_accumulation_is_correctly_rounded(self):
+        import math
+
+        values = [0.1] * 10 + [1e16, 1.0, -1e16] + [1e-9] * 7
+        counter = Counter()
+        for value in values:
+            counter.inc(value)
+        assert counter.value == math.fsum(values)
+
+    def test_merge_is_order_independent(self):
+        import math
+        import random
+
+        values = [(-1) ** i * (0.1 + i * 1e-7) for i in range(200)]
+        rng = random.Random(5)
+        states = []
+        for chunk in range(4):
+            counter = Counter()
+            for value in values[chunk * 50 : (chunk + 1) * 50]:
+                counter.inc(value)
+            states.append(counter.state())
+        merged_values = [
+            Counter.from_states(order(states)).value
+            for order in (
+                lambda s: s,
+                lambda s: list(reversed(s)),
+                lambda s: rng.sample(s, len(s)),
+            )
+        ]
+        single = Counter()
+        for value in values:
+            single.inc(value)
+        assert merged_values[0] == merged_values[1] == merged_values[2]
+        assert merged_values[0] == single.value == math.fsum(values)
+
+    def test_merge_registry_states_sums_and_maxes(self):
+        shards = []
+        for shard in range(3):
+            registry = MetricsRegistry()
+            registry.counter("server.requests").inc(10 + shard)
+            registry.counter("run.virtual_seconds").inc(100.0 * (shard + 1))
+            registry.histogram("latency").observe(float(shard))
+            shards.append(registry.export_state())
+        from repro.obs import merge_registry_states
+
+        merged = merge_registry_states(
+            shards, max_counters=("run.virtual_seconds",)
+        )
+        snapshot = merged.snapshot()
+        assert snapshot["counters"]["server.requests"] == 33
+        assert snapshot["counters"]["run.virtual_seconds"] == 300.0
+
+    def test_histogram_extend_matches_observe(self):
+        first = Histogram()
+        for value in (1.0, 2.0, 4.0):
+            first.observe(value)
+        second = Histogram()
+        second.extend(first.values)
+        assert second.summary() == first.summary()

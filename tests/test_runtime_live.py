@@ -354,3 +354,66 @@ class TestTcpTransport:
                 )
 
         asyncio.run(scenario())
+
+
+class TestShardedLoadtest:
+    """Multi-process sharding must reproduce single-process counters."""
+
+    def test_four_workers_match_single_process_exactly(self):
+        workload = GeneratorConfig(
+            seed=4, n_pages=40, n_clients=24, n_sessions=150, duration_days=5
+        )
+        settings = LiveSettings(seed=4)
+        single = execute_loadtest(workload, settings)
+        sharded = execute_loadtest(workload, settings, workers=4)
+        assert sharded.ratios == single.ratios
+        for arm in ("baseline", "speculative"):
+            single_counters = dict(getattr(single, arm)["counters"])
+            sharded_counters = dict(getattr(sharded, arm)["counters"])
+            # The merged virtual clock is the max over shards, not the
+            # single-process elapsed time; everything else is exact.
+            single_counters.pop("run.virtual_seconds")
+            sharded_counters.pop("run.virtual_seconds")
+            assert sharded_counters == single_counters
+
+    def test_sharded_run_is_reproducible(self):
+        workload = GeneratorConfig(
+            seed=4, n_pages=40, n_clients=24, n_sessions=150, duration_days=5
+        )
+        first = execute_loadtest(workload, LiveSettings(seed=4), workers=3)
+        again = execute_loadtest(workload, LiveSettings(seed=4), workers=3)
+        assert first.ratios == again.ratios
+        assert first.speculative["counters"] == again.speculative["counters"]
+
+    def test_sharding_preconditions_are_enforced(self):
+        workload = GeneratorConfig(
+            seed=4, n_pages=40, n_clients=24, n_sessions=150, duration_days=5
+        )
+        for settings in (
+            LiveSettings(seed=4, drop_probability=0.2),
+            LiveSettings(seed=4, learn_online=True),
+            LiveSettings(seed=4, dissemination_interval=600.0),
+        ):
+            with pytest.raises(SimulationError, match="shard"):
+                execute_loadtest(workload, settings, workers=2)
+
+    def test_observed_runs_refuse_sharding(self):
+        from repro.obs import ObsConfig
+
+        workload = GeneratorConfig(
+            seed=4, n_pages=40, n_clients=24, n_sessions=150, duration_days=5
+        )
+        with pytest.raises(SimulationError, match="shard"):
+            execute_loadtest(
+                workload,
+                LiveSettings(seed=4),
+                obs=ObsConfig.full(),
+                workers=2,
+            )
+
+    def test_worker_count_must_be_positive(self):
+        workload = GeneratorConfig(
+            seed=4, n_pages=40, n_clients=24, n_sessions=150, duration_days=5
+        )
+        with pytest.raises(SimulationError):
+            execute_loadtest(workload, LiveSettings(seed=4), workers=0)

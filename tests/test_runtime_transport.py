@@ -23,10 +23,16 @@ class TestMessages:
 
     def test_frame_is_length_prefixed(self):
         message = make_request("c", "c#1", "/a", 0.0)
-        framed = frame(message)
-        body = message.encode()
-        assert framed[:HEADER_BYTES] == len(body).to_bytes(HEADER_BYTES, "big")
-        assert framed[HEADER_BYTES:] == body
+        for codec in ("binary", "json"):
+            framed = frame(message, codec)
+            body = framed[HEADER_BYTES:]
+            assert framed[:HEADER_BYTES] == len(body).to_bytes(
+                HEADER_BYTES, "big"
+            )
+            assert Message.decode(body) == message
+        # JSON remains the debug form: frame(..., "json") carries the
+        # canonical Message.encode() bytes verbatim.
+        assert frame(message, "json")[HEADER_BYTES:] == message.encode()
 
     def test_decode_rejects_garbage(self):
         with pytest.raises(RuntimeProtocolError):

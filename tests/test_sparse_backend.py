@@ -260,7 +260,7 @@ def _report(machine, **scales):
 
 _MACHINE = {"system": "Linux", "machine": "x86_64", "python": "3.12", "cpus": "8"}
 _OTHER = {"system": "Linux", "machine": "aarch64", "python": "3.12", "cpus": "4"}
-_GOOD = {"estimation": 3.5, "closure": 5.0, "replay": 4.0}
+_GOOD = {"estimation": 3.5, "closure": 5.0, "replay": 4.0, "replay_columnar": 3.0}
 
 
 def test_gate_passes_clean_report():

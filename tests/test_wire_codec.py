@@ -1,0 +1,350 @@
+"""Binary wire codec: JSON equivalence, negotiation, hostile peers.
+
+The binary codec must be observationally equivalent to the JSON debug
+codec over the whole JSON value domain: for any message, encoding with
+either codec and decoding the result reconstructs the identical
+:class:`~repro.runtime.messages.Message`.  Equality here is exact
+``==`` — the codecs carry floats as IEEE doubles and ints as ints, so
+no tolerance is ever needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeProtocolError
+from repro.runtime import InMemoryNetwork, Message, TcpServer, run_virtual, tcp_call
+from repro.runtime.messages import (
+    BINARY_CODEC,
+    CODECS,
+    HEADER_BYTES,
+    JSON_CODEC,
+    KINDS,
+    MAX_FRAME_BYTES,
+    frame,
+    make_error,
+    make_request,
+    make_response,
+    resolve_codec,
+    sniff_codec,
+)
+
+# The full JSON value domain, including non-ASCII text, big integers
+# (beyond i64, forcing the codec's arbitrary-precision path), and
+# finite floats.  NaN/inf are excluded: canonical JSON rejects them.
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**80), max_value=2**80)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=24)
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+_messages = st.builds(
+    Message,
+    kind=st.sampled_from(sorted(KINDS)),
+    sender=st.text(max_size=16),
+    request_id=st.text(max_size=16),
+    payload=st.dictionaries(st.text(max_size=12), _json_values, max_size=5),
+    body_bytes=st.integers(min_value=0, max_value=2**62),
+)
+
+
+class TestCodecEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(message=_messages)
+    def test_roundtrip_equivalence(self, message):
+        via_binary = BINARY_CODEC.decode(BINARY_CODEC.encode(message))
+        via_json = JSON_CODEC.decode(JSON_CODEC.encode(message))
+        assert via_binary == message
+        assert via_json == message
+        assert via_binary == via_json
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=_messages)
+    def test_decode_sniffs_either_encoding(self, message):
+        assert Message.decode(BINARY_CODEC.encode(message)) == message
+        assert Message.decode(JSON_CODEC.encode(message)) == message
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        doc_id=st.text(min_size=1, max_size=32),
+        client=st.text(min_size=1, max_size=24),
+        timestamp=st.floats(
+            min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False
+        ),
+        digest=st.lists(st.text(max_size=20), max_size=12),
+        demand=st.text(max_size=16),
+    )
+    def test_request_packed_path(self, doc_id, client, timestamp, digest, demand):
+        message = make_request(
+            client,
+            f"{client}#1",
+            doc_id,
+            timestamp,
+            digest=tuple(digest),
+            demand=demand,
+        )
+        assert BINARY_CODEC.decode(BINARY_CODEC.encode(message)) == message
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        doc_id=st.text(min_size=1, max_size=32),
+        size=st.integers(min_value=0, max_value=2**40),
+        riders=st.lists(
+            st.tuples(
+                st.text(max_size=20), st.integers(min_value=0, max_value=2**40)
+            ),
+            max_size=8,
+        ),
+    )
+    def test_response_packed_path(self, doc_id, size, riders):
+        message = make_response(
+            "origin", "c#1", doc_id, size, "origin", speculated=riders
+        )
+        assert BINARY_CODEC.decode(BINARY_CODEC.encode(message)) == message
+
+    def test_non_ascii_and_empty_fields(self):
+        cases = [
+            make_request(
+                "клиент-1", "клиент-1#9", "/日本語/ü.html", 12.5,
+                digest=("/ö.html", "", "/🌐.html"),
+            ),
+            Message(kind="stats", sender="", request_id="", payload={}),
+            make_error("origin", "c#1", "protocol", "naïve—reason"),
+        ]
+        for message in cases:
+            assert BINARY_CODEC.decode(BINARY_CODEC.encode(message)) == message
+            assert JSON_CODEC.decode(JSON_CODEC.encode(message)) == message
+
+    def test_huge_counter_payload(self):
+        message = Message(
+            kind="stats-reply",
+            sender="origin",
+            request_id="c#1",
+            payload={"served": 2**80, "debt": -(2**80), "load": 0.125},
+        )
+        decoded = BINARY_CODEC.decode(BINARY_CODEC.encode(message))
+        assert decoded == message
+        assert decoded.payload["served"] == 2**80
+
+    def test_ineligible_payload_falls_back_to_generic(self):
+        # An int timestamp is outside the packed request layout; the
+        # codec must still round-trip it via the generic encoding.
+        message = Message(
+            kind="request",
+            sender="c",
+            request_id="c#1",
+            payload={"doc_id": "/a", "client": "c", "timestamp": 3,
+                     "digest": []},
+            body_bytes=64,
+        )
+        assert BINARY_CODEC.decode(BINARY_CODEC.encode(message)) == message
+
+    def test_binary_frames_are_smaller_on_live_shapes(self):
+        message = make_request(
+            "client-7", "client-7#42", "/docs/a.html", 1234.5,
+            digest=tuple(f"/docs/{i}.html" for i in range(12)),
+        )
+        assert len(BINARY_CODEC.encode(message)) < len(JSON_CODEC.encode(message))
+
+
+class TestCodecSelection:
+    def test_resolve_codec(self):
+        assert resolve_codec(None) is BINARY_CODEC
+        assert resolve_codec("binary") is BINARY_CODEC
+        assert resolve_codec("json") is JSON_CODEC
+        assert resolve_codec(JSON_CODEC) is JSON_CODEC
+        with pytest.raises(RuntimeProtocolError, match="unknown codec"):
+            resolve_codec("msgpack")
+
+    def test_sniff_codec(self):
+        message = make_request("c", "c#1", "/a", 0.0)
+        assert sniff_codec(BINARY_CODEC.encode(message)) is BINARY_CODEC
+        assert sniff_codec(JSON_CODEC.encode(message)) is JSON_CODEC
+
+    def test_codec_names(self):
+        assert CODECS["binary"].name == "binary"
+        assert CODECS["json"].name == "json"
+
+    def test_decode_rejects_truncated_binary(self):
+        raw = BINARY_CODEC.encode(make_request("c", "c#1", "/a", 0.0))
+        for cut in (1, 3, len(raw) // 2, len(raw) - 1):
+            with pytest.raises(RuntimeProtocolError):
+                BINARY_CODEC.decode(raw[:cut])
+        with pytest.raises(RuntimeProtocolError):
+            BINARY_CODEC.decode(raw + b"\x00")
+
+    def test_frame_respects_custom_limit(self):
+        message = make_request("c", "c#1", "/a", 0.0)
+        framed = frame(message, "binary", max_frame_bytes=MAX_FRAME_BYTES)
+        assert len(framed) > HEADER_BYTES
+        with pytest.raises(RuntimeProtocolError, match="frame"):
+            frame(message, "binary", max_frame_bytes=8)
+
+
+class TestInMemoryCodec:
+    def test_network_defaults_to_binary(self):
+        assert InMemoryNetwork().codec is BINARY_CODEC
+        assert InMemoryNetwork(codec="json").codec is JSON_CODEC
+
+    def test_codec_errors_surface_at_sender(self):
+        async def scenario():
+            network = InMemoryNetwork(seed=0)
+            network.endpoint("rx")
+            sender = network.endpoint("tx")
+            poisoned = Message(
+                kind="stats",
+                sender="tx",
+                payload={"bad": {1: "non-string key"}},
+            )
+            with pytest.raises(RuntimeProtocolError):
+                sender.cast("rx", poisoned)
+
+        run_virtual(scenario())
+
+
+async def _echo_handler(message):
+    return make_response(
+        "server", message.request_id, message.payload["doc_id"], 10, "server"
+    )
+
+
+def _sans_service(message):
+    """A reply with the wall-clock ``service_seconds`` stamp removed."""
+    payload = {
+        key: value
+        for key, value in message.payload.items()
+        if key != "service_seconds"
+    }
+    return (message.kind, message.sender, message.request_id, payload)
+
+
+class TestTcpNegotiation:
+    def _serve(self, coro_factory, **server_kwargs):
+        async def scenario():
+            server = TcpServer(_echo_handler, **server_kwargs)
+            await server.start()
+            try:
+                return await coro_factory(server)
+            finally:
+                await server.close()
+
+        return asyncio.run(scenario())
+
+    async def _raw_exchange(self, port, body, *, expect_close=False):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(len(body).to_bytes(HEADER_BYTES, "big") + body)
+            await writer.drain()
+            header = await reader.readexactly(HEADER_BYTES)
+            reply = await reader.readexactly(int.from_bytes(header, "big"))
+            # After a protocol error the server hangs up; after a good
+            # exchange it keeps the connection open for more frames.
+            trailer = await reader.read(1) if expect_close else None
+            return reply, trailer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def test_server_mirrors_client_codec(self):
+        request = make_request("probe", "probe#1", "/a", 0.0)
+
+        async def probe(server):
+            json_reply, _ = await self._raw_exchange(
+                server.port, JSON_CODEC.encode(request)
+            )
+            binary_reply, _ = await self._raw_exchange(
+                server.port, BINARY_CODEC.encode(request)
+            )
+            return json_reply, binary_reply
+
+        json_reply, binary_reply = self._serve(probe)
+        assert json_reply[:1] == b"{"
+        assert binary_reply[:1] == b"\xab"
+        assert _sans_service(Message.decode(json_reply)) == _sans_service(
+            Message.decode(binary_reply)
+        )
+
+    def test_forced_json_server_replies_json_to_binary_client(self):
+        request = make_request("probe", "probe#1", "/a", 0.0)
+
+        async def probe(server):
+            reply, _ = await self._raw_exchange(
+                server.port, BINARY_CODEC.encode(request)
+            )
+            return reply
+
+        reply = self._serve(probe, codec="json")
+        assert reply[:1] == b"{"
+        assert Message.decode(reply).kind == "response"
+
+    def test_tcp_call_works_on_both_codecs(self):
+        request = make_request("probe", "probe#1", "/a", 0.0)
+
+        async def probe(server):
+            results = []
+            for codec in ("json", "binary"):
+                reply = await tcp_call(
+                    "127.0.0.1", server.port, request, codec=codec
+                )
+                results.append(reply)
+            return results
+
+        json_reply, binary_reply = self._serve(probe)
+        assert _sans_service(json_reply) == _sans_service(binary_reply)
+        assert json_reply.payload["size"] == 10
+
+    def test_oversize_frame_from_hostile_peer(self):
+        async def probe(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                # Declare a body far beyond the server's limit; the
+                # server must refuse before reading it and hang up.
+                writer.write((64 * 1024).to_bytes(HEADER_BYTES, "big"))
+                await writer.drain()
+                header = await reader.readexactly(HEADER_BYTES)
+                reply = await reader.readexactly(int.from_bytes(header, "big"))
+                trailer = await reader.read(1)
+                return reply, trailer, server.protocol_errors
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        reply, trailer, errors = self._serve(probe, max_frame_bytes=1024)
+        decoded = Message.decode(reply)
+        assert decoded.kind == "error"
+        assert decoded.payload["error_kind"] == "protocol"
+        assert trailer == b""  # connection closed after the error reply
+        assert errors == 1
+
+    def test_undecodable_body_from_hostile_peer(self):
+        async def probe(server):
+            reply, trailer = await self._raw_exchange(
+                server.port, b"\xabR\xff garbage frame", expect_close=True
+            )
+            return reply, trailer, server.protocol_errors
+
+        reply, trailer, errors = self._serve(probe)
+        decoded = Message.decode(reply)
+        assert decoded.kind == "error"
+        assert decoded.payload["error_kind"] == "protocol"
+        assert trailer == b""
+        assert errors == 1
