@@ -40,8 +40,9 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "core": 8,
     "runtime": 9,
     "fleet": 10,
-    "api": 11,
-    "cli": 12,
+    "deploy": 11,
+    "api": 12,
+    "cli": 13,
 }
 
 #: Legacy run entry points whose *direct* use is frozen (H004).  New
@@ -64,6 +65,7 @@ DEFAULT_LEGACY_ENTRY_POINTS: frozenset[str] = frozenset(
 DEFAULT_LEGACY_ENTRY_ALLOWED: tuple[str, ...] = (
     "repro.api",
     "repro.core",
+    "repro.deploy",
     "repro.runtime",
 )
 
@@ -165,7 +167,10 @@ class LintConfig:
     probability_suffixes: tuple[str, ...] = ("probability", "_prob", "p_star")
     #: Modules where ``time.monotonic`` is permitted (D004).  Real-I/O
     #: transport code may measure wall durations; simulation code may not.
-    monotonic_modules: tuple[str, ...] = ("repro.runtime.transport",)
+    monotonic_modules: tuple[str, ...] = (
+        "repro.deploy.bus",
+        "repro.runtime.transport",
+    )
     #: Deprecated run entry points the hygiene checker (H004) flags.
     legacy_entry_points: frozenset[str] = DEFAULT_LEGACY_ENTRY_POINTS
     #: Module prefixes exempt from H004 (the facade and engine homes).

@@ -12,13 +12,16 @@ benchmark harness behind a single :class:`Session` object::
     print(report.trace_jsonl())
 
 Every method — :meth:`Session.loadtest`, :meth:`Session.chaos`,
-:meth:`Session.fleet`, :meth:`Session.sweep`,
+:meth:`Session.fleet`, :meth:`Session.deploy`, :meth:`Session.sweep`,
 :meth:`Session.sensitivity`, :meth:`Session.sample`,
 :meth:`Session.bench` — takes its inputs from one normalised
 :class:`RunSpec` and returns one :class:`RunReport` shape, replacing
 the five keyword dialects the legacy entry points grew over time.
+Execution shape (process topology, origin shards, wire codec) lives in
+one :class:`~repro.config.DeploySpec` threaded as ``RunSpec.deploy``.
 """
 
+from ..config import DeploySpec
 from .session import RunReport, RunSpec, Session
 
-__all__ = ["RunReport", "RunSpec", "Session"]
+__all__ = ["DeploySpec", "RunReport", "RunSpec", "Session"]

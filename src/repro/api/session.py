@@ -21,9 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-from ..config import BASELINE, BaselineConfig
+from ..config import BASELINE, LOCAL_DEPLOY, BaselineConfig, DeploySpec
 from ..core.experiment import Experiment, SweepPoint, evaluate_thresholds
 from ..core.sensitivity import SensitivityPoint, sweep_workload
+from ..deploy.service import (
+    DeployFaultPlan,
+    execute_deploy,
+    execute_deploy_smoke,
+)
 from ..fleet.service import (
     FleetSettings,
     execute_fleet,
@@ -69,6 +74,11 @@ class RunSpec:
         config: The paper's cost model.
         tolerance: Divergence tolerance for the smoke self-checks.
         workers: Process count for sweep sharding (None stays serial).
+        deploy: Deployment shape (:class:`~repro.config.DeploySpec`):
+            process topology, origin shards, replication, wire codec
+            and bus path.  None means the local single-loop default —
+            ``DeploySpec(processes=1)`` — so every run kind reads its
+            execution shape from this one object.
         obs: Observability channels threaded through every run.
         sampling: Client-sampling knobs
             (:class:`~repro.trace.sampling.SamplingConfig`).  When set,
@@ -85,6 +95,7 @@ class RunSpec:
     config: BaselineConfig = BASELINE
     tolerance: float = 0.05
     workers: int | None = None
+    deploy: DeploySpec | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)
     sampling: SamplingConfig | None = None
 
@@ -120,14 +131,19 @@ class RunSpec:
             else fleet_smoke_settings(self.seed)
         )
 
+    def resolved_deploy(self) -> DeploySpec:
+        """The deployment shape: explicit, or the local single-loop one."""
+        return self.deploy if self.deploy is not None else LOCAL_DEPLOY
+
 
 @dataclass(frozen=True)
 class RunReport:
     """The common result shape every :class:`Session` method returns.
 
     Attributes:
-        kind: ``"loadtest"``, ``"chaos"``, ``"fleet"``, ``"sweep"``,
-            ``"sensitivity"``, ``"sample"`` or ``"bench"``.
+        kind: ``"loadtest"``, ``"chaos"``, ``"fleet"``, ``"deploy"``,
+            ``"sweep"``, ``"sensitivity"``, ``"sample"`` or
+            ``"bench"``.
         ratios: The paper's four ratios, when the run produces a single
             headline set (loadtest and chaos); None otherwise.
         observed: Traces, time-series and the provenance manifest, when
@@ -199,7 +215,10 @@ class Session:
         spec = self.spec
         if smoke:
             report = execute_smoke(
-                spec.seed, tolerance=spec.tolerance, obs=spec.obs
+                spec.seed,
+                tolerance=spec.tolerance,
+                obs=spec.obs,
+                deploy=spec.deploy,
             )
         else:
             report = execute_loadtest(
@@ -209,6 +228,7 @@ class Session:
                 verify_batch=bool(verify_batch),
                 obs=spec.obs,
                 sampling=spec.sampling,
+                deploy=spec.deploy,
             )
         return RunReport(
             kind="loadtest",
@@ -287,6 +307,7 @@ class Session:
                 fault_plan=fault_plan,
                 obs=spec.obs,
                 sampling=spec.sampling,
+                deploy=spec.deploy,
             )
         return RunReport(
             kind="fleet",
@@ -294,6 +315,57 @@ class Session:
             observed=report.observed,
             detail=report,
         )
+
+    def deploy(
+        self,
+        *,
+        smoke: bool = False,
+        fault_plan: DeployFaultPlan | None = None,
+    ) -> RunReport:
+        """Run the pair under the spec's deployment shape; report ratios.
+
+        A local spec (the default) runs in-process exactly like
+        :meth:`loadtest`; a distributed spec forks sharded origins and
+        proxy hosts wired over TCP and an event bus, merges every
+        process's exact counters, and gates the merged snapshots on
+        cross-process conservation and anti-entropy digests.
+
+        Args:
+            smoke: Run the standard deploy smoke — a 2-shard/2-proxy-
+                host deployment whose four ratios must match the
+                single-loop reference bit for bit, then the same
+                deployment under a scripted crash/partition plan held
+                to the spec's tolerance (what ``repro deploy --smoke``
+                and CI do).
+            fault_plan: Scripted request-count faults
+                (:class:`~repro.deploy.DeployFaultPlan`) for a
+                distributed run.
+
+        Returns:
+            A :class:`RunReport` of kind ``"deploy"`` whose ``detail``
+            is the full :class:`~repro.deploy.DeployReport` (or
+            :class:`~repro.deploy.DeploySmokeReport` in smoke mode).
+
+        Raises:
+            RuntimeProtocolError: On conservation/anti-entropy failure
+                or (in smoke mode) any ratio gate violation.
+            SimulationError: On an unusable spec or worker startup
+                failure.
+        """
+        spec = self.spec
+        if smoke:
+            report = execute_deploy_smoke(spec.seed, tolerance=spec.tolerance)
+            return RunReport(
+                kind="deploy", ratios=report.deploy.ratios, detail=report
+            )
+        result = execute_deploy(
+            spec.resolved_workload(),
+            spec.resolved_settings(),
+            config=spec.config,
+            spec=spec.resolved_deploy(),
+            fault_plan=fault_plan,
+        )
+        return RunReport(kind="deploy", ratios=result.ratios, detail=result)
 
     def sweep(
         self,

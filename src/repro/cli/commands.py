@@ -361,6 +361,45 @@ def _live_summary(report) -> list[str]:
     return lines
 
 
+def _legacy_loadtest_deploy(args):
+    """Fold the deprecated ``--codec``/``--workers`` flags into a spec.
+
+    Execution shape (worker shards, wire codec) lives in
+    :class:`~repro.config.DeploySpec` now; the flags survive as shims
+    that build the equivalent local spec and warn.
+    """
+    import warnings
+
+    from ..config import DeploySpec
+
+    if args.codec is None and args.workers is None:
+        return None
+    flags = ", ".join(
+        flag
+        for flag, value in (
+            ("--codec", args.codec),
+            ("--workers", args.workers),
+        )
+        if value is not None
+    )
+    with warnings.catch_warnings():
+        # DeprecationWarning is hidden outside __main__ by default;
+        # a CLI deprecation the user never sees deprecates nothing.
+        warnings.simplefilter("always", DeprecationWarning)
+        warnings.warn(
+            f"`repro loadtest {flags}` is deprecated; execution shape "
+            "(workers, wire codec) lives in DeploySpec — use "
+            "`repro deploy` or thread RunSpec.deploy through "
+            "repro.api.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return DeploySpec(
+        workers=args.workers if args.workers is not None else 1,
+        codec=args.codec,
+    )
+
+
 def cmd_loadtest(args) -> None:
     """``repro loadtest`` — drive the live runtime on the in-memory net."""
     import json as _json
@@ -373,16 +412,16 @@ def cmd_loadtest(args) -> None:
     )
     from ..workload import preset
 
+    deploy = _legacy_loadtest_deploy(args)
     if args.smoke:
         # The CI gate: deterministic live run, self-verified against the
         # batch combined simulator; raises RuntimeProtocolError (exit 3)
         # on divergence beyond the tolerance.  CI's codec matrix runs
-        # this once per --codec and diffs the ratios bit-for-bit.
+        # this once per codec and diffs the ratios bit-for-bit.
         report = execute_smoke(
             args.seed,
             tolerance=args.tolerance,
-            codec=args.codec,
-            workers=args.workers,
+            deploy=deploy,
         )
     else:
         try:
@@ -399,14 +438,13 @@ def cmd_loadtest(args) -> None:
             request_timeout=args.timeout,
             learn_online=args.learn_online,
             seed=args.seed,
-            codec=args.codec,
         )
         try:
             report = execute_loadtest(
                 workload,
                 settings,
                 verify_batch=args.verify_batch,
-                workers=args.workers,
+                deploy=deploy,
             )
         except (RuntimeProtocolError, TransportError):
             raise  # mapped to dedicated exit codes by main()
@@ -687,6 +725,108 @@ def cmd_fleet(args) -> None:
         )
 
 
+def cmd_deploy(args) -> None:
+    """``repro deploy`` — multi-process origins and proxies over TCP."""
+    import json as _json
+
+    from ..config import DeploySpec
+    from ..deploy import execute_deploy, execute_deploy_smoke
+    from ..runtime import LiveSettings, smoke_workload
+    from ..workload import preset
+
+    smoke = None
+    try:
+        if args.smoke:
+            # The CI gate after `repro fleet --smoke`: a clean
+            # 2-shard / 2-proxy-host deployment whose merged ratios must
+            # equal the single-loop reference bit for bit, then the same
+            # topology under a scripted crash/partition plan, held to
+            # the chaos tolerance (exit 3 otherwise).
+            smoke = execute_deploy_smoke(
+                args.seed, tolerance=args.tolerance, bus_dir=args.bus_dir
+            )
+            report = smoke.deploy
+        else:
+            try:
+                workload = (
+                    smoke_workload(args.seed)
+                    if args.preset == "smoke"
+                    else preset(args.preset, args.seed)
+                )
+                processes = (
+                    args.processes
+                    if args.processes is not None
+                    else args.shards + 2
+                )
+                spec = DeploySpec(
+                    processes=processes,
+                    shards=args.shards,
+                    replicas=args.replicas,
+                    codec=args.codec,
+                    bus_path=args.bus_dir,
+                )
+            except ReproError as error:
+                raise CommandError(str(error)) from error
+            settings = LiveSettings(
+                budget_bytes=args.budget_mb * 1e6, seed=args.seed
+            )
+            report = execute_deploy(workload, settings, spec=spec)
+    except (RuntimeProtocolError, TransportError):
+        raise  # mapped to dedicated exit codes by main()
+    except ReproError as error:
+        raise CommandError(str(error)) from error
+
+    if args.json:
+        document = {
+            "processes": report.processes,
+            "shards": report.spec.shards,
+            "replicas": report.spec.replicas,
+            "bus_path": report.bus_path,
+            "bus_duplicates": report.bus_duplicates,
+            "anti_entropy": report.anti_entropy,
+            "speculative": report.speculative,
+            "baseline": report.baseline,
+            "ratios": {
+                "bandwidth": report.ratios.bandwidth_ratio,
+                "server_load": report.ratios.server_load_ratio,
+                "service_time": report.ratios.service_time_ratio,
+                "miss_rate": report.ratios.miss_rate_ratio,
+            },
+        }
+        if smoke is not None:
+            document["faulted_divergence"] = (
+                smoke.chaos.max_ratio_divergence()
+            )
+            document["fault_events"] = [
+                list(pair) for pair in smoke.faulted.fault_events
+            ]
+        print(_json.dumps(document, sort_keys=True))
+        return
+
+    spec = report.spec
+    if report.processes == 1:
+        print("deploy: 1 process (local single-loop mode)")
+    else:
+        print(
+            f"deploy: {report.processes} processes "
+            f"({spec.shards} shards, {spec.replicas} replicas, "
+            f"{spec.proxy_hosts} proxy hosts)"
+        )
+    if report.bus_path:
+        print(
+            f"  bus: {report.bus_path} "
+            f"({report.bus_duplicates} duplicate events absorbed)"
+        )
+    print(f"  ratios: {report.ratios.format()}")
+    if smoke is not None:
+        print("  bit-identity: distributed ratios == single-loop reference")
+        print(
+            f"  faulted divergence: "
+            f"{smoke.chaos.max_ratio_divergence():.2%} "
+            f"({len(smoke.faulted.fault_events)} fault events)"
+        )
+
+
 def cmd_serve(args) -> None:
     """``repro serve`` — a real TCP origin server on a synthetic catalog."""
     import asyncio
@@ -835,6 +975,7 @@ def cmd_bench(args) -> None:
     # verbs are handed down as plain callables: the fleet smoke and the
     # sharded loadtest as baseline-gated wall sections, the wire-codec
     # pass as an interleaved pair with its own speedup floor.
+    from ..deploy import execute_deploy_smoke
     from ..fleet import execute_fleet_smoke
     from ..runtime import LiveSettings, execute_loadtest, smoke_workload
     from ..runtime.messages import CODECS
@@ -842,6 +983,16 @@ def cmd_bench(args) -> None:
     fleet_section = perf.time_wall(
         "fleet_smoke",
         lambda: execute_fleet_smoke(0),
+        repeats=args.repeats if args.repeats is not None else 3,
+    )
+
+    # The multi-process gate as a wall section: forked shards and proxy
+    # hosts over real TCP, three runs (clean, reference, faulted) per
+    # repeat — the slowest section by design, so regressions in process
+    # startup or bus polling surface here first.
+    deploy_section = perf.time_wall(
+        "deploy_smoke",
+        lambda: execute_deploy_smoke(0),
         repeats=args.repeats if args.repeats is not None else 3,
     )
 
@@ -873,6 +1024,7 @@ def cmd_bench(args) -> None:
     sections = {
         scale: section,
         "fleet-smoke": fleet_section,
+        "deploy-smoke": deploy_section,
         "codec": codec_section,
         "loadtest-sharded": sharded_section,
     }

@@ -232,17 +232,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument(
         "--codec",
-        default="binary",
+        default=None,
         choices=["binary", "json"],
-        help="wire codec the in-memory network round-trips every "
-        "message through (json is the debug/interop mode)",
+        help="DEPRECATED: wire codec now lives in DeploySpec (see "
+        "`repro deploy`); passing it here warns and builds the "
+        "equivalent local spec",
     )
     loadtest.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="shard the client population across this many forked "
-        "processes; merged counters are bit-identical to --workers 1",
+        default=None,
+        help="DEPRECATED: worker sharding now lives in DeploySpec (see "
+        "`repro deploy`); passing it here warns and builds the "
+        "equivalent local spec",
     )
     loadtest.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
@@ -399,6 +401,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the full report as JSON"
     )
     fleet.set_defaults(handler=commands.cmd_fleet)
+
+    deploy = subparsers.add_parser(
+        "deploy",
+        help="run the baseline/speculative pair as a real multi-process "
+        "deployment: consistent-hash-sharded origins and proxy hosts "
+        "over TCP, coordinated by a durable JSONL event bus",
+    )
+    deploy.add_argument("--seed", type=int, default=0)
+    deploy.add_argument(
+        "--preset",
+        default="smoke",
+        help="workload preset, or 'smoke' for the tiny smoke workload",
+    )
+    deploy.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="origin shard processes (consistent hashing over doc ids)",
+    )
+    deploy.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="owners per document on the hash ring (failover depth)",
+    )
+    deploy.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="total worker processes; default shards + 2 proxy hosts, "
+        "1 selects the in-process single-loop mode",
+    )
+    deploy.add_argument(
+        "--codec",
+        default="binary",
+        choices=["binary", "json"],
+        help="wire codec every TCP frame round-trips through",
+    )
+    deploy.add_argument(
+        "--bus-dir",
+        default=None,
+        help="event-bus directory (default: a fresh temp dir); each arm "
+        "logs its topics under its own subdirectory",
+    )
+    deploy.add_argument(
+        "--budget-mb",
+        type=float,
+        default=2.0,
+        help="proxy dissemination budget in MB",
+    )
+    deploy.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max faulted-vs-clean ratio divergence in --smoke mode",
+    )
+    deploy.add_argument(
+        "--smoke",
+        action="store_true",
+        help="deterministic CI gate: 2-shard/2-proxy-host deployment "
+        "bit-identical to the single-loop reference, then a scripted "
+        "crash/partition run held to the tolerance (exit 3 on failure)",
+    )
+    deploy.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    deploy.set_defaults(handler=commands.cmd_deploy)
 
     profile = subparsers.add_parser(
         "profile",

@@ -119,5 +119,72 @@ class BaselineConfig:
         ]
 
 
+@dataclass(frozen=True)
+class DeploySpec:
+    """Process topology for a run: one object, local and distributed.
+
+    ``DeploySpec(processes=1)`` is the classic single-loop mode that every
+    verb has always run; larger ``processes`` values describe a genuinely
+    distributed deployment of sharded origins and proxy hosts wired over
+    real TCP and coordinated by the JSONL event bus.  The spec is frozen
+    so a run's topology is fixed at submission, like
+    :class:`BaselineConfig`.
+    """
+
+    #: Total OS processes to launch (origin shards + proxy hosts).  ``1``
+    #: means the in-process single-loop engine — no TCP, no bus.
+    processes: int = 1
+    #: Number of origin shards the document catalog is hashed across.
+    shards: int = 1
+    #: Replication factor: each document id owns this many distinct
+    #: shards on the consistent-hash ring (failover order).
+    replicas: int = 1
+    #: Local client-shard forks for the single-loop engine (the former
+    #: ``execute_loadtest(workers=)`` knob, now spec-carried).
+    workers: int = 1
+    #: Wire codec for every transport in the deployment; ``None`` means
+    #: inherit the verb's settings (``LiveSettings.codec``).
+    codec: str | None = None
+    #: Directory holding the append-only JSONL topic logs; ``None``
+    #: creates a temporary directory per run.
+    bus_path: str | None = None
+    #: Interface the TCP listeners bind to.
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise SimulationError("processes must be >= 1")
+        if self.shards < 1:
+            raise SimulationError("shards must be >= 1")
+        if not 1 <= self.replicas <= self.shards:
+            raise SimulationError("replicas must be in [1, shards]")
+        if self.workers < 1:
+            raise SimulationError("workers must be >= 1")
+        if self.codec is not None and self.codec not in ("binary", "json"):
+            raise SimulationError("codec must be 'binary', 'json', or None")
+        if self.processes > 1 and self.processes < self.shards + 1:
+            raise SimulationError(
+                "a distributed deployment needs at least one process per "
+                "origin shard plus one proxy host"
+            )
+
+    @property
+    def local(self) -> bool:
+        """True when the spec describes the in-process single-loop mode."""
+        return self.processes <= 1
+
+    @property
+    def proxy_hosts(self) -> int:
+        """Proxy-host process count in a distributed deployment."""
+        return max(self.processes - self.shards, 0)
+
+    def with_updates(self, **changes: Any) -> "DeploySpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
 #: Module-level singleton with the paper's exact baseline values.
 BASELINE = BaselineConfig()
+
+#: The default topology: everything in one process, one loop.
+LOCAL_DEPLOY = DeploySpec()

@@ -1,0 +1,215 @@
+"""Durable event bus: append-only JSONL topic logs, at-least-once consumers.
+
+Every deployment coordinates through a directory of topic files
+(``<bus>/<topic>.jsonl``).  Producers append one JSON object per line
+with a single ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+writers from different processes interleave whole lines, never bytes.
+Consumers poll from a byte offset and only consume newline-terminated
+lines, so a reader never sees a torn record.
+
+Delivery is **at-least-once by construction**: a publisher that is
+unsure whether an append landed simply appends again, and the parent
+deliberately double-publishes placement updates to keep that path hot.
+Every event therefore carries an ``event_id`` and consumers dedupe with
+the bounded :class:`~repro.runtime.resilience.DuplicateFilter` from the
+chaos PR — exactly the contract proxies already apply to retried demand
+requests, reused at the coordination layer.
+
+The log doubles as the deployment's flight recorder: replaying the
+``placement`` topic from offset zero is how a restarted proxy recovers
+its holdings (anti-entropy by log replay), and CI uploads the bus
+directory when the deploy gate fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..errors import SimulationError
+from ..runtime.resilience import DuplicateFilter
+
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "TOPIC_ANTI_ENTROPY",
+    "TOPIC_CONTROL",
+    "TOPIC_DISSEMINATION",
+    "TOPIC_PLACEMENT",
+    "TOPIC_READY",
+    "TOPIC_REGISTRY",
+    "TOPIC_TOPOLOGY",
+]
+
+#: Start/shutdown commands from the coordinator.
+TOPIC_CONTROL = "control"
+#: Worker → coordinator: "my listener is bound to this port".
+TOPIC_READY = "ready"
+#: Coordinator → workers: the full node → (host, port) directory.
+TOPIC_TOPOLOGY = "topology"
+#: Coordinator → proxy hosts: cache placement (holdings) updates.
+TOPIC_PLACEMENT = "placement"
+#: Coordinator → origin shards: the dissemination plan's document set.
+TOPIC_DISSEMINATION = "dissemination"
+#: Workers → coordinator: holdings digests published at shutdown.
+TOPIC_ANTI_ENTROPY = "anti-entropy"
+#: Workers → coordinator: final per-process metrics registry states.
+TOPIC_REGISTRY = "registry"
+
+#: Poll interval for consumers awaiting new records, in real seconds.
+POLL_SECONDS = 0.02
+
+
+class BusEvent:
+    """One decoded record: ``event_id``, ``kind`` and a JSON payload."""
+
+    __slots__ = ("event_id", "kind", "payload")
+
+    def __init__(self, event_id: str, kind: str, payload: dict[str, Any]):
+        self.event_id = event_id
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BusEvent({self.event_id!r}, {self.kind!r})"
+
+
+class EventBus:
+    """Handle on one bus directory; safe to open in every process."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _topic_path(self, topic: str) -> Path:
+        if not topic or "/" in topic or topic.startswith("."):
+            raise SimulationError(f"invalid bus topic {topic!r}")
+        return self.path / f"{topic}.jsonl"
+
+    def publish(
+        self,
+        topic: str,
+        kind: str,
+        payload: dict[str, Any],
+        *,
+        event_id: str,
+    ) -> None:
+        """Append one event; a whole line lands atomically or not at all."""
+        record = {"event_id": event_id, "kind": kind, "payload": payload}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(
+            self._topic_path(topic),
+            os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+            0o644,
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def consumer(self, topic: str, *, offset: int = 0) -> "TopicConsumer":
+        """A deduping cursor over one topic, starting at ``offset`` bytes."""
+        return TopicConsumer(self._topic_path(topic), offset=offset)
+
+    def replay(self, topic: str) -> Iterator[BusEvent]:
+        """All deduplicated events currently in ``topic``, oldest first.
+
+        This is the anti-entropy path: a recovering node replays the
+        topic from offset zero and re-applies whatever state it carries.
+        """
+        consumer = self.consumer(topic)
+        while True:
+            event = consumer.poll_one()
+            if event is None:
+                return
+            yield event
+
+
+class TopicConsumer:
+    """At-least-once reader for one topic file with duplicate filtering."""
+
+    def __init__(self, path: Path, *, offset: int = 0):
+        self._path = path
+        self._offset = offset
+        self._buffer = b""
+        self._dedupe = DuplicateFilter()
+        #: Events whose ``event_id`` was already consumed (the
+        #: at-least-once redundancy the filter absorbs).
+        self.duplicates = 0
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread record (checkpoint token)."""
+        return self._offset
+
+    def poll_one(self) -> BusEvent | None:
+        """Next fresh event, or ``None`` when the log is exhausted."""
+        while True:
+            line = self._next_line()
+            if line is None:
+                return None
+            record = json.loads(line)
+            event_id = str(record["event_id"])
+            if self._dedupe.seen(event_id):
+                self.duplicates += 1
+                continue
+            return BusEvent(event_id, str(record["kind"]), record["payload"])
+
+    def drain(self) -> list[BusEvent]:
+        """Every fresh event currently appended, in publish order."""
+        events: list[BusEvent] = []
+        while True:
+            event = self.poll_one()
+            if event is None:
+                return events
+            events.append(event)
+
+    def _next_line(self) -> bytes | None:
+        at = self._buffer.find(b"\n")
+        if at < 0:
+            chunk = self._read_from(self._offset + len(self._buffer))
+            if chunk:
+                self._buffer += chunk
+                at = self._buffer.find(b"\n")
+            if at < 0:
+                return None
+        line = self._buffer[:at]
+        self._buffer = self._buffer[at + 1:]
+        self._offset += at + 1
+        return line
+
+    def _read_from(self, position: int) -> bytes:
+        if not self._path.exists():
+            return b""
+        with self._path.open("rb") as handle:
+            handle.seek(position)
+            return handle.read()
+
+    async def await_event(
+        self,
+        predicate: Callable[[BusEvent], bool],
+        *,
+        timeout: float = 30.0,
+    ) -> BusEvent:
+        """Poll until an event matching ``predicate`` arrives.
+
+        Non-matching events are consumed (and deduped) along the way, so
+        call this on a consumer dedicated to one decision.  Raises
+        :class:`SimulationError` after ``timeout`` real seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            event = self.poll_one()
+            while event is not None:
+                if predicate(event):
+                    return event
+                event = self.poll_one()
+            if time.monotonic() >= deadline:
+                raise SimulationError(
+                    f"timed out awaiting event on {self._path.name}"
+                )
+            await asyncio.sleep(POLL_SECONDS)

@@ -1,0 +1,104 @@
+"""Consistent-hash ownership of document ids over origin shards.
+
+A :class:`HashRing` places ``vnodes`` virtual points per shard on a
+64-bit ring using :func:`hashlib.blake2b` (stable across processes and
+``PYTHONHASHSEED``, unlike builtin ``hash``).  A document id is owned by
+the first shard clockwise from the id's own point; ``owners(doc, k)``
+walks further to collect ``k`` *distinct* shards, giving each document a
+deterministic replica/failover order.
+
+Consistent hashing is what makes resharding cheap: adding one shard to
+an ``n``-shard ring moves roughly ``1/(n+1)`` of the keys (property
+tested), because only the arcs claimed by the new shard's virtual points
+change owner.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from ..errors import SimulationError
+
+__all__ = ["HashRing", "shard_name"]
+
+#: Virtual points per shard.  More points flatten per-shard arc-length
+#: variance; 96 keeps the moved-key fraction within ``1/N + 0.25`` for
+#: every ring size the property suite generates.
+DEFAULT_VNODES = 96
+
+
+def _point(label: str) -> int:
+    """Map a label to its position on the 64-bit ring."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def shard_name(index: int) -> str:
+    """Canonical process/node name of origin shard ``index``."""
+    return f"origin-shard-{index}"
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a fixed set of shard names."""
+
+    def __init__(self, shards: int, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise SimulationError("ring needs at least one shard")
+        if vnodes < 1:
+            raise SimulationError("ring needs at least one vnode per shard")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for index in range(shards):
+            name = shard_name(index)
+            for vnode in range(vnodes):
+                points.append((_point(f"{name}:{vnode}"), name))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._names = [name for _, name in points]
+        # shards >= 1 and vnodes >= 1, so the ring always has points.
+        self._size = max(1, len(self._points))
+
+    def owner(self, doc_id: str) -> str:
+        """Return the single shard owning ``doc_id``."""
+        at = bisect.bisect_right(self._points, _point(doc_id))
+        return self._names[at % self._size]
+
+    def owners(self, doc_id: str, replicas: int = 1) -> tuple[str, ...]:
+        """Return ``replicas`` distinct shards in failover order.
+
+        The first entry is :meth:`owner`; later entries are the next
+        distinct shards clockwise, so every process computes the same
+        replica list without coordination.
+        """
+        if not 1 <= replicas <= self.shards:
+            raise SimulationError("replicas must be in [1, shards]")
+        start = bisect.bisect_right(self._points, _point(doc_id))
+        found: list[str] = []
+        for step in range(self._size):
+            name = self._names[(start + step) % self._size]
+            if name not in found:
+                found.append(name)
+                if len(found) == replicas:
+                    break
+        return tuple(found)
+
+    def resolver(self, replicas: int = 1):
+        """Return ``(doc_id, attempt) -> shard name`` for retry loops.
+
+        Attempt ``k`` lands on replica ``k mod replicas``, so transport
+        retries naturally fail over across the replica set.
+        """
+        if replicas == 1:
+            def resolve_primary(doc_id: str, attempt: int = 0) -> str:
+                return self.owner(doc_id)
+
+            return resolve_primary
+
+        def resolve(doc_id: str, attempt: int = 0) -> str:
+            # owners() returns exactly ``replicas`` (>= 1) entries.
+            owners = self.owners(doc_id, replicas)
+            return owners[attempt % replicas]
+
+        return resolve

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
+from typing import Callable
 
 from ..config import BASELINE, BaselineConfig
 from ..errors import RuntimeProtocolError, TransportError
@@ -81,6 +82,13 @@ class FleetNode:
         backoff_seed: Seeds this node's retry-jitter RNG.
         miss_queue_limit: Bound on misses queued while the upstream is
             unreachable.
+        resolve_upstream: Optional ``(doc_id, attempt) -> endpoint
+            name`` shard resolver.  Only consulted when this node's
+            upstream is the origin itself: sharded deployments map the
+            logical origin onto the consistent-hash owner of each
+            document, and retry attempts fail over across replicas.
+            Forwards to a *caching* parent are never resolved — the
+            tree geometry is fixed by the plan.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class FleetNode:
         forward_retries: int = 1,
         backoff_seed: int = 0,
         miss_queue_limit: int = 64,
+        resolve_upstream: Callable[[str, int], str] | None = None,
     ):
         self.name = spec.name
         self.spec = spec
@@ -130,6 +139,13 @@ class FleetNode:
         self._miss_queue_limit = miss_queue_limit
         self._dedupe = DuplicateFilter()
         self._recovery_task: asyncio.Task[None] | None = None
+        self._resolve_upstream = resolve_upstream
+
+    def _upstream_for(self, doc_id: str, attempt: int) -> str:
+        """Destination of one upstream call (shard owner when resolving)."""
+        if self._resolve_upstream is None:
+            return self.spec.upstream
+        return self._resolve_upstream(doc_id, attempt)
 
     # -- state ----------------------------------------------------------------
 
@@ -349,7 +365,9 @@ class FleetNode:
             )
             try:
                 reply = await self._endpoint.call(
-                    self.spec.upstream, message, timeout=self._upstream_timeout
+                    self._upstream_for(doc_id, 0),
+                    message,
+                    timeout=self._upstream_timeout,
                 )
             except TransportError:
                 self._breaker.record_failure()
@@ -484,7 +502,7 @@ class FleetNode:
         for attempt in range(attempts):
             try:
                 reply = await self._endpoint.call(
-                    self.spec.upstream,
+                    self._upstream_for(doc_id, attempt),
                     forwarded,
                     timeout=self._upstream_timeout,
                 )

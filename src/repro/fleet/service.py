@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable
 
-from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
+from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig, DeploySpec
 from ..core.planner import DisseminationPlanner
 from ..core.sampling import estimate_ratios
 from ..errors import RuntimeProtocolError, SimulationError, TransportError
@@ -90,6 +90,11 @@ class FleetSettings:
         drop_probability: Frame-drop rate (exercises retry paths).
         schedule_seed: When not ``None``, perturb same-deadline timer
             order (the race gate; results must not change).
+        codec: Wire codec the in-memory network round-trips every
+            delivered message through (``"binary"`` or ``"json"``) —
+            the same knob :class:`~repro.runtime.service.LiveSettings`
+            has, so one :class:`~repro.config.DeploySpec` can configure
+            both run kinds.
     """
 
     budget_bytes: float = 2_000_000.0
@@ -106,6 +111,7 @@ class FleetSettings:
     seed: int = 0
     drop_probability: float = 0.0
     schedule_seed: int | None = None
+    codec: str = "binary"
 
 
 @dataclass(frozen=True)
@@ -281,6 +287,7 @@ async def _fleet_run_once(
         seed=settings.seed,
         drop_probability=settings.drop_probability,
         hop_count=_tree_hop_count(tree),
+        codec=settings.codec,
     )
     bundle = ObsBundle.from_config(obs)
     metrics = bundle.registry
@@ -563,6 +570,7 @@ def execute_fleet(
     fault_plan: FaultPlan | None = None,
     obs: ObsConfig | None = None,
     sampling: SamplingConfig | None = None,
+    deploy: DeploySpec | None = None,
 ) -> FleetReport:
     """Run demand / single-tier / fleet arms and compare the ratios.
 
@@ -581,16 +589,31 @@ def execute_fleet(
         sampling: Replay only a hash-selected client fraction and
             attach Horvitz–Thompson ratio estimates with bootstrap
             intervals; None replays the full population.
+        deploy: A **local** :class:`~repro.config.DeploySpec`; its
+            ``codec`` (when set) overrides ``settings.codec`` so fleet
+            runs read their wire format from the same spec as every
+            other run kind.  Distributed specs are rejected — the
+            multi-process path is :func:`repro.deploy.execute_deploy`.
 
     Returns:
         A :class:`FleetReport` with all three snapshots and both ratio
         sets.
 
     Raises:
-        SimulationError: On an unusable workload or plan.
+        SimulationError: On an unusable workload or plan, or a
+            distributed ``deploy`` spec.
         RuntimeProtocolError: On a byte/frame conservation violation.
     """
     settings = settings if settings is not None else FleetSettings()
+    if deploy is not None:
+        if not deploy.local:
+            raise SimulationError(
+                f"DeploySpec(processes={deploy.processes}) is distributed; "
+                "fleet runs are in-process — use repro.deploy.execute_deploy "
+                "for multi-process topologies"
+            )
+        if deploy.codec is not None:
+            settings = replace(settings, codec=deploy.codec)
     prepared = _FleetPrepared(workload, settings, config, sampling)
 
     demand_snap, demand_obs = prepared.arm("demand", obs=obs)

@@ -60,6 +60,8 @@ from .service import (
     execute_chaos_smoke,
     execute_loadtest,
     execute_smoke,
+    prepare_live_run,
+    require_shard_exact,
     run_chaos,
     run_chaos_smoke,
     run_loadtest,
@@ -106,6 +108,8 @@ __all__ = [
     "execute_loadtest",
     "execute_smoke",
     "live_ratios",
+    "prepare_live_run",
+    "require_shard_exact",
     "resolve_codec",
     "retry_rng",
     "run_chaos",

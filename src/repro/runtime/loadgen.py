@@ -90,6 +90,13 @@ class LoadGenerator:
         metrics: Registry receiving all counters/histograms.
         cache_factory: Client cache constructor; defaults to the
             config's SessionTimeout semantics.
+        resolver: Optional ``(doc_id, attempt) -> endpoint name`` shard
+            resolver.  When a client's route targets the origin
+            directly, each attempt's destination is resolved through
+            this hook instead — sharded deployments map the logical
+            origin onto the consistent-hash owner (and retries fail
+            over across replicas).  Accounting is unaffected: replies
+            still carry the logical origin as ``served_by``.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class LoadGenerator:
         load: LoadConfig | None = None,
         metrics: MetricsRegistry | None = None,
         cache_factory: Callable[[], ClientCache] | None = None,
+        resolver: Callable[[str, int], str] | None = None,
     ):
         self._network = network
         self._routes = routes
@@ -114,6 +122,7 @@ class LoadGenerator:
         self._cache_factory = cache_factory or make_cache_factory(
             config.session_timeout
         )
+        self._resolver = resolver
 
     async def run(self) -> None:
         """Replay every client's stream to completion."""
@@ -210,9 +219,12 @@ class LoadGenerator:
                 digest=digest,
                 demand=demand_key,
             )
+            target = route.target
+            if self._resolver is not None and target == self._origin_name:
+                target = self._resolver(request.doc_id, attempt)
             try:
                 return await endpoint.call(
-                    route.target,
+                    target,
                     message,
                     timeout=self._load.request_timeout,
                 )

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
+from typing import Callable
 
 from ..errors import RuntimeProtocolError, TransportError
 from .messages import Message, make_error, make_request, make_response
@@ -65,6 +66,13 @@ class ProxyNode:
         backoff_seed: Seeds this proxy's retry-jitter RNG.
         miss_queue_limit: Bound on misses remembered while the
             upstream is unreachable (oldest kept).
+        resolve_upstream: Optional ``(doc_id, attempt) -> endpoint
+            name`` shard resolver.  When set, every upstream call is
+            routed through it instead of the static ``upstream`` name —
+            sharded deployments map the logical origin onto the
+            consistent-hash owner, and retry attempts fail over across
+            replicas.  ``upstream`` remains the logical name used in
+            breaker scoping and error text.
     """
 
     def __init__(
@@ -81,6 +89,7 @@ class ProxyNode:
         forward_retries: int = 1,
         backoff_seed: int = 0,
         miss_queue_limit: int = 64,
+        resolve_upstream: Callable[[str, int], str] | None = None,
     ):
         self.name = name
         self._endpoint = endpoint
@@ -100,6 +109,13 @@ class ProxyNode:
         self._miss_queue_limit = miss_queue_limit
         self._dedupe = DuplicateFilter()
         self._recovery_task: asyncio.Task[None] | None = None
+        self._resolve_upstream = resolve_upstream
+
+    def _upstream_for(self, doc_id: str, attempt: int) -> str:
+        """Destination of one upstream call (shard owner when resolving)."""
+        if self._resolve_upstream is None:
+            return self._upstream
+        return self._resolve_upstream(doc_id, attempt)
 
     @property
     def holdings(self) -> dict[str, int]:
@@ -262,7 +278,9 @@ class ProxyNode:
             )
             try:
                 reply = await self._endpoint.call(
-                    self._upstream, message, timeout=self._upstream_timeout
+                    self._upstream_for(doc_id, 0),
+                    message,
+                    timeout=self._upstream_timeout,
                 )
             except TransportError:
                 self._breaker.record_failure()
@@ -321,7 +339,9 @@ class ProxyNode:
         for attempt in range(attempts):
             try:
                 reply = await self._endpoint.call(
-                    self._upstream, forwarded, timeout=self._upstream_timeout
+                    self._upstream_for(doc_id, attempt),
+                    forwarded,
+                    timeout=self._upstream_timeout,
                 )
             except TransportError as err:
                 self._breaker.record_failure()

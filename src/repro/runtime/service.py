@@ -31,10 +31,10 @@ from __future__ import annotations
 import asyncio
 import math
 import warnings
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Iterable
 
-from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig
+from ..config import BASELINE, SECONDS_PER_DAY, BaselineConfig, DeploySpec
 from ..core.combined import CombinedProtocolSimulator, CombinedResult
 from ..core.planner import DisseminationPlanner
 from ..core.sampling import estimate_ratios
@@ -727,6 +727,66 @@ class _PreparedRun:
         return merged.snapshot()
 
 
+def prepare_live_run(
+    workload: GeneratorConfig,
+    settings: LiveSettings | None = None,
+    *,
+    config: BaselineConfig = BASELINE,
+    sampling: SamplingConfig | None = None,
+) -> _PreparedRun:
+    """Build the shared workload/topology/plan prep for alternate executors.
+
+    The distributed deployment layer (:mod:`repro.deploy`) replays the
+    same prepared inputs through real processes; going through this one
+    factory guarantees its arms are byte-identical to the in-process
+    arms :func:`execute_loadtest` runs.
+
+    Raises:
+        SimulationError: On a workload too small to split.
+    """
+    settings = settings if settings is not None else LiveSettings()
+    return _PreparedRun(workload, settings, config, sampling)
+
+
+def require_shard_exact(
+    settings: LiveSettings, obs: ObsConfig | None = None
+) -> None:
+    """Public form of the shard-exactness precondition check.
+
+    Multi-process execution — ``workers > 1`` here, or any distributed
+    :class:`~repro.config.DeploySpec` — needs counters that are exact
+    under any client-to-process assignment.
+
+    Raises:
+        SimulationError: When the configuration couples clients across
+            processes (see :func:`_require_shardable`).
+    """
+    _require_shardable(settings, obs)
+
+
+def _resolve_deploy(
+    settings: LiveSettings, deploy: DeploySpec | None, workers: int
+) -> tuple[LiveSettings, int]:
+    """Fold a local DeploySpec into (settings, workers).
+
+    Raises:
+        SimulationError: When the spec is distributed — in-process
+            executors cannot honour it, and silently downgrading a
+            multi-process request would misreport what ran.
+    """
+    if deploy is None:
+        return settings, workers
+    if not deploy.local:
+        raise SimulationError(
+            f"DeploySpec(processes={deploy.processes}) is distributed; "
+            "run it through repro.deploy.execute_deploy "
+            "(or Session.deploy)"
+        )
+    if deploy.codec is not None:
+        settings = replace(settings, codec=deploy.codec)
+    return settings, deploy.workers
+
+
 def _deprecated(old: str, new: str) -> None:
     """Emit the one-line migration warning for a legacy entry point."""
     warnings.warn(
@@ -784,6 +844,7 @@ def execute_loadtest(
     obs: ObsConfig | None = None,
     sampling: SamplingConfig | None = None,
     workers: int = 1,
+    deploy: DeploySpec | None = None,
 ) -> LiveReport:
     """Generate a workload and run it live, baseline vs. speculation.
 
@@ -809,6 +870,12 @@ def execute_loadtest(
             single-process run.  Requires a shard-exact configuration
             (no drops, no online learning, no replanning daemon, no
             obs channels); 1 runs in-process as before.
+        deploy: A **local** :class:`~repro.config.DeploySpec`
+            (``processes == 1``); its ``workers``/``codec`` override the
+            bare ``workers`` argument and ``settings.codec``, so the
+            spec is the single source of execution shape.  A
+            distributed spec is rejected — route it through
+            :func:`repro.deploy.execute_deploy`.
 
     Returns:
         A :class:`LiveReport` with both snapshots and the ratios (and
@@ -816,11 +883,12 @@ def execute_loadtest(
 
     Raises:
         SimulationError: If the trace is too small to split into
-            non-empty training and serving halves, or if ``workers >
-            1`` with a configuration whose counters are not
-            shard-exact.
+            non-empty training and serving halves, if ``workers > 1``
+            with a configuration whose counters are not shard-exact, or
+            if ``deploy`` is a distributed spec.
     """
     settings = settings if settings is not None else LiveSettings()
+    settings, workers = _resolve_deploy(settings, deploy, workers)
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
     if workers > 1:
@@ -1079,6 +1147,7 @@ def execute_smoke(
     obs: ObsConfig | None = None,
     codec: str = "binary",
     workers: int = 1,
+    deploy: DeploySpec | None = None,
 ) -> LiveReport:
     """The ``repro loadtest --smoke`` self-test.
 
@@ -1088,7 +1157,8 @@ def execute_smoke(
     format the in-memory network round-trips every message through
     (CI's codec matrix runs this once per codec and diffs the four
     ratios bit-for-bit); ``workers`` shards the client population as in
-    :func:`execute_loadtest`.
+    :func:`execute_loadtest`, and ``deploy`` accepts a local
+    :class:`~repro.config.DeploySpec` the same way.
 
     Raises:
         RuntimeProtocolError: If live and batch ratios diverge beyond
@@ -1100,6 +1170,7 @@ def execute_smoke(
         verify_batch=True,
         obs=obs,
         workers=workers,
+        deploy=deploy,
     )
     report.require_convergence(tolerance)
     return report

@@ -429,6 +429,13 @@ class TcpServer:
             rejects a well-formed client.
         max_frame_bytes: Per-frame size cap enforced on the *declared*
             length before any body byte is read.
+        drain_timeout: Seconds :meth:`close` waits for connections that
+            are mid-request (handler running or reply being written) to
+            flush their final frame before cancelling them.
+        stats_hook: Optional ``(direction, message)`` callback invoked
+            with ``"delivered"`` for each decoded inbound frame and
+            ``"sent"`` for each flushed reply — the deploy layer's
+            server-side half of the frame-conservation ledger.
     """
 
     def __init__(
@@ -439,14 +446,20 @@ class TcpServer:
         *,
         codec: str | Codec | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        drain_timeout: float = 5.0,
+        stats_hook: Callable[[str, Message], None] | None = None,
     ):
         self._handler = handler
         self._host = host
         self._requested_port = port
         self._forced_codec = None if codec is None else resolve_codec(codec)
         self._max_frame_bytes = max_frame_bytes
+        self._drain_timeout = drain_timeout
+        self._stats_hook = stats_hook
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task[None]] = set()
+        self._busy: set[asyncio.Task[None]] = set()
+        self._closing = False
         self.port: int = port
         self.requests_served = 0
         self.protocol_errors = 0
@@ -503,27 +516,61 @@ class TcpServer:
                 # Negotiation: replies mirror the codec of this
                 # connection's first inbound frame.
                 codec = sniff_codec(body)
-            # Wall-clock is banned repo-wide (D004) because it breaks
-            # replayability — but a real-socket round trip has no
-            # virtual clock, and the served duration is reporting-only
-            # (never feeds a simulation decision).  time.monotonic is
-            # the narrow sanctioned exception, scoped by the linter to
-            # this module.
-            started = time.monotonic()
-            reply = await self._handler(message)
-            if reply is not None:
-                elapsed = time.monotonic() - started
-                reply.payload["service_seconds"] = round(elapsed, 6)
-                write_frame(writer, reply, codec)
-                await writer.drain()
-            self.requests_served += 1
+            if self._stats_hook is not None:
+                self._stats_hook("delivered", message)
+            # The handler + reply write is the connection's *busy*
+            # window: close() must not cancel it, or the final reply
+            # frame of a request already accepted is dropped on the
+            # floor (the graceful-shutdown bug this set guards against).
+            task = asyncio.current_task()
+            if task is not None:
+                self._busy.add(task)
+            try:
+                # Wall-clock is banned repo-wide (D004) because it breaks
+                # replayability — but a real-socket round trip has no
+                # virtual clock, and the served duration is reporting-only
+                # (never feeds a simulation decision).  time.monotonic is
+                # the narrow sanctioned exception, scoped by the linter to
+                # this module.
+                started = time.monotonic()
+                reply = await self._handler(message)
+                if reply is not None:
+                    elapsed = time.monotonic() - started
+                    reply.payload["service_seconds"] = round(elapsed, 6)
+                    write_frame(writer, reply, codec)
+                    await writer.drain()
+                    if self._stats_hook is not None:
+                        self._stats_hook("sent", reply)
+                self.requests_served += 1
+            finally:
+                if task is not None:
+                    self._busy.discard(task)
+            if self._closing:
+                return  # shutdown requested; reply flushed, now exit
 
     async def close(self) -> None:
-        """Stop accepting, close the listener, drain live connections."""
+        """Stop accepting, drain in-flight replies, then drop connections.
+
+        Ordering matters: cancelling every connection task immediately
+        (the old behaviour) could kill a handler mid-flight or a reply
+        mid-write, so a fast shutdown dropped the final frame and the
+        client burned a full timeout.  Now busy connections get up to
+        ``drain_timeout`` seconds to flush the reply they are serving;
+        only idle connections (parked on the next read) are cancelled
+        straight away.
+        """
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        deadline = time.monotonic() + self._drain_timeout
+        while True:
+            busy = [task for task in self._busy if not task.done()]
+            remaining = deadline - time.monotonic()
+            if not busy or remaining <= 0:
+                break
+            await asyncio.wait(busy, timeout=remaining)
         connections = list(self._connections)
         for task in connections:
             task.cancel()
